@@ -1,0 +1,75 @@
+//! Substrate benchmarks: the DNS resolver (cache ablation), zone
+//! lookups, the dig facade, and full-page crawls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webdeps_bench::bench_workspace;
+use webdeps_dns::{Dig, RecordType, Resolver};
+use webdeps_web::Crawler;
+
+fn resolver_benches(c: &mut Criterion) {
+    let ws = bench_workspace();
+    let world = &ws.world20;
+    let listings = world.listings();
+    let sample: Vec<_> = listings.iter().take(256).collect();
+
+    let mut group = c.benchmark_group("substrate/resolver");
+
+    // Ablation: cold cache — every lookup walks the authority chain.
+    group.bench_function("resolve_a_cold_cache", |b| {
+        let mut resolver = Resolver::new(&world.dns);
+        resolver.disable_cache();
+        let mut i = 0usize;
+        b.iter(|| {
+            let l = &sample[i % sample.len()];
+            i += 1;
+            black_box(resolver.resolve(&l.domain, RecordType::A)).ok();
+        });
+    });
+
+    // Ablation: warm cache — steady-state crawl behavior.
+    group.bench_function("resolve_a_warm_cache", |b| {
+        let mut resolver = Resolver::new(&world.dns);
+        for l in &sample {
+            let _ = resolver.resolve(&l.domain, RecordType::A);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let l = &sample[i % sample.len()];
+            i += 1;
+            black_box(resolver.resolve(&l.domain, RecordType::A)).ok();
+        });
+    });
+
+    group.bench_function("dig_ns_plus_soa", |b| {
+        let mut resolver = Resolver::new(&world.dns);
+        resolver.disable_cache();
+        let mut i = 0usize;
+        b.iter(|| {
+            let l = &sample[i % sample.len()];
+            i += 1;
+            let mut dig = Dig::new(&mut resolver);
+            let ns = dig.ns(&l.domain).unwrap_or_default();
+            for host in &ns {
+                black_box(dig.soa_of(host)).ok();
+            }
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("substrate/web");
+    group.sample_size(20);
+    group.bench_function("crawl_landing_page", |b| {
+        let mut client = world.client();
+        let mut i = 0usize;
+        b.iter(|| {
+            let l = &sample[i % sample.len()];
+            i += 1;
+            black_box(Crawler::crawl(&mut client, &l.domain, &l.document_hosts, l.https));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, resolver_benches);
+criterion_main!(benches);

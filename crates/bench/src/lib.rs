@@ -1,0 +1,32 @@
+//! # webdeps-bench
+//!
+//! Criterion benchmark harness. The interesting artifacts are the bench
+//! targets, one group per reproduced experiment plus ablations of the
+//! design choices DESIGN.md calls out:
+//!
+//! * `experiments` — regenerates every paper table/figure (`exp_*`)
+//!   and prints the rendered reports once per run;
+//! * `substrate` — DNS resolver (cold vs warm cache), zone lookups,
+//!   full-page crawls;
+//! * `analysis` — classification-heuristic ablation (TLD vs SOA vs
+//!   combined), metric-engine ablation (reverse BFS vs the paper's
+//!   literal recursion), coverage CDFs;
+//! * `pipeline` — world generation and the end-to-end measurement
+//!   pipeline at several scales.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+use webdeps_reports::Workspace;
+
+/// Scale used by the benchmark workspace (kept modest so `cargo bench`
+/// completes in minutes; the `repro` binary is the tool for full-scale
+/// number generation).
+pub const BENCH_SCALE: usize = 2_000;
+
+/// Shared, lazily built workspace for experiment benches.
+pub fn bench_workspace() -> &'static Workspace {
+    static WS: OnceLock<Workspace> = OnceLock::new();
+    WS.get_or_init(|| Workspace::new(42, BENCH_SCALE))
+}

@@ -1,0 +1,127 @@
+//! Provider coverage CDFs (Figure 6).
+//!
+//! "How many providers serve 80% of the websites?" — computed the
+//! honest way: providers sorted by direct consumer count, coverage as
+//! the *union* of their consumer sets over the population of sites that
+//! use the service at all.
+
+use std::collections::HashSet;
+use webdeps_measure::{MeasurementDataset, ProviderKey};
+use webdeps_model::{ServiceKind, SiteId};
+
+/// One point of the coverage curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoveragePoint {
+    /// Number of (top) providers included.
+    pub providers: usize,
+    /// Fraction (0–1) of service-using sites covered.
+    pub coverage: f64,
+    /// The provider added at this point.
+    pub key: ProviderKey,
+}
+
+/// Per-provider direct consumer sets for one service kind.
+fn consumer_sets(ds: &MeasurementDataset, kind: ServiceKind) -> Vec<(ProviderKey, HashSet<SiteId>)> {
+    use std::collections::HashMap;
+    let mut map: HashMap<ProviderKey, HashSet<SiteId>> = HashMap::new();
+    for site in &ds.sites {
+        match kind {
+            ServiceKind::Dns => {
+                for key in site.dns.third_parties() {
+                    map.entry(key.clone()).or_default().insert(site.id);
+                }
+            }
+            ServiceKind::Cdn => {
+                for key in site.cdn.third_parties() {
+                    map.entry(key.clone()).or_default().insert(site.id);
+                }
+            }
+            ServiceKind::Ca => {
+                if let Some((key, webdeps_measure::Classification::ThirdParty)) = &site.ca.ca {
+                    map.entry(key.clone()).or_default().insert(site.id);
+                }
+            }
+            ServiceKind::Cloud => {}
+        }
+    }
+    let mut sets: Vec<_> = map.into_iter().collect();
+    sets.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+    sets
+}
+
+/// The full coverage curve for a service: point `i` is the union
+/// coverage of the top `i+1` providers.
+pub fn coverage_curve(ds: &MeasurementDataset, kind: ServiceKind) -> Vec<CoveragePoint> {
+    let sets = consumer_sets(ds, kind);
+    let total: HashSet<SiteId> = sets.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    if total.is_empty() {
+        return Vec::new();
+    }
+    let mut covered: HashSet<SiteId> = HashSet::new();
+    let mut out = Vec::with_capacity(sets.len());
+    for (i, (key, consumers)) in sets.into_iter().enumerate() {
+        covered.extend(consumers);
+        out.push(CoveragePoint {
+            providers: i + 1,
+            coverage: covered.len() as f64 / total.len() as f64,
+            key,
+        });
+    }
+    out
+}
+
+/// The number of providers needed to cover `fraction` of the
+/// service-using sites — the paper's "54 providers serve 80% in 2020
+/// vs 2 705 in 2016" statistic.
+pub fn providers_for_coverage(ds: &MeasurementDataset, kind: ServiceKind, fraction: f64) -> usize {
+    coverage_curve(ds, kind)
+        .iter()
+        .position(|p| p.coverage >= fraction)
+        .map(|i| i + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_measure::measure_world;
+    use webdeps_worldgen::{World, WorldConfig};
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let world = World::generate(WorldConfig::small(37));
+        let ds = measure_world(&world);
+        for kind in [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca] {
+            let curve = coverage_curve(&ds, kind);
+            assert!(!curve.is_empty(), "{kind}: no providers observed");
+            for w in curve.windows(2) {
+                assert!(w[1].coverage >= w[0].coverage, "{kind}: not monotone");
+            }
+            let last = curve.last().unwrap();
+            assert!((last.coverage - 1.0).abs() < 1e-9, "{kind}: last point covers all");
+        }
+    }
+
+    #[test]
+    fn concentration_few_providers_cover_most() {
+        let world = World::generate(WorldConfig::small(37));
+        let ds = measure_world(&world);
+        // 2020: concentrated markets everywhere.
+        let dns80 = providers_for_coverage(&ds, ServiceKind::Dns, 0.8);
+        let cdn80 = providers_for_coverage(&ds, ServiceKind::Cdn, 0.8);
+        let ca80 = providers_for_coverage(&ds, ServiceKind::Ca, 0.8);
+        assert!(dns80 > 0 && cdn80 > 0 && ca80 > 0);
+        assert!(ca80 <= 8, "CA market is the most concentrated: {ca80}");
+        assert!(cdn80 <= 12, "CDN market: {cdn80}");
+        let dns_total = coverage_curve(&ds, ServiceKind::Dns).len();
+        assert!(dns80 < dns_total / 2, "DNS: top providers dominate ({dns80}/{dns_total})");
+    }
+
+    #[test]
+    fn cloud_kind_is_empty() {
+        let world = World::generate(WorldConfig::small(37));
+        let ds = measure_world(&world);
+        assert!(coverage_curve(&ds, ServiceKind::Cloud).is_empty());
+        assert_eq!(providers_for_coverage(&ds, ServiceKind::Cloud, 0.8), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Graphviz (DOT) export of the dependency graph.
+//!
+//! Figure 5 of the paper is a node-link rendering of the website ↔
+//! provider bipartite graph with node size proportional to indegree.
+//! [`to_dot`] emits the same picture for external renderers: provider
+//! nodes sized by direct consumer count, a bounded sample of site nodes,
+//! and all provider → provider (inter-service) edges.
+
+use crate::graph::{DepGraph, NodeId, NodeRef};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use webdeps_model::ServiceKind;
+
+/// Options for the DOT rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct DotOptions {
+    /// How many providers (per service kind, by consumer count) to show.
+    pub top_providers: usize,
+    /// How many site nodes to sample (sites beyond this are aggregated
+    /// into the provider labels).
+    pub max_sites: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { top_providers: 8, max_sites: 120 }
+    }
+}
+
+fn color_of(kind: ServiceKind) -> &'static str {
+    match kind {
+        ServiceKind::Dns => "#4c72b0",
+        ServiceKind::Cdn => "#dd8452",
+        ServiceKind::Ca => "#55a868",
+        ServiceKind::Cloud => "#8172b3",
+    }
+}
+
+/// Renders the graph (or the part of it worth looking at) as DOT.
+pub fn to_dot(graph: &DepGraph, opts: &DotOptions) -> String {
+    // Rank providers by direct consumer count.
+    let mut consumer_counts: HashMap<NodeId, usize> = HashMap::new();
+    for kind in [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca] {
+        for p in graph.providers_of(kind) {
+            consumer_counts.insert(p, graph.consumers_of(p).count());
+        }
+    }
+    let mut shown_providers: Vec<NodeId> = Vec::new();
+    for kind in [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca] {
+        let mut of_kind: Vec<NodeId> = graph.providers_of(kind).collect();
+        of_kind.sort_by_key(|p| std::cmp::Reverse(consumer_counts[p]));
+        shown_providers.extend(of_kind.into_iter().take(opts.top_providers));
+    }
+    let shown: std::collections::HashSet<NodeId> = shown_providers.iter().copied().collect();
+
+    let mut out = String::from("digraph webdeps {\n");
+    out.push_str("  graph [overlap=false, splines=true, bgcolor=\"white\"];\n");
+    out.push_str("  node [fontname=\"Helvetica\"];\n");
+
+    // Provider nodes, sized by direct consumer count.
+    let max_count = shown_providers
+        .iter()
+        .map(|p| consumer_counts[p])
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for &p in &shown_providers {
+        let NodeRef::Provider(key, kind) = graph.node(p) else { continue };
+        let count = consumer_counts[&p];
+        let size = 0.4 + 1.6 * (count as f64 / max_count as f64);
+        writeln!(
+            out,
+            "  \"p{}\" [label=\"{}\\n{} sites\", shape=circle, style=filled, \
+             fillcolor=\"{}\", fontcolor=white, width={:.2}, fixedsize=true];",
+            p.0,
+            key.as_str(),
+            count,
+            color_of(*kind),
+            size
+        )
+        .expect("write to string");
+    }
+
+    // A sample of site nodes with their edges into shown providers.
+    let mut site_edges = 0usize;
+    let mut sites_drawn = 0usize;
+    'outer: for &p in &shown_providers {
+        for (consumer, kind) in graph.consumers_of(p) {
+            if let NodeRef::Site(site) = graph.node(consumer) {
+                if sites_drawn >= opts.max_sites {
+                    break 'outer;
+                }
+                writeln!(
+                    out,
+                    "  \"s{}\" [label=\"\", shape=point, width=0.05, color=\"#999999\"];",
+                    site.0
+                )
+                .expect("write to string");
+                writeln!(
+                    out,
+                    "  \"s{}\" -> \"p{}\" [color=\"#bbbbbb\", arrowsize=0.3{}];",
+                    site.0,
+                    p.0,
+                    if kind.critical { ", penwidth=1.2" } else { "" }
+                )
+                .expect("write to string");
+                sites_drawn += 1;
+                site_edges += 1;
+            }
+        }
+    }
+
+    // Inter-service edges between shown providers.
+    for &p in &shown_providers {
+        for (target, kind) in graph.deps_of(p) {
+            if !shown.contains(&target) {
+                continue;
+            }
+            writeln!(
+                out,
+                "  \"p{}\" -> \"p{}\" [color=\"{}\", penwidth={}, label=\"{}\"];",
+                p.0,
+                target.0,
+                color_of(kind.service),
+                if kind.critical { 2.0 } else { 1.0 },
+                kind.service
+            )
+            .expect("write to string");
+        }
+    }
+
+    writeln!(out, "  // {} site edges sampled", site_edges).expect("write to string");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_measure::measure_world;
+    use webdeps_worldgen::{World, WorldConfig};
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let world = World::generate(WorldConfig::small(19));
+        let ds = measure_world(&world);
+        let graph = DepGraph::from_dataset(&ds);
+        let dot = to_dot(&graph, &DotOptions::default());
+        assert!(dot.starts_with("digraph webdeps {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // The headline providers appear (top-8 per kind includes the
+        // majors at any scale).
+        assert!(dot.contains("digicert.com"), "{dot}");
+        assert!(dot.contains("cloudflare.com"));
+        // All three service kinds are represented (via their colors).
+        for color in ["#4c72b0", "#dd8452", "#55a868"] {
+            assert!(dot.contains(color), "missing {color}");
+        }
+        // Inter-service edges with service labels.
+        assert!(dot.contains("label=\"DNS\""));
+        // Sites are sampled, not exhaustive.
+        let site_nodes = dot.matches("shape=point").count();
+        assert!(site_nodes > 0 && site_nodes <= DotOptions::default().max_sites);
+        // Balanced braces (cheap structural check).
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn options_bound_the_output() {
+        let world = World::generate(WorldConfig::small(19));
+        let ds = measure_world(&world);
+        let graph = DepGraph::from_dataset(&ds);
+        let small = to_dot(&graph, &DotOptions { top_providers: 2, max_sites: 5 });
+        let big = to_dot(&graph, &DotOptions { top_providers: 10, max_sites: 100 });
+        assert!(small.len() < big.len());
+        assert!(small.matches("shape=point").count() <= 5);
+    }
+}

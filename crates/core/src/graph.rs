@@ -1,0 +1,273 @@
+//! The typed dependency graph.
+//!
+//! Nodes are websites and (wire-identified) providers; edges are "uses
+//! service" relations carrying the service kind and a criticality flag
+//! (single provider, no redundancy). Both direct (website → provider)
+//! and inter-service (provider → provider) dependencies live in one
+//! graph, which is what lets the §5 analysis light up hidden paths like
+//! *site → DigiCert → DNSMadeEasy*.
+
+use std::collections::HashMap;
+use webdeps_measure::{MeasurementDataset, ProviderKey};
+use webdeps_model::{ServiceKind, SiteId};
+use webdeps_worldgen::profiles::{CaProfile, CdnProfile, DepState};
+
+/// Dense node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// A website from the measured population.
+    Site(SiteId),
+    /// A provider of a service.
+    Provider(ProviderKey, ServiceKind),
+}
+
+/// One dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeKind {
+    /// The service being consumed.
+    pub service: ServiceKind,
+    /// Whether the consumer is critically dependent through this edge
+    /// (sole provider of this service, no redundancy).
+    pub critical: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    from: NodeId,
+    to: NodeId,
+    kind: EdgeKind,
+}
+
+/// The assembled graph.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    nodes: Vec<NodeRef>,
+    index: HashMap<NodeRef, NodeId>,
+    edges: Vec<Edge>,
+    outgoing: Vec<Vec<usize>>,
+    incoming: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Builds the graph from a measurement dataset: site edges from the
+    /// per-site states, provider edges from the §3.4 measurements.
+    pub fn from_dataset(ds: &MeasurementDataset) -> DepGraph {
+        let mut g = DepGraph::default();
+
+        for site in &ds.sites {
+            let site_node = g.intern(NodeRef::Site(site.id));
+
+            // site → DNS providers.
+            if let Some(state) = site.dns.state {
+                let critical = state == DepState::SingleThird;
+                for key in site.dns.third_parties() {
+                    let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Dns));
+                    g.add_edge(site_node, p, EdgeKind { service: ServiceKind::Dns, critical });
+                }
+            }
+            // site → CDNs.
+            if let Some(state) = site.cdn.state {
+                let critical = state == CdnProfile::SingleThird;
+                for key in site.cdn.third_parties() {
+                    let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Cdn));
+                    g.add_edge(site_node, p, EdgeKind { service: ServiceKind::Cdn, critical });
+                }
+            }
+            // site → CA.
+            if let Some(state) = site.ca.state {
+                if let Some((key, class)) = &site.ca.ca {
+                    if *class == webdeps_measure::Classification::ThirdParty {
+                        let critical = state == CaProfile::ThirdNoStaple;
+                        let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Ca));
+                        g.add_edge(site_node, p, EdgeKind { service: ServiceKind::Ca, critical });
+                    }
+                }
+            }
+        }
+
+        // Provider → provider edges.
+        for pm in &ds.providers {
+            let from = g.intern(NodeRef::Provider(pm.key.clone(), pm.kind));
+            if let Some(dep) = &pm.dns_dep {
+                for key in &dep.providers {
+                    let to = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Dns));
+                    g.add_edge(
+                        from,
+                        to,
+                        EdgeKind { service: ServiceKind::Dns, critical: dep.critical },
+                    );
+                }
+            }
+            if let Some(dep) = &pm.cdn_dep {
+                for key in &dep.providers {
+                    let to = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Cdn));
+                    g.add_edge(
+                        from,
+                        to,
+                        EdgeKind { service: ServiceKind::Cdn, critical: dep.critical },
+                    );
+                }
+            }
+        }
+        g
+    }
+
+    /// Interns a node, returning its id.
+    pub fn intern(&mut self, node: NodeRef) -> NodeId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.index.insert(node.clone(), id);
+        self.nodes.push(node);
+        self.outgoing.push(Vec::new());
+        self.incoming.push(Vec::new());
+        id
+    }
+
+    /// Adds an edge.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        let idx = self.edges.len();
+        self.edges.push(Edge { from, to, kind });
+        self.outgoing[from.index()].push(idx);
+        self.incoming[to.index()].push(idx);
+    }
+
+    /// Node payload.
+    pub fn node(&self, id: NodeId) -> &NodeRef {
+        &self.nodes[id.index()]
+    }
+
+    /// Looks up a node id.
+    pub fn find(&self, node: &NodeRef) -> Option<NodeId> {
+        self.index.get(node).copied()
+    }
+
+    /// Looks up a provider node.
+    pub fn provider(&self, key: &str, kind: ServiceKind) -> Option<NodeId> {
+        self.find(&NodeRef::Provider(ProviderKey::new(key.to_string()), kind))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All provider nodes of a kind.
+    pub fn providers_of(&self, kind: ServiceKind) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().enumerate().filter_map(move |(i, n)| match n {
+            NodeRef::Provider(_, k) if *k == kind => Some(NodeId(i as u32)),
+            _ => None,
+        })
+    }
+
+    /// Outgoing dependencies of a node: `(target, kind)`.
+    pub fn deps_of(&self, id: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind)> + '_ {
+        self.outgoing[id.index()].iter().map(move |&e| {
+            let edge = &self.edges[e];
+            (edge.to, edge.kind)
+        })
+    }
+
+    /// Incoming consumers of a node: `(source, kind)`.
+    pub fn consumers_of(&self, id: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind)> + '_ {
+        self.incoming[id.index()].iter().map(move |&e| {
+            let edge = &self.edges[e];
+            (edge.from, edge.kind)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_measure::measure_world;
+    use webdeps_worldgen::{World, WorldConfig};
+
+    fn graph() -> (World, MeasurementDataset, DepGraph) {
+        let world = World::generate(WorldConfig::small(123));
+        let ds = measure_world(&world);
+        let g = DepGraph::from_dataset(&ds);
+        (world, ds, g)
+    }
+
+    #[test]
+    fn graph_has_sites_and_providers() {
+        let (world, _, g) = graph();
+        assert!(g.node_count() > world.truth.len(), "providers add nodes beyond sites");
+        assert!(g.edge_count() > world.truth.len(), "most sites have multiple dependencies");
+        assert!(g.providers_of(ServiceKind::Dns).count() > 5);
+        assert!(g.providers_of(ServiceKind::Cdn).count() > 5);
+        assert!(g.providers_of(ServiceKind::Ca).count() > 5);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut g = DepGraph::default();
+        let a = g.intern(NodeRef::Site(SiteId(1)));
+        let b = g.intern(NodeRef::Site(SiteId(1)));
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.find(&NodeRef::Site(SiteId(1))), Some(a));
+        assert_eq!(g.find(&NodeRef::Site(SiteId(2))), None);
+    }
+
+    #[test]
+    fn digicert_chain_is_wired() {
+        let (_, _, g) = graph();
+        let digicert = g.provider("digicert.com", ServiceKind::Ca).expect("DigiCert node");
+        let deps: Vec<_> = g.deps_of(digicert).collect();
+        assert!(
+            deps.iter().any(|(to, kind)| {
+                kind.service == ServiceKind::Dns
+                    && kind.critical
+                    && matches!(g.node(*to), NodeRef::Provider(k, _) if k.as_str() == "dnsmadeeasy.com")
+            }),
+            "DigiCert → DNSMadeEasy critical edge, got {deps:?}"
+        );
+        assert!(deps.iter().any(|(to, kind)| {
+            kind.service == ServiceKind::Cdn
+                && matches!(g.node(*to), NodeRef::Provider(k, _) if k.as_str() == "incapdns.net")
+        }));
+        // And sites consume DigiCert.
+        assert!(g.consumers_of(digicert).count() > 0);
+    }
+
+    #[test]
+    fn criticality_flags_follow_states() {
+        let (world, ds, g) = graph();
+        for s in ds.sites.iter().take(400) {
+            let truth = world.site(s.id);
+            if truth.dns.state == DepState::MultiThird {
+                let node = g.find(&NodeRef::Site(s.id)).expect("site node");
+                let dns_edges: Vec<_> = g
+                    .deps_of(node)
+                    .filter(|(_, k)| k.service == ServiceKind::Dns)
+                    .collect();
+                if dns_edges.len() >= 2 {
+                    assert!(
+                        dns_edges.iter().all(|(_, k)| !k.critical),
+                        "multi-provider sites are never critical"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # webdeps-core
+//!
+//! The paper's analysis layer: turns a [`webdeps_measure::MeasurementDataset`]
+//! into the quantities the paper reports.
+//!
+//! * [`graph`] — the typed dependency graph (websites and providers,
+//!   direct and inter-service edges, criticality flags).
+//! * [`metrics`] — **concentration** `C_p` and **impact** `I_p` (§2.2),
+//!   with and without indirect dependencies, as both a literal
+//!   implementation of the paper's recursive set unions and an
+//!   equivalent reverse-BFS (the ablation pair).
+//! * [`stats`] — rank-stratified percentages behind Figures 2, 3, 4.
+//! * [`concentration`] — provider coverage CDFs behind Figure 6.
+//! * [`evolution`] — 2016→2020 transition tables (Tables 3, 4, 5 for
+//!   sites; Tables 7, 8, 9 for providers).
+//! * [`outage`] — behavioral what-ifs: fail a provider in the simulator
+//!   and count actually-unreachable sites, cross-validating the
+//!   graph-derived impact numbers.
+//! * [`resilience`] — the per-site dependency audit the paper sketches
+//!   as future work (§8.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concentration;
+pub mod dot;
+pub mod evolution;
+pub mod graph;
+pub mod metrics;
+pub mod outage;
+pub mod resilience;
+pub mod stats;
+
+pub use concentration::{coverage_curve, providers_for_coverage, CoveragePoint};
+pub use dot::{to_dot, DotOptions};
+pub use evolution::{ca_trends, cdn_trends, dns_trends, provider_trends, TrendTable};
+pub use graph::{DepGraph, EdgeKind, NodeId, NodeRef};
+pub use metrics::{MetricOptions, Metrics, ProviderScore};
+pub use outage::{simulate_outage, OutageResult};
+pub use resilience::{audit_site, robustness_score, RiskLevel, SiteAudit};
+pub use stats::{ca_figure, cdn_figure, dns_figure, top_providers_in_bucket, CaFigure, CdnFigure, DnsFigure};

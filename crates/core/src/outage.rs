@@ -1,0 +1,204 @@
+//! Behavioral outage simulation.
+//!
+//! The graph metrics *predict* which sites a provider outage denies;
+//! this module *replays* the outage in the simulator — fail the
+//! provider's entities, flush caches, and attempt every site's document
+//! fetch through the full Figure-1 request path — so the two can be
+//! cross-validated (the Mirai-Dyn what-if, end to end).
+
+use webdeps_dns::FaultPlan;
+use webdeps_model::{DomainName, EntityId, SiteId};
+use webdeps_tls::RevocationPolicy;
+use webdeps_web::{Scheme, Url};
+use webdeps_worldgen::World;
+
+/// Result of one simulated outage.
+#[derive(Debug, Clone)]
+pub struct OutageResult {
+    /// Entities failed.
+    pub failed_entities: Vec<EntityId>,
+    /// Sites that became unreachable.
+    pub affected: Vec<SiteId>,
+    /// Sites probed.
+    pub total: usize,
+}
+
+impl OutageResult {
+    /// Affected fraction of the probed population.
+    pub fn affected_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.affected.len() as f64 / self.total as f64
+        }
+    }
+}
+
+/// Resolves a provider reference (catalog name like `"Dyn"`, or a wire
+/// identity like `"dynect.net"`) to its owning entity.
+pub fn provider_entity(world: &World, provider: &str) -> Option<EntityId> {
+    if let Some(e) = world.provider_entity(provider) {
+        return Some(e);
+    }
+    let domain = DomainName::parse(provider).ok()?;
+    world.entities.owner_of(&domain)
+}
+
+/// Simulates an outage of the given providers and probes every site.
+/// `hard_fail` selects the strict revocation policy under which CA
+/// unavailability denies service (the paper's criticality model).
+pub fn simulate_outage(world: &World, providers: &[&str], hard_fail: bool) -> OutageResult {
+    let entities: Vec<EntityId> = providers
+        .iter()
+        .map(|p| {
+            provider_entity(world, p)
+                .unwrap_or_else(|| panic!("unknown provider {p:?}"))
+        })
+        .collect();
+
+    let mut plan = FaultPlan::healthy();
+    for &e in &entities {
+        plan = plan.fail_entity(e);
+    }
+
+    let mut client = world.client();
+    if hard_fail {
+        client = client.with_policy(RevocationPolicy::HardFail);
+    }
+    client.set_faults(plan);
+    client.resolver_mut().disable_cache();
+
+    let listings = world.listings();
+    let mut affected = Vec::new();
+    for l in &listings {
+        let scheme = if l.https { Scheme::Https } else { Scheme::Http };
+        let up = l.document_hosts.iter().any(|h| {
+            client.fetch(&Url { scheme, host: h.clone(), path: "/".into() }).is_ok()
+        });
+        if !up {
+            affected.push(l.id);
+        }
+    }
+    OutageResult { failed_entities: entities, affected, total: listings.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DepGraph;
+    use crate::metrics::{MetricOptions, Metrics};
+    use webdeps_measure::measure_world;
+    use webdeps_model::ServiceKind;
+    use webdeps_worldgen::{World, WorldConfig};
+
+    #[test]
+    fn healthy_baseline_has_no_outage() {
+        let world = World::generate(WorldConfig::small(71));
+        let result = simulate_outage(&world, &[], false);
+        assert!(result.affected.is_empty(), "nothing failed, nothing breaks");
+        assert_eq!(result.total, world.truth.len());
+    }
+
+    #[test]
+    fn provider_lookup_accepts_names_and_domains() {
+        let world = World::generate(WorldConfig::small(71));
+        let by_name = provider_entity(&world, "Dyn").expect("catalog name");
+        let by_domain = provider_entity(&world, "dynect.net").expect("wire identity");
+        assert_eq!(by_name, by_domain);
+        assert!(provider_entity(&world, "no-such-provider-anywhere").is_none());
+    }
+
+    /// The headline cross-validation: graph-predicted DNS impact equals
+    /// behaviorally simulated damage.
+    #[test]
+    fn graph_impact_matches_simulated_outage_for_dns() {
+        let world = World::generate(WorldConfig::small(71));
+        let ds = measure_world(&world);
+        let graph = DepGraph::from_dataset(&ds);
+        let metrics = Metrics::new(&graph);
+
+        // Pick a mid-sized provider so the test stays fast but nonempty.
+        let provider_key = "domaincontrol.com"; // GoDaddy
+        let node = graph.provider(provider_key, ServiceKind::Dns).expect("observed provider");
+        let predicted = metrics.dependent_sites(node, true, &MetricOptions::direct_only());
+
+        let result = simulate_outage(&world, &[provider_key], false);
+        let simulated: std::collections::HashSet<_> = result.affected.iter().copied().collect();
+
+        // Every predicted-critical site must actually break.
+        for site in &predicted {
+            assert!(
+                simulated.contains(site),
+                "site {site} predicted critical but survived"
+            );
+        }
+        // The simulation may break a few extra sites (uncharacterized
+        // ones the measurement excluded), but not wildly more.
+        assert!(
+            simulated.len() <= predicted.len() + ds.sites.len() / 10,
+            "simulated {} vs predicted {}",
+            simulated.len(),
+            predicted.len()
+        );
+    }
+
+    /// CA outage under hard-fail: stapling sites survive, others die —
+    /// behaviorally confirming the paper's criticality definition.
+    #[test]
+    fn ca_outage_spares_stapling_sites() {
+        use webdeps_worldgen::profiles::CaProfile;
+        let world = World::generate(WorldConfig::small(71));
+        // DigiCert's entity also runs its OCSP responders.
+        let result = simulate_outage(&world, &["DigiCert"], true);
+        let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
+        let mut stapled_children = 0;
+        for truth in &world.truth.sites {
+            if truth.ca.ca.as_deref() != Some("DigiCert") {
+                continue;
+            }
+            match truth.ca.state {
+                CaProfile::ThirdStapled => {
+                    assert!(
+                        !affected.contains(&truth.id),
+                        "{} staples and must survive",
+                        truth.domain
+                    );
+                    stapled_children += 1;
+                }
+                CaProfile::ThirdNoStaple => {
+                    assert!(
+                        affected.contains(&truth.id),
+                        "{} does not staple and must fail",
+                        truth.domain
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(stapled_children > 0, "sample must include stapling DigiCert sites");
+    }
+
+    /// The 2016 Mirai-Dyn scenario: killing Dyn also kills Fastly
+    /// customers (Fastly's DNS ran on Dyn exclusively in 2016).
+    #[test]
+    fn dyn_outage_2016_takes_fastly_customers_down() {
+        let world = World::generate(WorldConfig { seed: 71, n_sites: 2_000, year: webdeps_worldgen::SnapshotYear::Y2016 });
+        let result = simulate_outage(&world, &["Dyn"], false);
+        let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
+        let mut fastly_only = 0;
+        for truth in &world.truth.sites {
+            let uses_fastly_only = truth.cdn.cdns == vec!["Fastly".to_string()];
+            let dns_on_dyn = truth.dns.providers.iter().any(|p| p == "Dyn");
+            if uses_fastly_only && !dns_on_dyn && truth.dns.state.is_critical() {
+                // Site's own DNS is fine, but its single CDN rides Dyn.
+                assert!(
+                    affected.contains(&truth.id),
+                    "{} should fall with Fastly→Dyn",
+                    truth.domain
+                );
+                fastly_only += 1;
+            }
+        }
+        assert!(fastly_only > 0, "2016 world must contain Fastly-only sites");
+    }
+}

@@ -1,0 +1,178 @@
+//! TTL-respecting answer cache.
+//!
+//! Caches both positive answers (TTL = minimum TTL across the answer
+//! set, per RFC 2181 §8 practice) and negative answers (TTL = the SOA
+//! `minimum` field, per RFC 2308). Entries are evicted lazily on access
+//! against the caller's simulated clock.
+
+use crate::clock::{SimTime, Ttl};
+use crate::record::RecordType;
+use crate::resolver::{Resolution, ResolveError};
+use std::collections::HashMap;
+use webdeps_model::DomainName;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    stored: SimTime,
+    ttl: Ttl,
+    value: Result<Resolution, ResolveError>,
+}
+
+/// Answer cache keyed by `(name, qtype)`.
+#[derive(Debug, Clone, Default)]
+pub struct DnsCache {
+    entries: HashMap<(DomainName, RecordType), Entry>,
+}
+
+impl DnsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries (including not-yet-evicted stale ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Fetches a fresh entry, evicting it when stale.
+    pub fn get(
+        &mut self,
+        name: &DomainName,
+        qtype: RecordType,
+        now: SimTime,
+    ) -> Option<Result<Resolution, ResolveError>> {
+        let key = (name.clone(), qtype);
+        match self.entries.get(&key) {
+            Some(entry) if now.within_ttl(entry.stored, entry.ttl) => Some(entry.value.clone()),
+            Some(_) => {
+                self.entries.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Stores a positive answer. The effective TTL is the minimum TTL
+    /// across answer and chain records.
+    pub fn put_positive(
+        &mut self,
+        name: DomainName,
+        qtype: RecordType,
+        resolution: Resolution,
+        now: SimTime,
+    ) {
+        let min_ttl = resolution
+            .answers
+            .iter()
+            .chain(resolution.chain.iter())
+            .map(|rr| rr.ttl)
+            .min()
+            .unwrap_or(Ttl::DEFAULT);
+        self.entries
+            .insert((name, qtype), Entry { stored: now, ttl: min_ttl, value: Ok(resolution) });
+    }
+
+    /// Stores a negative answer (NXDOMAIN / NODATA). Panics when handed
+    /// a non-negative error: availability failures must never be cached.
+    pub fn put_negative(
+        &mut self,
+        name: DomainName,
+        qtype: RecordType,
+        error: ResolveError,
+        now: SimTime,
+    ) {
+        let ttl = match &error {
+            ResolveError::NxDomain { soa, .. } | ResolveError::NoData { soa, .. } => {
+                Ttl(soa.minimum)
+            }
+            other => panic!("only negative answers are cacheable, got {other}"),
+        };
+        self.entries.insert((name, qtype), Entry { stored: now, ttl, value: Err(error) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordData, ResourceRecord, Soa};
+    use std::net::Ipv4Addr;
+    use webdeps_model::name::dn;
+
+    fn resolution(ttl: Ttl) -> Resolution {
+        Resolution {
+            qname: dn("example.com"),
+            qtype: RecordType::A,
+            answers: vec![ResourceRecord::with_ttl(
+                dn("example.com"),
+                ttl,
+                RecordData::A(Ipv4Addr::new(192, 0, 2, 1)),
+            )],
+            chain: vec![],
+            authority_zone: dn("example.com"),
+        }
+    }
+
+    #[test]
+    fn positive_entry_honours_min_ttl() {
+        let mut c = DnsCache::new();
+        c.put_positive(dn("example.com"), RecordType::A, resolution(Ttl(60)), SimTime(0));
+        assert!(c.get(&dn("example.com"), RecordType::A, SimTime(59)).is_some());
+        assert!(c.get(&dn("example.com"), RecordType::A, SimTime(60)).is_none());
+        assert!(c.is_empty(), "stale entry must be evicted on access");
+    }
+
+    #[test]
+    fn chain_ttl_participates_in_minimum() {
+        let mut c = DnsCache::new();
+        let mut res = resolution(Ttl(3600));
+        res.chain.push(ResourceRecord::with_ttl(
+            dn("www.example.com"),
+            Ttl(30),
+            RecordData::Cname(dn("example.com")),
+        ));
+        c.put_positive(dn("www.example.com"), RecordType::A, res, SimTime(0));
+        assert!(c.get(&dn("www.example.com"), RecordType::A, SimTime(31)).is_none());
+    }
+
+    #[test]
+    fn negative_entry_uses_soa_minimum() {
+        let mut c = DnsCache::new();
+        let mut soa = Soa::standard(dn("ns1.example.com"), dn("hostmaster.example.com"), 1);
+        soa.minimum = 120;
+        let err = ResolveError::NxDomain { name: dn("nope.example.com"), soa };
+        c.put_negative(dn("nope.example.com"), RecordType::A, err, SimTime(0));
+        match c.get(&dn("nope.example.com"), RecordType::A, SimTime(100)) {
+            Some(Err(ResolveError::NxDomain { .. })) => {}
+            other => panic!("expected cached NXDOMAIN, got {other:?}"),
+        }
+        assert!(c.get(&dn("nope.example.com"), RecordType::A, SimTime(121)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "only negative answers")]
+    fn outage_errors_are_not_cacheable() {
+        let mut c = DnsCache::new();
+        let err =
+            ResolveError::AllServersDown { name: dn("example.com"), zone: dn("example.com") };
+        c.put_negative(dn("example.com"), RecordType::A, err, SimTime(0));
+    }
+
+    #[test]
+    fn distinct_qtypes_are_distinct_keys() {
+        let mut c = DnsCache::new();
+        c.put_positive(dn("example.com"), RecordType::A, resolution(Ttl(60)), SimTime(0));
+        assert!(c.get(&dn("example.com"), RecordType::Ns, SimTime(0)).is_none());
+        assert_eq!(c.len(), 1);
+    }
+}

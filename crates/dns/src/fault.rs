@@ -1,0 +1,103 @@
+//! Fault injection.
+//!
+//! A [`FaultPlan`] declares which parts of the infrastructure are
+//! unavailable during a simulation run: whole operators (the Mirai-Dyn
+//! scenario takes down every server Dyn runs), individual servers, or
+//! individual zones. The resolver consults the plan on every query, so an
+//! outage manifests exactly as it would on the wire: SERVFAIL/timeouts
+//! for names whose entire nameserver set is unreachable, while names with
+//! a surviving provider keep resolving — which is precisely the paper's
+//! notion of redundancy.
+
+use crate::server::ServerId;
+use std::collections::HashSet;
+use webdeps_model::EntityId;
+
+/// Declarative description of what is down.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    down_entities: HashSet<EntityId>,
+    down_servers: HashSet<ServerId>,
+}
+
+impl FaultPlan {
+    /// A plan with nothing failed (the healthy baseline).
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// Takes down every server operated by `entity`.
+    pub fn fail_entity(mut self, entity: EntityId) -> Self {
+        self.down_entities.insert(entity);
+        self
+    }
+
+    /// Takes down a single server.
+    pub fn fail_server(mut self, server: ServerId) -> Self {
+        self.down_servers.insert(server);
+        self
+    }
+
+    /// Restores an entity (useful when replaying incident timelines).
+    pub fn restore_entity(&mut self, entity: EntityId) {
+        self.down_entities.remove(&entity);
+    }
+
+    /// Whether a server with the given operator is reachable.
+    pub fn server_up(&self, server: ServerId, operator: EntityId) -> bool {
+        !self.down_servers.contains(&server) && !self.down_entities.contains(&operator)
+    }
+
+    /// Whether an entity's infrastructure is up (used by non-DNS
+    /// substrates — webservers, OCSP responders — whose availability is
+    /// attributed to their operator).
+    pub fn entity_up(&self, entity: EntityId) -> bool {
+        !self.down_entities.contains(&entity)
+    }
+
+    /// Whether any fault is active at all (fast path for the resolver).
+    pub fn is_healthy(&self) -> bool {
+        self.down_entities.is_empty() && self.down_servers.is_empty()
+    }
+
+    /// Entities currently failed.
+    pub fn failed_entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.down_entities.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plan_keeps_everything_up() {
+        let plan = FaultPlan::healthy();
+        assert!(plan.is_healthy());
+        assert!(plan.server_up(ServerId(0), EntityId(0)));
+    }
+
+    #[test]
+    fn entity_failure_downs_all_its_servers() {
+        let plan = FaultPlan::healthy().fail_entity(EntityId(7));
+        assert!(!plan.server_up(ServerId(0), EntityId(7)));
+        assert!(!plan.server_up(ServerId(1), EntityId(7)));
+        assert!(plan.server_up(ServerId(2), EntityId(8)));
+        assert!(!plan.is_healthy());
+    }
+
+    #[test]
+    fn single_server_failure() {
+        let plan = FaultPlan::healthy().fail_server(ServerId(3));
+        assert!(!plan.server_up(ServerId(3), EntityId(0)));
+        assert!(plan.server_up(ServerId(4), EntityId(0)));
+    }
+
+    #[test]
+    fn restore_entity_brings_it_back() {
+        let mut plan = FaultPlan::healthy().fail_entity(EntityId(1));
+        assert!(!plan.server_up(ServerId(0), EntityId(1)));
+        plan.restore_entity(EntityId(1));
+        assert!(plan.server_up(ServerId(0), EntityId(1)));
+    }
+}

@@ -1,0 +1,217 @@
+//! The assembled DNS universe.
+//!
+//! A [`DnsNetwork`] is the immutable wiring of the simulated Internet's
+//! name system: every authoritative server, every deployed zone, and the
+//! mapping between them. The TLD/root tier is implicit — registries are
+//! assumed reachable (the paper does not study TLD failures) — so
+//! authority for a query is discovered by walking the query name's
+//! ancestor chain through the deployed zones, shallowest first, exactly
+//! like a referral walk that starts at the root.
+
+use crate::server::{AuthoritativeServer, ServerId};
+use crate::zone::Zone;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use webdeps_model::{DomainName, EntityId};
+
+/// A zone plus the servers that answer authoritatively for it.
+#[derive(Debug, Clone)]
+pub struct ZoneDeployment {
+    /// The zone data.
+    pub zone: Zone,
+    /// Servers announcing this zone. Order is preference order.
+    pub servers: Vec<ServerId>,
+}
+
+/// Immutable, fully wired name system.
+#[derive(Debug, Clone, Default)]
+pub struct DnsNetwork {
+    servers: Vec<AuthoritativeServer>,
+    deployments: Vec<ZoneDeployment>,
+    by_origin: HashMap<DomainName, usize>,
+    server_by_hostname: HashMap<DomainName, ServerId>,
+}
+
+impl DnsNetwork {
+    /// Starts a builder.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// Looks up a server.
+    pub fn server(&self, id: ServerId) -> &AuthoritativeServer {
+        &self.servers[id.index()]
+    }
+
+    /// Server by its hostname, when one is registered.
+    pub fn server_by_hostname(&self, hostname: &DomainName) -> Option<&AuthoritativeServer> {
+        self.server_by_hostname.get(hostname).map(|&id| self.server(id))
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[AuthoritativeServer] {
+        &self.servers
+    }
+
+    /// The deployment for an exact zone origin.
+    pub fn deployment(&self, origin: &DomainName) -> Option<&ZoneDeployment> {
+        self.by_origin.get(origin).map(|&i| &self.deployments[i])
+    }
+
+    /// All deployments.
+    pub fn deployments(&self) -> &[ZoneDeployment] {
+        &self.deployments
+    }
+
+    /// The deepest deployed zone whose origin is an ancestor of (or
+    /// equals) `name`.
+    pub fn zone_containing(&self, name: &DomainName) -> Option<&ZoneDeployment> {
+        self.authority_chain(name).pop()
+    }
+
+    /// Every deployed zone on the authority path of `name`, ordered
+    /// shallowest → deepest. Resolution must traverse all of them: if an
+    /// ancestor zone's servers are all down, the referral to the child
+    /// can never be obtained.
+    pub fn authority_chain(&self, name: &DomainName) -> Vec<&ZoneDeployment> {
+        let mut chain = Vec::new();
+        let mut ancestors = Vec::new();
+        let mut cur = Some(name.clone());
+        while let Some(n) = cur {
+            ancestors.push(n.clone());
+            cur = n.parent();
+        }
+        for n in ancestors.into_iter().rev() {
+            if let Some(&i) = self.by_origin.get(&n) {
+                chain.push(&self.deployments[i]);
+            }
+        }
+        chain
+    }
+
+    /// Number of deployed zones.
+    pub fn zone_count(&self) -> usize {
+        self.deployments.len()
+    }
+}
+
+/// Mutable assembly of a [`DnsNetwork`].
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    network: DnsNetwork,
+}
+
+impl NetworkBuilder {
+    /// Registers an authoritative server host. Idempotent per hostname:
+    /// re-registering the same hostname returns the existing id (and
+    /// asserts that operator/ip agree).
+    pub fn add_server(
+        &mut self,
+        hostname: DomainName,
+        ip: Ipv4Addr,
+        operator: EntityId,
+    ) -> ServerId {
+        if let Some(&existing) = self.network.server_by_hostname.get(&hostname) {
+            let s = &self.network.servers[existing.index()];
+            assert_eq!(s.operator, operator, "server {hostname} re-registered to new operator");
+            return existing;
+        }
+        let id = ServerId::from_index(self.network.servers.len());
+        self.network.servers.push(AuthoritativeServer {
+            id,
+            hostname: hostname.clone(),
+            ip,
+            operator,
+        });
+        self.network.server_by_hostname.insert(hostname, id);
+        id
+    }
+
+    /// Deploys a zone onto a set of servers.
+    pub fn add_zone(&mut self, zone: Zone, servers: Vec<ServerId>) {
+        assert!(!servers.is_empty(), "zone {} deployed with no servers", zone.origin());
+        for &s in &servers {
+            assert!(s.index() < self.network.servers.len(), "unknown {s}");
+        }
+        let origin = zone.origin().clone();
+        let idx = self.network.deployments.len();
+        let prev = self.network.by_origin.insert(origin.clone(), idx);
+        assert!(prev.is_none(), "zone {origin} deployed twice");
+        self.network.deployments.push(ZoneDeployment { zone, servers });
+    }
+
+    /// Whether a zone with this origin is already deployed.
+    pub fn has_zone(&self, origin: &DomainName) -> bool {
+        self.network.by_origin.contains_key(origin)
+    }
+
+    /// Mutable access to an already-deployed zone (worldgen wires
+    /// cross-references in several passes).
+    pub fn zone_mut(&mut self, origin: &DomainName) -> Option<&mut Zone> {
+        let idx = *self.network.by_origin.get(origin)?;
+        Some(&mut self.network.deployments[idx].zone)
+    }
+
+    /// Finalizes the network.
+    pub fn build(self) -> DnsNetwork {
+        self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Soa;
+    use webdeps_model::name::dn;
+
+    fn soa(origin: &str) -> Soa {
+        Soa::standard(dn(&format!("ns1.{origin}")), dn(&format!("hostmaster.{origin}")), 1)
+    }
+
+    #[test]
+    fn builder_wires_zones_and_servers() {
+        let mut b = DnsNetwork::builder();
+        let s1 = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let s1_again = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        assert_eq!(s1, s1_again, "server registration is idempotent");
+        b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![s1]);
+        assert!(b.has_zone(&dn("example.com")));
+        let net = b.build();
+        assert_eq!(net.zone_count(), 1);
+        assert_eq!(net.server(s1).hostname, dn("ns1.example.com"));
+        assert!(net.server_by_hostname(&dn("ns1.example.com")).is_some());
+        assert!(net.deployment(&dn("example.com")).is_some());
+        assert!(net.deployment(&dn("other.com")).is_none());
+    }
+
+    #[test]
+    fn authority_chain_orders_shallow_to_deep() {
+        let mut b = DnsNetwork::builder();
+        let s = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![s]);
+        b.add_zone(Zone::new(dn("sub.example.com"), soa("sub.example.com")), vec![s]);
+        let net = b.build();
+        let chain = net.authority_chain(&dn("x.sub.example.com"));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].zone.origin(), &dn("example.com"));
+        assert_eq!(chain[1].zone.origin(), &dn("sub.example.com"));
+        let deepest = net.zone_containing(&dn("x.sub.example.com")).unwrap();
+        assert_eq!(deepest.zone.origin(), &dn("sub.example.com"));
+    }
+
+    #[test]
+    #[should_panic(expected = "deployed twice")]
+    fn duplicate_zone_panics() {
+        let mut b = DnsNetwork::builder();
+        let s = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![s]);
+        b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![s]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no servers")]
+    fn zone_without_servers_panics() {
+        let mut b = DnsNetwork::builder();
+        b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![]);
+    }
+}

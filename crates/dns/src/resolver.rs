@@ -1,0 +1,492 @@
+//! The iterative resolver.
+//!
+//! [`Resolver`] is the client-side engine the measurement pipeline and
+//! the web crawler use for every lookup. It walks the authority chain of
+//! a query name (registry tier → … → deepest deployed zone), requires
+//! every tier to have at least one reachable server under the active
+//! [`FaultPlan`], chases CNAME chains across zones, and caches both
+//! positive and negative answers with TTL semantics.
+
+use crate::cache::DnsCache;
+use crate::clock::SimClock;
+use crate::fault::FaultPlan;
+use crate::network::{DnsNetwork, ZoneDeployment};
+use crate::record::{RecordType, ResourceRecord, Soa};
+use crate::zone::ZoneAnswer;
+use std::fmt;
+use std::net::Ipv4Addr;
+use webdeps_model::DomainName;
+
+/// Maximum CNAME chain length before the resolver gives up (mirrors the
+/// chase limits of production resolvers).
+const MAX_CNAME_HOPS: usize = 8;
+
+/// A successful resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The name originally queried.
+    pub qname: DomainName,
+    /// The type originally queried.
+    pub qtype: RecordType,
+    /// Final answer records (of type `qtype`, owned by the last name in
+    /// the chain).
+    pub answers: Vec<ResourceRecord>,
+    /// CNAME records traversed, in traversal order (empty when the name
+    /// answered directly).
+    pub chain: Vec<ResourceRecord>,
+    /// Origin of the zone that produced the final answer.
+    pub authority_zone: DomainName,
+}
+
+impl Resolution {
+    /// The canonical (final) name after CNAME chasing.
+    pub fn canonical_name(&self) -> &DomainName {
+        self.chain
+            .last()
+            .and_then(|rr| rr.data.as_cname())
+            .unwrap_or(&self.qname)
+    }
+
+    /// All addresses in the answer (for A queries).
+    pub fn addresses(&self) -> Vec<Ipv4Addr> {
+        self.answers.iter().filter_map(|rr| rr.data.as_a()).collect()
+    }
+
+    /// All CNAME targets traversed, in order.
+    pub fn cname_targets(&self) -> Vec<DomainName> {
+        self.chain.iter().filter_map(|rr| rr.data.as_cname().cloned()).collect()
+    }
+}
+
+/// Resolution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No deployed zone is authoritative for the name.
+    UnknownZone {
+        /// The unresolvable name.
+        name: DomainName,
+    },
+    /// Every server of a zone on the authority path is down — the
+    /// on-the-wire signature of a provider outage (timeouts/SERVFAIL).
+    AllServersDown {
+        /// The name being resolved when the outage was hit.
+        name: DomainName,
+        /// Origin of the unreachable zone.
+        zone: DomainName,
+    },
+    /// A referral pointed at a zone that is not deployed anywhere.
+    LameDelegation {
+        /// The zone cut that is lame.
+        cut: DomainName,
+    },
+    /// The name does not exist (authoritative denial).
+    NxDomain {
+        /// The denied name.
+        name: DomainName,
+        /// SOA of the denying zone (negative-caching scope).
+        soa: Soa,
+    },
+    /// The name exists but has no records of the queried type.
+    NoData {
+        /// The queried name.
+        name: DomainName,
+        /// SOA of the answering zone.
+        soa: Soa,
+    },
+    /// A CNAME loop or over-long chain was detected.
+    ChainTooLong {
+        /// The name whose chain exceeded the limit.
+        name: DomainName,
+    },
+}
+
+impl ResolveError {
+    /// Whether this is a *negative* authoritative answer (cacheable),
+    /// as opposed to an availability failure.
+    pub fn is_negative_answer(&self) -> bool {
+        matches!(self, ResolveError::NxDomain { .. } | ResolveError::NoData { .. })
+    }
+
+    /// Whether this failure is caused by unavailability (outage-shaped),
+    /// i.e. the resolution *would* succeed on healthy infrastructure.
+    pub fn is_outage(&self) -> bool {
+        matches!(self, ResolveError::AllServersDown { .. })
+    }
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::UnknownZone { name } => write!(f, "no authority known for {name}"),
+            ResolveError::AllServersDown { name, zone } => {
+                write!(f, "all servers for zone {zone} down while resolving {name}")
+            }
+            ResolveError::LameDelegation { cut } => write!(f, "lame delegation at {cut}"),
+            ResolveError::NxDomain { name, .. } => write!(f, "NXDOMAIN for {name}"),
+            ResolveError::NoData { name, .. } => write!(f, "NODATA for {name}"),
+            ResolveError::ChainTooLong { name } => write!(f, "CNAME chain too long at {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Counters exposed for benchmarking and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Authoritative queries sent (one per zone tier contacted).
+    pub queries_sent: u64,
+    /// Lookups answered from cache.
+    pub cache_hits: u64,
+    /// Successful resolutions.
+    pub successes: u64,
+    /// Failed resolutions (including negative answers).
+    pub failures: u64,
+}
+
+/// Iterative, caching resolver bound to a [`DnsNetwork`].
+#[derive(Debug, Clone)]
+pub struct Resolver<'n> {
+    network: &'n DnsNetwork,
+    clock: SimClock,
+    cache: DnsCache,
+    faults: FaultPlan,
+    stats: ResolverStats,
+    caching_enabled: bool,
+}
+
+impl<'n> Resolver<'n> {
+    /// A resolver with healthy infrastructure and caching enabled.
+    pub fn new(network: &'n DnsNetwork) -> Self {
+        Resolver {
+            network,
+            clock: SimClock::new(),
+            cache: DnsCache::new(),
+            faults: FaultPlan::healthy(),
+            stats: ResolverStats::default(),
+            caching_enabled: true,
+        }
+    }
+
+    /// Replaces the active fault plan (outage what-ifs). The cache is
+    /// *not* flushed: cached answers outliving an outage is exactly the
+    /// behavior the paper discusses around the GlobalSign incident.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The active fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Disables the answer cache (every lookup hits authority).
+    pub fn disable_cache(&mut self) {
+        self.caching_enabled = false;
+        self.cache.clear();
+    }
+
+    /// Flushes all cached answers.
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The simulated clock (read-only).
+    pub fn now(&self) -> crate::clock::SimTime {
+        self.clock.now()
+    }
+
+    /// Advances simulated time (expires cache entries naturally).
+    pub fn advance_time(&mut self, secs: u64) {
+        self.clock.advance(secs);
+    }
+
+    /// Resolver statistics so far.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// The network this resolver queries.
+    pub fn network(&self) -> &'n DnsNetwork {
+        self.network
+    }
+
+    /// Whether a deployment has at least one reachable server.
+    fn deployment_reachable(&self, dep: &ZoneDeployment) -> bool {
+        dep.servers.iter().any(|&sid| {
+            let server = self.network.server(sid);
+            self.faults.server_up(sid, server.operator)
+        })
+    }
+
+    /// Full iterative resolution of `(qname, qtype)`.
+    pub fn resolve(
+        &mut self,
+        qname: &DomainName,
+        qtype: RecordType,
+    ) -> Result<Resolution, ResolveError> {
+        if self.caching_enabled {
+            if let Some(cached) = self.cache.get(qname, qtype, self.clock.now()) {
+                self.stats.cache_hits += 1;
+                return cached;
+            }
+        }
+        let result = self.resolve_uncached(qname, qtype);
+        match &result {
+            Ok(res) => {
+                self.stats.successes += 1;
+                if self.caching_enabled {
+                    self.cache.put_positive(qname.clone(), qtype, res.clone(), self.clock.now());
+                }
+            }
+            Err(err) => {
+                self.stats.failures += 1;
+                if self.caching_enabled && err.is_negative_answer() {
+                    self.cache.put_negative(qname.clone(), qtype, err.clone(), self.clock.now());
+                }
+            }
+        }
+        result
+    }
+
+    fn resolve_uncached(
+        &mut self,
+        qname: &DomainName,
+        qtype: RecordType,
+    ) -> Result<Resolution, ResolveError> {
+        let mut current = qname.clone();
+        let mut chain: Vec<ResourceRecord> = Vec::new();
+
+        for _hop in 0..=MAX_CNAME_HOPS {
+            let tiers = self.network.authority_chain(&current);
+            if tiers.is_empty() {
+                return Err(ResolveError::UnknownZone { name: current });
+            }
+            // Every tier on the authority path must be reachable: a dead
+            // parent zone denies the referral to its children.
+            for dep in &tiers {
+                self.stats.queries_sent += 1;
+                if !self.deployment_reachable(dep) {
+                    return Err(ResolveError::AllServersDown {
+                        name: current,
+                        zone: dep.zone.origin().clone(),
+                    });
+                }
+            }
+            let deepest = tiers.last().expect("non-empty checked above");
+            match deepest.zone.lookup(&current, qtype) {
+                ZoneAnswer::Answer(answers) => {
+                    return Ok(Resolution {
+                        qname: qname.clone(),
+                        qtype,
+                        answers,
+                        chain,
+                        authority_zone: deepest.zone.origin().clone(),
+                    });
+                }
+                ZoneAnswer::CnameRedirect { record, target } => {
+                    // Loop detection: a repeated target means a cycle.
+                    if target == *qname
+                        || chain.iter().any(|rr| rr.data.as_cname() == Some(&target))
+                    {
+                        return Err(ResolveError::ChainTooLong { name: target });
+                    }
+                    chain.push(record);
+                    current = target;
+                }
+                ZoneAnswer::Referral { cut, .. } => {
+                    // authority_chain already found the deepest deployed
+                    // zone, so a referral here means the child zone is
+                    // not deployed anywhere.
+                    return Err(ResolveError::LameDelegation { cut });
+                }
+                ZoneAnswer::NoData { soa } => {
+                    return Err(ResolveError::NoData { name: current, soa });
+                }
+                ZoneAnswer::NxDomain { soa } => {
+                    return Err(ResolveError::NxDomain { name: current, soa });
+                }
+                ZoneAnswer::OutOfZone => {
+                    return Err(ResolveError::LameDelegation { cut: current });
+                }
+            }
+        }
+        Err(ResolveError::ChainTooLong { name: current })
+    }
+
+    /// Resolves a hostname to addresses, chasing CNAMEs.
+    pub fn resolve_addresses(&mut self, host: &DomainName) -> Result<Vec<Ipv4Addr>, ResolveError> {
+        self.resolve(host, RecordType::A).map(|r| r.addresses())
+    }
+
+    /// Whether the host currently resolves to at least one address.
+    pub fn is_resolvable(&mut self, host: &DomainName) -> bool {
+        matches!(self.resolve_addresses(host), Ok(addrs) if !addrs.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordData, Soa};
+    use crate::zone::Zone;
+    use webdeps_model::name::dn;
+    use webdeps_model::EntityId;
+
+    /// Two-provider world: example.com served by both a private server
+    /// and a Dyn-like provider; www points via CNAME to a CDN host in a
+    /// different zone.
+    fn build_network() -> DnsNetwork {
+        let mut b = DnsNetwork::builder();
+        let pvt = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let dyn1 = b.add_server(dn("ns1.dyn-like.net"), Ipv4Addr::new(198, 51, 100, 1), EntityId(1));
+        let cdn = b.add_server(dn("ns1.cdnco.net"), Ipv4Addr::new(203, 0, 113, 1), EntityId(2));
+
+        let mut site = Zone::new(
+            dn("example.com"),
+            Soa::standard(dn("ns1.example.com"), dn("hostmaster.example.com"), 1),
+        );
+        site.add(dn("example.com"), RecordData::Ns(dn("ns1.example.com")));
+        site.add(dn("example.com"), RecordData::Ns(dn("ns1.dyn-like.net")));
+        site.add(dn("example.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 80)));
+        site.add(dn("www.example.com"), RecordData::Cname(dn("cust-1.cdnco.net")));
+        b.add_zone(site, vec![pvt, dyn1]);
+
+        let mut cdnzone = Zone::new(
+            dn("cdnco.net"),
+            Soa::standard(dn("ns1.cdnco.net"), dn("ops.cdnco.net"), 1),
+        );
+        cdnzone.add(dn("cdnco.net"), RecordData::Ns(dn("ns1.cdnco.net")));
+        cdnzone.add(dn("cust-1.cdnco.net"), RecordData::A(Ipv4Addr::new(203, 0, 113, 80)));
+        b.add_zone(cdnzone, vec![cdn]);
+
+        b.build()
+    }
+
+    #[test]
+    fn resolves_direct_a_record() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        let res = r.resolve(&dn("example.com"), RecordType::A).unwrap();
+        assert_eq!(res.addresses(), vec![Ipv4Addr::new(192, 0, 2, 80)]);
+        assert_eq!(res.authority_zone, dn("example.com"));
+        assert!(res.chain.is_empty());
+        assert_eq!(res.canonical_name(), &dn("example.com"));
+    }
+
+    #[test]
+    fn chases_cname_across_zones() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        let res = r.resolve(&dn("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.addresses(), vec![Ipv4Addr::new(203, 0, 113, 80)]);
+        assert_eq!(res.cname_targets(), vec![dn("cust-1.cdnco.net")]);
+        assert_eq!(res.canonical_name(), &dn("cust-1.cdnco.net"));
+        assert_eq!(res.authority_zone, dn("cdnco.net"));
+    }
+
+    #[test]
+    fn negative_answers() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        assert!(matches!(
+            r.resolve(&dn("missing.example.com"), RecordType::A),
+            Err(ResolveError::NxDomain { .. })
+        ));
+        assert!(matches!(
+            r.resolve(&dn("example.com"), RecordType::Txt),
+            Err(ResolveError::NoData { .. })
+        ));
+        assert!(matches!(
+            r.resolve(&dn("unknown-zone.zz"), RecordType::A),
+            Err(ResolveError::UnknownZone { .. })
+        ));
+    }
+
+    #[test]
+    fn redundancy_survives_single_provider_outage() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        r.set_faults(FaultPlan::healthy().fail_entity(EntityId(1))); // Dyn-like down
+        // example.com still resolves via its private server.
+        assert!(r.is_resolvable(&dn("example.com")));
+    }
+
+    #[test]
+    fn total_outage_fails_resolution() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        r.set_faults(FaultPlan::healthy().fail_entity(EntityId(0)).fail_entity(EntityId(1)));
+        let err = r.resolve(&dn("example.com"), RecordType::A).unwrap_err();
+        assert!(err.is_outage(), "expected outage, got {err}");
+        assert!(matches!(err, ResolveError::AllServersDown { ref zone, .. } if *zone == dn("example.com")));
+    }
+
+    #[test]
+    fn cdn_outage_breaks_cname_tail_only() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        r.set_faults(FaultPlan::healthy().fail_entity(EntityId(2))); // CDN down
+        assert!(r.is_resolvable(&dn("example.com")), "apex unaffected");
+        let err = r.resolve(&dn("www.example.com"), RecordType::A).unwrap_err();
+        assert!(matches!(err, ResolveError::AllServersDown { ref zone, .. } if *zone == dn("cdnco.net")));
+    }
+
+    #[test]
+    fn cache_serves_through_outage_until_ttl_expiry() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        assert!(r.is_resolvable(&dn("example.com")));
+        let hits_before = r.stats().cache_hits;
+        // Take everything down; the cached answer must survive…
+        r.set_faults(FaultPlan::healthy().fail_entity(EntityId(0)).fail_entity(EntityId(1)));
+        assert!(r.is_resolvable(&dn("example.com")), "cached answer should persist");
+        assert_eq!(r.stats().cache_hits, hits_before + 1);
+        // …until the TTL (default 3600 s) lapses.
+        r.advance_time(3_601);
+        assert!(!r.is_resolvable(&dn("example.com")), "expired cache must re-query");
+    }
+
+    #[test]
+    fn disabled_cache_requeries_every_time() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        r.disable_cache();
+        r.resolve(&dn("example.com"), RecordType::A).unwrap();
+        let q1 = r.stats().queries_sent;
+        r.resolve(&dn("example.com"), RecordType::A).unwrap();
+        assert!(r.stats().queries_sent > q1);
+        assert_eq!(r.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn stats_track_successes_and_failures() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        r.resolve(&dn("example.com"), RecordType::A).unwrap();
+        let _ = r.resolve(&dn("missing.example.com"), RecordType::A);
+        let s = r.stats();
+        assert_eq!(s.successes, 1);
+        assert_eq!(s.failures, 1);
+        assert!(s.queries_sent >= 2);
+    }
+
+    #[test]
+    fn cname_loop_detected() {
+        let mut b = DnsNetwork::builder();
+        let s = b.add_server(dn("ns1.loopy.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let mut z = Zone::new(
+            dn("loopy.com"),
+            Soa::standard(dn("ns1.loopy.com"), dn("hostmaster.loopy.com"), 1),
+        );
+        z.add(dn("a.loopy.com"), RecordData::Cname(dn("b.loopy.com")));
+        z.add(dn("b.loopy.com"), RecordData::Cname(dn("a.loopy.com")));
+        b.add_zone(z, vec![s]);
+        let net = b.build();
+        let mut r = Resolver::new(&net);
+        assert!(matches!(
+            r.resolve(&dn("a.loopy.com"), RecordType::A),
+            Err(ResolveError::ChainTooLong { .. })
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! Authoritative nameserver hosts.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use webdeps_model::{DomainName, EntityId};
+
+/// Dense identifier of an authoritative server in a [`crate::DnsNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// From raw index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ServerId(i as u32)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ns-server#{}", self.0)
+    }
+}
+
+/// One authoritative nameserver host.
+///
+/// The `operator` is the organizational entity whose outage takes this
+/// server down — the pivot of every Mirai-Dyn-style what-if. A website
+/// using `ns1.dynect.net` depends on the server's *operator* (Dyn), not
+/// on the hostname.
+#[derive(Debug, Clone)]
+pub struct AuthoritativeServer {
+    /// Identifier within the network.
+    pub id: ServerId,
+    /// The server's own hostname (e.g. `ns1.dynect.net`).
+    pub hostname: DomainName,
+    /// The server's address (used for glue records).
+    pub ip: Ipv4Addr,
+    /// Operating organization.
+    pub operator: EntityId,
+}
+
+impl fmt::Display for AuthoritativeServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} @ {})", self.id, self.hostname, self.ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_model::name::dn;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let id = ServerId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "ns-server#3");
+        let s = AuthoritativeServer {
+            id,
+            hostname: dn("ns1.dynect.net"),
+            ip: Ipv4Addr::new(198, 51, 100, 1),
+            operator: EntityId(9),
+        };
+        assert!(s.to_string().contains("ns1.dynect.net"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Website → CA measurement (§3.2).
+//!
+//! Extracts OCSP responder and CRL-distribution hosts from the crawled
+//! certificate, classifies the CA as private or third-party with the
+//! combined heuristic (TLD → SAN → SOA), and records OCSP-stapling
+//! support — the paper's criterion for *not* being critically dependent
+//! on the CA.
+
+use crate::classify::{classify, Classification, ClassifierKind, Evidence};
+use crate::dataset::{ProviderKey, SiteCaMeasurement};
+use webdeps_dns::{Dig, Resolver};
+use webdeps_model::{DomainName, PublicSuffixList};
+use webdeps_web::CrawlReport;
+use webdeps_worldgen::profiles::CaProfile;
+
+/// Classifies a crawled site's CA dependency.
+pub fn classify_site(
+    report: &CrawlReport,
+    resolver: &mut Resolver<'_>,
+    psl: &PublicSuffixList,
+) -> SiteCaMeasurement {
+    let Some(cert) = &report.certificate else {
+        return SiteCaMeasurement {
+            https: false,
+            state: Some(CaProfile::NoHttps),
+            ..SiteCaMeasurement::default()
+        };
+    };
+
+    let ocsp_hosts: Vec<DomainName> = cert.ocsp_urls.iter().map(|e| e.host.clone()).collect();
+    let crl_hosts: Vec<DomainName> = cert.crl_dps.iter().map(|e| e.host.clone()).collect();
+    let stapled = report.ocsp_stapled();
+
+    // The CA's identity and classification come from its revocation
+    // endpoints (the paper's `ca_url`).
+    let Some(ca_host) = ocsp_hosts.first().or_else(|| crl_hosts.first()) else {
+        // No revocation endpoints at all: HTTPS without a checkable CA.
+        return SiteCaMeasurement {
+            https: true,
+            ocsp_hosts,
+            crl_hosts,
+            ca: None,
+            stapled,
+            state: None,
+        };
+    };
+
+    let mut dig = Dig::new(resolver);
+    let site_soa = dig.soa_of(&report.site).ok();
+    let ca_soa = dig.soa_of(ca_host).ok();
+    let ev = Evidence {
+        site: &report.site,
+        candidate: ca_host,
+        san: Some(&cert.san),
+        site_soa: site_soa.as_ref(),
+        candidate_soa: ca_soa.as_ref(),
+        concentration: None,
+        threshold: usize::MAX,
+    };
+    let class = classify(ClassifierKind::Combined, &ev, psl);
+    let key = psl
+        .registrable_domain(ca_host)
+        .map(|d| ProviderKey::new(d.as_str().to_string()))
+        .unwrap_or_else(|| ProviderKey::new(ca_host.as_str().to_string()));
+
+    let state = match class {
+        Classification::Private => Some(CaProfile::PrivateCa),
+        Classification::ThirdParty => Some(if stapled {
+            CaProfile::ThirdStapled
+        } else {
+            CaProfile::ThirdNoStaple
+        }),
+        Classification::Unknown => None,
+    };
+
+    SiteCaMeasurement {
+        https: true,
+        ocsp_hosts,
+        crl_hosts,
+        ca: Some((key, class)),
+        stapled,
+        state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_worldgen::{World, WorldConfig};
+    use webdeps_web::Crawler;
+
+    fn crawl_one(world: &World, idx: usize) -> (CrawlReport, SiteCaMeasurement) {
+        let listing = &world.listings()[idx];
+        let mut client = world.client();
+        let report =
+            Crawler::crawl(&mut client, &listing.domain, &listing.document_hosts, listing.https);
+        let mut resolver = world.resolver();
+        let m = classify_site(&report, &mut resolver, &world.psl);
+        (report, m)
+    }
+
+    #[test]
+    fn http_site_has_no_ca_dependency() {
+        let world = World::generate(WorldConfig::small(91));
+        let idx = world
+            .listings()
+            .iter()
+            .position(|l| !l.https)
+            .expect("world contains HTTP sites");
+        let (_, m) = crawl_one(&world, idx);
+        assert!(!m.https);
+        assert_eq!(m.state, Some(CaProfile::NoHttps));
+        assert!(m.ca.is_none());
+    }
+
+    #[test]
+    fn third_party_ca_detected_with_stapling_state() {
+        let world = World::generate(WorldConfig::small(91));
+        let mut found_stapled = false;
+        let mut found_nostaple = false;
+        for (i, l) in world.listings().iter().enumerate().take(300) {
+            if !l.https {
+                continue;
+            }
+            let truth = world.site(l.id);
+            let (_, m) = crawl_one(&world, i);
+            match truth.ca.state {
+                CaProfile::ThirdStapled => {
+                    if m.state == Some(CaProfile::ThirdStapled) {
+                        found_stapled = true;
+                    }
+                }
+                CaProfile::ThirdNoStaple => {
+                    if m.state == Some(CaProfile::ThirdNoStaple) {
+                        found_nostaple = true;
+                    }
+                }
+                _ => {}
+            }
+            if found_stapled && found_nostaple {
+                break;
+            }
+        }
+        assert!(found_stapled && found_nostaple);
+    }
+
+    #[test]
+    fn ca_key_is_its_registrable_domain() {
+        let world = World::generate(WorldConfig::small(91));
+        for (i, l) in world.listings().iter().enumerate().take(120) {
+            if !l.https {
+                continue;
+            }
+            let truth = world.site(l.id);
+            if truth.ca.ca.as_deref() == Some("DigiCert") {
+                let (_, m) = crawl_one(&world, i);
+                let (key, class) = m.ca.expect("CA observed");
+                assert_eq!(key.as_str(), "digicert.com");
+                assert_eq!(class, Classification::ThirdParty);
+                return;
+            }
+        }
+        panic!("no DigiCert site in sample");
+    }
+}

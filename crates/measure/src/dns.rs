@@ -1,0 +1,364 @@
+//! Website → DNS measurement (§3.1).
+//!
+//! Two passes. Pass one runs `dig NS` for every site and counts how many
+//! sites each nameserver registrable-domain serves — the input to the
+//! combined heuristic's concentration rule. Pass two gathers SOA and SAN
+//! evidence per (site, nameserver) pair, classifies with the combined
+//! heuristic, and merges nameservers into operator entities (same
+//! registrable domain ∨ same SOA MNAME ∨ same SOA RNAME) to measure
+//! redundancy.
+
+use crate::classify::{classify, soa_same_authority, Classification, ClassifierKind, Evidence};
+use crate::dataset::{NsGroup, NsPair, ProviderKey, SiteDnsMeasurement};
+use std::collections::HashMap;
+use webdeps_dns::{Dig, Resolver, Soa};
+use webdeps_model::{DomainName, PublicSuffixList};
+use webdeps_worldgen::profiles::DepState;
+
+/// Per-site raw inputs collected before classification.
+#[derive(Debug, Clone)]
+pub struct DnsObservation {
+    /// The site's registrable domain.
+    pub site: DomainName,
+    /// Advertised nameserver hosts (`dig NS`).
+    pub ns_hosts: Vec<DomainName>,
+    /// SOA of the site's zone.
+    pub site_soa: Option<Soa>,
+    /// SOA per nameserver host.
+    pub ns_soas: Vec<Option<Soa>>,
+}
+
+/// Pass one: collect NS sets and SOAs for a site.
+pub fn observe_site(resolver: &mut Resolver<'_>, site: &DomainName) -> Option<DnsObservation> {
+    let mut dig = Dig::new(resolver);
+    let ns_hosts = dig.ns(site).ok()?;
+    if ns_hosts.is_empty() {
+        return None;
+    }
+    let site_soa = dig.soa_of(site).ok();
+    let ns_soas = ns_hosts.iter().map(|h| dig.soa_of(h).ok()).collect();
+    Some(DnsObservation { site: site.clone(), ns_hosts, site_soa, ns_soas })
+}
+
+/// Dataset-wide nameserver concentration: how many sites each
+/// nameserver registrable-domain serves.
+pub fn ns_concentration(
+    observations: &[Option<DnsObservation>],
+    psl: &PublicSuffixList,
+) -> HashMap<DomainName, usize> {
+    let mut counts: HashMap<DomainName, usize> = HashMap::new();
+    for obs in observations.iter().flatten() {
+        let mut seen: Vec<DomainName> = Vec::new();
+        for host in &obs.ns_hosts {
+            if let Some(reg) = psl.registrable_domain(host) {
+                if !seen.contains(&reg) {
+                    seen.push(reg);
+                }
+            }
+        }
+        for reg in seen {
+            *counts.entry(reg).or_default() += 1;
+        }
+    }
+    counts
+}
+
+/// How nameservers are merged into operator entities when measuring
+/// redundancy (§3.1 "Measuring Redundancy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupingStrategy {
+    /// The paper's rule: same registrable domain ∨ same SOA MNAME ∨
+    /// same SOA RNAME.
+    #[default]
+    TldAndSoa,
+    /// Ablation baseline: registrable-domain match only — overcounts
+    /// redundancy for multi-domain operators (the Alibaba
+    /// `alibabadns.com` / `alicdn-dns.com` case).
+    TldOnly,
+}
+
+/// Pass two: classify one site's pairs and derive its dependency state
+/// with the paper's grouping rule.
+pub fn classify_site(
+    obs: &DnsObservation,
+    san: Option<&[DomainName]>,
+    concentration: &HashMap<DomainName, usize>,
+    threshold: usize,
+    psl: &PublicSuffixList,
+) -> SiteDnsMeasurement {
+    classify_site_with_grouping(obs, san, concentration, threshold, psl, GroupingStrategy::TldAndSoa)
+}
+
+/// [`classify_site`] with a selectable grouping strategy (ablations).
+pub fn classify_site_with_grouping(
+    obs: &DnsObservation,
+    san: Option<&[DomainName]>,
+    concentration: &HashMap<DomainName, usize>,
+    threshold: usize,
+    psl: &PublicSuffixList,
+    grouping: GroupingStrategy,
+) -> SiteDnsMeasurement {
+    // Classify each (site, ns) pair with the combined heuristic.
+    let classes: Vec<Classification> = obs
+        .ns_hosts
+        .iter()
+        .zip(&obs.ns_soas)
+        .map(|(host, ns_soa)| {
+            let conc = psl
+                .registrable_domain(host)
+                .and_then(|reg| concentration.get(&reg).copied())
+                .unwrap_or(0);
+            let ev = Evidence {
+                site: &obs.site,
+                candidate: host,
+                san,
+                site_soa: obs.site_soa.as_ref(),
+                candidate_soa: ns_soa.as_ref(),
+                concentration: Some(conc),
+                threshold,
+            };
+            classify(ClassifierKind::Combined, &ev, psl)
+        })
+        .collect();
+
+    // Entity grouping (union-find over TLD / SOA-MNAME / SOA-RNAME).
+    let n = obs.ns_hosts.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_reg = psl.same_registrable_domain(&obs.ns_hosts[i], &obs.ns_hosts[j]);
+            let same_soa = grouping == GroupingStrategy::TldAndSoa
+                && match (&obs.ns_soas[i], &obs.ns_soas[j]) {
+                    (Some(a), Some(b)) => soa_same_authority(a, b, psl),
+                    _ => false,
+                };
+            if same_reg || same_soa {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[rj] = ri;
+                }
+            }
+        }
+    }
+
+    // Build groups with merged classifications.
+    let mut group_index: HashMap<usize, usize> = HashMap::new();
+    let mut groups: Vec<NsGroup> = Vec::new();
+    let mut pairs: Vec<NsPair> = Vec::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let gi = *group_index.entry(root).or_insert_with(|| {
+            groups.push(NsGroup {
+                key: ProviderKey::new(String::new()),
+                class: Classification::Unknown,
+            });
+            groups.len() - 1
+        });
+        // Group key: lexicographically smallest registrable domain.
+        let reg = psl
+            .registrable_domain(&obs.ns_hosts[i])
+            .map(|d| d.as_str().to_string())
+            .unwrap_or_else(|| obs.ns_hosts[i].as_str().to_string());
+        if groups[gi].key.as_str().is_empty() || reg < groups[gi].key.0 {
+            groups[gi].key = ProviderKey::new(reg);
+        }
+        // Merged class: Private dominates (any in-group private evidence
+        // identifies the operator), then ThirdParty, then Unknown.
+        groups[gi].class = match (groups[gi].class, classes[i]) {
+            (Classification::Private, _) | (_, Classification::Private) => Classification::Private,
+            (Classification::ThirdParty, _) | (_, Classification::ThirdParty) => {
+                Classification::ThirdParty
+            }
+            _ => Classification::Unknown,
+        };
+        pairs.push(NsPair { host: obs.ns_hosts[i].clone(), class: classes[i], group: gi });
+    }
+
+    // Derive the state. Any unknown group leaves the site
+    // uncharacterized (the paper conservatively excludes them).
+    let state = if groups.iter().any(|g| g.class == Classification::Unknown) {
+        None
+    } else {
+        let third = groups.iter().filter(|g| g.class == Classification::ThirdParty).count();
+        let private = groups.iter().any(|g| g.class == Classification::Private);
+        Some(match (third, private) {
+            (0, _) => DepState::Private,
+            (1, false) => DepState::SingleThird,
+            (1, true) => DepState::PrivatePlusThird,
+            (_, _) => DepState::MultiThird,
+        })
+    };
+
+    SiteDnsMeasurement { pairs, groups, state }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_model::name::dn;
+
+    fn soa(admin: &str) -> Soa {
+        Soa::standard(dn(&format!("ns1.{admin}")), dn(&format!("hostmaster.{admin}")), 1)
+    }
+
+    fn obs(site: &str, ns: &[(&str, &str)], site_admin: &str) -> DnsObservation {
+        DnsObservation {
+            site: dn(site),
+            ns_hosts: ns.iter().map(|(h, _)| dn(h)).collect(),
+            site_soa: Some(soa(site_admin)),
+            ns_soas: ns.iter().map(|(_, a)| Some(soa(a))).collect(),
+        }
+    }
+
+    fn empty_conc() -> HashMap<DomainName, usize> {
+        HashMap::new()
+    }
+
+    #[test]
+    fn private_site_classified_private() {
+        let psl = PublicSuffixList::builtin();
+        let o = obs(
+            "example.com",
+            &[("ns1.example.com", "example.com"), ("ns2.example.com", "example.com")],
+            "example.com",
+        );
+        let m = classify_site(&o, None, &empty_conc(), 50, &psl);
+        assert_eq!(m.state, Some(DepState::Private));
+        assert_eq!(m.groups.len(), 1);
+    }
+
+    #[test]
+    fn single_third_party_detected_by_soa_mismatch() {
+        let psl = PublicSuffixList::builtin();
+        let o = obs(
+            "example.com",
+            &[("ns1.dynect.net", "dynect.net"), ("ns2.dynect.net", "dynect.net")],
+            "example.com",
+        );
+        let m = classify_site(&o, None, &empty_conc(), 50, &psl);
+        assert_eq!(m.state, Some(DepState::SingleThird));
+        assert_eq!(m.groups[0].key.as_str(), "dynect.net");
+    }
+
+    #[test]
+    fn provider_managed_soa_needs_concentration() {
+        let psl = PublicSuffixList::builtin();
+        // Site SOA is provider-managed → SOA rule can't fire.
+        let o = obs(
+            "example.com",
+            &[("ns1.bigdns.net", "bigdns.net")],
+            "bigdns.net",
+        );
+        let mut conc = empty_conc();
+        let m = classify_site(&o, None, &conc, 50, &psl);
+        assert_eq!(m.state, None, "small provider-managed → uncharacterized");
+        conc.insert(dn("bigdns.net"), 500);
+        let m = classify_site(&o, None, &conc, 50, &psl);
+        assert_eq!(m.state, Some(DepState::SingleThird));
+    }
+
+    #[test]
+    fn multi_provider_redundancy_detected() {
+        let psl = PublicSuffixList::builtin();
+        let o = obs(
+            "example.com",
+            &[("ns1.dynect.net", "dynect.net"), ("ns1.ultradns.net", "ultradns.net")],
+            "example.com",
+        );
+        let m = classify_site(&o, None, &empty_conc(), 50, &psl);
+        assert_eq!(m.state, Some(DepState::MultiThird));
+        assert_eq!(m.groups.len(), 2);
+    }
+
+    #[test]
+    fn tld_only_grouping_overcounts_redundancy() {
+        // The ablation DESIGN.md calls out: without SOA grouping, the
+        // Alibaba two-domain setup is miscounted as redundant.
+        let psl = PublicSuffixList::builtin();
+        let o = DnsObservation {
+            site: dn("example.com"),
+            ns_hosts: vec![dn("ns1.alibabadns.com"), dn("ns1.alicdn-dns.com")],
+            site_soa: Some(soa("example.com")),
+            ns_soas: vec![
+                Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 1)),
+                Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 2)),
+            ],
+        };
+        let full = classify_site_with_grouping(
+            &o, None, &empty_conc(), 50, &psl, GroupingStrategy::TldAndSoa,
+        );
+        assert_eq!(full.state, Some(DepState::SingleThird), "truth: one operator");
+        let tld_only = classify_site_with_grouping(
+            &o, None, &empty_conc(), 50, &psl, GroupingStrategy::TldOnly,
+        );
+        assert_eq!(
+            tld_only.state,
+            Some(DepState::MultiThird),
+            "TLD-only grouping fabricates redundancy"
+        );
+    }
+
+    #[test]
+    fn alibaba_alias_domains_are_one_entity() {
+        let psl = PublicSuffixList::builtin();
+        // Two TLDs, same SOA MNAME → one group → *not* redundant.
+        let o = DnsObservation {
+            site: dn("example.com"),
+            ns_hosts: vec![dn("ns1.alibabadns.com"), dn("ns1.alicdn-dns.com")],
+            site_soa: Some(soa("example.com")),
+            ns_soas: vec![
+                Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 1)),
+                Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 2)),
+            ],
+        };
+        let m = classify_site(&o, None, &empty_conc(), 50, &psl);
+        assert_eq!(m.groups.len(), 1, "same MNAME must merge");
+        assert_eq!(m.state, Some(DepState::SingleThird));
+        assert_eq!(m.groups[0].key.as_str(), "alibabadns.com");
+    }
+
+    #[test]
+    fn private_plus_third_is_redundant() {
+        let psl = PublicSuffixList::builtin();
+        let o = obs(
+            "example.com",
+            &[("ns1.example.com", "example.com"), ("ns1.dynect.net", "dynect.net")],
+            "example.com",
+        );
+        let m = classify_site(&o, None, &empty_conc(), 50, &psl);
+        assert_eq!(m.state, Some(DepState::PrivatePlusThird));
+    }
+
+    #[test]
+    fn san_rescues_alias_ns() {
+        let psl = PublicSuffixList::builtin();
+        let o = obs(
+            "ytube.com",
+            &[("ns1.googol.com", "googol.com"), ("ns2.googol.com", "googol.com")],
+            "googol.com",
+        );
+        let san = vec![dn("ytube.com"), dn("*.googol.com")];
+        let m = classify_site(&o, Some(&san), &empty_conc(), 50, &psl);
+        assert_eq!(m.state, Some(DepState::Private), "SAN evidence identifies the alias");
+    }
+
+    #[test]
+    fn concentration_counts_sites_not_pairs() {
+        let psl = PublicSuffixList::builtin();
+        let o1 = obs(
+            "a.com",
+            &[("ns1.big.net", "big.net"), ("ns2.big.net", "big.net")],
+            "a.com",
+        );
+        let o2 = obs("b.com", &[("ns1.big.net", "big.net")], "b.com");
+        let counts = ns_concentration(&[Some(o1), Some(o2), None], &psl);
+        assert_eq!(counts[&dn("big.net")], 2, "two sites, not three pairs");
+    }
+}

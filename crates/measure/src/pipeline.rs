@@ -1,0 +1,425 @@
+//! The end-to-end measurement pipeline.
+//!
+//! Drives the full §3 methodology over a generated world: crawl → DNS →
+//! CA → CDN → inter-service, and assembles a [`MeasurementDataset`].
+//! The pipeline reads only the world's *wire surfaces* (DNS network,
+//! web plane, PKI, CNAME-to-CDN map, public-suffix list, site list);
+//! ground truth never flows in.
+
+use crate::dataset::{MeasurementDataset, ProviderKey, SiteMeasurement};
+use crate::{ca, cdn, dns, interservice};
+use std::collections::HashMap;
+use webdeps_model::DomainName;
+use webdeps_web::{CrawlReport, Crawler};
+use webdeps_worldgen::World;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureConfig {
+    /// Concentration threshold for the combined heuristic (50 at the
+    /// paper's 100K scale; scaled for smaller worlds).
+    pub threshold: usize,
+    /// Optional cap on the number of sites measured (test runs).
+    pub max_sites: Option<usize>,
+    /// Worker threads for the crawl/observation stage. Each worker runs
+    /// its own client (own DNS + OCSP caches), so results are identical
+    /// at any thread count; `1` keeps everything on the calling thread.
+    pub threads: usize,
+}
+
+impl MeasureConfig {
+    /// The configuration matching a world's scale: threshold scaled to
+    /// the population, crawl parallelism matching the machine.
+    pub fn for_world(world: &World) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        MeasureConfig {
+            threshold: world.config.concentration_threshold(),
+            max_sites: None,
+            threads,
+        }
+    }
+}
+
+/// Runs the complete pipeline with the world-default configuration.
+pub fn measure_world(world: &World) -> MeasurementDataset {
+    measure_world_with(world, MeasureConfig::for_world(world))
+}
+
+/// Runs the complete pipeline.
+pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDataset {
+    let psl = &world.psl;
+    let mut listings = world.listings();
+    if let Some(cap) = config.max_sites {
+        listings.truncate(cap);
+    }
+
+    // Stages 1 + 2a: crawl every site and take its DNS observation
+    // (dig NS + SOAs). Sites are independent, so the work shards across
+    // threads; each worker owns a client whose caches warm up on the
+    // shared provider infrastructure.
+    let threads = config.threads.max(1).min(listings.len().max(1));
+    let mut per_site: Vec<(CrawlReport, Option<dns::DnsObservation>)> =
+        Vec::with_capacity(listings.len());
+    if threads <= 1 {
+        let mut client = world.client();
+        for l in &listings {
+            let report = Crawler::crawl(&mut client, &l.domain, &l.document_hosts, l.https);
+            let obs = dns::observe_site(client.resolver_mut(), &l.domain);
+            per_site.push((report, obs));
+        }
+    } else {
+        let chunk = listings.len().div_ceil(threads);
+        let results: Vec<Vec<(CrawlReport, Option<dns::DnsObservation>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = listings
+                    .chunks(chunk)
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            let mut client = world.client();
+                            shard
+                                .iter()
+                                .map(|l| {
+                                    let report = Crawler::crawl(
+                                        &mut client,
+                                        &l.domain,
+                                        &l.document_hosts,
+                                        l.https,
+                                    );
+                                    let obs =
+                                        dns::observe_site(client.resolver_mut(), &l.domain);
+                                    (report, obs)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("crawl worker")).collect()
+            });
+        for shard in results {
+            per_site.extend(shard);
+        }
+    }
+    let reports: Vec<CrawlReport> = per_site.iter().map(|(r, _)| r.clone()).collect();
+    let observations: Vec<Option<dns::DnsObservation>> =
+        per_site.into_iter().map(|(_, o)| o).collect();
+    let mut client = world.client();
+
+    // Stage 2b: dataset-wide nameserver concentration.
+    let concentration = dns::ns_concentration(&observations, psl);
+
+    // Stages 2c–4: per-site classification.
+    let mut sites = Vec::with_capacity(listings.len());
+    let mut cdn_reps: HashMap<ProviderKey, (DomainName, usize)> = HashMap::new();
+    let mut ca_reps: HashMap<ProviderKey, (Vec<DomainName>, usize)> = HashMap::new();
+    let mut dns_direct: HashMap<ProviderKey, usize> = HashMap::new();
+    for ((listing, report), obs) in listings.iter().zip(&reports).zip(&observations) {
+        let san = report.certificate.as_ref().map(|c| c.san.clone());
+        let dns_m = match obs {
+            Some(obs) => dns::classify_site(
+                obs,
+                san.as_deref(),
+                &concentration,
+                config.threshold,
+                psl,
+            ),
+            None => crate::dataset::SiteDnsMeasurement {
+                pairs: Vec::new(),
+                groups: Vec::new(),
+                state: None,
+            },
+        };
+        let resolver = client.resolver_mut();
+        let ca_m = ca::classify_site(report, resolver, psl);
+        let cdn_m = cdn::classify_site(report, &world.cname_map, resolver, psl);
+
+        for key in dns_m.third_parties() {
+            *dns_direct.entry(key.clone()).or_default() += 1;
+        }
+        for (key, _) in &cdn_m.cdns {
+            // Witness host: the first chain host under the detected CDN.
+            let witness = report
+                .hostnames()
+                .iter()
+                .filter_map(|h| report.chain_of(h))
+                .flat_map(|chain| chain.iter())
+                .find(|c| {
+                    psl.registrable_domain(c).is_some_and(|r| r.as_str() == key.as_str())
+                })
+                .cloned();
+            if let Some(w) = witness {
+                let entry = cdn_reps.entry(key.clone()).or_insert_with(|| (w, 0));
+                entry.1 += 1;
+            }
+        }
+        if let Some((key, _)) = &ca_m.ca {
+            let entry = ca_reps
+                .entry(key.clone())
+                .or_insert_with(|| (ca_m.ocsp_hosts.clone(), 0));
+            entry.1 += 1;
+        }
+
+        sites.push(SiteMeasurement {
+            id: listing.id,
+            rank: listing.rank,
+            domain: listing.domain.clone(),
+            reachable: report.reachable(),
+            dns: dns_m,
+            cdn: cdn_m,
+            ca: ca_m,
+        });
+    }
+
+    // Stage 5: inter-service measurement over the observed providers.
+    let resolver = client.resolver_mut();
+    let providers = interservice::measure_providers(
+        resolver,
+        &cdn_reps,
+        &ca_reps,
+        &dns_direct,
+        &concentration,
+        config.threshold,
+        &world.cname_map,
+        psl,
+    );
+
+    MeasurementDataset { sites, providers, threshold: config.threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Classification;
+    use webdeps_model::ServiceKind;
+    use webdeps_worldgen::profiles::{CaProfile, CdnProfile, DepState};
+    use webdeps_worldgen::WorldConfig;
+
+    fn dataset() -> (World, MeasurementDataset) {
+        let world = World::generate(WorldConfig::small(77));
+        let ds = measure_world(&world);
+        (world, ds)
+    }
+
+    #[test]
+    fn pipeline_measures_every_site() {
+        let (world, ds) = dataset();
+        assert_eq!(ds.sites.len(), world.truth.len());
+        assert!(ds.sites.iter().all(|s| s.reachable), "healthy world: all reachable");
+    }
+
+    #[test]
+    fn dns_states_match_ground_truth_when_characterized() {
+        let (world, ds) = dataset();
+        let mut correct = 0usize;
+        let mut wrong = Vec::new();
+        let mut characterized = 0usize;
+        for s in &ds.sites {
+            let truth = world.site(s.id);
+            if let Some(state) = s.dns.state {
+                characterized += 1;
+                if state == truth.dns.state {
+                    correct += 1;
+                } else if wrong.len() < 5 {
+                    wrong.push((s.domain.clone(), state, truth.dns.state));
+                }
+            }
+        }
+        let accuracy = correct as f64 / characterized as f64;
+        assert!(accuracy > 0.995, "accuracy {accuracy}, examples: {wrong:?}");
+        // Micro-tail providers leave some sites uncharacterized. At the
+        // paper's 100K scale this is ~15-18%; a 2K world is dominated by
+        // the top bands where the micro tail is thin.
+        let unchar = ds.sites.len() - characterized;
+        let rate = unchar as f64 / ds.sites.len() as f64;
+        assert!((0.01..=0.30).contains(&rate), "uncharacterized {rate}");
+    }
+
+    #[test]
+    fn cdn_states_match_ground_truth() {
+        let (world, ds) = dataset();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        let mut wrong = Vec::new();
+        for s in &ds.sites {
+            let truth = world.site(s.id);
+            // CDN detection needs CNAME visibility; compare whenever the
+            // pipeline produced a state.
+            if let Some(state) = s.cdn.state {
+                total += 1;
+                if state == truth.cdn.state {
+                    correct += 1;
+                } else if wrong.len() < 5 {
+                    wrong.push((s.domain.clone(), state, truth.cdn.state));
+                }
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.97, "accuracy {accuracy}, examples: {wrong:?}");
+    }
+
+    #[test]
+    fn ca_states_match_ground_truth() {
+        let (world, ds) = dataset();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        let mut wrong = Vec::new();
+        for s in &ds.sites {
+            let truth = world.site(s.id);
+            if let Some(state) = s.ca.state {
+                total += 1;
+                if state == truth.ca.state {
+                    correct += 1;
+                } else if wrong.len() < 5 {
+                    wrong.push((s.domain.clone(), state, truth.ca.state));
+                }
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.99, "accuracy {accuracy}, examples: {wrong:?}");
+        assert_eq!(
+            ds.https_sites().count(),
+            world.truth.sites.iter().filter(|s| s.https()).count()
+        );
+    }
+
+    #[test]
+    fn provider_measurements_cover_observed_cdns_and_cas() {
+        let (_, ds) = dataset();
+        let cdns: Vec<_> = ds.providers.iter().filter(|p| p.kind == ServiceKind::Cdn).collect();
+        let cas: Vec<_> = ds.providers.iter().filter(|p| p.kind == ServiceKind::Ca).collect();
+        assert!(cdns.len() >= 10, "observed CDNs: {}", cdns.len());
+        assert!(cas.len() >= 8, "observed CAs: {}", cas.len());
+        // The DigiCert→DNSMadeEasy and →Incapsula wiring must surface.
+        let digicert = ds
+            .provider(&ProviderKey::new("digicert.com"), ServiceKind::Ca)
+            .expect("DigiCert observed");
+        let dns_dep = digicert.dns_dep.as_ref().expect("characterized");
+        assert!(dns_dep.critical);
+        assert_eq!(dns_dep.providers[0].as_str(), "dnsmadeeasy.com");
+        let cdn_dep = digicert.cdn_dep.as_ref().expect("rides a CDN");
+        assert_eq!(cdn_dep.providers[0].as_str(), "incapdns.net");
+    }
+
+    #[test]
+    fn stapling_rate_is_in_the_calibrated_band() {
+        let (_, ds) = dataset();
+        let https: Vec<_> = ds.https_sites().collect();
+        let stapled = https.iter().filter(|s| s.ca.stapled).count();
+        let rate = stapled as f64 / https.len() as f64;
+        assert!((0.10..=0.28).contains(&rate), "stapling {rate}");
+    }
+
+    #[test]
+    fn third_party_dns_rate_matches_figure2_band() {
+        use webdeps_worldgen::profiles::{cumulative_to_density, density_to_cumulative, DNS_2020};
+        let (world, ds) = dataset();
+        let n = world.config.n_sites;
+        // Scale-aware expectations from the calibrated marginals.
+        let want_third =
+            density_to_cumulative(cumulative_to_density(DNS_2020.third), n, n);
+        let want_critical =
+            density_to_cumulative(cumulative_to_density(DNS_2020.critical), n, n);
+        // Measured rates are over *characterized* sites; uncharacterized
+        // sites are all third-party micro-tail users, so compare against
+        // the whole population including them as third.
+        let characterized = ds.dns_characterized().count();
+        let third_measured = ds
+            .sites
+            .iter()
+            .filter(|s| s.dns.state.is_some_and(|st| st.uses_third_party()))
+            .count();
+        let unchar = ds.sites.len() - characterized;
+        let rate = 100.0 * (third_measured + unchar) as f64 / ds.sites.len() as f64;
+        assert!((rate - want_third).abs() < 4.0, "third {rate} vs calibrated {want_third}");
+        let critical = ds
+            .sites
+            .iter()
+            .filter(|s| s.dns.state.is_some_and(|st| st == DepState::SingleThird))
+            .count();
+        let crate_ = 100.0 * (critical + unchar) as f64 / ds.sites.len() as f64;
+        assert!(
+            (crate_ - want_critical).abs() < 4.0,
+            "critical {crate_} vs calibrated {want_critical}"
+        );
+    }
+
+    #[test]
+    fn measured_cdn_usage_matches_figure3_band() {
+        use webdeps_worldgen::profiles::{cumulative_to_density, density_to_cumulative, CDN_2020};
+        let (world, ds) = dataset();
+        let n = world.config.n_sites;
+        let want_adoption =
+            density_to_cumulative(cumulative_to_density(CDN_2020.adoption), n, n);
+        let users = ds.cdn_users().count();
+        let rate = 100.0 * users as f64 / ds.sites.len() as f64;
+        assert!((rate - want_adoption).abs() < 4.0, "adoption {rate} vs {want_adoption}");
+        let critical = ds
+            .sites
+            .iter()
+            .filter(|s| s.cdn.state == Some(CdnProfile::SingleThird))
+            .count();
+        let crate_ = critical as f64 / users as f64;
+        // Small worlds skew toward the top bands where redundancy is
+        // common; accept a broad band around the calibrated shape.
+        assert!((0.40..=0.95).contains(&crate_), "critical of users {crate_}");
+    }
+
+    #[test]
+    fn max_sites_cap_limits_work() {
+        let world = World::generate(WorldConfig::small(78));
+        let ds = measure_world_with(
+            &world,
+            MeasureConfig { threshold: 3, max_sites: Some(50), threads: 1 },
+        );
+        assert_eq!(ds.sites.len(), 50);
+    }
+
+    #[test]
+    fn parallel_and_serial_measurements_agree() {
+        let world = World::generate(WorldConfig::small(79));
+        let serial = measure_world_with(
+            &world,
+            MeasureConfig { threshold: 3, max_sites: Some(400), threads: 1 },
+        );
+        let parallel = measure_world_with(
+            &world,
+            MeasureConfig { threshold: 3, max_sites: Some(400), threads: 8 },
+        );
+        assert_eq!(serial.sites.len(), parallel.sites.len());
+        for (a, b) in serial.sites.iter().zip(parallel.sites.iter()) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.dns.state, b.dns.state);
+            assert_eq!(a.cdn.state, b.cdn.state);
+            assert_eq!(a.ca.state, b.ca.state);
+            assert_eq!(a.ca.stapled, b.ca.stapled);
+        }
+        assert_eq!(serial.providers.len(), parallel.providers.len());
+    }
+
+    #[test]
+    fn unknown_classifications_exist_but_are_excluded() {
+        let (_, ds) = dataset();
+        let unknown_pairs = ds
+            .sites
+            .iter()
+            .flat_map(|s| s.dns.pairs.iter())
+            .filter(|p| p.class == Classification::Unknown)
+            .count();
+        assert!(unknown_pairs > 0, "micro-tail providers must stay unknown");
+        for s in &ds.sites {
+            if s.dns.pairs.iter().any(|p| p.class == Classification::Unknown) {
+                assert!(
+                    s.dns.groups.iter().any(|g| g.class == Classification::Unknown)
+                        || s.dns.state.is_none()
+                        || s.dns.groups.iter().all(|g| g.class != Classification::Unknown),
+                    "unknown pairs either merge into known groups or exclude the site"
+                );
+            }
+        }
+        // And CA states reflect HTTPS-ness.
+        for s in &ds.sites {
+            if !s.ca.https {
+                assert_eq!(s.ca.state, Some(CaProfile::NoHttps));
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Dataset summaries (the Table 1 / Table 2 populations).
+//!
+//! Library-level aggregation so downstream users get the paper's
+//! headline denominators without going through the report renderers.
+
+use crate::dataset::{MeasurementDataset, SiteMeasurement};
+use std::collections::HashMap;
+
+/// Single-snapshot population summary (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// Sites in the dataset.
+    pub sites: usize,
+    /// Sites characterized for DNS analysis.
+    pub dns_characterized: usize,
+    /// Sites using at least one CDN.
+    pub cdn_users: usize,
+    /// CDN users whose CDN state was characterized.
+    pub cdn_characterized: usize,
+    /// Sites answering on HTTPS.
+    pub https: usize,
+    /// HTTPS sites whose CA state was characterized.
+    pub ca_characterized: usize,
+    /// Sites critically dependent on at least one third-party service.
+    pub any_critical: usize,
+}
+
+/// Summarizes one dataset.
+pub fn summarize(ds: &MeasurementDataset) -> DatasetSummary {
+    DatasetSummary {
+        sites: ds.sites.len(),
+        dns_characterized: ds.dns_characterized().count(),
+        cdn_users: ds.cdn_users().count(),
+        cdn_characterized: ds
+            .sites
+            .iter()
+            .filter(|s| s.cdn.uses_cdn() && s.cdn.state.is_some())
+            .count(),
+        https: ds.https_sites().count(),
+        ca_characterized: ds.sites.iter().filter(|s| s.ca.https && s.ca.state.is_some()).count(),
+        any_critical: ds
+            .sites
+            .iter()
+            .filter(|s| {
+                s.dns.state.is_some_and(|st| st.is_critical())
+                    || s.cdn.state.is_some_and(|st| st.is_critical())
+                    || s.ca.state.is_some_and(|st| st.is_critical())
+            })
+            .count(),
+    }
+}
+
+/// Paired-snapshot summary (paper Table 2): populations over sites that
+/// exist in both datasets, joined on domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComparisonSummary {
+    /// Sites present in both snapshots.
+    pub joined: usize,
+    /// Sites from the first snapshot that vanished.
+    pub dead: usize,
+    /// Joined sites DNS-characterized in both years.
+    pub dns_characterized_both: usize,
+    /// Joined sites using a CDN in either year.
+    pub cdn_either: usize,
+    /// Joined sites HTTPS in either year.
+    pub https_either: usize,
+}
+
+/// Summarizes a pair of datasets, joining on site domain.
+pub fn summarize_pair(
+    earlier: &MeasurementDataset,
+    later: &MeasurementDataset,
+) -> ComparisonSummary {
+    let by_domain: HashMap<&str, &SiteMeasurement> =
+        later.sites.iter().map(|s| (s.domain.as_str(), s)).collect();
+    let mut joined = 0;
+    let mut dns_both = 0;
+    let mut cdn_either = 0;
+    let mut https_either = 0;
+    for a in &earlier.sites {
+        let Some(b) = by_domain.get(a.domain.as_str()) else { continue };
+        joined += 1;
+        if a.dns.characterized() && b.dns.characterized() {
+            dns_both += 1;
+        }
+        if a.cdn.uses_cdn() || b.cdn.uses_cdn() {
+            cdn_either += 1;
+        }
+        if a.ca.https || b.ca.https {
+            https_either += 1;
+        }
+    }
+    ComparisonSummary {
+        joined,
+        dead: earlier.sites.len() - joined,
+        dns_characterized_both: dns_both,
+        cdn_either,
+        https_either,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::measure_world;
+    use webdeps_worldgen::{WorldConfig, WorldPair, World};
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let world = World::generate(WorldConfig::small(57));
+        let ds = measure_world(&world);
+        let s = summarize(&ds);
+        assert_eq!(s.sites, ds.sites.len());
+        assert!(s.dns_characterized <= s.sites);
+        assert!(s.cdn_characterized <= s.cdn_users);
+        assert!(s.ca_characterized <= s.https);
+        assert!(s.any_critical <= s.sites);
+        // Ballpark: most sites are critically dependent on something.
+        assert!(s.any_critical as f64 / s.sites as f64 > 0.5);
+    }
+
+    #[test]
+    fn pair_summary_tracks_churn() {
+        let pair = WorldPair::generate(3, 1_500);
+        let ds16 = measure_world(&pair.y2016);
+        let ds20 = measure_world(&pair.y2020);
+        let c = summarize_pair(&ds16, &ds20);
+        assert_eq!(c.joined + c.dead, ds16.sites.len());
+        let death_rate = c.dead as f64 / ds16.sites.len() as f64;
+        assert!((death_rate - 0.038).abs() < 0.02, "churn {death_rate}");
+        assert!(c.https_either >= summarize(&ds16).https.min(c.joined));
+        assert!(c.dns_characterized_both <= c.joined);
+    }
+}

@@ -1,0 +1,197 @@
+//! Organizational entities.
+//!
+//! The paper's central question — "is this nameserver / CDN / CA a *third
+//! party* for this website?" — is a question about ownership. An
+//! [`Entity`] models one owning organization (Amazon, Cloudflare, a random
+//! small business…). Domains, websites, and providers all point back at
+//! their owning entity; the measurement pipeline must *infer* this
+//! ownership from wire-visible evidence, and the ground-truth entity
+//! mapping is what validation scores against.
+
+use crate::ids::EntityId;
+use crate::name::DomainName;
+use std::collections::HashMap;
+
+/// Broad category of an organization, used by the world generator to
+/// pick realistic domain shapes and by reports for labeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// An organization whose primary business is running a website.
+    WebsiteOperator,
+    /// A managed DNS provider (Dyn, Cloudflare DNS, …).
+    DnsProvider,
+    /// A content delivery network (Akamai, Fastly, …).
+    CdnProvider,
+    /// A certificate authority (DigiCert, Let's Encrypt, …).
+    CertificateAuthority,
+    /// A cloud/hosting provider (used by the smart-home case study).
+    CloudProvider,
+}
+
+impl EntityKind {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityKind::WebsiteOperator => "website operator",
+            EntityKind::DnsProvider => "DNS provider",
+            EntityKind::CdnProvider => "CDN provider",
+            EntityKind::CertificateAuthority => "certificate authority",
+            EntityKind::CloudProvider => "cloud provider",
+        }
+    }
+}
+
+/// One owning organization.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Dense identifier.
+    pub id: EntityId,
+    /// Display name, e.g. `"Cloudflare"`.
+    pub name: String,
+    /// Category.
+    pub kind: EntityKind,
+    /// Registrable domains this entity owns. The first one is its
+    /// canonical domain. An entity may own several (e.g. Alibaba owns
+    /// both `alicdn.com` and `alibabadns.com`, the paper's example of a
+    /// redundancy false positive under naive TLD grouping).
+    pub domains: Vec<DomainName>,
+}
+
+impl Entity {
+    /// The entity's canonical registrable domain.
+    pub fn canonical_domain(&self) -> &DomainName {
+        &self.domains[0]
+    }
+
+    /// Whether `host` falls under any domain owned by this entity.
+    pub fn owns_host(&self, host: &DomainName) -> bool {
+        self.domains.iter().any(|d| host.is_equal_or_subdomain_of(d))
+    }
+}
+
+/// Registry of all entities in a world, with reverse lookup from
+/// registrable domain to owner. This is ground truth: only the world
+/// generator and the validation harness may consult it.
+#[derive(Debug, Clone, Default)]
+pub struct EntityRegistry {
+    entities: Vec<Entity>,
+    by_domain: HashMap<DomainName, EntityId>,
+}
+
+impl EntityRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new entity and returns its id.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        kind: EntityKind,
+        domains: Vec<DomainName>,
+    ) -> EntityId {
+        assert!(!domains.is_empty(), "an entity must own at least one domain");
+        let id = EntityId::from_index(self.entities.len());
+        for d in &domains {
+            let prev = self.by_domain.insert(d.clone(), id);
+            assert!(prev.is_none(), "domain {d} registered to two entities");
+        }
+        self.entities.push(Entity { id, name: name.into(), kind, domains });
+        id
+    }
+
+    /// Adds an extra owned domain to an existing entity.
+    pub fn add_domain(&mut self, id: EntityId, domain: DomainName) {
+        let prev = self.by_domain.insert(domain.clone(), id);
+        assert!(prev.is_none(), "domain {domain} registered to two entities");
+        self.entities[id.index()].domains.push(domain);
+    }
+
+    /// Looks up an entity by id.
+    pub fn get(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// Number of registered entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when no entity has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Iterates over all entities.
+    pub fn iter(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.iter()
+    }
+
+    /// Ground-truth owner of a hostname: walks up the label hierarchy
+    /// until a registered registrable domain is found.
+    pub fn owner_of(&self, host: &DomainName) -> Option<EntityId> {
+        let mut cur = Some(host.clone());
+        while let Some(name) = cur {
+            if let Some(&id) = self.by_domain.get(&name) {
+                return Some(id);
+            }
+            cur = name.parent();
+        }
+        None
+    }
+
+    /// Whether two hostnames are owned by the same entity (ground truth).
+    pub fn same_owner(&self, a: &DomainName, b: &DomainName) -> Option<bool> {
+        match (self.owner_of(a), self.owner_of(b)) {
+            (Some(x), Some(y)) => Some(x == y),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::dn;
+
+    fn registry() -> EntityRegistry {
+        let mut r = EntityRegistry::new();
+        r.register("Alibaba", EntityKind::CdnProvider, vec![dn("alicdn.com"), dn("alibabadns.com")]);
+        r.register("Example Org", EntityKind::WebsiteOperator, vec![dn("example.com")]);
+        r
+    }
+
+    #[test]
+    fn owner_lookup_walks_up() {
+        let r = registry();
+        let alibaba = r.owner_of(&dn("ns1.alibabadns.com")).unwrap();
+        assert_eq!(r.get(alibaba).name, "Alibaba");
+        assert_eq!(r.owner_of(&dn("unknown.zz")), None);
+    }
+
+    #[test]
+    fn multi_domain_entities_share_owner() {
+        let r = registry();
+        assert_eq!(r.same_owner(&dn("a.alicdn.com"), &dn("b.alibabadns.com")), Some(true));
+        assert_eq!(r.same_owner(&dn("a.alicdn.com"), &dn("www.example.com")), Some(false));
+        assert_eq!(r.same_owner(&dn("a.alicdn.com"), &dn("nowhere.zz")), None);
+    }
+
+    #[test]
+    fn owns_host_checks_all_domains() {
+        let r = registry();
+        let e = r.get(EntityId(0));
+        assert!(e.owns_host(&dn("cdn.alicdn.com")));
+        assert!(e.owns_host(&dn("alibabadns.com")));
+        assert!(!e.owns_host(&dn("example.com")));
+        assert_eq!(e.canonical_domain(), &dn("alicdn.com"));
+    }
+
+    #[test]
+    #[should_panic(expected = "two entities")]
+    fn duplicate_domain_panics() {
+        let mut r = registry();
+        r.register("Clone", EntityKind::WebsiteOperator, vec![dn("example.com")]);
+    }
+}

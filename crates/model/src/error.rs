@@ -1,0 +1,30 @@
+//! Error types for the foundation layer.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating model types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A domain name failed syntactic validation.
+    InvalidDomainName {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason for the rejection.
+        reason: &'static str,
+    },
+    /// A rank of zero was supplied; ranks are 1-based like the Alexa list.
+    ZeroRank,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidDomainName { input, reason } => {
+                write!(f, "invalid domain name {input:?}: {reason}")
+            }
+            ModelError::ZeroRank => write!(f, "ranks are 1-based; 0 is not a valid rank"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,88 @@
+//! Typed identifiers.
+//!
+//! Every population in the simulated world (websites, organizational
+//! entities, providers of each service) is indexed by a dense `u32`
+//! newtype. Newtypes keep the dependency graph strongly typed: a
+//! [`SiteId`] can never be confused with a [`ProviderId`].
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a website in the study population (dense, 0-based).
+    SiteId,
+    "site#"
+);
+define_id!(
+    /// Identifier of an organizational entity (owner of domains/providers).
+    EntityId,
+    "entity#"
+);
+define_id!(
+    /// Identifier of a service provider (any [`crate::ServiceKind`]).
+    ProviderId,
+    "provider#"
+);
+define_id!(
+    /// Identifier of a certificate authority in the PKI substrate.
+    CaId,
+    "ca#"
+);
+define_id!(
+    /// Identifier of a content delivery network in the web substrate.
+    CdnId,
+    "cdn#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = SiteId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, SiteId(42));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(SiteId(7).to_string(), "site#7");
+        assert_eq!(ProviderId(3).to_string(), "provider#3");
+        assert_eq!(EntityId(0).to_string(), "entity#0");
+        assert_eq!(CaId(1).to_string(), "ca#1");
+        assert_eq!(CdnId(2).to_string(), "cdn#2");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(SiteId(1) < SiteId(2));
+    }
+}

@@ -1,0 +1,271 @@
+//! DNS-style domain names.
+//!
+//! [`DomainName`] is the universal currency of this workspace: websites,
+//! nameservers, CNAME targets, OCSP responder hosts, and CDN on-ramps are
+//! all domain names. The type stores a normalized (lowercase, no trailing
+//! dot) representation and offers the label arithmetic the measurement
+//! heuristics need: parent zones, suffix tests, and wildcard matching as
+//! used in certificate subject-alternative-name lists.
+
+use crate::ModelError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum total length of a domain name in its textual form.
+const MAX_NAME_LEN: usize = 253;
+/// Maximum length of a single label.
+const MAX_LABEL_LEN: usize = 63;
+
+/// A validated, normalized DNS domain name.
+///
+/// Invariants (enforced at construction):
+/// * non-empty, at most 253 bytes;
+/// * labels are 1–63 bytes of `a-z`, `0-9`, `-`, or `_`;
+/// * a `*` label is allowed only in the leftmost position (wildcard names,
+///   as they appear in certificate SAN lists);
+/// * stored lowercase with no trailing dot.
+///
+/// ```
+/// use webdeps_model::DomainName;
+/// let name: DomainName = "WWW.Example.COM.".parse().unwrap();
+/// assert_eq!(name.as_str(), "www.example.com");
+/// assert_eq!(name.label_count(), 3);
+/// assert!(name.is_subdomain_of(&"example.com".parse().unwrap()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    /// Normalized textual form, e.g. `"www.example.com"`.
+    name: String,
+}
+
+impl DomainName {
+    /// Parses and validates a domain name.
+    ///
+    /// Accepts an optional trailing dot (absolute-form names) and
+    /// uppercase input; both are normalized away.
+    pub fn parse(input: &str) -> Result<Self, ModelError> {
+        let trimmed = input.strip_suffix('.').unwrap_or(input);
+        if trimmed.is_empty() {
+            return Err(ModelError::InvalidDomainName {
+                input: input.to_string(),
+                reason: "empty name",
+            });
+        }
+        if trimmed.len() > MAX_NAME_LEN {
+            return Err(ModelError::InvalidDomainName {
+                input: input.to_string(),
+                reason: "name exceeds 253 bytes",
+            });
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        for (i, label) in lower.split('.').enumerate() {
+            if label.is_empty() {
+                return Err(ModelError::InvalidDomainName {
+                    input: input.to_string(),
+                    reason: "empty label",
+                });
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(ModelError::InvalidDomainName {
+                    input: input.to_string(),
+                    reason: "label exceeds 63 bytes",
+                });
+            }
+            if label == "*" {
+                if i != 0 {
+                    return Err(ModelError::InvalidDomainName {
+                        input: input.to_string(),
+                        reason: "wildcard label only allowed leftmost",
+                    });
+                }
+                continue;
+            }
+            if !label
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+            {
+                return Err(ModelError::InvalidDomainName {
+                    input: input.to_string(),
+                    reason: "label contains invalid character",
+                });
+            }
+        }
+        Ok(DomainName { name: lower })
+    }
+
+    /// Returns the normalized textual form (lowercase, no trailing dot).
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterates over labels left to right (`www`, `example`, `com`).
+    pub fn labels(&self) -> impl DoubleEndedIterator<Item = &str> {
+        self.name.split('.')
+    }
+
+    /// Number of labels in the name.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// Whether the leftmost label is the `*` wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        self.name.starts_with("*.") || self.name == "*"
+    }
+
+    /// The name with its leftmost label removed, or `None` for a
+    /// single-label name. `www.example.com` → `example.com`.
+    pub fn parent(&self) -> Option<DomainName> {
+        self.name
+            .split_once('.')
+            .map(|(_, rest)| DomainName { name: rest.to_string() })
+    }
+
+    /// The last `n` labels as a name, or the whole name if it has fewer.
+    /// `suffix(2)` of `a.b.example.com` is `example.com`.
+    pub fn suffix(&self, n: usize) -> DomainName {
+        let labels: Vec<&str> = self.labels().collect();
+        let start = labels.len().saturating_sub(n);
+        DomainName { name: labels[start..].join(".") }
+    }
+
+    /// Prepends a label: `"www"` joined onto `example.com` gives
+    /// `www.example.com`.
+    pub fn child(&self, label: &str) -> Result<DomainName, ModelError> {
+        DomainName::parse(&format!("{label}.{}", self.name))
+    }
+
+    /// True when `self` is a strict subdomain of `other`
+    /// (`www.example.com` is a subdomain of `example.com`, a name is not
+    /// a subdomain of itself).
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        self.name.len() > other.name.len()
+            && self.name.ends_with(other.name.as_str())
+            && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
+    }
+
+    /// True when `self` equals `other` or is a subdomain of it.
+    pub fn is_equal_or_subdomain_of(&self, other: &DomainName) -> bool {
+        self == other || self.is_subdomain_of(other)
+    }
+
+    /// Wildcard match as used for certificate SAN entries: `*.example.com`
+    /// matches `www.example.com` (exactly one extra label) but neither
+    /// `example.com` nor `a.b.example.com`. A non-wildcard name matches
+    /// only itself.
+    pub fn matches(&self, pattern: &DomainName) -> bool {
+        if !pattern.is_wildcard() {
+            return self == pattern;
+        }
+        match pattern.parent() {
+            Some(base) => {
+                self.is_subdomain_of(&base) && self.label_count() == base.label_count() + 1
+            }
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl fmt::Debug for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DomainName({})", self.name)
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl AsRef<str> for DomainName {
+    fn as_ref(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Convenience constructor used pervasively in tests and generators.
+/// Panics on invalid input, so only use with trusted literals.
+pub fn dn(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap_or_else(|e| panic!("bad domain literal {s:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalizes_case_and_trailing_dot() {
+        let n = DomainName::parse("WWW.Example.COM.").unwrap();
+        assert_eq!(n.as_str(), "www.example.com");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for bad in ["", ".", "a..b", "-but spaces-", "exa mple.com", "a.*.com"] {
+            assert!(DomainName::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        let long_label = format!("{}.com", "a".repeat(64));
+        assert!(DomainName::parse(&long_label).is_err());
+        let long_name = format!("{}.com", "a.".repeat(130));
+        assert!(DomainName::parse(&long_name).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_underscore_and_hyphen() {
+        assert!(DomainName::parse("_dmarc.example-site.com").is_ok());
+    }
+
+    #[test]
+    fn labels_and_parent() {
+        let n = dn("a.b.example.com");
+        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(n.parent().unwrap(), dn("b.example.com"));
+        assert_eq!(dn("com").parent(), None);
+    }
+
+    #[test]
+    fn suffix_extracts_trailing_labels() {
+        let n = dn("a.b.example.com");
+        assert_eq!(n.suffix(2), dn("example.com"));
+        assert_eq!(n.suffix(1), dn("com"));
+        assert_eq!(n.suffix(9), n);
+    }
+
+    #[test]
+    fn subdomain_relationship() {
+        let base = dn("example.com");
+        assert!(dn("www.example.com").is_subdomain_of(&base));
+        assert!(dn("a.b.example.com").is_subdomain_of(&base));
+        assert!(!base.is_subdomain_of(&base));
+        assert!(base.is_equal_or_subdomain_of(&base));
+        // "badexample.com" must not match "example.com".
+        assert!(!dn("badexample.com").is_subdomain_of(&base));
+    }
+
+    #[test]
+    fn wildcard_matching_rules() {
+        let pat = dn("*.example.com");
+        assert!(pat.is_wildcard());
+        assert!(dn("www.example.com").matches(&pat));
+        assert!(!dn("example.com").matches(&pat));
+        assert!(!dn("a.b.example.com").matches(&pat));
+        assert!(dn("example.com").matches(&dn("example.com")));
+        assert!(!dn("other.com").matches(&dn("example.com")));
+    }
+
+    #[test]
+    fn child_builds_subdomains() {
+        assert_eq!(dn("example.com").child("ns1").unwrap(), dn("ns1.example.com"));
+        assert!(dn("example.com").child("bad label").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! A miniature public-suffix list.
+//!
+//! The paper's CDN-internal-resource heuristic consults the Mozilla
+//! public-suffix list to decide where the "registrable" part of a hostname
+//! begins (e.g. the registrable domain of `shop.example.co.uk` is
+//! `example.co.uk`, not `co.uk`). We implement the same rule semantics —
+//! normal rules, wildcard rules (`*.ck`), and exception rules
+//! (`!www.ck`) — over a built-in snapshot of common suffixes that covers
+//! everything the synthetic world generates.
+
+use crate::name::DomainName;
+use std::collections::HashSet;
+
+/// Rule set with public-suffix semantics.
+///
+/// ```
+/// use webdeps_model::{DomainName, PublicSuffixList};
+/// let psl = PublicSuffixList::builtin();
+/// let host: DomainName = "shop.example.co.uk".parse().unwrap();
+/// assert_eq!(psl.registrable_domain(&host).unwrap().as_str(), "example.co.uk");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PublicSuffixList {
+    /// Exact suffix rules, e.g. `com`, `co.uk`.
+    rules: HashSet<String>,
+    /// Wildcard rules stored by their base, e.g. `ck` for `*.ck`.
+    wildcards: HashSet<String>,
+    /// Exception rules, e.g. `www.ck` for `!www.ck`.
+    exceptions: HashSet<String>,
+}
+
+/// The built-in suffix snapshot. A subset of the Mozilla list: all
+/// generic TLDs the synthetic world uses plus representative
+/// country-code second-level suffixes.
+const BUILTIN_RULES: &[&str] = &[
+    "com", "net", "org", "edu", "gov", "mil", "int", "io", "co", "ai", "app", "dev", "cloud",
+    "info", "biz", "us", "uk", "co.uk", "org.uk", "ac.uk", "gov.uk", "de", "fr", "nl", "ru",
+    "cn", "com.cn", "net.cn", "org.cn", "jp", "co.jp", "ne.jp", "or.jp", "kr", "co.kr", "in",
+    "co.in", "br", "com.br", "au", "com.au", "net.au", "org.au", "ca", "it", "es", "se", "no",
+    "fi", "pl", "cz", "ch", "at", "be", "dk", "ie", "tv", "me", "cc", "ws", "goog", "health",
+    "hospital", "tech", "online", "site", "store", "xyz", "club", "top", "live", "news",
+];
+
+/// Built-in wildcard rules (`*.<base>`): every label directly under the
+/// base is a public suffix.
+const BUILTIN_WILDCARDS: &[&str] = &["ck", "bd"];
+
+/// Built-in exception rules (`!<name>`): these names are registrable even
+/// though a wildcard rule would otherwise make them suffixes.
+const BUILTIN_EXCEPTIONS: &[&str] = &["www.ck"];
+
+impl PublicSuffixList {
+    /// Builds the built-in snapshot.
+    pub fn builtin() -> Self {
+        Self::from_rules(
+            BUILTIN_RULES.iter().copied(),
+            BUILTIN_WILDCARDS.iter().copied(),
+            BUILTIN_EXCEPTIONS.iter().copied(),
+        )
+    }
+
+    /// Builds a list from explicit rules (used by tests and by callers who
+    /// want to extend the snapshot).
+    pub fn from_rules<'a>(
+        rules: impl IntoIterator<Item = &'a str>,
+        wildcards: impl IntoIterator<Item = &'a str>,
+        exceptions: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        PublicSuffixList {
+            rules: rules.into_iter().map(str::to_string).collect(),
+            wildcards: wildcards.into_iter().map(str::to_string).collect(),
+            exceptions: exceptions.into_iter().map(str::to_string).collect(),
+        }
+    }
+
+    /// Adds an exact suffix rule.
+    pub fn add_rule(&mut self, suffix: &str) {
+        self.rules.insert(suffix.to_ascii_lowercase());
+    }
+
+    /// Length in labels of the public suffix of `name`, or 0 when no rule
+    /// matches (per the PSL algorithm the prevailing rule is then `*`,
+    /// i.e. the last label is treated as the suffix).
+    fn suffix_label_count(&self, name: &DomainName) -> usize {
+        let labels: Vec<&str> = name.labels().collect();
+        let mut best = 0usize;
+        for start in 0..labels.len() {
+            let candidate = labels[start..].join(".");
+            let len = labels.len() - start;
+            if self.exceptions.contains(&candidate) {
+                // Exception rule: the matched name itself is registrable,
+                // so its suffix is one label shorter.
+                return len - 1;
+            }
+            if self.rules.contains(&candidate) && len > best {
+                best = len;
+            }
+            // Wildcard `*.base` matches names with exactly one label more
+            // than the base.
+            if start + 1 < labels.len() {
+                let base = labels[start + 1..].join(".");
+                if self.wildcards.contains(&base) && len > best {
+                    best = len;
+                }
+            }
+        }
+        if best == 0 {
+            1 // default rule "*"
+        } else {
+            best
+        }
+    }
+
+    /// The effective TLD (public suffix) of `name`, e.g. `co.uk` for
+    /// `example.co.uk`.
+    pub fn effective_tld(&self, name: &DomainName) -> DomainName {
+        name.suffix(self.suffix_label_count(name))
+    }
+
+    /// The registrable domain (public suffix plus one label), or `None`
+    /// when the name *is* a public suffix. This is the paper's notion of
+    /// "TLD" in its TLD-matching heuristic: two hostnames belong to the
+    /// same registrant when their registrable domains are equal.
+    pub fn registrable_domain(&self, name: &DomainName) -> Option<DomainName> {
+        let suffix_len = self.suffix_label_count(name);
+        let total = name.label_count();
+        if total <= suffix_len {
+            None
+        } else {
+            Some(name.suffix(suffix_len + 1))
+        }
+    }
+
+    /// Whether two hostnames share a registrable domain. Names that are
+    /// themselves bare public suffixes never match anything.
+    pub fn same_registrable_domain(&self, a: &DomainName, b: &DomainName) -> bool {
+        match (self.registrable_domain(a), self.registrable_domain(b)) {
+            (Some(ra), Some(rb)) => ra == rb,
+            _ => false,
+        }
+    }
+}
+
+impl Default for PublicSuffixList {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::dn;
+
+    #[test]
+    fn simple_gtld() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(psl.effective_tld(&dn("www.example.com")), dn("com"));
+        assert_eq!(psl.registrable_domain(&dn("www.example.com")).unwrap(), dn("example.com"));
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(psl.effective_tld(&dn("a.b.example.co.uk")), dn("co.uk"));
+        assert_eq!(psl.registrable_domain(&dn("a.b.example.co.uk")).unwrap(), dn("example.co.uk"));
+    }
+
+    #[test]
+    fn bare_suffix_has_no_registrable_domain() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(psl.registrable_domain(&dn("co.uk")), None);
+        assert_eq!(psl.registrable_domain(&dn("com")), None);
+    }
+
+    #[test]
+    fn unknown_tld_falls_back_to_last_label() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(psl.effective_tld(&dn("example.zz")), dn("zz"));
+        assert_eq!(psl.registrable_domain(&dn("www.example.zz")).unwrap(), dn("example.zz"));
+    }
+
+    #[test]
+    fn wildcard_and_exception_rules() {
+        let psl = PublicSuffixList::builtin();
+        // `*.ck` makes `anything.ck` a suffix…
+        assert_eq!(psl.effective_tld(&dn("shop.foo.ck")), dn("foo.ck"));
+        assert_eq!(psl.registrable_domain(&dn("shop.foo.ck")).unwrap(), dn("shop.foo.ck"));
+        // …except `www.ck`, which is registrable.
+        assert_eq!(psl.registrable_domain(&dn("www.ck")).unwrap(), dn("www.ck"));
+        assert_eq!(psl.registrable_domain(&dn("a.www.ck")).unwrap(), dn("www.ck"));
+    }
+
+    #[test]
+    fn same_registrable_domain_comparisons() {
+        let psl = PublicSuffixList::builtin();
+        assert!(psl.same_registrable_domain(&dn("a.example.com"), &dn("b.c.example.com")));
+        assert!(!psl.same_registrable_domain(&dn("a.example.com"), &dn("a.example.net")));
+        assert!(!psl.same_registrable_domain(&dn("com"), &dn("com")));
+    }
+
+    #[test]
+    fn add_rule_extends_list() {
+        let mut psl = PublicSuffixList::builtin();
+        psl.add_rule("fancy.zz");
+        assert_eq!(psl.registrable_domain(&dn("x.fancy.zz")).unwrap(), dn("x.fancy.zz"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Popularity ranks and the paper's rank buckets.
+//!
+//! The paper stratifies every result by Alexa rank prefix: top-100,
+//! top-1K, top-10K, top-100K. [`Rank`] is a 1-based popularity rank and
+//! [`RankBucket`] the cumulative prefix a rank falls inside. All figures
+//! (2, 3, 4) and trend tables (3, 4, 5) are reported per bucket.
+
+use crate::ModelError;
+use std::fmt;
+
+/// A 1-based popularity rank (rank 1 = most popular), mirroring the
+/// Alexa list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// Constructs a rank, rejecting 0.
+    pub fn new(rank: u32) -> Result<Self, ModelError> {
+        if rank == 0 {
+            Err(ModelError::ZeroRank)
+        } else {
+            Ok(Rank(rank))
+        }
+    }
+
+    /// The raw rank value.
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The smallest paper bucket containing this rank (`Rank(70)` →
+    /// top-100; `Rank(5000)` → top-10K). Ranks beyond 100K still belong
+    /// to [`RankBucket::Top100K`] for worlds larger than the paper's.
+    pub fn bucket(self) -> RankBucket {
+        match self.0 {
+            0..=100 => RankBucket::Top100,
+            101..=1_000 => RankBucket::Top1K,
+            1_001..=10_000 => RankBucket::Top10K,
+            _ => RankBucket::Top100K,
+        }
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The paper's cumulative rank prefixes (`k` in its tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RankBucket {
+    /// The 100 most popular websites.
+    Top100,
+    /// The 1,000 most popular websites.
+    Top1K,
+    /// The 10,000 most popular websites.
+    Top10K,
+    /// The full 100,000-site study population.
+    Top100K,
+}
+
+impl RankBucket {
+    /// All buckets in increasing size order, as the tables list them.
+    pub const ALL: [RankBucket; 4] =
+        [RankBucket::Top100, RankBucket::Top1K, RankBucket::Top10K, RankBucket::Top100K];
+
+    /// Upper rank bound of the bucket (inclusive).
+    pub fn limit(self) -> u32 {
+        match self {
+            RankBucket::Top100 => 100,
+            RankBucket::Top1K => 1_000,
+            RankBucket::Top10K => 10_000,
+            RankBucket::Top100K => 100_000,
+        }
+    }
+
+    /// Whether `rank` falls inside this cumulative bucket. Note buckets
+    /// are *cumulative*: rank 50 is inside every bucket.
+    pub fn contains(self, rank: Rank) -> bool {
+        // Top100K is the whole population even in oversized worlds.
+        self == RankBucket::Top100K || rank.get() <= self.limit()
+    }
+
+    /// The paper's column label, e.g. `k=10K`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RankBucket::Top100 => "k=100",
+            RankBucket::Top1K => "k=1K",
+            RankBucket::Top10K => "k=10K",
+            RankBucket::Top100K => "k=100K",
+        }
+    }
+
+    /// Effective population size of this bucket for a world with
+    /// `world_size` sites (buckets clamp to the world).
+    pub fn population(self, world_size: usize) -> usize {
+        if self == RankBucket::Top100K {
+            world_size
+        } else {
+            world_size.min(self.limit() as usize)
+        }
+    }
+}
+
+impl fmt::Display for RankBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rank_rejected() {
+        assert!(Rank::new(0).is_err());
+        assert!(Rank::new(1).is_ok());
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Rank(1).bucket(), RankBucket::Top100);
+        assert_eq!(Rank(100).bucket(), RankBucket::Top100);
+        assert_eq!(Rank(101).bucket(), RankBucket::Top1K);
+        assert_eq!(Rank(1000).bucket(), RankBucket::Top1K);
+        assert_eq!(Rank(1001).bucket(), RankBucket::Top10K);
+        assert_eq!(Rank(10_001).bucket(), RankBucket::Top100K);
+        assert_eq!(Rank(99_999).bucket(), RankBucket::Top100K);
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let top = Rank(50);
+        for b in RankBucket::ALL {
+            assert!(b.contains(top), "{b} should contain rank 50");
+        }
+        assert!(!RankBucket::Top100.contains(Rank(101)));
+        assert!(RankBucket::Top100K.contains(Rank(2_000_000)));
+    }
+
+    #[test]
+    fn population_clamps_to_world() {
+        assert_eq!(RankBucket::Top10K.population(5_000), 5_000);
+        assert_eq!(RankBucket::Top10K.population(50_000), 10_000);
+        assert_eq!(RankBucket::Top100K.population(5_000), 5_000);
+    }
+}

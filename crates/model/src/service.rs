@@ -1,0 +1,59 @@
+//! Service kinds on the critical path of a web request.
+
+use std::fmt;
+
+/// The infrastructure services a web request depends on (Figure 1 of the
+/// paper), plus `Cloud` for the smart-home case study (Table 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServiceKind {
+    /// Authoritative domain-name service.
+    Dns,
+    /// Content delivery.
+    Cdn,
+    /// Certificate revocation checking (OCSP responders / CRL
+    /// distribution points operated by a CA).
+    Ca,
+    /// Cloud backend hosting (smart-home vertical only).
+    Cloud,
+}
+
+impl ServiceKind {
+    /// The three services analyzed for the Alexa population.
+    pub const WEB_SERVICES: [ServiceKind; 3] =
+        [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca];
+
+    /// Short uppercase label as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceKind::Dns => "DNS",
+            ServiceKind::Cdn => "CDN",
+            ServiceKind::Ca => "CA",
+            ServiceKind::Cloud => "Cloud",
+        }
+    }
+}
+
+impl fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ServiceKind::Dns.to_string(), "DNS");
+        assert_eq!(ServiceKind::Cdn.to_string(), "CDN");
+        assert_eq!(ServiceKind::Ca.to_string(), "CA");
+        assert_eq!(ServiceKind::Cloud.to_string(), "Cloud");
+    }
+
+    #[test]
+    fn web_services_excludes_cloud() {
+        assert!(!ServiceKind::WEB_SERVICES.contains(&ServiceKind::Cloud));
+        assert_eq!(ServiceKind::WEB_SERVICES.len(), 3);
+    }
+}

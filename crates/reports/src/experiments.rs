@@ -1,0 +1,88 @@
+//! Experiment registry.
+
+use crate::table::TextTable;
+use crate::workspace::Workspace;
+use crate::{figures, tables};
+
+/// The rendered output of one experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `"table3"`.
+    pub id: String,
+    /// Human title including the paper reference.
+    pub title: String,
+    /// Rendered tables.
+    pub tables: Vec<TextTable>,
+    /// Paper-vs-measured commentary lines.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report.
+    pub fn new(id: &str, title: &str) -> Report {
+        Report { id: id.to_string(), title: title.to_string(), tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Adds a table.
+    pub fn table(mut self, t: TextTable) -> Report {
+        self.tables.push(t);
+        self
+    }
+
+    /// Adds a note line.
+    pub fn note(mut self, n: impl Into<String>) -> Report {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Renders the full report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} — {} ===\n\n", self.id, self.title));
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  * {n}\n"));
+        }
+        out
+    }
+}
+
+/// All experiment ids, in paper order.
+pub fn all_experiment_ids() -> Vec<&'static str> {
+    vec![
+        "table1", "table2", "figure2", "table3", "figure3", "table4", "figure4", "table5",
+        "figure5", "figure6", "table6", "figure7", "table7", "figure8", "table8", "figure9",
+        "table9", "table10", "table11", "validation", "amplification",
+    ]
+}
+
+/// Runs one experiment by id.
+pub fn run_experiment(ws: &Workspace, id: &str) -> Option<Report> {
+    Some(match id {
+        "table1" => tables::table1(ws),
+        "table2" => tables::table2(ws),
+        "table3" => tables::table3(ws),
+        "table4" => tables::table4(ws),
+        "table5" => tables::table5(ws),
+        "table6" => tables::table6(ws),
+        "table7" => tables::table7(ws),
+        "table8" => tables::table8(ws),
+        "table9" => tables::table9(ws),
+        "table10" => tables::table10(ws),
+        "table11" => tables::table11(ws),
+        "validation" => tables::validation(ws),
+        "figure2" => figures::figure2(ws),
+        "figure3" => figures::figure3(ws),
+        "figure4" => figures::figure4(ws),
+        "figure5" => figures::figure5(ws),
+        "figure6" => figures::figure6(ws),
+        "figure7" => figures::figure7(ws),
+        "figure8" => figures::figure8(ws),
+        "figure9" => figures::figure9(ws),
+        "amplification" => figures::amplification(ws),
+        _ => return None,
+    })
+}

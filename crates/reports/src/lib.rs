@@ -1,0 +1,30 @@
+//! # webdeps-reports
+//!
+//! Regenerators for **every table and figure** in the paper's evaluation.
+//! Each experiment function takes a prepared [`Workspace`] (paired
+//! 2016/2020 worlds + measurement datasets + graphs + the vertical case
+//! studies) and renders the same rows/series the paper prints, side by
+//! side with the paper's published values.
+//!
+//! The binary `repro` runs any subset:
+//!
+//! ```text
+//! repro --scale 20000 --seed 42 --exp table3 --exp figure7
+//! repro --all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod export;
+pub mod figures;
+pub mod names;
+pub mod table;
+pub mod tables;
+pub mod workspace;
+
+pub use experiments::{all_experiment_ids, run_experiment, Report};
+pub use export::{providers_csv, sites_csv, write_csv_dir};
+pub use table::TextTable;
+pub use workspace::Workspace;

@@ -1,0 +1,87 @@
+//! Cosmetic mapping from wire identities to display names.
+//!
+//! The measurement pipeline knows providers only by their observed
+//! infrastructure domains; reports print the familiar names next to
+//! them so they can be compared with the paper's figures.
+
+/// (wire identity, display name) pairs.
+const PRETTY: &[(&str, &str)] = &[
+    ("cloudflare.com", "Cloudflare"),
+    ("cloudflare.net", "Cloudflare CDN"),
+    ("awsdns.net", "AWS Route 53"),
+    ("domaincontrol.com", "GoDaddy"),
+    ("dnsmadeeasy.com", "DNSMadeEasy"),
+    ("dynect.net", "Dyn"),
+    ("nsone.net", "NS1"),
+    ("ultradns.net", "UltraDNS"),
+    ("akam.net", "Akamai Edge DNS"),
+    ("googledomains.com", "Google Cloud DNS"),
+    ("azure-dns.com", "Azure DNS"),
+    ("alibabadns.com", "Alibaba DNS"),
+    ("comodo-dns.net", "Comodo DNS"),
+    ("akamaiedge.net", "Akamai"),
+    ("cloudfront.net", "CloudFront"),
+    ("incapdns.net", "Incapsula"),
+    ("fastly.net", "Fastly"),
+    ("stackpathdns.com", "StackPath"),
+    ("edgecastcdn.net", "EdgeCast"),
+    ("llnwd.net", "Limelight"),
+    ("azureedge.net", "Azure CDN"),
+    ("digicert.com", "DigiCert"),
+    ("letsencrypt.org", "Let's Encrypt"),
+    ("sectigo.com", "Sectigo"),
+    ("globalsign.com", "GlobalSign"),
+    ("amazontrust.com", "Amazon Trust"),
+    ("godaddy-ca.com", "GoDaddy CA"),
+    ("entrust.net", "Entrust"),
+    ("symantec-ca.com", "Symantec"),
+    ("geotrust-ca.com", "GeoTrust"),
+    ("comodo-ca.com", "Comodo"),
+    ("registrar-servers.com", "Namecheap DNS"),
+    ("digitalocean.com", "DigitalOcean DNS"),
+    ("he.net", "Hurricane Electric"),
+    ("wixdns.net", "Wix DNS"),
+    ("linode.com", "Linode DNS"),
+    ("ovh.net", "OVH DNS"),
+    ("ui-dns.com", "IONOS DNS"),
+    ("gandi.net", "Gandi DNS"),
+    ("thawte-ca.com", "Thawte"),
+    ("rapidssl-ca.com", "RapidSSL"),
+    ("certum.pl", "Certum"),
+    ("trustasia.com", "TrustAsia"),
+    ("b-cdn.net", "BunnyCDN"),
+    ("kxcdn.com", "KeyCDN"),
+    ("cdn77.org", "CDN77"),
+];
+
+/// Display name for a wire identity (falls back to the identity).
+pub fn pretty(key: &str) -> &str {
+    PRETTY
+        .iter()
+        .find(|(domain, _)| *domain == key)
+        .map(|(_, name)| *name)
+        .unwrap_or(key)
+}
+
+/// Display with the wire identity attached when they differ.
+pub fn pretty_full(key: &str) -> String {
+    let name = pretty(key);
+    if name == key {
+        key.to_string()
+    } else {
+        format!("{name} ({key})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_and_unknown_names() {
+        assert_eq!(pretty("dnsmadeeasy.com"), "DNSMadeEasy");
+        assert_eq!(pretty("unknown-thing.net"), "unknown-thing.net");
+        assert_eq!(pretty_full("dynect.net"), "Dyn (dynect.net)");
+        assert_eq!(pretty_full("unknown-thing.net"), "unknown-thing.net");
+    }
+}

@@ -1,0 +1,120 @@
+//! Plain-text table rendering.
+
+/// A renderable text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Caption shown above the table.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            caption: caption.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("| ");
+            for i in 0..cols {
+                let cell = &cells[i];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i] - cell.chars().count()));
+                line.push_str(" | ");
+            }
+            line.trim_end().to_string()
+        };
+        let sep = {
+            let mut s = String::from("|");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('|');
+            }
+            s
+        };
+        let mut out = String::new();
+        if !self.caption.is_empty() {
+            out.push_str(&format!("{}\n", self.caption));
+        }
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats a signed percentage-point delta.
+pub fn delta(v: f64) -> String {
+    format!("{v:+.1}")
+}
+
+/// Formats a count.
+pub fn count(v: usize) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "100".into()]);
+        let s = t.render();
+        assert!(s.starts_with("Demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1].len(), lines[3].len(), "rows align");
+        assert!(lines[2].starts_with("|-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_enforced() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(12.345), "12.3%");
+        assert_eq!(delta(-4.7), "-4.7");
+        assert_eq!(delta(4.7), "+4.7");
+        assert_eq!(count(42), "42");
+    }
+}

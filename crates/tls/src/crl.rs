@@ -1,0 +1,91 @@
+//! Certificate revocation lists.
+//!
+//! The second revocation-checking channel the paper measures (CRL
+//! distribution points, "CDPs"). Unlike OCSP — one signed answer per
+//! certificate — a CRL is a periodically reissued *list* of every
+//! revoked serial under an issuer. Clients download the whole list and
+//! check membership locally; the list's `next_update` bounds how long a
+//! cached copy stays authoritative (the same cache-extends-incidents
+//! dynamic as OCSP, on a coarser object).
+
+use crate::ocsp::CertStatus;
+use std::collections::BTreeSet;
+use webdeps_dns::SimTime;
+use webdeps_model::CaId;
+
+/// A signed certificate revocation list (modulo the signature, which the
+/// analysis never inspects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crl {
+    /// Issuing CA.
+    pub issuer: CaId,
+    /// Serials of all certificates revoked by the issuer.
+    pub revoked: BTreeSet<u64>,
+    /// Issuance time of this list.
+    pub this_update: SimTime,
+    /// When the next list is due; a cached list is authoritative until
+    /// then.
+    pub next_update: SimTime,
+}
+
+impl Crl {
+    /// Whether this list is still usable at `now`.
+    pub fn fresh_at(&self, now: SimTime) -> bool {
+        now < self.next_update
+    }
+
+    /// Membership check: the status this CRL asserts for a serial.
+    /// A CRL cannot distinguish "good" from "unknown to this issuer" —
+    /// absence simply means *not revoked by this list*.
+    pub fn status_of(&self, serial: u64) -> CertStatus {
+        if self.revoked.contains(&serial) {
+            CertStatus::Revoked
+        } else {
+            CertStatus::Good
+        }
+    }
+
+    /// Number of revoked entries (real CRLs grow into the megabytes;
+    /// the size is a useful realism statistic in tests and benches).
+    pub fn len(&self) -> usize {
+        self.revoked.len()
+    }
+
+    /// Whether no certificate is revoked.
+    pub fn is_empty(&self) -> bool {
+        self.revoked.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crl(revoked: &[u64]) -> Crl {
+        Crl {
+            issuer: CaId(0),
+            revoked: revoked.iter().copied().collect(),
+            this_update: SimTime(100),
+            next_update: SimTime(100 + 7 * 86_400),
+        }
+    }
+
+    #[test]
+    fn membership_semantics() {
+        let c = crl(&[3, 17]);
+        assert_eq!(c.status_of(3), CertStatus::Revoked);
+        assert_eq!(c.status_of(17), CertStatus::Revoked);
+        assert_eq!(c.status_of(4), CertStatus::Good, "absence means not revoked");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(crl(&[]).is_empty());
+    }
+
+    #[test]
+    fn freshness_window() {
+        let c = crl(&[1]);
+        assert!(c.fresh_at(SimTime(100)));
+        assert!(c.fresh_at(SimTime(100 + 7 * 86_400 - 1)));
+        assert!(!c.fresh_at(SimTime(100 + 7 * 86_400)));
+    }
+}

@@ -1,0 +1,27 @@
+//! # webdeps-tls
+//!
+//! A PKI simulator shaped like the slice of TLS the paper measures:
+//! certificates with subject-alternative-name lists, issuing certificate
+//! authorities, OCSP responders and CRL distribution points (whose
+//! *hostnames* are what the CA-dependency heuristics classify), OCSP
+//! stapling, and a client-side revocation checker with response caching
+//! — including the failure mode of the 2016 GlobalSign incident, where a
+//! responder misconfiguration marked valid certificates revoked and
+//! caching stretched a short error into a week-long outage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ca;
+pub mod cert;
+pub mod crl;
+pub mod ocsp;
+pub mod pki;
+pub mod revocation;
+
+pub use ca::CertificateAuthority;
+pub use cert::{Certificate, Endpoint};
+pub use crl::Crl;
+pub use ocsp::{CertStatus, OcspFault, OcspResponse};
+pub use pki::{Pki, PkiBuilder};
+pub use revocation::{RevocationChecker, RevocationError, RevocationOutcome, RevocationPolicy};

@@ -1,0 +1,126 @@
+//! Content delivery networks.
+
+use std::collections::HashMap;
+use webdeps_model::{CdnId, DomainName, EntityId};
+
+/// One CDN: an entity operating edge infrastructure that customers point
+/// their hostnames at via CNAME on-ramps.
+#[derive(Debug, Clone)]
+pub struct Cdn {
+    /// Identifier within the directory.
+    pub id: CdnId,
+    /// Display name, e.g. `"Akamai"`.
+    pub name: String,
+    /// Owning organization.
+    pub entity: EntityId,
+    /// Domains under which customer CNAMEs live, e.g.
+    /// `akamaiedge.net` — a CNAME chain containing a host under one of
+    /// these identifies the CDN.
+    pub cname_suffixes: Vec<DomainName>,
+    /// Whether the provider advertises itself as a CDN. The paper only
+    /// treats providers that do as CDNs; hosting companies with
+    /// CDN-shaped CNAMEs are excluded by this flag.
+    pub advertises_as_cdn: bool,
+}
+
+impl Cdn {
+    /// Whether `host` is a customer on-ramp or edge host of this CDN.
+    pub fn matches_host(&self, host: &DomainName) -> bool {
+        self.cname_suffixes.iter().any(|s| host.is_equal_or_subdomain_of(s))
+    }
+}
+
+/// Registry of all CDNs in a world.
+#[derive(Debug, Clone, Default)]
+pub struct CdnDirectory {
+    cdns: Vec<Cdn>,
+    by_name: HashMap<String, CdnId>,
+}
+
+impl CdnDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a CDN.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        entity: EntityId,
+        cname_suffixes: Vec<DomainName>,
+        advertises_as_cdn: bool,
+    ) -> CdnId {
+        let name = name.into();
+        let id = CdnId::from_index(self.cdns.len());
+        let prev = self.by_name.insert(name.clone(), id);
+        assert!(prev.is_none(), "CDN {name} registered twice");
+        self.cdns.push(Cdn { id, name, entity, cname_suffixes, advertises_as_cdn });
+        id
+    }
+
+    /// Looks up a CDN by id.
+    pub fn get(&self, id: CdnId) -> &Cdn {
+        &self.cdns[id.index()]
+    }
+
+    /// Looks up a CDN by display name.
+    pub fn by_name(&self, name: &str) -> Option<&Cdn> {
+        self.by_name.get(name).map(|&id| self.get(id))
+    }
+
+    /// All CDNs.
+    pub fn iter(&self) -> impl Iterator<Item = &Cdn> {
+        self.cdns.iter()
+    }
+
+    /// Number of registered CDNs.
+    pub fn len(&self) -> usize {
+        self.cdns.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cdns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_model::name::dn;
+
+    #[test]
+    fn registration_and_lookup() {
+        let mut dir = CdnDirectory::new();
+        let ak = dir.register("Akamai", EntityId(1), vec![dn("akamaiedge.net")], true);
+        assert_eq!(dir.get(ak).name, "Akamai");
+        assert_eq!(dir.by_name("Akamai").unwrap().id, ak);
+        assert!(dir.by_name("Nope").is_none());
+        assert_eq!(dir.len(), 1);
+        assert!(!dir.is_empty());
+    }
+
+    #[test]
+    fn host_matching_uses_suffixes() {
+        let mut dir = CdnDirectory::new();
+        let ak = dir.register(
+            "Akamai",
+            EntityId(1),
+            vec![dn("akamaiedge.net"), dn("akamai.net")],
+            true,
+        );
+        let cdn = dir.get(ak);
+        assert!(cdn.matches_host(&dn("e1234.a.akamaiedge.net")));
+        assert!(cdn.matches_host(&dn("a1.g.akamai.net")));
+        assert!(!cdn.matches_host(&dn("notakamai.net")));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let mut dir = CdnDirectory::new();
+        dir.register("X", EntityId(0), vec![dn("x.net")], true);
+        dir.register("X", EntityId(1), vec![dn("y.net")], true);
+    }
+}

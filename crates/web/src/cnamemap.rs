@@ -1,0 +1,143 @@
+//! The self-populated CNAME-to-CDN map.
+//!
+//! The paper detects CDN usage by matching the CNAME chains of a page's
+//! internal resources against a curated suffix → CDN map (the approach of
+//! tools like CDNFinder). [`CnameToCdnMap`] is that artifact: it is
+//! *derived knowledge*, built from the CDN directory, and the measurement
+//! pipeline consults only this map — never the directory's ground-truth
+//! entity wiring.
+
+use crate::cdn::CdnDirectory;
+use webdeps_model::{CdnId, DomainName};
+
+/// Suffix-matching map from CNAME hosts to CDN identity.
+///
+/// ```
+/// use webdeps_web::{CdnDirectory, CnameToCdnMap};
+/// use webdeps_model::{name::dn, EntityId};
+/// let mut dir = CdnDirectory::new();
+/// let akamai = dir.register("Akamai", EntityId(0), vec![dn("akamaiedge.net")], true);
+/// let map = CnameToCdnMap::from_directory(&dir);
+/// let chain = [dn("cust-7.akamaiedge.net")];
+/// assert_eq!(map.classify_chain(chain.iter()), Some(akamai));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CnameToCdnMap {
+    /// (suffix, cdn) pairs; longest-suffix match wins.
+    entries: Vec<(DomainName, CdnId)>,
+}
+
+impl CnameToCdnMap {
+    /// Builds the map from a CDN directory, honouring the paper's rule
+    /// that only self-advertised CDNs are included.
+    pub fn from_directory(dir: &CdnDirectory) -> Self {
+        let mut entries: Vec<(DomainName, CdnId)> = dir
+            .iter()
+            .filter(|cdn| cdn.advertises_as_cdn)
+            .flat_map(|cdn| cdn.cname_suffixes.iter().cloned().map(move |s| (s, cdn.id)))
+            .collect();
+        // Longest suffix first so more specific entries win.
+        entries.sort_by_key(|(s, _)| std::cmp::Reverse(s.label_count()));
+        CnameToCdnMap { entries }
+    }
+
+    /// Adds a manual entry (the paper's map was hand-extended).
+    pub fn add(&mut self, suffix: DomainName, cdn: CdnId) {
+        self.entries.push((suffix, cdn));
+        self.entries.sort_by_key(|(s, _)| std::cmp::Reverse(s.label_count()));
+    }
+
+    /// Classifies a single host.
+    pub fn classify_host(&self, host: &DomainName) -> Option<CdnId> {
+        self.entries
+            .iter()
+            .find(|(suffix, _)| host.is_equal_or_subdomain_of(suffix))
+            .map(|&(_, id)| id)
+    }
+
+    /// Classifies a full CNAME chain: the first host that maps to a CDN
+    /// determines the answer (chains may traverse several providers; the
+    /// first hop is the on-ramp the customer chose).
+    pub fn classify_chain<'a>(
+        &self,
+        chain: impl IntoIterator<Item = &'a DomainName>,
+    ) -> Option<CdnId> {
+        chain.into_iter().find_map(|h| self.classify_host(h))
+    }
+
+    /// Like [`Self::classify_chain`] but also returns the matched map
+    /// suffix and the matching chain host — the *public* identity a
+    /// measurement pipeline can use without consulting the directory.
+    pub fn classify_chain_detailed<'a, 'b>(
+        &'a self,
+        chain: impl IntoIterator<Item = &'b DomainName>,
+    ) -> Option<(&'a DomainName, CdnId, &'b DomainName)> {
+        chain.into_iter().find_map(|h| {
+            self.entries
+                .iter()
+                .find(|(suffix, _)| h.is_equal_or_subdomain_of(suffix))
+                .map(|(suffix, id)| (suffix, *id, h))
+        })
+    }
+
+    /// Number of suffix entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_model::name::dn;
+    use webdeps_model::EntityId;
+
+    fn directory() -> CdnDirectory {
+        let mut dir = CdnDirectory::new();
+        dir.register("Akamai", EntityId(0), vec![dn("akamaiedge.net")], true);
+        dir.register("CloudFront", EntityId(1), vec![dn("cloudfront.net")], true);
+        dir.register("NotACdnHosting", EntityId(2), vec![dn("webhotel.net")], false);
+        dir
+    }
+
+    #[test]
+    fn map_excludes_non_advertising_providers() {
+        let map = CnameToCdnMap::from_directory(&directory());
+        assert_eq!(map.len(), 2);
+        assert!(map.classify_host(&dn("x.webhotel.net")).is_none());
+    }
+
+    #[test]
+    fn chain_classification_finds_first_match() {
+        let dir = directory();
+        let map = CnameToCdnMap::from_directory(&dir);
+        let chain = [dn("cust.origin-pull.net"), dn("d111.cloudfront.net")];
+        let id = map.classify_chain(chain.iter()).unwrap();
+        assert_eq!(dir.get(id).name, "CloudFront");
+        assert!(map.classify_chain([dn("plain.example.com")].iter()).is_none());
+    }
+
+    #[test]
+    fn longest_suffix_wins() {
+        let mut dir = directory();
+        let special = dir.register("AkamaiSpecial", EntityId(3), vec![dn("s.akamaiedge.net")], true);
+        let map = CnameToCdnMap::from_directory(&dir);
+        assert_eq!(map.classify_host(&dn("e1.s.akamaiedge.net")), Some(special));
+        let generic = map.classify_host(&dn("e1.g.akamaiedge.net")).unwrap();
+        assert_eq!(dir.get(generic).name, "Akamai");
+    }
+
+    #[test]
+    fn manual_entries_extend_map() {
+        let dir = directory();
+        let mut map = CnameToCdnMap::from_directory(&dir);
+        let ak = dir.by_name("Akamai").unwrap().id;
+        map.add(dn("akahost.example-alias.net"), ak);
+        assert_eq!(map.classify_host(&dn("x.akahost.example-alias.net")), Some(ak));
+    }
+}

@@ -1,0 +1,33 @@
+//! # webdeps-web
+//!
+//! The web-serving substrate: websites' pages and resources, CDNs with
+//! their CNAME on-ramps, webservers with TLS configuration (certificate +
+//! optional OCSP stapling), an HTTP(S) client that walks the full life
+//! cycle of a web request from Figure 1 of the paper — DNS resolution,
+//! TLS handshake, revocation checking, content fetch — and a headless
+//! crawler that renders a landing page and records every hostname that
+//! served an object, mirroring the paper's PhantomJS pass.
+//!
+//! Everything here observes the world through the DNS and PKI simulators;
+//! outages injected there propagate to fetch failures here, which is what
+//! lets the analysis layer cross-validate its graph-derived impact
+//! numbers against actually simulated incidents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdn;
+pub mod client;
+pub mod cnamemap;
+pub mod crawler;
+pub mod resource;
+pub mod server;
+pub mod url;
+
+pub use cdn::{Cdn, CdnDirectory};
+pub use client::{FetchError, FetchOutcome, WebClient};
+pub use cnamemap::CnameToCdnMap;
+pub use crawler::{CrawlReport, Crawler, LoadedResource};
+pub use resource::{Page, Resource, ResourceKind};
+pub use server::{TlsConfig, VirtualHost, WebNetwork, WebNetworkBuilder, WebServerId};
+pub use url::{Scheme, Url};

@@ -1,0 +1,179 @@
+//! Webservers and virtual hosts.
+//!
+//! Serving is split the way HTTP actually splits it: an IP address
+//! belongs to a [`WebServerId`] run by some operator (a website's own
+//! origin, or a CDN edge), while *content and TLS configuration* hang off
+//! the requested hostname — the [`VirtualHost`] — exactly like SNI-based
+//! virtual hosting. A CDN edge therefore presents the customer's
+//! certificate and serves the customer's page when asked for the
+//! customer's hostname.
+
+use crate::resource::Page;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use webdeps_model::{DomainName, EntityId};
+use webdeps_tls::Certificate;
+
+/// Dense identifier of a webserver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WebServerId(pub u32);
+
+impl WebServerId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One webserver (origin or CDN edge).
+#[derive(Debug, Clone)]
+pub struct WebServer {
+    /// Identifier.
+    pub id: WebServerId,
+    /// Serving address.
+    pub ip: Ipv4Addr,
+    /// Operating organization — the outage-attribution pivot.
+    pub operator: EntityId,
+}
+
+/// TLS configuration of a virtual host.
+#[derive(Debug, Clone)]
+pub struct TlsConfig {
+    /// Certificate presented for this hostname.
+    pub certificate: Certificate,
+    /// Whether the server staples OCSP responses.
+    pub staple: bool,
+}
+
+/// Per-hostname serving configuration.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualHost {
+    /// TLS configuration; `None` means HTTP only.
+    pub tls: Option<TlsConfig>,
+    /// The landing page, when this hostname serves a document.
+    pub page: Option<Page>,
+    /// HTTP redirect target: requests for this host are answered with a
+    /// redirect to the same path on `redirect` (the ubiquitous
+    /// `example.com` → `www.example.com` hop).
+    pub redirect: Option<webdeps_model::DomainName>,
+}
+
+/// The immutable web-serving universe.
+#[derive(Debug, Clone, Default)]
+pub struct WebNetwork {
+    servers: Vec<WebServer>,
+    by_ip: HashMap<Ipv4Addr, WebServerId>,
+    vhosts: HashMap<DomainName, VirtualHost>,
+}
+
+impl WebNetwork {
+    /// Starts a builder.
+    pub fn builder() -> WebNetworkBuilder {
+        WebNetworkBuilder { network: WebNetwork::default() }
+    }
+
+    /// Server by id.
+    pub fn server(&self, id: WebServerId) -> &WebServer {
+        &self.servers[id.index()]
+    }
+
+    /// Server owning an IP address.
+    pub fn server_at(&self, ip: Ipv4Addr) -> Option<&WebServer> {
+        self.by_ip.get(&ip).map(|&id| self.server(id))
+    }
+
+    /// Virtual-host configuration for a hostname.
+    pub fn vhost(&self, host: &DomainName) -> Option<&VirtualHost> {
+        self.vhosts.get(host)
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of configured virtual hosts.
+    pub fn vhost_count(&self) -> usize {
+        self.vhosts.len()
+    }
+}
+
+/// Assembles a [`WebNetwork`].
+#[derive(Debug, Default)]
+pub struct WebNetworkBuilder {
+    network: WebNetwork,
+}
+
+impl WebNetworkBuilder {
+    /// Registers a server at an address. Idempotent per IP (same
+    /// operator required).
+    pub fn add_server(&mut self, ip: Ipv4Addr, operator: EntityId) -> WebServerId {
+        if let Some(&id) = self.network.by_ip.get(&ip) {
+            assert_eq!(
+                self.network.servers[id.index()].operator,
+                operator,
+                "IP {ip} re-registered to a different operator"
+            );
+            return id;
+        }
+        let id = WebServerId(self.network.servers.len() as u32);
+        self.network.servers.push(WebServer { id, ip, operator });
+        self.network.by_ip.insert(ip, id);
+        id
+    }
+
+    /// Configures (or replaces) the virtual host for a hostname.
+    pub fn set_vhost(&mut self, host: DomainName, vhost: VirtualHost) {
+        self.network.vhosts.insert(host, vhost);
+    }
+
+    /// Mutable access to a vhost, creating it when absent.
+    pub fn vhost_mut(&mut self, host: &DomainName) -> &mut VirtualHost {
+        self.network.vhosts.entry(host.clone()).or_default()
+    }
+
+    /// Finalizes the network.
+    pub fn build(self) -> WebNetwork {
+        self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_model::name::dn;
+
+    #[test]
+    fn server_registration_is_idempotent_per_ip() {
+        let mut b = WebNetwork::builder();
+        let a = b.add_server(Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let again = b.add_server(Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        assert_eq!(a, again);
+        let other = b.add_server(Ipv4Addr::new(192, 0, 2, 2), EntityId(1));
+        assert_ne!(a, other);
+        let net = b.build();
+        assert_eq!(net.server_count(), 2);
+        assert_eq!(net.server_at(Ipv4Addr::new(192, 0, 2, 1)).unwrap().operator, EntityId(0));
+        assert!(net.server_at(Ipv4Addr::new(203, 0, 113, 1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different operator")]
+    fn ip_conflict_panics() {
+        let mut b = WebNetwork::builder();
+        b.add_server(Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        b.add_server(Ipv4Addr::new(192, 0, 2, 1), EntityId(1));
+    }
+
+    #[test]
+    fn vhost_configuration() {
+        let mut b = WebNetwork::builder();
+        b.vhost_mut(&dn("example.com")).page = Some(Page::new());
+        let net = b.build();
+        assert!(net.vhost(&dn("example.com")).unwrap().page.is_some());
+        assert!(net.vhost(&dn("example.com")).unwrap().tls.is_none());
+        assert!(net.vhost(&dn("other.com")).is_none());
+        assert_eq!(net.vhost_count(), 1);
+    }
+}

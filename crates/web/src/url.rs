@@ -1,0 +1,109 @@
+//! Minimal URLs.
+
+use std::fmt;
+use webdeps_model::{DomainName, ModelError};
+
+/// URL scheme; the study only cares about plain versus TLS-protected
+/// HTTP (HTTPS adoption is one of the Figure 4 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Plain HTTP.
+    Http,
+    /// HTTP over TLS.
+    Https,
+}
+
+impl Scheme {
+    /// The scheme's textual prefix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+}
+
+/// A scheme + host + path URL. Ports, queries, and fragments play no
+/// role in dependency measurement and are not modeled.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Hostname.
+    pub host: DomainName,
+    /// Absolute path (always begins with `/`).
+    pub path: String,
+}
+
+impl Url {
+    /// An HTTP URL at the root path.
+    pub fn http(host: DomainName) -> Self {
+        Url { scheme: Scheme::Http, host, path: "/".into() }
+    }
+
+    /// An HTTPS URL at the root path.
+    pub fn https(host: DomainName) -> Self {
+        Url { scheme: Scheme::Https, host, path: "/".into() }
+    }
+
+    /// Replaces the path.
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        let p = path.into();
+        self.path = if p.starts_with('/') { p } else { format!("/{p}") };
+        self
+    }
+
+    /// Parses `scheme://host/path`.
+    pub fn parse(input: &str) -> Result<Self, ModelError> {
+        let (scheme, rest) = if let Some(rest) = input.strip_prefix("https://") {
+            (Scheme::Https, rest)
+        } else if let Some(rest) = input.strip_prefix("http://") {
+            (Scheme::Http, rest)
+        } else {
+            return Err(ModelError::InvalidDomainName {
+                input: input.to_string(),
+                reason: "URL must start with http:// or https://",
+            });
+        };
+        let (host, path) = match rest.split_once('/') {
+            Some((h, p)) => (h, format!("/{p}")),
+            None => (rest, "/".to_string()),
+        };
+        Ok(Url { scheme, host: DomainName::parse(host)?, path })
+    }
+
+    /// Whether this URL requires the TLS path.
+    pub fn is_https(&self) -> bool {
+        self.scheme == Scheme::Https
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme.as_str(), self.host, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdeps_model::name::dn;
+
+    #[test]
+    fn constructors_and_display() {
+        let u = Url::https(dn("example.com")).with_path("img/logo.png");
+        assert_eq!(u.to_string(), "https://example.com/img/logo.png");
+        assert!(u.is_https());
+        assert!(!Url::http(dn("example.com")).is_https());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["http://example.com/", "https://a.b.example.co.uk/x/y"] {
+            assert_eq!(Url::parse(s).unwrap().to_string(), s);
+        }
+        assert_eq!(Url::parse("https://example.com").unwrap().path, "/");
+        assert!(Url::parse("ftp://example.com").is_err());
+        assert!(Url::parse("https://bad host/").is_err());
+    }
+}

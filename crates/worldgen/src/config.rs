@@ -1,0 +1,90 @@
+//! World generation configuration.
+
+/// Which Alexa snapshot a world represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapshotYear {
+    /// December 2016 (right after the Mirai-Dyn attack).
+    Y2016,
+    /// January 2020.
+    Y2020,
+}
+
+impl SnapshotYear {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SnapshotYear::Y2016 => "2016",
+            SnapshotYear::Y2020 => "2020",
+        }
+    }
+}
+
+/// Parameters of a generated world.
+///
+/// `n_sites` scales the whole population; every calibration target is a
+/// *percentage*, so figures reproduce at any scale (the paper's absolute
+/// counts only match at `n_sites = 100_000`). The DNS-concentration
+/// heuristic threshold and tail-provider counts scale with the
+/// population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldConfig {
+    /// Deterministic seed; same seed → byte-identical world.
+    pub seed: u64,
+    /// Number of websites in the ranked population.
+    pub n_sites: usize,
+    /// Which snapshot to generate.
+    pub year: SnapshotYear,
+}
+
+impl WorldConfig {
+    /// The paper's full-scale 2020 configuration.
+    pub fn paper_2020(seed: u64) -> Self {
+        WorldConfig { seed, n_sites: 100_000, year: SnapshotYear::Y2020 }
+    }
+
+    /// The paper's full-scale 2016 configuration.
+    pub fn paper_2016(seed: u64) -> Self {
+        WorldConfig { seed, n_sites: 100_000, year: SnapshotYear::Y2016 }
+    }
+
+    /// A small world for fast tests (identical structure, 2 000 sites).
+    pub fn small(seed: u64) -> Self {
+        WorldConfig { seed, n_sites: 2_000, year: SnapshotYear::Y2020 }
+    }
+
+    /// Scales a count that is proportional to the population (e.g. the
+    /// micro-tail provider pool), relative to the 100K reference scale.
+    pub fn scaled(&self, value_at_100k: usize) -> usize {
+        ((value_at_100k as f64) * (self.n_sites as f64) / 100_000.0).round().max(1.0) as usize
+    }
+
+    /// The concentration threshold for the paper's "≥ 50 sites" rule,
+    /// scaled to the population (50 at the 100K reference).
+    pub fn concentration_threshold(&self) -> usize {
+        self.scaled(50).max(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = WorldConfig::paper_2020(1);
+        assert_eq!(c.n_sites, 100_000);
+        assert_eq!(c.year, SnapshotYear::Y2020);
+        assert_eq!(WorldConfig::paper_2016(1).year, SnapshotYear::Y2016);
+        assert_eq!(SnapshotYear::Y2016.label(), "2016");
+    }
+
+    #[test]
+    fn scaling_is_proportional_with_floor() {
+        let small = WorldConfig { seed: 0, n_sites: 10_000, year: SnapshotYear::Y2020 };
+        assert_eq!(small.scaled(3_000), 300);
+        assert_eq!(small.concentration_threshold(), 5);
+        let tiny = WorldConfig { seed: 0, n_sites: 500, year: SnapshotYear::Y2020 };
+        assert_eq!(tiny.concentration_threshold(), 3, "threshold has a floor");
+        assert_eq!(tiny.scaled(1), 1, "scaled counts never hit zero");
+    }
+}

@@ -1,0 +1,43 @@
+//! # webdeps-worldgen
+//!
+//! The calibrated synthetic Internet. The paper measured the live web;
+//! this crate builds an offline stand-in: a full [`World`] — DNS zones
+//! and servers, PKI, webservers, CDN edges, and the Alexa-style ranked
+//! site population — whose *wire-visible* behavior is statistically
+//! calibrated to the numbers the paper reports (provider market shares,
+//! rank-stratified third-party/critical/redundant rates, inter-provider
+//! wiring, and 2016→2020 transition rates).
+//!
+//! Two invariants shape everything here:
+//!
+//! 1. **Ground truth stays out of band.** The world carries a
+//!    [`GroundTruth`] table recording each site's real dependency state,
+//!    but the measurement pipeline never reads it — it measures through
+//!    DNS queries, TLS fetches, and page crawls, exactly like the
+//!    paper's scripts. Ground truth exists only for validating the
+//!    heuristics (the paper's §3 manual-verification step).
+//! 2. **Paired snapshots.** [`snapshots::WorldPair`] generates 2016 and
+//!    2020 worlds over a shared site universe, with per-site transition
+//!    draws matching the paper's Tables 3/4/5 and per-provider
+//!    transitions matching Tables 7/8/9, so the evolution analysis has
+//!    real paired data to chew on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod config;
+pub mod profiles;
+pub mod providers;
+pub mod sampler;
+pub mod snapshots;
+pub mod truth;
+pub mod verticals;
+
+pub use build::World;
+pub use config::{SnapshotYear, WorldConfig};
+pub use profiles::{CaProfile, CdnProfile, DepState, DnsProfile};
+pub use snapshots::WorldPair;
+pub use truth::{GroundTruth, SiteListing, SiteTruth};
+
+

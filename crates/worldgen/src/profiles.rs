@@ -1,0 +1,731 @@
+//! Dependency-state spaces and their calibrated distributions.
+//!
+//! Each website is, per service, in one of a small number of dependency
+//! states (the paper's Table 3/4/5 vocabulary: private, single third
+//! party, redundant, …). This module holds:
+//!
+//! * the state enums,
+//! * the paper's **cumulative** rank-bucket marginals for 2016 and 2020
+//!   (exactly the numbers read off Figures 2/3/4 and the prose),
+//! * converters from cumulative bucket values to per-band densities, and
+//! * samplers: draw a 2016 state for a rank band, then *evolve* it to
+//!   2020 with the transition rates of Tables 3/4/5 — so the generated
+//!   pair of snapshots reproduces both the per-year marginals and the
+//!   flows between them.
+//!
+//! All values are percentages of sites (0–100).
+
+use webdeps_model::DetRng;
+
+/// Reference cumulative bucket sizes (the paper's k = 100/1K/10K/100K).
+pub const BUCKET_K: [f64; 4] = [100.0, 1_000.0, 10_000.0, 100_000.0];
+
+/// The disjoint rank band a 1-based rank falls into:
+/// 0: 1–100, 1: 101–1K, 2: 1K+1–10K, 3: 10K+1–100K (and beyond).
+pub fn band_of_rank(rank: u32) -> usize {
+    match rank {
+        0..=100 => 0,
+        101..=1_000 => 1,
+        1_001..=10_000 => 2,
+        _ => 3,
+    }
+}
+
+/// Converts cumulative bucket percentages (`C_k` over the top-k sites)
+/// into per-band densities (percentage within each disjoint band), using
+/// the reference bucket sizes.
+pub fn cumulative_to_density(cum: [f64; 4]) -> [f64; 4] {
+    let mut density = [0.0; 4];
+    density[0] = cum[0];
+    for j in 1..4 {
+        let (k_lo, k_hi) = (BUCKET_K[j - 1], BUCKET_K[j]);
+        density[j] = (k_hi * cum[j] - k_lo * cum[j - 1]) / (k_hi - k_lo);
+    }
+    density
+}
+
+/// Recombines per-band densities into the cumulative value for a bucket,
+/// for a world of `n_sites` (buckets clamp to the population).
+pub fn density_to_cumulative(density: [f64; 4], bucket_limit: usize, n_sites: usize) -> f64 {
+    let limit = bucket_limit.min(n_sites) as f64;
+    let mut covered = 0.0;
+    let mut acc = 0.0;
+    for j in 0..4 {
+        let band_hi = BUCKET_K[j].min(limit);
+        let band_lo = if j == 0 { 0.0 } else { BUCKET_K[j - 1] };
+        if band_hi > band_lo {
+            acc += density[j] * (band_hi - band_lo);
+            covered += band_hi - band_lo;
+        }
+        if band_hi >= limit {
+            break;
+        }
+    }
+    if covered == 0.0 {
+        0.0
+    } else {
+        acc / covered
+    }
+}
+
+// ---------------------------------------------------------------------
+// DNS
+// ---------------------------------------------------------------------
+
+/// Website → DNS dependency state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepState {
+    /// Only private (self-operated) nameservers.
+    Private,
+    /// Exactly one third-party provider: critically dependent.
+    SingleThird,
+    /// Two or more third-party providers: redundant.
+    MultiThird,
+    /// Private nameservers plus a third-party provider: redundant.
+    PrivatePlusThird,
+}
+
+impl DepState {
+    /// Whether the state uses any third party.
+    pub fn uses_third_party(self) -> bool {
+        !matches!(self, DepState::Private)
+    }
+
+    /// Whether the state is critically dependent on one provider.
+    pub fn is_critical(self) -> bool {
+        matches!(self, DepState::SingleThird)
+    }
+
+    /// Whether the state is redundantly provisioned.
+    pub fn is_redundant(self) -> bool {
+        matches!(self, DepState::MultiThird | DepState::PrivatePlusThird)
+    }
+}
+
+/// Calibration for one service's four-state distribution, as cumulative
+/// bucket percentages.
+#[derive(Debug, Clone, Copy)]
+pub struct DnsMarginals {
+    /// Sites using any third-party DNS.
+    pub third: [f64; 4],
+    /// Sites critically dependent (single third-party provider).
+    pub critical: [f64; 4],
+    /// Sites with private + third-party redundancy.
+    pub private_plus_third: [f64; 4],
+}
+
+/// 2020 DNS marginals (Figure 2).
+pub const DNS_2020: DnsMarginals = DnsMarginals {
+    third: [49.0, 65.0, 78.0, 89.0],
+    critical: [28.0, 48.0, 68.0, 85.0],
+    private_plus_third: [9.0, 7.0, 4.0, 1.5],
+};
+
+/// 2016 DNS marginals, back-derived from 2020 minus the Table 3 deltas.
+pub const DNS_2016: DnsMarginals = DnsMarginals {
+    third: [50.0, 59.2, 72.4, 84.3],
+    critical: [30.0, 42.5, 62.5, 80.3],
+    private_plus_third: [9.0, 7.0, 4.0, 1.5],
+};
+
+/// Table 3 transition rates (percent of sites, cumulative buckets).
+#[derive(Debug, Clone, Copy)]
+pub struct DnsTransitions {
+    /// Private → single third party.
+    pub pvt_to_single: [f64; 4],
+    /// Single third party → private.
+    pub single_to_pvt: [f64; 4],
+    /// Redundant → not redundant.
+    pub red_to_nored: [f64; 4],
+    /// Not redundant → redundant.
+    pub nored_to_red: [f64; 4],
+}
+
+/// Table 3 of the paper.
+pub const DNS_TRANSITIONS: DnsTransitions = DnsTransitions {
+    pvt_to_single: [0.0, 7.4, 9.8, 10.7],
+    single_to_pvt: [1.0, 1.6, 4.2, 6.0],
+    red_to_nored: [1.0, 1.6, 1.0, 0.5],
+    nored_to_red: [2.0, 1.9, 1.1, 0.5],
+};
+
+impl DnsMarginals {
+    /// Per-band density of each state, in order
+    /// (private, single, multi, private+third).
+    pub fn densities(&self) -> [[f64; 4]; 4] {
+        let third = cumulative_to_density(self.third);
+        let critical = cumulative_to_density(self.critical);
+        let ppt = cumulative_to_density(self.private_plus_third);
+        let mut out = [[0.0; 4]; 4];
+        for b in 0..4 {
+            let multi = (third[b] - critical[b] - ppt[b]).max(0.0);
+            out[0][b] = (100.0 - third[b]).max(0.0);
+            out[1][b] = critical[b];
+            out[2][b] = multi;
+            out[3][b] = ppt[b];
+        }
+        out
+    }
+}
+
+/// Samples a 2016 DNS state for a site in `band`.
+pub fn sample_dns_2016(band: usize, rng: &mut DetRng) -> DepState {
+    let d = DNS_2016.densities();
+    let weights = [d[0][band], d[1][band], d[2][band], d[3][band]];
+    match rng.weighted_index(&weights).expect("non-zero weights") {
+        0 => DepState::Private,
+        1 => DepState::SingleThird,
+        2 => DepState::MultiThird,
+        _ => DepState::PrivatePlusThird,
+    }
+}
+
+/// Evolves a 2016 DNS state to 2020 using Table 3 band-conditional
+/// transition probabilities.
+pub fn evolve_dns(state16: DepState, band: usize, rng: &mut DetRng) -> DepState {
+    let d16 = DNS_2016.densities();
+    let t = &DNS_TRANSITIONS;
+    let pvt_to_single = cumulative_to_density(t.pvt_to_single);
+    let single_to_pvt = cumulative_to_density(t.single_to_pvt);
+    let red_to_nored = cumulative_to_density(t.red_to_nored);
+    let nored_to_red = cumulative_to_density(t.nored_to_red);
+
+    let cond = |rate: f64, source_share: f64| {
+        if source_share <= 0.0 {
+            0.0
+        } else {
+            (rate / source_share).clamp(0.0, 1.0)
+        }
+    };
+
+    match state16 {
+        DepState::Private => {
+            if rng.chance(cond(pvt_to_single[band], d16[0][band])) {
+                DepState::SingleThird
+            } else {
+                DepState::Private
+            }
+        }
+        DepState::SingleThird => {
+            let p_to_pvt = cond(single_to_pvt[band], d16[1][band]);
+            let p_to_red = cond(nored_to_red[band], d16[1][band]);
+            let u = rng.unit();
+            if u < p_to_pvt {
+                DepState::Private
+            } else if u < p_to_pvt + p_to_red {
+                // Adopting redundancy splits between multi-third and
+                // private+third the same way the 2020 marginals do.
+                if rng.chance(0.4) {
+                    DepState::PrivatePlusThird
+                } else {
+                    DepState::MultiThird
+                }
+            } else {
+                DepState::SingleThird
+            }
+        }
+        DepState::MultiThird | DepState::PrivatePlusThird => {
+            let red_share = d16[2][band] + d16[3][band];
+            if rng.chance(cond(red_to_nored[band], red_share)) {
+                DepState::SingleThird
+            } else {
+                state16
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CDN
+// ---------------------------------------------------------------------
+
+/// Website → CDN dependency state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CdnProfile {
+    /// No CDN at all.
+    None,
+    /// A CDN owned by the site's own entity (Yahoo/yimg style).
+    Private,
+    /// One third-party CDN: critically dependent.
+    SingleThird,
+    /// Multiple CDNs: redundant.
+    Multi,
+}
+
+impl CdnProfile {
+    /// Whether any CDN is used.
+    pub fn uses_cdn(self) -> bool {
+        !matches!(self, CdnProfile::None)
+    }
+
+    /// Whether the site critically depends on one third-party CDN.
+    pub fn is_critical(self) -> bool {
+        matches!(self, CdnProfile::SingleThird)
+    }
+}
+
+/// CDN marginals: adoption is a share of all sites, the rest are shares
+/// of CDN-using sites. Cumulative bucket values.
+#[derive(Debug, Clone, Copy)]
+pub struct CdnMarginals {
+    /// Share of sites using any CDN.
+    pub adoption: [f64; 4],
+    /// Of CDN users: share with a private CDN.
+    pub private_of_users: [f64; 4],
+    /// Of CDN users: share critically dependent (single third party).
+    pub critical_of_users: [f64; 4],
+}
+
+/// 2020 CDN marginals (Figure 3 and §4.1).
+pub const CDN_2020: CdnMarginals = CdnMarginals {
+    adoption: [65.0, 55.0, 45.0, 33.2],
+    private_of_users: [10.0, 6.0, 4.0, 2.4],
+    critical_of_users: [43.0, 55.0, 70.0, 85.0],
+};
+
+/// 2016 CDN marginals (28.4% adoption at 100K; Table 4 deltas).
+pub const CDN_2016: CdnMarginals = CdnMarginals {
+    adoption: [60.0, 50.0, 40.0, 28.4],
+    private_of_users: [10.0, 6.3, 4.8, 2.9],
+    critical_of_users: [49.0, 58.8, 71.0, 85.0],
+};
+
+/// Table 4 transition rates (percent of sites, cumulative buckets),
+/// plus the prose adoption/abandonment flows scaled to keep the 2020
+/// list marginals (see DESIGN.md fidelity notes).
+#[derive(Debug, Clone, Copy)]
+pub struct CdnTransitions {
+    /// Private CDN → single third-party CDN.
+    pub pvt_to_single: [f64; 4],
+    /// Redundant → not redundant.
+    pub red_to_nored: [f64; 4],
+    /// Not redundant → redundant.
+    pub nored_to_red: [f64; 4],
+    /// No CDN → some CDN (share of all sites).
+    pub adopt: [f64; 4],
+    /// Some CDN → no CDN (share of all sites).
+    pub abandon: [f64; 4],
+}
+
+/// Table 4 of the paper (adoption flows from §4.1 prose, rescaled).
+pub const CDN_TRANSITIONS: CdnTransitions = CdnTransitions {
+    pvt_to_single: [0.0, 0.3, 0.8, 0.5],
+    red_to_nored: [3.0, 2.7, 1.2, 1.1],
+    nored_to_red: [9.0, 6.8, 3.0, 1.6],
+    adopt: [11.0, 10.6, 10.4, 11.6],
+    abandon: [6.0, 5.6, 5.4, 6.8],
+};
+
+impl CdnMarginals {
+    /// Per-band densities of (none, private, single, multi), as shares
+    /// of all sites.
+    pub fn densities(&self) -> [[f64; 4]; 4] {
+        let adoption = cumulative_to_density(self.adoption);
+        let pvt_cum: [f64; 4] = std::array::from_fn(|i| {
+            self.adoption[i] * self.private_of_users[i] / 100.0
+        });
+        let crit_cum: [f64; 4] = std::array::from_fn(|i| {
+            self.adoption[i] * self.critical_of_users[i] / 100.0
+        });
+        let private = cumulative_to_density(pvt_cum);
+        let critical = cumulative_to_density(crit_cum);
+        let mut out = [[0.0; 4]; 4];
+        for b in 0..4 {
+            let multi = (adoption[b] - private[b] - critical[b]).max(0.0);
+            out[0][b] = (100.0 - adoption[b]).max(0.0);
+            out[1][b] = private[b];
+            out[2][b] = critical[b];
+            out[3][b] = multi;
+        }
+        out
+    }
+}
+
+/// Samples a 2016 CDN state.
+pub fn sample_cdn_2016(band: usize, rng: &mut DetRng) -> CdnProfile {
+    let d = CDN_2016.densities();
+    let weights = [d[0][band], d[1][band], d[2][band], d[3][band]];
+    match rng.weighted_index(&weights).expect("non-zero weights") {
+        0 => CdnProfile::None,
+        1 => CdnProfile::Private,
+        2 => CdnProfile::SingleThird,
+        _ => CdnProfile::Multi,
+    }
+}
+
+/// Evolves a 2016 CDN state to 2020.
+pub fn evolve_cdn(state16: CdnProfile, band: usize, rng: &mut DetRng) -> CdnProfile {
+    let d16 = CDN_2016.densities();
+    let t = &CDN_TRANSITIONS;
+    let pvt_to_single = cumulative_to_density(t.pvt_to_single);
+    let red_to_nored = cumulative_to_density(t.red_to_nored);
+    let nored_to_red = cumulative_to_density(t.nored_to_red);
+    let adopt = cumulative_to_density(t.adopt);
+    let abandon = cumulative_to_density(t.abandon);
+
+    let cond = |rate: f64, share: f64| {
+        if share <= 0.0 {
+            0.0
+        } else {
+            (rate / share).clamp(0.0, 1.0)
+        }
+    };
+    let users16 = 100.0 - d16[0][band];
+
+    match state16 {
+        CdnProfile::None => {
+            if rng.chance(cond(adopt[band], d16[0][band])) {
+                // New adopters overwhelmingly pick a single third party.
+                if rng.chance(0.92) {
+                    CdnProfile::SingleThird
+                } else {
+                    CdnProfile::Multi
+                }
+            } else {
+                CdnProfile::None
+            }
+        }
+        CdnProfile::Private => {
+            if rng.chance(cond(pvt_to_single[band], d16[1][band])) {
+                CdnProfile::SingleThird
+            } else {
+                CdnProfile::Private
+            }
+        }
+        CdnProfile::SingleThird => {
+            let p_abandon = cond(abandon[band] * d16[2][band] / users16, d16[2][band]);
+            let p_red = cond(nored_to_red[band], d16[2][band]);
+            let u = rng.unit();
+            if u < p_abandon {
+                CdnProfile::None
+            } else if u < p_abandon + p_red {
+                CdnProfile::Multi
+            } else {
+                CdnProfile::SingleThird
+            }
+        }
+        CdnProfile::Multi => {
+            let p_abandon = cond(abandon[band] * d16[3][band] / users16, d16[3][band]);
+            let p_single = cond(red_to_nored[band], d16[3][band]);
+            let u = rng.unit();
+            if u < p_abandon {
+                CdnProfile::None
+            } else if u < p_abandon + p_single {
+                CdnProfile::SingleThird
+            } else {
+                CdnProfile::Multi
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CA
+// ---------------------------------------------------------------------
+
+/// Website → CA dependency state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaProfile {
+    /// Plain HTTP: no CA dependency at all.
+    NoHttps,
+    /// HTTPS with a certificate from the site's own (private) CA.
+    PrivateCa,
+    /// HTTPS, third-party CA, OCSP stapling enabled: not critical.
+    ThirdStapled,
+    /// HTTPS, third-party CA, no stapling: critically dependent.
+    ThirdNoStaple,
+}
+
+impl CaProfile {
+    /// Whether the site serves HTTPS.
+    pub fn is_https(self) -> bool {
+        !matches!(self, CaProfile::NoHttps)
+    }
+
+    /// Whether the site uses a third-party CA.
+    pub fn uses_third_party(self) -> bool {
+        matches!(self, CaProfile::ThirdStapled | CaProfile::ThirdNoStaple)
+    }
+
+    /// Whether the site critically depends on its CA.
+    pub fn is_critical(self) -> bool {
+        matches!(self, CaProfile::ThirdNoStaple)
+    }
+}
+
+/// CA marginals: HTTPS adoption over all sites, then shares of HTTPS
+/// sites. Cumulative bucket values.
+#[derive(Debug, Clone, Copy)]
+pub struct CaMarginals {
+    /// HTTPS adoption over all sites.
+    pub https: [f64; 4],
+    /// Of HTTPS sites: share using a private CA.
+    pub private_of_https: [f64; 4],
+    /// Of third-party-CA HTTPS sites: share with OCSP stapling.
+    pub stapled_of_third: [f64; 4],
+}
+
+/// 2020 CA marginals (Figure 4, §4.1).
+pub const CA_2020: CaMarginals = CaMarginals {
+    https: [95.0, 90.0, 85.0, 78.4],
+    private_of_https: [25.0, 8.0, 3.0, 1.3],
+    stapled_of_third: [20.0, 19.0, 18.0, 17.5],
+};
+
+/// 2016 CA marginals (46.5% HTTPS at 100K).
+pub const CA_2016: CaMarginals = CaMarginals {
+    https: [88.0, 72.0, 58.0, 46.5],
+    private_of_https: [25.0, 8.0, 3.0, 1.3],
+    stapled_of_third: [22.0, 13.0, 15.0, 17.0],
+};
+
+/// Table 5 transition rates (percent of 2016-HTTPS sites).
+#[derive(Debug, Clone, Copy)]
+pub struct CaTransitions {
+    /// Stapling → no stapling.
+    pub staple_to_nostaple: [f64; 4],
+    /// No stapling → stapling.
+    pub nostaple_to_staple: [f64; 4],
+    /// Share of stapling among newly-HTTPS sites (§4.1: 11.9%).
+    pub new_https_staple_rate: f64,
+}
+
+/// Table 5 of the paper.
+pub const CA_TRANSITIONS: CaTransitions = CaTransitions {
+    staple_to_nostaple: [7.5, 6.2, 9.1, 9.7],
+    nostaple_to_staple: [3.7, 14.7, 12.9, 9.9],
+    new_https_staple_rate: 11.9,
+};
+
+impl CaMarginals {
+    /// Per-band densities of (nohttps, private, stapled, nostaple), as
+    /// shares of all sites.
+    pub fn densities(&self) -> [[f64; 4]; 4] {
+        let https = cumulative_to_density(self.https);
+        let pvt_cum: [f64; 4] =
+            std::array::from_fn(|i| self.https[i] * self.private_of_https[i] / 100.0);
+        let private = cumulative_to_density(pvt_cum);
+        let stapled_cum: [f64; 4] = std::array::from_fn(|i| {
+            let third = self.https[i] - pvt_cum[i];
+            third * self.stapled_of_third[i] / 100.0
+        });
+        let stapled = cumulative_to_density(stapled_cum);
+        let mut out = [[0.0; 4]; 4];
+        for b in 0..4 {
+            let nostaple = (https[b] - private[b] - stapled[b]).max(0.0);
+            out[0][b] = (100.0 - https[b]).max(0.0);
+            out[1][b] = private[b];
+            out[2][b] = stapled[b];
+            out[3][b] = nostaple;
+        }
+        out
+    }
+}
+
+/// Samples a 2016 CA state.
+pub fn sample_ca_2016(band: usize, rng: &mut DetRng) -> CaProfile {
+    let d = CA_2016.densities();
+    let weights = [d[0][band], d[1][band], d[2][band], d[3][band]];
+    match rng.weighted_index(&weights).expect("non-zero weights") {
+        0 => CaProfile::NoHttps,
+        1 => CaProfile::PrivateCa,
+        2 => CaProfile::ThirdStapled,
+        _ => CaProfile::ThirdNoStaple,
+    }
+}
+
+/// Evolves a 2016 CA state to 2020: HTTPS adoption grows, stapling flips
+/// per Table 5.
+pub fn evolve_ca(state16: CaProfile, band: usize, rng: &mut DetRng) -> CaProfile {
+    let d16 = CA_2016.densities();
+    let d20 = CA_2020.densities();
+    let t = &CA_TRANSITIONS;
+    let staple_to_no = cumulative_to_density(t.staple_to_nostaple);
+    let no_to_staple = cumulative_to_density(t.nostaple_to_staple);
+
+    let cond = |rate: f64, share: f64| {
+        if share <= 0.0 {
+            0.0
+        } else {
+            (rate / share).clamp(0.0, 1.0)
+        }
+    };
+    // Table 5 rates are relative to 2016-HTTPS sites; rescale to the
+    // source state's share of all sites.
+    let https16 = 100.0 - d16[0][band];
+
+    match state16 {
+        CaProfile::NoHttps => {
+            // Adoption closes the gap between 2016 and 2020 HTTPS rates.
+            let gap = (d16[0][band] - d20[0][band]).max(0.0);
+            if rng.chance(cond(gap, d16[0][band])) {
+                if rng.chance(t.new_https_staple_rate / 100.0) {
+                    CaProfile::ThirdStapled
+                } else {
+                    CaProfile::ThirdNoStaple
+                }
+            } else {
+                CaProfile::NoHttps
+            }
+        }
+        CaProfile::PrivateCa => CaProfile::PrivateCa,
+        CaProfile::ThirdStapled => {
+            let rate = staple_to_no[band] * https16 / 100.0;
+            if rng.chance(cond(rate, d16[2][band])) {
+                CaProfile::ThirdNoStaple
+            } else {
+                CaProfile::ThirdStapled
+            }
+        }
+        CaProfile::ThirdNoStaple => {
+            let rate = no_to_staple[band] * https16 / 100.0;
+            if rng.chance(cond(rate, d16[3][band])) {
+                CaProfile::ThirdStapled
+            } else {
+                CaProfile::ThirdNoStaple
+            }
+        }
+    }
+}
+
+/// Alias used by the public API: DNS profiles are plain [`DepState`]s.
+pub type DnsProfile = DepState;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_boundaries() {
+        assert_eq!(band_of_rank(1), 0);
+        assert_eq!(band_of_rank(100), 0);
+        assert_eq!(band_of_rank(101), 1);
+        assert_eq!(band_of_rank(1_000), 1);
+        assert_eq!(band_of_rank(10_000), 2);
+        assert_eq!(band_of_rank(10_001), 3);
+        assert_eq!(band_of_rank(1_000_000), 3);
+    }
+
+    #[test]
+    fn density_roundtrip() {
+        let cum = [49.0, 65.0, 78.0, 89.0];
+        let d = cumulative_to_density(cum);
+        for (i, &limit) in [100usize, 1_000, 10_000, 100_000].iter().enumerate() {
+            let back = density_to_cumulative(d, limit, 100_000);
+            assert!((back - cum[i]).abs() < 1e-9, "bucket {limit}: {back} vs {}", cum[i]);
+        }
+    }
+
+    #[test]
+    fn densities_are_valid_distributions() {
+        for d in [DNS_2016.densities(), DNS_2020.densities()] {
+            for b in 0..4 {
+                let total: f64 = (0..4).map(|s| d[s][b]).sum();
+                assert!((total - 100.0).abs() < 1e-6, "band {b} sums to {total}");
+                assert!((0..4).all(|s| d[s][b] >= 0.0), "negative density in band {b}");
+            }
+        }
+        for d in [CDN_2016.densities(), CDN_2020.densities(), CA_2016.densities(), CA_2020.densities()]
+        {
+            for b in 0..4 {
+                let total: f64 = (0..4).map(|s| d[s][b]).sum();
+                assert!((total - 100.0).abs() < 1e-6, "band {b} sums to {total}");
+                assert!((0..4).all(|s| d[s][b] >= -1e-9), "negative density in band {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dep_state_predicates() {
+        assert!(!DepState::Private.uses_third_party());
+        assert!(DepState::SingleThird.is_critical());
+        assert!(DepState::MultiThird.is_redundant());
+        assert!(DepState::PrivatePlusThird.is_redundant());
+        assert!(!DepState::PrivatePlusThird.is_critical());
+        assert!(CdnProfile::SingleThird.is_critical());
+        assert!(!CdnProfile::Private.is_critical());
+        assert!(CdnProfile::Private.uses_cdn());
+        assert!(CaProfile::ThirdNoStaple.is_critical());
+        assert!(CaProfile::ThirdStapled.is_https());
+        assert!(!CaProfile::NoHttps.is_https());
+        assert!(!CaProfile::PrivateCa.uses_third_party());
+    }
+
+    /// Sampling 2016 then evolving must land near the 2020 marginals —
+    /// the consistency check behind every trend table.
+    #[test]
+    fn evolution_reaches_2020_marginals() {
+        let rng = DetRng::new(42);
+        let n = 60_000usize;
+        let band = 3; // the bulk band dominates the 100K numbers
+        let mut crit16 = 0usize;
+        let mut crit20 = 0usize;
+        let mut third20 = 0usize;
+        for i in 0..n {
+            let mut r = rng.fork_indexed("site", i);
+            let s16 = sample_dns_2016(band, &mut r);
+            let s20 = evolve_dns(s16, band, &mut r);
+            crit16 += s16.is_critical() as usize;
+            crit20 += s20.is_critical() as usize;
+            third20 += s20.uses_third_party() as usize;
+        }
+        let d16 = DNS_2016.densities();
+        let d20 = DNS_2020.densities();
+        let got16 = 100.0 * crit16 as f64 / n as f64;
+        let got20 = 100.0 * crit20 as f64 / n as f64;
+        let got_third = 100.0 * third20 as f64 / n as f64;
+        assert!((got16 - d16[1][band]).abs() < 1.5, "crit16 {got16} vs {}", d16[1][band]);
+        assert!((got20 - d20[1][band]).abs() < 1.5, "crit20 {got20} vs {}", d20[1][band]);
+        let want_third = 100.0 - d20[0][band];
+        assert!((got_third - want_third).abs() < 1.5, "third20 {got_third} vs {want_third}");
+    }
+
+    #[test]
+    fn cdn_evolution_grows_adoption() {
+        let rng = DetRng::new(7);
+        let n = 50_000usize;
+        let band = 3;
+        let (mut used16, mut used20, mut crit20) = (0usize, 0usize, 0usize);
+        for i in 0..n {
+            let mut r = rng.fork_indexed("cdn", i);
+            let s16 = sample_cdn_2016(band, &mut r);
+            let s20 = evolve_cdn(s16, band, &mut r);
+            used16 += s16.uses_cdn() as usize;
+            used20 += s20.uses_cdn() as usize;
+            crit20 += s20.is_critical() as usize;
+        }
+        let a16 = 100.0 * used16 as f64 / n as f64;
+        let a20 = 100.0 * used20 as f64 / n as f64;
+        let d16 = CDN_2016.densities();
+        assert!((a16 - (100.0 - d16[0][band])).abs() < 1.5);
+        assert!(a20 > a16 + 2.0, "adoption must grow: {a16} → {a20}");
+        let d20 = CDN_2020.densities();
+        assert!((100.0 * crit20 as f64 / n as f64 - d20[2][band]).abs() < 2.5);
+    }
+
+    #[test]
+    fn ca_evolution_adopts_https_keeps_stapling_flat() {
+        let rng = DetRng::new(9);
+        let n = 50_000usize;
+        let band = 3;
+        let (mut https16, mut https20, mut st16, mut st20) = (0usize, 0usize, 0usize, 0usize);
+        for i in 0..n {
+            let mut r = rng.fork_indexed("ca", i);
+            let s16 = sample_ca_2016(band, &mut r);
+            let s20 = evolve_ca(s16, band, &mut r);
+            https16 += s16.is_https() as usize;
+            https20 += s20.is_https() as usize;
+            st16 += matches!(s16, CaProfile::ThirdStapled) as usize;
+            st20 += matches!(s20, CaProfile::ThirdStapled) as usize;
+        }
+        assert!(https20 > https16, "HTTPS adoption must grow");
+        let d20 = CA_2020.densities();
+        let https_rate = 100.0 * https20 as f64 / n as f64;
+        assert!((https_rate - (100.0 - d20[0][band])).abs() < 2.0, "https20 {https_rate}");
+        // Stapling churns but stays in the same regime (no significant
+        // change — Observation 6).
+        let s16r = st16 as f64 / https16 as f64;
+        let s20r = st20 as f64 / https20 as f64;
+        assert!((s16r - s20r).abs() < 0.06, "stapling regime shift: {s16r} vs {s20r}");
+    }
+}

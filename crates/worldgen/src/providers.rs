@@ -1,0 +1,693 @@
+//! Provider catalogs: who exists, how big they are, and whom they
+//! depend on.
+//!
+//! Every number here is a calibration target lifted from the paper:
+//! per-rank-band market shares for 2016 and 2020 (Figures 5/6 and §4.2),
+//! redundancy affinities (which providers' customers run secondaries,
+//! §4.2), SOA management style (which drives the strawman-heuristic
+//! accuracy gaps of §3.1), and the named inter-service wiring of §5
+//! (DigiCert → DNSMadeEasy, Let's Encrypt → Cloudflare, Fastly → Dyn,
+//! …). Share vectors are *relative weights among choosers in a band*;
+//! the sampler normalizes.
+
+use crate::config::{SnapshotYear, WorldConfig};
+use webdeps_model::name::dn;
+use webdeps_model::DomainName;
+
+/// Size tier of a provider (drives tail generation and the
+/// concentration-threshold behavior of the combined heuristic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderTier {
+    /// A named market leader.
+    Major,
+    /// A mid-sized generated provider (always above the concentration
+    /// threshold at reference scale).
+    Mid,
+    /// A micro provider (white-label hosting DNS; below the threshold,
+    /// the source of the paper's ~18% uncharacterized sites).
+    Micro,
+}
+
+/// A provider-level dependency on another service (the §5 wiring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderDep {
+    /// Runs the service in-house.
+    Private,
+    /// Uses exactly one third-party provider: *critical*.
+    SingleThird(&'static str),
+    /// Uses a third party plus in-house redundancy: not critical.
+    Redundant(&'static str),
+    /// Does not use this service at all (e.g. a CA without a CDN).
+    None,
+}
+
+impl ProviderDep {
+    /// The referenced provider name, if any.
+    pub fn provider(&self) -> Option<&'static str> {
+        match self {
+            ProviderDep::SingleThird(p) | ProviderDep::Redundant(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a critical dependency.
+    pub fn is_critical(&self) -> bool {
+        matches!(self, ProviderDep::SingleThird(_))
+    }
+
+    /// Whether a third party is involved at all.
+    pub fn uses_third(&self) -> bool {
+        matches!(self, ProviderDep::SingleThird(_) | ProviderDep::Redundant(_))
+    }
+}
+
+// ---------------------------------------------------------------------
+// DNS providers
+// ---------------------------------------------------------------------
+
+/// An instantiated DNS provider.
+#[derive(Debug, Clone)]
+pub struct DnsProvider {
+    /// Display name.
+    pub name: String,
+    /// Domain its nameserver hosts live under (`ns1.<ns_domain>` …).
+    pub ns_domain: DomainName,
+    /// Additional nameserver domains owned by the same entity (the
+    /// Alibaba `alicdn.com`/`alibabadns.com` redundancy-false-positive
+    /// case).
+    pub extra_ns_domains: Vec<DomainName>,
+    /// Relative weight among third-party choosers, per rank band.
+    pub weights: [f64; 4],
+    /// Weight multiplier when picked as part of a redundant setup
+    /// (Dyn/NS1/UltraDNS/DNSMadeEasy encourage secondaries; Cloudflare
+    /// effectively forbids them — §4.2).
+    pub secondary_weight: f64,
+    /// Probability that a customer zone's SOA carries the *provider's*
+    /// MNAME/RNAME instead of the site's own (breaks the SOA strawman).
+    pub own_soa_rate: f64,
+    /// Size tier.
+    pub tier: ProviderTier,
+}
+
+struct DnsSpec {
+    name: &'static str,
+    ns_domain: &'static str,
+    w2020: [f64; 4],
+    w2016: [f64; 4],
+    secondary_weight: f64,
+    own_soa_rate: f64,
+}
+
+/// Named DNS providers with both snapshots' calibrated weights.
+const DNS_SPECS: &[DnsSpec] = &[
+    DnsSpec { name: "Cloudflare", ns_domain: "ns.cloudflare.com", w2020: [5.0, 18.0, 27.0, 29.0], w2016: [2.0, 8.0, 13.0, 12.0], secondary_weight: 0.0, own_soa_rate: 0.55 },
+    DnsSpec { name: "AWS Route 53", ns_domain: "awsdns.net", w2020: [20.0, 17.0, 15.0, 13.5], w2016: [15.0, 14.0, 12.0, 11.0], secondary_weight: 1.0, own_soa_rate: 0.5 },
+    DnsSpec { name: "GoDaddy", ns_domain: "domaincontrol.com", w2020: [1.0, 4.0, 7.0, 8.5], w2016: [1.0, 5.0, 8.0, 9.0], secondary_weight: 0.2, own_soa_rate: 0.7 },
+    DnsSpec { name: "DNSMadeEasy", ns_domain: "dnsmadeeasy.com", w2020: [2.0, 3.0, 2.6, 2.6], w2016: [2.0, 3.0, 2.5, 2.5], secondary_weight: 1.5, own_soa_rate: 0.3 },
+    DnsSpec { name: "Dyn", ns_domain: "dynect.net", w2020: [17.0, 5.0, 1.5, 0.35], w2016: [25.0, 8.0, 3.0, 2.2], secondary_weight: 2.0, own_soa_rate: 0.2 },
+    DnsSpec { name: "NS1", ns_domain: "nsone.net", w2020: [8.0, 4.0, 2.0, 1.0], w2016: [6.0, 3.0, 1.5, 1.0], secondary_weight: 2.0, own_soa_rate: 0.25 },
+    DnsSpec { name: "UltraDNS", ns_domain: "ultradns.net", w2020: [9.0, 5.0, 2.0, 1.0], w2016: [12.0, 6.0, 2.5, 1.2], secondary_weight: 1.5, own_soa_rate: 0.25 },
+    DnsSpec { name: "Akamai Edge DNS", ns_domain: "akam.net", w2020: [8.0, 5.0, 2.0, 1.0], w2016: [8.0, 5.0, 2.0, 1.0], secondary_weight: 1.0, own_soa_rate: 0.3 },
+    DnsSpec { name: "Google Cloud DNS", ns_domain: "googledomains.com", w2020: [5.0, 4.0, 3.0, 3.0], w2016: [3.0, 3.0, 2.0, 2.0], secondary_weight: 0.8, own_soa_rate: 0.5 },
+    DnsSpec { name: "Azure DNS", ns_domain: "azure-dns.com", w2020: [4.0, 3.5, 3.0, 2.2], w2016: [2.0, 2.0, 2.0, 1.5], secondary_weight: 0.8, own_soa_rate: 0.5 },
+    DnsSpec { name: "Alibaba DNS", ns_domain: "alibabadns.com", w2020: [2.0, 3.0, 3.0, 3.0], w2016: [2.0, 2.0, 2.0, 2.0], secondary_weight: 0.3, own_soa_rate: 0.6 },
+    DnsSpec { name: "Comodo DNS", ns_domain: "comodo-dns.net", w2020: [0.5, 0.5, 0.5, 0.4], w2016: [0.5, 0.5, 0.5, 0.5], secondary_weight: 0.5, own_soa_rate: 0.4 },
+    DnsSpec { name: "Hurricane Electric", ns_domain: "he.net", w2020: [1.0, 1.5, 2.0, 2.0], w2016: [1.0, 1.5, 2.0, 2.0], secondary_weight: 1.2, own_soa_rate: 0.4 },
+    DnsSpec { name: "DigitalOcean DNS", ns_domain: "digitalocean.com", w2020: [0.0, 1.0, 2.0, 2.5], w2016: [0.0, 0.5, 1.0, 1.0], secondary_weight: 0.4, own_soa_rate: 0.8 },
+    DnsSpec { name: "Namecheap DNS", ns_domain: "registrar-servers.com", w2020: [0.0, 1.0, 2.0, 3.0], w2016: [0.0, 1.0, 2.0, 2.5], secondary_weight: 0.2, own_soa_rate: 0.8 },
+    DnsSpec { name: "Linode DNS", ns_domain: "linode.com", w2020: [0.0, 1.0, 1.5, 2.0], w2016: [0.0, 0.5, 1.0, 1.5], secondary_weight: 0.4, own_soa_rate: 0.8 },
+    DnsSpec { name: "OVH DNS", ns_domain: "ovh.net", w2020: [0.0, 0.5, 1.5, 2.0], w2016: [0.0, 0.5, 1.5, 2.0], secondary_weight: 0.3, own_soa_rate: 0.8 },
+    DnsSpec { name: "IONOS DNS", ns_domain: "ui-dns.com", w2020: [0.0, 0.5, 1.0, 1.5], w2016: [0.0, 0.5, 1.0, 1.5], secondary_weight: 0.2, own_soa_rate: 0.8 },
+    DnsSpec { name: "Gandi DNS", ns_domain: "gandi.net", w2020: [0.0, 0.5, 1.0, 1.2], w2016: [0.0, 0.5, 1.0, 1.2], secondary_weight: 0.3, own_soa_rate: 0.7 },
+    DnsSpec { name: "Wix DNS", ns_domain: "wixdns.net", w2020: [0.0, 0.3, 1.0, 1.8], w2016: [0.0, 0.1, 0.3, 0.5], secondary_weight: 0.0, own_soa_rate: 0.9 },
+];
+
+/// Number of mid-tail generated providers at reference (100K) scale.
+const MID_TAIL_AT_100K: usize = 60;
+/// Micro-tail provider pools at reference scale, per snapshot. 2016 has
+/// a far heavier tail (2 705 providers covered 80% of sites — Fig 6a).
+const MICRO_TAIL_2020_AT_100K: usize = 2_500;
+const MICRO_TAIL_2016_AT_100K: usize = 6_000;
+/// Aggregate band weights of the generated tails (among choosers).
+const MID_TAIL_WEIGHT: [f64; 4] = [17.0, 12.0, 12.0, 12.0];
+const MICRO_TAIL_WEIGHT_2020: [f64; 4] = [0.0, 4.0, 8.0, 17.0];
+const MICRO_TAIL_WEIGHT_2016: [f64; 4] = [0.0, 10.0, 22.0, 38.0];
+
+/// Instantiates the DNS-provider catalog for a snapshot.
+pub fn dns_catalog(config: &WorldConfig) -> Vec<DnsProvider> {
+    let year = config.year;
+    let mut out = Vec::new();
+    for spec in DNS_SPECS {
+        let weights = match year {
+            SnapshotYear::Y2020 => spec.w2020,
+            SnapshotYear::Y2016 => spec.w2016,
+        };
+        let extra = if spec.name == "Alibaba DNS" {
+            // Alibaba serves customers from two domains owned by one
+            // entity — the paper's redundancy false-positive example.
+            vec![dn("alicdn-dns.com")]
+        } else {
+            Vec::new()
+        };
+        out.push(DnsProvider {
+            name: spec.name.to_string(),
+            ns_domain: dn(spec.ns_domain),
+            extra_ns_domains: extra,
+            weights,
+            secondary_weight: spec.secondary_weight,
+            own_soa_rate: spec.own_soa_rate,
+            tier: ProviderTier::Major,
+        });
+    }
+
+    // Mid tail: Zipf-ish weights, each still big enough to clear the
+    // concentration threshold at reference scale.
+    let mid_count = config.scaled(MID_TAIL_AT_100K).max(4);
+    for i in 0..mid_count {
+        let frac = 1.0 / mid_count as f64;
+        out.push(DnsProvider {
+            name: format!("MidDNS-{i}"),
+            ns_domain: dn(&format!("mid-dns-{i}.net")),
+            extra_ns_domains: Vec::new(),
+            weights: MID_TAIL_WEIGHT.map(|w| w * frac),
+            secondary_weight: 0.5,
+            own_soa_rate: 0.6,
+            tier: ProviderTier::Mid,
+        });
+    }
+
+    // Micro tail: uniform weights, always provider-managed SOA — these
+    // are the white-label hosting setups the combined heuristic cannot
+    // characterize (below the concentration threshold, no SAN evidence,
+    // matching SOA).
+    let (micro_count, micro_weight) = match year {
+        SnapshotYear::Y2020 => (config.scaled(MICRO_TAIL_2020_AT_100K), MICRO_TAIL_WEIGHT_2020),
+        SnapshotYear::Y2016 => (config.scaled(MICRO_TAIL_2016_AT_100K), MICRO_TAIL_WEIGHT_2016),
+    };
+    let micro_count = micro_count.max(8);
+    // In 2016 white-label hosting was less standardized: half the
+    // micro-tail zones kept self-managed SOAs, so the combined
+    // heuristic could still characterize them — which is why the 2016
+    // coverage CDF has its enormous tail (2 705 providers for 80%,
+    // Fig 6a) while 2020's uniform provider-managed SOAs produce the
+    // paper's ~18% uncharacterized sites.
+    let micro_own_soa = match year {
+        SnapshotYear::Y2020 => 1.0,
+        SnapshotYear::Y2016 => 0.35,
+    };
+    for i in 0..micro_count {
+        let frac = 1.0 / micro_count as f64;
+        out.push(DnsProvider {
+            name: format!("MicroDNS-{i}"),
+            ns_domain: dn(&format!("managed-dns-{i}.net")),
+            extra_ns_domains: Vec::new(),
+            weights: micro_weight.map(|w| w * frac),
+            secondary_weight: 0.0,
+            own_soa_rate: micro_own_soa,
+            tier: ProviderTier::Micro,
+        });
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------
+// CDNs
+// ---------------------------------------------------------------------
+
+/// An instantiated third-party CDN.
+#[derive(Debug, Clone)]
+pub struct CdnProviderSpec {
+    /// Display name.
+    pub name: String,
+    /// Domain customer CNAMEs live under.
+    pub cname_domain: DomainName,
+    /// Relative weight among CDN-using sites, per band.
+    pub weights: [f64; 4],
+    /// Multiplier when chosen inside a multi-CDN setup (Akamai/Fastly
+    /// encourage it; CloudFront/Cloudflare customers rarely do — §4.2).
+    pub multi_weight: f64,
+    /// This CDN's own DNS arrangement (§5.3 wiring).
+    pub dns_dep: ProviderDep,
+}
+
+struct CdnSpec {
+    name: &'static str,
+    cname_domain: &'static str,
+    w2020: [f64; 4],
+    w2016: [f64; 4],
+    multi_weight: f64,
+    dns_2020: ProviderDep,
+    dns_2016: ProviderDep,
+}
+
+/// Named CDNs. `w2016 = [0,0,0,0]` marks a CDN that did not exist (or
+/// had no footprint) in 2016; the 2016 catalog drops it.
+const CDN_SPECS: &[CdnSpec] = &[
+    CdnSpec { name: "CloudFront", cname_domain: "cloudfront.net", w2020: [12.0, 22.0, 28.0, 32.0], w2016: [10.0, 18.0, 24.0, 27.0], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "Cloudflare CDN", cname_domain: "cdn.cloudflare.net", w2020: [8.0, 14.0, 20.0, 22.5], w2016: [10.0, 20.0, 27.0, 31.0], multi_weight: 0.3, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "Akamai", cname_domain: "akamaiedge.net", w2020: [34.0, 27.0, 19.0, 14.5], w2016: [40.0, 30.0, 22.0, 18.0], multi_weight: 2.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "Fastly", cname_domain: "fastly.net", w2020: [13.0, 8.0, 5.5, 4.5], w2016: [15.0, 10.0, 7.0, 6.0], multi_weight: 2.5, dns_2020: ProviderDep::Redundant("Dyn"), dns_2016: ProviderDep::SingleThird("Dyn") },
+    CdnSpec { name: "Incapsula", cname_domain: "incapdns.net", w2020: [2.0, 3.0, 3.0, 3.0], w2016: [2.0, 2.5, 2.5, 2.5], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "StackPath", cname_domain: "stackpathdns.com", w2020: [1.0, 3.0, 5.0, 6.5], w2016: [1.0, 2.0, 3.0, 3.5], multi_weight: 0.7, dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::SingleThird("AWS Route 53") },
+    CdnSpec { name: "EdgeCast", cname_domain: "edgecastcdn.net", w2020: [5.0, 4.0, 3.0, 2.5], w2016: [6.0, 5.0, 4.0, 3.0], multi_weight: 1.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "Limelight", cname_domain: "llnwd.net", w2020: [4.0, 3.0, 2.0, 1.5], w2016: [5.0, 4.0, 3.0, 2.5], multi_weight: 1.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "Azure CDN", cname_domain: "azureedge.net", w2020: [3.0, 2.5, 2.0, 1.5], w2016: [2.0, 1.5, 1.0, 1.0], multi_weight: 0.8, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "Google Cloud CDN", cname_domain: "googleusercontent-cdn.com", w2020: [4.0, 3.0, 2.0, 1.5], w2016: [2.0, 2.0, 1.5, 1.0], multi_weight: 0.8, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "Alibaba CDN", cname_domain: "alikunlun.com", w2020: [2.0, 2.0, 2.5, 2.5], w2016: [1.0, 1.5, 2.0, 2.0], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "CDN77", cname_domain: "cdn77.org", w2020: [0.3, 0.5, 0.6, 0.7], w2016: [0.3, 0.5, 1.0, 1.0], multi_weight: 0.8, dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::SingleThird("AWS Route 53") },
+    CdnSpec { name: "KeyCDN", cname_domain: "kxcdn.com", w2020: [0.3, 0.5, 0.6, 0.7], w2016: [0.3, 0.5, 1.0, 1.0], multi_weight: 0.8, dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::SingleThird("AWS Route 53") },
+    CdnSpec { name: "BunnyCDN", cname_domain: "b-cdn.net", w2020: [0.0, 0.3, 0.5, 0.6], w2016: [0.0, 0.0, 0.0, 0.0], multi_weight: 0.8, dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::None },
+    CdnSpec { name: "jsDelivr", cname_domain: "jsdelivr-cdn.net", w2020: [1.0, 1.0, 1.0, 1.0], w2016: [0.5, 0.5, 0.5, 0.5], multi_weight: 1.5, dns_2020: ProviderDep::Redundant("Cloudflare"), dns_2016: ProviderDep::Redundant("Cloudflare") },
+    CdnSpec { name: "Netlify", cname_domain: "netlify-cdn.com", w2020: [0.0, 1.0, 1.5, 2.0], w2016: [0.0, 0.3, 0.5, 0.5], multi_weight: 0.5, dns_2020: ProviderDep::Redundant("NS1"), dns_2016: ProviderDep::SingleThird("NS1") },
+    CdnSpec { name: "Kinx CDN", cname_domain: "kinxcdn.com", w2020: [0.0, 0.2, 0.4, 0.6], w2016: [0.0, 0.2, 0.4, 0.6], multi_weight: 0.5, dns_2020: ProviderDep::Redundant("UltraDNS"), dns_2016: ProviderDep::SingleThird("UltraDNS") },
+    CdnSpec { name: "GoCache", cname_domain: "gocache.net", w2020: [0.0, 0.1, 0.3, 0.5], w2016: [0.0, 0.1, 0.3, 0.5], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("DNSMadeEasy") },
+    CdnSpec { name: "Zenedge", cname_domain: "zenedge.net", w2020: [0.0, 0.1, 0.3, 0.5], w2016: [0.0, 0.1, 0.3, 0.5], multi_weight: 0.5, dns_2020: ProviderDep::SingleThird("DNSMadeEasy"), dns_2016: ProviderDep::Redundant("DNSMadeEasy") },
+    CdnSpec { name: "Sucuri", cname_domain: "sucuri-cdn.net", w2020: [0.0, 0.5, 1.0, 1.5], w2016: [0.0, 0.3, 0.5, 1.0], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "CDNetworks", cname_domain: "cdngc.net", w2020: [1.0, 1.0, 1.0, 1.0], w2016: [1.5, 1.5, 1.5, 1.5], multi_weight: 1.0, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec { name: "ChinaCache", cname_domain: "ccgslb.net", w2020: [0.5, 0.5, 1.0, 1.0], w2016: [1.0, 1.0, 1.5, 1.5], multi_weight: 1.0, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+];
+
+/// Generated small CDNs: count at reference scale per snapshot (total
+/// observed: 86 in 2020, 47 in 2016, including the private
+/// conglomerate CDNs defined elsewhere).
+const SMALL_CDNS_2020: usize = 48;
+const SMALL_CDNS_2016: usize = 14;
+/// Aggregate band weight of the generated small-CDN pool.
+const SMALL_CDN_WEIGHT: [f64; 4] = [2.0, 4.0, 6.0, 8.0];
+
+/// Instantiates the third-party CDN catalog for a snapshot.
+pub fn cdn_catalog(config: &WorldConfig) -> Vec<CdnProviderSpec> {
+    let year = config.year;
+    let mut out = Vec::new();
+    for spec in CDN_SPECS {
+        let weights = match year {
+            SnapshotYear::Y2020 => spec.w2020,
+            SnapshotYear::Y2016 => spec.w2016,
+        };
+        if weights.iter().all(|&w| w == 0.0) {
+            continue; // not present in this snapshot
+        }
+        let dns_dep = match year {
+            SnapshotYear::Y2020 => spec.dns_2020.clone(),
+            SnapshotYear::Y2016 => spec.dns_2016.clone(),
+        };
+        out.push(CdnProviderSpec {
+            name: spec.name.to_string(),
+            cname_domain: dn(spec.cname_domain),
+            weights,
+            multi_weight: spec.multi_weight,
+            dns_dep,
+        });
+    }
+
+    let small = match year {
+        SnapshotYear::Y2020 => SMALL_CDNS_2020,
+        SnapshotYear::Y2016 => SMALL_CDNS_2016,
+    };
+    for i in 0..small {
+        // Deterministic inter-service pattern tuned to §5.3 / Table 6:
+        // four small CDNs critically on AWS DNS (with CDN77, KeyCDN and
+        // BunnyCDN that makes the paper's "7 CDNs exclusively on AWS"),
+        // nine redundant on AWS (AWS "serves 16 of the CDNs" in total),
+        // the rest private.
+        let dns_dep = match i {
+            0..=3 => ProviderDep::SingleThird("AWS Route 53"),
+            4..=12 => ProviderDep::Redundant("AWS Route 53"),
+            _ => ProviderDep::Private,
+        };
+        let frac = 1.0 / small as f64;
+        out.push(CdnProviderSpec {
+            name: format!("SmallCDN-{i}"),
+            cname_domain: dn(&format!("smallcdn-{i}.net")),
+            weights: SMALL_CDN_WEIGHT.map(|w| w * frac),
+            multi_weight: 0.5,
+            dns_dep,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Certificate authorities
+// ---------------------------------------------------------------------
+
+/// An instantiated third-party CA.
+#[derive(Debug, Clone)]
+pub struct CaProviderSpec {
+    /// Display name.
+    pub name: String,
+    /// The CA's corporate domain; responders live at `ocsp.<domain>` /
+    /// `crl.<domain>`.
+    pub domain: DomainName,
+    /// Relative weight among third-party-CA HTTPS sites, per band.
+    pub weights: [f64; 4],
+    /// The CA's own DNS arrangement (§5.1 wiring).
+    pub dns_dep: ProviderDep,
+    /// The CA's responder CDN arrangement (§5.2 wiring).
+    pub cdn_dep: ProviderDep,
+    /// Certificate lifetime in seconds.
+    pub cert_lifetime: u64,
+}
+
+struct CaSpec {
+    name: &'static str,
+    domain: &'static str,
+    w2020: [f64; 4],
+    w2016: [f64; 4],
+    dns_2020: ProviderDep,
+    dns_2016: ProviderDep,
+    cdn_2020: ProviderDep,
+    cdn_2016: ProviderDep,
+    lifetime_days: u64,
+}
+
+/// Named CAs with the §5 wiring. Zero weights drop the CA from that
+/// snapshot (Symantec family gone by 2020, Let's Encrypt absent-ish in
+/// 2016's top ranks).
+const CA_SPECS: &[CaSpec] = &[
+    CaSpec { name: "DigiCert", domain: "digicert.com", w2020: [50.0, 45.0, 42.0, 40.5], w2016: [12.0, 11.0, 10.0, 10.0], dns_2020: ProviderDep::SingleThird("DNSMadeEasy"), dns_2016: ProviderDep::Redundant("DNSMadeEasy"), cdn_2020: ProviderDep::SingleThird("Incapsula"), cdn_2016: ProviderDep::SingleThird("Incapsula"), lifetime_days: 397 },
+    CaSpec { name: "Let's Encrypt", domain: "letsencrypt.org", w2020: [10.0, 20.0, 26.0, 28.5], w2016: [1.0, 3.0, 5.0, 6.0], dns_2020: ProviderDep::SingleThird("Cloudflare"), dns_2016: ProviderDep::SingleThird("Cloudflare"), cdn_2020: ProviderDep::SingleThird("Cloudflare CDN"), cdn_2016: ProviderDep::None, lifetime_days: 90 },
+    CaSpec { name: "Sectigo", domain: "sectigo.com", w2020: [8.0, 12.0, 14.0, 14.5], w2016: [30.0, 32.0, 33.0, 33.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private, cdn_2020: ProviderDep::SingleThird("StackPath"), cdn_2016: ProviderDep::SingleThird("StackPath"), lifetime_days: 397 },
+    CaSpec { name: "GlobalSign", domain: "globalsign.com", w2020: [12.0, 8.0, 6.0, 5.0], w2016: [14.0, 10.0, 8.0, 8.0], dns_2020: ProviderDep::SingleThird("Comodo DNS"), dns_2016: ProviderDep::SingleThird("Comodo DNS"), cdn_2020: ProviderDep::SingleThird("CloudFront"), cdn_2016: ProviderDep::SingleThird("CloudFront"), lifetime_days: 397 },
+    CaSpec { name: "Amazon Trust", domain: "amazontrust.com", w2020: [6.0, 5.0, 4.0, 3.5], w2016: [1.0, 1.0, 0.5, 0.5], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private, cdn_2020: ProviderDep::Private, cdn_2016: ProviderDep::Private, lifetime_days: 397 },
+    CaSpec { name: "GoDaddy CA", domain: "godaddy-ca.com", w2020: [2.0, 3.0, 3.0, 3.0], w2016: [4.0, 5.0, 5.0, 5.0], dns_2020: ProviderDep::SingleThird("Akamai Edge DNS"), dns_2016: ProviderDep::SingleThird("Akamai Edge DNS"), cdn_2020: ProviderDep::SingleThird("Akamai"), cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
+    CaSpec { name: "Entrust", domain: "entrust.net", w2020: [3.0, 2.5, 2.0, 1.8], w2016: [4.0, 3.5, 3.0, 3.0], dns_2020: ProviderDep::SingleThird("Akamai Edge DNS"), dns_2016: ProviderDep::SingleThird("Akamai Edge DNS"), cdn_2020: ProviderDep::SingleThird("Akamai"), cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
+    CaSpec { name: "Certum", domain: "certum.pl", w2020: [0.5, 1.0, 1.0, 1.2], w2016: [1.0, 1.5, 1.5, 1.5], dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::SingleThird("AWS Route 53"), cdn_2020: ProviderDep::SingleThird("StackPath"), cdn_2016: ProviderDep::SingleThird("StackPath"), lifetime_days: 397 },
+    CaSpec { name: "TrustAsia", domain: "trustasia.com", w2020: [0.5, 1.0, 1.0, 1.0], w2016: [0.5, 1.0, 1.0, 1.0], dns_2020: ProviderDep::SingleThird("Alibaba DNS"), dns_2016: ProviderDep::Private, cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::None, lifetime_days: 397 },
+    CaSpec { name: "TeliaSonera", domain: "teliasonera-ca.com", w2020: [0.5, 0.5, 0.5, 0.5], w2016: [1.0, 1.0, 1.0, 1.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private, cdn_2020: ProviderDep::Private, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
+    CaSpec { name: "Internet2", domain: "incommon.org", w2020: [0.5, 0.5, 0.5, 0.5], w2016: [1.0, 1.0, 1.0, 1.0], dns_2020: ProviderDep::SingleThird("Comodo DNS"), dns_2016: ProviderDep::Redundant("Comodo DNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::None, lifetime_days: 397 },
+    CaSpec { name: "Symantec", domain: "symantec-ca.com", w2020: [0.05, 0.05, 0.1, 0.1], w2016: [16.0, 14.0, 13.0, 12.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("UltraDNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
+    CaSpec { name: "GeoTrust", domain: "geotrust-ca.com", w2020: [0.05, 0.05, 0.1, 0.1], w2016: [10.0, 10.0, 10.0, 10.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("UltraDNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
+    CaSpec { name: "Thawte", domain: "thawte-ca.com", w2020: [0.05, 0.05, 0.1, 0.1], w2016: [5.0, 5.0, 5.0, 5.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("UltraDNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
+    CaSpec { name: "RapidSSL", domain: "rapidssl-ca.com", w2020: [0.05, 0.05, 0.1, 0.1], w2016: [4.0, 4.5, 5.0, 5.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("UltraDNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
+];
+
+/// Generated small CAs per snapshot (named + small + private
+/// conglomerate CAs ≈ the paper's 59 observed in 2020 / 70 in 2016).
+const SMALL_CAS_2020: usize = 36;
+const SMALL_CAS_2016: usize = 44;
+/// Aggregate band weight of the generated small-CA pool.
+const SMALL_CA_WEIGHT: [f64; 4] = [2.0, 2.0, 2.5, 3.0];
+
+/// Instantiates the third-party CA catalog for a snapshot.
+pub fn ca_catalog(config: &WorldConfig) -> Vec<CaProviderSpec> {
+    let year = config.year;
+    let mut out = Vec::new();
+    for spec in CA_SPECS {
+        let weights = match year {
+            SnapshotYear::Y2020 => spec.w2020,
+            SnapshotYear::Y2016 => spec.w2016,
+        };
+        if weights.iter().all(|&w| w == 0.0) {
+            continue;
+        }
+        let (dns_dep, cdn_dep) = match year {
+            SnapshotYear::Y2020 => (spec.dns_2020.clone(), spec.cdn_2020.clone()),
+            SnapshotYear::Y2016 => (spec.dns_2016.clone(), spec.cdn_2016.clone()),
+        };
+        out.push(CaProviderSpec {
+            name: spec.name.to_string(),
+            domain: dn(spec.domain),
+            weights,
+            dns_dep,
+            cdn_dep,
+            cert_lifetime: spec.lifetime_days * 86_400,
+        });
+    }
+
+    let small = match year {
+        SnapshotYear::Y2020 => SMALL_CAS_2020,
+        SnapshotYear::Y2016 => SMALL_CAS_2016,
+    };
+    for i in 0..small {
+        // Deterministic pattern for the inter-service counts of
+        // Table 6: a quarter of small CAs critically depend on a
+        // third-party DNS, a quarter are redundant, the rest private;
+        // a third serve their responders from a CDN.
+        let dns_dep = match i % 4 {
+            0 => ProviderDep::SingleThird(
+                ["Comodo DNS", "Akamai Edge DNS", "AWS Route 53"][(i / 4) % 3],
+            ),
+            1 => ProviderDep::Redundant("AWS Route 53"),
+            // Five small CAs joined the Symantec family in retreating to
+            // private DNS after 2016 (Table 7's nine critical→private).
+            3 if i % 8 == 3 => match year {
+                SnapshotYear::Y2016 => ProviderDep::SingleThird("UltraDNS"),
+                SnapshotYear::Y2020 => ProviderDep::Private,
+            },
+            _ => ProviderDep::Private,
+        };
+        let cdn_dep = match i % 3 {
+            // Table 8's churn: two small CAs adopted a CDN after 2016
+            // (alongside Let's Encrypt), one dropped its CDN.
+            2 if (i == 5 || i == 14) && year == SnapshotYear::Y2016 => ProviderDep::None,
+            2 if i == 8 && year == SnapshotYear::Y2020 => ProviderDep::None,
+            2 => ProviderDep::SingleThird(["Akamai", "Cloudflare CDN", "CloudFront"][(i / 3) % 3]),
+            _ => ProviderDep::None,
+        };
+        let frac = 1.0 / small as f64;
+        out.push(CaProviderSpec {
+            name: format!("SmallCA-{i}"),
+            domain: dn(&format!("smallca-{i}.com")),
+            weights: SMALL_CA_WEIGHT.map(|w| w * frac),
+            dns_dep,
+            cdn_dep,
+            cert_lifetime: 397 * 86_400,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Conglomerates (private CA / private CDN owners)
+// ---------------------------------------------------------------------
+
+/// A large multi-site organization: owns several popular sites, and
+/// possibly a private CA and/or private CDN. These model the
+/// Google/Microsoft/Yahoo-style cases behind the paper's private-CA and
+/// private-CDN observations, including the "private CA on a third-party
+/// CDN" (microsoft.com, xbox.com) and "private CDN on third-party DNS"
+/// (twitter.com) indirect-dependency corner cases.
+#[derive(Debug, Clone)]
+pub struct ConglomerateSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Primary corporate domain.
+    pub domain: &'static str,
+    /// Extra owned registrable domains (SAN-visible aliases; also where
+    /// private NS/CDN hosts live).
+    pub alias_domains: &'static [&'static str],
+    /// Operates a private CA for its own properties.
+    pub private_ca: bool,
+    /// The private CA's own DNS dependency (`None` when no CA).
+    pub ca_dns_dep: ProviderDep,
+    /// The private CA's CDN dependency.
+    pub ca_cdn_dep: ProviderDep,
+    /// Operates a private CDN (Yahoo/yimg style).
+    pub private_cdn: bool,
+    /// The private CDN's DNS dependency (twitter-style third-party).
+    pub cdn_dns_dep: ProviderDep,
+}
+
+/// The conglomerate roster. Weight of membership decays with rank, so
+/// these dominate the top-100 the way the real giants do.
+pub const CONGLOMERATES: &[ConglomerateSpec] = &[
+    ConglomerateSpec { name: "Googol", domain: "googol.com", alias_domains: &["googolusercontent.com", "gstatic-like.com", "ytube.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::Private, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
+    ConglomerateSpec { name: "Macrosoft", domain: "macrosoft.com", alias_domains: &["macrosoftonline.com", "xbox-like.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::SingleThird("Akamai"), private_cdn: false, cdn_dns_dep: ProviderDep::None },
+    ConglomerateSpec { name: "FaceNovel", domain: "facenovel.com", alias_domains: &["fncdn.net", "instagraph.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::Private, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
+    ConglomerateSpec { name: "Yahoo-like", domain: "yahoolike.com", alias_domains: &["yimg-like.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53") },
+    ConglomerateSpec { name: "Chirper", domain: "chirper.com", alias_domains: &["chirpimg.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53") },
+    ConglomerateSpec { name: "AirBed", domain: "airbed.com", alias_domains: &["airbedstatic.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("NS1") },
+    ConglomerateSpec { name: "SquareSpace-like", domain: "sqspace.com", alias_domains: &["sqspacecdn.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53") },
+    ConglomerateSpec { name: "GoFather", domain: "gofather.com", alias_domains: &["gofather-dns.com"], private_ca: true, ca_dns_dep: ProviderDep::SingleThird("Akamai Edge DNS"), ca_cdn_dep: ProviderDep::SingleThird("Akamai"), private_cdn: false, cdn_dns_dep: ProviderDep::None },
+    ConglomerateSpec { name: "TrustWeave", domain: "trustweave.com", alias_domains: &[], private_ca: true, ca_dns_dep: ProviderDep::SingleThird("AWS Route 53"), ca_cdn_dep: ProviderDep::SingleThird("CloudFront"), private_cdn: false, cdn_dns_dep: ProviderDep::None },
+    ConglomerateSpec { name: "WiseLock", domain: "wiselock.com", alias_domains: &[], private_ca: true, ca_dns_dep: ProviderDep::SingleThird("UltraDNS"), ca_cdn_dep: ProviderDep::None, private_cdn: false, cdn_dns_dep: ProviderDep::None },
+    ConglomerateSpec { name: "Amazonia", domain: "amazonia.com", alias_domains: &["amazonia-images.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
+    ConglomerateSpec { name: "Pear", domain: "pear.com", alias_domains: &["pearcdn.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::SingleThird("Akamai"), private_cdn: true, cdn_dns_dep: ProviderDep::Private },
+    ConglomerateSpec { name: "Baidoo", domain: "baidoo.com", alias_domains: &["bdstatic-like.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
+    ConglomerateSpec { name: "Tensent", domain: "tensent.com", alias_domains: &["qq-like.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::Private, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
+    ConglomerateSpec { name: "Yandexoid", domain: "yandexoid.com", alias_domains: &["yastatic-like.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::Private, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
+    ConglomerateSpec { name: "NetFilm", domain: "netfilm.com", alias_domains: &["nfilmcdn.net"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53")},
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(year: SnapshotYear) -> WorldConfig {
+        WorldConfig { seed: 1, n_sites: 100_000, year }
+    }
+
+    #[test]
+    fn dns_catalog_has_majors_and_tails() {
+        let cat = dns_catalog(&cfg(SnapshotYear::Y2020));
+        assert!(cat.iter().any(|p| p.name == "Cloudflare"));
+        assert!(cat.iter().any(|p| p.name == "Dyn"));
+        let micro = cat.iter().filter(|p| p.tier == ProviderTier::Micro).count();
+        assert_eq!(micro, 2_500);
+        let cat16 = dns_catalog(&cfg(SnapshotYear::Y2016));
+        let micro16 = cat16.iter().filter(|p| p.tier == ProviderTier::Micro).count();
+        assert_eq!(micro16, 6_000, "2016 tail must be much heavier (Fig 6a)");
+    }
+
+    #[test]
+    fn dns_tail_scales_with_world_size() {
+        let small = WorldConfig { seed: 1, n_sites: 2_000, year: SnapshotYear::Y2020 };
+        let cat = dns_catalog(&small);
+        let micro = cat.iter().filter(|p| p.tier == ProviderTier::Micro).count();
+        assert_eq!(micro, 50);
+    }
+
+    #[test]
+    fn cloudflare_discourages_secondaries_dyn_encourages() {
+        let cat = dns_catalog(&cfg(SnapshotYear::Y2020));
+        let cf = cat.iter().find(|p| p.name == "Cloudflare").unwrap();
+        let dyn_p = cat.iter().find(|p| p.name == "Dyn").unwrap();
+        assert_eq!(cf.secondary_weight, 0.0);
+        assert!(dyn_p.secondary_weight > 1.0);
+    }
+
+    #[test]
+    fn dyn_footprint_shrinks_after_the_incident() {
+        let c20 = dns_catalog(&cfg(SnapshotYear::Y2020));
+        let c16 = dns_catalog(&cfg(SnapshotYear::Y2016));
+        let dyn20 = c20.iter().find(|p| p.name == "Dyn").unwrap().weights[3];
+        let dyn16 = c16.iter().find(|p| p.name == "Dyn").unwrap().weights[3];
+        assert!(dyn20 < dyn16 / 3.0, "Dyn 2% → 0.6% (§4.2)");
+    }
+
+    #[test]
+    fn cdn_catalog_counts_per_snapshot() {
+        let c20 = cdn_catalog(&cfg(SnapshotYear::Y2020));
+        let c16 = cdn_catalog(&cfg(SnapshotYear::Y2016));
+        assert!(c20.len() > c16.len(), "CDN population grew 47 → 86");
+        // Paper Table 6: 86 total (incl. private conglomerate CDNs).
+        let private_cdns = CONGLOMERATES.iter().filter(|c| c.private_cdn).count();
+        assert_eq!(c20.len() + private_cdns, 70 + private_cdns);
+        assert!(!c16.iter().any(|c| c.name == "BunnyCDN"), "BunnyCDN absent in 2016");
+    }
+
+    #[test]
+    fn cdn_third_party_dns_counts_match_table6_shape() {
+        let c20 = cdn_catalog(&cfg(SnapshotYear::Y2020));
+        let third = c20.iter().filter(|c| c.dns_dep.uses_third()).count();
+        let critical = c20.iter().filter(|c| c.dns_dep.is_critical()).count();
+        let private_cdns = CONGLOMERATES.iter().filter(|c| c.private_cdn).count();
+        let third_total = third
+            + CONGLOMERATES.iter().filter(|c| c.private_cdn && c.cdn_dns_dep.uses_third()).count();
+        let total = c20.len() + private_cdns;
+        // Table 6: 31/86 third (36%), 15/86 critical (17.4%).
+        let third_rate = third_total as f64 / total as f64;
+        assert!((0.25..=0.45).contains(&third_rate), "third rate {third_rate}");
+        let crit_rate = critical as f64 / total as f64;
+        assert!((0.10..=0.25).contains(&crit_rate), "critical rate {crit_rate}");
+    }
+
+    #[test]
+    fn fastly_dyn_wiring_matches_the_incident() {
+        let c16 = cdn_catalog(&cfg(SnapshotYear::Y2016));
+        let fastly16 = c16.iter().find(|c| c.name == "Fastly").unwrap();
+        assert_eq!(fastly16.dns_dep, ProviderDep::SingleThird("Dyn"), "2016: the outage path");
+        let c20 = cdn_catalog(&cfg(SnapshotYear::Y2020));
+        let fastly20 = c20.iter().find(|c| c.name == "Fastly").unwrap();
+        assert_eq!(fastly20.dns_dep, ProviderDep::Redundant("Dyn"), "2020: learned the lesson");
+    }
+
+    #[test]
+    fn ca_catalog_reflects_market_shift() {
+        let c20 = ca_catalog(&cfg(SnapshotYear::Y2020));
+        let c16 = ca_catalog(&cfg(SnapshotYear::Y2016));
+        assert!(c16.len() > c20.len(), "70 CAs in 2016 vs 59 in 2020");
+        assert!(c16.iter().any(|c| c.name == "Symantec"));
+        // Acquired by DigiCert: only a residual footprint remains in
+        // 2020 (kept observable so Table 7 sees its DNS retreat).
+        let sym20 = c20.iter().find(|c| c.name == "Symantec").expect("residual Symantec");
+        let sym16 = c16.iter().find(|c| c.name == "Symantec").unwrap();
+        assert!(sym20.weights[3] < sym16.weights[3] / 50.0, "Symantec share collapsed");
+        let dc20 = c20.iter().find(|c| c.name == "DigiCert").unwrap();
+        let dc16 = c16.iter().find(|c| c.name == "DigiCert").unwrap();
+        assert!(dc20.weights[3] > 3.0 * dc16.weights[3], "DigiCert absorbed Symantec's share");
+        let le20 = c20.iter().find(|c| c.name == "Let's Encrypt").unwrap();
+        assert_eq!(le20.cert_lifetime, 90 * 86_400);
+    }
+
+    #[test]
+    fn digicert_dnsmadeeasy_wiring_present() {
+        let c20 = ca_catalog(&cfg(SnapshotYear::Y2020));
+        let dc = c20.iter().find(|c| c.name == "DigiCert").unwrap();
+        assert_eq!(dc.dns_dep, ProviderDep::SingleThird("DNSMadeEasy"), "§5.1 amplification");
+        assert_eq!(dc.cdn_dep, ProviderDep::SingleThird("Incapsula"), "§5.2 amplification");
+        let le = c20.iter().find(|c| c.name == "Let's Encrypt").unwrap();
+        assert_eq!(le.dns_dep, ProviderDep::SingleThird("Cloudflare"));
+        assert_eq!(le.cdn_dep, ProviderDep::SingleThird("Cloudflare CDN"));
+    }
+
+    #[test]
+    fn ca_dns_criticality_near_table6() {
+        let c20 = ca_catalog(&cfg(SnapshotYear::Y2020));
+        let total = c20.len() as f64;
+        let third = c20.iter().filter(|c| c.dns_dep.uses_third()).count() as f64;
+        let critical = c20.iter().filter(|c| c.dns_dep.is_critical()).count() as f64;
+        // Table 6: CA→DNS 48.3% third, 30.5% critical.
+        assert!((third / total - 0.483).abs() < 0.12, "third {}", third / total);
+        assert!((critical / total - 0.305).abs() < 0.12, "critical {}", critical / total);
+        let uses_cdn = c20.iter().filter(|c| c.cdn_dep.uses_third()).count() as f64;
+        // Table 6: CA→CDN 35.5% third (all critical).
+        assert!((uses_cdn / total - 0.355).abs() < 0.12, "cdn {}", uses_cdn / total);
+    }
+
+    #[test]
+    fn table7_named_moves_are_encoded() {
+        let c16 = ca_catalog(&cfg(SnapshotYear::Y2016));
+        let c20 = ca_catalog(&cfg(SnapshotYear::Y2020));
+        // TrustAsia: private → single third.
+        assert_eq!(c16.iter().find(|c| c.name == "TrustAsia").unwrap().dns_dep, ProviderDep::Private);
+        assert!(c20.iter().find(|c| c.name == "TrustAsia").unwrap().dns_dep.is_critical());
+        // DigiCert & Internet2: redundant → single third.
+        assert!(matches!(
+            c16.iter().find(|c| c.name == "DigiCert").unwrap().dns_dep,
+            ProviderDep::Redundant(_)
+        ));
+        assert!(matches!(
+            c16.iter().find(|c| c.name == "Internet2").unwrap().dns_dep,
+            ProviderDep::Redundant(_)
+        ));
+        assert!(c20.iter().find(|c| c.name == "Internet2").unwrap().dns_dep.is_critical());
+        // TeliaSonera: third-party CDN → private (Table 8).
+        assert!(c16.iter().find(|c| c.name == "TeliaSonera").unwrap().cdn_dep.is_critical());
+        assert_eq!(
+            c20.iter().find(|c| c.name == "TeliaSonera").unwrap().cdn_dep,
+            ProviderDep::Private
+        );
+        // Let's Encrypt: no CDN → third-party CDN (Table 8).
+        assert_eq!(c16.iter().find(|c| c.name == "Let's Encrypt").unwrap().cdn_dep, ProviderDep::None);
+    }
+
+    #[test]
+    fn conglomerates_cover_corner_cases() {
+        // Private CA on third-party CDN (microsoft.com / xbox.com case).
+        assert!(CONGLOMERATES
+            .iter()
+            .any(|c| c.private_ca && c.ca_cdn_dep.is_critical()));
+        // Private CDN on third-party DNS (twitter.com case).
+        assert!(CONGLOMERATES
+            .iter()
+            .any(|c| c.private_cdn && c.cdn_dns_dep.is_critical()));
+        // Private CA on third-party DNS (godaddy.com case).
+        assert!(CONGLOMERATES
+            .iter()
+            .any(|c| c.private_ca && c.ca_dns_dep.is_critical()));
+    }
+
+    #[test]
+    fn provider_dep_accessors() {
+        assert_eq!(ProviderDep::SingleThird("X").provider(), Some("X"));
+        assert_eq!(ProviderDep::Redundant("Y").provider(), Some("Y"));
+        assert_eq!(ProviderDep::Private.provider(), None);
+        assert!(ProviderDep::SingleThird("X").is_critical());
+        assert!(!ProviderDep::Redundant("X").is_critical());
+        assert!(ProviderDep::Redundant("X").uses_third());
+        assert!(!ProviderDep::None.uses_third());
+    }
+}

@@ -1,0 +1,215 @@
+//! Fast weighted sampling over provider catalogs.
+//!
+//! Catalogs can hold thousands of tail providers; sampling one per site
+//! with a linear scan would dominate generation time. [`BandSampler`]
+//! precomputes per-band prefix sums once and samples by binary search.
+
+use webdeps_model::DetRng;
+
+/// A cumulative-weight distribution for one rank band.
+#[derive(Debug, Clone)]
+pub struct PrefixDist {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl PrefixDist {
+    /// Builds from raw weights (non-negative; zeros allowed).
+    pub fn new(weights: impl Iterator<Item = f64>) -> Self {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0;
+        for w in weights {
+            total += w.max(0.0);
+            cumulative.push(total);
+        }
+        PrefixDist { cumulative, total }
+    }
+
+    /// Samples an index, or `None` when all weights are zero.
+    pub fn sample(&self, rng: &mut DetRng) -> Option<usize> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        let target = rng.unit() * self.total;
+        let idx = self.cumulative.partition_point(|&c| c <= target);
+        Some(idx.min(self.cumulative.len() - 1))
+    }
+
+    /// Weight of one item.
+    fn weight(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[i] - self.cumulative[i - 1]
+        }
+    }
+
+    /// Samples an index with one item excluded (linear scan; used only
+    /// as the pair-sampling fallback).
+    pub fn sample_excluding(&self, exclude: usize, rng: &mut DetRng) -> Option<usize> {
+        let total = self.total - self.weight(exclude);
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = rng.unit() * total;
+        for i in 0..self.cumulative.len() {
+            if i == exclude {
+                continue;
+            }
+            let w = self.weight(i);
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        (0..self.cumulative.len()).rev().find(|&i| i != exclude && self.weight(i) > 0.0)
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+/// Per-band samplers for primary (single) and redundancy-flavoured
+/// (multi/secondary) provider choices.
+#[derive(Debug, Clone)]
+pub struct BandSampler {
+    single: [PrefixDist; 4],
+    multi: [PrefixDist; 4],
+}
+
+impl BandSampler {
+    /// Builds from accessors returning each item's band weights and its
+    /// redundancy multiplier.
+    pub fn new<T>(items: &[T], weights: impl Fn(&T) -> [f64; 4], multi_factor: impl Fn(&T) -> f64) -> Self {
+        let build = |band: usize, use_multi: bool| {
+            PrefixDist::new(items.iter().map(|it| {
+                let w = weights(it)[band];
+                if use_multi {
+                    w * multi_factor(it)
+                } else {
+                    w
+                }
+            }))
+        };
+        BandSampler {
+            single: std::array::from_fn(|b| build(b, false)),
+            multi: std::array::from_fn(|b| build(b, true)),
+        }
+    }
+
+    /// Samples a primary provider for a band.
+    pub fn pick_single(&self, band: usize, rng: &mut DetRng) -> Option<usize> {
+        self.single[band].sample(rng)
+    }
+
+    /// Samples a redundancy-flavoured provider for a band.
+    pub fn pick_multi(&self, band: usize, rng: &mut DetRng) -> Option<usize> {
+        self.multi[band].sample(rng)
+    }
+
+    /// Samples a *pair* of distinct redundancy-flavoured providers.
+    /// Falls back to (multi, single) mixing when the multi distribution
+    /// is too concentrated to yield two distinct picks.
+    pub fn pick_pair(&self, band: usize, rng: &mut DetRng) -> Option<(usize, usize)> {
+        let first = self.pick_multi(band, rng).or_else(|| self.pick_single(band, rng))?;
+        for _ in 0..16 {
+            let cand = self.pick_multi(band, rng).or_else(|| self.pick_single(band, rng))?;
+            if cand != first {
+                return Some((first, cand));
+            }
+        }
+        // Degenerate distribution: exact exclusion sampling over the
+        // multi weights, then over the single weights.
+        self.multi[band]
+            .sample_excluding(first, rng)
+            .or_else(|| self.single[band].sample_excluding(first, rng))
+            .map(|cand| (first, cand))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_dist_matches_weights() {
+        let d = PrefixDist::new([1.0, 0.0, 3.0].into_iter());
+        let mut rng = DetRng::new(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[d.sample(&mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight never sampled");
+        let share = counts[2] as f64 / 20_000.0;
+        assert!((share - 0.75).abs() < 0.02, "got {share}");
+    }
+
+    #[test]
+    fn empty_distribution_returns_none() {
+        let d = PrefixDist::new([0.0, 0.0].into_iter());
+        assert_eq!(d.sample(&mut DetRng::new(1)), None);
+        assert_eq!(d.total(), 0.0);
+    }
+
+    #[test]
+    fn band_sampler_honours_multi_factor() {
+        struct Item {
+            w: [f64; 4],
+            m: f64,
+        }
+        let items = vec![Item { w: [10.0; 4], m: 0.0 }, Item { w: [1.0; 4], m: 5.0 }];
+        let s = BandSampler::new(&items, |i| i.w, |i| i.m);
+        let mut rng = DetRng::new(9);
+        for _ in 0..200 {
+            // Item 0 has multi weight 0 → pick_multi always returns 1.
+            assert_eq!(s.pick_multi(0, &mut rng), Some(1));
+        }
+        let mut saw0 = false;
+        for _ in 0..200 {
+            if s.pick_single(0, &mut rng) == Some(0) {
+                saw0 = true;
+            }
+        }
+        assert!(saw0, "single picks must favour item 0");
+    }
+
+    #[test]
+    fn pick_pair_returns_distinct() {
+        struct Item {
+            w: [f64; 4],
+        }
+        let items: Vec<Item> = (0..10).map(|i| Item { w: [1.0 + i as f64; 4] }).collect();
+        let s = BandSampler::new(&items, |i| i.w, |_| 1.0);
+        let mut rng = DetRng::new(17);
+        for _ in 0..100 {
+            let (a, b) = s.pick_pair(2, &mut rng).unwrap();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn pick_pair_with_one_heavy_item_still_distinct() {
+        struct Item {
+            w: [f64; 4],
+            m: f64,
+        }
+        // Only item 0 has multi weight; the pair must mix in a single-
+        // weight pick for the partner.
+        let items = vec![
+            Item { w: [100.0; 4], m: 1.0 },
+            Item { w: [1.0; 4], m: 0.0 },
+            Item { w: [1.0; 4], m: 0.0 },
+        ];
+        let s = BandSampler::new(&items, |i| i.w, |i| i.m);
+        let mut rng = DetRng::new(3);
+        for _ in 0..50 {
+            let (a, b) = s.pick_pair(0, &mut rng).unwrap();
+            assert_ne!(a, b);
+        }
+    }
+}

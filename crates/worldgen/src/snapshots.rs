@@ -1,0 +1,456 @@
+//! Paired snapshot planning.
+//!
+//! Generates the *plans* (ground truths) for the 2016 and 2020 site
+//! populations over one shared universe: every site keeps its identity
+//! (domain, universe index) across snapshots, 3.8% of the 2016 list dies
+//! before 2020 (§3), replacements enter at the bottom of the 2020 list,
+//! and every per-site dependency state evolves through the Table 3/4/5
+//! transition machinery in [`crate::profiles`].
+
+use crate::config::{SnapshotYear, WorldConfig};
+use crate::profiles::{
+    self, band_of_rank, CaProfile, CdnProfile, DepState,
+};
+use crate::providers::{self, CaProviderSpec, CdnProviderSpec, DnsProvider};
+use crate::sampler::BandSampler;
+use crate::truth::{CaAssignment, CdnAssignment, DnsAssignment, GroundTruth, SiteTruth};
+use webdeps_model::{DetRng, DomainName, Rank, SiteId};
+
+/// Share of the 2016 list that no longer exists in 2020 (§3: 3.8%).
+const DEATH_RATE: f64 = 0.038;
+/// Share of private-DNS HTTPS sites whose nameservers live under an
+/// alias domain (the TLD-strawman false-positive pool, §3.1).
+const ALIAS_NS_RATE: f64 = 0.25;
+
+/// TLD mix for generated site domains.
+const SITE_TLDS: &[&str] = &["com", "com", "com", "net", "org", "io", "co.uk", "de", "ru", "com.cn"];
+
+/// Everything needed to materialize one snapshot's world.
+#[derive(Debug, Clone)]
+pub struct SnapshotPlan {
+    /// Configuration the plan was generated for.
+    pub config: WorldConfig,
+    /// Per-site ground truths, ordered by rank.
+    pub truth: GroundTruth,
+}
+
+/// Catalogs + samplers for one snapshot year.
+struct YearContext {
+    dns_catalog: Vec<DnsProvider>,
+    cdn_catalog: Vec<CdnProviderSpec>,
+    ca_catalog: Vec<CaProviderSpec>,
+    dns_sampler: BandSampler,
+    cdn_sampler: BandSampler,
+    ca_sampler: BandSampler,
+}
+
+impl YearContext {
+    fn new(config: &WorldConfig) -> Self {
+        let dns_catalog = providers::dns_catalog(config);
+        let cdn_catalog = providers::cdn_catalog(config);
+        let ca_catalog = providers::ca_catalog(config);
+        let dns_sampler =
+            BandSampler::new(&dns_catalog, |p| p.weights, |p| p.secondary_weight);
+        let cdn_sampler = BandSampler::new(&cdn_catalog, |c| c.weights, |c| c.multi_weight);
+        let ca_sampler = BandSampler::new(&ca_catalog, |c| c.weights, |_| 1.0);
+        YearContext { dns_catalog, cdn_catalog, ca_catalog, dns_sampler, cdn_sampler, ca_sampler }
+    }
+
+    /// DNS provider names + provider-SOA draw for a state.
+    fn assign_dns(&self, state: DepState, band: usize, rng: &mut DetRng) -> (Vec<String>, bool) {
+        match state {
+            DepState::Private => (Vec::new(), false),
+            DepState::SingleThird | DepState::PrivatePlusThird => {
+                let idx = self
+                    .dns_sampler
+                    .pick_single(band, rng)
+                    .expect("DNS catalog has positive weight");
+                let p = &self.dns_catalog[idx];
+                let provider_soa =
+                    state == DepState::SingleThird && rng.chance(p.own_soa_rate);
+                (vec![p.name.clone()], provider_soa)
+            }
+            DepState::MultiThird => {
+                let (a, b) = self
+                    .dns_sampler
+                    .pick_pair(band, rng)
+                    .expect("DNS catalog can yield pairs");
+                let pa = &self.dns_catalog[a];
+                let pb = &self.dns_catalog[b];
+                // With two providers the zone SOA is managed by the
+                // primary; mark provider-SOA when the primary manages it.
+                let provider_soa = rng.chance(pa.own_soa_rate * 0.5);
+                (vec![pa.name.clone(), pb.name.clone()], provider_soa)
+            }
+        }
+    }
+
+    fn assign_cdn(&self, state: CdnProfile, band: usize, rng: &mut DetRng) -> Vec<String> {
+        match state {
+            CdnProfile::None | CdnProfile::Private => Vec::new(),
+            CdnProfile::SingleThird => {
+                let idx = self
+                    .cdn_sampler
+                    .pick_single(band, rng)
+                    .expect("CDN catalog has positive weight");
+                vec![self.cdn_catalog[idx].name.clone()]
+            }
+            CdnProfile::Multi => {
+                let (a, b) =
+                    self.cdn_sampler.pick_pair(band, rng).expect("CDN catalog can yield pairs");
+                vec![self.cdn_catalog[a].name.clone(), self.cdn_catalog[b].name.clone()]
+            }
+        }
+    }
+
+    fn assign_ca(&self, state: CaProfile, band: usize, rng: &mut DetRng) -> Option<String> {
+        match state {
+            CaProfile::NoHttps | CaProfile::PrivateCa => None,
+            CaProfile::ThirdStapled | CaProfile::ThirdNoStaple => {
+                let idx =
+                    self.ca_sampler.pick_single(band, rng).expect("CA catalog has positive weight");
+                Some(self.ca_catalog[idx].name.clone())
+            }
+        }
+    }
+
+}
+
+/// Picks a conglomerate index for a site that needs private CA and/or
+/// private CDN capability.
+fn pick_conglomerate(needs_ca: bool, needs_cdn: bool, rng: &mut DetRng) -> usize {
+    let candidates: Vec<usize> = providers::CONGLOMERATES
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| (!needs_ca || c.private_ca) && (!needs_cdn || c.private_cdn))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!candidates.is_empty(), "conglomerate roster must cover ca={needs_ca} cdn={needs_cdn}");
+    candidates[rng.below(candidates.len())]
+}
+
+fn site_domain(universe: usize, rng: &mut DetRng) -> DomainName {
+    let tld = SITE_TLDS[rng.below(SITE_TLDS.len())];
+    DomainName::parse(&format!("site-{universe}.{tld}")).expect("generated domain is valid")
+}
+
+/// One site's joint plan across both snapshots.
+struct UniverseSite {
+    universe: usize,
+    domain: DomainName,
+    alive_2016: bool,
+    alive_2020: bool,
+    truth16: Option<PlannedStates>,
+    truth20: Option<PlannedStates>,
+}
+
+struct PlannedStates {
+    dns_state: DepState,
+    cdn_state: CdnProfile,
+    ca_state: CaProfile,
+}
+
+/// Generates the plans for both snapshots over one universe.
+pub fn plan_pair(seed: u64, n_sites: usize) -> (SnapshotPlan, SnapshotPlan) {
+    let cfg16 = WorldConfig { seed, n_sites, year: SnapshotYear::Y2016 };
+    let cfg20 = WorldConfig { seed, n_sites, year: SnapshotYear::Y2020 };
+    let ctx16 = YearContext::new(&cfg16);
+    let ctx20 = YearContext::new(&cfg20);
+    let root = DetRng::new(seed);
+
+    // 1. Joint state evolution over the shared universe. The 2016 list
+    //    is universe indices 0..n; deaths are replaced by fresh sites so
+    //    the 2020 list is also n long.
+    let mut universe: Vec<UniverseSite> = Vec::with_capacity(n_sites + n_sites / 16);
+    for i in 0..n_sites {
+        let rng = root.fork_indexed("site", i);
+        let rank16 = (i + 1) as u32;
+        let band = band_of_rank(rank16);
+        let dead = rng.fork("death").chance(DEATH_RATE);
+        let mut srng = rng.fork("states");
+        let dns16 = profiles::sample_dns_2016(band, &mut srng);
+        let cdn16 = profiles::sample_cdn_2016(band, &mut srng);
+        let ca16 = profiles::sample_ca_2016(band, &mut srng);
+        let truth20 = if dead {
+            None
+        } else {
+            Some(PlannedStates {
+                dns_state: profiles::evolve_dns(dns16, band, &mut srng),
+                cdn_state: profiles::evolve_cdn(cdn16, band, &mut srng),
+                ca_state: profiles::evolve_ca(ca16, band, &mut srng),
+            })
+        };
+        universe.push(UniverseSite {
+            universe: i,
+            domain: site_domain(i, &mut rng.fork("domain")),
+            alive_2016: true,
+            alive_2020: !dead,
+            truth16: Some(PlannedStates { dns_state: dns16, cdn_state: cdn16, ca_state: ca16 }),
+            truth20,
+        });
+    }
+    // Replacement sites (2020 only), entering at the bottom of the list.
+    let deaths = universe.iter().filter(|s| !s.alive_2020).count();
+    for j in 0..deaths {
+        let i = n_sites + j;
+        let rng = root.fork_indexed("site", i);
+        let mut srng = rng.fork("states");
+        let band = 3;
+        let dns16 = profiles::sample_dns_2016(band, &mut srng);
+        let cdn16 = profiles::sample_cdn_2016(band, &mut srng);
+        let ca16 = profiles::sample_ca_2016(band, &mut srng);
+        universe.push(UniverseSite {
+            universe: i,
+            domain: site_domain(i, &mut rng.fork("domain")),
+            alive_2016: false,
+            alive_2020: true,
+            truth16: None,
+            truth20: Some(PlannedStates {
+                dns_state: profiles::evolve_dns(dns16, band, &mut srng),
+                cdn_state: profiles::evolve_cdn(cdn16, band, &mut srng),
+                ca_state: profiles::evolve_ca(ca16, band, &mut srng),
+            }),
+        });
+    }
+
+    // 2. Materialize per-year truths (provider picks are year-local).
+    let build_year = |year: SnapshotYear, ctx: &YearContext, cfg: &WorldConfig| {
+        let mut sites = Vec::new();
+        let mut rank = 0u32;
+        for u in &universe {
+            let (alive, states) = match year {
+                SnapshotYear::Y2016 => (u.alive_2016, u.truth16.as_ref()),
+                SnapshotYear::Y2020 => (u.alive_2020, u.truth20.as_ref()),
+            };
+            let Some(states) = states.filter(|_| alive) else { continue };
+            rank += 1;
+            let band = band_of_rank(rank);
+            let rng = root
+                .fork_indexed("site", u.universe)
+                .fork(&format!("assign/{}", year.label()));
+
+            let needs_ca = states.ca_state == CaProfile::PrivateCa
+                || u.truth16.as_ref().is_some_and(|s| s.ca_state == CaProfile::PrivateCa)
+                || u.truth20.as_ref().is_some_and(|s| s.ca_state == CaProfile::PrivateCa);
+            let needs_cdn = states.cdn_state == CdnProfile::Private
+                || u.truth16.as_ref().is_some_and(|s| s.cdn_state == CdnProfile::Private)
+                || u.truth20.as_ref().is_some_and(|s| s.cdn_state == CdnProfile::Private);
+            // Membership is a universe-level fact: derive it from a
+            // universe-scoped stream so both snapshots agree.
+            let conglomerate = if needs_ca || needs_cdn {
+                let mut crng = root.fork_indexed("site", u.universe).fork("conglomerate");
+                Some(pick_conglomerate(needs_ca, needs_cdn, &mut crng))
+            } else {
+                None
+            };
+
+            let (providers, provider_soa) =
+                ctx.assign_dns(states.dns_state, band, &mut rng.fork("dns"));
+            let https = states.ca_state.is_https();
+            let alias_ns = states.dns_state == DepState::Private
+                && https
+                && conglomerate.is_none()
+                && rng.fork("alias").chance(ALIAS_NS_RATE);
+
+            let cdn_names = match states.cdn_state {
+                CdnProfile::Private => {
+                    let c = &providers::CONGLOMERATES[conglomerate.expect("private CDN site")];
+                    vec![format!("{} CDN", c.name)]
+                }
+                other => ctx.assign_cdn(other, band, &mut rng.fork("cdn")),
+            };
+            let ca_name = match states.ca_state {
+                CaProfile::PrivateCa => {
+                    let c = &providers::CONGLOMERATES[conglomerate.expect("private CA site")];
+                    Some(format!("{} CA", c.name))
+                }
+                other => ctx.assign_ca(other, band, &mut rng.fork("ca")),
+            };
+
+            sites.push(SiteTruth {
+                universe: u.universe,
+                id: SiteId::from_index(sites.len()),
+                rank: Rank(rank),
+                domain: u.domain.clone(),
+                conglomerate,
+                dns: DnsAssignment {
+                    state: states.dns_state,
+                    providers,
+                    provider_soa,
+                    alias_ns,
+                },
+                cdn: CdnAssignment { state: states.cdn_state, cdns: cdn_names },
+                ca: CaAssignment { state: states.ca_state, ca: ca_name },
+            });
+        }
+        SnapshotPlan { config: *cfg, truth: GroundTruth { sites } }
+    };
+
+    let plan16 = build_year(SnapshotYear::Y2016, &ctx16, &cfg16);
+    let plan20 = build_year(SnapshotYear::Y2020, &ctx20, &cfg20);
+    (plan16, plan20)
+}
+
+/// Generates the plan for a single snapshot (the paired machinery runs
+/// underneath so a lone 2020 world is identical to the 2020 half of the
+/// pair).
+pub fn plan_snapshot(config: &WorldConfig) -> SnapshotPlan {
+    let (p16, p20) = plan_pair(config.seed, config.n_sites);
+    match config.year {
+        SnapshotYear::Y2016 => p16,
+        SnapshotYear::Y2020 => p20,
+    }
+}
+
+/// A pair of fully materialized worlds (built by [`crate::build`]).
+#[derive(Debug)]
+pub struct WorldPair {
+    /// The December-2016 world.
+    pub y2016: crate::build::World,
+    /// The January-2020 world.
+    pub y2020: crate::build::World,
+}
+
+impl WorldPair {
+    /// Generates both snapshots over a shared universe.
+    pub fn generate(seed: u64, n_sites: usize) -> WorldPair {
+        let (p16, p20) = plan_pair(seed, n_sites);
+        WorldPair {
+            y2016: crate::build::World::from_plan(p16),
+            y2020: crate::build::World::from_plan(p20),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_shares_universe_and_applies_churn() {
+        let (p16, p20) = plan_pair(11, 3_000);
+        assert_eq!(p16.truth.len(), 3_000);
+        assert_eq!(p20.truth.len(), 3_000, "replacements keep the list full");
+        let dead = p16
+            .truth
+            .sites
+            .iter()
+            .filter(|s| !p20.truth.sites.iter().any(|t| t.universe == s.universe))
+            .count();
+        let rate = dead as f64 / 3_000.0;
+        assert!((rate - DEATH_RATE).abs() < 0.012, "death rate {rate}");
+        // Shared sites keep their domain.
+        for s20 in &p20.truth.sites {
+            if s20.universe < 3_000 {
+                let s16 = p16.truth.sites.iter().find(|s| s.universe == s20.universe).unwrap();
+                assert_eq!(s16.domain, s20.domain);
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let (a16, a20) = plan_pair(7, 500);
+        let (b16, b20) = plan_pair(7, 500);
+        for (a, b) in [(a16, b16), (a20, b20)] {
+            assert_eq!(a.truth.len(), b.truth.len());
+            for (x, y) in a.truth.sites.iter().zip(b.truth.sites.iter()) {
+                assert_eq!(x.domain, y.domain);
+                assert_eq!(x.dns.state, y.dns.state);
+                assert_eq!(x.dns.providers, y.dns.providers);
+                assert_eq!(x.cdn.cdns, y.cdn.cdns);
+                assert_eq!(x.ca.ca, y.ca.ca);
+            }
+        }
+    }
+
+    #[test]
+    fn single_snapshot_matches_pair_half() {
+        let cfg = WorldConfig { seed: 3, n_sites: 400, year: SnapshotYear::Y2020 };
+        let solo = plan_snapshot(&cfg);
+        let (_, p20) = plan_pair(3, 400);
+        assert_eq!(solo.truth.len(), p20.truth.len());
+        for (a, b) in solo.truth.sites.iter().zip(p20.truth.sites.iter()) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.dns.providers, b.dns.providers);
+        }
+    }
+
+    #[test]
+    fn https_adoption_grows_between_snapshots() {
+        let (p16, p20) = plan_pair(5, 8_000);
+        let h16 = p16.truth.sites.iter().filter(|s| s.https()).count();
+        let h20 = p20.truth.sites.iter().filter(|s| s.https()).count();
+        assert!(h20 > h16, "HTTPS must grow: {h16} → {h20}");
+    }
+
+    #[test]
+    fn state_provider_consistency() {
+        let (p16, p20) = plan_pair(13, 4_000);
+        for plan in [&p16, &p20] {
+            for s in &plan.truth.sites {
+                match s.dns.state {
+                    DepState::Private => assert!(s.dns.providers.is_empty()),
+                    DepState::SingleThird | DepState::PrivatePlusThird => {
+                        assert_eq!(s.dns.providers.len(), 1)
+                    }
+                    DepState::MultiThird => {
+                        assert_eq!(s.dns.providers.len(), 2);
+                        assert_ne!(s.dns.providers[0], s.dns.providers[1]);
+                    }
+                }
+                match s.cdn.state {
+                    CdnProfile::None => assert!(s.cdn.cdns.is_empty()),
+                    CdnProfile::Private => {
+                        assert_eq!(s.cdn.cdns.len(), 1);
+                        assert!(s.conglomerate.is_some(), "private CDN needs a conglomerate");
+                    }
+                    CdnProfile::SingleThird => assert_eq!(s.cdn.cdns.len(), 1),
+                    CdnProfile::Multi => {
+                        assert_eq!(s.cdn.cdns.len(), 2);
+                        assert_ne!(s.cdn.cdns[0], s.cdn.cdns[1]);
+                    }
+                }
+                match s.ca.state {
+                    CaProfile::NoHttps => assert!(s.ca.ca.is_none()),
+                    CaProfile::PrivateCa => {
+                        assert!(s.ca.ca.as_ref().unwrap().ends_with(" CA"));
+                        assert!(s.conglomerate.is_some());
+                    }
+                    _ => assert!(s.ca.ca.is_some()),
+                }
+                if s.dns.alias_ns {
+                    assert_eq!(s.dns.state, DepState::Private);
+                    assert!(s.https());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conglomerate_membership_is_stable_across_years() {
+        let (p16, p20) = plan_pair(23, 6_000);
+        for s20 in &p20.truth.sites {
+            if let Some(s16) = p16.truth.sites.iter().find(|s| s.universe == s20.universe) {
+                if s16.conglomerate.is_some() && s20.conglomerate.is_some() {
+                    assert_eq!(s16.conglomerate, s20.conglomerate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_band_has_more_private_dns() {
+        let (_, p20) = plan_pair(29, 20_000);
+        let top: Vec<_> = p20.truth.sites.iter().filter(|s| s.rank.get() <= 100).collect();
+        let bulk: Vec<_> = p20.truth.sites.iter().filter(|s| s.rank.get() > 10_000).collect();
+        let priv_top =
+            top.iter().filter(|s| s.dns.state == DepState::Private).count() as f64 / top.len() as f64;
+        let priv_bulk = bulk.iter().filter(|s| s.dns.state == DepState::Private).count() as f64
+            / bulk.len() as f64;
+        assert!(
+            priv_top > priv_bulk + 0.15,
+            "popular sites run private DNS far more often: top {priv_top} vs bulk {priv_bulk}"
+        );
+    }
+}

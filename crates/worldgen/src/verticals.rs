@@ -1,0 +1,280 @@
+//! Vertical case studies (§6): US hospitals and smart-home companies.
+//!
+//! The hospital study is a full miniature world — 200 hospital websites
+//! generated with the vertical's own calibrated marginals (Table 10) and
+//! measured by the very same pipeline as the Alexa population. The
+//! smart-home study follows the paper's manual methodology: a fixed
+//! roster of 23 companies with hand-assigned DNS/cloud dependencies and
+//! local-failover flags (Table 11).
+
+use crate::build::World;
+use crate::config::{SnapshotYear, WorldConfig};
+use crate::profiles::{CaProfile, CdnProfile, DepState};
+use crate::sampler::BandSampler;
+use crate::snapshots::SnapshotPlan;
+use crate::truth::{CaAssignment, CdnAssignment, DnsAssignment, GroundTruth, SiteTruth};
+use crate::providers;
+use webdeps_model::{DetRng, DomainName, Rank, SiteId};
+
+/// Number of hospitals in the study (Newsweek top-200).
+pub const N_HOSPITALS: usize = 200;
+
+/// Table 10 calibration: share of hospitals per DNS state.
+const HOSPITAL_DNS: [(DepState, f64); 4] = [
+    (DepState::Private, 49.0),
+    (DepState::SingleThird, 46.0),
+    (DepState::MultiThird, 2.0),
+    (DepState::PrivatePlusThird, 3.0),
+];
+/// Table 10: 16% use CDNs, all third-party, all critical.
+const HOSPITAL_CDN_RATE: f64 = 0.16;
+/// §6.1: GoDaddy serves 13% of hospitals (≈ 25% of third-DNS users).
+const HOSPITAL_GODADDY_RATE: f64 = 0.25;
+/// §6.1: Akamai covers 7% of hospitals (≈ 44% of CDN users).
+const HOSPITAL_AKAMAI_RATE: f64 = 0.44;
+/// §6.1: 22% of hospitals staple (all 200 serve HTTPS).
+const HOSPITAL_STAPLE_RATE: f64 = 0.22;
+
+/// Generates the top-200-US-hospitals world (2020 snapshot).
+pub fn hospital_world(seed: u64) -> World {
+    let config = WorldConfig { seed, n_sites: N_HOSPITALS, year: SnapshotYear::Y2020 };
+    let dns_catalog = providers::dns_catalog(&config);
+    let cdn_catalog = providers::cdn_catalog(&config);
+    let ca_catalog = providers::ca_catalog(&config);
+    let dns_sampler = BandSampler::new(&dns_catalog, |p| p.weights, |p| p.secondary_weight);
+    let cdn_sampler = BandSampler::new(&cdn_catalog, |c| c.weights, |c| c.multi_weight);
+    let ca_sampler = BandSampler::new(&ca_catalog, |c| c.weights, |_| 1.0);
+    let root = DetRng::new(seed ^ 0x405917A1);
+
+    let mut sites = Vec::with_capacity(N_HOSPITALS);
+    for i in 0..N_HOSPITALS {
+        let mut rng = root.fork_indexed("hospital", i);
+        let weights: Vec<f64> = HOSPITAL_DNS.iter().map(|&(_, w)| w).collect();
+        let dns_state = HOSPITAL_DNS[rng.weighted_index(&weights).expect("weights")].0;
+
+        let pick_dns = |rng: &mut DetRng| -> String {
+            if rng.chance(HOSPITAL_GODADDY_RATE) {
+                return "GoDaddy".to_string();
+            }
+            // Hospitals buy from registrars and majors, not white-label
+            // micro hosts (keeps all 200 characterizable, per Table 10).
+            for _ in 0..16 {
+                let idx = dns_sampler.pick_single(3, rng).expect("dns catalog");
+                if dns_catalog[idx].tier != providers::ProviderTier::Micro {
+                    return dns_catalog[idx].name.clone();
+                }
+            }
+            "AWS Route 53".to_string()
+        };
+        let (providers_list, provider_soa) = match dns_state {
+            DepState::Private => (Vec::new(), false),
+            DepState::SingleThird | DepState::PrivatePlusThird => {
+                let p = pick_dns(&mut rng);
+                let own = dns_catalog.iter().find(|c| c.name == p).map_or(0.5, |c| c.own_soa_rate);
+                let soa = dns_state == DepState::SingleThird && rng.chance(own);
+                (vec![p], soa)
+            }
+            DepState::MultiThird => {
+                let a = pick_dns(&mut rng);
+                let mut b = pick_dns(&mut rng);
+                let mut guard = 0;
+                while b == a && guard < 32 {
+                    b = pick_dns(&mut rng);
+                    guard += 1;
+                }
+                if b == a {
+                    b = if a == "GoDaddy" { "AWS Route 53".into() } else { "GoDaddy".into() };
+                }
+                (vec![a, b], false)
+            }
+        };
+
+        // CDN: 16% adoption, every user critically dependent.
+        let (cdn_state, cdns) = if rng.fork("cdn").chance(HOSPITAL_CDN_RATE) {
+            let name = if rng.fork("akamai").chance(HOSPITAL_AKAMAI_RATE) {
+                "Akamai".to_string()
+            } else {
+                let idx = cdn_sampler.pick_single(3, &mut rng.fork("cdnpick")).expect("cdns");
+                cdn_catalog[idx].name.clone()
+            };
+            (CdnProfile::SingleThird, vec![name])
+        } else {
+            (CdnProfile::None, Vec::new())
+        };
+
+        // CA: all hospitals serve HTTPS from third-party CAs.
+        let ca_state = if rng.fork("staple").chance(HOSPITAL_STAPLE_RATE) {
+            CaProfile::ThirdStapled
+        } else {
+            CaProfile::ThirdNoStaple
+        };
+        let ca_idx = ca_sampler.pick_single(3, &mut rng.fork("ca")).expect("cas");
+
+        sites.push(SiteTruth {
+            universe: i,
+            id: SiteId::from_index(i),
+            rank: Rank((i + 1) as u32),
+            domain: DomainName::parse(&format!("hospital-{i}.org")).expect("valid"),
+            conglomerate: None,
+            dns: DnsAssignment {
+                state: dns_state,
+                providers: providers_list,
+                provider_soa,
+                alias_ns: false,
+            },
+            cdn: CdnAssignment { state: cdn_state, cdns },
+            ca: CaAssignment { state: ca_state, ca: Some(ca_catalog[ca_idx].name.clone()) },
+        });
+    }
+
+    World::from_plan(SnapshotPlan { config, truth: GroundTruth { sites } })
+}
+
+// ---------------------------------------------------------------------
+// Smart home (Table 11)
+// ---------------------------------------------------------------------
+
+/// A smart-home company's cloud arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloudDep {
+    /// Runs its own cloud.
+    Private,
+    /// One third-party cloud provider.
+    SingleThird(&'static str),
+}
+
+/// One smart-home company (Table 11 row material).
+#[derive(Debug, Clone)]
+pub struct SmartHomeCompany {
+    /// Company / product name.
+    pub name: &'static str,
+    /// DNS dependency state.
+    pub dns: DepState,
+    /// DNS provider, for third-party states.
+    pub dns_provider: Option<&'static str>,
+    /// Cloud arrangement.
+    pub cloud: CloudDep,
+    /// Whether devices keep functioning locally during a cloud outage.
+    pub local_failover: bool,
+}
+
+/// The 23-company roster (§6.2): 3 private DNS, 1 redundant,
+/// 19 on a single third-party provider of which 13 have local failover
+/// (→ 8 DNS-critical, counting one cloud-only company without
+/// failover); 15 use a third-party cloud, 11 of those on Amazon,
+/// 5 critically (no local failover).
+pub fn smart_home_roster() -> Vec<SmartHomeCompany> {
+    fn c(
+        name: &'static str,
+        dns: DepState,
+        dns_provider: Option<&'static str>,
+        cloud: CloudDep,
+        local_failover: bool,
+    ) -> SmartHomeCompany {
+        SmartHomeCompany { name, dns, dns_provider, cloud, local_failover }
+    }
+    use CloudDep::{Private as PvtCloud, SingleThird as Cloud};
+    vec![
+        // Private DNS (3).
+        c("Philips Hue", DepState::Private, None, PvtCloud, true),
+        c("Apple HomeKit", DepState::Private, None, PvtCloud, true),
+        c("Amazon Alexa", DepState::Private, None, PvtCloud, true),
+        // Redundant DNS (1).
+        c("Samsung SmartThings", DepState::MultiThird, Some("Google Cloud DNS"), Cloud("AWS"), true),
+        // Cloud-critical five (no local failover, third-party cloud).
+        c("Logitech Harmony", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
+        c("IFTTT", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
+        c("Petnet", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
+        c("Ecobee", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
+        c("Ring Security", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
+        // DNS-critical but cloud-private (no failover).
+        c("Yonomi", DepState::SingleThird, Some("AWS Route 53"), PvtCloud, false),
+        c("Brilliant Tech", DepState::SingleThird, Some("AWS Route 53"), PvtCloud, false),
+        c("Wink", DepState::SingleThird, Some("AWS Route 53"), PvtCloud, false),
+        // Third-party everything, but devices fail over locally.
+        c("Wyze", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
+        c("Lifx", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
+        c("TP-Link Kasa", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
+        c("Tuya", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
+        c("Sengled", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
+        c("Wemo", DepState::SingleThird, Some("Cloudflare"), Cloud("GCP"), true),
+        c("Arlo", DepState::SingleThird, Some("Azure DNS"), Cloud("Azure"), true),
+        c("Abode", DepState::SingleThird, Some("Google Cloud DNS"), Cloud("GCP"), true),
+        c("Nest", DepState::SingleThird, Some("Google Cloud DNS"), Cloud("GCP"), true),
+        // Third-party DNS, private cloud, local failover.
+        c("Hubitat", DepState::SingleThird, Some("Cloudflare"), PvtCloud, true),
+        c("Eufy", DepState::SingleThird, Some("GoDaddy"), PvtCloud, true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hospital_world_matches_table10_marginals() {
+        let w = hospital_world(7);
+        assert_eq!(w.truth.len(), N_HOSPITALS);
+        let third = w.truth.sites.iter().filter(|s| s.dns.state.uses_third_party()).count();
+        let critical = w.truth.sites.iter().filter(|s| s.dns.state.is_critical()).count();
+        // Table 10: 51% third (102), 46% critical (92); ±6pp sampling.
+        assert!((third as f64 / 2.0 - 51.0).abs() < 7.0, "third {third}");
+        assert!((critical as f64 / 2.0 - 46.0).abs() < 7.0, "critical {critical}");
+        let cdn_users = w.truth.sites.iter().filter(|s| s.cdn.state.uses_cdn()).count();
+        assert!((cdn_users as f64 / 2.0 - 16.0).abs() < 6.0, "cdn {cdn_users}");
+        assert!(w.truth.sites.iter().all(|s| s.https()), "all hospitals serve HTTPS");
+        let stapled = w
+            .truth
+            .sites
+            .iter()
+            .filter(|s| s.ca.state == CaProfile::ThirdStapled)
+            .count();
+        assert!((stapled as f64 / 2.0 - 22.0).abs() < 7.0, "stapled {stapled}");
+    }
+
+    #[test]
+    fn hospital_world_is_fetchable() {
+        let w = hospital_world(7);
+        let mut client = w.client();
+        for listing in w.listings().iter().take(40) {
+            let url = webdeps_web::Url::https(listing.document_hosts[0].clone());
+            assert!(client.fetch(&url).is_ok(), "hospital {} must fetch", listing.domain);
+        }
+    }
+
+    #[test]
+    fn smart_home_roster_matches_table11() {
+        let roster = smart_home_roster();
+        assert_eq!(roster.len(), 23);
+        let third_dns = roster.iter().filter(|c| c.dns.uses_third_party()).count();
+        assert_eq!(third_dns, 20, "21 companies minus the redundant one… (3 private)");
+        let redundant = roster.iter().filter(|c| c.dns.is_redundant()).count();
+        assert_eq!(redundant, 1);
+        // DNS-critical: single third party AND no local failover.
+        let dns_critical = roster
+            .iter()
+            .filter(|c| c.dns.is_critical() && !c.local_failover)
+            .count();
+        assert_eq!(dns_critical, 8, "Table 11: 8 critically dependent on DNS");
+        let third_cloud = roster
+            .iter()
+            .filter(|c| matches!(c.cloud, CloudDep::SingleThird(_)))
+            .count();
+        assert_eq!(third_cloud, 15, "Table 11: 15 on third-party cloud");
+        let cloud_critical = roster
+            .iter()
+            .filter(|c| matches!(c.cloud, CloudDep::SingleThird(_)) && !c.local_failover)
+            .count();
+        assert_eq!(cloud_critical, 5, "Table 11: 5 critically dependent on cloud");
+        let amazon = roster
+            .iter()
+            .filter(|c| matches!(c.cloud, CloudDep::SingleThird("AWS")))
+            .count();
+        assert_eq!(amazon, 11, "§6.2: 11 of 15 third-party-cloud companies use Amazon");
+        let aws_dns = roster
+            .iter()
+            .filter(|c| c.dns_provider == Some("AWS Route 53"))
+            .count();
+        assert_eq!(aws_dns, 13, "§6.2: 13 use Amazon DNS");
+    }
+}

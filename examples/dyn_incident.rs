@@ -1,0 +1,62 @@
+//! Replay of the October 2016 Mirai-Dyn incident — and the 2020
+//! counterfactual.
+//!
+//! Fails Dyn's entire server fleet in the 2016 world and counts which
+//! sites actually stop resolving (including the famous collateral:
+//! Fastly ran its DNS on Dyn, so Fastly customers fell too). Then runs
+//! the same attack against the 2020 world, where Dyn's footprint shrank
+//! and Fastly added a secondary.
+//!
+//! ```text
+//! cargo run --release --example dyn_incident
+//! ```
+
+use webdeps::core::simulate_outage;
+use webdeps::worldgen::{SnapshotYear, WorldConfig, WorldPair};
+
+fn blast_radius(world: &webdeps::worldgen::World, label: &str) {
+    let result = simulate_outage(world, &["Dyn"], false);
+    println!("\n== Dyn outage, {label} ==");
+    println!(
+        "  affected sites: {} of {} ({:.2}%)",
+        result.affected.len(),
+        result.total,
+        100.0 * result.affected_fraction()
+    );
+
+    // Attribution: direct Dyn customers vs Fastly collateral.
+    let mut direct = 0;
+    let mut via_fastly = 0;
+    let mut other = 0;
+    for &id in &result.affected {
+        let truth = world.site(id);
+        if truth.dns.providers.iter().any(|p| p == "Dyn") {
+            direct += 1;
+        } else if truth.cdn.cdns.iter().any(|c| c == "Fastly") {
+            via_fastly += 1;
+        } else {
+            other += 1;
+        }
+    }
+    println!("    direct Dyn DNS customers:    {direct}");
+    println!("    collateral via Fastly CDN:   {via_fastly}");
+    println!("    other paths:                 {other}");
+}
+
+fn main() {
+    let (seed, n) = (2016, 10_000);
+    println!("generating paired 2016/2020 worlds ({n} sites, seed {seed}) …");
+    let pair = WorldPair::generate(seed, n);
+    assert_eq!(pair.y2016.config.year, SnapshotYear::Y2016);
+
+    blast_radius(&pair.y2016, "December 2016 (the incident)");
+    blast_radius(&pair.y2020, "January 2020 (the counterfactual)");
+
+    println!(
+        "\nThe 2020 attack is smaller on both axes: Dyn's concentration fell from ~2% to \
+         ~0.6% of sites (§4.2), and Fastly — burned once — now runs Dyn alongside a \
+         private secondary (§5.3), so its customers no longer fall with Dyn."
+    );
+
+    let _ = WorldConfig::paper_2016(seed); // full-scale config, for reference
+}

@@ -1,0 +1,92 @@
+//! Replay of the October 2016 GlobalSign revocation incident (§2):
+//! a CA's OCSP responder misconfiguration marks *valid* certificates
+//! revoked; response caching then stretches a short server-side error
+//! into a week-long outage for the CA's customers.
+//!
+//! ```text
+//! cargo run --release --example globalsign_incident
+//! ```
+
+use webdeps::tls::{OcspFault, Pki, RevocationPolicy};
+use webdeps::web::{Scheme, Url, WebClient};
+use webdeps::worldgen::{SnapshotYear, SiteListing, World, WorldConfig};
+
+/// Probes every victim over HTTPS with the given client.
+fn reachable(client: &mut WebClient<'_>, victims: &[SiteListing]) -> usize {
+    victims
+        .iter()
+        .filter(|l| {
+            let url =
+                Url { scheme: Scheme::Https, host: l.document_hosts[0].clone(), path: "/".into() };
+            client.fetch(&url).is_ok()
+        })
+        .count()
+}
+
+fn strict_client<'a>(world: &'a World, pki: &'a Pki) -> WebClient<'a> {
+    WebClient::new(world.resolver(), &world.web, pki).with_policy(RevocationPolicy::HardFail)
+}
+
+fn main() {
+    let world =
+        World::generate(WorldConfig { seed: 21, n_sites: 4_000, year: SnapshotYear::Y2020 });
+    let ca_id = world.pki.ca_by_name("GlobalSign").expect("GlobalSign exists").id;
+
+    // The victims: HTTPS sites with GlobalSign certificates.
+    let victims: Vec<SiteListing> = world
+        .listings()
+        .into_iter()
+        .filter(|l| l.https && world.site(l.id).ca.ca.as_deref() == Some("GlobalSign"))
+        .collect();
+    println!("GlobalSign serves {} HTTPS sites in this world", victims.len());
+    assert!(!victims.is_empty());
+
+    // Two PKI views: the misconfigured responder and the fixed one.
+    let mut pki_bad = world.pki.clone();
+    pki_bad.inject_fault(ca_id, OcspFault::MarksEverythingRevoked);
+    let pki_fixed = world.pki.clone();
+
+    // Day 0, healthy baseline: everything loads.
+    let mut healthy = strict_client(&world, &world.pki);
+    let ok = reachable(&mut healthy, &victims);
+    println!("day 0 (healthy):            {ok}/{} reachable", victims.len());
+    assert_eq!(ok, victims.len());
+
+    // Incident day: a strict client hits the bad responder everywhere —
+    // and caches the poisoned answers.
+    let mut during = strict_client(&world, &pki_bad);
+    let ok = reachable(&mut during, &victims);
+    println!("incident day:               {ok}/{} reachable (responder marks all revoked)", victims.len());
+    assert_eq!(ok, 0, "every GlobalSign site is denied");
+
+    // GlobalSign fixes the responder within a day — but the client's
+    // cached responses are valid for 7 days, so it KEEPS rejecting.
+    let poisoned_cache = during.take_checker();
+    let mut after_fix = strict_client(&world, &pki_fixed);
+    after_fix.set_checker(poisoned_cache);
+    after_fix.resolver_mut().advance_time(86_400);
+    let ok = reachable(&mut after_fix, &victims);
+    // Sites that staple recover immediately — their webservers re-staple
+    // good responses, and a fresh staple outranks the client's poisoned
+    // cache. Everyone else stays locked out by the cache.
+    let stapling_victims =
+        victims.iter().filter(|l| world.site(l.id).ca.state == webdeps::worldgen::CaProfile::ThirdStapled).count();
+    println!(
+        "day 1 (responder fixed):    {ok}/{} reachable — only the {stapling_victims} stapling sites;          the cache extends the outage for the rest",
+        victims.len()
+    );
+    assert_eq!(ok, stapling_victims, "cached revoked responses persist, the paper's §2 point");
+
+    // After the OCSP validity window the cache expires and life resumes.
+    after_fix.resolver_mut().advance_time(7 * 86_400);
+    after_fix.resolver_mut().flush_cache(); // expired DNS entries, for clarity
+    let ok = reachable(&mut after_fix, &victims);
+    println!("day 8 (caches expired):     {ok}/{} reachable again", victims.len());
+    assert_eq!(ok, victims.len());
+
+    println!(
+        "\nNote: OCSP stapling does NOT protect against this incident — servers staple the \
+         bad responses too. Stapling removes the *availability* dependency on the CA \
+         (Observation 5), not the trust dependency."
+    );
+}

@@ -1,0 +1,74 @@
+//! The dependency-audit service the paper sketches in §8.3: given a
+//! website, enumerate its complete dependency structure — including
+//! hidden transitive dependencies — and recommend fixes.
+//!
+//! ```text
+//! cargo run --release --example resilience_advisor
+//! ```
+
+use webdeps::core::{audit_site, DepGraph, RiskLevel};
+use webdeps::measure::measure_world;
+use webdeps::worldgen::{SnapshotYear, World, WorldConfig};
+
+fn main() {
+    let world =
+        World::generate(WorldConfig { seed: 11, n_sites: 5_000, year: SnapshotYear::Y2020 });
+    let ds = measure_world(&world);
+    let graph = DepGraph::from_dataset(&ds);
+
+    // Audit a spread of sites and show the most instructive ones: one
+    // per risk level, preferring sites with hidden chains.
+    let mut shown = 0;
+    let mut seen_levels = Vec::new();
+    for site in &ds.sites {
+        let audit = audit_site(&graph, &ds, site.id);
+        let has_hidden = audit.chains.iter().any(|c| c.critical && c.hops.len() > 1);
+        let interesting = match audit.risk {
+            RiskLevel::High => has_hidden,
+            RiskLevel::Medium => has_hidden && !seen_levels.contains(&RiskLevel::Medium),
+            RiskLevel::Low => !seen_levels.contains(&RiskLevel::Low),
+        };
+        if !interesting || seen_levels.contains(&audit.risk) {
+            continue;
+        }
+        seen_levels.push(audit.risk);
+        shown += 1;
+
+        println!("== audit: {} (rank {}) ==", site.domain, site.rank);
+        println!("  risk: {:?} ({} critical providers)", audit.risk, audit.critical_providers);
+        println!("  dependency chains:");
+        for chain in &audit.chains {
+            println!("    {}", chain.describe());
+        }
+        if audit.recommendations.is_empty() {
+            println!("  recommendations: none — nicely provisioned!");
+        } else {
+            println!("  recommendations:");
+            for r in &audit.recommendations {
+                println!("    - {r}");
+            }
+        }
+        println!();
+        if shown == 3 {
+            break;
+        }
+    }
+    assert!(shown >= 2, "expected to find instructive sites");
+
+    // Population view: how many critical deps does a site carry once
+    // hidden chains are counted? (§8.1: 9.6% → 25% with ≥3.)
+    use webdeps::core::{MetricOptions, Metrics};
+    let metrics = Metrics::new(&graph);
+    let direct = metrics.critical_deps_per_site(&MetricOptions::direct_only());
+    let full = metrics.critical_deps_per_site(&MetricOptions::full());
+    let n = ds.sites.len() as f64;
+    let ge3 = |m: &std::collections::HashMap<webdeps::model::SiteId, usize>| {
+        100.0 * m.values().filter(|&&c| c >= 3).count() as f64 / n
+    };
+    println!(
+        "sites with ≥3 critical dependencies: {:.1}% counting direct only → {:.1}% counting \
+         hidden chains (paper: 9.6% → 25%)",
+        ge3(&direct),
+        ge3(&full)
+    );
+}

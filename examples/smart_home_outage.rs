@@ -1,0 +1,75 @@
+//! The §6.2 vertical: third-party dependencies of 23 smart-home
+//! companies, and what a cloud-provider outage does to people's locks,
+//! lights, and pet feeders (the 2017 S3 incident and the 2020 Petnet
+//! outage the paper cites).
+//!
+//! ```text
+//! cargo run --release --example smart_home_outage
+//! ```
+
+use webdeps::worldgen::verticals::{smart_home_roster, CloudDep};
+
+fn main() {
+    let roster = smart_home_roster();
+    let n = roster.len();
+
+    // Table 11 aggregates.
+    let third_dns = roster.iter().filter(|c| c.dns.uses_third_party()).count();
+    let dns_critical =
+        roster.iter().filter(|c| c.dns.is_critical() && !c.local_failover).count();
+    let third_cloud =
+        roster.iter().filter(|c| matches!(c.cloud, CloudDep::SingleThird(_))).count();
+    let cloud_critical = roster
+        .iter()
+        .filter(|c| matches!(c.cloud, CloudDep::SingleThird(_)) && !c.local_failover)
+        .count();
+
+    println!("== Table 11 (measured / paper) ==");
+    println!("  DNS   third-party {third_dns}/{n} (21), critical {dns_critical} (8)");
+    println!("  Cloud third-party {third_cloud}/{n} (15), critical {cloud_critical} (5)");
+
+    // The what-if the paper motivates with the 2017 S3 outage: Amazon's
+    // cloud goes down. Which products stop working?
+    println!("\n== Amazon cloud outage ==");
+    let mut dead = Vec::new();
+    let mut degraded = Vec::new();
+    for c in &roster {
+        if matches!(c.cloud, CloudDep::SingleThird("AWS")) {
+            if c.local_failover {
+                degraded.push(c.name);
+            } else {
+                dead.push(c.name);
+            }
+        }
+    }
+    println!("  fully dead (no local failover): {}", dead.join(", "));
+    println!("  cloud features lost, devices still work locally: {}", degraded.join(", "));
+    assert!(dead.contains(&"Petnet"), "the pet feeder goes hungry — the paper's §6.2 anecdote");
+
+    // And the DNS flavor: Route 53 down also kills cloud *reachability*
+    // for companies whose DNS is Amazon's, even where the cloud backend
+    // itself is someone else's.
+    println!("\n== Amazon DNS (Route 53) outage ==");
+    let dns_victims: Vec<_> = roster
+        .iter()
+        .filter(|c| {
+            c.dns_provider == Some("AWS Route 53") && c.dns.is_critical() && !c.local_failover
+        })
+        .map(|c| c.name)
+        .collect();
+    println!("  unreachable backends: {}", dns_victims.join(", "));
+
+    // The paper's takeaway: one company's outage reaches into homes.
+    let amazon_reach = roster
+        .iter()
+        .filter(|c| {
+            matches!(c.cloud, CloudDep::SingleThird("AWS"))
+                || c.dns_provider == Some("AWS Route 53")
+        })
+        .count();
+    println!(
+        "\nAmazon (cloud ∪ DNS) touches {amazon_reach}/{n} smart-home companies — \
+         the §6.2 concentration finding."
+    );
+    assert!(amazon_reach >= 13);
+}

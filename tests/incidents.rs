@@ -1,0 +1,168 @@
+//! End-to-end replays of the paper's three motivating incidents (§2):
+//! the Mirai-Dyn attack, the GlobalSign revocation error, and the
+//! Route 53 DDoS. Each runs through the full simulator stack — these are
+//! the behavioral ground truth behind the analysis layer's numbers.
+
+use std::sync::OnceLock;
+use webdeps::core::simulate_outage;
+use webdeps::tls::{OcspFault, RevocationPolicy};
+use webdeps::web::{Scheme, Url, WebClient};
+use webdeps::worldgen::{SnapshotYear, World, WorldConfig, WorldPair};
+
+fn pair() -> &'static WorldPair {
+    static PAIR: OnceLock<WorldPair> = OnceLock::new();
+    PAIR.get_or_init(|| WorldPair::generate(2016, 3_000))
+}
+
+/// §2 "Dyn DDoS Attack 2016": many popular sites die, including sites
+/// that never chose Dyn but whose CDN (Fastly) did.
+#[test]
+fn mirai_dyn_2016() {
+    let world = &pair().y2016;
+    let result = simulate_outage(world, &["Dyn"], false);
+    assert!(!result.affected.is_empty(), "the attack must hurt");
+
+    let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
+    let mut collateral = 0;
+    for truth in &world.truth.sites {
+        let dns_on_dyn = truth.dns.providers.iter().any(|p| p == "Dyn");
+        let fastly_only = truth.cdn.cdns == vec!["Fastly".to_string()];
+        if !dns_on_dyn && fastly_only && truth.dns.state.is_critical() {
+            assert!(
+                affected.contains(&truth.id),
+                "{} is Fastly-only and must fall with Dyn",
+                truth.domain
+            );
+            collateral += 1;
+        }
+        // Redundantly provisioned Dyn customers survive.
+        if dns_on_dyn && truth.dns.state.is_redundant() && !fastly_only && !truth.cdn.cdns.contains(&"Fastly".to_string()) {
+            assert!(
+                !affected.contains(&truth.id),
+                "{} had a secondary and must survive",
+                truth.domain
+            );
+        }
+    }
+    assert!(collateral > 0, "the Fastly collateral is the incident's signature");
+}
+
+/// The 2020 counterfactual: Dyn shrank and Fastly learned; the same
+/// attack has a much smaller blast radius and no Fastly collateral.
+#[test]
+fn dyn_2020_counterfactual() {
+    let p = pair();
+    let r16 = simulate_outage(&p.y2016, &["Dyn"], false);
+    let r20 = simulate_outage(&p.y2020, &["Dyn"], false);
+    assert!(
+        (r20.affected.len() as f64) < (r16.affected.len() as f64) * 0.6,
+        "2020 blast radius must shrink substantially: {} → {}",
+        r16.affected.len(),
+        r20.affected.len()
+    );
+    // No Fastly collateral in 2020 (redundant DNS at Fastly).
+    let affected20: std::collections::HashSet<_> = r20.affected.iter().copied().collect();
+    for truth in &p.y2020.truth.sites {
+        let dns_on_dyn = truth.dns.providers.iter().any(|p| p == "Dyn");
+        if !dns_on_dyn && truth.cdn.cdns == vec!["Fastly".to_string()] && truth.dns.state.is_critical() {
+            assert!(
+                !affected20.contains(&truth.id),
+                "{} must survive: Fastly now has a secondary",
+                truth.domain
+            );
+        }
+    }
+}
+
+/// §2 "GlobalSign Certificate Revocation Error 2016": valid certs marked
+/// revoked; caching extends the outage past the server-side fix.
+#[test]
+fn globalsign_2016() {
+    let world =
+        World::generate(WorldConfig { seed: 7, n_sites: 2_000, year: SnapshotYear::Y2020 });
+    let ca_id = world.pki.ca_by_name("GlobalSign").expect("exists").id;
+    let victims: Vec<_> = world
+        .listings()
+        .into_iter()
+        .filter(|l| l.https && world.site(l.id).ca.ca.as_deref() == Some("GlobalSign"))
+        .collect();
+    assert!(victims.len() > 10, "GlobalSign must have customers");
+
+    let mut bad_pki = world.pki.clone();
+    bad_pki.inject_fault(ca_id, OcspFault::MarksEverythingRevoked);
+    let mut client = WebClient::new(world.resolver(), &world.web, &bad_pki)
+        .with_policy(RevocationPolicy::HardFail);
+    let denied = victims
+        .iter()
+        .filter(|l| {
+            client
+                .fetch(&Url { scheme: Scheme::Https, host: l.document_hosts[0].clone(), path: "/".into() })
+                .is_err()
+        })
+        .count();
+    assert_eq!(denied, victims.len(), "every GlobalSign customer is denied");
+
+    // After the fix, a client carrying the poisoned cache stays denied
+    // for non-stapling sites.
+    let poisoned = client.take_checker();
+    let mut fixed_client = WebClient::new(world.resolver(), &world.web, &world.pki)
+        .with_policy(RevocationPolicy::HardFail);
+    fixed_client.set_checker(poisoned);
+    fixed_client.resolver_mut().advance_time(3_600);
+    let still_denied = victims
+        .iter()
+        .filter(|l| {
+            !world.site(l.id).ca.state.is_https()
+                || fixed_client
+                    .fetch(&Url { scheme: Scheme::Https, host: l.document_hosts[0].clone(), path: "/".into() })
+                    .is_err()
+        })
+        .count();
+    let stapling = victims
+        .iter()
+        .filter(|l| {
+            world.site(l.id).ca.state == webdeps::worldgen::CaProfile::ThirdStapled
+        })
+        .count();
+    assert_eq!(
+        still_denied,
+        victims.len() - stapling,
+        "only re-stapled sites recover before the cache expires"
+    );
+}
+
+/// §2 "Amazon Route 53 DDoS 2019": a DNS-provider outage cascades into
+/// every service built on it — direct customers, CDNs running their DNS
+/// on Route 53, and (transitively) those CDNs' customers.
+#[test]
+fn route53_2019_style_cascade() {
+    let world = &pair().y2020;
+    let result = simulate_outage(world, &["AWS Route 53"], false);
+    let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
+
+    let mut via_cdn = 0;
+    for truth in &world.truth.sites {
+        let dns_on_aws = truth.dns.providers.iter().any(|p| p == "AWS Route 53");
+        // Sites whose only CDN runs its DNS exclusively on Route 53
+        // (CDN77/KeyCDN/BunnyCDN and the small AWS-exclusive pool).
+        let cdn_on_aws_exclusively = truth.cdn.cdns.len() == 1
+            && matches!(
+                truth.cdn.cdns[0].as_str(),
+                "CDN77" | "KeyCDN" | "BunnyCDN"
+            );
+        if !dns_on_aws && cdn_on_aws_exclusively {
+            assert!(
+                affected.contains(&truth.id),
+                "{} rides a CDN whose DNS is Route 53-exclusive",
+                truth.domain
+            );
+            via_cdn += 1;
+        }
+    }
+    assert!(via_cdn > 0, "the cascade through dependent services must be visible");
+    assert!(
+        result.affected_fraction() > 0.05,
+        "Route 53 is a major provider: {:.3}",
+        result.affected_fraction()
+    );
+}

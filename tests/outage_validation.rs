@@ -1,0 +1,134 @@
+//! Cross-validation of graph-derived impact against behavioral outage
+//! simulation, across provider kinds — the strongest evidence that the
+//! measurement + analysis stack models the world it measures.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+use webdeps::core::{simulate_outage, DepGraph, MetricOptions, Metrics};
+use webdeps::measure::{measure_world, MeasurementDataset};
+use webdeps::model::{ServiceKind, SiteId};
+use webdeps::worldgen::{SnapshotYear, World, WorldConfig};
+
+fn world() -> &'static (World, MeasurementDataset, DepGraph) {
+    static W: OnceLock<(World, MeasurementDataset, DepGraph)> = OnceLock::new();
+    W.get_or_init(|| {
+        let world =
+            World::generate(WorldConfig { seed: 99, n_sites: 2_500, year: SnapshotYear::Y2020 });
+        let ds = measure_world(&world);
+        let graph = DepGraph::from_dataset(&ds);
+        (world, ds, graph)
+    })
+}
+
+/// For a DNS provider, predicted-critical sites are exactly the ones
+/// the simulated outage kills (modulo uncharacterized sites, which the
+/// measurement excluded but the simulator still breaks).
+fn check_dns_provider(key: &str) {
+    let (world, ds, graph) = world();
+    let metrics = Metrics::new(graph);
+    let Some(node) = graph.provider(key, ServiceKind::Dns) else {
+        panic!("provider {key} not observed");
+    };
+    let direct_predicted = metrics.dependent_sites(node, true, &MetricOptions::direct_only());
+    // Upper bound: the full indirect closure — a site can fall because
+    // its CDN's DNS rides the failed provider (the Fastly-Dyn pattern).
+    let full_predicted = metrics.dependent_sites(node, true, &MetricOptions::full());
+    let result = simulate_outage(world, &[key], false);
+    let simulated: HashSet<SiteId> = result.affected.iter().copied().collect();
+
+    // Lower bound: every directly-critical site breaks.
+    for site in &direct_predicted {
+        assert!(simulated.contains(site), "{key}: predicted site {site} survived");
+    }
+    // Upper bound: everything that broke is in the indirect closure, or
+    // was uncharacterized (excluded by the measurement, still breakable).
+    let mut unexplained = 0usize;
+    for site in &simulated {
+        if full_predicted.contains(site) {
+            continue;
+        }
+        let m = ds.sites.iter().find(|s| s.id == *site).expect("measured");
+        let excluded = m.dns.state.is_none() || m.cdn.state.is_none() || m.ca.state.is_none();
+        if !excluded {
+            unexplained += 1;
+        }
+    }
+    assert!(
+        unexplained <= ds.sites.len() / 100,
+        "{key}: {unexplained} sites broke outside the indirect closure"
+    );
+}
+
+#[test]
+fn cloudflare_dns_outage_matches_prediction() {
+    check_dns_provider("cloudflare.com");
+}
+
+#[test]
+fn godaddy_dns_outage_matches_prediction() {
+    check_dns_provider("domaincontrol.com");
+}
+
+#[test]
+fn route53_outage_matches_prediction() {
+    check_dns_provider("awsdns.net");
+}
+
+/// CDN outage: critically dependent sites (per measurement) break;
+/// multi-CDN sites survive via their second on-ramp.
+#[test]
+fn cdn_outage_respects_redundancy() {
+    let (world, ds, _) = world();
+    let result = simulate_outage(world, &["Akamai"], false);
+    let affected: HashSet<SiteId> = result.affected.iter().copied().collect();
+    let mut crit = 0;
+    let mut redundant = 0;
+    for m in &ds.sites {
+        let uses_akamai = m.cdn.cdns.iter().any(|(k, _)| k.as_str() == "akamaiedge.net");
+        if !uses_akamai {
+            continue;
+        }
+        match m.cdn.state {
+            Some(webdeps::worldgen::CdnProfile::SingleThird) => {
+                assert!(affected.contains(&m.id), "critical Akamai site {} survived", m.domain);
+                crit += 1;
+            }
+            Some(webdeps::worldgen::CdnProfile::Multi) => {
+                // The second CDN keeps the document reachable unless the
+                // site ALSO depends on Akamai another way (e.g. its CA
+                // rides Akamai and... CA failures need hard-fail, so no).
+                assert!(!affected.contains(&m.id), "redundant site {} died", m.domain);
+                redundant += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(crit > 0 && redundant > 0, "sample must contain both populations");
+}
+
+/// The graph's full-indirect impact for DNSMadeEasy predicts the
+/// hard-fail behavioral outage (DigiCert's responders become
+/// unreachable when their DNS dies).
+#[test]
+fn dnsmadeeasy_outage_amplified_through_digicert() {
+    let (world, _, graph) = world();
+    let metrics = Metrics::new(graph);
+    let node = graph.provider("dnsmadeeasy.com", ServiceKind::Dns).expect("observed");
+    let direct = metrics.impact(node, &MetricOptions::direct_only());
+    let full = metrics.impact(node, &MetricOptions::full());
+
+    let result = simulate_outage(world, &["DNSMadeEasy"], true);
+    assert!(
+        result.affected.len() > 3 * direct.max(1),
+        "behavioral blast radius {} should dwarf direct impact {direct}",
+        result.affected.len()
+    );
+    // And the graph's full-closure impact should be in the same regime
+    // as the simulation (within 2x either way).
+    let sim = result.affected.len() as f64;
+    let predicted = full as f64;
+    assert!(
+        sim <= predicted * 2.0 + 10.0 && predicted <= sim * 2.0 + 10.0,
+        "graph {predicted} vs simulated {sim}"
+    );
+}
