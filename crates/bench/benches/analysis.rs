@@ -3,16 +3,16 @@
 //! the paper's literal recursion), graph construction, and coverage
 //! CDFs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use webdeps_bench::bench_workspace;
+use webdeps_bench::harness::Harness;
 use webdeps_core::{coverage_curve, DepGraph, MetricOptions, Metrics};
 use webdeps_dns::Soa;
 use webdeps_measure::classify::{classify, ClassifierKind, Evidence};
 use webdeps_model::name::dn;
 use webdeps_model::{PublicSuffixList, ServiceKind};
 
-fn heuristic_ablation(c: &mut Criterion) {
+fn heuristic_ablation(h: &mut Harness) {
     let psl = PublicSuffixList::builtin();
     let site = dn("example-shop.com");
     let candidates = [
@@ -22,34 +22,40 @@ fn heuristic_ablation(c: &mut Criterion) {
         dn("ns2.managed-dns-17.net"),
     ];
     let san = vec![dn("example-shop.com"), dn("*.example-shop.com")];
-    let site_soa = Soa::standard(dn("ns0.example-shop.com"), dn("hostmaster.example-shop.com"), 1);
+    let site_soa = Soa::standard(
+        dn("ns0.example-shop.com"),
+        dn("hostmaster.example-shop.com"),
+        1,
+    );
     let cand_soa = Soa::standard(dn("ns1.awsdns.net"), dn("hostmaster.awsdns.net"), 1);
 
-    let mut group = c.benchmark_group("analysis/heuristics");
+    let mut group = h.benchmark_group("analysis/heuristics");
     for kind in ClassifierKind::ALL {
-        group.bench_function(format!("classify_{}", kind.label().replace(' ', "_")), |b| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let candidate = &candidates[i % candidates.len()];
-                i += 1;
-                let ev = Evidence {
-                    site: &site,
-                    candidate,
-                    san: Some(&san),
-                    site_soa: Some(&site_soa),
-                    candidate_soa: Some(&cand_soa),
-                    concentration: Some(120),
-                    threshold: 50,
-                };
-                black_box(classify(kind, &ev, &psl));
-            });
-        });
+        group.bench_function(
+            format!("classify_{}", kind.label().replace(' ', "_")),
+            |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let candidate = &candidates[i % candidates.len()];
+                    i += 1;
+                    let ev = Evidence {
+                        site: &site,
+                        candidate,
+                        san: Some(&san),
+                        site_soa: Some(&site_soa),
+                        candidate_soa: Some(&cand_soa),
+                        concentration: Some(120),
+                        threshold: 50,
+                    };
+                    black_box(classify(kind, &ev, &psl));
+                });
+            },
+        );
     }
     group.finish();
 }
 
-fn grouping_ablation(c: &mut Criterion) {
-    use webdeps_dns::Soa;
+fn grouping_ablation(h: &mut Harness) {
     use webdeps_measure::dns::{classify_site_with_grouping, DnsObservation, GroupingStrategy};
     let psl = PublicSuffixList::builtin();
     let obs = DnsObservation {
@@ -60,16 +66,36 @@ fn grouping_ablation(c: &mut Criterion) {
             dn("ns1.awsdns.net"),
             dn("ns1.example-shop.com"),
         ],
-        site_soa: Some(Soa::standard(dn("ns0.example-shop.com"), dn("hostmaster.example-shop.com"), 1)),
+        site_soa: Some(Soa::standard(
+            dn("ns0.example-shop.com"),
+            dn("hostmaster.example-shop.com"),
+            1,
+        )),
         ns_soas: vec![
-            Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 1)),
-            Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 2)),
-            Some(Soa::standard(dn("ns1.awsdns.net"), dn("hostmaster.awsdns.net"), 3)),
-            Some(Soa::standard(dn("ns0.example-shop.com"), dn("hostmaster.example-shop.com"), 4)),
+            Some(Soa::standard(
+                dn("ns1.alibabadns.com"),
+                dn("hostmaster.alibabadns.com"),
+                1,
+            )),
+            Some(Soa::standard(
+                dn("ns1.alibabadns.com"),
+                dn("hostmaster.alibabadns.com"),
+                2,
+            )),
+            Some(Soa::standard(
+                dn("ns1.awsdns.net"),
+                dn("hostmaster.awsdns.net"),
+                3,
+            )),
+            Some(Soa::standard(
+                dn("ns0.example-shop.com"),
+                dn("hostmaster.example-shop.com"),
+                4,
+            )),
         ],
     };
     let conc = std::collections::HashMap::new();
-    let mut group = c.benchmark_group("analysis/grouping");
+    let mut group = h.benchmark_group("analysis/grouping");
     for (name, strategy) in [
         ("tld_and_soa", GroupingStrategy::TldAndSoa),
         ("tld_only", GroupingStrategy::TldOnly),
@@ -90,14 +116,14 @@ fn grouping_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-fn metric_engine_ablation(c: &mut Criterion) {
+fn metric_engine_ablation(h: &mut Harness) {
     let ws = bench_workspace();
     let graph = &ws.graph20;
     let metrics = Metrics::new(graph);
     let providers: Vec<_> = graph.providers_of(ServiceKind::Dns).take(16).collect();
     let opts = MetricOptions::full();
 
-    let mut group = c.benchmark_group("analysis/metrics");
+    let mut group = h.benchmark_group("analysis/metrics");
     group.bench_function("impact_reverse_bfs", |b| {
         let mut i = 0usize;
         b.iter(|| {
@@ -119,7 +145,7 @@ fn metric_engine_ablation(c: &mut Criterion) {
     });
     group.finish();
 
-    let mut group = c.benchmark_group("analysis/aggregate");
+    let mut group = h.benchmark_group("analysis/aggregate");
     group.sample_size(20);
     group.bench_function("graph_from_dataset", |b| {
         b.iter(|| black_box(DepGraph::from_dataset(&ws.ds20)));
@@ -133,5 +159,10 @@ fn metric_engine_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, heuristic_ablation, grouping_ablation, metric_engine_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("analysis");
+    heuristic_ablation(&mut h);
+    grouping_ablation(&mut h);
+    metric_engine_ablation(&mut h);
+    h.finish();
+}

@@ -1,26 +1,25 @@
 //! One bench per paper experiment: each `exp_<id>` regenerates the
-//! table/figure from the prepared workspace. The first iteration also
-//! prints the rendered report, so `cargo bench` doubles as a
+//! table/figure from the prepared workspace. The run starts by printing
+//! every rendered report, so `cargo bench` doubles as a
 //! results-regeneration run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::sync::Once;
 use webdeps_bench::bench_workspace;
+use webdeps_bench::harness::Harness;
 use webdeps_reports::{all_experiment_ids, run_experiment};
 
-fn experiments(c: &mut Criterion) {
+fn experiments(h: &mut Harness) {
     let ws = bench_workspace();
-    static PRINT: Once = Once::new();
-    PRINT.call_once(|| {
-        eprintln!("\n================ regenerated experiments (scale {}) ================", ws.scale);
-        for id in all_experiment_ids() {
-            let report = run_experiment(ws, id).expect("registered experiment");
-            eprintln!("{}", report.render());
-        }
-    });
+    eprintln!(
+        "\n================ regenerated experiments (scale {}) ================",
+        ws.scale
+    );
+    for id in all_experiment_ids() {
+        let report = run_experiment(ws, id).expect("registered experiment");
+        eprintln!("{}", report.render());
+    }
 
-    let mut group = c.benchmark_group("experiments");
+    let mut group = h.benchmark_group("experiments");
     group.sample_size(10);
     for id in all_experiment_ids() {
         group.bench_function(format!("exp_{id}"), |b| {
@@ -30,5 +29,8 @@ fn experiments(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, experiments);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("experiments");
+    experiments(&mut h);
+    h.finish();
+}

@@ -1,17 +1,17 @@
 //! End-to-end benchmarks: world generation and the full measurement
 //! pipeline at several scales, plus an outage simulation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use webdeps_bench::harness::Harness;
 use webdeps_core::simulate_outage;
 use webdeps_measure::measure_world;
 use webdeps_worldgen::{SnapshotYear, World, WorldConfig};
 
-fn pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/worldgen");
+fn pipeline(h: &mut Harness) {
+    let mut group = h.benchmark_group("pipeline/worldgen");
     group.sample_size(10);
     for &n in &[500usize, 2_000] {
-        group.bench_with_input(BenchmarkId::new("generate", n), &n, |b, &n| {
+        group.bench_function(format!("generate/{n}"), |b| {
             b.iter(|| {
                 black_box(World::generate(WorldConfig {
                     seed: 7,
@@ -23,26 +23,35 @@ fn pipeline(c: &mut Criterion) {
     }
     group.finish();
 
-    let mut group = c.benchmark_group("pipeline/measure");
+    let mut group = h.benchmark_group("pipeline/measure");
     group.sample_size(10);
     for &n in &[500usize, 2_000] {
-        let world =
-            World::generate(WorldConfig { seed: 7, n_sites: n, year: SnapshotYear::Y2020 });
-        group.bench_with_input(BenchmarkId::new("measure_world", n), &world, |b, world| {
-            b.iter(|| black_box(measure_world(world)));
+        let world = World::generate(WorldConfig {
+            seed: 7,
+            n_sites: n,
+            year: SnapshotYear::Y2020,
+        });
+        group.bench_function(format!("measure_world/{n}"), |b| {
+            b.iter(|| black_box(measure_world(&world)));
         });
     }
     group.finish();
 
-    let mut group = c.benchmark_group("pipeline/outage");
+    let mut group = h.benchmark_group("pipeline/outage");
     group.sample_size(10);
-    let world =
-        World::generate(WorldConfig { seed: 7, n_sites: 2_000, year: SnapshotYear::Y2020 });
+    let world = World::generate(WorldConfig {
+        seed: 7,
+        n_sites: 2_000,
+        year: SnapshotYear::Y2020,
+    });
     group.bench_function("simulate_cloudflare_outage", |b| {
         b.iter(|| black_box(simulate_outage(&world, &["Cloudflare"], false)));
     });
     group.finish();
 }
 
-criterion_group!(benches, pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("pipeline");
+    pipeline(&mut h);
+    h.finish();
+}

@@ -1,19 +1,19 @@
 //! Substrate benchmarks: the DNS resolver (cache ablation), zone
 //! lookups, the dig facade, and full-page crawls.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use webdeps_bench::bench_workspace;
+use webdeps_bench::harness::Harness;
 use webdeps_dns::{Dig, RecordType, Resolver};
 use webdeps_web::Crawler;
 
-fn resolver_benches(c: &mut Criterion) {
+fn resolver_benches(h: &mut Harness) {
     let ws = bench_workspace();
     let world = &ws.world20;
     let listings = world.listings();
     let sample: Vec<_> = listings.iter().take(256).collect();
 
-    let mut group = c.benchmark_group("substrate/resolver");
+    let mut group = h.benchmark_group("substrate/resolver");
 
     // Ablation: cold cache — every lookup walks the authority chain.
     group.bench_function("resolve_a_cold_cache", |b| {
@@ -57,7 +57,7 @@ fn resolver_benches(c: &mut Criterion) {
     });
     group.finish();
 
-    let mut group = c.benchmark_group("substrate/web");
+    let mut group = h.benchmark_group("substrate/web");
     group.sample_size(20);
     group.bench_function("crawl_landing_page", |b| {
         let mut client = world.client();
@@ -65,11 +65,19 @@ fn resolver_benches(c: &mut Criterion) {
         b.iter(|| {
             let l = &sample[i % sample.len()];
             i += 1;
-            black_box(Crawler::crawl(&mut client, &l.domain, &l.document_hosts, l.https));
+            black_box(Crawler::crawl(
+                &mut client,
+                &l.domain,
+                &l.document_hosts,
+                l.https,
+            ));
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, resolver_benches);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("substrate");
+    resolver_benches(&mut h);
+    h.finish();
+}

@@ -1,0 +1,275 @@
+//! Std-only benchmark harness.
+//!
+//! The workspace builds hermetically, so `criterion` is replaced by
+//! this ~200-line harness: `Instant`-based timing with a warmup phase,
+//! automatic iteration calibration, median-of-K reporting, and JSON
+//! output (`BENCH_<target>.json` at the workspace root) so successive
+//! PRs can accumulate a performance trajectory.
+//!
+//! ```no_run
+//! use webdeps_bench::harness::Harness;
+//! let mut h = Harness::new("example");
+//! let mut group = h.benchmark_group("group/name");
+//! group.bench_function("double", |b| {
+//!     b.iter(|| std::hint::black_box(21u64) * 2);
+//! });
+//! group.finish();
+//! h.finish();
+//! ```
+//!
+//! Environment knobs (all optional):
+//!
+//! * `WEBDEPS_BENCH_SAMPLES` — samples per benchmark (default 15);
+//! * `WEBDEPS_BENCH_SAMPLE_MS` — target wall time per sample (default 40);
+//! * `WEBDEPS_BENCH_WARMUP_MS` — warmup wall time (default 60);
+//! * `WEBDEPS_BENCH_OUT` — directory for the JSON report (default:
+//!   workspace root).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn env_ms(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One finished benchmark: identification plus nanosecond statistics
+/// over the per-iteration sample distribution.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name, e.g. `analysis/metrics`.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Iterations folded into each timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median ns/iteration across samples.
+    pub median_ns: f64,
+    /// Mean ns/iteration across samples.
+    pub mean_ns: f64,
+    /// Fastest sample, ns/iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iteration.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"group\":{},\"name\":{},\"iters_per_sample\":{},\"samples\":{},\
+             \"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+            json_string(&self.group),
+            json_string(&self.name),
+            self.iters_per_sample,
+            self.samples,
+            self.median_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.max_ns,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Human-readable duration for the summary table.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level collector for one bench target (one `[[bench]]` binary).
+pub struct Harness {
+    target: String,
+    results: Vec<BenchResult>,
+    started: Instant,
+}
+
+impl Harness {
+    /// Creates a harness for the named bench target.
+    pub fn new(target: &str) -> Self {
+        eprintln!("benchmarking target '{target}' (std harness, median of K samples)");
+        Harness {
+            target: target.to_string(),
+            results: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: env_usize("WEBDEPS_BENCH_SAMPLES", 15),
+        }
+    }
+
+    /// Prints the summary table and writes `BENCH_<target>.json`.
+    pub fn finish(self) {
+        let elapsed = self.started.elapsed();
+        eprintln!(
+            "\n== {} results ({} benchmarks, {:.1?} total) ==",
+            self.target,
+            self.results.len(),
+            elapsed
+        );
+        for r in &self.results {
+            eprintln!(
+                "  {:<58} median {:>12}   (min {}, {} samples × {} iters)",
+                format!("{}/{}", r.group, r.name),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.min_ns),
+                r.samples,
+                r.iters_per_sample,
+            );
+        }
+        let dir = std::env::var("WEBDEPS_BENCH_OUT")
+            .unwrap_or_else(|_| format!("{}/../..", env!("CARGO_MANIFEST_DIR")));
+        let path = format!("{dir}/BENCH_{}.json", self.target);
+        let body = format!(
+            "{{\n  \"target\": {},\n  \"results\": [\n    {}\n  ]\n}}\n",
+            json_string(&self.target),
+            self.results
+                .iter()
+                .map(BenchResult::json)
+                .collect::<Vec<_>>()
+                .join(",\n    "),
+        );
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("WARNING: could not write {path}: {e}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-count setting.
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Overrides the number of timed samples for this group (useful for
+    /// expensive benchmarks).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: the closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`] exactly once with the workload.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            warmup: Duration::from_secs_f64(env_ms("WEBDEPS_BENCH_WARMUP_MS", 60.0) / 1_000.0),
+            sample_target: Duration::from_secs_f64(
+                env_ms("WEBDEPS_BENCH_SAMPLE_MS", 40.0) / 1_000.0,
+            ),
+            measured: None,
+        };
+        f(&mut bencher);
+        let (iters, per_iter_ns) = bencher
+            .measured
+            .unwrap_or_else(|| panic!("bench '{}/{}' never called Bencher::iter", self.name, name));
+        let mut sorted = per_iter_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        let result = BenchResult {
+            group: self.name.clone(),
+            name,
+            iters_per_sample: iters,
+            samples: sorted.len(),
+            median_ns: median,
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            min_ns: sorted[0],
+            max_ns: *sorted.last().expect("at least one sample"),
+        };
+        eprintln!(
+            "  {:<58} median {:>12}",
+            format!("{}/{}", result.group, result.name),
+            fmt_ns(result.median_ns)
+        );
+        self.harness.results.push(result);
+    }
+
+    /// Ends the group. (Results are recorded eagerly; this exists for
+    /// call-site symmetry with the former criterion API.)
+    pub fn finish(self) {}
+}
+
+/// Drives the timed workload: warmup, iteration calibration, then K
+/// timed samples of `iters` iterations each.
+pub struct Bencher {
+    samples: usize,
+    warmup: Duration,
+    sample_target: Duration,
+    measured: Option<(u64, Vec<f64>)>,
+}
+
+impl Bencher {
+    /// Measures `f`. Return values are passed through
+    /// [`std::hint::black_box`] so the optimizer cannot elide the work.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup: run until the warmup budget elapses, counting
+        // iterations to estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < self.warmup || warmup_iters == 0 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Calibrate: enough iterations per sample to fill the target
+        // sample duration (at least one).
+        let iters = ((self.sample_target.as_secs_f64() / per_iter).round() as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.measured = Some((iters, per_iter_ns));
+    }
+}

@@ -1,8 +1,8 @@
 //! # webdeps-bench
 //!
-//! Criterion benchmark harness. The interesting artifacts are the bench
-//! targets, one group per reproduced experiment plus ablations of the
-//! design choices DESIGN.md calls out:
+//! Benchmark harness (std-only; see [`harness`]). The interesting
+//! artifacts are the bench targets, one group per reproduced experiment
+//! plus ablations of the design choices DESIGN.md calls out:
 //!
 //! * `experiments` — regenerates every paper table/figure (`exp_*`)
 //!   and prints the rendered reports once per run;
@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::sync::OnceLock;
 use webdeps_reports::Workspace;

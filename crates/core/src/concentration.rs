@@ -21,7 +21,10 @@ pub struct CoveragePoint {
 }
 
 /// Per-provider direct consumer sets for one service kind.
-fn consumer_sets(ds: &MeasurementDataset, kind: ServiceKind) -> Vec<(ProviderKey, HashSet<SiteId>)> {
+fn consumer_sets(
+    ds: &MeasurementDataset,
+    kind: ServiceKind,
+) -> Vec<(ProviderKey, HashSet<SiteId>)> {
     use std::collections::HashMap;
     let mut map: HashMap<ProviderKey, HashSet<SiteId>> = HashMap::new();
     for site in &ds.sites {
@@ -98,7 +101,10 @@ mod tests {
                 assert!(w[1].coverage >= w[0].coverage, "{kind}: not monotone");
             }
             let last = curve.last().unwrap();
-            assert!((last.coverage - 1.0).abs() < 1e-9, "{kind}: last point covers all");
+            assert!(
+                (last.coverage - 1.0).abs() < 1e-9,
+                "{kind}: last point covers all"
+            );
         }
     }
 
@@ -114,7 +120,10 @@ mod tests {
         assert!(ca80 <= 8, "CA market is the most concentrated: {ca80}");
         assert!(cdn80 <= 12, "CDN market: {cdn80}");
         let dns_total = coverage_curve(&ds, ServiceKind::Dns).len();
-        assert!(dns80 < dns_total / 2, "DNS: top providers dominate ({dns80}/{dns_total})");
+        assert!(
+            dns80 < dns_total / 2,
+            "DNS: top providers dominate ({dns80}/{dns_total})"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { top_providers: 8, max_sites: 120 }
+        DotOptions {
+            top_providers: 8,
+            max_sites: 120,
+        }
     }
 }
 
@@ -65,7 +68,9 @@ pub fn to_dot(graph: &DepGraph, opts: &DotOptions) -> String {
         .unwrap_or(1)
         .max(1);
     for &p in &shown_providers {
-        let NodeRef::Provider(key, kind) = graph.node(p) else { continue };
+        let NodeRef::Provider(key, kind) = graph.node(p) else {
+            continue;
+        };
         let count = consumer_counts[&p];
         let size = 0.4 + 1.6 * (count as f64 / max_count as f64);
         writeln!(
@@ -170,8 +175,20 @@ mod tests {
         let world = World::generate(WorldConfig::small(19));
         let ds = measure_world(&world);
         let graph = DepGraph::from_dataset(&ds);
-        let small = to_dot(&graph, &DotOptions { top_providers: 2, max_sites: 5 });
-        let big = to_dot(&graph, &DotOptions { top_providers: 10, max_sites: 100 });
+        let small = to_dot(
+            &graph,
+            &DotOptions {
+                top_providers: 2,
+                max_sites: 5,
+            },
+        );
+        let big = to_dot(
+            &graph,
+            &DotOptions {
+                top_providers: 10,
+                max_sites: 100,
+            },
+        );
         assert!(small.len() < big.len());
         assert!(small.matches("shape=point").count() <= 5);
     }

@@ -78,7 +78,9 @@ fn site_trends<S: Copy>(
     let mut den20 = [0usize; 4];
 
     for (s16, s20) in joined {
-        let (Some(a), Some(b)) = (state(s16), state(s20)) else { continue };
+        let (Some(a), Some(b)) = (state(s16), state(s20)) else {
+            continue;
+        };
         for bucket in RankBucket::ALL {
             if !bucket.contains(s16.rank) {
                 continue;
@@ -97,7 +99,13 @@ fn site_trends<S: Copy>(
         }
     }
 
-    let pct = |num: usize, den: usize| if den == 0 { 0.0 } else { 100.0 * num as f64 / den as f64 };
+    let pct = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    };
     let rows = transitions
         .into_iter()
         .enumerate()
@@ -236,10 +244,7 @@ pub struct ProviderTrendTable {
     pub joined: usize,
 }
 
-fn provider_dep_state(
-    pm: &ProviderMeasurement,
-    dep: ServiceKind,
-) -> Option<ProviderDepState> {
+fn provider_dep_state(pm: &ProviderMeasurement, dep: ServiceKind) -> Option<ProviderDepState> {
     let d = match dep {
         ServiceKind::Dns => pm.dns_dep.as_ref(),
         ServiceKind::Cdn => {
@@ -283,19 +288,32 @@ pub fn provider_trends(
     let mut crit20 = 0i64;
     use ProviderDepState::*;
     let transitions: Vec<(&str, fn(ProviderDepState, ProviderDepState) -> bool)> = vec![
-        ("Pvt to Single Third Party", |a, b| a == Private && b == SingleThird),
-        ("Single Third Party to Pvt", |a, b| a == SingleThird && b == Private),
-        ("Redundancy to No Redundancy", |a, b| a == Redundant && b != Redundant && b != NoService),
-        ("No Redundancy to Redundancy", |a, b| a != Redundant && a != NoService && b == Redundant),
-        ("No Service to Third Party", |a, b| a == NoService && (b == SingleThird || b == Redundant)),
-        ("Third Party to No Service", |a, b| (a == SingleThird || a == Redundant) && b == NoService),
+        ("Pvt to Single Third Party", |a, b| {
+            a == Private && b == SingleThird
+        }),
+        ("Single Third Party to Pvt", |a, b| {
+            a == SingleThird && b == Private
+        }),
+        ("Redundancy to No Redundancy", |a, b| {
+            a == Redundant && b != Redundant && b != NoService
+        }),
+        ("No Redundancy to Redundancy", |a, b| {
+            a != Redundant && a != NoService && b == Redundant
+        }),
+        ("No Service to Third Party", |a, b| {
+            a == NoService && (b == SingleThird || b == Redundant)
+        }),
+        ("Third Party to No Service", |a, b| {
+            (a == SingleThird || a == Redundant) && b == NoService
+        }),
     ];
     let mut counts = vec![0usize; transitions.len()];
 
     for pm16 in ds16.providers.iter().filter(|p| p.kind == kind) {
-        let Some(pm20) = by_key.get(pm16.key.as_str()) else { continue };
-        let (Some(a), Some(b)) =
-            (provider_dep_state(pm16, dep), provider_dep_state(pm20, dep))
+        let Some(pm20) = by_key.get(pm16.key.as_str()) else {
+            continue;
+        };
+        let (Some(a), Some(b)) = (provider_dep_state(pm16, dep), provider_dep_state(pm20, dep))
         else {
             continue;
         };
@@ -347,7 +365,11 @@ mod tests {
             pvt_to_single,
             single_to_pvt
         );
-        assert!(t.critical_delta[3] > 0.0, "critical dependency increased: {:?}", t.critical_delta);
+        assert!(
+            t.critical_delta[3] > 0.0,
+            "critical dependency increased: {:?}",
+            t.critical_delta
+        );
     }
 
     #[test]
@@ -367,9 +389,20 @@ mod tests {
         let (ds16, ds20) = datasets();
         let t = ca_trends(&ds16, &ds20);
         let https = t.rows.iter().find(|r| r.label == "HTTP to HTTPS").unwrap();
-        assert!(https.per_bucket[3] > 10.0, "large HTTPS adoption: {https:?}");
-        let to_staple = t.rows.iter().find(|r| r.label == "No Stapling to Stapling").unwrap();
-        let from_staple = t.rows.iter().find(|r| r.label == "Stapling to No Stapling").unwrap();
+        assert!(
+            https.per_bucket[3] > 10.0,
+            "large HTTPS adoption: {https:?}"
+        );
+        let to_staple = t
+            .rows
+            .iter()
+            .find(|r| r.label == "No Stapling to Stapling")
+            .unwrap();
+        let from_staple = t
+            .rows
+            .iter()
+            .find(|r| r.label == "Stapling to No Stapling")
+            .unwrap();
         assert!(to_staple.per_bucket[3] > 0.0 && from_staple.per_bucket[3] > 0.0);
     }
 
@@ -380,10 +413,17 @@ mod tests {
         // Kinx adopted redundancy; GoCache went private).
         let t = provider_trends(&ds16, &ds20, ServiceKind::Cdn, ServiceKind::Dns);
         assert!(t.joined > 10);
-        assert!(t.critical_delta <= 0, "CDN→DNS criticality decreased: {t:?}");
+        assert!(
+            t.critical_delta <= 0,
+            "CDN→DNS criticality decreased: {t:?}"
+        );
         // Table 8 (CA→CDN): Let's Encrypt newly adopted a CDN.
         let t8 = provider_trends(&ds16, &ds20, ServiceKind::Ca, ServiceKind::Cdn);
-        let adopt = t8.rows.iter().find(|(l, _)| l == "No Service to Third Party").unwrap();
+        let adopt = t8
+            .rows
+            .iter()
+            .find(|(l, _)| l == "No Service to Third Party")
+            .unwrap();
         assert!(adopt.1 >= 1, "at least Let's Encrypt adopted a CDN: {t8:?}");
     }
 }

@@ -74,7 +74,14 @@ impl DepGraph {
                 let critical = state == DepState::SingleThird;
                 for key in site.dns.third_parties() {
                     let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Dns));
-                    g.add_edge(site_node, p, EdgeKind { service: ServiceKind::Dns, critical });
+                    g.add_edge(
+                        site_node,
+                        p,
+                        EdgeKind {
+                            service: ServiceKind::Dns,
+                            critical,
+                        },
+                    );
                 }
             }
             // site → CDNs.
@@ -82,7 +89,14 @@ impl DepGraph {
                 let critical = state == CdnProfile::SingleThird;
                 for key in site.cdn.third_parties() {
                     let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Cdn));
-                    g.add_edge(site_node, p, EdgeKind { service: ServiceKind::Cdn, critical });
+                    g.add_edge(
+                        site_node,
+                        p,
+                        EdgeKind {
+                            service: ServiceKind::Cdn,
+                            critical,
+                        },
+                    );
                 }
             }
             // site → CA.
@@ -91,7 +105,14 @@ impl DepGraph {
                     if *class == webdeps_measure::Classification::ThirdParty {
                         let critical = state == CaProfile::ThirdNoStaple;
                         let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Ca));
-                        g.add_edge(site_node, p, EdgeKind { service: ServiceKind::Ca, critical });
+                        g.add_edge(
+                            site_node,
+                            p,
+                            EdgeKind {
+                                service: ServiceKind::Ca,
+                                critical,
+                            },
+                        );
                     }
                 }
             }
@@ -106,7 +127,10 @@ impl DepGraph {
                     g.add_edge(
                         from,
                         to,
-                        EdgeKind { service: ServiceKind::Dns, critical: dep.critical },
+                        EdgeKind {
+                            service: ServiceKind::Dns,
+                            critical: dep.critical,
+                        },
                     );
                 }
             }
@@ -116,7 +140,10 @@ impl DepGraph {
                     g.add_edge(
                         from,
                         to,
-                        EdgeKind { service: ServiceKind::Cdn, critical: dep.critical },
+                        EdgeKind {
+                            service: ServiceKind::Cdn,
+                            critical: dep.critical,
+                        },
                     );
                 }
             }
@@ -172,10 +199,13 @@ impl DepGraph {
 
     /// All provider nodes of a kind.
     pub fn providers_of(&self, kind: ServiceKind) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().enumerate().filter_map(move |(i, n)| match n {
-            NodeRef::Provider(_, k) if *k == kind => Some(NodeId(i as u32)),
-            _ => None,
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, n)| match n {
+                NodeRef::Provider(_, k) if *k == kind => Some(NodeId(i as u32)),
+                _ => None,
+            })
     }
 
     /// Outgoing dependencies of a node: `(target, kind)`.
@@ -211,8 +241,14 @@ mod tests {
     #[test]
     fn graph_has_sites_and_providers() {
         let (world, _, g) = graph();
-        assert!(g.node_count() > world.truth.len(), "providers add nodes beyond sites");
-        assert!(g.edge_count() > world.truth.len(), "most sites have multiple dependencies");
+        assert!(
+            g.node_count() > world.truth.len(),
+            "providers add nodes beyond sites"
+        );
+        assert!(
+            g.edge_count() > world.truth.len(),
+            "most sites have multiple dependencies"
+        );
         assert!(g.providers_of(ServiceKind::Dns).count() > 5);
         assert!(g.providers_of(ServiceKind::Cdn).count() > 5);
         assert!(g.providers_of(ServiceKind::Ca).count() > 5);
@@ -232,7 +268,9 @@ mod tests {
     #[test]
     fn digicert_chain_is_wired() {
         let (_, _, g) = graph();
-        let digicert = g.provider("digicert.com", ServiceKind::Ca).expect("DigiCert node");
+        let digicert = g
+            .provider("digicert.com", ServiceKind::Ca)
+            .expect("DigiCert node");
         let deps: Vec<_> = g.deps_of(digicert).collect();
         assert!(
             deps.iter().any(|(to, kind)| {

@@ -38,4 +38,6 @@ pub use graph::{DepGraph, EdgeKind, NodeId, NodeRef};
 pub use metrics::{MetricOptions, Metrics, ProviderScore};
 pub use outage::{simulate_outage, OutageResult};
 pub use resilience::{audit_site, robustness_score, RiskLevel, SiteAudit};
-pub use stats::{ca_figure, cdn_figure, dns_figure, top_providers_in_bucket, CaFigure, CdnFigure, DnsFigure};
+pub use stats::{
+    ca_figure, cdn_figure, dns_figure, top_providers_in_bucket, CaFigure, CdnFigure, DnsFigure,
+};

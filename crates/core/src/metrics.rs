@@ -34,7 +34,9 @@ pub struct MetricOptions {
 impl MetricOptions {
     /// Direct dependencies only (the §4 analysis).
     pub fn direct_only() -> Self {
-        MetricOptions { interservice: vec![] }
+        MetricOptions {
+            interservice: vec![],
+        }
     }
 
     /// Everything (the §8.1 "full picture" numbers).
@@ -50,7 +52,9 @@ impl MetricOptions {
 
     /// Exactly one inter-service type (Figures 7, 8, 9).
     pub fn only(consumer: ServiceKind, service: ServiceKind) -> Self {
-        MetricOptions { interservice: vec![(consumer, service)] }
+        MetricOptions {
+            interservice: vec![(consumer, service)],
+        }
     }
 
     fn allows(&self, consumer_kind: ServiceKind, service: ServiceKind) -> bool {
@@ -206,14 +210,21 @@ impl<'g> Metrics<'g> {
                 }
             })
             .collect();
-        out.sort_by(|a, b| b.impact.cmp(&a.impact).then(b.concentration.cmp(&a.concentration)));
+        out.sort_by(|a, b| {
+            b.impact
+                .cmp(&a.impact)
+                .then(b.concentration.cmp(&a.concentration))
+        });
         out
     }
 
     /// Number of *critical* dependencies each site has (direct plus, if
     /// allowed, transitive through critical provider chains) — the
     /// §8.1 "critical dependencies per website" distribution.
-    pub fn critical_deps_per_site(&self, opts: &MetricOptions) -> std::collections::HashMap<SiteId, usize> {
+    pub fn critical_deps_per_site(
+        &self,
+        opts: &MetricOptions,
+    ) -> std::collections::HashMap<SiteId, usize> {
         let mut counts: std::collections::HashMap<SiteId, usize> = std::collections::HashMap::new();
         for kind in [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca] {
             for provider in self.graph.providers_of(kind) {
@@ -240,12 +251,46 @@ mod tests {
         let s0 = g.intern(NodeRef::Site(SiteId(0)));
         let s1 = g.intern(NodeRef::Site(SiteId(1)));
         let s2 = g.intern(NodeRef::Site(SiteId(2)));
-        let ca = g.intern(NodeRef::Provider(ProviderKey::new("ca.com"), ServiceKind::Ca));
-        let dnsme = g.intern(NodeRef::Provider(ProviderKey::new("dnsme.com"), ServiceKind::Dns));
-        g.add_edge(s0, ca, EdgeKind { service: ServiceKind::Ca, critical: true });
-        g.add_edge(s2, ca, EdgeKind { service: ServiceKind::Ca, critical: false });
-        g.add_edge(s1, dnsme, EdgeKind { service: ServiceKind::Dns, critical: true });
-        g.add_edge(ca, dnsme, EdgeKind { service: ServiceKind::Dns, critical: true });
+        let ca = g.intern(NodeRef::Provider(
+            ProviderKey::new("ca.com"),
+            ServiceKind::Ca,
+        ));
+        let dnsme = g.intern(NodeRef::Provider(
+            ProviderKey::new("dnsme.com"),
+            ServiceKind::Dns,
+        ));
+        g.add_edge(
+            s0,
+            ca,
+            EdgeKind {
+                service: ServiceKind::Ca,
+                critical: true,
+            },
+        );
+        g.add_edge(
+            s2,
+            ca,
+            EdgeKind {
+                service: ServiceKind::Ca,
+                critical: false,
+            },
+        );
+        g.add_edge(
+            s1,
+            dnsme,
+            EdgeKind {
+                service: ServiceKind::Dns,
+                critical: true,
+            },
+        );
+        g.add_edge(
+            ca,
+            dnsme,
+            EdgeKind {
+                service: ServiceKind::Dns,
+                critical: true,
+            },
+        );
         (g, ca, dnsme)
     }
 
@@ -301,22 +346,70 @@ mod tests {
         let mut g = DepGraph::default();
         let s0 = g.intern(NodeRef::Site(SiteId(0)));
         let s1 = g.intern(NodeRef::Site(SiteId(1)));
-        let a = g.intern(NodeRef::Provider(ProviderKey::new("a.com"), ServiceKind::Dns));
-        let b = g.intern(NodeRef::Provider(ProviderKey::new("b.com"), ServiceKind::Cdn));
-        g.add_edge(s0, a, EdgeKind { service: ServiceKind::Dns, critical: true });
-        g.add_edge(s1, b, EdgeKind { service: ServiceKind::Cdn, critical: true });
-        g.add_edge(a, b, EdgeKind { service: ServiceKind::Cdn, critical: true });
-        g.add_edge(b, a, EdgeKind { service: ServiceKind::Dns, critical: true });
+        let a = g.intern(NodeRef::Provider(
+            ProviderKey::new("a.com"),
+            ServiceKind::Dns,
+        ));
+        let b = g.intern(NodeRef::Provider(
+            ProviderKey::new("b.com"),
+            ServiceKind::Cdn,
+        ));
+        g.add_edge(
+            s0,
+            a,
+            EdgeKind {
+                service: ServiceKind::Dns,
+                critical: true,
+            },
+        );
+        g.add_edge(
+            s1,
+            b,
+            EdgeKind {
+                service: ServiceKind::Cdn,
+                critical: true,
+            },
+        );
+        g.add_edge(
+            a,
+            b,
+            EdgeKind {
+                service: ServiceKind::Cdn,
+                critical: true,
+            },
+        );
+        g.add_edge(
+            b,
+            a,
+            EdgeKind {
+                service: ServiceKind::Dns,
+                critical: true,
+            },
+        );
         let m = Metrics::new(&g);
         let opts = MetricOptions::full();
         // Both sites depend on both providers through the cycle.
-        assert_eq!(m.impact(g.find(&NodeRef::Provider(ProviderKey::new("a.com"), ServiceKind::Dns)).unwrap(), &opts), 2);
+        assert_eq!(
+            m.impact(
+                g.find(&NodeRef::Provider(
+                    ProviderKey::new("a.com"),
+                    ServiceKind::Dns
+                ))
+                .unwrap(),
+                &opts
+            ),
+            2
+        );
         // From B the cycle back through A needs a DNS-provider→CDN hop,
         // which the paper's inter-service set never includes, so only
         // B's direct consumer is reached.
         assert_eq!(
             m.score_recursive(
-                g.find(&NodeRef::Provider(ProviderKey::new("b.com"), ServiceKind::Cdn)).unwrap(),
+                g.find(&NodeRef::Provider(
+                    ProviderKey::new("b.com"),
+                    ServiceKind::Cdn
+                ))
+                .unwrap(),
                 true,
                 &opts
             )
@@ -348,6 +441,10 @@ mod tests {
         // site2: nothing critical.
         assert_eq!(counts.get(&SiteId(2)), None);
         let direct = m.critical_deps_per_site(&MetricOptions::direct_only());
-        assert_eq!(direct.get(&SiteId(0)), Some(&1), "direct-only sees just the CA");
+        assert_eq!(
+            direct.get(&SiteId(0)),
+            Some(&1),
+            "direct-only sees just the CA"
+        );
     }
 }

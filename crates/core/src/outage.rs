@@ -50,10 +50,7 @@ pub fn provider_entity(world: &World, provider: &str) -> Option<EntityId> {
 pub fn simulate_outage(world: &World, providers: &[&str], hard_fail: bool) -> OutageResult {
     let entities: Vec<EntityId> = providers
         .iter()
-        .map(|p| {
-            provider_entity(world, p)
-                .unwrap_or_else(|| panic!("unknown provider {p:?}"))
-        })
+        .map(|p| provider_entity(world, p).unwrap_or_else(|| panic!("unknown provider {p:?}")))
         .collect();
 
     let mut plan = FaultPlan::healthy();
@@ -73,13 +70,23 @@ pub fn simulate_outage(world: &World, providers: &[&str], hard_fail: bool) -> Ou
     for l in &listings {
         let scheme = if l.https { Scheme::Https } else { Scheme::Http };
         let up = l.document_hosts.iter().any(|h| {
-            client.fetch(&Url { scheme, host: h.clone(), path: "/".into() }).is_ok()
+            client
+                .fetch(&Url {
+                    scheme,
+                    host: h.clone(),
+                    path: "/".into(),
+                })
+                .is_ok()
         });
         if !up {
             affected.push(l.id);
         }
     }
-    OutageResult { failed_entities: entities, affected, total: listings.len() }
+    OutageResult {
+        failed_entities: entities,
+        affected,
+        total: listings.len(),
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +126,9 @@ mod tests {
 
         // Pick a mid-sized provider so the test stays fast but nonempty.
         let provider_key = "domaincontrol.com"; // GoDaddy
-        let node = graph.provider(provider_key, ServiceKind::Dns).expect("observed provider");
+        let node = graph
+            .provider(provider_key, ServiceKind::Dns)
+            .expect("observed provider");
         let predicted = metrics.dependent_sites(node, true, &MetricOptions::direct_only());
 
         let result = simulate_outage(&world, &[provider_key], false);
@@ -175,14 +184,21 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(stapled_children > 0, "sample must include stapling DigiCert sites");
+        assert!(
+            stapled_children > 0,
+            "sample must include stapling DigiCert sites"
+        );
     }
 
     /// The 2016 Mirai-Dyn scenario: killing Dyn also kills Fastly
     /// customers (Fastly's DNS ran on Dyn exclusively in 2016).
     #[test]
     fn dyn_outage_2016_takes_fastly_customers_down() {
-        let world = World::generate(WorldConfig { seed: 71, n_sites: 2_000, year: webdeps_worldgen::SnapshotYear::Y2016 });
+        let world = World::generate(WorldConfig {
+            seed: 71,
+            n_sites: 2_000,
+            year: webdeps_worldgen::SnapshotYear::Y2016,
+        });
         let result = simulate_outage(&world, &["Dyn"], false);
         let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
         let mut fastly_only = 0;

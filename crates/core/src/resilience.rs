@@ -136,8 +136,7 @@ pub fn audit_site(graph: &DepGraph, ds: &MeasurementDataset, site: SiteId) -> Si
         }
         if m.ca.state.is_some_and(|s| s.is_critical()) {
             recommendations.push(
-                "Enable OCSP stapling so clients need not reach the CA's responders."
-                    .to_string(),
+                "Enable OCSP stapling so clients need not reach the CA's responders.".to_string(),
             );
         }
     }
@@ -148,7 +147,14 @@ pub fn audit_site(graph: &DepGraph, ds: &MeasurementDataset, site: SiteId) -> Si
         ));
     }
 
-    SiteAudit { site, chains, critical_providers, risk, score, recommendations }
+    SiteAudit {
+        site,
+        chains,
+        critical_providers,
+        risk,
+        score,
+        recommendations,
+    }
 }
 
 fn walk(
@@ -173,7 +179,10 @@ fn walk(
         let mut hops = path.clone();
         hops.push((key.clone(), *provider_kind));
         let critical = critical_so_far && kind.critical;
-        out.push(DependencyChain { hops: hops.clone(), critical });
+        out.push(DependencyChain {
+            hops: hops.clone(),
+            critical,
+        });
         walk(graph, target, hops, critical, out, depth_left - 1);
     }
 }
@@ -223,7 +232,9 @@ mod tests {
             .truth
             .sites
             .iter()
-            .find(|s| s.ca.ca.as_deref() == Some("DigiCert") && s.ca.state == CaProfile::ThirdNoStaple)
+            .find(|s| {
+                s.ca.ca.as_deref() == Some("DigiCert") && s.ca.state == CaProfile::ThirdNoStaple
+            })
             .expect("DigiCert-critical site exists");
         let audit = audit_site(&g, &ds, victim.id);
         let hidden: Vec<_> = audit
@@ -232,11 +243,16 @@ mod tests {
             .filter(|c| c.critical && c.hops.len() == 2)
             .collect();
         assert!(
-            hidden.iter().any(|c| c.hops[1].0.as_str() == "dnsmadeeasy.com"),
+            hidden
+                .iter()
+                .any(|c| c.hops[1].0.as_str() == "dnsmadeeasy.com"),
             "expected site → digicert.com → dnsmadeeasy.com, got {:?}",
             audit.chains
         );
-        assert!(audit.recommendations.iter().any(|r| r.contains("Hidden dependency")));
+        assert!(audit
+            .recommendations
+            .iter()
+            .any(|r| r.contains("Hidden dependency")));
     }
 
     #[test]
@@ -270,7 +286,10 @@ mod tests {
                 RiskLevel::High => risky_scores.push(audit.score),
                 _ => {}
             }
-            assert!((0.0..=100.0).contains(&audit.score), "score in range: {audit:?}");
+            assert!(
+                (0.0..=100.0).contains(&audit.score),
+                "score in range: {audit:?}"
+            );
         }
         assert!(!safe_scores.is_empty() && !risky_scores.is_empty());
         let safe_avg: f64 = safe_scores.iter().sum::<f64>() / safe_scores.len() as f64;
@@ -292,7 +311,11 @@ mod tests {
         assert_eq!(robustness_score(&[direct(Dns, "a.com")]), 70.0);
         // DNS + CDN + CA: 100 − 30 − 20 − 15.
         assert_eq!(
-            robustness_score(&[direct(Dns, "a.com"), direct(Cdn, "b.com"), direct(Ca, "c.com")]),
+            robustness_score(&[
+                direct(Dns, "a.com"),
+                direct(Cdn, "b.com"),
+                direct(Ca, "c.com")
+            ]),
             35.0
         );
         // Duplicate direct chains charge once.
@@ -302,12 +325,20 @@ mod tests {
         );
         // Hidden chains: 10 each, capped at 25.
         let hidden = DependencyChain {
-            hops: vec![(ProviderKey::new("ca.com"), Ca), (ProviderKey::new("d.com"), Dns)],
+            hops: vec![
+                (ProviderKey::new("ca.com"), Ca),
+                (ProviderKey::new("d.com"), Dns),
+            ],
             critical: true,
         };
         assert_eq!(robustness_score(&[hidden.clone()]), 90.0);
         assert_eq!(
-            robustness_score(&[hidden.clone(), hidden.clone(), hidden.clone(), hidden.clone()]),
+            robustness_score(&[
+                hidden.clone(),
+                hidden.clone(),
+                hidden.clone(),
+                hidden.clone()
+            ]),
             75.0,
             "hidden penalty caps at 25"
         );

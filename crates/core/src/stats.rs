@@ -47,8 +47,7 @@ pub fn dns_figure(ds: &MeasurementDataset) -> Vec<DnsFigure> {
     RankBucket::ALL
         .iter()
         .map(|&bucket| {
-            let states: Vec<DepState> =
-                in_bucket(ds, bucket).filter_map(|s| s.dns.state).collect();
+            let states: Vec<DepState> = in_bucket(ds, bucket).filter_map(|s| s.dns.state).collect();
             let n = states.len();
             DnsFigure {
                 bucket,
@@ -56,11 +55,17 @@ pub fn dns_figure(ds: &MeasurementDataset) -> Vec<DnsFigure> {
                 third_party: pct(states.iter().filter(|s| s.uses_third_party()).count(), n),
                 critical: pct(states.iter().filter(|s| s.is_critical()).count(), n),
                 multiple_third: pct(
-                    states.iter().filter(|s| **s == DepState::MultiThird).count(),
+                    states
+                        .iter()
+                        .filter(|s| **s == DepState::MultiThird)
+                        .count(),
                     n,
                 ),
                 private_plus_third: pct(
-                    states.iter().filter(|s| **s == DepState::PrivatePlusThird).count(),
+                    states
+                        .iter()
+                        .filter(|s| **s == DepState::PrivatePlusThird)
+                        .count(),
                     n,
                 ),
             }
@@ -162,7 +167,10 @@ pub fn ca_figure(ds: &MeasurementDataset) -> Vec<CaFigure> {
                 ),
                 stapled_of_https: pct(https.iter().filter(|s| s.ca.stapled).count(), https.len()),
                 critical: pct(
-                    sites.iter().filter(|s| s.ca.state == Some(CaProfile::ThirdNoStaple)).count(),
+                    sites
+                        .iter()
+                        .filter(|s| s.ca.state == Some(CaProfile::ThirdNoStaple))
+                        .count(),
                     n,
                 ),
             }
@@ -308,17 +316,31 @@ mod tests {
     fn percentages_are_bounded() {
         let ds = dataset();
         for row in dns_figure(&ds) {
-            for v in [row.third_party, row.critical, row.multiple_third, row.private_plus_third] {
+            for v in [
+                row.third_party,
+                row.critical,
+                row.multiple_third,
+                row.private_plus_third,
+            ] {
                 assert!((0.0..=100.0).contains(&v));
             }
         }
         for row in cdn_figure(&ds) {
-            for v in [row.adoption, row.third_party_of_users, row.critical_of_users] {
+            for v in [
+                row.adoption,
+                row.third_party_of_users,
+                row.critical_of_users,
+            ] {
                 assert!((0.0..=100.0).contains(&v));
             }
         }
         for row in ca_figure(&ds) {
-            for v in [row.https, row.third_party, row.stapled_of_https, row.critical] {
+            for v in [
+                row.https,
+                row.third_party,
+                row.stapled_of_https,
+                row.critical,
+            ] {
                 assert!((0.0..=100.0).contains(&v));
             }
         }

@@ -79,8 +79,14 @@ impl DnsCache {
             .map(|rr| rr.ttl)
             .min()
             .unwrap_or(Ttl::DEFAULT);
-        self.entries
-            .insert((name, qtype), Entry { stored: now, ttl: min_ttl, value: Ok(resolution) });
+        self.entries.insert(
+            (name, qtype),
+            Entry {
+                stored: now,
+                ttl: min_ttl,
+                value: Ok(resolution),
+            },
+        );
     }
 
     /// Stores a negative answer (NXDOMAIN / NODATA). Panics when handed
@@ -98,7 +104,14 @@ impl DnsCache {
             }
             other => panic!("only negative answers are cacheable, got {other}"),
         };
-        self.entries.insert((name, qtype), Entry { stored: now, ttl, value: Err(error) });
+        self.entries.insert(
+            (name, qtype),
+            Entry {
+                stored: now,
+                ttl,
+                value: Err(error),
+            },
+        );
     }
 }
 
@@ -126,9 +139,18 @@ mod tests {
     #[test]
     fn positive_entry_honours_min_ttl() {
         let mut c = DnsCache::new();
-        c.put_positive(dn("example.com"), RecordType::A, resolution(Ttl(60)), SimTime(0));
-        assert!(c.get(&dn("example.com"), RecordType::A, SimTime(59)).is_some());
-        assert!(c.get(&dn("example.com"), RecordType::A, SimTime(60)).is_none());
+        c.put_positive(
+            dn("example.com"),
+            RecordType::A,
+            resolution(Ttl(60)),
+            SimTime(0),
+        );
+        assert!(c
+            .get(&dn("example.com"), RecordType::A, SimTime(59))
+            .is_some());
+        assert!(c
+            .get(&dn("example.com"), RecordType::A, SimTime(60))
+            .is_none());
         assert!(c.is_empty(), "stale entry must be evicted on access");
     }
 
@@ -142,7 +164,9 @@ mod tests {
             RecordData::Cname(dn("example.com")),
         ));
         c.put_positive(dn("www.example.com"), RecordType::A, res, SimTime(0));
-        assert!(c.get(&dn("www.example.com"), RecordType::A, SimTime(31)).is_none());
+        assert!(c
+            .get(&dn("www.example.com"), RecordType::A, SimTime(31))
+            .is_none());
     }
 
     #[test]
@@ -150,29 +174,43 @@ mod tests {
         let mut c = DnsCache::new();
         let mut soa = Soa::standard(dn("ns1.example.com"), dn("hostmaster.example.com"), 1);
         soa.minimum = 120;
-        let err = ResolveError::NxDomain { name: dn("nope.example.com"), soa };
+        let err = ResolveError::NxDomain {
+            name: dn("nope.example.com"),
+            soa,
+        };
         c.put_negative(dn("nope.example.com"), RecordType::A, err, SimTime(0));
         match c.get(&dn("nope.example.com"), RecordType::A, SimTime(100)) {
             Some(Err(ResolveError::NxDomain { .. })) => {}
             other => panic!("expected cached NXDOMAIN, got {other:?}"),
         }
-        assert!(c.get(&dn("nope.example.com"), RecordType::A, SimTime(121)).is_none());
+        assert!(c
+            .get(&dn("nope.example.com"), RecordType::A, SimTime(121))
+            .is_none());
     }
 
     #[test]
     #[should_panic(expected = "only negative answers")]
     fn outage_errors_are_not_cacheable() {
         let mut c = DnsCache::new();
-        let err =
-            ResolveError::AllServersDown { name: dn("example.com"), zone: dn("example.com") };
+        let err = ResolveError::AllServersDown {
+            name: dn("example.com"),
+            zone: dn("example.com"),
+        };
         c.put_negative(dn("example.com"), RecordType::A, err, SimTime(0));
     }
 
     #[test]
     fn distinct_qtypes_are_distinct_keys() {
         let mut c = DnsCache::new();
-        c.put_positive(dn("example.com"), RecordType::A, resolution(Ttl(60)), SimTime(0));
-        assert!(c.get(&dn("example.com"), RecordType::Ns, SimTime(0)).is_none());
+        c.put_positive(
+            dn("example.com"),
+            RecordType::A,
+            resolution(Ttl(60)),
+            SimTime(0),
+        );
+        assert!(c
+            .get(&dn("example.com"), RecordType::Ns, SimTime(0))
+            .is_none());
         assert_eq!(c.len(), 1);
     }
 }

@@ -96,7 +96,10 @@ mod tests {
         let ttl = Ttl(60);
         assert!(SimTime(100).within_ttl(fetched, ttl));
         assert!(SimTime(159).within_ttl(fetched, ttl));
-        assert!(!SimTime(160).within_ttl(fetched, ttl), "expiry is exclusive");
+        assert!(
+            !SimTime(160).within_ttl(fetched, ttl),
+            "expiry is exclusive"
+        );
     }
 
     #[test]

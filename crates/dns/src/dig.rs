@@ -29,9 +29,11 @@ impl<'a, 'n> Dig<'a, 'n> {
     /// Returns an empty vector when the name exists without NS records.
     pub fn ns(&mut self, name: &DomainName) -> Result<Vec<DomainName>, ResolveError> {
         match self.resolver.resolve(name, RecordType::Ns) {
-            Ok(res) => {
-                Ok(res.answers.iter().filter_map(|rr| rr.data.as_ns().cloned()).collect())
-            }
+            Ok(res) => Ok(res
+                .answers
+                .iter()
+                .filter_map(|rr| rr.data.as_ns().cloned())
+                .collect()),
             Err(ResolveError::NoData { .. }) => Ok(Vec::new()),
             Err(e) => Err(e),
         }
@@ -67,8 +69,10 @@ impl<'a, 'n> Dig<'a, 'n> {
         for _ in 0..MAX_CHAIN {
             match self.resolver.resolve(&current, RecordType::Cname) {
                 Ok(res) => {
-                    let Some(target) =
-                        res.answers.iter().find_map(|rr| rr.data.as_cname().cloned())
+                    let Some(target) = res
+                        .answers
+                        .iter()
+                        .find_map(|rr| rr.data.as_cname().cloned())
                     else {
                         return Ok(chain);
                     };
@@ -101,7 +105,11 @@ mod tests {
 
     fn network() -> DnsNetwork {
         let mut b = DnsNetwork::builder();
-        let s0 = b.add_server(dn("ns1.provider.net"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let s0 = b.add_server(
+            dn("ns1.provider.net"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            EntityId(0),
+        );
 
         let mut site = Zone::new(
             dn("shop.com"),
@@ -109,7 +117,10 @@ mod tests {
         );
         site.add(dn("shop.com"), RecordData::Ns(dn("ns1.provider.net")));
         site.add(dn("shop.com"), RecordData::Ns(dn("ns2.provider.net")));
-        site.add(dn("static.shop.com"), RecordData::Cname(dn("cust-9.edge.cdnco.net")));
+        site.add(
+            dn("static.shop.com"),
+            RecordData::Cname(dn("cust-9.edge.cdnco.net")),
+        );
         b.add_zone(site, vec![s0]);
 
         let mut provider = Zone::new(
@@ -117,15 +128,24 @@ mod tests {
             Soa::standard(dn("ns1.provider.net"), dn("hostmaster.provider.net"), 9),
         );
         provider.add(dn("provider.net"), RecordData::Ns(dn("ns1.provider.net")));
-        provider.add(dn("ns1.provider.net"), RecordData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        provider.add(
+            dn("ns1.provider.net"),
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        );
         b.add_zone(provider, vec![s0]);
 
         let mut cdn = Zone::new(
             dn("cdnco.net"),
             Soa::standard(dn("ns1.cdnco.net"), dn("ops.cdnco.net"), 7),
         );
-        cdn.add(dn("cust-9.edge.cdnco.net"), RecordData::Cname(dn("pop-3.cdnco.net")));
-        cdn.add(dn("pop-3.cdnco.net"), RecordData::A(Ipv4Addr::new(203, 0, 113, 9)));
+        cdn.add(
+            dn("cust-9.edge.cdnco.net"),
+            RecordData::Cname(dn("pop-3.cdnco.net")),
+        );
+        cdn.add(
+            dn("pop-3.cdnco.net"),
+            RecordData::A(Ipv4Addr::new(203, 0, 113, 9)),
+        );
         b.add_zone(cdn, vec![s0]);
 
         b.build()
@@ -143,7 +163,10 @@ mod tests {
     fn dig_ns_on_plain_host_is_empty() {
         let net = network();
         let mut r = Resolver::new(&net);
-        assert_eq!(Dig::new(&mut r).ns(&dn("static.shop.com")).unwrap(), Vec::<DomainName>::new());
+        assert_eq!(
+            Dig::new(&mut r).ns(&dn("static.shop.com")).unwrap(),
+            Vec::<DomainName>::new()
+        );
     }
 
     #[test]
@@ -154,7 +177,10 @@ mod tests {
         let apex = dig.soa_of(&dn("provider.net")).unwrap();
         let inner = dig.soa_of(&dn("ns1.provider.net")).unwrap();
         let missing = dig.soa_of(&dn("nope.provider.net")).unwrap();
-        assert_eq!(apex, inner, "authority-section fallback must find the same SOA");
+        assert_eq!(
+            apex, inner,
+            "authority-section fallback must find the same SOA"
+        );
         assert_eq!(apex, missing);
         assert_eq!(apex.rname, dn("hostmaster.provider.net"));
     }
@@ -173,10 +199,17 @@ mod tests {
     fn cname_chain_is_chased_to_the_end() {
         let net = network();
         let mut r = Resolver::new(&net);
-        let chain = Dig::new(&mut r).cname_chain(&dn("static.shop.com")).unwrap();
-        assert_eq!(chain, vec![dn("cust-9.edge.cdnco.net"), dn("pop-3.cdnco.net")]);
+        let chain = Dig::new(&mut r)
+            .cname_chain(&dn("static.shop.com"))
+            .unwrap();
+        assert_eq!(
+            chain,
+            vec![dn("cust-9.edge.cdnco.net"), dn("pop-3.cdnco.net")]
+        );
         // A terminal host has an empty chain.
-        let chain = Dig::new(&mut r).cname_chain(&dn("pop-3.cdnco.net")).unwrap();
+        let chain = Dig::new(&mut r)
+            .cname_chain(&dn("pop-3.cdnco.net"))
+            .unwrap();
         assert!(chain.is_empty());
     }
 
@@ -186,6 +219,8 @@ mod tests {
         let mut r = Resolver::new(&net);
         r.disable_cache();
         r.set_faults(crate::fault::FaultPlan::healthy().fail_entity(EntityId(0)));
-        assert!(Dig::new(&mut r).cname_chain(&dn("static.shop.com")).is_err());
+        assert!(Dig::new(&mut r)
+            .cname_chain(&dn("static.shop.com"))
+            .is_err());
     }
 }

@@ -45,7 +45,9 @@ impl DnsNetwork {
 
     /// Server by its hostname, when one is registered.
     pub fn server_by_hostname(&self, hostname: &DomainName) -> Option<&AuthoritativeServer> {
-        self.server_by_hostname.get(hostname).map(|&id| self.server(id))
+        self.server_by_hostname
+            .get(hostname)
+            .map(|&id| self.server(id))
     }
 
     /// All servers.
@@ -113,7 +115,10 @@ impl NetworkBuilder {
     ) -> ServerId {
         if let Some(&existing) = self.network.server_by_hostname.get(&hostname) {
             let s = &self.network.servers[existing.index()];
-            assert_eq!(s.operator, operator, "server {hostname} re-registered to new operator");
+            assert_eq!(
+                s.operator, operator,
+                "server {hostname} re-registered to new operator"
+            );
             return existing;
         }
         let id = ServerId::from_index(self.network.servers.len());
@@ -129,7 +134,11 @@ impl NetworkBuilder {
 
     /// Deploys a zone onto a set of servers.
     pub fn add_zone(&mut self, zone: Zone, servers: Vec<ServerId>) {
-        assert!(!servers.is_empty(), "zone {} deployed with no servers", zone.origin());
+        assert!(
+            !servers.is_empty(),
+            "zone {} deployed with no servers",
+            zone.origin()
+        );
         for &s in &servers {
             assert!(s.index() < self.network.servers.len(), "unknown {s}");
         }
@@ -137,7 +146,9 @@ impl NetworkBuilder {
         let idx = self.network.deployments.len();
         let prev = self.network.by_origin.insert(origin.clone(), idx);
         assert!(prev.is_none(), "zone {origin} deployed twice");
-        self.network.deployments.push(ZoneDeployment { zone, servers });
+        self.network
+            .deployments
+            .push(ZoneDeployment { zone, servers });
     }
 
     /// Whether a zone with this origin is already deployed.
@@ -165,14 +176,26 @@ mod tests {
     use webdeps_model::name::dn;
 
     fn soa(origin: &str) -> Soa {
-        Soa::standard(dn(&format!("ns1.{origin}")), dn(&format!("hostmaster.{origin}")), 1)
+        Soa::standard(
+            dn(&format!("ns1.{origin}")),
+            dn(&format!("hostmaster.{origin}")),
+            1,
+        )
     }
 
     #[test]
     fn builder_wires_zones_and_servers() {
         let mut b = DnsNetwork::builder();
-        let s1 = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
-        let s1_again = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let s1 = b.add_server(
+            dn("ns1.example.com"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            EntityId(0),
+        );
+        let s1_again = b.add_server(
+            dn("ns1.example.com"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            EntityId(0),
+        );
         assert_eq!(s1, s1_again, "server registration is idempotent");
         b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![s1]);
         assert!(b.has_zone(&dn("example.com")));
@@ -187,9 +210,16 @@ mod tests {
     #[test]
     fn authority_chain_orders_shallow_to_deep() {
         let mut b = DnsNetwork::builder();
-        let s = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let s = b.add_server(
+            dn("ns1.example.com"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            EntityId(0),
+        );
         b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![s]);
-        b.add_zone(Zone::new(dn("sub.example.com"), soa("sub.example.com")), vec![s]);
+        b.add_zone(
+            Zone::new(dn("sub.example.com"), soa("sub.example.com")),
+            vec![s],
+        );
         let net = b.build();
         let chain = net.authority_chain(&dn("x.sub.example.com"));
         assert_eq!(chain.len(), 2);
@@ -203,7 +233,11 @@ mod tests {
     #[should_panic(expected = "deployed twice")]
     fn duplicate_zone_panics() {
         let mut b = DnsNetwork::builder();
-        let s = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let s = b.add_server(
+            dn("ns1.example.com"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            EntityId(0),
+        );
         b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![s]);
         b.add_zone(Zone::new(dn("example.com"), soa("example.com")), vec![s]);
     }

@@ -67,7 +67,15 @@ pub struct Soa {
 impl Soa {
     /// A SOA with conventional timer values, as generated zones use.
     pub fn standard(mname: DomainName, rname: DomainName, serial: u32) -> Self {
-        Soa { mname, rname, serial, refresh: 7200, retry: 900, expire: 1_209_600, minimum: 300 }
+        Soa {
+            mname,
+            rname,
+            serial,
+            refresh: 7200,
+            retry: 900,
+            expire: 1_209_600,
+            minimum: 300,
+        }
     }
 }
 
@@ -76,7 +84,12 @@ impl fmt::Display for Soa {
         write!(
             f,
             "{} {} {} {} {} {} {}",
-            self.mname, self.rname, self.serial, self.refresh, self.retry, self.expire,
+            self.mname,
+            self.rname,
+            self.serial,
+            self.refresh,
+            self.retry,
+            self.expire,
             self.minimum
         )
     }
@@ -168,7 +181,11 @@ pub struct ResourceRecord {
 impl ResourceRecord {
     /// Builds a record with the default TTL.
     pub fn new(name: DomainName, data: RecordData) -> Self {
-        ResourceRecord { name, ttl: Ttl::DEFAULT, data }
+        ResourceRecord {
+            name,
+            ttl: Ttl::DEFAULT,
+            data,
+        }
     }
 
     /// Builds a record with an explicit TTL.
@@ -190,9 +207,18 @@ mod tests {
 
     #[test]
     fn payload_type_tags() {
-        assert_eq!(RecordData::A(Ipv4Addr::LOCALHOST).record_type(), RecordType::A);
-        assert_eq!(RecordData::Ns(dn("ns1.example.com")).record_type(), RecordType::Ns);
-        assert_eq!(RecordData::Cname(dn("cdn.example.net")).record_type(), RecordType::Cname);
+        assert_eq!(
+            RecordData::A(Ipv4Addr::LOCALHOST).record_type(),
+            RecordType::A
+        );
+        assert_eq!(
+            RecordData::Ns(dn("ns1.example.com")).record_type(),
+            RecordType::Ns
+        );
+        assert_eq!(
+            RecordData::Cname(dn("cdn.example.net")).record_type(),
+            RecordType::Cname
+        );
         assert_eq!(RecordData::Txt("x".into()).record_type(), RecordType::Txt);
         let soa = Soa::standard(dn("ns1.example.com"), dn("hostmaster.example.com"), 1);
         assert_eq!(RecordData::Soa(soa).record_type(), RecordType::Soa);
@@ -216,6 +242,9 @@ mod tests {
             Ttl(300),
             RecordData::Cname(dn("cust-1.cdn.example.net")),
         );
-        assert_eq!(rr.to_string(), "www.example.com 300 CNAME cust-1.cdn.example.net");
+        assert_eq!(
+            rr.to_string(),
+            "www.example.com 300 CNAME cust-1.cdn.example.net"
+        );
     }
 }

@@ -49,12 +49,18 @@ impl Resolution {
 
     /// All addresses in the answer (for A queries).
     pub fn addresses(&self) -> Vec<Ipv4Addr> {
-        self.answers.iter().filter_map(|rr| rr.data.as_a()).collect()
+        self.answers
+            .iter()
+            .filter_map(|rr| rr.data.as_a())
+            .collect()
     }
 
     /// All CNAME targets traversed, in order.
     pub fn cname_targets(&self) -> Vec<DomainName> {
-        self.chain.iter().filter_map(|rr| rr.data.as_cname().cloned()).collect()
+        self.chain
+            .iter()
+            .filter_map(|rr| rr.data.as_cname().cloned())
+            .collect()
     }
 }
 
@@ -104,7 +110,10 @@ impl ResolveError {
     /// Whether this is a *negative* authoritative answer (cacheable),
     /// as opposed to an availability failure.
     pub fn is_negative_answer(&self) -> bool {
-        matches!(self, ResolveError::NxDomain { .. } | ResolveError::NoData { .. })
+        matches!(
+            self,
+            ResolveError::NxDomain { .. } | ResolveError::NoData { .. }
+        )
     }
 
     /// Whether this failure is caused by unavailability (outage-shaped),
@@ -236,13 +245,15 @@ impl<'n> Resolver<'n> {
             Ok(res) => {
                 self.stats.successes += 1;
                 if self.caching_enabled {
-                    self.cache.put_positive(qname.clone(), qtype, res.clone(), self.clock.now());
+                    self.cache
+                        .put_positive(qname.clone(), qtype, res.clone(), self.clock.now());
                 }
             }
             Err(err) => {
                 self.stats.failures += 1;
                 if self.caching_enabled && err.is_negative_answer() {
-                    self.cache.put_negative(qname.clone(), qtype, err.clone(), self.clock.now());
+                    self.cache
+                        .put_negative(qname.clone(), qtype, err.clone(), self.clock.now());
                 }
             }
         }
@@ -338,9 +349,21 @@ mod tests {
     /// different zone.
     fn build_network() -> DnsNetwork {
         let mut b = DnsNetwork::builder();
-        let pvt = b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
-        let dyn1 = b.add_server(dn("ns1.dyn-like.net"), Ipv4Addr::new(198, 51, 100, 1), EntityId(1));
-        let cdn = b.add_server(dn("ns1.cdnco.net"), Ipv4Addr::new(203, 0, 113, 1), EntityId(2));
+        let pvt = b.add_server(
+            dn("ns1.example.com"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            EntityId(0),
+        );
+        let dyn1 = b.add_server(
+            dn("ns1.dyn-like.net"),
+            Ipv4Addr::new(198, 51, 100, 1),
+            EntityId(1),
+        );
+        let cdn = b.add_server(
+            dn("ns1.cdnco.net"),
+            Ipv4Addr::new(203, 0, 113, 1),
+            EntityId(2),
+        );
 
         let mut site = Zone::new(
             dn("example.com"),
@@ -348,8 +371,14 @@ mod tests {
         );
         site.add(dn("example.com"), RecordData::Ns(dn("ns1.example.com")));
         site.add(dn("example.com"), RecordData::Ns(dn("ns1.dyn-like.net")));
-        site.add(dn("example.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 80)));
-        site.add(dn("www.example.com"), RecordData::Cname(dn("cust-1.cdnco.net")));
+        site.add(
+            dn("example.com"),
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        );
+        site.add(
+            dn("www.example.com"),
+            RecordData::Cname(dn("cust-1.cdnco.net")),
+        );
         b.add_zone(site, vec![pvt, dyn1]);
 
         let mut cdnzone = Zone::new(
@@ -357,7 +386,10 @@ mod tests {
             Soa::standard(dn("ns1.cdnco.net"), dn("ops.cdnco.net"), 1),
         );
         cdnzone.add(dn("cdnco.net"), RecordData::Ns(dn("ns1.cdnco.net")));
-        cdnzone.add(dn("cust-1.cdnco.net"), RecordData::A(Ipv4Addr::new(203, 0, 113, 80)));
+        cdnzone.add(
+            dn("cust-1.cdnco.net"),
+            RecordData::A(Ipv4Addr::new(203, 0, 113, 80)),
+        );
         b.add_zone(cdnzone, vec![cdn]);
 
         b.build()
@@ -408,7 +440,7 @@ mod tests {
         let net = build_network();
         let mut r = Resolver::new(&net);
         r.set_faults(FaultPlan::healthy().fail_entity(EntityId(1))); // Dyn-like down
-        // example.com still resolves via its private server.
+                                                                     // example.com still resolves via its private server.
         assert!(r.is_resolvable(&dn("example.com")));
     }
 
@@ -416,10 +448,16 @@ mod tests {
     fn total_outage_fails_resolution() {
         let net = build_network();
         let mut r = Resolver::new(&net);
-        r.set_faults(FaultPlan::healthy().fail_entity(EntityId(0)).fail_entity(EntityId(1)));
+        r.set_faults(
+            FaultPlan::healthy()
+                .fail_entity(EntityId(0))
+                .fail_entity(EntityId(1)),
+        );
         let err = r.resolve(&dn("example.com"), RecordType::A).unwrap_err();
         assert!(err.is_outage(), "expected outage, got {err}");
-        assert!(matches!(err, ResolveError::AllServersDown { ref zone, .. } if *zone == dn("example.com")));
+        assert!(
+            matches!(err, ResolveError::AllServersDown { ref zone, .. } if *zone == dn("example.com"))
+        );
     }
 
     #[test]
@@ -428,8 +466,12 @@ mod tests {
         let mut r = Resolver::new(&net);
         r.set_faults(FaultPlan::healthy().fail_entity(EntityId(2))); // CDN down
         assert!(r.is_resolvable(&dn("example.com")), "apex unaffected");
-        let err = r.resolve(&dn("www.example.com"), RecordType::A).unwrap_err();
-        assert!(matches!(err, ResolveError::AllServersDown { ref zone, .. } if *zone == dn("cdnco.net")));
+        let err = r
+            .resolve(&dn("www.example.com"), RecordType::A)
+            .unwrap_err();
+        assert!(
+            matches!(err, ResolveError::AllServersDown { ref zone, .. } if *zone == dn("cdnco.net"))
+        );
     }
 
     #[test]
@@ -439,12 +481,22 @@ mod tests {
         assert!(r.is_resolvable(&dn("example.com")));
         let hits_before = r.stats().cache_hits;
         // Take everything down; the cached answer must survive…
-        r.set_faults(FaultPlan::healthy().fail_entity(EntityId(0)).fail_entity(EntityId(1)));
-        assert!(r.is_resolvable(&dn("example.com")), "cached answer should persist");
+        r.set_faults(
+            FaultPlan::healthy()
+                .fail_entity(EntityId(0))
+                .fail_entity(EntityId(1)),
+        );
+        assert!(
+            r.is_resolvable(&dn("example.com")),
+            "cached answer should persist"
+        );
         assert_eq!(r.stats().cache_hits, hits_before + 1);
         // …until the TTL (default 3600 s) lapses.
         r.advance_time(3_601);
-        assert!(!r.is_resolvable(&dn("example.com")), "expired cache must re-query");
+        assert!(
+            !r.is_resolvable(&dn("example.com")),
+            "expired cache must re-query"
+        );
     }
 
     #[test]
@@ -474,7 +526,11 @@ mod tests {
     #[test]
     fn cname_loop_detected() {
         let mut b = DnsNetwork::builder();
-        let s = b.add_server(dn("ns1.loopy.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
+        let s = b.add_server(
+            dn("ns1.loopy.com"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            EntityId(0),
+        );
         let mut z = Zone::new(
             dn("loopy.com"),
             Soa::standard(dn("ns1.loopy.com"), dn("hostmaster.loopy.com"), 1),

@@ -70,7 +70,10 @@ impl Trace {
                 TraceEvent::Tier { zone, server } => {
                     out.push_str(&format!(";; zone {zone} @ {server}\n"));
                 }
-                TraceEvent::TierDown { zone, servers_tried } => {
+                TraceEvent::TierDown {
+                    zone,
+                    servers_tried,
+                } => {
                     out.push_str(&format!(
                         ";; zone {zone}: all {servers_tried} servers unreachable\n"
                     ));
@@ -104,7 +107,10 @@ impl Resolver<'_> {
             let tiers = network.authority_chain(&current);
             if tiers.is_empty() {
                 events.push(TraceEvent::Failed {
-                    error: ResolveError::UnknownZone { name: current.clone() }.to_string(),
+                    error: ResolveError::UnknownZone {
+                        name: current.clone(),
+                    }
+                    .to_string(),
                 });
                 break;
             }
@@ -138,7 +144,10 @@ impl Resolver<'_> {
                     break;
                 }
                 ZoneAnswer::CnameRedirect { target, .. } => {
-                    events.push(TraceEvent::CnameHop { from: current.clone(), to: target.clone() });
+                    events.push(TraceEvent::CnameHop {
+                        from: current.clone(),
+                        to: target.clone(),
+                    });
                     current = target;
                 }
                 other => {
@@ -154,7 +163,12 @@ impl Resolver<'_> {
             }
         }
 
-        Trace { qname: qname.clone(), qtype, events, success }
+        Trace {
+            qname: qname.clone(),
+            qtype,
+            events,
+            success,
+        }
     }
 }
 
@@ -172,13 +186,26 @@ mod tests {
     fn network() -> DnsNetwork {
         let mut b = DnsNetwork::builder();
         let site = b.add_server(dn("ns1.shop.com"), Ipv4Addr::new(192, 0, 2, 1), EntityId(0));
-        let cdn = b.add_server(dn("ns1.cdnco.net"), Ipv4Addr::new(203, 0, 113, 1), EntityId(1));
-        let mut z = Zone::new(dn("shop.com"), Soa::standard(dn("ns1.shop.com"), dn("h.shop.com"), 1));
+        let cdn = b.add_server(
+            dn("ns1.cdnco.net"),
+            Ipv4Addr::new(203, 0, 113, 1),
+            EntityId(1),
+        );
+        let mut z = Zone::new(
+            dn("shop.com"),
+            Soa::standard(dn("ns1.shop.com"), dn("h.shop.com"), 1),
+        );
         z.add(dn("www.shop.com"), RecordData::Cname(dn("cust.cdnco.net")));
         z.add(dn("shop.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 80)));
         b.add_zone(z, vec![site]);
-        let mut c = Zone::new(dn("cdnco.net"), Soa::standard(dn("ns1.cdnco.net"), dn("h.cdnco.net"), 1));
-        c.add(dn("cust.cdnco.net"), RecordData::A(Ipv4Addr::new(203, 0, 113, 80)));
+        let mut c = Zone::new(
+            dn("cdnco.net"),
+            Soa::standard(dn("ns1.cdnco.net"), dn("h.cdnco.net"), 1),
+        );
+        c.add(
+            dn("cust.cdnco.net"),
+            RecordData::A(Ipv4Addr::new(203, 0, 113, 80)),
+        );
         b.add_zone(c, vec![cdn]);
         b.build()
     }
@@ -190,7 +217,10 @@ mod tests {
         let trace = r.trace(&dn("www.shop.com"), RecordType::A);
         assert!(trace.success);
         let rendered = trace.render();
-        assert!(rendered.contains("zone shop.com @ ns1.shop.com"), "{rendered}");
+        assert!(
+            rendered.contains("zone shop.com @ ns1.shop.com"),
+            "{rendered}"
+        );
         assert!(rendered.contains("cname www.shop.com -> cust.cdnco.net"));
         assert!(rendered.contains("zone cdnco.net @ ns1.cdnco.net"));
         assert!(rendered.contains("answer from cdnco.net: 1 record(s)"));

@@ -103,7 +103,11 @@ impl Zone {
     pub fn apex_ns_hosts(&self) -> Vec<DomainName> {
         self.records
             .get(&self.origin)
-            .map(|rrs| rrs.iter().filter_map(|rr| rr.data.as_ns().cloned()).collect())
+            .map(|rrs| {
+                rrs.iter()
+                    .filter_map(|rr| rr.data.as_ns().cloned())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -133,7 +137,9 @@ impl Zone {
             // A CNAME owner must not carry other data (RFC 1034 §3.6.2).
             if let Some(existing) = self.records.get(&rr.name) {
                 assert!(
-                    existing.iter().all(|r| matches!(r.data, RecordData::Cname(_))),
+                    existing
+                        .iter()
+                        .all(|r| matches!(r.data, RecordData::Cname(_))),
                     "CNAME at {} would coexist with other records",
                     rr.name
                 );
@@ -156,7 +162,10 @@ impl Zone {
             "delegation {child} must be strictly below origin {}",
             self.origin
         );
-        assert!(!ns_hosts.is_empty(), "delegation {child} needs at least one NS host");
+        assert!(
+            !ns_hosts.is_empty(),
+            "delegation {child} needs at least one NS host"
+        );
         self.mark_names(&child.clone());
         self.delegations.insert(child, ns_hosts);
     }
@@ -197,36 +206,54 @@ impl Zone {
             let glue = ns_hosts
                 .iter()
                 .flat_map(|h| {
-                    self.records.get(h).into_iter().flatten().filter(|rr| {
-                        matches!(rr.data, RecordData::A(_))
-                    })
+                    self.records
+                        .get(h)
+                        .into_iter()
+                        .flatten()
+                        .filter(|rr| matches!(rr.data, RecordData::A(_)))
                 })
                 .cloned()
                 .collect();
-            return ZoneAnswer::Referral { cut: cut.clone(), ns_hosts, glue };
+            return ZoneAnswer::Referral {
+                cut: cut.clone(),
+                ns_hosts,
+                glue,
+            };
         }
 
         if let Some(rrs) = self.records.get(qname) {
             // CNAME redirect takes precedence unless the query asks for
             // the CNAME itself.
             if qtype != RecordType::Cname {
-                if let Some(cname) = rrs.iter().find(|rr| rr.data.record_type() == RecordType::Cname)
+                if let Some(cname) = rrs
+                    .iter()
+                    .find(|rr| rr.data.record_type() == RecordType::Cname)
                 {
                     let target = cname.data.as_cname().expect("checked above").clone();
-                    return ZoneAnswer::CnameRedirect { record: cname.clone(), target };
+                    return ZoneAnswer::CnameRedirect {
+                        record: cname.clone(),
+                        target,
+                    };
                 }
             }
-            let answers: Vec<ResourceRecord> =
-                rrs.iter().filter(|rr| rr.data.record_type() == qtype).cloned().collect();
+            let answers: Vec<ResourceRecord> = rrs
+                .iter()
+                .filter(|rr| rr.data.record_type() == qtype)
+                .cloned()
+                .collect();
             if !answers.is_empty() {
                 return ZoneAnswer::Answer(answers);
             }
         }
 
         if self.name_exists(qname) {
-            ZoneAnswer::NoData { soa: self.soa.clone() }
+            ZoneAnswer::NoData {
+                soa: self.soa.clone(),
+            }
         } else {
-            ZoneAnswer::NxDomain { soa: self.soa.clone() }
+            ZoneAnswer::NxDomain {
+                soa: self.soa.clone(),
+            }
         }
     }
 }
@@ -242,12 +269,21 @@ mod tests {
         let mut z = Zone::new(dn("example.com"), soa);
         z.add(dn("example.com"), RecordData::Ns(dn("ns1.example.com")));
         z.add(dn("example.com"), RecordData::Ns(dn("ns2.dyn-dns.net")));
-        z.add(dn("example.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 10)));
-        z.add(dn("ns1.example.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 53)));
+        z.add(
+            dn("example.com"),
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 10)),
+        );
+        z.add(
+            dn("ns1.example.com"),
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        );
         z.add(dn("www.example.com"), RecordData::Cname(dn("example.com")));
         z.add(dn("a.b.example.com"), RecordData::Txt("deep".into()));
         z.delegate(dn("sub.example.com"), vec![dn("ns1.sub.example.com")]);
-        z.add(dn("ns1.sub.example.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 99)));
+        z.add(
+            dn("ns1.sub.example.com"),
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 99)),
+        );
         z
     }
 
@@ -299,7 +335,11 @@ mod tests {
     fn referral_below_zone_cut_with_glue() {
         let z = example_zone();
         match z.lookup(&dn("deep.sub.example.com"), RecordType::A) {
-            ZoneAnswer::Referral { cut, ns_hosts, glue } => {
+            ZoneAnswer::Referral {
+                cut,
+                ns_hosts,
+                glue,
+            } => {
                 assert_eq!(cut, dn("sub.example.com"));
                 assert_eq!(ns_hosts, vec![dn("ns1.sub.example.com")]);
                 assert_eq!(glue.len(), 1);
@@ -331,7 +371,10 @@ mod tests {
     #[test]
     fn out_of_zone_detected() {
         let z = example_zone();
-        assert_eq!(z.lookup(&dn("other.net"), RecordType::A), ZoneAnswer::OutOfZone);
+        assert_eq!(
+            z.lookup(&dn("other.net"), RecordType::A),
+            ZoneAnswer::OutOfZone
+        );
     }
 
     #[test]
@@ -345,7 +388,10 @@ mod tests {
     #[should_panic(expected = "coexist")]
     fn cname_exclusivity_enforced() {
         let mut z = example_zone();
-        z.add(dn("host.example.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        z.add(
+            dn("host.example.com"),
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        );
         z.add(dn("host.example.com"), RecordData::Cname(dn("example.com")));
     }
 }

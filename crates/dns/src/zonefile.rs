@@ -33,7 +33,10 @@ impl fmt::Display for ZonefileError {
 impl std::error::Error for ZonefileError {}
 
 fn err(line: usize, message: impl Into<String>) -> ZonefileError {
-    ZonefileError { line, message: message.into() }
+    ZonefileError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Resolves a possibly-relative name against the origin.
@@ -98,9 +101,7 @@ pub fn parse_zone(text: &str, default_origin: Option<&DomainName>) -> Result<Zon
         // Directives.
         if let Some(rest) = line.trim().strip_prefix("$ORIGIN") {
             let name = rest.trim().trim_end_matches('.');
-            origin = Some(
-                DomainName::parse(name).map_err(|e| err(line_no, e.to_string()))?,
-            );
+            origin = Some(DomainName::parse(name).map_err(|e| err(line_no, e.to_string()))?);
             continue;
         }
         if let Some(rest) = line.trim().strip_prefix("$TTL") {
@@ -112,8 +113,10 @@ pub fn parse_zone(text: &str, default_origin: Option<&DomainName>) -> Result<Zon
             continue;
         }
 
-        let origin_ref =
-            origin.as_ref().ok_or_else(|| err(line_no, "no $ORIGIN declared"))?.clone();
+        let origin_ref = origin
+            .as_ref()
+            .ok_or_else(|| err(line_no, "no $ORIGIN declared"))?
+            .clone();
 
         let mut tokens: Vec<&str> = line.split_whitespace().collect();
         if tokens.is_empty() {
@@ -140,7 +143,11 @@ pub fn parse_zone(text: &str, default_origin: Option<&DomainName>) -> Result<Zon
                 tokens.remove(0);
             }
         }
-        if tokens.first().map(|t| t.eq_ignore_ascii_case("IN")).unwrap_or(false) {
+        if tokens
+            .first()
+            .map(|t| t.eq_ignore_ascii_case("IN"))
+            .unwrap_or(false)
+        {
             tokens.remove(0);
         }
 
@@ -164,7 +171,10 @@ pub fn parse_zone(text: &str, default_origin: Option<&DomainName>) -> Result<Zon
                 let rname = resolve_name(tokens[1], &origin_ref, line_no)?;
                 let nums: Vec<u32> = tokens[2..7]
                     .iter()
-                    .map(|t| t.parse::<u32>().map_err(|_| err(line_no, format!("bad SOA number {t:?}"))))
+                    .map(|t| {
+                        t.parse::<u32>()
+                            .map_err(|_| err(line_no, format!("bad SOA number {t:?}")))
+                    })
                     .collect::<Result<_, _>>()?;
                 soa = Some((
                     owner,
@@ -182,7 +192,9 @@ pub fn parse_zone(text: &str, default_origin: Option<&DomainName>) -> Result<Zon
             }
             "NS" => {
                 let host = resolve_name(
-                    tokens.first().ok_or_else(|| err(line_no, "NS needs a host"))?,
+                    tokens
+                        .first()
+                        .ok_or_else(|| err(line_no, "NS needs a host"))?,
                     &origin_ref,
                     line_no,
                 )?;
@@ -198,16 +210,26 @@ pub fn parse_zone(text: &str, default_origin: Option<&DomainName>) -> Result<Zon
             }
             "CNAME" => {
                 let target = resolve_name(
-                    tokens.first().ok_or_else(|| err(line_no, "CNAME needs a target"))?,
+                    tokens
+                        .first()
+                        .ok_or_else(|| err(line_no, "CNAME needs a target"))?,
                     &origin_ref,
                     line_no,
                 )?;
-                records.push(ResourceRecord::with_ttl(owner, ttl, RecordData::Cname(target)));
+                records.push(ResourceRecord::with_ttl(
+                    owner,
+                    ttl,
+                    RecordData::Cname(target),
+                ));
             }
             "TXT" => {
                 let joined = tokens.join(" ");
                 let content = joined.trim().trim_matches('"').to_string();
-                records.push(ResourceRecord::with_ttl(owner, ttl, RecordData::Txt(content)));
+                records.push(ResourceRecord::with_ttl(
+                    owner,
+                    ttl,
+                    RecordData::Txt(content),
+                ));
             }
             other => return Err(err(line_no, format!("unsupported record type {other:?}"))),
         }
@@ -216,7 +238,10 @@ pub fn parse_zone(text: &str, default_origin: Option<&DomainName>) -> Result<Zon
     let (apex, soa, _ttl) = soa.ok_or_else(|| err(0, "zone file has no SOA record"))?;
     if let Some(origin) = &origin {
         if &apex != origin {
-            return Err(err(0, format!("SOA owner {apex} does not match origin {origin}")));
+            return Err(err(
+                0,
+                format!("SOA owner {apex} does not match origin {origin}"),
+            ));
         }
     }
     let mut zone = Zone::new(apex, soa);
@@ -310,7 +335,11 @@ blog IN CNAME @
         }
         match zone.lookup(&dn("blog.example.com"), RecordType::Cname) {
             crate::zone::ZoneAnswer::Answer(rrs) => {
-                assert_eq!(rrs[0].data.as_cname(), Some(&dn("example.com")), "@ expands to apex");
+                assert_eq!(
+                    rrs[0].data.as_cname(),
+                    Some(&dn("example.com")),
+                    "@ expands to apex"
+                );
             }
             other => panic!("expected CNAME answer, got {other:?}"),
         }
@@ -344,8 +373,15 @@ blog IN CNAME @
         use crate::record::Soa;
         // A hand-built zone with every record type.
         let mut b = DnsNetwork::builder();
-        let s = b.add_server(dn("ns1.x.com"), Ipv4Addr::new(192, 0, 2, 1), webdeps_model::EntityId(0));
-        let mut z = Zone::new(dn("x.com"), Soa::standard(dn("ns1.x.com"), dn("h.x.com"), 7));
+        let s = b.add_server(
+            dn("ns1.x.com"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            webdeps_model::EntityId(0),
+        );
+        let mut z = Zone::new(
+            dn("x.com"),
+            Soa::standard(dn("ns1.x.com"), dn("h.x.com"), 7),
+        );
         z.add(dn("x.com"), RecordData::Ns(dn("ns1.x.com")));
         z.add(dn("x.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 80)));
         z.add(dn("a.x.com"), RecordData::Cname(dn("b.other.net")));

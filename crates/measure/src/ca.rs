@@ -86,14 +86,18 @@ pub fn classify_site(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webdeps_worldgen::{World, WorldConfig};
     use webdeps_web::Crawler;
+    use webdeps_worldgen::{World, WorldConfig};
 
     fn crawl_one(world: &World, idx: usize) -> (CrawlReport, SiteCaMeasurement) {
         let listing = &world.listings()[idx];
         let mut client = world.client();
-        let report =
-            Crawler::crawl(&mut client, &listing.domain, &listing.document_hosts, listing.https);
+        let report = Crawler::crawl(
+            &mut client,
+            &listing.domain,
+            &listing.document_hosts,
+            listing.https,
+        );
         let mut resolver = world.resolver();
         let m = classify_site(&report, &mut resolver, &world.psl);
         (report, m)

@@ -52,7 +52,9 @@ pub fn classify_site(
         if !is_internal(&report.site, &host, san, psl) {
             continue;
         }
-        let Some(chain) = report.chain_of(&host) else { continue };
+        let Some(chain) = report.chain_of(&host) else {
+            continue;
+        };
         let Some((suffix, _, witness)) = cname_map.classify_chain_detailed(chain.iter()) else {
             continue;
         };
@@ -86,15 +88,20 @@ pub fn classify_site(
         }
     }
 
-    let cdns: Vec<(ProviderKey, Classification)> =
-        order.into_iter().map(|k| (k.clone(), detected[&k])).collect();
+    let cdns: Vec<(ProviderKey, Classification)> = order
+        .into_iter()
+        .map(|k| (k.clone(), detected[&k]))
+        .collect();
 
     let state = if cdns.is_empty() {
         Some(CdnProfile::None)
     } else if cdns.iter().any(|(_, c)| *c == Classification::Unknown) {
         None
     } else {
-        let third = cdns.iter().filter(|(_, c)| *c == Classification::ThirdParty).count();
+        let third = cdns
+            .iter()
+            .filter(|(_, c)| *c == Classification::ThirdParty)
+            .count();
         Some(match third {
             0 => CdnProfile::Private,
             1 => CdnProfile::SingleThird,
@@ -126,8 +133,12 @@ mod tests {
     fn measure(world: &World, idx: usize) -> SiteCdnMeasurement {
         let listing = &world.listings()[idx];
         let mut client = world.client();
-        let report =
-            Crawler::crawl(&mut client, &listing.domain, &listing.document_hosts, listing.https);
+        let report = Crawler::crawl(
+            &mut client,
+            &listing.domain,
+            &listing.document_hosts,
+            listing.https,
+        );
         let mut resolver = world.resolver();
         classify_site(&report, &world.cname_map, &mut resolver, &world.psl)
     }

@@ -38,8 +38,11 @@ pub enum ClassifierKind {
 
 impl ClassifierKind {
     /// All strategies, for the validation sweep.
-    pub const ALL: [ClassifierKind; 3] =
-        [ClassifierKind::TldOnly, ClassifierKind::SoaOnly, ClassifierKind::Combined];
+    pub const ALL: [ClassifierKind; 3] = [
+        ClassifierKind::TldOnly,
+        ClassifierKind::SoaOnly,
+        ClassifierKind::Combined,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -88,7 +91,8 @@ pub fn san_covers(san: &[DomainName], candidate: &DomainName, psl: &PublicSuffix
         return false;
     };
     san.iter().any(|entry| {
-        psl.registrable_domain(entry).is_some_and(|reg| reg == cand_reg)
+        psl.registrable_domain(entry)
+            .is_some_and(|reg| reg == cand_reg)
     })
 }
 
@@ -183,7 +187,10 @@ mod tests {
         let site = dn("example.com");
         let own = dn("ns1.example.com");
         let other = dn("ns1.dynect.net");
-        assert_eq!(classify(ClassifierKind::TldOnly, &base_ev(&site, &own), &psl), Classification::Private);
+        assert_eq!(
+            classify(ClassifierKind::TldOnly, &base_ev(&site, &own), &psl),
+            Classification::Private
+        );
         assert_eq!(
             classify(ClassifierKind::TldOnly, &base_ev(&site, &other), &psl),
             Classification::ThirdParty
@@ -200,13 +207,22 @@ mod tests {
         let mut ev = base_ev(&site, &ns);
         ev.site_soa = Some(&site_soa);
         ev.candidate_soa = Some(&provider_soa);
-        assert_eq!(classify(ClassifierKind::SoaOnly, &ev, &psl), Classification::ThirdParty);
+        assert_eq!(
+            classify(ClassifierKind::SoaOnly, &ev, &psl),
+            Classification::ThirdParty
+        );
         // Provider-managed site SOA makes the strawman call it private.
         let managed = soa("ns1.dynect.net", "hostmaster.dynect.net");
         ev.site_soa = Some(&managed);
-        assert_eq!(classify(ClassifierKind::SoaOnly, &ev, &psl), Classification::Private);
+        assert_eq!(
+            classify(ClassifierKind::SoaOnly, &ev, &psl),
+            Classification::Private
+        );
         ev.candidate_soa = None;
-        assert_eq!(classify(ClassifierKind::SoaOnly, &ev, &psl), Classification::Unknown);
+        assert_eq!(
+            classify(ClassifierKind::SoaOnly, &ev, &psl),
+            Classification::Unknown
+        );
     }
 
     #[test]
@@ -219,7 +235,10 @@ mod tests {
         let san = vec![dn("ytube.com"), dn("*.googol.com")];
         let mut ev = base_ev(&site, &alias_ns);
         ev.san = Some(&san);
-        assert_eq!(classify(ClassifierKind::Combined, &ev, &psl), Classification::Private);
+        assert_eq!(
+            classify(ClassifierKind::Combined, &ev, &psl),
+            Classification::Private
+        );
         assert_eq!(
             classify(ClassifierKind::TldOnly, &ev, &psl),
             Classification::ThirdParty,
@@ -237,13 +256,19 @@ mod tests {
         let mut ev = base_ev(&site, &ns);
         ev.site_soa = Some(&site_soa);
         ev.candidate_soa = Some(&ns_soa);
-        assert_eq!(classify(ClassifierKind::Combined, &ev, &psl), Classification::ThirdParty);
+        assert_eq!(
+            classify(ClassifierKind::Combined, &ev, &psl),
+            Classification::ThirdParty
+        );
 
         // Provider-managed SOA: rule 3 can't fire; concentration decides.
         let managed = soa("ns1.bigdns.com", "hostmaster.bigdns.com");
         ev.site_soa = Some(&managed);
         ev.concentration = Some(120);
-        assert_eq!(classify(ClassifierKind::Combined, &ev, &psl), Classification::ThirdParty);
+        assert_eq!(
+            classify(ClassifierKind::Combined, &ev, &psl),
+            Classification::ThirdParty
+        );
         ev.concentration = Some(3);
         assert_eq!(
             classify(ClassifierKind::Combined, &ev, &psl),
@@ -259,7 +284,10 @@ mod tests {
         assert!(san_covers(&san, &dn("edge7.cdn-brand.net"), &psl));
         assert!(san_covers(&san, &dn("www.example.com"), &psl));
         assert!(!san_covers(&san, &dn("other.org"), &psl));
-        assert!(!san_covers(&san, &dn("com"), &psl), "bare suffixes never covered");
+        assert!(
+            !san_covers(&san, &dn("com"), &psl),
+            "bare suffixes never covered"
+        );
     }
 
     #[test]

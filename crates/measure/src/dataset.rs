@@ -175,7 +175,9 @@ impl MeasurementDataset {
         key: &ProviderKey,
         kind: webdeps_model::ServiceKind,
     ) -> Option<&crate::interservice::ProviderMeasurement> {
-        self.providers.iter().find(|p| &p.key == key && p.kind == kind)
+        self.providers
+            .iter()
+            .find(|p| &p.key == key && p.kind == kind)
     }
 }
 
@@ -195,8 +197,14 @@ mod tests {
         let m = SiteDnsMeasurement {
             pairs: vec![],
             groups: vec![
-                NsGroup { key: ProviderKey::new("dyn.com"), class: Classification::ThirdParty },
-                NsGroup { key: ProviderKey::new("self.com"), class: Classification::Private },
+                NsGroup {
+                    key: ProviderKey::new("dyn.com"),
+                    class: Classification::ThirdParty,
+                },
+                NsGroup {
+                    key: ProviderKey::new("self.com"),
+                    class: Classification::Private,
+                },
             ],
             state: Some(DepState::PrivatePlusThird),
         };
@@ -208,8 +216,12 @@ mod tests {
     fn cdn_measurement_helpers() {
         let mut m = SiteCdnMeasurement::default();
         assert!(!m.uses_cdn());
-        m.cdns.push((ProviderKey::new("akamaiedge.net"), Classification::ThirdParty));
-        m.cdns.push((ProviderKey::new("own-cdn.net"), Classification::Private));
+        m.cdns.push((
+            ProviderKey::new("akamaiedge.net"),
+            Classification::ThirdParty,
+        ));
+        m.cdns
+            .push((ProviderKey::new("own-cdn.net"), Classification::Private));
         assert!(m.uses_cdn());
         assert_eq!(m.third_parties().count(), 1);
     }

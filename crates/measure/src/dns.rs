@@ -37,7 +37,12 @@ pub fn observe_site(resolver: &mut Resolver<'_>, site: &DomainName) -> Option<Dn
     }
     let site_soa = dig.soa_of(site).ok();
     let ns_soas = ns_hosts.iter().map(|h| dig.soa_of(h).ok()).collect();
-    Some(DnsObservation { site: site.clone(), ns_hosts, site_soa, ns_soas })
+    Some(DnsObservation {
+        site: site.clone(),
+        ns_hosts,
+        site_soa,
+        ns_soas,
+    })
 }
 
 /// Dataset-wide nameserver concentration: how many sites each
@@ -86,7 +91,14 @@ pub fn classify_site(
     threshold: usize,
     psl: &PublicSuffixList,
 ) -> SiteDnsMeasurement {
-    classify_site_with_grouping(obs, san, concentration, threshold, psl, GroupingStrategy::TldAndSoa)
+    classify_site_with_grouping(
+        obs,
+        san,
+        concentration,
+        threshold,
+        psl,
+        GroupingStrategy::TldAndSoa,
+    )
 }
 
 /// [`classify_site`] with a selectable grouping strategy (ablations).
@@ -178,7 +190,11 @@ pub fn classify_site_with_grouping(
             }
             _ => Classification::Unknown,
         };
-        pairs.push(NsPair { host: obs.ns_hosts[i].clone(), class: classes[i], group: gi });
+        pairs.push(NsPair {
+            host: obs.ns_hosts[i].clone(),
+            class: classes[i],
+            group: gi,
+        });
     }
 
     // Derive the state. Any unknown group leaves the site
@@ -186,7 +202,10 @@ pub fn classify_site_with_grouping(
     let state = if groups.iter().any(|g| g.class == Classification::Unknown) {
         None
     } else {
-        let third = groups.iter().filter(|g| g.class == Classification::ThirdParty).count();
+        let third = groups
+            .iter()
+            .filter(|g| g.class == Classification::ThirdParty)
+            .count();
         let private = groups.iter().any(|g| g.class == Classification::Private);
         Some(match (third, private) {
             (0, _) => DepState::Private,
@@ -196,7 +215,11 @@ pub fn classify_site_with_grouping(
         })
     };
 
-    SiteDnsMeasurement { pairs, groups, state }
+    SiteDnsMeasurement {
+        pairs,
+        groups,
+        state,
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +228,11 @@ mod tests {
     use webdeps_model::name::dn;
 
     fn soa(admin: &str) -> Soa {
-        Soa::standard(dn(&format!("ns1.{admin}")), dn(&format!("hostmaster.{admin}")), 1)
+        Soa::standard(
+            dn(&format!("ns1.{admin}")),
+            dn(&format!("hostmaster.{admin}")),
+            1,
+        )
     }
 
     fn obs(site: &str, ns: &[(&str, &str)], site_admin: &str) -> DnsObservation {
@@ -226,7 +253,10 @@ mod tests {
         let psl = PublicSuffixList::builtin();
         let o = obs(
             "example.com",
-            &[("ns1.example.com", "example.com"), ("ns2.example.com", "example.com")],
+            &[
+                ("ns1.example.com", "example.com"),
+                ("ns2.example.com", "example.com"),
+            ],
             "example.com",
         );
         let m = classify_site(&o, None, &empty_conc(), 50, &psl);
@@ -239,7 +269,10 @@ mod tests {
         let psl = PublicSuffixList::builtin();
         let o = obs(
             "example.com",
-            &[("ns1.dynect.net", "dynect.net"), ("ns2.dynect.net", "dynect.net")],
+            &[
+                ("ns1.dynect.net", "dynect.net"),
+                ("ns2.dynect.net", "dynect.net"),
+            ],
             "example.com",
         );
         let m = classify_site(&o, None, &empty_conc(), 50, &psl);
@@ -269,7 +302,10 @@ mod tests {
         let psl = PublicSuffixList::builtin();
         let o = obs(
             "example.com",
-            &[("ns1.dynect.net", "dynect.net"), ("ns1.ultradns.net", "ultradns.net")],
+            &[
+                ("ns1.dynect.net", "dynect.net"),
+                ("ns1.ultradns.net", "ultradns.net"),
+            ],
             "example.com",
         );
         let m = classify_site(&o, None, &empty_conc(), 50, &psl);
@@ -287,16 +323,38 @@ mod tests {
             ns_hosts: vec![dn("ns1.alibabadns.com"), dn("ns1.alicdn-dns.com")],
             site_soa: Some(soa("example.com")),
             ns_soas: vec![
-                Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 1)),
-                Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 2)),
+                Some(Soa::standard(
+                    dn("ns1.alibabadns.com"),
+                    dn("hostmaster.alibabadns.com"),
+                    1,
+                )),
+                Some(Soa::standard(
+                    dn("ns1.alibabadns.com"),
+                    dn("hostmaster.alibabadns.com"),
+                    2,
+                )),
             ],
         };
         let full = classify_site_with_grouping(
-            &o, None, &empty_conc(), 50, &psl, GroupingStrategy::TldAndSoa,
+            &o,
+            None,
+            &empty_conc(),
+            50,
+            &psl,
+            GroupingStrategy::TldAndSoa,
         );
-        assert_eq!(full.state, Some(DepState::SingleThird), "truth: one operator");
+        assert_eq!(
+            full.state,
+            Some(DepState::SingleThird),
+            "truth: one operator"
+        );
         let tld_only = classify_site_with_grouping(
-            &o, None, &empty_conc(), 50, &psl, GroupingStrategy::TldOnly,
+            &o,
+            None,
+            &empty_conc(),
+            50,
+            &psl,
+            GroupingStrategy::TldOnly,
         );
         assert_eq!(
             tld_only.state,
@@ -314,8 +372,16 @@ mod tests {
             ns_hosts: vec![dn("ns1.alibabadns.com"), dn("ns1.alicdn-dns.com")],
             site_soa: Some(soa("example.com")),
             ns_soas: vec![
-                Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 1)),
-                Some(Soa::standard(dn("ns1.alibabadns.com"), dn("hostmaster.alibabadns.com"), 2)),
+                Some(Soa::standard(
+                    dn("ns1.alibabadns.com"),
+                    dn("hostmaster.alibabadns.com"),
+                    1,
+                )),
+                Some(Soa::standard(
+                    dn("ns1.alibabadns.com"),
+                    dn("hostmaster.alibabadns.com"),
+                    2,
+                )),
             ],
         };
         let m = classify_site(&o, None, &empty_conc(), 50, &psl);
@@ -329,7 +395,10 @@ mod tests {
         let psl = PublicSuffixList::builtin();
         let o = obs(
             "example.com",
-            &[("ns1.example.com", "example.com"), ("ns1.dynect.net", "dynect.net")],
+            &[
+                ("ns1.example.com", "example.com"),
+                ("ns1.dynect.net", "dynect.net"),
+            ],
             "example.com",
         );
         let m = classify_site(&o, None, &empty_conc(), 50, &psl);
@@ -341,12 +410,19 @@ mod tests {
         let psl = PublicSuffixList::builtin();
         let o = obs(
             "ytube.com",
-            &[("ns1.googol.com", "googol.com"), ("ns2.googol.com", "googol.com")],
+            &[
+                ("ns1.googol.com", "googol.com"),
+                ("ns2.googol.com", "googol.com"),
+            ],
             "googol.com",
         );
         let san = vec![dn("ytube.com"), dn("*.googol.com")];
         let m = classify_site(&o, Some(&san), &empty_conc(), 50, &psl);
-        assert_eq!(m.state, Some(DepState::Private), "SAN evidence identifies the alias");
+        assert_eq!(
+            m.state,
+            Some(DepState::Private),
+            "SAN evidence identifies the alias"
+        );
     }
 
     #[test]

@@ -92,7 +92,12 @@ pub fn measure_dns_dep(
         .iter()
         .map(|h| Dig::new(resolver).soa_of(h).ok())
         .collect();
-    let obs = DnsObservation { site: zone_apex, ns_hosts, site_soa, ns_soas };
+    let obs = DnsObservation {
+        site: zone_apex,
+        ns_hosts,
+        site_soa,
+        ns_soas,
+    };
     let m = classify_dns(&obs, None, concentration, threshold, psl);
     let providers = m.third_parties().cloned().collect();
     InterServiceDep::from_dns_state(m.state, providers)
@@ -112,7 +117,9 @@ pub fn measure_cdn_dep(
     let mut private = 0usize;
     let mut any = false;
     for host in responder_hosts {
-        let Ok(chain) = Dig::new(resolver).cname_chain(host) else { continue };
+        let Ok(chain) = Dig::new(resolver).cname_chain(host) else {
+            continue;
+        };
         let Some((suffix, _, witness)) = cname_map.classify_chain_detailed(chain.iter()) else {
             continue;
         };
@@ -182,13 +189,13 @@ pub fn measure_providers(
     let mut cas: Vec<_> = ca_reps.iter().collect();
     cas.sort_by(|a, b| a.0.cmp(b.0));
     for (key, (responders, count)) in cas {
-        let rep = responders.first().cloned().unwrap_or_else(|| {
-            DomainName::parse(key.as_str()).expect("key is a domain")
-        });
+        let rep = responders
+            .first()
+            .cloned()
+            .unwrap_or_else(|| DomainName::parse(key.as_str()).expect("key is a domain"));
         let zone = zone_ns_of(resolver, &rep).map(|(apex, _)| apex);
-        let ca_domain = zone.unwrap_or_else(|| {
-            psl.registrable_domain(&rep).unwrap_or_else(|| rep.clone())
-        });
+        let ca_domain =
+            zone.unwrap_or_else(|| psl.registrable_domain(&rep).unwrap_or_else(|| rep.clone()));
         let dns_dep = measure_dns_dep(resolver, &rep, concentration, threshold, psl);
         let cdn_dep = measure_cdn_dep(resolver, &ca_domain, responders, cname_map, psl);
         out.push(ProviderMeasurement {
@@ -258,9 +265,14 @@ mod tests {
         let mut resolver = world.resolver();
         let ca_domain = webdeps_model::name::dn("digicert.com");
         let responders = vec![webdeps_model::name::dn("ocsp.digicert.com")];
-        let dep =
-            measure_cdn_dep(&mut resolver, &ca_domain, &responders, &world.cname_map, &world.psl)
-                .expect("DigiCert responders ride a CDN");
+        let dep = measure_cdn_dep(
+            &mut resolver,
+            &ca_domain,
+            &responders,
+            &world.cname_map,
+            &world.psl,
+        )
+        .expect("DigiCert responders ride a CDN");
         assert!(dep.uses_third && dep.critical);
         assert_eq!(dep.providers[0].as_str(), "incapdns.net");
     }
@@ -278,8 +290,13 @@ mod tests {
         // Akamai's responderless zone has no CDN dependency.
         let ca_domain = webdeps_model::name::dn("amazontrust.com");
         let responders = vec![webdeps_model::name::dn("ocsp.amazontrust.com")];
-        let dep =
-            measure_cdn_dep(&mut resolver, &ca_domain, &responders, &world.cname_map, &world.psl);
+        let dep = measure_cdn_dep(
+            &mut resolver,
+            &ca_domain,
+            &responders,
+            &world.cname_map,
+            &world.psl,
+        );
         assert!(dep.is_none(), "Amazon Trust serves responders directly");
     }
 
@@ -292,7 +309,10 @@ mod tests {
         let dep = measure_dns_dep(&mut resolver, &rep, &conc, 5, &world.psl)
             .expect("Fastly zone is characterizable");
         assert!(dep.uses_third, "Fastly uses Dyn");
-        assert!(dep.redundant && !dep.critical, "2020: Fastly is redundant, dep: {dep:?}");
+        assert!(
+            dep.redundant && !dep.critical,
+            "2020: Fastly is redundant, dep: {dep:?}"
+        );
         assert!(dep.providers.iter().any(|p| p.as_str() == "dynect.net"));
     }
 }

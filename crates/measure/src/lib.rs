@@ -37,11 +37,11 @@ pub mod summary;
 pub mod validation;
 
 pub use classify::{Classification, ClassifierKind, Evidence};
-pub use dns::GroupingStrategy;
 pub use dataset::{
     MeasurementDataset, ProviderKey, SiteCaMeasurement, SiteCdnMeasurement, SiteDnsMeasurement,
     SiteMeasurement,
 };
+pub use dns::GroupingStrategy;
 pub use interservice::{InterServiceDep, ProviderMeasurement};
 pub use pipeline::{measure_world, MeasureConfig};
 pub use summary::{summarize, summarize_pair, ComparisonSummary, DatasetSummary};

@@ -31,7 +31,9 @@ impl MeasureConfig {
     /// The configuration matching a world's scale: threshold scaled to
     /// the population, crawl parallelism matching the machine.
     pub fn for_world(world: &World) -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         MeasureConfig {
             threshold: world.config.concentration_threshold(),
             max_sites: None,
@@ -85,15 +87,17 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
                                         &l.document_hosts,
                                         l.https,
                                     );
-                                    let obs =
-                                        dns::observe_site(client.resolver_mut(), &l.domain);
+                                    let obs = dns::observe_site(client.resolver_mut(), &l.domain);
                                     (report, obs)
                                 })
                                 .collect()
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("crawl worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("crawl worker"))
+                    .collect()
             });
         for shard in results {
             per_site.extend(shard);
@@ -115,13 +119,9 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
     for ((listing, report), obs) in listings.iter().zip(&reports).zip(&observations) {
         let san = report.certificate.as_ref().map(|c| c.san.clone());
         let dns_m = match obs {
-            Some(obs) => dns::classify_site(
-                obs,
-                san.as_deref(),
-                &concentration,
-                config.threshold,
-                psl,
-            ),
+            Some(obs) => {
+                dns::classify_site(obs, san.as_deref(), &concentration, config.threshold, psl)
+            }
             None => crate::dataset::SiteDnsMeasurement {
                 pairs: Vec::new(),
                 groups: Vec::new(),
@@ -143,7 +143,8 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
                 .filter_map(|h| report.chain_of(h))
                 .flat_map(|chain| chain.iter())
                 .find(|c| {
-                    psl.registrable_domain(c).is_some_and(|r| r.as_str() == key.as_str())
+                    psl.registrable_domain(c)
+                        .is_some_and(|r| r.as_str() == key.as_str())
                 })
                 .cloned();
             if let Some(w) = witness {
@@ -182,7 +183,11 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
         psl,
     );
 
-    MeasurementDataset { sites, providers, threshold: config.threshold }
+    MeasurementDataset {
+        sites,
+        providers,
+        threshold: config.threshold,
+    }
 }
 
 #[cfg(test)]
@@ -203,7 +208,10 @@ mod tests {
     fn pipeline_measures_every_site() {
         let (world, ds) = dataset();
         assert_eq!(ds.sites.len(), world.truth.len());
-        assert!(ds.sites.iter().all(|s| s.reachable), "healthy world: all reachable");
+        assert!(
+            ds.sites.iter().all(|s| s.reachable),
+            "healthy world: all reachable"
+        );
     }
 
     #[test]
@@ -284,8 +292,16 @@ mod tests {
     #[test]
     fn provider_measurements_cover_observed_cdns_and_cas() {
         let (_, ds) = dataset();
-        let cdns: Vec<_> = ds.providers.iter().filter(|p| p.kind == ServiceKind::Cdn).collect();
-        let cas: Vec<_> = ds.providers.iter().filter(|p| p.kind == ServiceKind::Ca).collect();
+        let cdns: Vec<_> = ds
+            .providers
+            .iter()
+            .filter(|p| p.kind == ServiceKind::Cdn)
+            .collect();
+        let cas: Vec<_> = ds
+            .providers
+            .iter()
+            .filter(|p| p.kind == ServiceKind::Ca)
+            .collect();
         assert!(cdns.len() >= 10, "observed CDNs: {}", cdns.len());
         assert!(cas.len() >= 8, "observed CAs: {}", cas.len());
         // The DigiCert→DNSMadeEasy and →Incapsula wiring must surface.
@@ -314,10 +330,8 @@ mod tests {
         let (world, ds) = dataset();
         let n = world.config.n_sites;
         // Scale-aware expectations from the calibrated marginals.
-        let want_third =
-            density_to_cumulative(cumulative_to_density(DNS_2020.third), n, n);
-        let want_critical =
-            density_to_cumulative(cumulative_to_density(DNS_2020.critical), n, n);
+        let want_third = density_to_cumulative(cumulative_to_density(DNS_2020.third), n, n);
+        let want_critical = density_to_cumulative(cumulative_to_density(DNS_2020.critical), n, n);
         // Measured rates are over *characterized* sites; uncharacterized
         // sites are all third-party micro-tail users, so compare against
         // the whole population including them as third.
@@ -329,7 +343,10 @@ mod tests {
             .count();
         let unchar = ds.sites.len() - characterized;
         let rate = 100.0 * (third_measured + unchar) as f64 / ds.sites.len() as f64;
-        assert!((rate - want_third).abs() < 4.0, "third {rate} vs calibrated {want_third}");
+        assert!(
+            (rate - want_third).abs() < 4.0,
+            "third {rate} vs calibrated {want_third}"
+        );
         let critical = ds
             .sites
             .iter()
@@ -347,11 +364,13 @@ mod tests {
         use webdeps_worldgen::profiles::{cumulative_to_density, density_to_cumulative, CDN_2020};
         let (world, ds) = dataset();
         let n = world.config.n_sites;
-        let want_adoption =
-            density_to_cumulative(cumulative_to_density(CDN_2020.adoption), n, n);
+        let want_adoption = density_to_cumulative(cumulative_to_density(CDN_2020.adoption), n, n);
         let users = ds.cdn_users().count();
         let rate = 100.0 * users as f64 / ds.sites.len() as f64;
-        assert!((rate - want_adoption).abs() < 4.0, "adoption {rate} vs {want_adoption}");
+        assert!(
+            (rate - want_adoption).abs() < 4.0,
+            "adoption {rate} vs {want_adoption}"
+        );
         let critical = ds
             .sites
             .iter()
@@ -360,7 +379,10 @@ mod tests {
         let crate_ = critical as f64 / users as f64;
         // Small worlds skew toward the top bands where redundancy is
         // common; accept a broad band around the calibrated shape.
-        assert!((0.40..=0.95).contains(&crate_), "critical of users {crate_}");
+        assert!(
+            (0.40..=0.95).contains(&crate_),
+            "critical of users {crate_}"
+        );
     }
 
     #[test]
@@ -368,7 +390,11 @@ mod tests {
         let world = World::generate(WorldConfig::small(78));
         let ds = measure_world_with(
             &world,
-            MeasureConfig { threshold: 3, max_sites: Some(50), threads: 1 },
+            MeasureConfig {
+                threshold: 3,
+                max_sites: Some(50),
+                threads: 1,
+            },
         );
         assert_eq!(ds.sites.len(), 50);
     }
@@ -378,11 +404,19 @@ mod tests {
         let world = World::generate(WorldConfig::small(79));
         let serial = measure_world_with(
             &world,
-            MeasureConfig { threshold: 3, max_sites: Some(400), threads: 1 },
+            MeasureConfig {
+                threshold: 3,
+                max_sites: Some(400),
+                threads: 1,
+            },
         );
         let parallel = measure_world_with(
             &world,
-            MeasureConfig { threshold: 3, max_sites: Some(400), threads: 8 },
+            MeasureConfig {
+                threshold: 3,
+                max_sites: Some(400),
+                threads: 8,
+            },
         );
         assert_eq!(serial.sites.len(), parallel.sites.len());
         for (a, b) in serial.sites.iter().zip(parallel.sites.iter()) {
@@ -406,11 +440,21 @@ mod tests {
             .count();
         assert!(unknown_pairs > 0, "micro-tail providers must stay unknown");
         for s in &ds.sites {
-            if s.dns.pairs.iter().any(|p| p.class == Classification::Unknown) {
+            if s.dns
+                .pairs
+                .iter()
+                .any(|p| p.class == Classification::Unknown)
+            {
                 assert!(
-                    s.dns.groups.iter().any(|g| g.class == Classification::Unknown)
+                    s.dns
+                        .groups
+                        .iter()
+                        .any(|g| g.class == Classification::Unknown)
                         || s.dns.state.is_none()
-                        || s.dns.groups.iter().all(|g| g.class != Classification::Unknown),
+                        || s.dns
+                            .groups
+                            .iter()
+                            .all(|g| g.class != Classification::Unknown),
                     "unknown pairs either merge into known groups or exclude the site"
                 );
             }

@@ -37,7 +37,11 @@ pub fn summarize(ds: &MeasurementDataset) -> DatasetSummary {
             .filter(|s| s.cdn.uses_cdn() && s.cdn.state.is_some())
             .count(),
         https: ds.https_sites().count(),
-        ca_characterized: ds.sites.iter().filter(|s| s.ca.https && s.ca.state.is_some()).count(),
+        ca_characterized: ds
+            .sites
+            .iter()
+            .filter(|s| s.ca.https && s.ca.state.is_some())
+            .count(),
         any_critical: ds
             .sites
             .iter()
@@ -78,7 +82,9 @@ pub fn summarize_pair(
     let mut cdn_either = 0;
     let mut https_either = 0;
     for a in &earlier.sites {
-        let Some(b) = by_domain.get(a.domain.as_str()) else { continue };
+        let Some(b) = by_domain.get(a.domain.as_str()) else {
+            continue;
+        };
         joined += 1;
         if a.dns.characterized() && b.dns.characterized() {
             dns_both += 1;
@@ -103,7 +109,7 @@ pub fn summarize_pair(
 mod tests {
     use super::*;
     use crate::pipeline::measure_world;
-    use webdeps_worldgen::{WorldConfig, WorldPair, World};
+    use webdeps_worldgen::{World, WorldConfig, WorldPair};
 
     #[test]
     fn summary_counts_are_consistent() {

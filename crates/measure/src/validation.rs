@@ -14,8 +14,8 @@ use crate::dns;
 use std::collections::HashMap;
 use webdeps_dns::Dig;
 use webdeps_model::{DetRng, DomainName};
-use webdeps_worldgen::World;
 use webdeps_web::Crawler;
+use webdeps_worldgen::World;
 
 /// Accuracy of one strategy on one pair population.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +58,11 @@ struct Tally {
 
 impl Tally {
     fn new() -> Self {
-        Tally { correct: 0, decided: 0, total: 0 }
+        Tally {
+            correct: 0,
+            decided: 0,
+            total: 0,
+        }
     }
 
     fn record(&mut self, verdict: Classification, truth_third: bool) {
@@ -83,8 +87,16 @@ impl Tally {
     fn into_row(self, strategy: ClassifierKind) -> StrategyAccuracy {
         StrategyAccuracy {
             strategy,
-            accuracy: if self.decided == 0 { 1.0 } else { self.correct as f64 / self.decided as f64 },
-            coverage: if self.total == 0 { 0.0 } else { self.decided as f64 / self.total as f64 },
+            accuracy: if self.decided == 0 {
+                1.0
+            } else {
+                self.correct as f64 / self.decided as f64
+            },
+            coverage: if self.total == 0 {
+                0.0
+            } else {
+                self.decided as f64 / self.total as f64
+            },
             pairs: self.total,
         }
     }
@@ -105,31 +117,45 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
     let indices = rng.sample_indices(listings.len(), sample_size);
 
     let mut client = world.client();
-    let mut dns_tallies: HashMap<ClassifierKind, Tally> =
-        ClassifierKind::ALL.iter().map(|&k| (k, Tally::new())).collect();
-    let mut ca_tallies: HashMap<ClassifierKind, Tally> =
-        ClassifierKind::ALL.iter().map(|&k| (k, Tally::new())).collect();
-    let mut cdn_tallies: HashMap<ClassifierKind, Tally> =
-        ClassifierKind::ALL.iter().map(|&k| (k, Tally::new())).collect();
+    let mut dns_tallies: HashMap<ClassifierKind, Tally> = ClassifierKind::ALL
+        .iter()
+        .map(|&k| (k, Tally::new()))
+        .collect();
+    let mut ca_tallies: HashMap<ClassifierKind, Tally> = ClassifierKind::ALL
+        .iter()
+        .map(|&k| (k, Tally::new()))
+        .collect();
+    let mut cdn_tallies: HashMap<ClassifierKind, Tally> = ClassifierKind::ALL
+        .iter()
+        .map(|&k| (k, Tally::new()))
+        .collect();
 
     // Validation reuses the site-level concentration signal; build it
     // from the full population like the pipeline does.
     let resolver = client.resolver_mut();
-    let observations: Vec<Option<dns::DnsObservation>> =
-        listings.iter().map(|l| dns::observe_site(resolver, &l.domain)).collect();
+    let observations: Vec<Option<dns::DnsObservation>> = listings
+        .iter()
+        .map(|l| dns::observe_site(resolver, &l.domain))
+        .collect();
     let concentration = dns::ns_concentration(&observations, &world.psl);
     let threshold = world.config.concentration_threshold();
 
     for &i in &indices {
         let listing = &listings[i];
-        let report =
-            Crawler::crawl(&mut client, &listing.domain, &listing.document_hosts, listing.https);
+        let report = Crawler::crawl(
+            &mut client,
+            &listing.domain,
+            &listing.document_hosts,
+            listing.https,
+        );
         let san = report.certificate.as_ref().map(|c| c.san.clone());
 
         // DNS pairs.
         if let Some(obs) = &observations[i] {
             for (host, ns_soa) in obs.ns_hosts.iter().zip(&obs.ns_soas) {
-                let Some(truth) = truth_third(world, &listing.domain, host) else { continue };
+                let Some(truth) = truth_third(world, &listing.domain, host) else {
+                    continue;
+                };
                 let conc = world
                     .psl
                     .registrable_domain(host)
@@ -146,7 +172,10 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
                 };
                 for kind in ClassifierKind::ALL {
                     let verdict = classify(kind, &ev, &world.psl);
-                    dns_tallies.get_mut(&kind).expect("init").record(verdict, truth);
+                    dns_tallies
+                        .get_mut(&kind)
+                        .expect("init")
+                        .record(verdict, truth);
                 }
             }
         }
@@ -169,7 +198,10 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
                     };
                     for kind in ClassifierKind::ALL {
                         let verdict = classify(kind, &ev, &world.psl);
-                        ca_tallies.get_mut(&kind).expect("init").record(verdict, truth);
+                        ca_tallies
+                            .get_mut(&kind)
+                            .expect("init")
+                            .record(verdict, truth);
                     }
                 }
             }
@@ -180,12 +212,16 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
             if !crate::cdn::is_internal(&listing.domain, &host, san.as_deref(), &world.psl) {
                 continue;
             }
-            let Some(chain) = report.chain_of(&host) else { continue };
+            let Some(chain) = report.chain_of(&host) else {
+                continue;
+            };
             let Some((_, _, witness)) = world.cname_map.classify_chain_detailed(chain.iter())
             else {
                 continue;
             };
-            let Some(truth) = truth_third(world, &listing.domain, witness) else { continue };
+            let Some(truth) = truth_third(world, &listing.domain, witness) else {
+                continue;
+            };
             let resolver = client.resolver_mut();
             let site_soa = Dig::new(resolver).soa_of(&listing.domain).ok();
             let witness_soa = Dig::new(resolver).soa_of(witness).ok();
@@ -200,7 +236,10 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
             };
             for kind in ClassifierKind::ALL {
                 let verdict = classify(kind, &ev, &world.psl);
-                cdn_tallies.get_mut(&kind).expect("init").record(verdict, truth);
+                cdn_tallies
+                    .get_mut(&kind)
+                    .expect("init")
+                    .record(verdict, truth);
             }
         }
     }
@@ -234,14 +273,26 @@ mod tests {
         let tld = ValidationReport::row(&report.dns, ClassifierKind::TldOnly).unwrap();
         let soa = ValidationReport::row(&report.dns, ClassifierKind::SoaOnly).unwrap();
         assert!(combined.accuracy > 0.99, "combined {:?}", combined);
-        assert!(tld.accuracy > 0.90 && tld.accuracy < 1.0, "TLD strawman {:?}", tld);
-        assert!(soa.accuracy < 0.75, "SOA strawman should be poor: {:?}", soa);
+        assert!(
+            tld.accuracy > 0.90 && tld.accuracy < 1.0,
+            "TLD strawman {:?}",
+            tld
+        );
+        assert!(
+            soa.accuracy < 0.75,
+            "SOA strawman should be poor: {:?}",
+            soa
+        );
         assert!(combined.accuracy > tld.accuracy && combined.accuracy > soa.accuracy);
         assert!(combined.coverage < 1.0, "micro-tail pairs stay undecided");
 
         let combined_ca = ValidationReport::row(&report.ca, ClassifierKind::Combined).unwrap();
         assert!(combined_ca.accuracy > 0.99, "CA combined {:?}", combined_ca);
         let combined_cdn = ValidationReport::row(&report.cdn, ClassifierKind::Combined).unwrap();
-        assert!(combined_cdn.accuracy > 0.97, "CDN combined {:?}", combined_cdn);
+        assert!(
+            combined_cdn.accuracy > 0.97,
+            "CDN combined {:?}",
+            combined_cdn
+        );
     }
 }

@@ -65,7 +65,9 @@ impl Entity {
 
     /// Whether `host` falls under any domain owned by this entity.
     pub fn owns_host(&self, host: &DomainName) -> bool {
-        self.domains.iter().any(|d| host.is_equal_or_subdomain_of(d))
+        self.domains
+            .iter()
+            .any(|d| host.is_equal_or_subdomain_of(d))
     }
 }
 
@@ -91,13 +93,21 @@ impl EntityRegistry {
         kind: EntityKind,
         domains: Vec<DomainName>,
     ) -> EntityId {
-        assert!(!domains.is_empty(), "an entity must own at least one domain");
+        assert!(
+            !domains.is_empty(),
+            "an entity must own at least one domain"
+        );
         let id = EntityId::from_index(self.entities.len());
         for d in &domains {
             let prev = self.by_domain.insert(d.clone(), id);
             assert!(prev.is_none(), "domain {d} registered to two entities");
         }
-        self.entities.push(Entity { id, name: name.into(), kind, domains });
+        self.entities.push(Entity {
+            id,
+            name: name.into(),
+            kind,
+            domains,
+        });
         id
     }
 
@@ -157,8 +167,16 @@ mod tests {
 
     fn registry() -> EntityRegistry {
         let mut r = EntityRegistry::new();
-        r.register("Alibaba", EntityKind::CdnProvider, vec![dn("alicdn.com"), dn("alibabadns.com")]);
-        r.register("Example Org", EntityKind::WebsiteOperator, vec![dn("example.com")]);
+        r.register(
+            "Alibaba",
+            EntityKind::CdnProvider,
+            vec![dn("alicdn.com"), dn("alibabadns.com")],
+        );
+        r.register(
+            "Example Org",
+            EntityKind::WebsiteOperator,
+            vec![dn("example.com")],
+        );
         r
     }
 
@@ -173,8 +191,14 @@ mod tests {
     #[test]
     fn multi_domain_entities_share_owner() {
         let r = registry();
-        assert_eq!(r.same_owner(&dn("a.alicdn.com"), &dn("b.alibabadns.com")), Some(true));
-        assert_eq!(r.same_owner(&dn("a.alicdn.com"), &dn("www.example.com")), Some(false));
+        assert_eq!(
+            r.same_owner(&dn("a.alicdn.com"), &dn("b.alibabadns.com")),
+            Some(true)
+        );
+        assert_eq!(
+            r.same_owner(&dn("a.alicdn.com"), &dn("www.example.com")),
+            Some(false)
+        );
         assert_eq!(r.same_owner(&dn("a.alicdn.com"), &dn("nowhere.zz")), None);
     }
 
@@ -192,6 +216,10 @@ mod tests {
     #[should_panic(expected = "two entities")]
     fn duplicate_domain_panics() {
         let mut r = registry();
-        r.register("Clone", EntityKind::WebsiteOperator, vec![dn("example.com")]);
+        r.register(
+            "Clone",
+            EntityKind::WebsiteOperator,
+            vec![dn("example.com")],
+        );
     }
 }

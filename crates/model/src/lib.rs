@@ -18,6 +18,7 @@ pub mod entity;
 pub mod error;
 pub mod ids;
 pub mod name;
+pub mod prng;
 pub mod psl;
 pub mod rank;
 pub mod rng;

@@ -117,9 +117,9 @@ impl DomainName {
     /// The name with its leftmost label removed, or `None` for a
     /// single-label name. `www.example.com` → `example.com`.
     pub fn parent(&self) -> Option<DomainName> {
-        self.name
-            .split_once('.')
-            .map(|(_, rest)| DomainName { name: rest.to_string() })
+        self.name.split_once('.').map(|(_, rest)| DomainName {
+            name: rest.to_string(),
+        })
     }
 
     /// The last `n` labels as a name, or the whole name if it has fewer.
@@ -127,7 +127,9 @@ impl DomainName {
     pub fn suffix(&self, n: usize) -> DomainName {
         let labels: Vec<&str> = self.labels().collect();
         let start = labels.len().saturating_sub(n);
-        DomainName { name: labels[start..].join(".") }
+        DomainName {
+            name: labels[start..].join("."),
+        }
     }
 
     /// Prepends a label: `"www"` joined onto `example.com` gives
@@ -212,7 +214,10 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         for bad in ["", ".", "a..b", "-but spaces-", "exa mple.com", "a.*.com"] {
-            assert!(DomainName::parse(bad).is_err(), "{bad:?} should be rejected");
+            assert!(
+                DomainName::parse(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
         let long_label = format!("{}.com", "a".repeat(64));
         assert!(DomainName::parse(&long_label).is_err());
@@ -228,7 +233,10 @@ mod tests {
     #[test]
     fn labels_and_parent() {
         let n = dn("a.b.example.com");
-        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(
+            n.labels().collect::<Vec<_>>(),
+            vec!["a", "b", "example", "com"]
+        );
         assert_eq!(n.parent().unwrap(), dn("b.example.com"));
         assert_eq!(dn("com").parent(), None);
     }
@@ -265,7 +273,10 @@ mod tests {
 
     #[test]
     fn child_builds_subdomains() {
-        assert_eq!(dn("example.com").child("ns1").unwrap(), dn("ns1.example.com"));
+        assert_eq!(
+            dn("example.com").child("ns1").unwrap(),
+            dn("ns1.example.com")
+        );
         assert!(dn("example.com").child("bad label").is_err());
     }
 }

@@ -34,11 +34,11 @@ pub struct PublicSuffixList {
 /// country-code second-level suffixes.
 const BUILTIN_RULES: &[&str] = &[
     "com", "net", "org", "edu", "gov", "mil", "int", "io", "co", "ai", "app", "dev", "cloud",
-    "info", "biz", "us", "uk", "co.uk", "org.uk", "ac.uk", "gov.uk", "de", "fr", "nl", "ru",
-    "cn", "com.cn", "net.cn", "org.cn", "jp", "co.jp", "ne.jp", "or.jp", "kr", "co.kr", "in",
-    "co.in", "br", "com.br", "au", "com.au", "net.au", "org.au", "ca", "it", "es", "se", "no",
-    "fi", "pl", "cz", "ch", "at", "be", "dk", "ie", "tv", "me", "cc", "ws", "goog", "health",
-    "hospital", "tech", "online", "site", "store", "xyz", "club", "top", "live", "news",
+    "info", "biz", "us", "uk", "co.uk", "org.uk", "ac.uk", "gov.uk", "de", "fr", "nl", "ru", "cn",
+    "com.cn", "net.cn", "org.cn", "jp", "co.jp", "ne.jp", "or.jp", "kr", "co.kr", "in", "co.in",
+    "br", "com.br", "au", "com.au", "net.au", "org.au", "ca", "it", "es", "se", "no", "fi", "pl",
+    "cz", "ch", "at", "be", "dk", "ie", "tv", "me", "cc", "ws", "goog", "health", "hospital",
+    "tech", "online", "site", "store", "xyz", "club", "top", "live", "news",
 ];
 
 /// Built-in wildcard rules (`*.<base>`): every label directly under the
@@ -156,14 +156,20 @@ mod tests {
     fn simple_gtld() {
         let psl = PublicSuffixList::builtin();
         assert_eq!(psl.effective_tld(&dn("www.example.com")), dn("com"));
-        assert_eq!(psl.registrable_domain(&dn("www.example.com")).unwrap(), dn("example.com"));
+        assert_eq!(
+            psl.registrable_domain(&dn("www.example.com")).unwrap(),
+            dn("example.com")
+        );
     }
 
     #[test]
     fn multi_label_suffix() {
         let psl = PublicSuffixList::builtin();
         assert_eq!(psl.effective_tld(&dn("a.b.example.co.uk")), dn("co.uk"));
-        assert_eq!(psl.registrable_domain(&dn("a.b.example.co.uk")).unwrap(), dn("example.co.uk"));
+        assert_eq!(
+            psl.registrable_domain(&dn("a.b.example.co.uk")).unwrap(),
+            dn("example.co.uk")
+        );
     }
 
     #[test]
@@ -177,7 +183,10 @@ mod tests {
     fn unknown_tld_falls_back_to_last_label() {
         let psl = PublicSuffixList::builtin();
         assert_eq!(psl.effective_tld(&dn("example.zz")), dn("zz"));
-        assert_eq!(psl.registrable_domain(&dn("www.example.zz")).unwrap(), dn("example.zz"));
+        assert_eq!(
+            psl.registrable_domain(&dn("www.example.zz")).unwrap(),
+            dn("example.zz")
+        );
     }
 
     #[test]
@@ -185,10 +194,16 @@ mod tests {
         let psl = PublicSuffixList::builtin();
         // `*.ck` makes `anything.ck` a suffix…
         assert_eq!(psl.effective_tld(&dn("shop.foo.ck")), dn("foo.ck"));
-        assert_eq!(psl.registrable_domain(&dn("shop.foo.ck")).unwrap(), dn("shop.foo.ck"));
+        assert_eq!(
+            psl.registrable_domain(&dn("shop.foo.ck")).unwrap(),
+            dn("shop.foo.ck")
+        );
         // …except `www.ck`, which is registrable.
         assert_eq!(psl.registrable_domain(&dn("www.ck")).unwrap(), dn("www.ck"));
-        assert_eq!(psl.registrable_domain(&dn("a.www.ck")).unwrap(), dn("www.ck"));
+        assert_eq!(
+            psl.registrable_domain(&dn("a.www.ck")).unwrap(),
+            dn("www.ck")
+        );
     }
 
     #[test]
@@ -203,6 +218,9 @@ mod tests {
     fn add_rule_extends_list() {
         let mut psl = PublicSuffixList::builtin();
         psl.add_rule("fancy.zz");
-        assert_eq!(psl.registrable_domain(&dn("x.fancy.zz")).unwrap(), dn("x.fancy.zz"));
+        assert_eq!(
+            psl.registrable_domain(&dn("x.fancy.zz")).unwrap(),
+            dn("x.fancy.zz")
+        );
     }
 }

@@ -63,8 +63,12 @@ pub enum RankBucket {
 
 impl RankBucket {
     /// All buckets in increasing size order, as the tables list them.
-    pub const ALL: [RankBucket; 4] =
-        [RankBucket::Top100, RankBucket::Top1K, RankBucket::Top10K, RankBucket::Top100K];
+    pub const ALL: [RankBucket; 4] = [
+        RankBucket::Top100,
+        RankBucket::Top1K,
+        RankBucket::Top10K,
+        RankBucket::Top100K,
+    ];
 
     /// Upper rank bound of the bucket (inclusive).
     pub fn limit(self) -> u32 {

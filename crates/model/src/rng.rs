@@ -1,14 +1,14 @@
 //! Deterministic randomness for the synthetic world.
 //!
 //! Every stochastic decision in `webdeps` flows through [`DetRng`], a
-//! seeded PRNG facade with *labelled forking*: `rng.fork("dns")` derives
+//! facade over the vendored xoshiro256++ generator (see [`crate::prng`])
+//! with *labelled forking*: `rng.fork("dns")` derives
 //! an independent stream from the parent seed and a stable string hash.
 //! Forking makes generation order-independent — adding a new subsystem
 //! draw cannot perturb the draws of existing subsystems — which keeps the
 //! 2016 and 2020 paired snapshots perfectly aligned site by site.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use crate::prng::Xoshiro256pp;
 
 /// Stable 64-bit FNV-1a hash (independent of `std`'s randomized hasher).
 pub fn stable_hash(data: &str) -> u64 {
@@ -33,13 +33,16 @@ pub fn stable_hash(data: &str) -> u64 {
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
 }
 
 impl DetRng {
     /// Creates a generator from a world seed.
     pub fn new(seed: u64) -> Self {
-        DetRng { seed, rng: SmallRng::seed_from_u64(seed) }
+        DetRng {
+            seed,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent stream for a named subsystem. Forks with
@@ -56,24 +59,24 @@ impl DetRng {
 
     /// Uniform `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.random()
+        self.rng.next_u64()
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.rng.random()
+        self.rng.next_unit()
     }
 
     /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "below(0) is meaningless");
-        self.rng.random_range(0..bound)
+        self.rng.next_below(bound as u64) as usize
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "empty range");
-        self.rng.random_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
@@ -83,7 +86,7 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.rng.random_bool(p)
+            self.unit() < p
         }
     }
 

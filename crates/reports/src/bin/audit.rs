@@ -24,14 +24,22 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { scale: 5_000, seed: 42, ranks: Vec::new(), domains: Vec::new(), worst: 3 };
+    let mut args = Args {
+        scale: 5_000,
+        seed: 42,
+        ranks: Vec::new(),
+        domains: Vec::new(),
+        worst: 3,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut take = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--scale" => args.scale = take("--scale")?.parse().map_err(|_| "bad --scale")?,
             "--seed" => args.seed = take("--seed")?.parse().map_err(|_| "bad --seed")?,
-            "--rank" => args.ranks.push(take("--rank")?.parse().map_err(|_| "bad --rank")?),
+            "--rank" => args
+                .ranks
+                .push(take("--rank")?.parse().map_err(|_| "bad --rank")?),
             "--domain" => args.domains.push(take("--domain")?),
             "--worst" => args.worst = take("--worst")?.parse().map_err(|_| "bad --worst")?,
             "--help" | "-h" => {
@@ -47,9 +55,16 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn print_audit(ds: &MeasurementDataset, audit: &SiteAudit) {
-    let site = ds.sites.iter().find(|s| s.id == audit.site).expect("audited site measured");
+    let site = ds
+        .sites
+        .iter()
+        .find(|s| s.id == audit.site)
+        .expect("audited site measured");
     println!("== {} (rank {}) ==", site.domain, site.rank);
-    println!("  robustness score: {:.0}/100   risk: {:?}", audit.score, audit.risk);
+    println!(
+        "  robustness score: {:.0}/100   risk: {:?}",
+        audit.score, audit.risk
+    );
     println!("  dependency chains:");
     for chain in &audit.chains {
         println!("    {}", chain.describe());
@@ -74,7 +89,10 @@ fn main() -> ExitCode {
         }
     };
 
-    eprintln!("generating + measuring a {}-site world (seed {}) …", args.scale, args.seed);
+    eprintln!(
+        "generating + measuring a {}-site world (seed {}) …",
+        args.scale, args.seed
+    );
     let world = World::generate(WorldConfig {
         seed: args.seed,
         n_sites: args.scale,
@@ -99,12 +117,18 @@ fn main() -> ExitCode {
 
     if selected.is_empty() {
         // Population view: score histogram + the worst offenders.
-        let mut audits: Vec<SiteAudit> =
-            ds.sites.iter().map(|s| audit_site(&graph, &ds, s.id)).collect();
+        let mut audits: Vec<SiteAudit> = ds
+            .sites
+            .iter()
+            .map(|s| audit_site(&graph, &ds, s.id))
+            .collect();
         let buckets = [0.0, 20.0, 40.0, 60.0, 80.0, 100.1];
         println!("robustness score distribution ({} sites):", audits.len());
         for w in buckets.windows(2) {
-            let n = audits.iter().filter(|a| a.score >= w[0] && a.score < w[1]).count();
+            let n = audits
+                .iter()
+                .filter(|a| a.score >= w[0] && a.score < w[1])
+                .count();
             println!(
                 "  {:>3.0}–{:<3.0} {:>6} ({:.1}%)",
                 w[0],

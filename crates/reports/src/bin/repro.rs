@@ -21,8 +21,14 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { scale: 20_000, seed: 42, experiments: Vec::new(), list: false, dot: None, csv: None };
+    let mut args = Args {
+        scale: 20_000,
+        seed: 42,
+        experiments: Vec::new(),
+        list: false,
+        dot: None,
+        csv: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -107,7 +113,10 @@ fn main() -> ExitCode {
             eprintln!("failed to write CSVs to {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("2020 dataset written to {}/sites.csv and providers.csv", dir.display());
+        eprintln!(
+            "2020 dataset written to {}/sites.csv and providers.csv",
+            dir.display()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -20,7 +20,12 @@ pub struct Report {
 impl Report {
     /// Starts a report.
     pub fn new(id: &str, title: &str) -> Report {
-        Report { id: id.to_string(), title: title.to_string(), tables: Vec::new(), notes: Vec::new() }
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Adds a table.
@@ -53,9 +58,27 @@ impl Report {
 /// All experiment ids, in paper order.
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "table1", "table2", "figure2", "table3", "figure3", "table4", "figure4", "table5",
-        "figure5", "figure6", "table6", "figure7", "table7", "figure8", "table8", "figure9",
-        "table9", "table10", "table11", "validation", "amplification",
+        "table1",
+        "table2",
+        "figure2",
+        "table3",
+        "figure3",
+        "table4",
+        "figure4",
+        "table5",
+        "figure5",
+        "figure6",
+        "table6",
+        "figure7",
+        "table7",
+        "figure8",
+        "table8",
+        "figure9",
+        "table9",
+        "table10",
+        "table11",
+        "validation",
+        "amplification",
     ]
 }
 

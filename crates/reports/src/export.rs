@@ -38,10 +38,22 @@ pub fn sites_csv(ds: &MeasurementDataset) -> String {
         "rank,domain,reachable,dns_state,dns_providers,cdn_state,cdns,https,ca,ca_class,stapled\n",
     );
     for s in &ds.sites {
-        let dns_state = s.dns.state.map(|st| format!("{st:?}")).unwrap_or_else(|| "uncharacterized".into());
-        let dns_providers =
-            s.dns.third_parties().map(|k| k.as_str()).collect::<Vec<_>>().join(";");
-        let cdn_state = s.cdn.state.map(|st| format!("{st:?}")).unwrap_or_else(|| "uncharacterized".into());
+        let dns_state = s
+            .dns
+            .state
+            .map(|st| format!("{st:?}"))
+            .unwrap_or_else(|| "uncharacterized".into());
+        let dns_providers = s
+            .dns
+            .third_parties()
+            .map(|k| k.as_str())
+            .collect::<Vec<_>>()
+            .join(";");
+        let cdn_state = s
+            .cdn
+            .state
+            .map(|st| format!("{st:?}"))
+            .unwrap_or_else(|| "uncharacterized".into());
         let cdns = s
             .cdn
             .cdns
@@ -86,7 +98,11 @@ pub fn providers_csv(ds: &MeasurementDataset) -> String {
             Some(d) => (
                 d.uses_third.to_string(),
                 d.critical.to_string(),
-                d.providers.iter().map(|k| k.as_str()).collect::<Vec<_>>().join(";"),
+                d.providers
+                    .iter()
+                    .map(|k| k.as_str())
+                    .collect::<Vec<_>>()
+                    .join(";"),
             ),
             None => (String::new(), String::new(), String::new()),
         };

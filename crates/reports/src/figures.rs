@@ -17,7 +17,14 @@ pub fn figure2(ws: &Workspace) -> Report {
     let fig = dns_figure(&ws.ds20);
     let mut t = TextTable::new(
         "Website → DNS, % of characterized sites per cumulative bucket",
-        &["k", "third-party", "critical", "multiple 3rd", "pvt+3rd", "n"],
+        &[
+            "k",
+            "third-party",
+            "critical",
+            "multiple 3rd",
+            "pvt+3rd",
+            "n",
+        ],
     );
     for row in &fig {
         t.row(vec![
@@ -29,10 +36,13 @@ pub fn figure2(ws: &Workspace) -> Report {
             row.characterized.to_string(),
         ]);
     }
-    Report::new("figure2", "Third-party and critical DNS dependency by rank (paper Figure 2)")
-        .table(t)
-        .note("paper at 100K: third-party 49%→89%, critical 28%→85% from top-100 to top-100K")
-        .note("shape check: both series increase with k; redundancy decreases")
+    Report::new(
+        "figure2",
+        "Third-party and critical DNS dependency by rank (paper Figure 2)",
+    )
+    .table(t)
+    .note("paper at 100K: third-party 49%→89%, critical 28%→85% from top-100 to top-100K")
+    .note("shape check: both series increase with k; redundancy decreases")
 }
 
 /// Figure 3: website → CDN series per rank bucket.
@@ -40,7 +50,14 @@ pub fn figure3(ws: &Workspace) -> Report {
     let fig = cdn_figure(&ws.ds20);
     let mut t = TextTable::new(
         "Website → CDN, per cumulative bucket",
-        &["k", "adoption", "3rd-party (of users)", "critical (of users)", "multi (of users)", "users"],
+        &[
+            "k",
+            "adoption",
+            "3rd-party (of users)",
+            "critical (of users)",
+            "multi (of users)",
+            "users",
+        ],
     );
     for row in &fig {
         t.row(vec![
@@ -62,7 +79,14 @@ pub fn figure4(ws: &Workspace) -> Report {
     let fig = ca_figure(&ws.ds20);
     let mut t = TextTable::new(
         "Website → CA, per cumulative bucket",
-        &["k", "HTTPS", "third-party CA", "stapled (of HTTPS)", "critical", "n"],
+        &[
+            "k",
+            "HTTPS",
+            "third-party CA",
+            "stapled (of HTTPS)",
+            "critical",
+            "n",
+        ],
     );
     for row in &fig {
         t.row(vec![
@@ -94,7 +118,11 @@ fn top5_table(
     for score in ranking.iter().take(5) {
         t.row(vec![
             pretty(score.key.as_str()).to_string(),
-            format!("{} ({:.1}%)", score.concentration, 100.0 * score.concentration as f64 / n),
+            format!(
+                "{} ({:.1}%)",
+                score.concentration,
+                100.0 * score.concentration as f64 / n
+            ),
             format!("{} ({:.1}%)", score.impact, 100.0 * score.impact as f64 / n),
         ]);
     }
@@ -104,13 +132,34 @@ fn top5_table(
 /// Figure 5: top providers by direct concentration and impact.
 pub fn figure5(ws: &Workspace) -> Report {
     let opts = MetricOptions::direct_only();
-    Report::new("figure5", "Direct dependency graphs: top-5 providers (paper Figure 5a/b/c)")
-        .table(top5_table(&ws.ds20, &ws.graph20, ServiceKind::Dns, &opts, "5a — DNS providers"))
-        .table(top5_table(&ws.ds20, &ws.graph20, ServiceKind::Cdn, &opts, "5b — CDNs"))
-        .table(top5_table(&ws.ds20, &ws.graph20, ServiceKind::Ca, &opts, "5c — CAs"))
-        .note("paper 5a: Cloudflare C=24% I=23% of the top-100K; top-3 DNS impact ≈ 40%")
-        .note("paper 5b: CloudFront ≈ 30% of CDN users; top-3 ≈ 56% of users (18.6% of all sites)")
-        .note("paper 5c: DigiCert C=32% of sites; top-3 CA impact 46.25% of sites")
+    Report::new(
+        "figure5",
+        "Direct dependency graphs: top-5 providers (paper Figure 5a/b/c)",
+    )
+    .table(top5_table(
+        &ws.ds20,
+        &ws.graph20,
+        ServiceKind::Dns,
+        &opts,
+        "5a — DNS providers",
+    ))
+    .table(top5_table(
+        &ws.ds20,
+        &ws.graph20,
+        ServiceKind::Cdn,
+        &opts,
+        "5b — CDNs",
+    ))
+    .table(top5_table(
+        &ws.ds20,
+        &ws.graph20,
+        ServiceKind::Ca,
+        &opts,
+        "5c — CAs",
+    ))
+    .note("paper 5a: Cloudflare C=24% I=23% of the top-100K; top-3 DNS impact ≈ 40%")
+    .note("paper 5b: CloudFront ≈ 30% of CDN users; top-3 ≈ 56% of users (18.6% of all sites)")
+    .note("paper 5c: DigiCert C=32% of sites; top-3 CA impact 46.25% of sites")
 }
 
 fn figure6_service(
@@ -122,7 +171,13 @@ fn figure6_service(
 ) -> TextTable {
     let mut t = TextTable::new(
         format!("6{label} — providers needed for coverage ({kind})"),
-        &["snapshot", "providers for 50%", "providers for 80%", "observed providers", "paper 80%"],
+        &[
+            "snapshot",
+            "providers for 50%",
+            "providers for 80%",
+            "observed providers",
+            "paper 80%",
+        ],
     );
     for (snap, ds, paper) in [("2016", &ws.ds16, paper16), ("2020", &ws.ds20, paper20)] {
         let curve = coverage_curve(ds, kind);
@@ -139,12 +194,15 @@ fn figure6_service(
 
 /// Figure 6: provider coverage CDFs, 2016 vs 2020.
 pub fn figure6(ws: &Workspace) -> Report {
-    Report::new("figure6", "Concentration CDFs 2016 vs 2020 (paper Figure 6a/b/c)")
-        .table(figure6_service(ws, ServiceKind::Dns, "a", "2705", "54"))
-        .table(figure6_service(ws, ServiceKind::Cdn, "b", "3", "5"))
-        .table(figure6_service(ws, ServiceKind::Ca, "c", "5", "3"))
-        .note("shape: DNS and CA concentration increased 2016→2020; CDN slightly decreased")
-        .note("absolute provider counts scale with the world (tail pools shrink on small worlds)")
+    Report::new(
+        "figure6",
+        "Concentration CDFs 2016 vs 2020 (paper Figure 6a/b/c)",
+    )
+    .table(figure6_service(ws, ServiceKind::Dns, "a", "2705", "54"))
+    .table(figure6_service(ws, ServiceKind::Cdn, "b", "3", "5"))
+    .table(figure6_service(ws, ServiceKind::Ca, "c", "5", "3"))
+    .note("shape: DNS and CA concentration increased 2016→2020; CDN slightly decreased")
+    .note("absolute provider counts scale with the world (tail pools shrink on small worlds)")
 }
 
 fn indirect_figure(
@@ -162,10 +220,19 @@ fn indirect_figure(
     let ranking = metrics.ranking(target, &with);
     let mut t = TextTable::new(
         "Top-5 by impact with the inter-service hop (direct-only in brackets)",
-        &["provider", "C w/ indirect", "C direct", "I w/ indirect", "I direct"],
+        &[
+            "provider",
+            "C w/ indirect",
+            "C direct",
+            "I w/ indirect",
+            "I direct",
+        ],
     );
     for score in ranking.iter().take(5) {
-        let node = ws.graph20.provider(score.key.as_str(), target).expect("ranked provider");
+        let node = ws
+            .graph20
+            .provider(score.key.as_str(), target)
+            .expect("ranked provider");
         let c_direct = metrics.concentration(node, &direct);
         let i_direct = metrics.impact(node, &direct);
         t.row(vec![
@@ -180,12 +247,18 @@ fn indirect_figure(
     let mut top3: std::collections::HashSet<webdeps_model::SiteId> = Default::default();
     let mut top3_direct: std::collections::HashSet<webdeps_model::SiteId> = Default::default();
     for score in ranking.iter().take(3) {
-        let node = ws.graph20.provider(score.key.as_str(), target).expect("ranked");
+        let node = ws
+            .graph20
+            .provider(score.key.as_str(), target)
+            .expect("ranked");
         top3.extend(metrics.dependent_sites(node, true, &with));
     }
     let direct_ranking = metrics.ranking(target, &direct);
     for score in direct_ranking.iter().take(3) {
-        let node = ws.graph20.provider(score.key.as_str(), target).expect("ranked");
+        let node = ws
+            .graph20
+            .provider(score.key.as_str(), target)
+            .expect("ranked");
         top3_direct.extend(metrics.dependent_sites(node, true, &direct));
     }
     let mut report = Report::new(id, title).table(t).note(format!(
@@ -259,17 +332,31 @@ pub fn amplification(ws: &Workspace) -> Report {
         ("cloudflare.com", ServiceKind::Dns, "24% → 44%"),
         ("dnsmadeeasy.com", ServiceKind::Dns, "1% → 25%"),
         ("incapdns.net", ServiceKind::Cdn, "1-2% → 25%"),
-        ("cloudflare.net", ServiceKind::Cdn, "7% → 30% (concentration)"),
+        (
+            "cloudflare.net",
+            ServiceKind::Cdn,
+            "7% → 30% (concentration)",
+        ),
     ] {
-        let Some(node) = ws.graph20.provider(key, kind) else { continue };
+        let Some(node) = ws.graph20.provider(key, kind) else {
+            continue;
+        };
         let i_direct = metrics.impact(node, &direct);
         let i_full = metrics.impact(node, &full);
-        let amp = if i_direct == 0 { f64::INFINITY } else { i_full as f64 / i_direct as f64 };
+        let amp = if i_direct == 0 {
+            f64::INFINITY
+        } else {
+            i_full as f64 / i_direct as f64
+        };
         t.row(vec![
             pretty(key).to_string(),
             pct(100.0 * i_direct as f64 / n),
             pct(100.0 * i_full as f64 / n),
-            if amp.is_finite() { format!("{amp:.1}x") } else { "∞".into() },
+            if amp.is_finite() {
+                format!("{amp:.1}x")
+            } else {
+                "∞".into()
+            },
             paper.into(),
         ]);
     }
@@ -301,9 +388,17 @@ mod tests {
 
     #[test]
     fn all_figures_render() {
-        for id in
-            ["figure2", "figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "amplification"]
-        {
+        for id in [
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "amplification",
+        ] {
             let report = crate::experiments::run_experiment(ws(), id).expect(id);
             let text = report.render();
             assert!(text.lines().count() > 5, "{id} too short:\n{text}");
@@ -318,8 +413,10 @@ mod tests {
             .provider("dnsmadeeasy.com", ServiceKind::Dns)
             .expect("DNSMadeEasy observed");
         let direct = metrics.impact(node, &MetricOptions::direct_only());
-        let with_ca =
-            metrics.impact(node, &MetricOptions::only(ServiceKind::Ca, ServiceKind::Dns));
+        let with_ca = metrics.impact(
+            node,
+            &MetricOptions::only(ServiceKind::Ca, ServiceKind::Dns),
+        );
         assert!(
             with_ca > 5 * direct.max(1),
             "DigiCert must amplify DNSMadeEasy: {direct} → {with_ca}"
@@ -329,11 +426,15 @@ mod tests {
     #[test]
     fn figure8_amplifies_incapsula() {
         let metrics = Metrics::new(&ws().graph20);
-        let node =
-            ws().graph20.provider("incapdns.net", ServiceKind::Cdn).expect("Incapsula observed");
+        let node = ws()
+            .graph20
+            .provider("incapdns.net", ServiceKind::Cdn)
+            .expect("Incapsula observed");
         let direct = metrics.impact(node, &MetricOptions::direct_only());
-        let with_ca =
-            metrics.impact(node, &MetricOptions::only(ServiceKind::Ca, ServiceKind::Cdn));
+        let with_ca = metrics.impact(
+            node,
+            &MetricOptions::only(ServiceKind::Ca, ServiceKind::Cdn),
+        );
         assert!(
             with_ca > 3 * direct.max(1),
             "DigiCert must amplify Incapsula: {direct} → {with_ca}"
@@ -351,7 +452,10 @@ mod tests {
         let ranking = metrics.ranking(ServiceKind::Dns, &direct);
         let mut gain = 0.0;
         for score in ranking.iter().take(5) {
-            let node = ws().graph20.provider(score.key.as_str(), ServiceKind::Dns).unwrap();
+            let node = ws()
+                .graph20
+                .provider(score.key.as_str(), ServiceKind::Dns)
+                .unwrap();
             gain += (metrics.impact(node, &with_cdn) - score.impact) as f64;
         }
         assert!(
@@ -368,6 +472,9 @@ mod tests {
         let sum = |m: &std::collections::HashMap<webdeps_model::SiteId, usize>| -> usize {
             m.values().sum()
         };
-        assert!(sum(&f) > sum(&d), "indirect chains add critical dependencies");
+        assert!(
+            sum(&f) > sum(&d),
+            "indirect chains add critical dependencies"
+        );
     }
 }

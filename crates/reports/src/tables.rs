@@ -36,7 +36,11 @@ fn trend_report(
     }
     let mut dcells = vec!["Critical dependency".to_string()];
     for b in 0..4 {
-        dcells.push(format!("{} ({})", delta(measured.critical_delta[b]), delta(paper_delta[b])));
+        dcells.push(format!(
+            "{} ({})",
+            delta(measured.critical_delta[b]),
+            delta(paper_delta[b])
+        ));
     }
     t.row(dcells);
     Report::new(id, title).table(t).note(format!(
@@ -61,20 +65,48 @@ pub fn table1(ws: &Workspace) -> Report {
         "2020 snapshot summary (percentages; paper values at 100K scale)",
         &["Population", "Measured", "% of sites", "Paper (of 100K)"],
     );
-    t.row(vec!["Characterized for DNS analysis".into(), count(dns_char), pct(100.0 * dns_char as f64 / n as f64), "81,899 (81.9%)".into()]);
-    t.row(vec!["Websites using CDNs".into(), count(cdn_users), pct(100.0 * cdn_users as f64 / n as f64), "33,137 (33.1%)".into()]);
-    t.row(vec!["Characterized for CDN analysis".into(), count(cdn_char), pct(100.0 * cdn_char as f64 / n as f64), "33,137 (33.1%)".into()]);
-    t.row(vec!["Websites supporting HTTPS".into(), count(https), pct(100.0 * https as f64 / n as f64), "78,387 (78.4%)".into()]);
-    t.row(vec!["Characterized for CA analysis".into(), count(ca_char), pct(100.0 * ca_char as f64 / n as f64), "78,387 (78.4%)".into()]);
-    Report::new("table1", "Summary of websites considered in 2020 (paper Table 1)")
-        .table(t)
-        .note(format!("world scale: {} sites (paper: 100,000)", n))
-        .note(format!(
-            "critically dependent on ≥1 third-party service: {} ({:.1}%) — the paper's 89% headline",
-            s.any_critical,
-            100.0 * s.any_critical as f64 / n as f64
-        ))
-        .note("small worlds are top-band heavy, so absolute percentages shift with scale")
+    t.row(vec![
+        "Characterized for DNS analysis".into(),
+        count(dns_char),
+        pct(100.0 * dns_char as f64 / n as f64),
+        "81,899 (81.9%)".into(),
+    ]);
+    t.row(vec![
+        "Websites using CDNs".into(),
+        count(cdn_users),
+        pct(100.0 * cdn_users as f64 / n as f64),
+        "33,137 (33.1%)".into(),
+    ]);
+    t.row(vec![
+        "Characterized for CDN analysis".into(),
+        count(cdn_char),
+        pct(100.0 * cdn_char as f64 / n as f64),
+        "33,137 (33.1%)".into(),
+    ]);
+    t.row(vec![
+        "Websites supporting HTTPS".into(),
+        count(https),
+        pct(100.0 * https as f64 / n as f64),
+        "78,387 (78.4%)".into(),
+    ]);
+    t.row(vec![
+        "Characterized for CA analysis".into(),
+        count(ca_char),
+        pct(100.0 * ca_char as f64 / n as f64),
+        "78,387 (78.4%)".into(),
+    ]);
+    Report::new(
+        "table1",
+        "Summary of websites considered in 2020 (paper Table 1)",
+    )
+    .table(t)
+    .note(format!("world scale: {} sites (paper: 100,000)", n))
+    .note(format!(
+        "critically dependent on ≥1 third-party service: {} ({:.1}%) — the paper's 89% headline",
+        s.any_critical,
+        100.0 * s.any_critical as f64 / n as f64
+    ))
+    .note("small worlds are top-band heavy, so absolute percentages shift with scale")
 }
 
 /// Table 2: 2016-vs-2020 comparison dataset summary.
@@ -90,8 +122,16 @@ pub fn table2(ws: &Workspace) -> Report {
         count(c.dns_characterized_both),
         "87,348".into(),
     ]);
-    t.row(vec!["Using CDN in 2016 or 2020".into(), count(c.cdn_either), "47,502".into()]);
-    t.row(vec!["Supporting HTTPS in 2016 or 2020".into(), count(c.https_either), "69,725".into()]);
+    t.row(vec![
+        "Using CDN in 2016 or 2020".into(),
+        count(c.cdn_either),
+        "47,502".into(),
+    ]);
+    t.row(vec![
+        "Supporting HTTPS in 2016 or 2020".into(),
+        count(c.https_either),
+        "69,725".into(),
+    ]);
     Report::new("table2", "Comparison-analysis dataset (paper Table 2)")
         .table(t)
         .note(format!(
@@ -150,7 +190,11 @@ pub fn table5(ws: &Workspace) -> Report {
     .note("paper percentages are relative to 2016-HTTPS sites; measured rows use joined CA-state sites")
 }
 
-fn interservice_row(ds: &MeasurementDataset, kind: ServiceKind, dep_is_cdn: bool) -> (usize, usize, usize) {
+fn interservice_row(
+    ds: &MeasurementDataset,
+    kind: ServiceKind,
+    dep_is_cdn: bool,
+) -> (usize, usize, usize) {
     let providers: Vec<_> = ds.providers.iter().filter(|p| p.kind == kind).collect();
     let total = providers.len();
     let dep = |p: &&webdeps_measure::interservice::ProviderMeasurement| {
@@ -160,8 +204,14 @@ fn interservice_row(ds: &MeasurementDataset, kind: ServiceKind, dep_is_cdn: bool
             p.dns_dep.clone()
         }
     };
-    let third = providers.iter().filter(|p| dep(p).is_some_and(|d| d.uses_third)).count();
-    let critical = providers.iter().filter(|p| dep(p).is_some_and(|d| d.critical)).count();
+    let third = providers
+        .iter()
+        .filter(|p| dep(p).is_some_and(|d| d.uses_third))
+        .count();
+    let critical = providers
+        .iter()
+        .filter(|p| dep(p).is_some_and(|d| d.critical))
+        .count();
     (total, third, critical)
 }
 
@@ -172,25 +222,48 @@ pub fn table6(ws: &Workspace) -> Report {
     let (_, ca_cdn_third, ca_cdn_crit) = interservice_row(&ws.ds20, ServiceKind::Ca, true);
     let mut t = TextTable::new(
         "Measured (paper) provider-level dependencies, 2020",
-        &["Dependency", "Total", "3rd-Party Dep.", "Critical Dependency"],
+        &[
+            "Dependency",
+            "Total",
+            "3rd-Party Dep.",
+            "Critical Dependency",
+        ],
     );
     t.row(vec![
         "CDN → DNS".into(),
         format!("{cdn_total} (86)"),
-        format!("{cdn_third} ({:.1}%) (31, 36%)", 100.0 * cdn_third as f64 / cdn_total.max(1) as f64),
-        format!("{cdn_crit} ({:.1}%) (15, 17.4%)", 100.0 * cdn_crit as f64 / cdn_total.max(1) as f64),
+        format!(
+            "{cdn_third} ({:.1}%) (31, 36%)",
+            100.0 * cdn_third as f64 / cdn_total.max(1) as f64
+        ),
+        format!(
+            "{cdn_crit} ({:.1}%) (15, 17.4%)",
+            100.0 * cdn_crit as f64 / cdn_total.max(1) as f64
+        ),
     ]);
     t.row(vec![
         "CA → DNS".into(),
         format!("{ca_total} (59)"),
-        format!("{ca_third} ({:.1}%) (27, 48.3%)", 100.0 * ca_third as f64 / ca_total.max(1) as f64),
-        format!("{ca_crit} ({:.1}%) (18, 30.5%)", 100.0 * ca_crit as f64 / ca_total.max(1) as f64),
+        format!(
+            "{ca_third} ({:.1}%) (27, 48.3%)",
+            100.0 * ca_third as f64 / ca_total.max(1) as f64
+        ),
+        format!(
+            "{ca_crit} ({:.1}%) (18, 30.5%)",
+            100.0 * ca_crit as f64 / ca_total.max(1) as f64
+        ),
     ]);
     t.row(vec![
         "CA → CDN".into(),
         format!("{ca_total} (59)"),
-        format!("{ca_cdn_third} ({:.1}%) (21, 35.5%)", 100.0 * ca_cdn_third as f64 / ca_total.max(1) as f64),
-        format!("{ca_cdn_crit} ({:.1}%) (21, 35.5%)", 100.0 * ca_cdn_crit as f64 / ca_total.max(1) as f64),
+        format!(
+            "{ca_cdn_third} ({:.1}%) (21, 35.5%)",
+            100.0 * ca_cdn_third as f64 / ca_total.max(1) as f64
+        ),
+        format!(
+            "{ca_cdn_crit} ({:.1}%) (21, 35.5%)",
+            100.0 * ca_cdn_crit as f64 / ca_total.max(1) as f64
+        ),
     ]);
     Report::new("table6", "Inter-service dependencies (paper Table 6)")
         .table(t)
@@ -207,7 +280,10 @@ fn provider_trend_report(
     paper_delta: i64,
 ) -> Report {
     let t = provider_trends(&ws.ds16, &ws.ds20, kind, dep);
-    let mut table = TextTable::new("Measured (paper) provider transitions", &["Transition", "Count"]);
+    let mut table = TextTable::new(
+        "Measured (paper) provider transitions",
+        &["Transition", "Count"],
+    );
     for (label, c) in &t.rows {
         let paper = paper_rows.iter().find(|(l, _)| label.starts_with(l));
         match paper {
@@ -292,7 +368,11 @@ pub fn table10(ws: &Workspace) -> Report {
         .iter()
         .filter(|s| s.dns.state == Some(DepState::SingleThird))
         .count();
-    let cdn_third = ds.sites.iter().filter(|s| s.cdn.third_parties().count() > 0).count();
+    let cdn_third = ds
+        .sites
+        .iter()
+        .filter(|s| s.cdn.third_parties().count() > 0)
+        .count();
     let cdn_crit = ds
         .sites
         .iter()
@@ -301,28 +381,59 @@ pub fn table10(ws: &Workspace) -> Report {
     let ca_third = ds
         .sites
         .iter()
-        .filter(|s| matches!(s.ca.state, Some(CaProfile::ThirdStapled) | Some(CaProfile::ThirdNoStaple)))
+        .filter(|s| {
+            matches!(
+                s.ca.state,
+                Some(CaProfile::ThirdStapled) | Some(CaProfile::ThirdNoStaple)
+            )
+        })
         .count();
-    let ca_crit = ds.sites.iter().filter(|s| s.ca.state == Some(CaProfile::ThirdNoStaple)).count();
-    let stapled = ds.sites.iter().filter(|s| s.ca.https && s.ca.stapled).count();
+    let ca_crit = ds
+        .sites
+        .iter()
+        .filter(|s| s.ca.state == Some(CaProfile::ThirdNoStaple))
+        .count();
+    let stapled = ds
+        .sites
+        .iter()
+        .filter(|s| s.ca.https && s.ca.stapled)
+        .count();
     let mut t = TextTable::new(
         "Top-200 US hospitals: measured (paper)",
         &["Service", "Third-Party Dependency", "Critical Dependency"],
     );
     t.row(vec![
         "DNS".into(),
-        format!("{dns_third} ({:.0}%) (102, 51%)", 100.0 * dns_third as f64 / n as f64),
-        format!("{dns_crit} ({:.0}%) (92, 46%)", 100.0 * dns_crit as f64 / n as f64),
+        format!(
+            "{dns_third} ({:.0}%) (102, 51%)",
+            100.0 * dns_third as f64 / n as f64
+        ),
+        format!(
+            "{dns_crit} ({:.0}%) (92, 46%)",
+            100.0 * dns_crit as f64 / n as f64
+        ),
     ]);
     t.row(vec![
         "CDN".into(),
-        format!("{cdn_third} ({:.0}%) (32, 16%)", 100.0 * cdn_third as f64 / n as f64),
-        format!("{cdn_crit} ({:.0}%) (32, 16%)", 100.0 * cdn_crit as f64 / n as f64),
+        format!(
+            "{cdn_third} ({:.0}%) (32, 16%)",
+            100.0 * cdn_third as f64 / n as f64
+        ),
+        format!(
+            "{cdn_crit} ({:.0}%) (32, 16%)",
+            100.0 * cdn_crit as f64 / n as f64
+        ),
     ]);
     t.row(vec![
         "CA".into(),
-        format!("{ca_third} ({:.0}%) (200, 100%)", 100.0 * ca_third as f64 / n as f64),
-        format!("{ca_crit} ({:.0}%) (156, 78%)", 100.0 * ca_crit as f64 / n as f64),
+        format!(
+            "{ca_third} ({:.0}%) (200, 100%)",
+            100.0 * ca_third as f64 / n as f64
+        ),
+        format!(
+            "{ca_crit} ({:.0}%) (156, 78%)",
+            100.0 * ca_crit as f64 / n as f64
+        ),
     ]);
     Report::new("table10", "Hospitals case study (paper Table 10, §6.1)")
         .table(t)
@@ -338,9 +449,14 @@ pub fn table11(_ws: &Workspace) -> Report {
     let n = roster.len();
     let dns_third = roster.iter().filter(|c| c.dns.uses_third_party()).count();
     let dns_red = roster.iter().filter(|c| c.dns.is_redundant()).count();
-    let dns_crit = roster.iter().filter(|c| c.dns.is_critical() && !c.local_failover).count();
-    let cloud_third =
-        roster.iter().filter(|c| matches!(c.cloud, CloudDep::SingleThird(_))).count();
+    let dns_crit = roster
+        .iter()
+        .filter(|c| c.dns.is_critical() && !c.local_failover)
+        .count();
+    let cloud_third = roster
+        .iter()
+        .filter(|c| matches!(c.cloud, CloudDep::SingleThird(_)))
+        .count();
     let cloud_crit = roster
         .iter()
         .filter(|c| matches!(c.cloud, CloudDep::SingleThird(_)) && !c.local_failover)
@@ -349,26 +465,48 @@ pub fn table11(_ws: &Workspace) -> Report {
         .iter()
         .filter(|c| matches!(c.cloud, CloudDep::SingleThird("AWS")))
         .count();
-    let aws_dns = roster.iter().filter(|c| c.dns_provider == Some("AWS Route 53")).count();
+    let aws_dns = roster
+        .iter()
+        .filter(|c| c.dns_provider == Some("AWS Route 53"))
+        .count();
     let mut t = TextTable::new(
         "23 smart-home companies: measured (paper)",
-        &["Service", "3rd-Party Dep.", "Redundancy", "Critical Dependency"],
+        &[
+            "Service",
+            "3rd-Party Dep.",
+            "Redundancy",
+            "Critical Dependency",
+        ],
     );
     t.row(vec![
         "DNS".into(),
-        format!("{dns_third} ({:.1}%) (21, 91.3%)", 100.0 * dns_third as f64 / n as f64),
+        format!(
+            "{dns_third} ({:.1}%) (21, 91.3%)",
+            100.0 * dns_third as f64 / n as f64
+        ),
         format!("{dns_red} (1, 4.4%)"),
-        format!("{dns_crit} ({:.1}%) (8, 34.7%)", 100.0 * dns_crit as f64 / n as f64),
+        format!(
+            "{dns_crit} ({:.1}%) (8, 34.7%)",
+            100.0 * dns_crit as f64 / n as f64
+        ),
     ]);
     t.row(vec![
         "Cloud".into(),
-        format!("{cloud_third} ({:.1}%) (15, 65.2%)", 100.0 * cloud_third as f64 / n as f64),
+        format!(
+            "{cloud_third} ({:.1}%) (15, 65.2%)",
+            100.0 * cloud_third as f64 / n as f64
+        ),
         "0 (0, 0%)".into(),
-        format!("{cloud_crit} ({:.1}%) (5, 21.7%)", 100.0 * cloud_crit as f64 / n as f64),
+        format!(
+            "{cloud_crit} ({:.1}%) (5, 21.7%)",
+            100.0 * cloud_crit as f64 / n as f64
+        ),
     ]);
     Report::new("table11", "Smart-home case study (paper Table 11, §6.2)")
         .table(t)
-        .note(format!("{aws_cloud}/{cloud_third} third-party-cloud companies use Amazon (paper: 11/15)"))
+        .note(format!(
+            "{aws_cloud}/{cloud_third} third-party-cloud companies use Amazon (paper: 11/15)"
+        ))
         .note(format!("{aws_dns} companies use Amazon DNS (paper: 13)"))
 }
 
@@ -391,11 +529,19 @@ pub fn validation(ws: &Workspace) -> Report {
     .collect();
     let mut t = TextTable::new(
         "Classification accuracy over decided pairs (coverage in brackets)",
-        &["Pairs", "Strategy", "Accuracy", "Coverage", "Paper accuracy"],
+        &[
+            "Pairs",
+            "Strategy",
+            "Accuracy",
+            "Coverage",
+            "Paper accuracy",
+        ],
     );
-    for (service, rows) in
-        [("DNS", &report.dns), ("CA", &report.ca), ("CDN", &report.cdn)]
-    {
+    for (service, rows) in [
+        ("DNS", &report.dns),
+        ("CA", &report.ca),
+        ("CDN", &report.cdn),
+    ] {
         for row in rows {
             t.row(vec![
                 service.into(),
@@ -408,7 +554,10 @@ pub fn validation(ws: &Workspace) -> Report {
     }
     Report::new("validation", "Heuristic validation (§3.1–§3.3)")
         .table(t)
-        .note(format!("sample size: {} sites (paper: 100)", report.sample_size))
+        .note(format!(
+            "sample size: {} sites (paper: 100)",
+            report.sample_size
+        ))
         .note(
             "paper scores are on classified pairs; `Unknown` pairs are excluded from analysis \
              (they show as reduced coverage here)",

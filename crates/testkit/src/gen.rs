@@ -1,0 +1,450 @@
+//! Generator combinators.
+//!
+//! A [`Gen<T>`] couples a seeded generation function with a shrinker.
+//! Generation draws from a [`DetRng`], so a property's whole input is a
+//! pure function of `(base seed, property name, case index)` — the
+//! runner exploits that for reproduction. Shrinkers return a list of
+//! *strictly simpler* candidate values; the runner greedily descends as
+//! long as candidates keep failing, so shrinking always terminates as
+//! long as each candidate is smaller by some well-founded measure
+//! (magnitude, length, label count).
+
+use std::rc::Rc;
+use webdeps_model::DetRng;
+
+/// A reusable generator of `T` values with optional shrinking.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut DetRng) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            generate: Rc::clone(&self.generate),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Builds a generator from a generation function and a shrinker.
+    pub fn new(
+        generate: impl Fn(&mut DetRng) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            generate: Rc::new(generate),
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Builds a non-shrinking generator from a generation function.
+    pub fn from_fn(generate: impl Fn(&mut DetRng) -> T + 'static) -> Self {
+        Gen::new(generate, |_| Vec::new())
+    }
+
+    /// Draws one value.
+    pub fn generate(&self, rng: &mut DetRng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes strictly simpler candidates for a failing value.
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Maps generated values through `f`. Shrinking does not survive an
+    /// arbitrary mapping (it is not invertible), so the result does not
+    /// shrink; prefer a purpose-built generator when shrinking matters.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let inner = self.generate;
+        Gen::from_fn(move |rng| f(inner(rng)))
+    }
+}
+
+/// Any `u64`, half the time drawn from small values (edge cases near
+/// zero are disproportionately interesting). Shrinks by halving.
+pub fn u64_any() -> Gen<u64> {
+    Gen::new(
+        |rng| {
+            if rng.chance(0.5) {
+                rng.next_u64()
+            } else {
+                rng.next_u64() % 1024
+            }
+        },
+        |&v| shrink_integer(v),
+    )
+}
+
+/// Uniform `u64` in `[0, bound)`. Shrinks by halving toward zero.
+pub fn u64_below(bound: u64) -> Gen<u64> {
+    assert!(bound > 0, "empty range");
+    Gen::new(
+        move |rng| {
+            if bound <= usize::MAX as u64 {
+                rng.below(bound as usize) as u64
+            } else {
+                rng.next_u64() % bound
+            }
+        },
+        |&v| shrink_integer(v),
+    )
+}
+
+/// Uniform `u64` in the half-open range `[lo, hi)`. Shrinks toward `lo`.
+pub fn u64_range(lo: u64, hi: u64) -> Gen<u64> {
+    assert!(lo < hi, "empty range");
+    let span = u64_below(hi - lo);
+    Gen::new(
+        move |rng| lo + span.generate(rng),
+        move |&v| shrink_integer(v - lo).into_iter().map(|d| lo + d).collect(),
+    )
+}
+
+/// Uniform `u32` in `[lo, hi)`. Shrinks toward `lo`.
+pub fn u32_range(lo: u32, hi: u32) -> Gen<u32> {
+    u64_range(u64::from(lo), u64::from(hi)).map(|v| v as u32)
+}
+
+/// Uniform `usize` in `[lo, hi)`. Shrinks toward `lo`.
+pub fn usize_range(lo: usize, hi: usize) -> Gen<usize> {
+    assert!(lo < hi, "empty range");
+    Gen::new(
+        move |rng| rng.range(lo, hi),
+        move |&v| {
+            shrink_integer((v - lo) as u64)
+                .into_iter()
+                .map(|d| lo + d as usize)
+                .collect()
+        },
+    )
+}
+
+/// Uniform `f64` in `[lo, hi)`. Shrinks toward `lo` by halving the
+/// offset, plus the exact endpoint.
+pub fn f64_range(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi, "empty range");
+    Gen::new(
+        move |rng| lo + rng.unit() * (hi - lo),
+        move |&v| {
+            let mut out = Vec::new();
+            if v > lo {
+                out.push(lo);
+                let halved = lo + (v - lo) / 2.0;
+                if halved > lo && halved < v {
+                    out.push(halved);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Halving ladder toward zero: `0, v/2, v-1`.
+fn shrink_integer(v: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v > 0 {
+        out.push(0);
+        if v > 2 {
+            out.push(v / 2);
+        }
+        out.push(v - 1);
+    }
+    out.dedup();
+    out
+}
+
+const LABEL_HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const LABEL_TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+const LABEL_MID: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+
+/// A syntactically valid DNS label matching `[a-z][a-z0-9-]{0,14}[a-z0-9]`
+/// (2–16 chars). Shrinks by deleting interior characters and by
+/// replacing characters with `'a'`.
+pub fn label() -> Gen<String> {
+    Gen::new(
+        |rng| {
+            let mid_len = rng.below(15);
+            let mut s = String::with_capacity(mid_len + 2);
+            s.push(LABEL_HEAD[rng.below(LABEL_HEAD.len())] as char);
+            for _ in 0..mid_len {
+                s.push(LABEL_MID[rng.below(LABEL_MID.len())] as char);
+            }
+            s.push(LABEL_TAIL[rng.below(LABEL_TAIL.len())] as char);
+            s
+        },
+        |v| shrink_label(v),
+    )
+}
+
+fn shrink_label(v: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = v.chars().collect();
+    if chars.len() > 2 {
+        // Drop one interior character (keeps head/tail constraints).
+        for i in 1..chars.len() - 1 {
+            let mut c = chars.clone();
+            c.remove(i);
+            out.push(c.into_iter().collect());
+        }
+    }
+    // Canonicalize one character to 'a'.
+    for i in 0..chars.len() {
+        if chars[i] != 'a' {
+            let mut c = chars.clone();
+            c[i] = 'a';
+            out.push(c.into_iter().collect());
+            break;
+        }
+    }
+    out
+}
+
+/// A domain name of `min_labels..=max_labels` labels joined by dots.
+/// Shrinks by dropping labels (down to `min_labels`) and by shrinking
+/// individual labels.
+pub fn domain(min_labels: usize, max_labels: usize) -> Gen<String> {
+    assert!(min_labels >= 1 && min_labels <= max_labels);
+    let lbl = label();
+    let lbl_for_shrink = label();
+    Gen::new(
+        move |rng| {
+            let n = rng.range(min_labels, max_labels + 1);
+            let parts: Vec<String> = (0..n).map(|_| lbl.generate(rng)).collect();
+            parts.join(".")
+        },
+        move |v| {
+            let parts: Vec<&str> = v.split('.').collect();
+            let mut out = Vec::new();
+            if parts.len() > min_labels {
+                for i in 0..parts.len() {
+                    let mut p = parts.clone();
+                    p.remove(i);
+                    out.push(p.join("."));
+                }
+            }
+            for (i, part) in parts.iter().enumerate() {
+                for simpler in lbl_for_shrink.shrink(&part.to_string()) {
+                    let mut p: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+                    p[i] = simpler;
+                    out.push(p.join("."));
+                }
+            }
+            out
+        },
+    )
+}
+
+/// A vector of `min_len..=max_len` elements. Shrinks by removing one
+/// element (while above `min_len`) and by shrinking one element.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len <= max_len);
+    let elem_for_shrink = elem.clone();
+    Gen::new(
+        move |rng| {
+            let n = if min_len == max_len {
+                min_len
+            } else {
+                rng.range(min_len, max_len + 1)
+            };
+            (0..n).map(|_| elem.generate(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut out = Vec::new();
+            if v.len() > min_len {
+                for i in 0..v.len() {
+                    let mut c = v.clone();
+                    c.remove(i);
+                    out.push(c);
+                }
+            }
+            for (i, item) in v.iter().enumerate() {
+                for simpler in elem_for_shrink.shrink(item) {
+                    let mut c = v.clone();
+                    c[i] = simpler;
+                    out.push(c);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Pairs two generators; shrinks component-wise.
+pub fn tuple2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (sa, sb) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (a.generate(rng), b.generate(rng)),
+        move |(va, vb)| {
+            let mut out: Vec<(A, B)> = sa.shrink(va).into_iter().map(|x| (x, vb.clone())).collect();
+            out.extend(sb.shrink(vb).into_iter().map(|y| (va.clone(), y)));
+            out
+        },
+    )
+}
+
+/// Triples three generators; shrinks component-wise.
+pub fn tuple3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    let ab = tuple2(a, b);
+    let flat = tuple2(ab, c);
+    Gen::new(
+        {
+            let flat = flat.clone();
+            move |rng| {
+                let ((va, vb), vc) = flat.generate(rng);
+                (va, vb, vc)
+            }
+        },
+        move |(va, vb, vc)| {
+            flat.shrink(&((va.clone(), vb.clone()), vc.clone()))
+                .into_iter()
+                .map(|((x, y), z)| (x, y, z))
+                .collect()
+        },
+    )
+}
+
+/// Quadruples four generators; shrinks component-wise.
+pub fn tuple4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    let abc = tuple3(a, b, c);
+    let flat = tuple2(abc, d);
+    Gen::new(
+        {
+            let flat = flat.clone();
+            move |rng| {
+                let ((va, vb, vc), vd) = flat.generate(rng);
+                (va, vb, vc, vd)
+            }
+        },
+        move |(va, vb, vc, vd)| {
+            flat.shrink(&((va.clone(), vb.clone(), vc.clone()), vd.clone()))
+                .into_iter()
+                .map(|((x, y, z), w)| (x, y, z, w))
+                .collect()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(0x7e57)
+    }
+
+    #[test]
+    fn labels_match_the_grammar() {
+        let g = label();
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let l = g.generate(&mut r);
+            assert!(l.len() >= 2 && l.len() <= 16, "bad length: {l:?}");
+            let bytes = l.as_bytes();
+            assert!(bytes[0].is_ascii_lowercase(), "bad head: {l:?}");
+            assert!(
+                bytes[l.len() - 1].is_ascii_lowercase() || bytes[l.len() - 1].is_ascii_digit(),
+                "bad tail: {l:?}"
+            );
+            assert!(
+                bytes
+                    .iter()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'-'),
+                "bad char: {l:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_shrinks_preserve_the_grammar() {
+        let g = label();
+        let mut r = rng();
+        for _ in 0..200 {
+            let l = g.generate(&mut r);
+            for s in g.shrink(&l) {
+                assert!(s.len() >= 2, "shrunk too far: {s:?}");
+                assert!(
+                    s.as_bytes()[0].is_ascii_lowercase(),
+                    "bad shrink head: {s:?}"
+                );
+                assert!(s.len() < l.len() || s != l, "shrink must change the value");
+            }
+        }
+    }
+
+    #[test]
+    fn domains_have_requested_label_counts() {
+        let g = domain(2, 4);
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = g.generate(&mut r);
+            let n = d.split('.').count();
+            assert!((2..=4).contains(&n), "bad label count in {d:?}");
+        }
+    }
+
+    #[test]
+    fn vec_shrink_removes_or_simplifies() {
+        let g = vec_of(u64_below(100), 1, 8);
+        let v = vec![50u64, 7, 99];
+        let shrunk = g.shrink(&v);
+        assert!(shrunk.iter().any(|s| s.len() == 2), "must propose removals");
+        assert!(
+            shrunk.iter().any(|s| s.len() == 3 && s != &v),
+            "must propose element shrinks"
+        );
+    }
+
+    #[test]
+    fn integer_shrink_descends_to_zero() {
+        // Greedy descent over the shrink ladder terminates at 0.
+        let g = u64_any();
+        let mut v = 123_456_789u64;
+        let mut steps = 0;
+        loop {
+            match g.shrink(&v).first().copied() {
+                Some(next) => {
+                    assert!(next < v);
+                    v = next;
+                }
+                None => break,
+            }
+            steps += 1;
+            assert!(steps < 100, "ladder must be short");
+        }
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn tuples_shrink_component_wise() {
+        let g = tuple2(u64_below(10), u64_below(10));
+        let shrunk = g.shrink(&(5, 7));
+        assert!(shrunk.iter().any(|&(a, b)| a < 5 && b == 7));
+        assert!(shrunk.iter().any(|&(a, b)| a == 5 && b < 7));
+    }
+
+    #[test]
+    fn generation_is_a_function_of_the_seed() {
+        let g = domain(2, 4);
+        let a: Vec<String> = {
+            let mut r = DetRng::new(99).fork("case");
+            (0..32).map(|_| g.generate(&mut r)).collect()
+        };
+        let b: Vec<String> = {
+            let mut r = DetRng::new(99).fork("case");
+            (0..32).map(|_| g.generate(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

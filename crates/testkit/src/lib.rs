@@ -1,0 +1,36 @@
+//! # webdeps-testkit
+//!
+//! A small, dependency-free property-testing kit. The workspace builds
+//! hermetically (no crates.io access), so instead of `proptest` the
+//! integration tests use this crate: seeded generator combinators
+//! driven by [`DetRng`], an N-iteration runner that reports a
+//! reproducing seed on failure, and greedy input shrinking.
+//!
+//! ## Writing a property
+//!
+//! ```
+//! use webdeps_testkit::{check, gen, tk_assert, tk_assert_eq};
+//!
+//! check("addition_commutes", &gen::tuple2(gen::u64_below(1 << 20), gen::u64_below(1 << 20)), |&(a, b)| {
+//!     tk_assert_eq!(a + b, b + a);
+//!     tk_assert!(a + b >= a, "no overflow at this size");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Properties return `Result<(), String>`; the `tk_assert*` macros
+//! early-return an `Err` describing the violated condition. On failure
+//! the runner shrinks the input greedily and panics with the base seed,
+//! the failing case index, and both the original and the shrunk input.
+//! Re-running with `TESTKIT_SEED=<seed>` reproduces the exact stream.
+//!
+//! [`DetRng`]: webdeps_model::DetRng
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod runner;
+
+pub use gen::Gen;
+pub use runner::{check, check_with, Config};

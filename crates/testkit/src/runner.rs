@@ -1,0 +1,250 @@
+//! Property runners: N seeded cases, greedy shrinking, and a panic
+//! message that names the reproducing seed.
+
+use crate::gen::Gen;
+use std::fmt::Debug;
+use webdeps_model::DetRng;
+
+/// Default base seed when `TESTKIT_SEED` is unset. The per-case stream
+/// is `DetRng::new(seed).fork_indexed(property_name, case_index)`, so
+/// the same seed reproduces every property's exact inputs.
+pub const DEFAULT_SEED: u64 = 0x7765_6264_6570_73; // "webdeps"
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Upper bound on greedy shrink steps after a failure.
+    pub max_shrink_steps: u32,
+    /// Base seed for the whole run.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_u64("TESTKIT_CASES").map(|v| v as u32).unwrap_or(96),
+            max_shrink_steps: 500,
+            seed: env_u64("TESTKIT_SEED").unwrap_or(DEFAULT_SEED),
+        }
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("{key} must be an integer, got {raw:?}")))
+}
+
+/// Runs `property` against [`Config::default`]-many generated cases.
+/// Panics with a reproducing seed, the original failing input, and the
+/// shrunk failing input if any case fails.
+pub fn check<T: Clone + Debug + 'static>(
+    name: &str,
+    gen: &Gen<T>,
+    property: impl Fn(&T) -> Result<(), String>,
+) {
+    check_with(&Config::default(), name, gen, property)
+}
+
+/// [`check`] with an explicit configuration (e.g. fewer cases for
+/// expensive properties).
+pub fn check_with<T: Clone + Debug + 'static>(
+    cfg: &Config,
+    name: &str,
+    gen: &Gen<T>,
+    property: impl Fn(&T) -> Result<(), String>,
+) {
+    for case in 0..cfg.cases {
+        let mut rng = DetRng::new(cfg.seed).fork_indexed(name, case as usize);
+        let input = gen.generate(&mut rng);
+        if let Err(error) = property(&input) {
+            let (shrunk, shrunk_error, steps) = shrink_failure(
+                gen,
+                &property,
+                input.clone(),
+                error.clone(),
+                cfg.max_shrink_steps,
+            );
+            panic!(
+                "property '{name}' failed on case {case}/{total}\n\
+                 \x20 reproduce with: TESTKIT_SEED={seed:#x} (base seed {seed})\n\
+                 \x20 original input: {input:?}\n\
+                 \x20 original error: {error}\n\
+                 \x20 shrunk input ({steps} steps): {shrunk:?}\n\
+                 \x20 shrunk error:   {shrunk_error}",
+                total = cfg.cases,
+                seed = cfg.seed,
+            );
+        }
+    }
+}
+
+/// Greedy descent: repeatedly replace the failing input with the first
+/// shrink candidate that still fails, until no candidate fails or the
+/// step budget runs out.
+fn shrink_failure<T: Clone + Debug + 'static>(
+    gen: &Gen<T>,
+    property: &impl Fn(&T) -> Result<(), String>,
+    mut value: T,
+    mut error: String,
+    max_steps: u32,
+) -> (T, String, u32) {
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in gen.shrink(&value) {
+            if let Err(e) = property(&candidate) {
+                value = candidate;
+                error = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, error, steps)
+}
+
+/// Asserts a condition inside a property, early-returning an `Err` with
+/// the stringified condition (or a formatted message) on failure.
+#[macro_export]
+macro_rules! tk_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property (see [`tk_assert!`]).
+#[macro_export]
+macro_rules! tk_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property (see [`tk_assert!`]).
+#[macro_export]
+macro_rules! tk_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err(format!(
+                "assertion failed: {} != {}\n    both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let cfg = Config {
+            cases: 17,
+            ..Config::default()
+        };
+        let counter = std::cell::Cell::new(0u32);
+        check_with(&cfg, "counts_cases", &gen::u64_any(), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        seen += counter.get();
+        assert_eq!(seen, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let cfg = Config {
+            cases: 64,
+            ..Config::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_with(&cfg, "fails_above_ten", &gen::u64_below(1_000_000), |&v| {
+                tk_assert!(v <= 10, "{v} exceeds 10");
+                Ok(())
+            });
+        }));
+        let panic = result.expect_err("property must fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("string panic payload");
+        assert!(msg.contains("fails_above_ten"), "names the property: {msg}");
+        assert!(msg.contains("TESTKIT_SEED="), "names the seed: {msg}");
+        // Greedy halving from any failing value lands on the boundary.
+        assert!(msg.contains("shrunk input"), "reports shrunk input: {msg}");
+        assert!(
+            msg.contains("11 exceeds 10"),
+            "shrinks to the minimal failure: {msg}"
+        );
+    }
+
+    #[test]
+    fn same_seed_generates_identical_cases() {
+        let collect = |seed: u64| {
+            let cfg = Config {
+                cases: 8,
+                seed,
+                ..Config::default()
+            };
+            let out = std::cell::RefCell::new(Vec::new());
+            check_with(
+                &cfg,
+                "collect",
+                &gen::tuple2(gen::u64_any(), gen::u64_any()),
+                |v| {
+                    out.borrow_mut().push(v.clone());
+                    Ok(())
+                },
+            );
+            out.into_inner()
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+
+    #[test]
+    fn shrink_terminates_even_with_cyclic_shrinkers() {
+        // A pathological shrinker that proposes the same failing value
+        // forever must be stopped by the step budget.
+        let g = Gen::new(|_| 1u64, |_| vec![1u64]);
+        let cfg = Config {
+            cases: 1,
+            max_shrink_steps: 10,
+            ..Config::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_with(&cfg, "cyclic", &g, |_| Err("always".into()));
+        }));
+        let panic = result.expect_err("must still fail");
+        let msg = panic.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("10 steps"), "budget bounds the descent: {msg}");
+    }
+}

@@ -48,7 +48,12 @@ impl CertificateAuthority {
             issuer: self.id,
             not_before: issued_at,
             not_after: issued_at.plus(self.cert_lifetime),
-            ocsp_urls: self.ocsp_hosts.iter().cloned().map(Endpoint::at_root).collect(),
+            ocsp_urls: self
+                .ocsp_hosts
+                .iter()
+                .cloned()
+                .map(Endpoint::at_root)
+                .collect(),
             crl_dps: self
                 .crl_hosts
                 .iter()
@@ -86,7 +91,11 @@ mod tests {
             false,
         );
         assert_eq!(cert.issuer, CaId(3));
-        assert_eq!(cert.san[0], dn("example.com"), "subject is prepended to SAN");
+        assert_eq!(
+            cert.san[0],
+            dn("example.com"),
+            "subject is prepended to SAN"
+        );
         assert!(cert.covers(&dn("shop.example.com")));
         assert_eq!(cert.ocsp_urls[0].host, dn("ocsp.testca.com"));
         assert_eq!(cert.crl_dps[0].path, "/testca.crl");
@@ -102,7 +111,10 @@ mod tests {
             SimTime(0),
             true,
         );
-        assert_eq!(cert.san.iter().filter(|d| **d == dn("example.com")).count(), 1);
+        assert_eq!(
+            cert.san.iter().filter(|d| **d == dn("example.com")).count(),
+            1
+        );
         assert!(cert.must_staple);
     }
 }

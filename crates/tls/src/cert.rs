@@ -18,12 +18,18 @@ pub struct Endpoint {
 impl Endpoint {
     /// Builds an endpoint with a root path.
     pub fn at_root(host: DomainName) -> Self {
-        Endpoint { host, path: "/".to_string() }
+        Endpoint {
+            host,
+            path: "/".to_string(),
+        }
     }
 
     /// Builds an endpoint with an explicit path.
     pub fn new(host: DomainName, path: impl Into<String>) -> Self {
-        Endpoint { host, path: path.into() }
+        Endpoint {
+            host,
+            path: path.into(),
+        }
     }
 }
 
@@ -104,7 +110,10 @@ mod tests {
         let c = cert();
         assert!(c.covers(&dn("example.com")));
         assert!(c.covers(&dn("www.example.com")));
-        assert!(!c.covers(&dn("a.b.example.com")), "wildcard is single-label");
+        assert!(
+            !c.covers(&dn("a.b.example.com")),
+            "wildcard is single-label"
+        );
         assert!(!c.covers(&dn("other.com")));
     }
 

@@ -75,7 +75,11 @@ mod tests {
         let c = crl(&[3, 17]);
         assert_eq!(c.status_of(3), CertStatus::Revoked);
         assert_eq!(c.status_of(17), CertStatus::Revoked);
-        assert_eq!(c.status_of(4), CertStatus::Good, "absence means not revoked");
+        assert_eq!(
+            c.status_of(4),
+            CertStatus::Good,
+            "absence means not revoked"
+        );
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
         assert!(crl(&[]).is_empty());

@@ -5,8 +5,8 @@
 //! and answers OCSP queries — including injected responder faults.
 
 use crate::ca::CertificateAuthority;
-use crate::crl::Crl;
 use crate::cert::Certificate;
+use crate::crl::Crl;
 use crate::ocsp::{CertStatus, OcspFault, OcspResponse};
 use std::collections::HashMap;
 use webdeps_dns::SimTime;
@@ -34,7 +34,9 @@ pub struct Pki {
 impl Pki {
     /// Starts a builder.
     pub fn builder() -> PkiBuilder {
-        PkiBuilder { pki: Pki::default() }
+        PkiBuilder {
+            pki: Pki::default(),
+        }
     }
 
     /// Looks up a CA.
@@ -68,7 +70,8 @@ impl Pki {
     ) -> Certificate {
         let serial = self.next_serial;
         self.next_serial += 1;
-        let cert = self.cas[ca.index()].make_certificate(serial, subject, san, issued_at, must_staple);
+        let cert =
+            self.cas[ca.index()].make_certificate(serial, subject, san, issued_at, must_staple);
         self.status.insert((ca, serial), CertStatus::Good);
         cert
     }
@@ -82,7 +85,10 @@ impl Pki {
 
     /// Ground-truth status of a certificate.
     pub fn status_of(&self, ca: CaId, serial: u64) -> CertStatus {
-        self.status.get(&(ca, serial)).copied().unwrap_or(CertStatus::Unknown)
+        self.status
+            .get(&(ca, serial))
+            .copied()
+            .unwrap_or(CertStatus::Unknown)
     }
 
     /// Injects a responder fault for a CA (see [`OcspFault`]).
@@ -228,14 +234,20 @@ mod tests {
         let (mut pki, ca) = pki();
         let cert = pki.issue(ca, dn("example.com"), vec![], SimTime(0), false);
         pki.revoke(ca, cert.serial);
-        assert_eq!(pki.ocsp_answer(ca, cert.serial, SimTime(1)).unwrap().status, CertStatus::Revoked);
+        assert_eq!(
+            pki.ocsp_answer(ca, cert.serial, SimTime(1)).unwrap().status,
+            CertStatus::Revoked
+        );
     }
 
     #[test]
     fn unknown_serial_is_unknown() {
         let (pki, ca) = pki();
         assert_eq!(pki.status_of(ca, 999), CertStatus::Unknown);
-        assert_eq!(pki.ocsp_answer(ca, 999, SimTime(0)).unwrap().status, CertStatus::Unknown);
+        assert_eq!(
+            pki.ocsp_answer(ca, 999, SimTime(0)).unwrap().status,
+            CertStatus::Unknown
+        );
     }
 
     #[test]
@@ -244,9 +256,16 @@ mod tests {
         let cert = pki.issue(ca, dn("example.com"), vec![], SimTime(0), false);
         pki.inject_fault(ca, OcspFault::MarksEverythingRevoked);
         let resp = pki.ocsp_answer(ca, cert.serial, SimTime(5)).unwrap();
-        assert_eq!(resp.status, CertStatus::Revoked, "fault must override ground truth");
+        assert_eq!(
+            resp.status,
+            CertStatus::Revoked,
+            "fault must override ground truth"
+        );
         pki.clear_fault(ca);
-        assert_eq!(pki.ocsp_answer(ca, cert.serial, SimTime(6)).unwrap().status, CertStatus::Good);
+        assert_eq!(
+            pki.ocsp_answer(ca, cert.serial, SimTime(6)).unwrap().status,
+            CertStatus::Good
+        );
     }
 
     #[test]

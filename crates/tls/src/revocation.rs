@@ -105,7 +105,9 @@ impl fmt::Display for RevocationError {
         match self {
             RevocationError::Revoked(src) => write!(f, "certificate revoked (via {src:?})"),
             RevocationError::StatusUnavailable => write!(f, "revocation status unavailable"),
-            RevocationError::MustStapleViolated => write!(f, "must-staple certificate without staple"),
+            RevocationError::MustStapleViolated => {
+                write!(f, "must-staple certificate without staple")
+            }
         }
     }
 }
@@ -123,7 +125,11 @@ pub struct RevocationChecker {
 impl RevocationChecker {
     /// A checker with the given policy and an empty cache.
     pub fn new(policy: RevocationPolicy) -> Self {
-        RevocationChecker { policy, cache: HashMap::new(), crl_cache: HashMap::new() }
+        RevocationChecker {
+            policy,
+            cache: HashMap::new(),
+            crl_cache: HashMap::new(),
+        }
     }
 
     /// Number of cached OCSP responses.
@@ -197,7 +203,8 @@ impl RevocationChecker {
         // 4. Try each OCSP endpoint.
         for endpoint in &cert.ocsp_urls {
             if let Ok(response) = transport.fetch_ocsp(endpoint, cert.issuer, cert.serial) {
-                self.cache.insert((cert.issuer, cert.serial), response.clone());
+                self.cache
+                    .insert((cert.issuer, cert.serial), response.clone());
                 return self.settle(response.status, StatusSource::Responder);
             }
         }
@@ -229,21 +236,30 @@ impl RevocationChecker {
 mod tests {
     use super::*;
     use crate::crl::Crl;
-    use crate::pki::{Pki, OCSP_VALIDITY_SECS};
     use crate::ocsp::OcspFault;
+    use crate::pki::{Pki, OCSP_VALIDITY_SECS};
     use webdeps_model::name::dn;
     use webdeps_model::EntityId;
 
     fn pki_with_cert(must_staple: bool) -> (Pki, Certificate) {
         let mut b = Pki::builder();
-        let ca = b.add_ca("CA", EntityId(0), vec![dn("ocsp.ca.com")], vec![dn("crl.ca.com")], 1 << 30);
+        let ca = b.add_ca(
+            "CA",
+            EntityId(0),
+            vec![dn("ocsp.ca.com")],
+            vec![dn("crl.ca.com")],
+            1 << 30,
+        );
         let mut pki = b.build();
         let cert = pki.issue(ca, dn("example.com"), vec![], SimTime(0), must_staple);
         (pki, cert)
     }
 
     /// Transport that serves straight from the PKI oracle at a fixed time.
-    fn oracle(pki: &Pki, now: SimTime) -> impl FnMut(&Endpoint, CaId, u64) -> Result<OcspResponse, ()> + '_ {
+    fn oracle(
+        pki: &Pki,
+        now: SimTime,
+    ) -> impl FnMut(&Endpoint, CaId, u64) -> Result<OcspResponse, ()> + '_ {
         move |_, ca, serial| pki.ocsp_answer(ca, serial, now).ok_or(())
     }
 
@@ -265,17 +281,23 @@ mod tests {
     #[test]
     fn stapled_response_bypasses_network() {
         let (pki, cert) = pki_with_cert(false);
-        let staple = pki.ocsp_answer(cert.issuer, cert.serial, SimTime(0)).unwrap();
+        let staple = pki
+            .ocsp_answer(cert.issuer, cert.serial, SimTime(0))
+            .unwrap();
         let mut checker = RevocationChecker::new(RevocationPolicy::SoftFail);
         let mut dead = |_: &Endpoint, _: CaId, _: u64| Err(());
-        let out = checker.check(&cert, Some(&staple), &mut dead, SimTime(5)).unwrap();
+        let out = checker
+            .check(&cert, Some(&staple), &mut dead, SimTime(5))
+            .unwrap();
         assert_eq!(out, RevocationOutcome::Good(StatusSource::Stapled));
     }
 
     #[test]
     fn stale_staple_falls_through_to_network() {
         let (pki, cert) = pki_with_cert(false);
-        let staple = pki.ocsp_answer(cert.issuer, cert.serial, SimTime(0)).unwrap();
+        let staple = pki
+            .ocsp_answer(cert.issuer, cert.serial, SimTime(0))
+            .unwrap();
         let later = SimTime(OCSP_VALIDITY_SECS + 1);
         let mut checker = RevocationChecker::new(RevocationPolicy::SoftFail);
         let out = checker
@@ -375,13 +397,20 @@ mod tests {
         let other = pki.issue(cert.issuer, dn("other.com"), vec![], SimTime(0), false);
         pki.revoke(cert.issuer, other.serial);
         let mut checker = RevocationChecker::new(RevocationPolicy::HardFail);
-        let mut transport = CrlOnly { pki: &pki, now: SimTime(0) };
+        let mut transport = CrlOnly {
+            pki: &pki,
+            now: SimTime(0),
+        };
         // Good cert passes via the CRL…
-        let out = checker.check(&cert, None, &mut transport, SimTime(0)).unwrap();
+        let out = checker
+            .check(&cert, None, &mut transport, SimTime(0))
+            .unwrap();
         assert_eq!(out, RevocationOutcome::Good(StatusSource::Crl));
         assert_eq!(checker.crl_cache_len(), 1);
         // …and the revoked one is caught by the same (now cached) list.
-        let err = checker.check(&other, None, &mut transport, SimTime(5)).unwrap_err();
+        let err = checker
+            .check(&other, None, &mut transport, SimTime(5))
+            .unwrap_err();
         assert_eq!(err, RevocationError::Revoked(StatusSource::Crl));
     }
 
@@ -389,11 +418,18 @@ mod tests {
     fn cached_crl_answers_without_transport() {
         let (pki, cert) = pki_with_cert(false);
         let mut checker = RevocationChecker::new(RevocationPolicy::HardFail);
-        let mut transport = CrlOnly { pki: &pki, now: SimTime(0) };
-        checker.check(&cert, None, &mut transport, SimTime(0)).unwrap();
+        let mut transport = CrlOnly {
+            pki: &pki,
+            now: SimTime(0),
+        };
+        checker
+            .check(&cert, None, &mut transport, SimTime(0))
+            .unwrap();
         // All transports dead: the cached CRL still answers…
         let mut dead = |_: &Endpoint, _: CaId, _: u64| Err(());
-        let out = checker.check(&cert, None, &mut dead, SimTime(86_400)).unwrap();
+        let out = checker
+            .check(&cert, None, &mut dead, SimTime(86_400))
+            .unwrap();
         assert_eq!(out, RevocationOutcome::Good(StatusSource::Crl));
         // …until its validity window lapses.
         let later = SimTime(OCSP_VALIDITY_SECS + 1);

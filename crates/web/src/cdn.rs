@@ -26,7 +26,9 @@ pub struct Cdn {
 impl Cdn {
     /// Whether `host` is a customer on-ramp or edge host of this CDN.
     pub fn matches_host(&self, host: &DomainName) -> bool {
-        self.cname_suffixes.iter().any(|s| host.is_equal_or_subdomain_of(s))
+        self.cname_suffixes
+            .iter()
+            .any(|s| host.is_equal_or_subdomain_of(s))
     }
 }
 
@@ -55,7 +57,13 @@ impl CdnDirectory {
         let id = CdnId::from_index(self.cdns.len());
         let prev = self.by_name.insert(name.clone(), id);
         assert!(prev.is_none(), "CDN {name} registered twice");
-        self.cdns.push(Cdn { id, name, entity, cname_suffixes, advertises_as_cdn });
+        self.cdns.push(Cdn {
+            id,
+            name,
+            entity,
+            cname_suffixes,
+            advertises_as_cdn,
+        });
         id
     }
 

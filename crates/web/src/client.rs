@@ -13,7 +13,7 @@ use crate::server::{WebNetwork, WebServerId};
 use crate::url::Url;
 use std::fmt;
 use std::net::Ipv4Addr;
-use webdeps_dns::{FaultPlan, Resolver, ResolveError};
+use webdeps_dns::{FaultPlan, ResolveError, Resolver};
 use webdeps_model::{DomainName, EntityId};
 use webdeps_tls::revocation::{OcspTransport, StatusSource};
 use webdeps_tls::{
@@ -65,7 +65,9 @@ impl fmt::Display for FetchError {
             FetchError::Dns(e) => write!(f, "DNS failure: {e}"),
             FetchError::NoAddress(h) => write!(f, "no address for {h}"),
             FetchError::NoServer(ip) => write!(f, "no webserver at {ip}"),
-            FetchError::ServerDown { operator } => write!(f, "webserver down (operator {operator})"),
+            FetchError::ServerDown { operator } => {
+                write!(f, "webserver down (operator {operator})")
+            }
             FetchError::NoVirtualHost(h) => write!(f, "host {h} not served here"),
             FetchError::TlsNotConfigured(h) => write!(f, "no TLS configuration for {h}"),
             FetchError::CertificateInvalid(h) => write!(f, "certificate invalid for {h}"),
@@ -128,8 +130,15 @@ impl NetTransport<'_, '_> {
     /// Shared serving-path check: the endpoint's host must resolve, its
     /// webserver's operator must be up, and so must the CA itself (a
     /// CDN-fronted responder only relays what the CA's backend signs).
-    fn reach_responder(&mut self, endpoint: &Endpoint, issuer: webdeps_model::CaId) -> Result<(), ()> {
-        let addrs = self.resolver.resolve_addresses(&endpoint.host).map_err(|_| ())?;
+    fn reach_responder(
+        &mut self,
+        endpoint: &Endpoint,
+        issuer: webdeps_model::CaId,
+    ) -> Result<(), ()> {
+        let addrs = self
+            .resolver
+            .resolve_addresses(&endpoint.host)
+            .map_err(|_| ())?;
         let &ip = addrs.first().ok_or(())?;
         let server = self.web.server_at(ip).ok_or(())?;
         if !self.resolver.faults().entity_up(server.operator) {
@@ -150,7 +159,9 @@ impl OcspTransport for NetTransport<'_, '_> {
         serial: u64,
     ) -> Result<OcspResponse, ()> {
         self.reach_responder(endpoint, issuer)?;
-        self.pki.ocsp_answer(issuer, serial, self.resolver.now()).ok_or(())
+        self.pki
+            .ocsp_answer(issuer, serial, self.resolver.now())
+            .ok_or(())
     }
 
     fn fetch_crl(
@@ -174,7 +185,12 @@ pub struct WebClient<'n> {
 impl<'n> WebClient<'n> {
     /// A client with the browser-default soft-fail revocation policy.
     pub fn new(resolver: Resolver<'n>, web: &'n WebNetwork, pki: &'n Pki) -> Self {
-        WebClient { resolver, web, pki, checker: RevocationChecker::new(RevocationPolicy::SoftFail) }
+        WebClient {
+            resolver,
+            web,
+            pki,
+            checker: RevocationChecker::new(RevocationPolicy::SoftFail),
+        }
     }
 
     /// Replaces the revocation policy (outage studies use hard-fail to
@@ -221,8 +237,10 @@ impl<'n> WebClient<'n> {
     /// Executes the full request life cycle for `url`.
     pub fn fetch(&mut self, url: &Url) -> Result<FetchOutcome, FetchError> {
         // 1. DNS.
-        let resolution =
-            self.resolver.resolve(&url.host, webdeps_dns::RecordType::A).map_err(FetchError::Dns)?;
+        let resolution = self
+            .resolver
+            .resolve(&url.host, webdeps_dns::RecordType::A)
+            .map_err(FetchError::Dns)?;
         let cname_chain = resolution.cname_targets();
         let &ip = resolution
             .addresses()
@@ -232,10 +250,14 @@ impl<'n> WebClient<'n> {
         // 2. Routing + server availability.
         let server = self.web.server_at(ip).ok_or(FetchError::NoServer(ip))?;
         if !self.resolver.faults().entity_up(server.operator) {
-            return Err(FetchError::ServerDown { operator: server.operator });
+            return Err(FetchError::ServerDown {
+                operator: server.operator,
+            });
         }
-        let vhost =
-            self.web.vhost(&url.host).ok_or_else(|| FetchError::NoVirtualHost(url.host.clone()))?;
+        let vhost = self
+            .web
+            .vhost(&url.host)
+            .ok_or_else(|| FetchError::NoVirtualHost(url.host.clone()))?;
 
         // 3. TLS handshake + revocation (HTTPS only).
         let tls = if url.is_https() {
@@ -269,13 +291,20 @@ impl<'n> WebClient<'n> {
             } else {
                 None
             };
-            let mut transport =
-                NetTransport { resolver: &mut self.resolver, web: self.web, pki: self.pki };
+            let mut transport = NetTransport {
+                resolver: &mut self.resolver,
+                web: self.web,
+                pki: self.pki,
+            };
             let revocation = self
                 .checker
                 .check(cert, stapled.as_ref(), &mut transport, now)
                 .map_err(FetchError::Revocation)?;
-            Some(TlsSession { certificate: cert.clone(), stapled, revocation })
+            Some(TlsSession {
+                certificate: cert.clone(),
+                stapled,
+                revocation,
+            })
         } else {
             None
         };
@@ -329,7 +358,13 @@ mod tests {
     fn world(staple: bool, must_staple: bool) -> World {
         let _ = SiteId(0);
         let mut pki_b = Pki::builder();
-        let ca = pki_b.add_ca("CA Corp", CA_ENTITY, vec![dn("ocsp.ca-corp.com")], vec![], 1 << 40);
+        let ca = pki_b.add_ca(
+            "CA Corp",
+            CA_ENTITY,
+            vec![dn("ocsp.ca-corp.com")],
+            vec![],
+            1 << 40,
+        );
         let mut pki = pki_b.build();
         let cert = pki.issue(
             ca,
@@ -340,22 +375,34 @@ mod tests {
         );
 
         let mut dns_b = DnsNetwork::builder();
-        let ns_site =
-            dns_b.add_server(dn("ns1.example.com"), Ipv4Addr::new(192, 0, 2, 53), SITE_ENTITY);
-        let ns_ca =
-            dns_b.add_server(dn("ns1.ca-corp.com"), Ipv4Addr::new(198, 51, 100, 53), CA_ENTITY);
+        let ns_site = dns_b.add_server(
+            dn("ns1.example.com"),
+            Ipv4Addr::new(192, 0, 2, 53),
+            SITE_ENTITY,
+        );
+        let ns_ca = dns_b.add_server(
+            dn("ns1.ca-corp.com"),
+            Ipv4Addr::new(198, 51, 100, 53),
+            CA_ENTITY,
+        );
         let mut site_zone = Zone::new(
             dn("example.com"),
             Soa::standard(dn("ns1.example.com"), dn("hostmaster.example.com"), 1),
         );
         site_zone.add(dn("example.com"), RecordData::Ns(dn("ns1.example.com")));
-        site_zone.add(dn("example.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 80)));
+        site_zone.add(
+            dn("example.com"),
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        );
         dns_b.add_zone(site_zone, vec![ns_site]);
         let mut ca_zone = Zone::new(
             dn("ca-corp.com"),
             Soa::standard(dn("ns1.ca-corp.com"), dn("hostmaster.ca-corp.com"), 1),
         );
-        ca_zone.add(dn("ocsp.ca-corp.com"), RecordData::A(Ipv4Addr::new(198, 51, 100, 80)));
+        ca_zone.add(
+            dn("ocsp.ca-corp.com"),
+            RecordData::A(Ipv4Addr::new(198, 51, 100, 80)),
+        );
         dns_b.add_zone(ca_zone, vec![ns_ca]);
         let dns = dns_b.build();
 
@@ -365,7 +412,10 @@ mod tests {
         web_b.set_vhost(
             dn("example.com"),
             VirtualHost {
-                tls: Some(TlsConfig { certificate: cert, staple }),
+                tls: Some(TlsConfig {
+                    certificate: cert,
+                    staple,
+                }),
                 page: Some(Page::new()),
                 redirect: None,
             },
@@ -383,7 +433,10 @@ mod tests {
         let out = client.fetch(&Url::https(dn("example.com"))).unwrap();
         assert_eq!(out.ip, Ipv4Addr::new(192, 0, 2, 80));
         let tls = out.tls.as_ref().unwrap();
-        assert_eq!(tls.revocation, RevocationOutcome::Good(StatusSource::Responder));
+        assert_eq!(
+            tls.revocation,
+            RevocationOutcome::Good(StatusSource::Responder)
+        );
         assert!(!out.was_stapled());
         assert!(out.page.is_some());
     }
@@ -423,7 +476,10 @@ mod tests {
         let mut client = WebClient::new(Resolver::new(&w.dns), &w.web, &w.pki);
         client.set_faults(FaultPlan::healthy().fail_entity(CA_ENTITY));
         let out = client.fetch(&Url::https(dn("example.com"))).unwrap();
-        assert_eq!(out.tls.unwrap().revocation, RevocationOutcome::AcceptedUnchecked);
+        assert_eq!(
+            out.tls.unwrap().revocation,
+            RevocationOutcome::AcceptedUnchecked
+        );
     }
 
     #[test]
@@ -434,7 +490,10 @@ mod tests {
         pki.inject_fault(ca, OcspFault::MarksEverythingRevoked);
         let mut client = WebClient::new(Resolver::new(&w.dns), &w.web, &pki);
         let err = client.fetch(&Url::https(dn("example.com"))).unwrap_err();
-        assert!(matches!(err, FetchError::Revocation(RevocationError::Revoked(_))));
+        assert!(matches!(
+            err,
+            FetchError::Revocation(RevocationError::Revoked(_))
+        ));
     }
 
     #[test]
@@ -477,15 +536,33 @@ mod tests {
         let w = world(false, false);
         // Build a short-lived-certificate world and advance past expiry.
         let mut pki_b = Pki::builder();
-        let ca = pki_b.add_ca("ShortCA", CA_ENTITY, vec![dn("ocsp.ca-corp.com")], vec![], 10);
+        let ca = pki_b.add_ca(
+            "ShortCA",
+            CA_ENTITY,
+            vec![dn("ocsp.ca-corp.com")],
+            vec![],
+            10,
+        );
         let mut pki = pki_b.build();
-        let cert =
-            pki.issue(ca, dn("example.com"), vec![], webdeps_dns::SimTime(0), false);
+        let cert = pki.issue(
+            ca,
+            dn("example.com"),
+            vec![],
+            webdeps_dns::SimTime(0),
+            false,
+        );
         let mut web_b = WebNetwork::builder();
         web_b.add_server(Ipv4Addr::new(192, 0, 2, 80), SITE_ENTITY);
         web_b.set_vhost(
             dn("example.com"),
-            VirtualHost { tls: Some(TlsConfig { certificate: cert, staple: false }), page: None, redirect: None },
+            VirtualHost {
+                tls: Some(TlsConfig {
+                    certificate: cert,
+                    staple: false,
+                }),
+                page: None,
+                redirect: None,
+            },
         );
         let web = web_b.build();
         let mut short = WebClient::new(Resolver::new(&w.dns), &web, &pki);

@@ -44,7 +44,8 @@ impl CnameToCdnMap {
     /// Adds a manual entry (the paper's map was hand-extended).
     pub fn add(&mut self, suffix: DomainName, cdn: CdnId) {
         self.entries.push((suffix, cdn));
-        self.entries.sort_by_key(|(s, _)| std::cmp::Reverse(s.label_count()));
+        self.entries
+            .sort_by_key(|(s, _)| std::cmp::Reverse(s.label_count()));
     }
 
     /// Classifies a single host.
@@ -101,7 +102,12 @@ mod tests {
         let mut dir = CdnDirectory::new();
         dir.register("Akamai", EntityId(0), vec![dn("akamaiedge.net")], true);
         dir.register("CloudFront", EntityId(1), vec![dn("cloudfront.net")], true);
-        dir.register("NotACdnHosting", EntityId(2), vec![dn("webhotel.net")], false);
+        dir.register(
+            "NotACdnHosting",
+            EntityId(2),
+            vec![dn("webhotel.net")],
+            false,
+        );
         dir
     }
 
@@ -119,13 +125,20 @@ mod tests {
         let chain = [dn("cust.origin-pull.net"), dn("d111.cloudfront.net")];
         let id = map.classify_chain(chain.iter()).unwrap();
         assert_eq!(dir.get(id).name, "CloudFront");
-        assert!(map.classify_chain([dn("plain.example.com")].iter()).is_none());
+        assert!(map
+            .classify_chain([dn("plain.example.com")].iter())
+            .is_none());
     }
 
     #[test]
     fn longest_suffix_wins() {
         let mut dir = directory();
-        let special = dir.register("AkamaiSpecial", EntityId(3), vec![dn("s.akamaiedge.net")], true);
+        let special = dir.register(
+            "AkamaiSpecial",
+            EntityId(3),
+            vec![dn("s.akamaiedge.net")],
+            true,
+        );
         let map = CnameToCdnMap::from_directory(&dir);
         assert_eq!(map.classify_host(&dn("e1.s.akamaiedge.net")), Some(special));
         let generic = map.classify_host(&dn("e1.g.akamaiedge.net")).unwrap();
@@ -138,6 +151,9 @@ mod tests {
         let mut map = CnameToCdnMap::from_directory(&dir);
         let ak = dir.by_name("Akamai").unwrap().id;
         map.add(dn("akahost.example-alias.net"), ak);
-        assert_eq!(map.classify_host(&dn("x.akahost.example-alias.net")), Some(ak));
+        assert_eq!(
+            map.classify_host(&dn("x.akahost.example-alias.net")),
+            Some(ak)
+        );
     }
 }

@@ -79,7 +79,10 @@ impl CrawlReport {
         if self.document_host.as_ref() == Some(host) {
             return Some(&self.document_chain);
         }
-        self.resources.iter().find(|r| &r.host == host).map(|r| r.cname_chain.as_slice())
+        self.resources
+            .iter()
+            .find(|r| &r.host == host)
+            .map(|r| r.cname_chain.as_slice())
     }
 }
 
@@ -115,7 +118,11 @@ impl Crawler {
         'hosts: for host in document_hosts {
             let mut current = host.clone();
             for _hop in 0..3 {
-                let url = Url { scheme, host: current.clone(), path: "/".into() };
+                let url = Url {
+                    scheme,
+                    host: current.clone(),
+                    path: "/".into(),
+                };
                 match client.fetch(&url) {
                     Ok(outcome) => {
                         if let Some(target) = &outcome.redirect {
@@ -189,14 +196,20 @@ mod tests {
         );
         site.add(dn("shop.com"), RecordData::Ns(dn("ns1.shop.com")));
         site.add(dn("shop.com"), RecordData::A(Ipv4Addr::new(192, 0, 2, 80)));
-        site.add(dn("img.shop.com"), RecordData::Cname(dn("cust-7.edgeco.net")));
+        site.add(
+            dn("img.shop.com"),
+            RecordData::Cname(dn("cust-7.edgeco.net")),
+        );
         dns_b.add_zone(site, vec![ns_site]);
 
         let mut edge = Zone::new(
             dn("edgeco.net"),
             Soa::standard(dn("ns1.edgeco.net"), dn("ops.edgeco.net"), 1),
         );
-        edge.add(dn("cust-7.edgeco.net"), RecordData::A(Ipv4Addr::new(203, 0, 113, 80)));
+        edge.add(
+            dn("cust-7.edgeco.net"),
+            RecordData::A(Ipv4Addr::new(203, 0, 113, 80)),
+        );
         dns_b.add_zone(edge, vec![ns_cdn]);
         let dns = dns_b.build();
 
@@ -212,7 +225,14 @@ mod tests {
             Url::http(dn("shop.com")).with_path("app.js"),
             ResourceKind::Script,
         ));
-        web_b.set_vhost(dn("shop.com"), VirtualHost { tls: None, page: Some(page), redirect: None });
+        web_b.set_vhost(
+            dn("shop.com"),
+            VirtualHost {
+                tls: None,
+                page: Some(page),
+                redirect: None,
+            },
+        );
         web_b.set_vhost(dn("img.shop.com"), VirtualHost::default());
         let web = web_b.build();
 
@@ -243,9 +263,17 @@ mod tests {
         client.set_faults(FaultPlan::healthy().fail_entity(CDN));
         let report = Crawler::crawl(&mut client, &dn("shop.com"), &[dn("shop.com")], false);
         assert!(report.reachable());
-        let img = report.resources.iter().find(|r| r.host == dn("img.shop.com")).unwrap();
+        let img = report
+            .resources
+            .iter()
+            .find(|r| r.host == dn("img.shop.com"))
+            .unwrap();
         assert!(!img.ok, "CDN-served object must fail");
-        let js = report.resources.iter().find(|r| r.host == dn("shop.com")).unwrap();
+        let js = report
+            .resources
+            .iter()
+            .find(|r| r.host == dn("shop.com"))
+            .unwrap();
         assert!(js.ok, "origin-served object must survive");
     }
 
@@ -260,15 +288,33 @@ mod tests {
         let page = web.vhost(&dn("shop.com")).unwrap().page.clone();
         b.set_vhost(
             dn("shop.com"),
-            VirtualHost { tls: None, page: None, redirect: Some(dn("img.shop.com")) },
+            VirtualHost {
+                tls: None,
+                page: None,
+                redirect: Some(dn("img.shop.com")),
+            },
         );
-        b.set_vhost(dn("img.shop.com"), VirtualHost { tls: None, page, redirect: None });
+        b.set_vhost(
+            dn("img.shop.com"),
+            VirtualHost {
+                tls: None,
+                page,
+                redirect: None,
+            },
+        );
         let web2 = b.build();
         let mut client = WebClient::new(Resolver::new(&dns), &web2, &pki);
         let report = Crawler::crawl(&mut client, &dn("shop.com"), &[dn("shop.com")], false);
         assert!(report.reachable());
-        assert_eq!(report.document_host, Some(dn("img.shop.com")), "redirect followed");
-        assert!(!report.resources.is_empty(), "page fetched at the redirect target");
+        assert_eq!(
+            report.document_host,
+            Some(dn("img.shop.com")),
+            "redirect followed"
+        );
+        assert!(
+            !report.resources.is_empty(),
+            "page fetched at the redirect target"
+        );
     }
 
     #[test]
@@ -279,7 +325,11 @@ mod tests {
         b.add_server(Ipv4Addr::new(203, 0, 113, 80), CDN);
         b.set_vhost(
             dn("shop.com"),
-            VirtualHost { tls: None, page: None, redirect: Some(dn("shop.com")) },
+            VirtualHost {
+                tls: None,
+                page: None,
+                redirect: Some(dn("shop.com")),
+            },
         );
         let web2 = b.build();
         let mut client = WebClient::new(Resolver::new(&dns), &web2, &pki);

@@ -74,9 +74,21 @@ mod tests {
     #[test]
     fn hostnames_dedup() {
         let mut p = Page::new();
-        p.push(Resource::new(Url::https(dn("static.example.com")).with_path("a.js"), ResourceKind::Script));
-        p.push(Resource::new(Url::https(dn("static.example.com")).with_path("b.css"), ResourceKind::Stylesheet));
-        p.push(Resource::new(Url::https(dn("img.example.net")).with_path("c.png"), ResourceKind::Image));
-        assert_eq!(p.hostnames(), vec![dn("img.example.net"), dn("static.example.com")]);
+        p.push(Resource::new(
+            Url::https(dn("static.example.com")).with_path("a.js"),
+            ResourceKind::Script,
+        ));
+        p.push(Resource::new(
+            Url::https(dn("static.example.com")).with_path("b.css"),
+            ResourceKind::Stylesheet,
+        ));
+        p.push(Resource::new(
+            Url::https(dn("img.example.net")).with_path("c.png"),
+            ResourceKind::Image,
+        ));
+        assert_eq!(
+            p.hostnames(),
+            vec![dn("img.example.net"), dn("static.example.com")]
+        );
     }
 }

@@ -70,7 +70,9 @@ pub struct WebNetwork {
 impl WebNetwork {
     /// Starts a builder.
     pub fn builder() -> WebNetworkBuilder {
-        WebNetworkBuilder { network: WebNetwork::default() }
+        WebNetworkBuilder {
+            network: WebNetwork::default(),
+        }
     }
 
     /// Server by id.
@@ -154,7 +156,10 @@ mod tests {
         assert_ne!(a, other);
         let net = b.build();
         assert_eq!(net.server_count(), 2);
-        assert_eq!(net.server_at(Ipv4Addr::new(192, 0, 2, 1)).unwrap().operator, EntityId(0));
+        assert_eq!(
+            net.server_at(Ipv4Addr::new(192, 0, 2, 1)).unwrap().operator,
+            EntityId(0)
+        );
         assert!(net.server_at(Ipv4Addr::new(203, 0, 113, 1)).is_none());
     }
 

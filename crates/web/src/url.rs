@@ -38,18 +38,30 @@ pub struct Url {
 impl Url {
     /// An HTTP URL at the root path.
     pub fn http(host: DomainName) -> Self {
-        Url { scheme: Scheme::Http, host, path: "/".into() }
+        Url {
+            scheme: Scheme::Http,
+            host,
+            path: "/".into(),
+        }
     }
 
     /// An HTTPS URL at the root path.
     pub fn https(host: DomainName) -> Self {
-        Url { scheme: Scheme::Https, host, path: "/".into() }
+        Url {
+            scheme: Scheme::Https,
+            host,
+            path: "/".into(),
+        }
     }
 
     /// Replaces the path.
     pub fn with_path(mut self, path: impl Into<String>) -> Self {
         let p = path.into();
-        self.path = if p.starts_with('/') { p } else { format!("/{p}") };
+        self.path = if p.starts_with('/') {
+            p
+        } else {
+            format!("/{p}")
+        };
         self
     }
 
@@ -69,7 +81,11 @@ impl Url {
             Some((h, p)) => (h, format!("/{p}")),
             None => (rest, "/".to_string()),
         };
-        Ok(Url { scheme, host: DomainName::parse(host)?, path })
+        Ok(Url {
+            scheme,
+            host: DomainName::parse(host)?,
+            path,
+        })
     }
 
     /// Whether this URL requires the TLS path.

@@ -10,9 +10,7 @@
 
 use crate::config::WorldConfig;
 use crate::profiles::{CaProfile, CdnProfile, DepState};
-use crate::providers::{
-    self, CaProviderSpec, ConglomerateSpec, DnsProvider, ProviderDep,
-};
+use crate::providers::{self, CaProviderSpec, ConglomerateSpec, DnsProvider, ProviderDep};
 use crate::snapshots::{plan_snapshot, SnapshotPlan};
 use crate::truth::{GroundTruth, SiteListing, SiteTruth};
 use std::collections::HashMap;
@@ -145,8 +143,8 @@ impl Builder {
             cdn_dir: CdnDirectory::new(),
             pki_b: Some(Pki::builder()),
             rng: DetRng::new(seed ^ 0xB11D),
-            next_web_ip: 0x0A00_0001,  // 10.0.0.1
-            next_dns_ip: 0x0C00_0001,  // 12.0.0.1
+            next_web_ip: 0x0A00_0001, // 10.0.0.1
+            next_dns_ip: 0x0C00_0001, // 12.0.0.1
             dns_servers: HashMap::new(),
             dns_catalog: HashMap::new(),
             cdn_info: HashMap::new(),
@@ -235,7 +233,11 @@ impl Builder {
                 )
             }
             ProviderDep::SingleThird(p) => {
-                let prov = self.dns_catalog.get(*p).unwrap_or_else(|| panic!("unknown DNS provider {p}")).clone();
+                let prov = self
+                    .dns_catalog
+                    .get(*p)
+                    .unwrap_or_else(|| panic!("unknown DNS provider {p}"))
+                    .clone();
                 let servers = self.dns_servers[*p].clone();
                 (
                     vec![
@@ -247,7 +249,11 @@ impl Builder {
                 )
             }
             ProviderDep::Redundant(p) => {
-                let prov = self.dns_catalog.get(*p).unwrap_or_else(|| panic!("unknown DNS provider {p}")).clone();
+                let prov = self
+                    .dns_catalog
+                    .get(*p)
+                    .unwrap_or_else(|| panic!("unknown DNS provider {p}"))
+                    .clone();
                 let mut servers = self.make_ns_servers(own_domain, own_entity);
                 servers.extend(self.dns_servers[*p].iter().copied());
                 (
@@ -277,13 +283,18 @@ impl Builder {
                     domains.push(r);
                 }
             }
-            let entity = self.entities.register(p.name.clone(), EntityKind::DnsProvider, domains);
+            let entity = self
+                .entities
+                .register(p.name.clone(), EntityKind::DnsProvider, domains);
             self.provider_entities.insert(p.name.clone(), entity);
 
             let mut servers = self.make_ns_servers(&p.ns_domain.clone(), entity);
             let mut a_records: Vec<(DomainName, Ipv4Addr)> = Vec::new();
             for (i, &sid) in servers.iter().enumerate() {
-                let host = p.ns_domain.child(if i == 0 { "ns1" } else { "ns2" }).expect("valid");
+                let host = p
+                    .ns_domain
+                    .child(if i == 0 { "ns1" } else { "ns2" })
+                    .expect("valid");
                 // Use the actual registered server IP for glue realism.
                 let _ = sid;
                 a_records.push((host, Ipv4Addr::from(self.next_dns_ip - 2 + i as u32)));
@@ -314,7 +325,10 @@ impl Builder {
                     p.ns_domain.child("hostmaster").expect("valid"),
                     serial,
                 );
-                let a = vec![(extra.child("ns1").expect("valid"), Ipv4Addr::from(self.next_dns_ip - 1))];
+                let a = vec![(
+                    extra.child("ns1").expect("valid"),
+                    Ipv4Addr::from(self.next_dns_ip - 1),
+                )];
                 self.deploy_infra_zone(
                     extra.clone(),
                     soa,
@@ -350,10 +364,16 @@ impl Builder {
             let reg = PublicSuffixList::builtin()
                 .registrable_domain(&cname_domain)
                 .unwrap_or_else(|| cname_domain.clone());
-            self.entities.register(name.to_string(), EntityKind::CdnProvider, vec![reg])
+            self.entities
+                .register(name.to_string(), EntityKind::CdnProvider, vec![reg])
         });
         self.provider_entities.insert(name.to_string(), entity);
-        self.cdn_dir.register(name.to_string(), entity, vec![cname_domain.clone()], advertises);
+        self.cdn_dir.register(
+            name.to_string(),
+            entity,
+            vec![cname_domain.clone()],
+            advertises,
+        );
 
         let edge_ip = self.web_ip();
         self.web_b.add_server(edge_ip, entity);
@@ -376,12 +396,17 @@ impl Builder {
             }
         }
         self.deploy_infra_zone(cname_domain.clone(), soa, ns_hosts, servers, a_records);
-        self.cdn_info.insert(name.to_string(), (cname_domain, edge_ip));
+        self.cdn_info
+            .insert(name.to_string(), (cname_domain, edge_ip));
     }
 
     /// Registers a CDN customer host (`cust-…`) pointing at the edge.
     fn add_cdn_customer(&mut self, cdn_name: &str, label: &str) -> DomainName {
-        let (domain, edge_ip) = self.cdn_info.get(cdn_name).unwrap_or_else(|| panic!("unknown CDN {cdn_name}")).clone();
+        let (domain, edge_ip) = self
+            .cdn_info
+            .get(cdn_name)
+            .unwrap_or_else(|| panic!("unknown CDN {cdn_name}"))
+            .clone();
         let host = domain.child(label).expect("valid label");
         let zone = self.dns_b.zone_mut(&domain).expect("CDN zone deployed");
         zone.add(host.clone(), RecordData::A(edge_ip));
@@ -426,8 +451,10 @@ impl Builder {
         // Responder origin.
         let responder_ip = self.web_ip();
         self.web_b.add_server(responder_ip, entity);
-        self.web_b.set_vhost(ocsp_host.clone(), VirtualHost::default());
-        self.web_b.set_vhost(crl_host.clone(), VirtualHost::default());
+        self.web_b
+            .set_vhost(ocsp_host.clone(), VirtualHost::default());
+        self.web_b
+            .set_vhost(crl_host.clone(), VirtualHost::default());
 
         // The CA's zone, wired per its DNS dependency. CAs administer
         // their own zone *content* (SOA MNAME/RNAME stay in-house) even
@@ -495,7 +522,13 @@ impl Builder {
         for h in &ns_hosts {
             a_records.push((h.clone(), self.dns_ip()));
         }
-        self.deploy_infra_zone(primary.clone(), soa, ns_hosts.clone(), servers.clone(), a_records);
+        self.deploy_infra_zone(
+            primary.clone(),
+            soa,
+            ns_hosts.clone(),
+            servers.clone(),
+            a_records,
+        );
         for alias in spec.alias_domains {
             let alias = dn(alias);
             if spec.private_cdn && Some(alias.as_str()) == spec.alias_domains.first().copied() {
@@ -513,7 +546,10 @@ impl Builder {
         // Private CDN (Yahoo/yimg style): first alias domain, wired per
         // the conglomerate's CDN-DNS dependency (the twitter case).
         if spec.private_cdn {
-            let cdn_domain = dn(spec.alias_domains.first().expect("private CDN needs an alias"));
+            let cdn_domain = dn(spec
+                .alias_domains
+                .first()
+                .expect("private CDN needs an alias"));
             let cdn_name = format!("{} CDN", spec.name);
             self.build_one_cdn(&cdn_name, cdn_domain, Some(entity), &spec.cdn_dns_dep, true);
         }
@@ -564,11 +600,15 @@ impl Builder {
             let origin_ip = self.web_ip();
             self.web_b.add_server(origin_ip, entity);
             let static_host = domain.child("static").expect("valid");
-            self.web_b.set_vhost(static_host.clone(), VirtualHost::default());
+            self.web_b
+                .set_vhost(static_host.clone(), VirtualHost::default());
             self.deploy_infra_zone(domain.clone(), soa, ns_hosts, servers, a_records);
             let cname = match cdn {
                 Some(cdn_name) if self.cdn_info.contains_key(*cdn_name) => {
-                    Some(self.add_cdn_customer(cdn_name, &format!("cust-{}", domain.labels().next().expect("label"))))
+                    Some(self.add_cdn_customer(
+                        cdn_name,
+                        &format!("cust-{}", domain.labels().next().expect("label")),
+                    ))
                 }
                 _ => None,
             };
@@ -746,14 +786,21 @@ impl Builder {
                 // assets ride CDN A, image assets CDN B (multi-CDN sites
                 // split object classes), and the document itself fails
                 // over www → www2.
-                let cust_a = self.add_cdn_customer(&site.cdn.cdns[0].clone(), &format!("cust-{sid}-www"));
-                let cust_b = self.add_cdn_customer(&site.cdn.cdns[1].clone(), &format!("cust-{sid}-www2"));
-                let cust_static = self.add_cdn_customer(&site.cdn.cdns[0].clone(), &format!("cust-{sid}-st"));
-                let cust_img = self.add_cdn_customer(&site.cdn.cdns[1].clone(), &format!("cust-{sid}-img"));
+                let cust_a =
+                    self.add_cdn_customer(&site.cdn.cdns[0].clone(), &format!("cust-{sid}-www"));
+                let cust_b =
+                    self.add_cdn_customer(&site.cdn.cdns[1].clone(), &format!("cust-{sid}-www2"));
+                let cust_static =
+                    self.add_cdn_customer(&site.cdn.cdns[0].clone(), &format!("cust-{sid}-st"));
+                let cust_img =
+                    self.add_cdn_customer(&site.cdn.cdns[1].clone(), &format!("cust-{sid}-img"));
                 zone.add(www.clone(), RecordData::Cname(cust_a));
                 zone.add(www2.clone(), RecordData::Cname(cust_b));
                 zone.add(static_host.clone(), RecordData::Cname(cust_static));
-                zone.add(domain.child("img").expect("valid"), RecordData::Cname(cust_img));
+                zone.add(
+                    domain.child("img").expect("valid"),
+                    RecordData::Cname(cust_img),
+                );
             }
         }
         self.dns_b.add_zone(zone, servers);
@@ -786,27 +833,46 @@ impl Builder {
                 must_staple,
             );
             let staple = site.ca.state == CaProfile::ThirdStapled || must_staple;
-            Some(TlsConfig { certificate: cert, staple })
+            Some(TlsConfig {
+                certificate: cert,
+                staple,
+            })
         } else {
             None
         };
 
         // --- Page + vhosts ------------------------------------------
-        let scheme = if site.https() { Scheme::Https } else { Scheme::Http };
+        let scheme = if site.https() {
+            Scheme::Https
+        } else {
+            Scheme::Http
+        };
         let doc_hosts = site.document_hosts();
         let mut page = Page::new();
         page.push(Resource::new(
-            Url { scheme, host: doc_hosts[0].clone(), path: "/app.js".into() },
+            Url {
+                scheme,
+                host: doc_hosts[0].clone(),
+                path: "/app.js".into(),
+            },
             ResourceKind::Script,
         ));
         page.push(Resource::new(
-            Url { scheme, host: static_host.clone(), path: "/style.css".into() },
+            Url {
+                scheme,
+                host: static_host.clone(),
+                path: "/style.css".into(),
+            },
             ResourceKind::Stylesheet,
         ));
         if site.cdn.state == CdnProfile::Multi {
             // The second CDN's objects (see the on-ramp wiring above).
             page.push(Resource::new(
-                Url { scheme, host: domain.child("img").expect("valid"), path: "/hero.png".into() },
+                Url {
+                    scheme,
+                    host: domain.child("img").expect("valid"),
+                    path: "/hero.png".into(),
+                },
                 ResourceKind::Image,
             ));
         }
@@ -816,7 +882,11 @@ impl Builder {
                 // Internal resource on a sibling brand domain (the
                 // yimg/yahoo heuristic case).
                 page.push(Resource::new(
-                    Url { scheme, host: dn(alias).child("img").expect("valid"), path: "/logo.png".into() },
+                    Url {
+                        scheme,
+                        host: dn(alias).child("img").expect("valid"),
+                        path: "/logo.png".into(),
+                    },
                     ResourceKind::Image,
                 ));
             }
@@ -829,7 +899,11 @@ impl Builder {
             // hosts need no certificates; the paper's pipeline only
             // needs their hostnames and CNAME chains.
             page.push(Resource::new(
-                Url { scheme: Scheme::Http, host: host.clone(), path: format!("/w{k}.js") },
+                Url {
+                    scheme: Scheme::Http,
+                    host: host.clone(),
+                    path: format!("/w{k}.js"),
+                },
                 ResourceKind::Script,
             ));
         }
@@ -837,7 +911,11 @@ impl Builder {
         for host in &doc_hosts {
             self.web_b.set_vhost(
                 host.clone(),
-                VirtualHost { tls: tls.clone(), page: Some(page.clone()), redirect: None },
+                VirtualHost {
+                    tls: tls.clone(),
+                    page: Some(page.clone()),
+                    redirect: None,
+                },
             );
         }
         if site.cdn.state.uses_cdn() {
@@ -845,17 +923,29 @@ impl Builder {
             // CDN-fronted www host, like real CDN onboarding does.
             self.web_b.set_vhost(
                 domain.clone(),
-                VirtualHost { tls: tls.clone(), page: None, redirect: Some(www.clone()) },
+                VirtualHost {
+                    tls: tls.clone(),
+                    page: None,
+                    redirect: Some(www.clone()),
+                },
             );
         }
         self.web_b.set_vhost(
             static_host,
-            VirtualHost { tls: tls.clone(), page: None, redirect: None },
+            VirtualHost {
+                tls: tls.clone(),
+                page: None,
+                redirect: None,
+            },
         );
         if site.cdn.state == CdnProfile::Multi {
             self.web_b.set_vhost(
                 domain.child("img").expect("valid"),
-                VirtualHost { tls: tls.clone(), page: None, redirect: None },
+                VirtualHost {
+                    tls: tls.clone(),
+                    page: None,
+                    redirect: None,
+                },
             );
         }
         if site.conglomerate.is_some() {
@@ -865,7 +955,11 @@ impl Builder {
                     let img = dn(alias).child("img").expect("valid");
                     self.web_b.set_vhost(
                         img.clone(),
-                        VirtualHost { tls: tls.clone(), page: None, redirect: None },
+                        VirtualHost {
+                            tls: tls.clone(),
+                            page: None,
+                            redirect: None,
+                        },
                     );
                     // Resolvable target for the sibling-brand host.
                     if let Some(zone) = self.dns_b.zone_mut(&dn(alias)) {
@@ -950,8 +1044,16 @@ mod tests {
         let mut total = 0;
         for listing in w.listings().iter().take(300) {
             total += 1;
-            let scheme = if listing.https { Scheme::Https } else { Scheme::Http };
-            let url = Url { scheme, host: listing.document_hosts[0].clone(), path: "/".into() };
+            let scheme = if listing.https {
+                Scheme::Https
+            } else {
+                Scheme::Http
+            };
+            let url = Url {
+                scheme,
+                host: listing.document_hosts[0].clone(),
+                path: "/".into(),
+            };
             match client.fetch(&url) {
                 Ok(out) => {
                     assert!(out.page.is_some(), "document host must serve a page");
@@ -1002,8 +1104,16 @@ mod tests {
             if truth.cdn.state != CdnProfile::SingleThird {
                 continue;
             }
-            let scheme = if listing.https { Scheme::Https } else { Scheme::Http };
-            let url = Url { scheme, host: listing.document_hosts[0].clone(), path: "/".into() };
+            let scheme = if listing.https {
+                Scheme::Https
+            } else {
+                Scheme::Http
+            };
+            let url = Url {
+                scheme,
+                host: listing.document_hosts[0].clone(),
+                path: "/".into(),
+            };
             let out = client.fetch(&url).expect("cdn fetch");
             assert!(!out.cname_chain.is_empty(), "CDN on-ramp must be a CNAME");
             let cdn_id = w.cname_map.classify_chain(out.cname_chain.iter());
@@ -1041,7 +1151,10 @@ mod tests {
             Some(site.domain.child("www").unwrap()),
             "apex redirect must land on the CDN-fronted host"
         );
-        assert!(!report.document_chain.is_empty(), "…which rides the CDN CNAME");
+        assert!(
+            !report.document_chain.is_empty(),
+            "…which rides the CDN CNAME"
+        );
     }
 
     #[test]
@@ -1078,8 +1191,16 @@ mod tests {
             if !s.dns.providers.iter().any(|p| p == victim) {
                 continue;
             }
-            let scheme = if s.https() { Scheme::Https } else { Scheme::Http };
-            let url = Url { scheme, host: s.document_hosts()[0].clone(), path: "/".into() };
+            let scheme = if s.https() {
+                Scheme::Https
+            } else {
+                Scheme::Http
+            };
+            let url = Url {
+                scheme,
+                host: s.document_hosts()[0].clone(),
+                path: "/".into(),
+            };
             let up = client.fetch(&url).is_ok();
             match s.dns.state {
                 DepState::SingleThird => {
@@ -1098,8 +1219,14 @@ mod tests {
             }
         }
         assert!(critical_total > 0 && redundant_total > 0);
-        assert_eq!(critical_dead, critical_total, "all critical customers must go dark");
-        assert_eq!(redundant_alive, redundant_total, "all redundant customers must survive");
+        assert_eq!(
+            critical_dead, critical_total,
+            "all critical customers must go dark"
+        );
+        assert_eq!(
+            redundant_alive, redundant_total,
+            "all redundant customers must survive"
+        );
     }
 
     #[test]

@@ -39,23 +39,37 @@ pub struct WorldConfig {
 impl WorldConfig {
     /// The paper's full-scale 2020 configuration.
     pub fn paper_2020(seed: u64) -> Self {
-        WorldConfig { seed, n_sites: 100_000, year: SnapshotYear::Y2020 }
+        WorldConfig {
+            seed,
+            n_sites: 100_000,
+            year: SnapshotYear::Y2020,
+        }
     }
 
     /// The paper's full-scale 2016 configuration.
     pub fn paper_2016(seed: u64) -> Self {
-        WorldConfig { seed, n_sites: 100_000, year: SnapshotYear::Y2016 }
+        WorldConfig {
+            seed,
+            n_sites: 100_000,
+            year: SnapshotYear::Y2016,
+        }
     }
 
     /// A small world for fast tests (identical structure, 2 000 sites).
     pub fn small(seed: u64) -> Self {
-        WorldConfig { seed, n_sites: 2_000, year: SnapshotYear::Y2020 }
+        WorldConfig {
+            seed,
+            n_sites: 2_000,
+            year: SnapshotYear::Y2020,
+        }
     }
 
     /// Scales a count that is proportional to the population (e.g. the
     /// micro-tail provider pool), relative to the 100K reference scale.
     pub fn scaled(&self, value_at_100k: usize) -> usize {
-        ((value_at_100k as f64) * (self.n_sites as f64) / 100_000.0).round().max(1.0) as usize
+        ((value_at_100k as f64) * (self.n_sites as f64) / 100_000.0)
+            .round()
+            .max(1.0) as usize
     }
 
     /// The concentration threshold for the paper's "≥ 50 sites" rule,
@@ -80,10 +94,18 @@ mod tests {
 
     #[test]
     fn scaling_is_proportional_with_floor() {
-        let small = WorldConfig { seed: 0, n_sites: 10_000, year: SnapshotYear::Y2020 };
+        let small = WorldConfig {
+            seed: 0,
+            n_sites: 10_000,
+            year: SnapshotYear::Y2020,
+        };
         assert_eq!(small.scaled(3_000), 300);
         assert_eq!(small.concentration_threshold(), 5);
-        let tiny = WorldConfig { seed: 0, n_sites: 500, year: SnapshotYear::Y2020 };
+        let tiny = WorldConfig {
+            seed: 0,
+            n_sites: 500,
+            year: SnapshotYear::Y2020,
+        };
         assert_eq!(tiny.concentration_threshold(), 3, "threshold has a floor");
         assert_eq!(tiny.scaled(1), 1, "scaled counts never hit zero");
     }

@@ -39,5 +39,3 @@ pub use config::{SnapshotYear, WorldConfig};
 pub use profiles::{CaProfile, CdnProfile, DepState, DnsProfile};
 pub use snapshots::WorldPair;
 pub use truth::{GroundTruth, SiteListing, SiteTruth};
-
-

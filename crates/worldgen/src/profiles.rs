@@ -321,12 +321,10 @@ impl CdnMarginals {
     /// of all sites.
     pub fn densities(&self) -> [[f64; 4]; 4] {
         let adoption = cumulative_to_density(self.adoption);
-        let pvt_cum: [f64; 4] = std::array::from_fn(|i| {
-            self.adoption[i] * self.private_of_users[i] / 100.0
-        });
-        let crit_cum: [f64; 4] = std::array::from_fn(|i| {
-            self.adoption[i] * self.critical_of_users[i] / 100.0
-        });
+        let pvt_cum: [f64; 4] =
+            std::array::from_fn(|i| self.adoption[i] * self.private_of_users[i] / 100.0);
+        let crit_cum: [f64; 4] =
+            std::array::from_fn(|i| self.adoption[i] * self.critical_of_users[i] / 100.0);
         let private = cumulative_to_density(pvt_cum);
         let critical = cumulative_to_density(crit_cum);
         let mut out = [[0.0; 4]; 4];
@@ -612,7 +610,11 @@ mod tests {
         let d = cumulative_to_density(cum);
         for (i, &limit) in [100usize, 1_000, 10_000, 100_000].iter().enumerate() {
             let back = density_to_cumulative(d, limit, 100_000);
-            assert!((back - cum[i]).abs() < 1e-9, "bucket {limit}: {back} vs {}", cum[i]);
+            assert!(
+                (back - cum[i]).abs() < 1e-9,
+                "bucket {limit}: {back} vs {}",
+                cum[i]
+            );
         }
     }
 
@@ -622,15 +624,25 @@ mod tests {
             for b in 0..4 {
                 let total: f64 = (0..4).map(|s| d[s][b]).sum();
                 assert!((total - 100.0).abs() < 1e-6, "band {b} sums to {total}");
-                assert!((0..4).all(|s| d[s][b] >= 0.0), "negative density in band {b}");
+                assert!(
+                    (0..4).all(|s| d[s][b] >= 0.0),
+                    "negative density in band {b}"
+                );
             }
         }
-        for d in [CDN_2016.densities(), CDN_2020.densities(), CA_2016.densities(), CA_2020.densities()]
-        {
+        for d in [
+            CDN_2016.densities(),
+            CDN_2020.densities(),
+            CA_2016.densities(),
+            CA_2020.densities(),
+        ] {
             for b in 0..4 {
                 let total: f64 = (0..4).map(|s| d[s][b]).sum();
                 assert!((total - 100.0).abs() < 1e-6, "band {b} sums to {total}");
-                assert!((0..4).all(|s| d[s][b] >= -1e-9), "negative density in band {b}");
+                assert!(
+                    (0..4).all(|s| d[s][b] >= -1e-9),
+                    "negative density in band {b}"
+                );
             }
         }
     }
@@ -674,10 +686,21 @@ mod tests {
         let got16 = 100.0 * crit16 as f64 / n as f64;
         let got20 = 100.0 * crit20 as f64 / n as f64;
         let got_third = 100.0 * third20 as f64 / n as f64;
-        assert!((got16 - d16[1][band]).abs() < 1.5, "crit16 {got16} vs {}", d16[1][band]);
-        assert!((got20 - d20[1][band]).abs() < 1.5, "crit20 {got20} vs {}", d20[1][band]);
+        assert!(
+            (got16 - d16[1][band]).abs() < 1.5,
+            "crit16 {got16} vs {}",
+            d16[1][band]
+        );
+        assert!(
+            (got20 - d20[1][band]).abs() < 1.5,
+            "crit20 {got20} vs {}",
+            d20[1][band]
+        );
         let want_third = 100.0 - d20[0][band];
-        assert!((got_third - want_third).abs() < 1.5, "third20 {got_third} vs {want_third}");
+        assert!(
+            (got_third - want_third).abs() < 1.5,
+            "third20 {got_third} vs {want_third}"
+        );
     }
 
     #[test]
@@ -721,11 +744,17 @@ mod tests {
         assert!(https20 > https16, "HTTPS adoption must grow");
         let d20 = CA_2020.densities();
         let https_rate = 100.0 * https20 as f64 / n as f64;
-        assert!((https_rate - (100.0 - d20[0][band])).abs() < 2.0, "https20 {https_rate}");
+        assert!(
+            (https_rate - (100.0 - d20[0][band])).abs() < 2.0,
+            "https20 {https_rate}"
+        );
         // Stapling churns but stays in the same regime (no significant
         // change — Observation 6).
         let s16r = st16 as f64 / https16 as f64;
         let s20r = st20 as f64 / https20 as f64;
-        assert!((s16r - s20r).abs() < 0.06, "stapling regime shift: {s16r} vs {s20r}");
+        assert!(
+            (s16r - s20r).abs() < 0.06,
+            "stapling regime shift: {s16r} vs {s20r}"
+        );
     }
 }

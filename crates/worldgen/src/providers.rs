@@ -57,7 +57,10 @@ impl ProviderDep {
 
     /// Whether a third party is involved at all.
     pub fn uses_third(&self) -> bool {
-        matches!(self, ProviderDep::SingleThird(_) | ProviderDep::Redundant(_))
+        matches!(
+            self,
+            ProviderDep::SingleThird(_) | ProviderDep::Redundant(_)
+        )
     }
 }
 
@@ -100,26 +103,166 @@ struct DnsSpec {
 
 /// Named DNS providers with both snapshots' calibrated weights.
 const DNS_SPECS: &[DnsSpec] = &[
-    DnsSpec { name: "Cloudflare", ns_domain: "ns.cloudflare.com", w2020: [5.0, 18.0, 27.0, 29.0], w2016: [2.0, 8.0, 13.0, 12.0], secondary_weight: 0.0, own_soa_rate: 0.55 },
-    DnsSpec { name: "AWS Route 53", ns_domain: "awsdns.net", w2020: [20.0, 17.0, 15.0, 13.5], w2016: [15.0, 14.0, 12.0, 11.0], secondary_weight: 1.0, own_soa_rate: 0.5 },
-    DnsSpec { name: "GoDaddy", ns_domain: "domaincontrol.com", w2020: [1.0, 4.0, 7.0, 8.5], w2016: [1.0, 5.0, 8.0, 9.0], secondary_weight: 0.2, own_soa_rate: 0.7 },
-    DnsSpec { name: "DNSMadeEasy", ns_domain: "dnsmadeeasy.com", w2020: [2.0, 3.0, 2.6, 2.6], w2016: [2.0, 3.0, 2.5, 2.5], secondary_weight: 1.5, own_soa_rate: 0.3 },
-    DnsSpec { name: "Dyn", ns_domain: "dynect.net", w2020: [17.0, 5.0, 1.5, 0.35], w2016: [25.0, 8.0, 3.0, 2.2], secondary_weight: 2.0, own_soa_rate: 0.2 },
-    DnsSpec { name: "NS1", ns_domain: "nsone.net", w2020: [8.0, 4.0, 2.0, 1.0], w2016: [6.0, 3.0, 1.5, 1.0], secondary_weight: 2.0, own_soa_rate: 0.25 },
-    DnsSpec { name: "UltraDNS", ns_domain: "ultradns.net", w2020: [9.0, 5.0, 2.0, 1.0], w2016: [12.0, 6.0, 2.5, 1.2], secondary_weight: 1.5, own_soa_rate: 0.25 },
-    DnsSpec { name: "Akamai Edge DNS", ns_domain: "akam.net", w2020: [8.0, 5.0, 2.0, 1.0], w2016: [8.0, 5.0, 2.0, 1.0], secondary_weight: 1.0, own_soa_rate: 0.3 },
-    DnsSpec { name: "Google Cloud DNS", ns_domain: "googledomains.com", w2020: [5.0, 4.0, 3.0, 3.0], w2016: [3.0, 3.0, 2.0, 2.0], secondary_weight: 0.8, own_soa_rate: 0.5 },
-    DnsSpec { name: "Azure DNS", ns_domain: "azure-dns.com", w2020: [4.0, 3.5, 3.0, 2.2], w2016: [2.0, 2.0, 2.0, 1.5], secondary_weight: 0.8, own_soa_rate: 0.5 },
-    DnsSpec { name: "Alibaba DNS", ns_domain: "alibabadns.com", w2020: [2.0, 3.0, 3.0, 3.0], w2016: [2.0, 2.0, 2.0, 2.0], secondary_weight: 0.3, own_soa_rate: 0.6 },
-    DnsSpec { name: "Comodo DNS", ns_domain: "comodo-dns.net", w2020: [0.5, 0.5, 0.5, 0.4], w2016: [0.5, 0.5, 0.5, 0.5], secondary_weight: 0.5, own_soa_rate: 0.4 },
-    DnsSpec { name: "Hurricane Electric", ns_domain: "he.net", w2020: [1.0, 1.5, 2.0, 2.0], w2016: [1.0, 1.5, 2.0, 2.0], secondary_weight: 1.2, own_soa_rate: 0.4 },
-    DnsSpec { name: "DigitalOcean DNS", ns_domain: "digitalocean.com", w2020: [0.0, 1.0, 2.0, 2.5], w2016: [0.0, 0.5, 1.0, 1.0], secondary_weight: 0.4, own_soa_rate: 0.8 },
-    DnsSpec { name: "Namecheap DNS", ns_domain: "registrar-servers.com", w2020: [0.0, 1.0, 2.0, 3.0], w2016: [0.0, 1.0, 2.0, 2.5], secondary_weight: 0.2, own_soa_rate: 0.8 },
-    DnsSpec { name: "Linode DNS", ns_domain: "linode.com", w2020: [0.0, 1.0, 1.5, 2.0], w2016: [0.0, 0.5, 1.0, 1.5], secondary_weight: 0.4, own_soa_rate: 0.8 },
-    DnsSpec { name: "OVH DNS", ns_domain: "ovh.net", w2020: [0.0, 0.5, 1.5, 2.0], w2016: [0.0, 0.5, 1.5, 2.0], secondary_weight: 0.3, own_soa_rate: 0.8 },
-    DnsSpec { name: "IONOS DNS", ns_domain: "ui-dns.com", w2020: [0.0, 0.5, 1.0, 1.5], w2016: [0.0, 0.5, 1.0, 1.5], secondary_weight: 0.2, own_soa_rate: 0.8 },
-    DnsSpec { name: "Gandi DNS", ns_domain: "gandi.net", w2020: [0.0, 0.5, 1.0, 1.2], w2016: [0.0, 0.5, 1.0, 1.2], secondary_weight: 0.3, own_soa_rate: 0.7 },
-    DnsSpec { name: "Wix DNS", ns_domain: "wixdns.net", w2020: [0.0, 0.3, 1.0, 1.8], w2016: [0.0, 0.1, 0.3, 0.5], secondary_weight: 0.0, own_soa_rate: 0.9 },
+    DnsSpec {
+        name: "Cloudflare",
+        ns_domain: "ns.cloudflare.com",
+        w2020: [5.0, 18.0, 27.0, 29.0],
+        w2016: [2.0, 8.0, 13.0, 12.0],
+        secondary_weight: 0.0,
+        own_soa_rate: 0.55,
+    },
+    DnsSpec {
+        name: "AWS Route 53",
+        ns_domain: "awsdns.net",
+        w2020: [20.0, 17.0, 15.0, 13.5],
+        w2016: [15.0, 14.0, 12.0, 11.0],
+        secondary_weight: 1.0,
+        own_soa_rate: 0.5,
+    },
+    DnsSpec {
+        name: "GoDaddy",
+        ns_domain: "domaincontrol.com",
+        w2020: [1.0, 4.0, 7.0, 8.5],
+        w2016: [1.0, 5.0, 8.0, 9.0],
+        secondary_weight: 0.2,
+        own_soa_rate: 0.7,
+    },
+    DnsSpec {
+        name: "DNSMadeEasy",
+        ns_domain: "dnsmadeeasy.com",
+        w2020: [2.0, 3.0, 2.6, 2.6],
+        w2016: [2.0, 3.0, 2.5, 2.5],
+        secondary_weight: 1.5,
+        own_soa_rate: 0.3,
+    },
+    DnsSpec {
+        name: "Dyn",
+        ns_domain: "dynect.net",
+        w2020: [17.0, 5.0, 1.5, 0.35],
+        w2016: [25.0, 8.0, 3.0, 2.2],
+        secondary_weight: 2.0,
+        own_soa_rate: 0.2,
+    },
+    DnsSpec {
+        name: "NS1",
+        ns_domain: "nsone.net",
+        w2020: [8.0, 4.0, 2.0, 1.0],
+        w2016: [6.0, 3.0, 1.5, 1.0],
+        secondary_weight: 2.0,
+        own_soa_rate: 0.25,
+    },
+    DnsSpec {
+        name: "UltraDNS",
+        ns_domain: "ultradns.net",
+        w2020: [9.0, 5.0, 2.0, 1.0],
+        w2016: [12.0, 6.0, 2.5, 1.2],
+        secondary_weight: 1.5,
+        own_soa_rate: 0.25,
+    },
+    DnsSpec {
+        name: "Akamai Edge DNS",
+        ns_domain: "akam.net",
+        w2020: [8.0, 5.0, 2.0, 1.0],
+        w2016: [8.0, 5.0, 2.0, 1.0],
+        secondary_weight: 1.0,
+        own_soa_rate: 0.3,
+    },
+    DnsSpec {
+        name: "Google Cloud DNS",
+        ns_domain: "googledomains.com",
+        w2020: [5.0, 4.0, 3.0, 3.0],
+        w2016: [3.0, 3.0, 2.0, 2.0],
+        secondary_weight: 0.8,
+        own_soa_rate: 0.5,
+    },
+    DnsSpec {
+        name: "Azure DNS",
+        ns_domain: "azure-dns.com",
+        w2020: [4.0, 3.5, 3.0, 2.2],
+        w2016: [2.0, 2.0, 2.0, 1.5],
+        secondary_weight: 0.8,
+        own_soa_rate: 0.5,
+    },
+    DnsSpec {
+        name: "Alibaba DNS",
+        ns_domain: "alibabadns.com",
+        w2020: [2.0, 3.0, 3.0, 3.0],
+        w2016: [2.0, 2.0, 2.0, 2.0],
+        secondary_weight: 0.3,
+        own_soa_rate: 0.6,
+    },
+    DnsSpec {
+        name: "Comodo DNS",
+        ns_domain: "comodo-dns.net",
+        w2020: [0.5, 0.5, 0.5, 0.4],
+        w2016: [0.5, 0.5, 0.5, 0.5],
+        secondary_weight: 0.5,
+        own_soa_rate: 0.4,
+    },
+    DnsSpec {
+        name: "Hurricane Electric",
+        ns_domain: "he.net",
+        w2020: [1.0, 1.5, 2.0, 2.0],
+        w2016: [1.0, 1.5, 2.0, 2.0],
+        secondary_weight: 1.2,
+        own_soa_rate: 0.4,
+    },
+    DnsSpec {
+        name: "DigitalOcean DNS",
+        ns_domain: "digitalocean.com",
+        w2020: [0.0, 1.0, 2.0, 2.5],
+        w2016: [0.0, 0.5, 1.0, 1.0],
+        secondary_weight: 0.4,
+        own_soa_rate: 0.8,
+    },
+    DnsSpec {
+        name: "Namecheap DNS",
+        ns_domain: "registrar-servers.com",
+        w2020: [0.0, 1.0, 2.0, 3.0],
+        w2016: [0.0, 1.0, 2.0, 2.5],
+        secondary_weight: 0.2,
+        own_soa_rate: 0.8,
+    },
+    DnsSpec {
+        name: "Linode DNS",
+        ns_domain: "linode.com",
+        w2020: [0.0, 1.0, 1.5, 2.0],
+        w2016: [0.0, 0.5, 1.0, 1.5],
+        secondary_weight: 0.4,
+        own_soa_rate: 0.8,
+    },
+    DnsSpec {
+        name: "OVH DNS",
+        ns_domain: "ovh.net",
+        w2020: [0.0, 0.5, 1.5, 2.0],
+        w2016: [0.0, 0.5, 1.5, 2.0],
+        secondary_weight: 0.3,
+        own_soa_rate: 0.8,
+    },
+    DnsSpec {
+        name: "IONOS DNS",
+        ns_domain: "ui-dns.com",
+        w2020: [0.0, 0.5, 1.0, 1.5],
+        w2016: [0.0, 0.5, 1.0, 1.5],
+        secondary_weight: 0.2,
+        own_soa_rate: 0.8,
+    },
+    DnsSpec {
+        name: "Gandi DNS",
+        ns_domain: "gandi.net",
+        w2020: [0.0, 0.5, 1.0, 1.2],
+        w2016: [0.0, 0.5, 1.0, 1.2],
+        secondary_weight: 0.3,
+        own_soa_rate: 0.7,
+    },
+    DnsSpec {
+        name: "Wix DNS",
+        ns_domain: "wixdns.net",
+        w2020: [0.0, 0.3, 1.0, 1.8],
+        w2016: [0.0, 0.1, 0.3, 0.5],
+        secondary_weight: 0.0,
+        own_soa_rate: 0.9,
+    },
 ];
 
 /// Number of mid-tail generated providers at reference (100K) scale.
@@ -181,8 +324,14 @@ pub fn dns_catalog(config: &WorldConfig) -> Vec<DnsProvider> {
     // characterize (below the concentration threshold, no SAN evidence,
     // matching SOA).
     let (micro_count, micro_weight) = match year {
-        SnapshotYear::Y2020 => (config.scaled(MICRO_TAIL_2020_AT_100K), MICRO_TAIL_WEIGHT_2020),
-        SnapshotYear::Y2016 => (config.scaled(MICRO_TAIL_2016_AT_100K), MICRO_TAIL_WEIGHT_2016),
+        SnapshotYear::Y2020 => (
+            config.scaled(MICRO_TAIL_2020_AT_100K),
+            MICRO_TAIL_WEIGHT_2020,
+        ),
+        SnapshotYear::Y2016 => (
+            config.scaled(MICRO_TAIL_2016_AT_100K),
+            MICRO_TAIL_WEIGHT_2016,
+        ),
     };
     let micro_count = micro_count.max(8);
     // In 2016 white-label hosting was less standardized: half the
@@ -244,28 +393,204 @@ struct CdnSpec {
 /// Named CDNs. `w2016 = [0,0,0,0]` marks a CDN that did not exist (or
 /// had no footprint) in 2016; the 2016 catalog drops it.
 const CDN_SPECS: &[CdnSpec] = &[
-    CdnSpec { name: "CloudFront", cname_domain: "cloudfront.net", w2020: [12.0, 22.0, 28.0, 32.0], w2016: [10.0, 18.0, 24.0, 27.0], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "Cloudflare CDN", cname_domain: "cdn.cloudflare.net", w2020: [8.0, 14.0, 20.0, 22.5], w2016: [10.0, 20.0, 27.0, 31.0], multi_weight: 0.3, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "Akamai", cname_domain: "akamaiedge.net", w2020: [34.0, 27.0, 19.0, 14.5], w2016: [40.0, 30.0, 22.0, 18.0], multi_weight: 2.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "Fastly", cname_domain: "fastly.net", w2020: [13.0, 8.0, 5.5, 4.5], w2016: [15.0, 10.0, 7.0, 6.0], multi_weight: 2.5, dns_2020: ProviderDep::Redundant("Dyn"), dns_2016: ProviderDep::SingleThird("Dyn") },
-    CdnSpec { name: "Incapsula", cname_domain: "incapdns.net", w2020: [2.0, 3.0, 3.0, 3.0], w2016: [2.0, 2.5, 2.5, 2.5], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "StackPath", cname_domain: "stackpathdns.com", w2020: [1.0, 3.0, 5.0, 6.5], w2016: [1.0, 2.0, 3.0, 3.5], multi_weight: 0.7, dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::SingleThird("AWS Route 53") },
-    CdnSpec { name: "EdgeCast", cname_domain: "edgecastcdn.net", w2020: [5.0, 4.0, 3.0, 2.5], w2016: [6.0, 5.0, 4.0, 3.0], multi_weight: 1.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "Limelight", cname_domain: "llnwd.net", w2020: [4.0, 3.0, 2.0, 1.5], w2016: [5.0, 4.0, 3.0, 2.5], multi_weight: 1.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "Azure CDN", cname_domain: "azureedge.net", w2020: [3.0, 2.5, 2.0, 1.5], w2016: [2.0, 1.5, 1.0, 1.0], multi_weight: 0.8, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "Google Cloud CDN", cname_domain: "googleusercontent-cdn.com", w2020: [4.0, 3.0, 2.0, 1.5], w2016: [2.0, 2.0, 1.5, 1.0], multi_weight: 0.8, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "Alibaba CDN", cname_domain: "alikunlun.com", w2020: [2.0, 2.0, 2.5, 2.5], w2016: [1.0, 1.5, 2.0, 2.0], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "CDN77", cname_domain: "cdn77.org", w2020: [0.3, 0.5, 0.6, 0.7], w2016: [0.3, 0.5, 1.0, 1.0], multi_weight: 0.8, dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::SingleThird("AWS Route 53") },
-    CdnSpec { name: "KeyCDN", cname_domain: "kxcdn.com", w2020: [0.3, 0.5, 0.6, 0.7], w2016: [0.3, 0.5, 1.0, 1.0], multi_weight: 0.8, dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::SingleThird("AWS Route 53") },
-    CdnSpec { name: "BunnyCDN", cname_domain: "b-cdn.net", w2020: [0.0, 0.3, 0.5, 0.6], w2016: [0.0, 0.0, 0.0, 0.0], multi_weight: 0.8, dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::None },
-    CdnSpec { name: "jsDelivr", cname_domain: "jsdelivr-cdn.net", w2020: [1.0, 1.0, 1.0, 1.0], w2016: [0.5, 0.5, 0.5, 0.5], multi_weight: 1.5, dns_2020: ProviderDep::Redundant("Cloudflare"), dns_2016: ProviderDep::Redundant("Cloudflare") },
-    CdnSpec { name: "Netlify", cname_domain: "netlify-cdn.com", w2020: [0.0, 1.0, 1.5, 2.0], w2016: [0.0, 0.3, 0.5, 0.5], multi_weight: 0.5, dns_2020: ProviderDep::Redundant("NS1"), dns_2016: ProviderDep::SingleThird("NS1") },
-    CdnSpec { name: "Kinx CDN", cname_domain: "kinxcdn.com", w2020: [0.0, 0.2, 0.4, 0.6], w2016: [0.0, 0.2, 0.4, 0.6], multi_weight: 0.5, dns_2020: ProviderDep::Redundant("UltraDNS"), dns_2016: ProviderDep::SingleThird("UltraDNS") },
-    CdnSpec { name: "GoCache", cname_domain: "gocache.net", w2020: [0.0, 0.1, 0.3, 0.5], w2016: [0.0, 0.1, 0.3, 0.5], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("DNSMadeEasy") },
-    CdnSpec { name: "Zenedge", cname_domain: "zenedge.net", w2020: [0.0, 0.1, 0.3, 0.5], w2016: [0.0, 0.1, 0.3, 0.5], multi_weight: 0.5, dns_2020: ProviderDep::SingleThird("DNSMadeEasy"), dns_2016: ProviderDep::Redundant("DNSMadeEasy") },
-    CdnSpec { name: "Sucuri", cname_domain: "sucuri-cdn.net", w2020: [0.0, 0.5, 1.0, 1.5], w2016: [0.0, 0.3, 0.5, 1.0], multi_weight: 0.5, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "CDNetworks", cname_domain: "cdngc.net", w2020: [1.0, 1.0, 1.0, 1.0], w2016: [1.5, 1.5, 1.5, 1.5], multi_weight: 1.0, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
-    CdnSpec { name: "ChinaCache", cname_domain: "ccgslb.net", w2020: [0.5, 0.5, 1.0, 1.0], w2016: [1.0, 1.0, 1.5, 1.5], multi_weight: 1.0, dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private },
+    CdnSpec {
+        name: "CloudFront",
+        cname_domain: "cloudfront.net",
+        w2020: [12.0, 22.0, 28.0, 32.0],
+        w2016: [10.0, 18.0, 24.0, 27.0],
+        multi_weight: 0.5,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "Cloudflare CDN",
+        cname_domain: "cdn.cloudflare.net",
+        w2020: [8.0, 14.0, 20.0, 22.5],
+        w2016: [10.0, 20.0, 27.0, 31.0],
+        multi_weight: 0.3,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "Akamai",
+        cname_domain: "akamaiedge.net",
+        w2020: [34.0, 27.0, 19.0, 14.5],
+        w2016: [40.0, 30.0, 22.0, 18.0],
+        multi_weight: 2.5,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "Fastly",
+        cname_domain: "fastly.net",
+        w2020: [13.0, 8.0, 5.5, 4.5],
+        w2016: [15.0, 10.0, 7.0, 6.0],
+        multi_weight: 2.5,
+        dns_2020: ProviderDep::Redundant("Dyn"),
+        dns_2016: ProviderDep::SingleThird("Dyn"),
+    },
+    CdnSpec {
+        name: "Incapsula",
+        cname_domain: "incapdns.net",
+        w2020: [2.0, 3.0, 3.0, 3.0],
+        w2016: [2.0, 2.5, 2.5, 2.5],
+        multi_weight: 0.5,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "StackPath",
+        cname_domain: "stackpathdns.com",
+        w2020: [1.0, 3.0, 5.0, 6.5],
+        w2016: [1.0, 2.0, 3.0, 3.5],
+        multi_weight: 0.7,
+        dns_2020: ProviderDep::SingleThird("AWS Route 53"),
+        dns_2016: ProviderDep::SingleThird("AWS Route 53"),
+    },
+    CdnSpec {
+        name: "EdgeCast",
+        cname_domain: "edgecastcdn.net",
+        w2020: [5.0, 4.0, 3.0, 2.5],
+        w2016: [6.0, 5.0, 4.0, 3.0],
+        multi_weight: 1.5,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "Limelight",
+        cname_domain: "llnwd.net",
+        w2020: [4.0, 3.0, 2.0, 1.5],
+        w2016: [5.0, 4.0, 3.0, 2.5],
+        multi_weight: 1.5,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "Azure CDN",
+        cname_domain: "azureedge.net",
+        w2020: [3.0, 2.5, 2.0, 1.5],
+        w2016: [2.0, 1.5, 1.0, 1.0],
+        multi_weight: 0.8,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "Google Cloud CDN",
+        cname_domain: "googleusercontent-cdn.com",
+        w2020: [4.0, 3.0, 2.0, 1.5],
+        w2016: [2.0, 2.0, 1.5, 1.0],
+        multi_weight: 0.8,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "Alibaba CDN",
+        cname_domain: "alikunlun.com",
+        w2020: [2.0, 2.0, 2.5, 2.5],
+        w2016: [1.0, 1.5, 2.0, 2.0],
+        multi_weight: 0.5,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "CDN77",
+        cname_domain: "cdn77.org",
+        w2020: [0.3, 0.5, 0.6, 0.7],
+        w2016: [0.3, 0.5, 1.0, 1.0],
+        multi_weight: 0.8,
+        dns_2020: ProviderDep::SingleThird("AWS Route 53"),
+        dns_2016: ProviderDep::SingleThird("AWS Route 53"),
+    },
+    CdnSpec {
+        name: "KeyCDN",
+        cname_domain: "kxcdn.com",
+        w2020: [0.3, 0.5, 0.6, 0.7],
+        w2016: [0.3, 0.5, 1.0, 1.0],
+        multi_weight: 0.8,
+        dns_2020: ProviderDep::SingleThird("AWS Route 53"),
+        dns_2016: ProviderDep::SingleThird("AWS Route 53"),
+    },
+    CdnSpec {
+        name: "BunnyCDN",
+        cname_domain: "b-cdn.net",
+        w2020: [0.0, 0.3, 0.5, 0.6],
+        w2016: [0.0, 0.0, 0.0, 0.0],
+        multi_weight: 0.8,
+        dns_2020: ProviderDep::SingleThird("AWS Route 53"),
+        dns_2016: ProviderDep::None,
+    },
+    CdnSpec {
+        name: "jsDelivr",
+        cname_domain: "jsdelivr-cdn.net",
+        w2020: [1.0, 1.0, 1.0, 1.0],
+        w2016: [0.5, 0.5, 0.5, 0.5],
+        multi_weight: 1.5,
+        dns_2020: ProviderDep::Redundant("Cloudflare"),
+        dns_2016: ProviderDep::Redundant("Cloudflare"),
+    },
+    CdnSpec {
+        name: "Netlify",
+        cname_domain: "netlify-cdn.com",
+        w2020: [0.0, 1.0, 1.5, 2.0],
+        w2016: [0.0, 0.3, 0.5, 0.5],
+        multi_weight: 0.5,
+        dns_2020: ProviderDep::Redundant("NS1"),
+        dns_2016: ProviderDep::SingleThird("NS1"),
+    },
+    CdnSpec {
+        name: "Kinx CDN",
+        cname_domain: "kinxcdn.com",
+        w2020: [0.0, 0.2, 0.4, 0.6],
+        w2016: [0.0, 0.2, 0.4, 0.6],
+        multi_weight: 0.5,
+        dns_2020: ProviderDep::Redundant("UltraDNS"),
+        dns_2016: ProviderDep::SingleThird("UltraDNS"),
+    },
+    CdnSpec {
+        name: "GoCache",
+        cname_domain: "gocache.net",
+        w2020: [0.0, 0.1, 0.3, 0.5],
+        w2016: [0.0, 0.1, 0.3, 0.5],
+        multi_weight: 0.5,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::SingleThird("DNSMadeEasy"),
+    },
+    CdnSpec {
+        name: "Zenedge",
+        cname_domain: "zenedge.net",
+        w2020: [0.0, 0.1, 0.3, 0.5],
+        w2016: [0.0, 0.1, 0.3, 0.5],
+        multi_weight: 0.5,
+        dns_2020: ProviderDep::SingleThird("DNSMadeEasy"),
+        dns_2016: ProviderDep::Redundant("DNSMadeEasy"),
+    },
+    CdnSpec {
+        name: "Sucuri",
+        cname_domain: "sucuri-cdn.net",
+        w2020: [0.0, 0.5, 1.0, 1.5],
+        w2016: [0.0, 0.3, 0.5, 1.0],
+        multi_weight: 0.5,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "CDNetworks",
+        cname_domain: "cdngc.net",
+        w2020: [1.0, 1.0, 1.0, 1.0],
+        w2016: [1.5, 1.5, 1.5, 1.5],
+        multi_weight: 1.0,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
+    CdnSpec {
+        name: "ChinaCache",
+        cname_domain: "ccgslb.net",
+        w2020: [0.5, 0.5, 1.0, 1.0],
+        w2016: [1.0, 1.0, 1.5, 1.5],
+        multi_weight: 1.0,
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+    },
 ];
 
 /// Generated small CDNs: count at reference scale per snapshot (total
@@ -366,21 +691,171 @@ struct CaSpec {
 /// snapshot (Symantec family gone by 2020, Let's Encrypt absent-ish in
 /// 2016's top ranks).
 const CA_SPECS: &[CaSpec] = &[
-    CaSpec { name: "DigiCert", domain: "digicert.com", w2020: [50.0, 45.0, 42.0, 40.5], w2016: [12.0, 11.0, 10.0, 10.0], dns_2020: ProviderDep::SingleThird("DNSMadeEasy"), dns_2016: ProviderDep::Redundant("DNSMadeEasy"), cdn_2020: ProviderDep::SingleThird("Incapsula"), cdn_2016: ProviderDep::SingleThird("Incapsula"), lifetime_days: 397 },
-    CaSpec { name: "Let's Encrypt", domain: "letsencrypt.org", w2020: [10.0, 20.0, 26.0, 28.5], w2016: [1.0, 3.0, 5.0, 6.0], dns_2020: ProviderDep::SingleThird("Cloudflare"), dns_2016: ProviderDep::SingleThird("Cloudflare"), cdn_2020: ProviderDep::SingleThird("Cloudflare CDN"), cdn_2016: ProviderDep::None, lifetime_days: 90 },
-    CaSpec { name: "Sectigo", domain: "sectigo.com", w2020: [8.0, 12.0, 14.0, 14.5], w2016: [30.0, 32.0, 33.0, 33.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private, cdn_2020: ProviderDep::SingleThird("StackPath"), cdn_2016: ProviderDep::SingleThird("StackPath"), lifetime_days: 397 },
-    CaSpec { name: "GlobalSign", domain: "globalsign.com", w2020: [12.0, 8.0, 6.0, 5.0], w2016: [14.0, 10.0, 8.0, 8.0], dns_2020: ProviderDep::SingleThird("Comodo DNS"), dns_2016: ProviderDep::SingleThird("Comodo DNS"), cdn_2020: ProviderDep::SingleThird("CloudFront"), cdn_2016: ProviderDep::SingleThird("CloudFront"), lifetime_days: 397 },
-    CaSpec { name: "Amazon Trust", domain: "amazontrust.com", w2020: [6.0, 5.0, 4.0, 3.5], w2016: [1.0, 1.0, 0.5, 0.5], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private, cdn_2020: ProviderDep::Private, cdn_2016: ProviderDep::Private, lifetime_days: 397 },
-    CaSpec { name: "GoDaddy CA", domain: "godaddy-ca.com", w2020: [2.0, 3.0, 3.0, 3.0], w2016: [4.0, 5.0, 5.0, 5.0], dns_2020: ProviderDep::SingleThird("Akamai Edge DNS"), dns_2016: ProviderDep::SingleThird("Akamai Edge DNS"), cdn_2020: ProviderDep::SingleThird("Akamai"), cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
-    CaSpec { name: "Entrust", domain: "entrust.net", w2020: [3.0, 2.5, 2.0, 1.8], w2016: [4.0, 3.5, 3.0, 3.0], dns_2020: ProviderDep::SingleThird("Akamai Edge DNS"), dns_2016: ProviderDep::SingleThird("Akamai Edge DNS"), cdn_2020: ProviderDep::SingleThird("Akamai"), cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
-    CaSpec { name: "Certum", domain: "certum.pl", w2020: [0.5, 1.0, 1.0, 1.2], w2016: [1.0, 1.5, 1.5, 1.5], dns_2020: ProviderDep::SingleThird("AWS Route 53"), dns_2016: ProviderDep::SingleThird("AWS Route 53"), cdn_2020: ProviderDep::SingleThird("StackPath"), cdn_2016: ProviderDep::SingleThird("StackPath"), lifetime_days: 397 },
-    CaSpec { name: "TrustAsia", domain: "trustasia.com", w2020: [0.5, 1.0, 1.0, 1.0], w2016: [0.5, 1.0, 1.0, 1.0], dns_2020: ProviderDep::SingleThird("Alibaba DNS"), dns_2016: ProviderDep::Private, cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::None, lifetime_days: 397 },
-    CaSpec { name: "TeliaSonera", domain: "teliasonera-ca.com", w2020: [0.5, 0.5, 0.5, 0.5], w2016: [1.0, 1.0, 1.0, 1.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::Private, cdn_2020: ProviderDep::Private, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
-    CaSpec { name: "Internet2", domain: "incommon.org", w2020: [0.5, 0.5, 0.5, 0.5], w2016: [1.0, 1.0, 1.0, 1.0], dns_2020: ProviderDep::SingleThird("Comodo DNS"), dns_2016: ProviderDep::Redundant("Comodo DNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::None, lifetime_days: 397 },
-    CaSpec { name: "Symantec", domain: "symantec-ca.com", w2020: [0.05, 0.05, 0.1, 0.1], w2016: [16.0, 14.0, 13.0, 12.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("UltraDNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
-    CaSpec { name: "GeoTrust", domain: "geotrust-ca.com", w2020: [0.05, 0.05, 0.1, 0.1], w2016: [10.0, 10.0, 10.0, 10.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("UltraDNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
-    CaSpec { name: "Thawte", domain: "thawte-ca.com", w2020: [0.05, 0.05, 0.1, 0.1], w2016: [5.0, 5.0, 5.0, 5.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("UltraDNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
-    CaSpec { name: "RapidSSL", domain: "rapidssl-ca.com", w2020: [0.05, 0.05, 0.1, 0.1], w2016: [4.0, 4.5, 5.0, 5.0], dns_2020: ProviderDep::Private, dns_2016: ProviderDep::SingleThird("UltraDNS"), cdn_2020: ProviderDep::None, cdn_2016: ProviderDep::SingleThird("Akamai"), lifetime_days: 397 },
+    CaSpec {
+        name: "DigiCert",
+        domain: "digicert.com",
+        w2020: [50.0, 45.0, 42.0, 40.5],
+        w2016: [12.0, 11.0, 10.0, 10.0],
+        dns_2020: ProviderDep::SingleThird("DNSMadeEasy"),
+        dns_2016: ProviderDep::Redundant("DNSMadeEasy"),
+        cdn_2020: ProviderDep::SingleThird("Incapsula"),
+        cdn_2016: ProviderDep::SingleThird("Incapsula"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "Let's Encrypt",
+        domain: "letsencrypt.org",
+        w2020: [10.0, 20.0, 26.0, 28.5],
+        w2016: [1.0, 3.0, 5.0, 6.0],
+        dns_2020: ProviderDep::SingleThird("Cloudflare"),
+        dns_2016: ProviderDep::SingleThird("Cloudflare"),
+        cdn_2020: ProviderDep::SingleThird("Cloudflare CDN"),
+        cdn_2016: ProviderDep::None,
+        lifetime_days: 90,
+    },
+    CaSpec {
+        name: "Sectigo",
+        domain: "sectigo.com",
+        w2020: [8.0, 12.0, 14.0, 14.5],
+        w2016: [30.0, 32.0, 33.0, 33.0],
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+        cdn_2020: ProviderDep::SingleThird("StackPath"),
+        cdn_2016: ProviderDep::SingleThird("StackPath"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "GlobalSign",
+        domain: "globalsign.com",
+        w2020: [12.0, 8.0, 6.0, 5.0],
+        w2016: [14.0, 10.0, 8.0, 8.0],
+        dns_2020: ProviderDep::SingleThird("Comodo DNS"),
+        dns_2016: ProviderDep::SingleThird("Comodo DNS"),
+        cdn_2020: ProviderDep::SingleThird("CloudFront"),
+        cdn_2016: ProviderDep::SingleThird("CloudFront"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "Amazon Trust",
+        domain: "amazontrust.com",
+        w2020: [6.0, 5.0, 4.0, 3.5],
+        w2016: [1.0, 1.0, 0.5, 0.5],
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+        cdn_2020: ProviderDep::Private,
+        cdn_2016: ProviderDep::Private,
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "GoDaddy CA",
+        domain: "godaddy-ca.com",
+        w2020: [2.0, 3.0, 3.0, 3.0],
+        w2016: [4.0, 5.0, 5.0, 5.0],
+        dns_2020: ProviderDep::SingleThird("Akamai Edge DNS"),
+        dns_2016: ProviderDep::SingleThird("Akamai Edge DNS"),
+        cdn_2020: ProviderDep::SingleThird("Akamai"),
+        cdn_2016: ProviderDep::SingleThird("Akamai"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "Entrust",
+        domain: "entrust.net",
+        w2020: [3.0, 2.5, 2.0, 1.8],
+        w2016: [4.0, 3.5, 3.0, 3.0],
+        dns_2020: ProviderDep::SingleThird("Akamai Edge DNS"),
+        dns_2016: ProviderDep::SingleThird("Akamai Edge DNS"),
+        cdn_2020: ProviderDep::SingleThird("Akamai"),
+        cdn_2016: ProviderDep::SingleThird("Akamai"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "Certum",
+        domain: "certum.pl",
+        w2020: [0.5, 1.0, 1.0, 1.2],
+        w2016: [1.0, 1.5, 1.5, 1.5],
+        dns_2020: ProviderDep::SingleThird("AWS Route 53"),
+        dns_2016: ProviderDep::SingleThird("AWS Route 53"),
+        cdn_2020: ProviderDep::SingleThird("StackPath"),
+        cdn_2016: ProviderDep::SingleThird("StackPath"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "TrustAsia",
+        domain: "trustasia.com",
+        w2020: [0.5, 1.0, 1.0, 1.0],
+        w2016: [0.5, 1.0, 1.0, 1.0],
+        dns_2020: ProviderDep::SingleThird("Alibaba DNS"),
+        dns_2016: ProviderDep::Private,
+        cdn_2020: ProviderDep::None,
+        cdn_2016: ProviderDep::None,
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "TeliaSonera",
+        domain: "teliasonera-ca.com",
+        w2020: [0.5, 0.5, 0.5, 0.5],
+        w2016: [1.0, 1.0, 1.0, 1.0],
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::Private,
+        cdn_2020: ProviderDep::Private,
+        cdn_2016: ProviderDep::SingleThird("Akamai"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "Internet2",
+        domain: "incommon.org",
+        w2020: [0.5, 0.5, 0.5, 0.5],
+        w2016: [1.0, 1.0, 1.0, 1.0],
+        dns_2020: ProviderDep::SingleThird("Comodo DNS"),
+        dns_2016: ProviderDep::Redundant("Comodo DNS"),
+        cdn_2020: ProviderDep::None,
+        cdn_2016: ProviderDep::None,
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "Symantec",
+        domain: "symantec-ca.com",
+        w2020: [0.05, 0.05, 0.1, 0.1],
+        w2016: [16.0, 14.0, 13.0, 12.0],
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::SingleThird("UltraDNS"),
+        cdn_2020: ProviderDep::None,
+        cdn_2016: ProviderDep::SingleThird("Akamai"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "GeoTrust",
+        domain: "geotrust-ca.com",
+        w2020: [0.05, 0.05, 0.1, 0.1],
+        w2016: [10.0, 10.0, 10.0, 10.0],
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::SingleThird("UltraDNS"),
+        cdn_2020: ProviderDep::None,
+        cdn_2016: ProviderDep::SingleThird("Akamai"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "Thawte",
+        domain: "thawte-ca.com",
+        w2020: [0.05, 0.05, 0.1, 0.1],
+        w2016: [5.0, 5.0, 5.0, 5.0],
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::SingleThird("UltraDNS"),
+        cdn_2020: ProviderDep::None,
+        cdn_2016: ProviderDep::SingleThird("Akamai"),
+        lifetime_days: 397,
+    },
+    CaSpec {
+        name: "RapidSSL",
+        domain: "rapidssl-ca.com",
+        w2020: [0.05, 0.05, 0.1, 0.1],
+        w2016: [4.0, 4.5, 5.0, 5.0],
+        dns_2020: ProviderDep::Private,
+        dns_2016: ProviderDep::SingleThird("UltraDNS"),
+        cdn_2020: ProviderDep::None,
+        cdn_2016: ProviderDep::SingleThird("Akamai"),
+        lifetime_days: 397,
+    },
 ];
 
 /// Generated small CAs per snapshot (named + small + private
@@ -493,22 +968,166 @@ pub struct ConglomerateSpec {
 /// The conglomerate roster. Weight of membership decays with rank, so
 /// these dominate the top-100 the way the real giants do.
 pub const CONGLOMERATES: &[ConglomerateSpec] = &[
-    ConglomerateSpec { name: "Googol", domain: "googol.com", alias_domains: &["googolusercontent.com", "gstatic-like.com", "ytube.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::Private, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
-    ConglomerateSpec { name: "Macrosoft", domain: "macrosoft.com", alias_domains: &["macrosoftonline.com", "xbox-like.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::SingleThird("Akamai"), private_cdn: false, cdn_dns_dep: ProviderDep::None },
-    ConglomerateSpec { name: "FaceNovel", domain: "facenovel.com", alias_domains: &["fncdn.net", "instagraph.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::Private, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
-    ConglomerateSpec { name: "Yahoo-like", domain: "yahoolike.com", alias_domains: &["yimg-like.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53") },
-    ConglomerateSpec { name: "Chirper", domain: "chirper.com", alias_domains: &["chirpimg.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53") },
-    ConglomerateSpec { name: "AirBed", domain: "airbed.com", alias_domains: &["airbedstatic.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("NS1") },
-    ConglomerateSpec { name: "SquareSpace-like", domain: "sqspace.com", alias_domains: &["sqspacecdn.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53") },
-    ConglomerateSpec { name: "GoFather", domain: "gofather.com", alias_domains: &["gofather-dns.com"], private_ca: true, ca_dns_dep: ProviderDep::SingleThird("Akamai Edge DNS"), ca_cdn_dep: ProviderDep::SingleThird("Akamai"), private_cdn: false, cdn_dns_dep: ProviderDep::None },
-    ConglomerateSpec { name: "TrustWeave", domain: "trustweave.com", alias_domains: &[], private_ca: true, ca_dns_dep: ProviderDep::SingleThird("AWS Route 53"), ca_cdn_dep: ProviderDep::SingleThird("CloudFront"), private_cdn: false, cdn_dns_dep: ProviderDep::None },
-    ConglomerateSpec { name: "WiseLock", domain: "wiselock.com", alias_domains: &[], private_ca: true, ca_dns_dep: ProviderDep::SingleThird("UltraDNS"), ca_cdn_dep: ProviderDep::None, private_cdn: false, cdn_dns_dep: ProviderDep::None },
-    ConglomerateSpec { name: "Amazonia", domain: "amazonia.com", alias_domains: &["amazonia-images.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
-    ConglomerateSpec { name: "Pear", domain: "pear.com", alias_domains: &["pearcdn.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::SingleThird("Akamai"), private_cdn: true, cdn_dns_dep: ProviderDep::Private },
-    ConglomerateSpec { name: "Baidoo", domain: "baidoo.com", alias_domains: &["bdstatic-like.com"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
-    ConglomerateSpec { name: "Tensent", domain: "tensent.com", alias_domains: &["qq-like.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::Private, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
-    ConglomerateSpec { name: "Yandexoid", domain: "yandexoid.com", alias_domains: &["yastatic-like.com"], private_ca: true, ca_dns_dep: ProviderDep::Private, ca_cdn_dep: ProviderDep::Private, private_cdn: true, cdn_dns_dep: ProviderDep::Private },
-    ConglomerateSpec { name: "NetFilm", domain: "netfilm.com", alias_domains: &["nfilmcdn.net"], private_ca: false, ca_dns_dep: ProviderDep::None, ca_cdn_dep: ProviderDep::None, private_cdn: true, cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53")},
+    ConglomerateSpec {
+        name: "Googol",
+        domain: "googol.com",
+        alias_domains: &["googolusercontent.com", "gstatic-like.com", "ytube.com"],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::Private,
+        ca_cdn_dep: ProviderDep::Private,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::Private,
+    },
+    ConglomerateSpec {
+        name: "Macrosoft",
+        domain: "macrosoft.com",
+        alias_domains: &["macrosoftonline.com", "xbox-like.com"],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::Private,
+        ca_cdn_dep: ProviderDep::SingleThird("Akamai"),
+        private_cdn: false,
+        cdn_dns_dep: ProviderDep::None,
+    },
+    ConglomerateSpec {
+        name: "FaceNovel",
+        domain: "facenovel.com",
+        alias_domains: &["fncdn.net", "instagraph.com"],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::Private,
+        ca_cdn_dep: ProviderDep::Private,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::Private,
+    },
+    ConglomerateSpec {
+        name: "Yahoo-like",
+        domain: "yahoolike.com",
+        alias_domains: &["yimg-like.com"],
+        private_ca: false,
+        ca_dns_dep: ProviderDep::None,
+        ca_cdn_dep: ProviderDep::None,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53"),
+    },
+    ConglomerateSpec {
+        name: "Chirper",
+        domain: "chirper.com",
+        alias_domains: &["chirpimg.com"],
+        private_ca: false,
+        ca_dns_dep: ProviderDep::None,
+        ca_cdn_dep: ProviderDep::None,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53"),
+    },
+    ConglomerateSpec {
+        name: "AirBed",
+        domain: "airbed.com",
+        alias_domains: &["airbedstatic.com"],
+        private_ca: false,
+        ca_dns_dep: ProviderDep::None,
+        ca_cdn_dep: ProviderDep::None,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::SingleThird("NS1"),
+    },
+    ConglomerateSpec {
+        name: "SquareSpace-like",
+        domain: "sqspace.com",
+        alias_domains: &["sqspacecdn.com"],
+        private_ca: false,
+        ca_dns_dep: ProviderDep::None,
+        ca_cdn_dep: ProviderDep::None,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53"),
+    },
+    ConglomerateSpec {
+        name: "GoFather",
+        domain: "gofather.com",
+        alias_domains: &["gofather-dns.com"],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::SingleThird("Akamai Edge DNS"),
+        ca_cdn_dep: ProviderDep::SingleThird("Akamai"),
+        private_cdn: false,
+        cdn_dns_dep: ProviderDep::None,
+    },
+    ConglomerateSpec {
+        name: "TrustWeave",
+        domain: "trustweave.com",
+        alias_domains: &[],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::SingleThird("AWS Route 53"),
+        ca_cdn_dep: ProviderDep::SingleThird("CloudFront"),
+        private_cdn: false,
+        cdn_dns_dep: ProviderDep::None,
+    },
+    ConglomerateSpec {
+        name: "WiseLock",
+        domain: "wiselock.com",
+        alias_domains: &[],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::SingleThird("UltraDNS"),
+        ca_cdn_dep: ProviderDep::None,
+        private_cdn: false,
+        cdn_dns_dep: ProviderDep::None,
+    },
+    ConglomerateSpec {
+        name: "Amazonia",
+        domain: "amazonia.com",
+        alias_domains: &["amazonia-images.com"],
+        private_ca: false,
+        ca_dns_dep: ProviderDep::None,
+        ca_cdn_dep: ProviderDep::None,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::Private,
+    },
+    ConglomerateSpec {
+        name: "Pear",
+        domain: "pear.com",
+        alias_domains: &["pearcdn.com"],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::Private,
+        ca_cdn_dep: ProviderDep::SingleThird("Akamai"),
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::Private,
+    },
+    ConglomerateSpec {
+        name: "Baidoo",
+        domain: "baidoo.com",
+        alias_domains: &["bdstatic-like.com"],
+        private_ca: false,
+        ca_dns_dep: ProviderDep::None,
+        ca_cdn_dep: ProviderDep::None,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::Private,
+    },
+    ConglomerateSpec {
+        name: "Tensent",
+        domain: "tensent.com",
+        alias_domains: &["qq-like.com"],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::Private,
+        ca_cdn_dep: ProviderDep::Private,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::Private,
+    },
+    ConglomerateSpec {
+        name: "Yandexoid",
+        domain: "yandexoid.com",
+        alias_domains: &["yastatic-like.com"],
+        private_ca: true,
+        ca_dns_dep: ProviderDep::Private,
+        ca_cdn_dep: ProviderDep::Private,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::Private,
+    },
+    ConglomerateSpec {
+        name: "NetFilm",
+        domain: "netfilm.com",
+        alias_domains: &["nfilmcdn.net"],
+        private_ca: false,
+        ca_dns_dep: ProviderDep::None,
+        ca_cdn_dep: ProviderDep::None,
+        private_cdn: true,
+        cdn_dns_dep: ProviderDep::SingleThird("AWS Route 53"),
+    },
 ];
 
 #[cfg(test)]
@@ -516,7 +1135,11 @@ mod tests {
     use super::*;
 
     fn cfg(year: SnapshotYear) -> WorldConfig {
-        WorldConfig { seed: 1, n_sites: 100_000, year }
+        WorldConfig {
+            seed: 1,
+            n_sites: 100_000,
+            year,
+        }
     }
 
     #[test]
@@ -527,13 +1150,20 @@ mod tests {
         let micro = cat.iter().filter(|p| p.tier == ProviderTier::Micro).count();
         assert_eq!(micro, 2_500);
         let cat16 = dns_catalog(&cfg(SnapshotYear::Y2016));
-        let micro16 = cat16.iter().filter(|p| p.tier == ProviderTier::Micro).count();
+        let micro16 = cat16
+            .iter()
+            .filter(|p| p.tier == ProviderTier::Micro)
+            .count();
         assert_eq!(micro16, 6_000, "2016 tail must be much heavier (Fig 6a)");
     }
 
     #[test]
     fn dns_tail_scales_with_world_size() {
-        let small = WorldConfig { seed: 1, n_sites: 2_000, year: SnapshotYear::Y2020 };
+        let small = WorldConfig {
+            seed: 1,
+            n_sites: 2_000,
+            year: SnapshotYear::Y2020,
+        };
         let cat = dns_catalog(&small);
         let micro = cat.iter().filter(|p| p.tier == ProviderTier::Micro).count();
         assert_eq!(micro, 50);
@@ -565,7 +1195,10 @@ mod tests {
         // Paper Table 6: 86 total (incl. private conglomerate CDNs).
         let private_cdns = CONGLOMERATES.iter().filter(|c| c.private_cdn).count();
         assert_eq!(c20.len() + private_cdns, 70 + private_cdns);
-        assert!(!c16.iter().any(|c| c.name == "BunnyCDN"), "BunnyCDN absent in 2016");
+        assert!(
+            !c16.iter().any(|c| c.name == "BunnyCDN"),
+            "BunnyCDN absent in 2016"
+        );
     }
 
     #[test]
@@ -575,23 +1208,40 @@ mod tests {
         let critical = c20.iter().filter(|c| c.dns_dep.is_critical()).count();
         let private_cdns = CONGLOMERATES.iter().filter(|c| c.private_cdn).count();
         let third_total = third
-            + CONGLOMERATES.iter().filter(|c| c.private_cdn && c.cdn_dns_dep.uses_third()).count();
+            + CONGLOMERATES
+                .iter()
+                .filter(|c| c.private_cdn && c.cdn_dns_dep.uses_third())
+                .count();
         let total = c20.len() + private_cdns;
         // Table 6: 31/86 third (36%), 15/86 critical (17.4%).
         let third_rate = third_total as f64 / total as f64;
-        assert!((0.25..=0.45).contains(&third_rate), "third rate {third_rate}");
+        assert!(
+            (0.25..=0.45).contains(&third_rate),
+            "third rate {third_rate}"
+        );
         let crit_rate = critical as f64 / total as f64;
-        assert!((0.10..=0.25).contains(&crit_rate), "critical rate {crit_rate}");
+        assert!(
+            (0.10..=0.25).contains(&crit_rate),
+            "critical rate {crit_rate}"
+        );
     }
 
     #[test]
     fn fastly_dyn_wiring_matches_the_incident() {
         let c16 = cdn_catalog(&cfg(SnapshotYear::Y2016));
         let fastly16 = c16.iter().find(|c| c.name == "Fastly").unwrap();
-        assert_eq!(fastly16.dns_dep, ProviderDep::SingleThird("Dyn"), "2016: the outage path");
+        assert_eq!(
+            fastly16.dns_dep,
+            ProviderDep::SingleThird("Dyn"),
+            "2016: the outage path"
+        );
         let c20 = cdn_catalog(&cfg(SnapshotYear::Y2020));
         let fastly20 = c20.iter().find(|c| c.name == "Fastly").unwrap();
-        assert_eq!(fastly20.dns_dep, ProviderDep::Redundant("Dyn"), "2020: learned the lesson");
+        assert_eq!(
+            fastly20.dns_dep,
+            ProviderDep::Redundant("Dyn"),
+            "2020: learned the lesson"
+        );
     }
 
     #[test]
@@ -602,12 +1252,21 @@ mod tests {
         assert!(c16.iter().any(|c| c.name == "Symantec"));
         // Acquired by DigiCert: only a residual footprint remains in
         // 2020 (kept observable so Table 7 sees its DNS retreat).
-        let sym20 = c20.iter().find(|c| c.name == "Symantec").expect("residual Symantec");
+        let sym20 = c20
+            .iter()
+            .find(|c| c.name == "Symantec")
+            .expect("residual Symantec");
         let sym16 = c16.iter().find(|c| c.name == "Symantec").unwrap();
-        assert!(sym20.weights[3] < sym16.weights[3] / 50.0, "Symantec share collapsed");
+        assert!(
+            sym20.weights[3] < sym16.weights[3] / 50.0,
+            "Symantec share collapsed"
+        );
         let dc20 = c20.iter().find(|c| c.name == "DigiCert").unwrap();
         let dc16 = c16.iter().find(|c| c.name == "DigiCert").unwrap();
-        assert!(dc20.weights[3] > 3.0 * dc16.weights[3], "DigiCert absorbed Symantec's share");
+        assert!(
+            dc20.weights[3] > 3.0 * dc16.weights[3],
+            "DigiCert absorbed Symantec's share"
+        );
         let le20 = c20.iter().find(|c| c.name == "Let's Encrypt").unwrap();
         assert_eq!(le20.cert_lifetime, 90 * 86_400);
     }
@@ -616,8 +1275,16 @@ mod tests {
     fn digicert_dnsmadeeasy_wiring_present() {
         let c20 = ca_catalog(&cfg(SnapshotYear::Y2020));
         let dc = c20.iter().find(|c| c.name == "DigiCert").unwrap();
-        assert_eq!(dc.dns_dep, ProviderDep::SingleThird("DNSMadeEasy"), "§5.1 amplification");
-        assert_eq!(dc.cdn_dep, ProviderDep::SingleThird("Incapsula"), "§5.2 amplification");
+        assert_eq!(
+            dc.dns_dep,
+            ProviderDep::SingleThird("DNSMadeEasy"),
+            "§5.1 amplification"
+        );
+        assert_eq!(
+            dc.cdn_dep,
+            ProviderDep::SingleThird("Incapsula"),
+            "§5.2 amplification"
+        );
         let le = c20.iter().find(|c| c.name == "Let's Encrypt").unwrap();
         assert_eq!(le.dns_dep, ProviderDep::SingleThird("Cloudflare"));
         assert_eq!(le.cdn_dep, ProviderDep::SingleThird("Cloudflare CDN"));
@@ -630,11 +1297,23 @@ mod tests {
         let third = c20.iter().filter(|c| c.dns_dep.uses_third()).count() as f64;
         let critical = c20.iter().filter(|c| c.dns_dep.is_critical()).count() as f64;
         // Table 6: CA→DNS 48.3% third, 30.5% critical.
-        assert!((third / total - 0.483).abs() < 0.12, "third {}", third / total);
-        assert!((critical / total - 0.305).abs() < 0.12, "critical {}", critical / total);
+        assert!(
+            (third / total - 0.483).abs() < 0.12,
+            "third {}",
+            third / total
+        );
+        assert!(
+            (critical / total - 0.305).abs() < 0.12,
+            "critical {}",
+            critical / total
+        );
         let uses_cdn = c20.iter().filter(|c| c.cdn_dep.uses_third()).count() as f64;
         // Table 6: CA→CDN 35.5% third (all critical).
-        assert!((uses_cdn / total - 0.355).abs() < 0.12, "cdn {}", uses_cdn / total);
+        assert!(
+            (uses_cdn / total - 0.355).abs() < 0.12,
+            "cdn {}",
+            uses_cdn / total
+        );
     }
 
     #[test]
@@ -642,8 +1321,16 @@ mod tests {
         let c16 = ca_catalog(&cfg(SnapshotYear::Y2016));
         let c20 = ca_catalog(&cfg(SnapshotYear::Y2020));
         // TrustAsia: private → single third.
-        assert_eq!(c16.iter().find(|c| c.name == "TrustAsia").unwrap().dns_dep, ProviderDep::Private);
-        assert!(c20.iter().find(|c| c.name == "TrustAsia").unwrap().dns_dep.is_critical());
+        assert_eq!(
+            c16.iter().find(|c| c.name == "TrustAsia").unwrap().dns_dep,
+            ProviderDep::Private
+        );
+        assert!(c20
+            .iter()
+            .find(|c| c.name == "TrustAsia")
+            .unwrap()
+            .dns_dep
+            .is_critical());
         // DigiCert & Internet2: redundant → single third.
         assert!(matches!(
             c16.iter().find(|c| c.name == "DigiCert").unwrap().dns_dep,
@@ -653,15 +1340,34 @@ mod tests {
             c16.iter().find(|c| c.name == "Internet2").unwrap().dns_dep,
             ProviderDep::Redundant(_)
         ));
-        assert!(c20.iter().find(|c| c.name == "Internet2").unwrap().dns_dep.is_critical());
+        assert!(c20
+            .iter()
+            .find(|c| c.name == "Internet2")
+            .unwrap()
+            .dns_dep
+            .is_critical());
         // TeliaSonera: third-party CDN → private (Table 8).
-        assert!(c16.iter().find(|c| c.name == "TeliaSonera").unwrap().cdn_dep.is_critical());
+        assert!(c16
+            .iter()
+            .find(|c| c.name == "TeliaSonera")
+            .unwrap()
+            .cdn_dep
+            .is_critical());
         assert_eq!(
-            c20.iter().find(|c| c.name == "TeliaSonera").unwrap().cdn_dep,
+            c20.iter()
+                .find(|c| c.name == "TeliaSonera")
+                .unwrap()
+                .cdn_dep,
             ProviderDep::Private
         );
         // Let's Encrypt: no CDN → third-party CDN (Table 8).
-        assert_eq!(c16.iter().find(|c| c.name == "Let's Encrypt").unwrap().cdn_dep, ProviderDep::None);
+        assert_eq!(
+            c16.iter()
+                .find(|c| c.name == "Let's Encrypt")
+                .unwrap()
+                .cdn_dep,
+            ProviderDep::None
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl PrefixDist {
             }
             target -= w;
         }
-        (0..self.cumulative.len()).rev().find(|&i| i != exclude && self.weight(i) > 0.0)
+        (0..self.cumulative.len())
+            .rev()
+            .find(|&i| i != exclude && self.weight(i) > 0.0)
     }
 
     /// Total weight.
@@ -85,7 +87,11 @@ pub struct BandSampler {
 impl BandSampler {
     /// Builds from accessors returning each item's band weights and its
     /// redundancy multiplier.
-    pub fn new<T>(items: &[T], weights: impl Fn(&T) -> [f64; 4], multi_factor: impl Fn(&T) -> f64) -> Self {
+    pub fn new<T>(
+        items: &[T],
+        weights: impl Fn(&T) -> [f64; 4],
+        multi_factor: impl Fn(&T) -> f64,
+    ) -> Self {
         let build = |band: usize, use_multi: bool| {
             PrefixDist::new(items.iter().map(|it| {
                 let w = weights(it)[band];
@@ -116,9 +122,13 @@ impl BandSampler {
     /// Falls back to (multi, single) mixing when the multi distribution
     /// is too concentrated to yield two distinct picks.
     pub fn pick_pair(&self, band: usize, rng: &mut DetRng) -> Option<(usize, usize)> {
-        let first = self.pick_multi(band, rng).or_else(|| self.pick_single(band, rng))?;
+        let first = self
+            .pick_multi(band, rng)
+            .or_else(|| self.pick_single(band, rng))?;
         for _ in 0..16 {
-            let cand = self.pick_multi(band, rng).or_else(|| self.pick_single(band, rng))?;
+            let cand = self
+                .pick_multi(band, rng)
+                .or_else(|| self.pick_single(band, rng))?;
             if cand != first {
                 return Some((first, cand));
             }
@@ -162,7 +172,16 @@ mod tests {
             w: [f64; 4],
             m: f64,
         }
-        let items = vec![Item { w: [10.0; 4], m: 0.0 }, Item { w: [1.0; 4], m: 5.0 }];
+        let items = vec![
+            Item {
+                w: [10.0; 4],
+                m: 0.0,
+            },
+            Item {
+                w: [1.0; 4],
+                m: 5.0,
+            },
+        ];
         let s = BandSampler::new(&items, |i| i.w, |i| i.m);
         let mut rng = DetRng::new(9);
         for _ in 0..200 {
@@ -183,7 +202,11 @@ mod tests {
         struct Item {
             w: [f64; 4],
         }
-        let items: Vec<Item> = (0..10).map(|i| Item { w: [1.0 + i as f64; 4] }).collect();
+        let items: Vec<Item> = (0..10)
+            .map(|i| Item {
+                w: [1.0 + i as f64; 4],
+            })
+            .collect();
         let s = BandSampler::new(&items, |i| i.w, |_| 1.0);
         let mut rng = DetRng::new(17);
         for _ in 0..100 {
@@ -201,9 +224,18 @@ mod tests {
         // Only item 0 has multi weight; the pair must mix in a single-
         // weight pick for the partner.
         let items = vec![
-            Item { w: [100.0; 4], m: 1.0 },
-            Item { w: [1.0; 4], m: 0.0 },
-            Item { w: [1.0; 4], m: 0.0 },
+            Item {
+                w: [100.0; 4],
+                m: 1.0,
+            },
+            Item {
+                w: [1.0; 4],
+                m: 0.0,
+            },
+            Item {
+                w: [1.0; 4],
+                m: 0.0,
+            },
         ];
         let s = BandSampler::new(&items, |i| i.w, |i| i.m);
         let mut rng = DetRng::new(3);

@@ -8,9 +8,7 @@
 //! transition machinery in [`crate::profiles`].
 
 use crate::config::{SnapshotYear, WorldConfig};
-use crate::profiles::{
-    self, band_of_rank, CaProfile, CdnProfile, DepState,
-};
+use crate::profiles::{self, band_of_rank, CaProfile, CdnProfile, DepState};
 use crate::providers::{self, CaProviderSpec, CdnProviderSpec, DnsProvider};
 use crate::sampler::BandSampler;
 use crate::truth::{CaAssignment, CdnAssignment, DnsAssignment, GroundTruth, SiteTruth};
@@ -23,7 +21,9 @@ const DEATH_RATE: f64 = 0.038;
 const ALIAS_NS_RATE: f64 = 0.25;
 
 /// TLD mix for generated site domains.
-const SITE_TLDS: &[&str] = &["com", "com", "com", "net", "org", "io", "co.uk", "de", "ru", "com.cn"];
+const SITE_TLDS: &[&str] = &[
+    "com", "com", "com", "net", "org", "io", "co.uk", "de", "ru", "com.cn",
+];
 
 /// Everything needed to materialize one snapshot's world.
 #[derive(Debug, Clone)]
@@ -49,11 +49,17 @@ impl YearContext {
         let dns_catalog = providers::dns_catalog(config);
         let cdn_catalog = providers::cdn_catalog(config);
         let ca_catalog = providers::ca_catalog(config);
-        let dns_sampler =
-            BandSampler::new(&dns_catalog, |p| p.weights, |p| p.secondary_weight);
+        let dns_sampler = BandSampler::new(&dns_catalog, |p| p.weights, |p| p.secondary_weight);
         let cdn_sampler = BandSampler::new(&cdn_catalog, |c| c.weights, |c| c.multi_weight);
         let ca_sampler = BandSampler::new(&ca_catalog, |c| c.weights, |_| 1.0);
-        YearContext { dns_catalog, cdn_catalog, ca_catalog, dns_sampler, cdn_sampler, ca_sampler }
+        YearContext {
+            dns_catalog,
+            cdn_catalog,
+            ca_catalog,
+            dns_sampler,
+            cdn_sampler,
+            ca_sampler,
+        }
     }
 
     /// DNS provider names + provider-SOA draw for a state.
@@ -66,8 +72,7 @@ impl YearContext {
                     .pick_single(band, rng)
                     .expect("DNS catalog has positive weight");
                 let p = &self.dns_catalog[idx];
-                let provider_soa =
-                    state == DepState::SingleThird && rng.chance(p.own_soa_rate);
+                let provider_soa = state == DepState::SingleThird && rng.chance(p.own_soa_rate);
                 (vec![p.name.clone()], provider_soa)
             }
             DepState::MultiThird => {
@@ -96,9 +101,14 @@ impl YearContext {
                 vec![self.cdn_catalog[idx].name.clone()]
             }
             CdnProfile::Multi => {
-                let (a, b) =
-                    self.cdn_sampler.pick_pair(band, rng).expect("CDN catalog can yield pairs");
-                vec![self.cdn_catalog[a].name.clone(), self.cdn_catalog[b].name.clone()]
+                let (a, b) = self
+                    .cdn_sampler
+                    .pick_pair(band, rng)
+                    .expect("CDN catalog can yield pairs");
+                vec![
+                    self.cdn_catalog[a].name.clone(),
+                    self.cdn_catalog[b].name.clone(),
+                ]
             }
         }
     }
@@ -107,13 +117,14 @@ impl YearContext {
         match state {
             CaProfile::NoHttps | CaProfile::PrivateCa => None,
             CaProfile::ThirdStapled | CaProfile::ThirdNoStaple => {
-                let idx =
-                    self.ca_sampler.pick_single(band, rng).expect("CA catalog has positive weight");
+                let idx = self
+                    .ca_sampler
+                    .pick_single(band, rng)
+                    .expect("CA catalog has positive weight");
                 Some(self.ca_catalog[idx].name.clone())
             }
         }
     }
-
 }
 
 /// Picks a conglomerate index for a site that needs private CA and/or
@@ -125,7 +136,10 @@ fn pick_conglomerate(needs_ca: bool, needs_cdn: bool, rng: &mut DetRng) -> usize
         .filter(|(_, c)| (!needs_ca || c.private_ca) && (!needs_cdn || c.private_cdn))
         .map(|(i, _)| i)
         .collect();
-    assert!(!candidates.is_empty(), "conglomerate roster must cover ca={needs_ca} cdn={needs_cdn}");
+    assert!(
+        !candidates.is_empty(),
+        "conglomerate roster must cover ca={needs_ca} cdn={needs_cdn}"
+    );
     candidates[rng.below(candidates.len())]
 }
 
@@ -152,8 +166,16 @@ struct PlannedStates {
 
 /// Generates the plans for both snapshots over one universe.
 pub fn plan_pair(seed: u64, n_sites: usize) -> (SnapshotPlan, SnapshotPlan) {
-    let cfg16 = WorldConfig { seed, n_sites, year: SnapshotYear::Y2016 };
-    let cfg20 = WorldConfig { seed, n_sites, year: SnapshotYear::Y2020 };
+    let cfg16 = WorldConfig {
+        seed,
+        n_sites,
+        year: SnapshotYear::Y2016,
+    };
+    let cfg20 = WorldConfig {
+        seed,
+        n_sites,
+        year: SnapshotYear::Y2020,
+    };
     let ctx16 = YearContext::new(&cfg16);
     let ctx20 = YearContext::new(&cfg20);
     let root = DetRng::new(seed);
@@ -185,7 +207,11 @@ pub fn plan_pair(seed: u64, n_sites: usize) -> (SnapshotPlan, SnapshotPlan) {
             domain: site_domain(i, &mut rng.fork("domain")),
             alive_2016: true,
             alive_2020: !dead,
-            truth16: Some(PlannedStates { dns_state: dns16, cdn_state: cdn16, ca_state: ca16 }),
+            truth16: Some(PlannedStates {
+                dns_state: dns16,
+                cdn_state: cdn16,
+                ca_state: ca16,
+            }),
             truth20,
         });
     }
@@ -222,7 +248,9 @@ pub fn plan_pair(seed: u64, n_sites: usize) -> (SnapshotPlan, SnapshotPlan) {
                 SnapshotYear::Y2016 => (u.alive_2016, u.truth16.as_ref()),
                 SnapshotYear::Y2020 => (u.alive_2020, u.truth20.as_ref()),
             };
-            let Some(states) = states.filter(|_| alive) else { continue };
+            let Some(states) = states.filter(|_| alive) else {
+                continue;
+            };
             rank += 1;
             let band = band_of_rank(rank);
             let rng = root
@@ -230,11 +258,19 @@ pub fn plan_pair(seed: u64, n_sites: usize) -> (SnapshotPlan, SnapshotPlan) {
                 .fork(&format!("assign/{}", year.label()));
 
             let needs_ca = states.ca_state == CaProfile::PrivateCa
-                || u.truth16.as_ref().is_some_and(|s| s.ca_state == CaProfile::PrivateCa)
-                || u.truth20.as_ref().is_some_and(|s| s.ca_state == CaProfile::PrivateCa);
+                || u.truth16
+                    .as_ref()
+                    .is_some_and(|s| s.ca_state == CaProfile::PrivateCa)
+                || u.truth20
+                    .as_ref()
+                    .is_some_and(|s| s.ca_state == CaProfile::PrivateCa);
             let needs_cdn = states.cdn_state == CdnProfile::Private
-                || u.truth16.as_ref().is_some_and(|s| s.cdn_state == CdnProfile::Private)
-                || u.truth20.as_ref().is_some_and(|s| s.cdn_state == CdnProfile::Private);
+                || u.truth16
+                    .as_ref()
+                    .is_some_and(|s| s.cdn_state == CdnProfile::Private)
+                || u.truth20
+                    .as_ref()
+                    .is_some_and(|s| s.cdn_state == CdnProfile::Private);
             // Membership is a universe-level fact: derive it from a
             // universe-scoped stream so both snapshots agree.
             let conglomerate = if needs_ca || needs_cdn {
@@ -279,11 +315,20 @@ pub fn plan_pair(seed: u64, n_sites: usize) -> (SnapshotPlan, SnapshotPlan) {
                     provider_soa,
                     alias_ns,
                 },
-                cdn: CdnAssignment { state: states.cdn_state, cdns: cdn_names },
-                ca: CaAssignment { state: states.ca_state, ca: ca_name },
+                cdn: CdnAssignment {
+                    state: states.cdn_state,
+                    cdns: cdn_names,
+                },
+                ca: CaAssignment {
+                    state: states.ca_state,
+                    ca: ca_name,
+                },
             });
         }
-        SnapshotPlan { config: *cfg, truth: GroundTruth { sites } }
+        SnapshotPlan {
+            config: *cfg,
+            truth: GroundTruth { sites },
+        }
     };
 
     let plan16 = build_year(SnapshotYear::Y2016, &ctx16, &cfg16);
@@ -342,7 +387,12 @@ mod tests {
         // Shared sites keep their domain.
         for s20 in &p20.truth.sites {
             if s20.universe < 3_000 {
-                let s16 = p16.truth.sites.iter().find(|s| s.universe == s20.universe).unwrap();
+                let s16 = p16
+                    .truth
+                    .sites
+                    .iter()
+                    .find(|s| s.universe == s20.universe)
+                    .unwrap();
                 assert_eq!(s16.domain, s20.domain);
             }
         }
@@ -366,7 +416,11 @@ mod tests {
 
     #[test]
     fn single_snapshot_matches_pair_half() {
-        let cfg = WorldConfig { seed: 3, n_sites: 400, year: SnapshotYear::Y2020 };
+        let cfg = WorldConfig {
+            seed: 3,
+            n_sites: 400,
+            year: SnapshotYear::Y2020,
+        };
         let solo = plan_snapshot(&cfg);
         let (_, p20) = plan_pair(3, 400);
         assert_eq!(solo.truth.len(), p20.truth.len());
@@ -442,11 +496,27 @@ mod tests {
     #[test]
     fn top_band_has_more_private_dns() {
         let (_, p20) = plan_pair(29, 20_000);
-        let top: Vec<_> = p20.truth.sites.iter().filter(|s| s.rank.get() <= 100).collect();
-        let bulk: Vec<_> = p20.truth.sites.iter().filter(|s| s.rank.get() > 10_000).collect();
-        let priv_top =
-            top.iter().filter(|s| s.dns.state == DepState::Private).count() as f64 / top.len() as f64;
-        let priv_bulk = bulk.iter().filter(|s| s.dns.state == DepState::Private).count() as f64
+        let top: Vec<_> = p20
+            .truth
+            .sites
+            .iter()
+            .filter(|s| s.rank.get() <= 100)
+            .collect();
+        let bulk: Vec<_> = p20
+            .truth
+            .sites
+            .iter()
+            .filter(|s| s.rank.get() > 10_000)
+            .collect();
+        let priv_top = top
+            .iter()
+            .filter(|s| s.dns.state == DepState::Private)
+            .count() as f64
+            / top.len() as f64;
+        let priv_bulk = bulk
+            .iter()
+            .filter(|s| s.dns.state == DepState::Private)
+            .count() as f64
             / bulk.len() as f64;
         assert!(
             priv_top > priv_bulk + 0.15,

@@ -160,8 +160,14 @@ mod tests {
                 provider_soa: true,
                 alias_ns: false,
             },
-            cdn: CdnAssignment { state: cdn_state, cdns: vec![] },
-            ca: CaAssignment { state: ca_state, ca: None },
+            cdn: CdnAssignment {
+                state: cdn_state,
+                cdns: vec![],
+            },
+            ca: CaAssignment {
+                state: ca_state,
+                ca: None,
+            },
         }
     }
 
@@ -183,7 +189,9 @@ mod tests {
 
     #[test]
     fn listings_expose_only_public_facts() {
-        let gt = GroundTruth { sites: vec![truth(CdnProfile::None, CaProfile::ThirdNoStaple)] };
+        let gt = GroundTruth {
+            sites: vec![truth(CdnProfile::None, CaProfile::ThirdNoStaple)],
+        };
         let ls = gt.listings();
         assert_eq!(ls.len(), 1);
         assert!(ls[0].https);

@@ -10,10 +10,10 @@
 use crate::build::World;
 use crate::config::{SnapshotYear, WorldConfig};
 use crate::profiles::{CaProfile, CdnProfile, DepState};
+use crate::providers;
 use crate::sampler::BandSampler;
 use crate::snapshots::SnapshotPlan;
 use crate::truth::{CaAssignment, CdnAssignment, DnsAssignment, GroundTruth, SiteTruth};
-use crate::providers;
 use webdeps_model::{DetRng, DomainName, Rank, SiteId};
 
 /// Number of hospitals in the study (Newsweek top-200).
@@ -37,7 +37,11 @@ const HOSPITAL_STAPLE_RATE: f64 = 0.22;
 
 /// Generates the top-200-US-hospitals world (2020 snapshot).
 pub fn hospital_world(seed: u64) -> World {
-    let config = WorldConfig { seed, n_sites: N_HOSPITALS, year: SnapshotYear::Y2020 };
+    let config = WorldConfig {
+        seed,
+        n_sites: N_HOSPITALS,
+        year: SnapshotYear::Y2020,
+    };
     let dns_catalog = providers::dns_catalog(&config);
     let cdn_catalog = providers::cdn_catalog(&config);
     let ca_catalog = providers::ca_catalog(&config);
@@ -70,7 +74,10 @@ pub fn hospital_world(seed: u64) -> World {
             DepState::Private => (Vec::new(), false),
             DepState::SingleThird | DepState::PrivatePlusThird => {
                 let p = pick_dns(&mut rng);
-                let own = dns_catalog.iter().find(|c| c.name == p).map_or(0.5, |c| c.own_soa_rate);
+                let own = dns_catalog
+                    .iter()
+                    .find(|c| c.name == p)
+                    .map_or(0.5, |c| c.own_soa_rate);
                 let soa = dns_state == DepState::SingleThird && rng.chance(own);
                 (vec![p], soa)
             }
@@ -83,7 +90,11 @@ pub fn hospital_world(seed: u64) -> World {
                     guard += 1;
                 }
                 if b == a {
-                    b = if a == "GoDaddy" { "AWS Route 53".into() } else { "GoDaddy".into() };
+                    b = if a == "GoDaddy" {
+                        "AWS Route 53".into()
+                    } else {
+                        "GoDaddy".into()
+                    };
                 }
                 (vec![a, b], false)
             }
@@ -94,7 +105,9 @@ pub fn hospital_world(seed: u64) -> World {
             let name = if rng.fork("akamai").chance(HOSPITAL_AKAMAI_RATE) {
                 "Akamai".to_string()
             } else {
-                let idx = cdn_sampler.pick_single(3, &mut rng.fork("cdnpick")).expect("cdns");
+                let idx = cdn_sampler
+                    .pick_single(3, &mut rng.fork("cdnpick"))
+                    .expect("cdns");
                 cdn_catalog[idx].name.clone()
             };
             (CdnProfile::SingleThird, vec![name])
@@ -122,12 +135,21 @@ pub fn hospital_world(seed: u64) -> World {
                 provider_soa,
                 alias_ns: false,
             },
-            cdn: CdnAssignment { state: cdn_state, cdns },
-            ca: CaAssignment { state: ca_state, ca: Some(ca_catalog[ca_idx].name.clone()) },
+            cdn: CdnAssignment {
+                state: cdn_state,
+                cdns,
+            },
+            ca: CaAssignment {
+                state: ca_state,
+                ca: Some(ca_catalog[ca_idx].name.clone()),
+            },
         });
     }
 
-    World::from_plan(SnapshotPlan { config, truth: GroundTruth { sites } })
+    World::from_plan(SnapshotPlan {
+        config,
+        truth: GroundTruth { sites },
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -171,7 +193,13 @@ pub fn smart_home_roster() -> Vec<SmartHomeCompany> {
         cloud: CloudDep,
         local_failover: bool,
     ) -> SmartHomeCompany {
-        SmartHomeCompany { name, dns, dns_provider, cloud, local_failover }
+        SmartHomeCompany {
+            name,
+            dns,
+            dns_provider,
+            cloud,
+            local_failover,
+        }
     }
     use CloudDep::{Private as PvtCloud, SingleThird as Cloud};
     vec![
@@ -180,30 +208,150 @@ pub fn smart_home_roster() -> Vec<SmartHomeCompany> {
         c("Apple HomeKit", DepState::Private, None, PvtCloud, true),
         c("Amazon Alexa", DepState::Private, None, PvtCloud, true),
         // Redundant DNS (1).
-        c("Samsung SmartThings", DepState::MultiThird, Some("Google Cloud DNS"), Cloud("AWS"), true),
+        c(
+            "Samsung SmartThings",
+            DepState::MultiThird,
+            Some("Google Cloud DNS"),
+            Cloud("AWS"),
+            true,
+        ),
         // Cloud-critical five (no local failover, third-party cloud).
-        c("Logitech Harmony", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
-        c("IFTTT", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
-        c("Petnet", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
-        c("Ecobee", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
-        c("Ring Security", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), false),
+        c(
+            "Logitech Harmony",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            false,
+        ),
+        c(
+            "IFTTT",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            false,
+        ),
+        c(
+            "Petnet",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            false,
+        ),
+        c(
+            "Ecobee",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            false,
+        ),
+        c(
+            "Ring Security",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            false,
+        ),
         // DNS-critical but cloud-private (no failover).
-        c("Yonomi", DepState::SingleThird, Some("AWS Route 53"), PvtCloud, false),
-        c("Brilliant Tech", DepState::SingleThird, Some("AWS Route 53"), PvtCloud, false),
-        c("Wink", DepState::SingleThird, Some("AWS Route 53"), PvtCloud, false),
+        c(
+            "Yonomi",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            PvtCloud,
+            false,
+        ),
+        c(
+            "Brilliant Tech",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            PvtCloud,
+            false,
+        ),
+        c(
+            "Wink",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            PvtCloud,
+            false,
+        ),
         // Third-party everything, but devices fail over locally.
-        c("Wyze", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
-        c("Lifx", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
-        c("TP-Link Kasa", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
-        c("Tuya", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
-        c("Sengled", DepState::SingleThird, Some("AWS Route 53"), Cloud("AWS"), true),
-        c("Wemo", DepState::SingleThird, Some("Cloudflare"), Cloud("GCP"), true),
-        c("Arlo", DepState::SingleThird, Some("Azure DNS"), Cloud("Azure"), true),
-        c("Abode", DepState::SingleThird, Some("Google Cloud DNS"), Cloud("GCP"), true),
-        c("Nest", DepState::SingleThird, Some("Google Cloud DNS"), Cloud("GCP"), true),
+        c(
+            "Wyze",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            true,
+        ),
+        c(
+            "Lifx",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            true,
+        ),
+        c(
+            "TP-Link Kasa",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            true,
+        ),
+        c(
+            "Tuya",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            true,
+        ),
+        c(
+            "Sengled",
+            DepState::SingleThird,
+            Some("AWS Route 53"),
+            Cloud("AWS"),
+            true,
+        ),
+        c(
+            "Wemo",
+            DepState::SingleThird,
+            Some("Cloudflare"),
+            Cloud("GCP"),
+            true,
+        ),
+        c(
+            "Arlo",
+            DepState::SingleThird,
+            Some("Azure DNS"),
+            Cloud("Azure"),
+            true,
+        ),
+        c(
+            "Abode",
+            DepState::SingleThird,
+            Some("Google Cloud DNS"),
+            Cloud("GCP"),
+            true,
+        ),
+        c(
+            "Nest",
+            DepState::SingleThird,
+            Some("Google Cloud DNS"),
+            Cloud("GCP"),
+            true,
+        ),
         // Third-party DNS, private cloud, local failover.
-        c("Hubitat", DepState::SingleThird, Some("Cloudflare"), PvtCloud, true),
-        c("Eufy", DepState::SingleThird, Some("GoDaddy"), PvtCloud, true),
+        c(
+            "Hubitat",
+            DepState::SingleThird,
+            Some("Cloudflare"),
+            PvtCloud,
+            true,
+        ),
+        c(
+            "Eufy",
+            DepState::SingleThird,
+            Some("GoDaddy"),
+            PvtCloud,
+            true,
+        ),
     ]
 }
 
@@ -215,21 +363,48 @@ mod tests {
     fn hospital_world_matches_table10_marginals() {
         let w = hospital_world(7);
         assert_eq!(w.truth.len(), N_HOSPITALS);
-        let third = w.truth.sites.iter().filter(|s| s.dns.state.uses_third_party()).count();
-        let critical = w.truth.sites.iter().filter(|s| s.dns.state.is_critical()).count();
+        let third = w
+            .truth
+            .sites
+            .iter()
+            .filter(|s| s.dns.state.uses_third_party())
+            .count();
+        let critical = w
+            .truth
+            .sites
+            .iter()
+            .filter(|s| s.dns.state.is_critical())
+            .count();
         // Table 10: 51% third (102), 46% critical (92); ±6pp sampling.
         assert!((third as f64 / 2.0 - 51.0).abs() < 7.0, "third {third}");
-        assert!((critical as f64 / 2.0 - 46.0).abs() < 7.0, "critical {critical}");
-        let cdn_users = w.truth.sites.iter().filter(|s| s.cdn.state.uses_cdn()).count();
-        assert!((cdn_users as f64 / 2.0 - 16.0).abs() < 6.0, "cdn {cdn_users}");
-        assert!(w.truth.sites.iter().all(|s| s.https()), "all hospitals serve HTTPS");
+        assert!(
+            (critical as f64 / 2.0 - 46.0).abs() < 7.0,
+            "critical {critical}"
+        );
+        let cdn_users = w
+            .truth
+            .sites
+            .iter()
+            .filter(|s| s.cdn.state.uses_cdn())
+            .count();
+        assert!(
+            (cdn_users as f64 / 2.0 - 16.0).abs() < 6.0,
+            "cdn {cdn_users}"
+        );
+        assert!(
+            w.truth.sites.iter().all(|s| s.https()),
+            "all hospitals serve HTTPS"
+        );
         let stapled = w
             .truth
             .sites
             .iter()
             .filter(|s| s.ca.state == CaProfile::ThirdStapled)
             .count();
-        assert!((stapled as f64 / 2.0 - 22.0).abs() < 7.0, "stapled {stapled}");
+        assert!(
+            (stapled as f64 / 2.0 - 22.0).abs() < 7.0,
+            "stapled {stapled}"
+        );
     }
 
     #[test]
@@ -238,7 +413,11 @@ mod tests {
         let mut client = w.client();
         for listing in w.listings().iter().take(40) {
             let url = webdeps_web::Url::https(listing.document_hosts[0].clone());
-            assert!(client.fetch(&url).is_ok(), "hospital {} must fetch", listing.domain);
+            assert!(
+                client.fetch(&url).is_ok(),
+                "hospital {} must fetch",
+                listing.domain
+            );
         }
     }
 
@@ -247,7 +426,10 @@ mod tests {
         let roster = smart_home_roster();
         assert_eq!(roster.len(), 23);
         let third_dns = roster.iter().filter(|c| c.dns.uses_third_party()).count();
-        assert_eq!(third_dns, 20, "21 companies minus the redundant one… (3 private)");
+        assert_eq!(
+            third_dns, 20,
+            "21 companies minus the redundant one… (3 private)"
+        );
         let redundant = roster.iter().filter(|c| c.dns.is_redundant()).count();
         assert_eq!(redundant, 1);
         // DNS-critical: single third party AND no local failover.
@@ -265,12 +447,18 @@ mod tests {
             .iter()
             .filter(|c| matches!(c.cloud, CloudDep::SingleThird(_)) && !c.local_failover)
             .count();
-        assert_eq!(cloud_critical, 5, "Table 11: 5 critically dependent on cloud");
+        assert_eq!(
+            cloud_critical, 5,
+            "Table 11: 5 critically dependent on cloud"
+        );
         let amazon = roster
             .iter()
             .filter(|c| matches!(c.cloud, CloudDep::SingleThird("AWS")))
             .count();
-        assert_eq!(amazon, 11, "§6.2: 11 of 15 third-party-cloud companies use Amazon");
+        assert_eq!(
+            amazon, 11,
+            "§6.2: 11 of 15 third-party-cloud companies use Amazon"
+        );
         let aws_dns = roster
             .iter()
             .filter(|c| c.dns_provider == Some("AWS Route 53"))

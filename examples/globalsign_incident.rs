@@ -9,15 +9,18 @@
 
 use webdeps::tls::{OcspFault, Pki, RevocationPolicy};
 use webdeps::web::{Scheme, Url, WebClient};
-use webdeps::worldgen::{SnapshotYear, SiteListing, World, WorldConfig};
+use webdeps::worldgen::{SiteListing, SnapshotYear, World, WorldConfig};
 
 /// Probes every victim over HTTPS with the given client.
 fn reachable(client: &mut WebClient<'_>, victims: &[SiteListing]) -> usize {
     victims
         .iter()
         .filter(|l| {
-            let url =
-                Url { scheme: Scheme::Https, host: l.document_hosts[0].clone(), path: "/".into() };
+            let url = Url {
+                scheme: Scheme::Https,
+                host: l.document_hosts[0].clone(),
+                path: "/".into(),
+            };
             client.fetch(&url).is_ok()
         })
         .count()
@@ -28,9 +31,16 @@ fn strict_client<'a>(world: &'a World, pki: &'a Pki) -> WebClient<'a> {
 }
 
 fn main() {
-    let world =
-        World::generate(WorldConfig { seed: 21, n_sites: 4_000, year: SnapshotYear::Y2020 });
-    let ca_id = world.pki.ca_by_name("GlobalSign").expect("GlobalSign exists").id;
+    let world = World::generate(WorldConfig {
+        seed: 21,
+        n_sites: 4_000,
+        year: SnapshotYear::Y2020,
+    });
+    let ca_id = world
+        .pki
+        .ca_by_name("GlobalSign")
+        .expect("GlobalSign exists")
+        .id;
 
     // The victims: HTTPS sites with GlobalSign certificates.
     let victims: Vec<SiteListing> = world
@@ -38,7 +48,10 @@ fn main() {
         .into_iter()
         .filter(|l| l.https && world.site(l.id).ca.ca.as_deref() == Some("GlobalSign"))
         .collect();
-    println!("GlobalSign serves {} HTTPS sites in this world", victims.len());
+    println!(
+        "GlobalSign serves {} HTTPS sites in this world",
+        victims.len()
+    );
     assert!(!victims.is_empty());
 
     // Two PKI views: the misconfigured responder and the fixed one.
@@ -49,14 +62,20 @@ fn main() {
     // Day 0, healthy baseline: everything loads.
     let mut healthy = strict_client(&world, &world.pki);
     let ok = reachable(&mut healthy, &victims);
-    println!("day 0 (healthy):            {ok}/{} reachable", victims.len());
+    println!(
+        "day 0 (healthy):            {ok}/{} reachable",
+        victims.len()
+    );
     assert_eq!(ok, victims.len());
 
     // Incident day: a strict client hits the bad responder everywhere —
     // and caches the poisoned answers.
     let mut during = strict_client(&world, &pki_bad);
     let ok = reachable(&mut during, &victims);
-    println!("incident day:               {ok}/{} reachable (responder marks all revoked)", victims.len());
+    println!(
+        "incident day:               {ok}/{} reachable (responder marks all revoked)",
+        victims.len()
+    );
     assert_eq!(ok, 0, "every GlobalSign site is denied");
 
     // GlobalSign fixes the responder within a day — but the client's
@@ -69,19 +88,27 @@ fn main() {
     // Sites that staple recover immediately — their webservers re-staple
     // good responses, and a fresh staple outranks the client's poisoned
     // cache. Everyone else stays locked out by the cache.
-    let stapling_victims =
-        victims.iter().filter(|l| world.site(l.id).ca.state == webdeps::worldgen::CaProfile::ThirdStapled).count();
+    let stapling_victims = victims
+        .iter()
+        .filter(|l| world.site(l.id).ca.state == webdeps::worldgen::CaProfile::ThirdStapled)
+        .count();
     println!(
         "day 1 (responder fixed):    {ok}/{} reachable — only the {stapling_victims} stapling sites;          the cache extends the outage for the rest",
         victims.len()
     );
-    assert_eq!(ok, stapling_victims, "cached revoked responses persist, the paper's §2 point");
+    assert_eq!(
+        ok, stapling_victims,
+        "cached revoked responses persist, the paper's §2 point"
+    );
 
     // After the OCSP validity window the cache expires and life resumes.
     after_fix.resolver_mut().advance_time(7 * 86_400);
     after_fix.resolver_mut().flush_cache(); // expired DNS entries, for clarity
     let ok = reachable(&mut after_fix, &victims);
-    println!("day 8 (caches expired):     {ok}/{} reachable again", victims.len());
+    println!(
+        "day 8 (caches expired):     {ok}/{} reachable again",
+        victims.len()
+    );
     assert_eq!(ok, victims.len());
 
     println!(

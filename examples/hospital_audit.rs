@@ -23,20 +23,45 @@ fn main() {
         .iter()
         .filter(|s| s.dns.state.is_some_and(|st| st.uses_third_party()))
         .count();
-    let crit_dns =
-        ds.sites.iter().filter(|s| s.dns.state == Some(DepState::SingleThird)).count();
+    let crit_dns = ds
+        .sites
+        .iter()
+        .filter(|s| s.dns.state == Some(DepState::SingleThird))
+        .count();
     let cdn_users = ds.cdn_users().count();
-    let stapled = ds.sites.iter().filter(|s| s.ca.https && s.ca.stapled).count();
-    let crit_ca =
-        ds.sites.iter().filter(|s| s.ca.state == Some(CaProfile::ThirdNoStaple)).count();
+    let stapled = ds
+        .sites
+        .iter()
+        .filter(|s| s.ca.https && s.ca.stapled)
+        .count();
+    let crit_ca = ds
+        .sites
+        .iter()
+        .filter(|s| s.ca.state == Some(CaProfile::ThirdNoStaple))
+        .count();
 
     println!("\n== Table 10 shape (measured / paper) ==");
-    println!("  third-party DNS:   {third_dns:3} ({:.0}%)   / 102 (51%)", 100.0 * third_dns as f64 / n as f64);
-    println!("  DNS-critical:      {crit_dns:3} ({:.0}%)   / 92 (46%)", 100.0 * crit_dns as f64 / n as f64);
-    println!("  CDN users:         {cdn_users:3} ({:.0}%)   / 32 (16%)  (all critical)", 100.0 * cdn_users as f64 / n as f64);
+    println!(
+        "  third-party DNS:   {third_dns:3} ({:.0}%)   / 102 (51%)",
+        100.0 * third_dns as f64 / n as f64
+    );
+    println!(
+        "  DNS-critical:      {crit_dns:3} ({:.0}%)   / 92 (46%)",
+        100.0 * crit_dns as f64 / n as f64
+    );
+    println!(
+        "  CDN users:         {cdn_users:3} ({:.0}%)   / 32 (16%)  (all critical)",
+        100.0 * cdn_users as f64 / n as f64
+    );
     println!("  HTTPS:             {n:3} (100%)  / 200 (100%)");
-    println!("  OCSP stapling:     {stapled:3} ({:.0}%)   / 44 (22%)", 100.0 * stapled as f64 / n as f64);
-    println!("  CA-critical:       {crit_ca:3} ({:.0}%)   / 156 (78%)", 100.0 * crit_ca as f64 / n as f64);
+    println!(
+        "  OCSP stapling:     {stapled:3} ({:.0}%)   / 44 (22%)",
+        100.0 * stapled as f64 / n as f64
+    );
+    println!(
+        "  CA-critical:       {crit_ca:3} ({:.0}%)   / 156 (78%)",
+        100.0 * crit_ca as f64 / n as f64
+    );
 
     // The most concentrated DNS provider among hospitals (§6.1 names
     // GoDaddy at 13%).
@@ -46,8 +71,11 @@ fn main() {
             *counts.entry(key.as_str()).or_default() += 1;
         }
     }
-    let (top, top_count) =
-        counts.iter().max_by_key(|(_, c)| **c).map(|(k, c)| (*k, *c)).expect("providers exist");
+    let (top, top_count) = counts
+        .iter()
+        .max_by_key(|(_, c)| **c)
+        .map(|(k, c)| (*k, *c))
+        .expect("providers exist");
     println!(
         "\nmost concentrated hospital DNS provider: {top} ({top_count} hospitals, {:.0}%)",
         100.0 * top_count as f64 / n as f64

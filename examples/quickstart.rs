@@ -13,8 +13,15 @@ use webdeps::worldgen::{SnapshotYear, World, WorldConfig};
 fn main() {
     // A 10K-site 2020 snapshot (the paper's scale is 100K; everything
     // here is percentage-calibrated so shapes hold at any size).
-    let config = WorldConfig { seed: 42, n_sites: 10_000, year: SnapshotYear::Y2020 };
-    println!("generating a {}-site world (seed {}) …", config.n_sites, config.seed);
+    let config = WorldConfig {
+        seed: 42,
+        n_sites: 10_000,
+        year: SnapshotYear::Y2020,
+    };
+    println!(
+        "generating a {}-site world (seed {}) …",
+        config.n_sites, config.seed
+    );
     let world = World::generate(config);
     println!(
         "  {} DNS zones, {} webservers/vhosts, {} CAs, {} CDNs",

@@ -11,8 +11,11 @@ use webdeps::measure::measure_world;
 use webdeps::worldgen::{SnapshotYear, World, WorldConfig};
 
 fn main() {
-    let world =
-        World::generate(WorldConfig { seed: 11, n_sites: 5_000, year: SnapshotYear::Y2020 });
+    let world = World::generate(WorldConfig {
+        seed: 11,
+        n_sites: 5_000,
+        year: SnapshotYear::Y2020,
+    });
     let ds = measure_world(&world);
     let graph = DepGraph::from_dataset(&ds);
 
@@ -35,7 +38,10 @@ fn main() {
         shown += 1;
 
         println!("== audit: {} (rank {}) ==", site.domain, site.rank);
-        println!("  risk: {:?} ({} critical providers)", audit.risk, audit.critical_providers);
+        println!(
+            "  risk: {:?} ({} critical providers)",
+            audit.risk, audit.critical_providers
+        );
         println!("  dependency chains:");
         for chain in &audit.chains {
             println!("    {}", chain.describe());

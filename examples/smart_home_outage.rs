@@ -15,10 +15,14 @@ fn main() {
 
     // Table 11 aggregates.
     let third_dns = roster.iter().filter(|c| c.dns.uses_third_party()).count();
-    let dns_critical =
-        roster.iter().filter(|c| c.dns.is_critical() && !c.local_failover).count();
-    let third_cloud =
-        roster.iter().filter(|c| matches!(c.cloud, CloudDep::SingleThird(_))).count();
+    let dns_critical = roster
+        .iter()
+        .filter(|c| c.dns.is_critical() && !c.local_failover)
+        .count();
+    let third_cloud = roster
+        .iter()
+        .filter(|c| matches!(c.cloud, CloudDep::SingleThird(_)))
+        .count();
     let cloud_critical = roster
         .iter()
         .filter(|c| matches!(c.cloud, CloudDep::SingleThird(_)) && !c.local_failover)
@@ -43,8 +47,14 @@ fn main() {
         }
     }
     println!("  fully dead (no local failover): {}", dead.join(", "));
-    println!("  cloud features lost, devices still work locally: {}", degraded.join(", "));
-    assert!(dead.contains(&"Petnet"), "the pet feeder goes hungry — the paper's §6.2 anecdote");
+    println!(
+        "  cloud features lost, devices still work locally: {}",
+        degraded.join(", ")
+    );
+    assert!(
+        dead.contains(&"Petnet"),
+        "the pet feeder goes hungry — the paper's §6.2 anecdote"
+    );
 
     // And the DNS flavor: Route 53 down also kills cloud *reachability*
     // for companies whose DNS is Amazon's, even where the cloud backend

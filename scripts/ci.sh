@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline. Usage: scripts/ci.sh [--bench]
+#
+#   --bench   additionally run every bench target and emit the
+#             BENCH_<target>.json trajectory files at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== cargo bench (std harness, JSON trajectory) =="
+    cargo bench --offline --workspace
+    ls -l BENCH_*.json
+fi
+
+echo "CI OK"

@@ -41,7 +41,10 @@ fn obs1_dns_dependency_grows_down_the_ranking() {
 fn obs3_cdn_criticality_grows_down_the_ranking() {
     let fig = cdn_figure(&ctx().ds20);
     assert!(fig[0].critical_of_users < fig[3].critical_of_users);
-    assert!(fig[3].third_party_of_users > 90.0, "nearly all CDN use is third-party");
+    assert!(
+        fig[3].third_party_of_users > 90.0,
+        "nearly all CDN use is third-party"
+    );
 }
 
 /// Observation 5: stapling is low everywhere; critical CA dependency is
@@ -52,7 +55,10 @@ fn obs5_stapling_low_everywhere() {
     for row in &fig {
         assert!(row.stapled_of_https < 35.0, "{row:?}");
     }
-    assert!(fig[0].https > fig[3].https, "HTTPS adoption is higher at the top");
+    assert!(
+        fig[0].https > fig[3].https,
+        "HTTPS adoption is higher at the top"
+    );
 }
 
 /// Observation 7: a handful of providers critically serve most sites.
@@ -95,16 +101,31 @@ fn obs9_10_indirect_amplification() {
     let graph = DepGraph::from_dataset(ds);
     let metrics = Metrics::new(&graph);
 
-    let dnsme = graph.provider("dnsmadeeasy.com", ServiceKind::Dns).expect("observed");
+    let dnsme = graph
+        .provider("dnsmadeeasy.com", ServiceKind::Dns)
+        .expect("observed");
     let direct = metrics.impact(dnsme, &MetricOptions::direct_only());
-    let with_ca = metrics.impact(dnsme, &MetricOptions::only(ServiceKind::Ca, ServiceKind::Dns));
-    assert!(with_ca > 5 * direct.max(1), "DNSMadeEasy: {direct} → {with_ca}");
+    let with_ca = metrics.impact(
+        dnsme,
+        &MetricOptions::only(ServiceKind::Ca, ServiceKind::Dns),
+    );
+    assert!(
+        with_ca > 5 * direct.max(1),
+        "DNSMadeEasy: {direct} → {with_ca}"
+    );
 
-    let incapsula = graph.provider("incapdns.net", ServiceKind::Cdn).expect("observed");
+    let incapsula = graph
+        .provider("incapdns.net", ServiceKind::Cdn)
+        .expect("observed");
     let direct = metrics.impact(incapsula, &MetricOptions::direct_only());
-    let with_ca =
-        metrics.impact(incapsula, &MetricOptions::only(ServiceKind::Ca, ServiceKind::Cdn));
-    assert!(with_ca > 3 * direct.max(1), "Incapsula: {direct} → {with_ca}");
+    let with_ca = metrics.impact(
+        incapsula,
+        &MetricOptions::only(ServiceKind::Ca, ServiceKind::Cdn),
+    );
+    assert!(
+        with_ca > 3 * direct.max(1),
+        "Incapsula: {direct} → {with_ca}"
+    );
 }
 
 /// Observation 11: the CDN→DNS hop barely moves major DNS providers.
@@ -117,12 +138,18 @@ fn obs11_cdn_dns_hop_changes_little() {
     let ranking = metrics.ranking(ServiceKind::Dns, &MetricOptions::direct_only());
     let mut gain = 0usize;
     for score in ranking.iter().take(5) {
-        let node = graph.provider(score.key.as_str(), ServiceKind::Dns).unwrap();
-        gain +=
-            metrics.impact(node, &MetricOptions::only(ServiceKind::Cdn, ServiceKind::Dns))
-                - score.impact;
+        let node = graph
+            .provider(score.key.as_str(), ServiceKind::Dns)
+            .unwrap();
+        gain += metrics.impact(
+            node,
+            &MetricOptions::only(ServiceKind::Cdn, ServiceKind::Dns),
+        ) - score.impact;
     }
-    assert!((gain as f64) / n < 0.05, "top-5 DNS gained {gain} sites via CDN hop");
+    assert!(
+        (gain as f64) / n < 0.05,
+        "top-5 DNS gained {gain} sites via CDN hop"
+    );
 }
 
 /// The 89% headline: almost everyone critically depends on *some*
@@ -141,7 +168,10 @@ fn headline_critical_dependency_share() {
         })
         .count();
     let share = critical as f64 / n as f64;
-    assert!(share > 0.6, "critical share {share} (paper: 0.89 at 100K scale)");
+    assert!(
+        share > 0.6,
+        "critical share {share} (paper: 0.89 at 100K scale)"
+    );
 }
 
 /// Dead sites from the 2016 list really are gone in 2020.
@@ -155,7 +185,9 @@ fn dead_sites_unresolvable_in_2020() {
     for s in &c.ds16.sites {
         if !domains20.contains(s.domain.as_str()) {
             assert!(
-                resolver.resolve(&s.domain, webdeps::dns::RecordType::A).is_err(),
+                resolver
+                    .resolve(&s.domain, webdeps::dns::RecordType::A)
+                    .is_err(),
                 "{} should not resolve in 2020",
                 s.domain
             );

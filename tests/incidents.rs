@@ -36,7 +36,11 @@ fn mirai_dyn_2016() {
             collateral += 1;
         }
         // Redundantly provisioned Dyn customers survive.
-        if dns_on_dyn && truth.dns.state.is_redundant() && !fastly_only && !truth.cdn.cdns.contains(&"Fastly".to_string()) {
+        if dns_on_dyn
+            && truth.dns.state.is_redundant()
+            && !fastly_only
+            && !truth.cdn.cdns.contains(&"Fastly".to_string())
+        {
             assert!(
                 !affected.contains(&truth.id),
                 "{} had a secondary and must survive",
@@ -44,7 +48,10 @@ fn mirai_dyn_2016() {
             );
         }
     }
-    assert!(collateral > 0, "the Fastly collateral is the incident's signature");
+    assert!(
+        collateral > 0,
+        "the Fastly collateral is the incident's signature"
+    );
 }
 
 /// The 2020 counterfactual: Dyn shrank and Fastly learned; the same
@@ -64,7 +71,10 @@ fn dyn_2020_counterfactual() {
     let affected20: std::collections::HashSet<_> = r20.affected.iter().copied().collect();
     for truth in &p.y2020.truth.sites {
         let dns_on_dyn = truth.dns.providers.iter().any(|p| p == "Dyn");
-        if !dns_on_dyn && truth.cdn.cdns == vec!["Fastly".to_string()] && truth.dns.state.is_critical() {
+        if !dns_on_dyn
+            && truth.cdn.cdns == vec!["Fastly".to_string()]
+            && truth.dns.state.is_critical()
+        {
             assert!(
                 !affected20.contains(&truth.id),
                 "{} must survive: Fastly now has a secondary",
@@ -78,8 +88,11 @@ fn dyn_2020_counterfactual() {
 /// revoked; caching extends the outage past the server-side fix.
 #[test]
 fn globalsign_2016() {
-    let world =
-        World::generate(WorldConfig { seed: 7, n_sites: 2_000, year: SnapshotYear::Y2020 });
+    let world = World::generate(WorldConfig {
+        seed: 7,
+        n_sites: 2_000,
+        year: SnapshotYear::Y2020,
+    });
     let ca_id = world.pki.ca_by_name("GlobalSign").expect("exists").id;
     let victims: Vec<_> = world
         .listings()
@@ -96,7 +109,11 @@ fn globalsign_2016() {
         .iter()
         .filter(|l| {
             client
-                .fetch(&Url { scheme: Scheme::Https, host: l.document_hosts[0].clone(), path: "/".into() })
+                .fetch(&Url {
+                    scheme: Scheme::Https,
+                    host: l.document_hosts[0].clone(),
+                    path: "/".into(),
+                })
                 .is_err()
         })
         .count();
@@ -114,15 +131,17 @@ fn globalsign_2016() {
         .filter(|l| {
             !world.site(l.id).ca.state.is_https()
                 || fixed_client
-                    .fetch(&Url { scheme: Scheme::Https, host: l.document_hosts[0].clone(), path: "/".into() })
+                    .fetch(&Url {
+                        scheme: Scheme::Https,
+                        host: l.document_hosts[0].clone(),
+                        path: "/".into(),
+                    })
                     .is_err()
         })
         .count();
     let stapling = victims
         .iter()
-        .filter(|l| {
-            world.site(l.id).ca.state == webdeps::worldgen::CaProfile::ThirdStapled
-        })
+        .filter(|l| world.site(l.id).ca.state == webdeps::worldgen::CaProfile::ThirdStapled)
         .count();
     assert_eq!(
         still_denied,
@@ -146,10 +165,7 @@ fn route53_2019_style_cascade() {
         // Sites whose only CDN runs its DNS exclusively on Route 53
         // (CDN77/KeyCDN/BunnyCDN and the small AWS-exclusive pool).
         let cdn_on_aws_exclusively = truth.cdn.cdns.len() == 1
-            && matches!(
-                truth.cdn.cdns[0].as_str(),
-                "CDN77" | "KeyCDN" | "BunnyCDN"
-            );
+            && matches!(truth.cdn.cdns[0].as_str(), "CDN77" | "KeyCDN" | "BunnyCDN");
         if !dns_on_aws && cdn_on_aws_exclusively {
             assert!(
                 affected.contains(&truth.id),
@@ -159,7 +175,10 @@ fn route53_2019_style_cascade() {
             via_cdn += 1;
         }
     }
-    assert!(via_cdn > 0, "the cascade through dependent services must be visible");
+    assert!(
+        via_cdn > 0,
+        "the cascade through dependent services must be visible"
+    );
     assert!(
         result.affected_fraction() > 0.05,
         "Route 53 is a major provider: {:.3}",

@@ -12,8 +12,11 @@ use webdeps::worldgen::{SnapshotYear, World, WorldConfig};
 fn world() -> &'static (World, MeasurementDataset, DepGraph) {
     static W: OnceLock<(World, MeasurementDataset, DepGraph)> = OnceLock::new();
     W.get_or_init(|| {
-        let world =
-            World::generate(WorldConfig { seed: 99, n_sites: 2_500, year: SnapshotYear::Y2020 });
+        let world = World::generate(WorldConfig {
+            seed: 99,
+            n_sites: 2_500,
+            year: SnapshotYear::Y2020,
+        });
         let ds = measure_world(&world);
         let graph = DepGraph::from_dataset(&ds);
         (world, ds, graph)
@@ -38,7 +41,10 @@ fn check_dns_provider(key: &str) {
 
     // Lower bound: every directly-critical site breaks.
     for site in &direct_predicted {
-        assert!(simulated.contains(site), "{key}: predicted site {site} survived");
+        assert!(
+            simulated.contains(site),
+            "{key}: predicted site {site} survived"
+        );
     }
     // Upper bound: everything that broke is in the indirect closure, or
     // was uncharacterized (excluded by the measurement, still breakable).
@@ -84,26 +90,41 @@ fn cdn_outage_respects_redundancy() {
     let mut crit = 0;
     let mut redundant = 0;
     for m in &ds.sites {
-        let uses_akamai = m.cdn.cdns.iter().any(|(k, _)| k.as_str() == "akamaiedge.net");
+        let uses_akamai = m
+            .cdn
+            .cdns
+            .iter()
+            .any(|(k, _)| k.as_str() == "akamaiedge.net");
         if !uses_akamai {
             continue;
         }
         match m.cdn.state {
             Some(webdeps::worldgen::CdnProfile::SingleThird) => {
-                assert!(affected.contains(&m.id), "critical Akamai site {} survived", m.domain);
+                assert!(
+                    affected.contains(&m.id),
+                    "critical Akamai site {} survived",
+                    m.domain
+                );
                 crit += 1;
             }
             Some(webdeps::worldgen::CdnProfile::Multi) => {
                 // The second CDN keeps the document reachable unless the
                 // site ALSO depends on Akamai another way (e.g. its CA
                 // rides Akamai and... CA failures need hard-fail, so no).
-                assert!(!affected.contains(&m.id), "redundant site {} died", m.domain);
+                assert!(
+                    !affected.contains(&m.id),
+                    "redundant site {} died",
+                    m.domain
+                );
                 redundant += 1;
             }
             _ => {}
         }
     }
-    assert!(crit > 0 && redundant > 0, "sample must contain both populations");
+    assert!(
+        crit > 0 && redundant > 0,
+        "sample must contain both populations"
+    );
 }
 
 /// The graph's full-indirect impact for DNSMadeEasy predicts the
@@ -113,7 +134,9 @@ fn cdn_outage_respects_redundancy() {
 fn dnsmadeeasy_outage_amplified_through_digicert() {
     let (world, _, graph) = world();
     let metrics = Metrics::new(graph);
-    let node = graph.provider("dnsmadeeasy.com", ServiceKind::Dns).expect("observed");
+    let node = graph
+        .provider("dnsmadeeasy.com", ServiceKind::Dns)
+        .expect("observed");
     let direct = metrics.impact(node, &MetricOptions::direct_only());
     let full = metrics.impact(node, &MetricOptions::full());
 

@@ -1,165 +1,234 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-based tests over the core data structures and invariants,
+//! driven by the in-repo `webdeps-testkit` (the hermetic replacement
+//! for `proptest`): every case is a pure function of the base seed, and
+//! failures report a reproducing `TESTKIT_SEED` plus a shrunk input.
 
-use proptest::prelude::*;
 use webdeps::core::{DepGraph, EdgeKind, MetricOptions, Metrics, NodeRef};
 use webdeps::dns::{SimTime, Ttl};
 use webdeps::measure::ProviderKey;
 use webdeps::model::name::dn;
 use webdeps::model::{DetRng, DomainName, PublicSuffixList, ServiceKind, SiteId};
+use webdeps_testkit::{check, check_with, gen, tk_assert, tk_assert_eq, tk_assert_ne, Config};
 
-/// Strategy for syntactically valid domain labels.
-fn label() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,14}[a-z0-9]".prop_map(|s| s)
+/// Generator for 2–4-label domain names (the testkit's `label()`
+/// matches the same `[a-z][a-z0-9-]{0,14}[a-z0-9]` grammar the old
+/// proptest strategy used).
+fn domain() -> gen::Gen<String> {
+    gen::domain(2, 4)
 }
 
-/// Strategy for 2–4-label domain names.
-fn domain() -> impl Strategy<Value = String> {
-    prop::collection::vec(label(), 2..=4).prop_map(|labels| labels.join("."))
-}
-
-proptest! {
-    /// Parsing normalizes and round-trips.
-    #[test]
-    fn domain_parse_roundtrip(name in domain()) {
-        let parsed = DomainName::parse(&name).expect("generated names are valid");
-        prop_assert_eq!(parsed.as_str(), name.as_str());
+/// Parsing normalizes and round-trips.
+#[test]
+fn domain_parse_roundtrip() {
+    check("domain_parse_roundtrip", &domain(), |name| {
+        let parsed = DomainName::parse(name).expect("generated names are valid");
+        tk_assert_eq!(parsed.as_str(), name.as_str());
         let upper = name.to_uppercase();
         let reparsed = DomainName::parse(&upper).expect("case-insensitive");
-        prop_assert_eq!(parsed.clone(), reparsed);
+        tk_assert_eq!(parsed.clone(), reparsed);
         let dotted = format!("{name}.");
-        prop_assert_eq!(DomainName::parse(&dotted).unwrap(), parsed);
-    }
+        tk_assert_eq!(DomainName::parse(&dotted).unwrap(), parsed);
+        Ok(())
+    });
+}
 
-    /// parent() shortens by exactly one label until exhaustion.
-    #[test]
-    fn domain_parent_walk_terminates(name in domain()) {
-        let mut cur = Some(DomainName::parse(&name).unwrap());
+/// parent() shortens by exactly one label until exhaustion.
+#[test]
+fn domain_parent_walk_terminates() {
+    check("domain_parent_walk_terminates", &domain(), |name| {
+        let mut cur = Some(DomainName::parse(name).unwrap());
         let mut steps = 0;
         while let Some(n) = cur {
             steps += 1;
-            prop_assert!(steps <= 8, "walk must terminate");
+            tk_assert!(steps <= 8, "walk must terminate");
             cur = n.parent();
         }
-        prop_assert_eq!(steps, name.split('.').count());
-    }
+        tk_assert_eq!(steps, name.split('.').count());
+        Ok(())
+    });
+}
 
-    /// A child is always a strict subdomain of its parent.
-    #[test]
-    fn child_is_subdomain(name in domain(), l in label()) {
-        let base = DomainName::parse(&name).unwrap();
-        let child = base.child(&l).unwrap();
-        prop_assert!(child.is_subdomain_of(&base));
-        prop_assert!(!base.is_subdomain_of(&child));
-        prop_assert!(child.is_equal_or_subdomain_of(&base));
-    }
+/// A child is always a strict subdomain of its parent.
+#[test]
+fn child_is_subdomain() {
+    check(
+        "child_is_subdomain",
+        &gen::tuple2(domain(), gen::label()),
+        |(name, l)| {
+            let base = DomainName::parse(name).unwrap();
+            let child = base.child(l).unwrap();
+            tk_assert!(child.is_subdomain_of(&base));
+            tk_assert!(!base.is_subdomain_of(&child));
+            tk_assert!(child.is_equal_or_subdomain_of(&base));
+            Ok(())
+        },
+    );
+}
 
-    /// Registrable domains are invariant under subdomain extension.
-    #[test]
-    fn registrable_domain_stable_under_children(name in domain(), l in label()) {
-        let psl = PublicSuffixList::builtin();
-        let base = DomainName::parse(&name).unwrap();
-        if let Some(reg) = psl.registrable_domain(&base) {
-            let child = base.child(&l).unwrap();
-            prop_assert_eq!(psl.registrable_domain(&child).unwrap(), reg);
-        }
-    }
+/// Registrable domains are invariant under subdomain extension.
+#[test]
+fn registrable_domain_stable_under_children() {
+    let psl = PublicSuffixList::builtin();
+    check(
+        "registrable_domain_stable_under_children",
+        &gen::tuple2(domain(), gen::label()),
+        |(name, l)| {
+            let base = DomainName::parse(name).unwrap();
+            if let Some(reg) = psl.registrable_domain(&base) {
+                let child = base.child(l).unwrap();
+                tk_assert_eq!(psl.registrable_domain(&child).unwrap(), reg);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// TTL freshness is a half-open interval.
-    #[test]
-    fn ttl_window(fetched in 0u64..1_000_000, ttl in 1u32..100_000, probe in 0u64..2_000_000) {
+/// TTL freshness is a half-open interval.
+#[test]
+fn ttl_window() {
+    let inputs = gen::tuple3(
+        gen::u64_range(0, 1_000_000),
+        gen::u32_range(1, 100_000),
+        gen::u64_range(0, 2_000_000),
+    );
+    check("ttl_window", &inputs, |&(fetched, ttl, probe)| {
         let fresh = SimTime(probe).within_ttl(SimTime(fetched), Ttl(ttl));
-        prop_assert_eq!(fresh, probe < fetched + ttl as u64);
-    }
+        tk_assert_eq!(fresh, probe < fetched + ttl as u64);
+        Ok(())
+    });
+}
 
-    /// Deterministic RNG: identical seeds and labels → identical draws;
-    /// weighted_index stays in range and avoids zero weights.
-    #[test]
-    fn det_rng_determinism(seed in any::<u64>(), label in "[a-z]{1,12}") {
+/// Deterministic RNG: identical seeds and labels → identical draws.
+#[test]
+fn det_rng_determinism() {
+    let inputs = gen::tuple2(gen::u64_any(), gen::label());
+    check("det_rng_determinism", &inputs, |(seed, label)| {
         let a: Vec<u64> = {
-            let mut r = DetRng::new(seed).fork(&label);
+            let mut r = DetRng::new(*seed).fork(label);
             (0..16).map(|_| r.next_u64()).collect()
         };
         let b: Vec<u64> = {
-            let mut r = DetRng::new(seed).fork(&label);
+            let mut r = DetRng::new(*seed).fork(label);
             (0..16).map(|_| r.next_u64()).collect()
         };
-        prop_assert_eq!(a, b);
-    }
-
-    #[test]
-    fn weighted_index_in_range(seed in any::<u64>(), weights in prop::collection::vec(0.0f64..10.0, 1..20)) {
-        let mut rng = DetRng::new(seed);
-        match rng.weighted_index(&weights) {
-            Some(i) => {
-                prop_assert!(i < weights.len());
-                prop_assert!(weights[i] > 0.0, "zero-weight item sampled");
-            }
-            None => prop_assert!(weights.iter().all(|&w| w <= 0.0)),
-        }
-    }
-
-    /// Metrics invariants on random bipartite-ish graphs:
-    /// impact ⊆ concentration, and BFS == literal recursion.
-    #[test]
-    fn metrics_bfs_equals_recursion(
-        seed in any::<u64>(),
-        n_sites in 1usize..30,
-        n_providers in 1usize..10,
-        n_edges in 0usize..80,
-    ) {
-        let mut g = DepGraph::default();
-        let sites: Vec<_> = (0..n_sites).map(|i| g.intern(NodeRef::Site(SiteId(i as u32)))).collect();
-        let kinds = [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca];
-        let providers: Vec<_> = (0..n_providers)
-            .map(|i| {
-                g.intern(NodeRef::Provider(
-                    ProviderKey::new(format!("p{i}.net")),
-                    kinds[i % 3],
-                ))
-            })
-            .collect();
-        let mut rng = DetRng::new(seed);
-        for _ in 0..n_edges {
-            let to = providers[rng.below(providers.len())];
-            let to_kind = match g.node(to) {
-                NodeRef::Provider(_, k) => *k,
-                _ => unreachable!(),
-            };
-            let critical = rng.chance(0.5);
-            if rng.chance(0.7) {
-                let from = sites[rng.below(sites.len())];
-                g.add_edge(from, to, EdgeKind { service: to_kind, critical });
-            } else {
-                let from = providers[rng.below(providers.len())];
-                if from != to {
-                    g.add_edge(from, to, EdgeKind { service: to_kind, critical });
-                }
-            }
-        }
-        let metrics = Metrics::new(&g);
-        for opts in [MetricOptions::direct_only(), MetricOptions::full()] {
-            for &p in &providers {
-                let conc = metrics.score_bfs(p, false, &opts);
-                let imp = metrics.score_bfs(p, true, &opts);
-                prop_assert!(imp.is_subset(&conc), "impact must be within concentration");
-                prop_assert_eq!(&conc, &metrics.score_recursive(p, false, &opts));
-                prop_assert_eq!(&imp, &metrics.score_recursive(p, true, &opts));
-            }
-        }
-    }
+        tk_assert_eq!(a, b);
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// weighted_index stays in range and never samples a zero weight.
+#[test]
+fn weighted_index_in_range() {
+    let inputs = gen::tuple2(
+        gen::u64_any(),
+        gen::vec_of(gen::f64_range(0.0, 10.0), 1, 19),
+    );
+    check("weighted_index_in_range", &inputs, |(seed, weights)| {
+        let mut rng = DetRng::new(*seed);
+        match rng.weighted_index(weights) {
+            Some(i) => {
+                tk_assert!(i < weights.len());
+                tk_assert!(weights[i] > 0.0, "zero-weight item sampled");
+            }
+            None => tk_assert!(weights.iter().all(|&w| w <= 0.0)),
+        }
+        Ok(())
+    });
+}
 
-    /// World generation is deterministic and structurally sound at
-    /// arbitrary small scales.
-    #[test]
-    fn world_generation_sound(seed in 0u64..1_000, n in 50usize..300) {
-        use webdeps::worldgen::{SnapshotYear, World, WorldConfig};
-        let cfg = WorldConfig { seed, n_sites: n, year: SnapshotYear::Y2020 };
+/// Metrics invariants on random bipartite-ish graphs:
+/// impact ⊆ concentration, and BFS == literal recursion.
+#[test]
+fn metrics_bfs_equals_recursion() {
+    let inputs = gen::tuple4(
+        gen::u64_any(),
+        gen::usize_range(1, 30),
+        gen::usize_range(1, 10),
+        gen::usize_range(0, 80),
+    );
+    check(
+        "metrics_bfs_equals_recursion",
+        &inputs,
+        |&(seed, n_sites, n_providers, n_edges)| {
+            let mut g = DepGraph::default();
+            let sites: Vec<_> = (0..n_sites)
+                .map(|i| g.intern(NodeRef::Site(SiteId(i as u32))))
+                .collect();
+            let kinds = [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca];
+            let providers: Vec<_> = (0..n_providers)
+                .map(|i| {
+                    g.intern(NodeRef::Provider(
+                        ProviderKey::new(format!("p{i}.net")),
+                        kinds[i % 3],
+                    ))
+                })
+                .collect();
+            let mut rng = DetRng::new(seed);
+            for _ in 0..n_edges {
+                let to = providers[rng.below(providers.len())];
+                let to_kind = match g.node(to) {
+                    NodeRef::Provider(_, k) => *k,
+                    _ => unreachable!(),
+                };
+                let critical = rng.chance(0.5);
+                if rng.chance(0.7) {
+                    let from = sites[rng.below(sites.len())];
+                    g.add_edge(
+                        from,
+                        to,
+                        EdgeKind {
+                            service: to_kind,
+                            critical,
+                        },
+                    );
+                } else {
+                    let from = providers[rng.below(providers.len())];
+                    if from != to {
+                        g.add_edge(
+                            from,
+                            to,
+                            EdgeKind {
+                                service: to_kind,
+                                critical,
+                            },
+                        );
+                    }
+                }
+            }
+            let metrics = Metrics::new(&g);
+            for opts in [MetricOptions::direct_only(), MetricOptions::full()] {
+                for &p in &providers {
+                    let conc = metrics.score_bfs(p, false, &opts);
+                    let imp = metrics.score_bfs(p, true, &opts);
+                    tk_assert!(imp.is_subset(&conc), "impact must be within concentration");
+                    tk_assert_eq!(&conc, &metrics.score_recursive(p, false, &opts));
+                    tk_assert_eq!(&imp, &metrics.score_recursive(p, true, &opts));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// World generation is deterministic and structurally sound at
+/// arbitrary small scales. (Expensive: capped at 16 cases, matching the
+/// old `ProptestConfig::with_cases(16)`.)
+#[test]
+fn world_generation_sound() {
+    use webdeps::worldgen::{SnapshotYear, World, WorldConfig};
+    let cfg = Config {
+        cases: 16,
+        ..Config::default()
+    };
+    let inputs = gen::tuple2(gen::u64_range(0, 1_000), gen::usize_range(50, 300));
+    check_with(&cfg, "world_generation_sound", &inputs, |&(seed, n)| {
+        let cfg = WorldConfig {
+            seed,
+            n_sites: n,
+            year: SnapshotYear::Y2020,
+        };
         let world = World::generate(cfg);
-        prop_assert_eq!(world.truth.len(), n);
+        tk_assert_eq!(world.truth.len(), n);
         // Every site's document host resolves and fetches.
         let mut client = world.client();
         for listing in world.listings().iter().take(25) {
@@ -173,81 +242,128 @@ proptest! {
                 host: listing.document_hosts[0].clone(),
                 path: "/".into(),
             };
-            prop_assert!(client.fetch(&url).is_ok(), "fetch of {} failed", url);
+            tk_assert!(client.fetch(&url).is_ok(), "fetch of {} failed", url);
         }
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Randomly assembled zones survive a text round-trip intact.
-    #[test]
-    fn zonefile_roundtrip(
-        seed in any::<u64>(),
-        n_hosts in 0usize..12,
-        serial in 1u32..1_000_000,
-    ) {
-        use webdeps::dns::record::RecordData;
-        use webdeps::dns::{Soa, Zone};
-        let mut rng = DetRng::new(seed);
-        let origin = dn("zone-under-test.com");
-        let soa = Soa::standard(dn("ns1.zone-under-test.com"), dn("hostmaster.zone-under-test.com"), serial);
-        let mut zone = Zone::new(origin.clone(), soa);
-        zone.add(origin.clone(), RecordData::Ns(dn("ns1.zone-under-test.com")));
-        for i in 0..n_hosts {
-            let host = origin.child(&format!("h{i}")).unwrap();
-            match rng.below(3) {
-                0 => zone.add(host, RecordData::A(std::net::Ipv4Addr::from(rng.next_u64() as u32))),
-                1 => zone.add(host, RecordData::Cname(dn(&format!("t{i}.elsewhere.net")))),
-                _ => zone.add(host, RecordData::Txt(format!("payload {i}"))),
-            }
-        }
-        let text = zone.to_zonefile();
-        let reparsed = Zone::from_zonefile(&text).expect("serialized zones parse");
-        prop_assert_eq!(reparsed.origin(), zone.origin());
-        prop_assert_eq!(reparsed.soa(), zone.soa());
-        prop_assert_eq!(reparsed.records().count(), zone.records().count());
-        for rr in zone.records() {
-            let qtype = rr.data.record_type();
-            prop_assert_eq!(
-                reparsed.lookup(&rr.name, qtype),
-                zone.lookup(&rr.name, qtype),
-                "lookup parity for {}", rr.name
+/// Randomly assembled zones survive a text round-trip intact.
+/// (Matches the old `ProptestConfig::with_cases(64)`.)
+#[test]
+fn zonefile_roundtrip() {
+    use webdeps::dns::record::RecordData;
+    use webdeps::dns::{Soa, Zone};
+    let cfg = Config {
+        cases: 64,
+        ..Config::default()
+    };
+    let inputs = gen::tuple3(
+        gen::u64_any(),
+        gen::usize_range(0, 12),
+        gen::u32_range(1, 1_000_000),
+    );
+    check_with(
+        &cfg,
+        "zonefile_roundtrip",
+        &inputs,
+        |&(seed, n_hosts, serial)| {
+            let mut rng = DetRng::new(seed);
+            let origin = dn("zone-under-test.com");
+            let soa = Soa::standard(
+                dn("ns1.zone-under-test.com"),
+                dn("hostmaster.zone-under-test.com"),
+                serial,
             );
-        }
-    }
+            let mut zone = Zone::new(origin.clone(), soa);
+            zone.add(
+                origin.clone(),
+                RecordData::Ns(dn("ns1.zone-under-test.com")),
+            );
+            for i in 0..n_hosts {
+                let host = origin.child(&format!("h{i}")).unwrap();
+                match rng.below(3) {
+                    0 => zone.add(
+                        host,
+                        RecordData::A(std::net::Ipv4Addr::from(rng.next_u64() as u32)),
+                    ),
+                    1 => zone.add(host, RecordData::Cname(dn(&format!("t{i}.elsewhere.net")))),
+                    _ => zone.add(host, RecordData::Txt(format!("payload {i}"))),
+                }
+            }
+            let text = zone.to_zonefile();
+            let reparsed = Zone::from_zonefile(&text).expect("serialized zones parse");
+            tk_assert_eq!(reparsed.origin(), zone.origin());
+            tk_assert_eq!(reparsed.soa(), zone.soa());
+            tk_assert_eq!(reparsed.records().count(), zone.records().count());
+            for rr in zone.records() {
+                let qtype = rr.data.record_type();
+                tk_assert_eq!(
+                    reparsed.lookup(&rr.name, qtype),
+                    zone.lookup(&rr.name, qtype),
+                    // tk_assert_eq takes no message; encode context via assert.
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The DNS answer cache never serves an expired entry and always
-    /// serves a fresh one.
-    #[test]
-    fn dns_cache_ttl_discipline(
-        ttl in 1u32..5_000,
-        stored_at in 0u64..10_000,
-        probe_offset in 0u64..10_000,
-    ) {
-        use webdeps::dns::cache::DnsCache;
-        use webdeps::dns::record::{RecordData, ResourceRecord};
-        use webdeps::dns::{RecordType, SimTime, Ttl};
-        use webdeps::dns::resolver::Resolution;
-        let mut cache = DnsCache::new();
-        let name = dn("cached.example.com");
-        let res = Resolution {
-            qname: name.clone(),
-            qtype: RecordType::A,
-            answers: vec![ResourceRecord::with_ttl(
-                name.clone(),
-                Ttl(ttl),
-                RecordData::A(std::net::Ipv4Addr::LOCALHOST),
-            )],
-            chain: vec![],
-            authority_zone: dn("example.com"),
-        };
-        cache.put_positive(name.clone(), RecordType::A, res, SimTime(stored_at));
-        let probe = SimTime(stored_at + probe_offset);
-        let hit = cache.get(&name, RecordType::A, probe).is_some();
-        prop_assert_eq!(hit, probe_offset < ttl as u64, "ttl={} offset={}", ttl, probe_offset);
-    }
+/// The DNS answer cache never serves an expired entry and always
+/// serves a fresh one.
+#[test]
+fn dns_cache_ttl_discipline() {
+    use webdeps::dns::cache::DnsCache;
+    use webdeps::dns::record::{RecordData, ResourceRecord};
+    use webdeps::dns::resolver::Resolution;
+    use webdeps::dns::RecordType;
+    let inputs = gen::tuple3(
+        gen::u32_range(1, 5_000),
+        gen::u64_range(0, 10_000),
+        gen::u64_range(0, 10_000),
+    );
+    check(
+        "dns_cache_ttl_discipline",
+        &inputs,
+        |&(ttl, stored_at, probe_offset)| {
+            let mut cache = DnsCache::new();
+            let name = dn("cached.example.com");
+            let res = Resolution {
+                qname: name.clone(),
+                qtype: RecordType::A,
+                answers: vec![ResourceRecord::with_ttl(
+                    name.clone(),
+                    Ttl(ttl),
+                    RecordData::A(std::net::Ipv4Addr::LOCALHOST),
+                )],
+                chain: vec![],
+                authority_zone: dn("example.com"),
+            };
+            cache.put_positive(name.clone(), RecordType::A, res, SimTime(stored_at));
+            let probe = SimTime(stored_at + probe_offset);
+            let hit = cache.get(&name, RecordType::A, probe).is_some();
+            tk_assert_eq!(hit, probe_offset < ttl as u64);
+            Ok(())
+        },
+    );
+}
+
+/// The testkit's determinism contract holds through the public API:
+/// different base seeds produce different case streams.
+#[test]
+fn distinct_labels_give_distinct_streams() {
+    check(
+        "distinct_labels_give_distinct_streams",
+        &gen::u64_any(),
+        |&seed| {
+            let mut a = DetRng::new(seed).fork("alpha");
+            let mut b = DetRng::new(seed).fork("beta");
+            let sa: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+            let sb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+            tk_assert_ne!(sa, sb);
+            Ok(())
+        },
+    );
 }
 
 /// The PSL handles the exception/wildcard corner deterministically (not
@@ -255,6 +371,12 @@ proptest! {
 #[test]
 fn psl_wildcard_exception_sanity() {
     let psl = PublicSuffixList::builtin();
-    assert_eq!(psl.registrable_domain(&dn("a.b.foo.ck")).unwrap(), dn("b.foo.ck"));
-    assert_eq!(psl.registrable_domain(&dn("a.www.ck")).unwrap(), dn("www.ck"));
+    assert_eq!(
+        psl.registrable_domain(&dn("a.b.foo.ck")).unwrap(),
+        dn("b.foo.ck")
+    );
+    assert_eq!(
+        psl.registrable_domain(&dn("a.www.ck")).unwrap(),
+        dn("www.ck")
+    );
 }
