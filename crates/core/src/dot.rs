@@ -8,7 +8,6 @@
 
 use crate::graph::{DepGraph, NodeId, NodeRef};
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use webdeps_model::ServiceKind;
 
 /// Options for the DOT rendering.
@@ -73,17 +72,15 @@ pub fn to_dot(graph: &DepGraph, opts: &DotOptions) -> String {
         };
         let count = consumer_counts[&p];
         let size = 0.4 + 1.6 * (count as f64 / max_count as f64);
-        writeln!(
-            out,
+        out.push_str(&format!(
             "  \"p{}\" [label=\"{}\\n{} sites\", shape=circle, style=filled, \
-             fillcolor=\"{}\", fontcolor=white, width={:.2}, fixedsize=true];",
+             fillcolor=\"{}\", fontcolor=white, width={:.2}, fixedsize=true];\n",
             p.0,
             key.as_str(),
             count,
             color_of(*kind),
             size
-        )
-        .expect("write to string");
+        ));
     }
 
     // A sample of site nodes with their edges into shown providers.
@@ -95,20 +92,16 @@ pub fn to_dot(graph: &DepGraph, opts: &DotOptions) -> String {
                 if sites_drawn >= opts.max_sites {
                     break 'outer;
                 }
-                writeln!(
-                    out,
-                    "  \"s{}\" [label=\"\", shape=point, width=0.05, color=\"#999999\"];",
+                out.push_str(&format!(
+                    "  \"s{}\" [label=\"\", shape=point, width=0.05, color=\"#999999\"];\n",
                     site.0
-                )
-                .expect("write to string");
-                writeln!(
-                    out,
-                    "  \"s{}\" -> \"p{}\" [color=\"#bbbbbb\", arrowsize=0.3{}];",
+                ));
+                out.push_str(&format!(
+                    "  \"s{}\" -> \"p{}\" [color=\"#bbbbbb\", arrowsize=0.3{}];\n",
                     site.0,
                     p.0,
                     if kind.critical { ", penwidth=1.2" } else { "" }
-                )
-                .expect("write to string");
+                ));
                 sites_drawn += 1;
                 site_edges += 1;
             }
@@ -121,20 +114,18 @@ pub fn to_dot(graph: &DepGraph, opts: &DotOptions) -> String {
             if !shown.contains(&target) {
                 continue;
             }
-            writeln!(
-                out,
-                "  \"p{}\" -> \"p{}\" [color=\"{}\", penwidth={}, label=\"{}\"];",
+            out.push_str(&format!(
+                "  \"p{}\" -> \"p{}\" [color=\"{}\", penwidth={}, label=\"{}\"];\n",
                 p.0,
                 target.0,
                 color_of(kind.service),
                 if kind.critical { 2.0 } else { 1.0 },
                 kind.service
-            )
-            .expect("write to string");
+            ));
         }
     }
 
-    writeln!(out, "  // {} site edges sampled", site_edges).expect("write to string");
+    out.push_str(&format!("  // {site_edges} site edges sampled\n"));
     out.push_str("}\n");
     out
 }

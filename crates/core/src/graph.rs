@@ -7,7 +7,7 @@
 //! graph, which is what lets the §5 analysis light up hidden paths like
 //! *site → DigiCert → DNSMadeEasy*.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use webdeps_measure::{MeasurementDataset, ProviderKey};
 use webdeps_model::{ServiceKind, SiteId};
 use webdeps_worldgen::profiles::{CaProfile, CdnProfile, DepState};
@@ -25,7 +25,7 @@ impl NodeId {
 }
 
 /// What a node is.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NodeRef {
     /// A website from the measured population.
     Site(SiteId),
@@ -54,7 +54,7 @@ struct Edge {
 #[derive(Debug, Clone, Default)]
 pub struct DepGraph {
     nodes: Vec<NodeRef>,
-    index: HashMap<NodeRef, NodeId>,
+    index: BTreeMap<NodeRef, NodeId>,
     edges: Vec<Edge>,
     outgoing: Vec<Vec<usize>>,
     incoming: Vec<Vec<usize>>,

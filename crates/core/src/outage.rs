@@ -7,7 +7,7 @@
 //! cross-validated (the Mirai-Dyn what-if, end to end).
 
 use webdeps_dns::FaultPlan;
-use webdeps_model::{DomainName, EntityId, SiteId};
+use webdeps_model::{DomainName, EntityId, ModelError, SiteId};
 use webdeps_tls::RevocationPolicy;
 use webdeps_web::{Scheme, Url};
 use webdeps_worldgen::World;
@@ -47,11 +47,22 @@ pub fn provider_entity(world: &World, provider: &str) -> Option<EntityId> {
 /// Simulates an outage of the given providers and probes every site.
 /// `hard_fail` selects the strict revocation policy under which CA
 /// unavailability denies service (the paper's criticality model).
-pub fn simulate_outage(world: &World, providers: &[&str], hard_fail: bool) -> OutageResult {
+///
+/// Fails with [`ModelError::UnknownProvider`] when a provider
+/// reference matches neither a catalog name nor a wire identity.
+pub fn simulate_outage(
+    world: &World,
+    providers: &[&str],
+    hard_fail: bool,
+) -> Result<OutageResult, ModelError> {
     let entities: Vec<EntityId> = providers
         .iter()
-        .map(|p| provider_entity(world, p).unwrap_or_else(|| panic!("unknown provider {p:?}")))
-        .collect();
+        .map(|p| {
+            provider_entity(world, p).ok_or_else(|| ModelError::UnknownProvider {
+                name: p.to_string(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
 
     let mut plan = FaultPlan::healthy();
     for &e in &entities {
@@ -82,11 +93,11 @@ pub fn simulate_outage(world: &World, providers: &[&str], hard_fail: bool) -> Ou
             affected.push(l.id);
         }
     }
-    OutageResult {
+    Ok(OutageResult {
         failed_entities: entities,
         affected,
         total: listings.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -101,7 +112,7 @@ mod tests {
     #[test]
     fn healthy_baseline_has_no_outage() {
         let world = World::generate(WorldConfig::small(71));
-        let result = simulate_outage(&world, &[], false);
+        let result = simulate_outage(&world, &[], false).expect("no providers to resolve");
         assert!(result.affected.is_empty(), "nothing failed, nothing breaks");
         assert_eq!(result.total, world.truth.len());
     }
@@ -131,7 +142,8 @@ mod tests {
             .expect("observed provider");
         let predicted = metrics.dependent_sites(node, true, &MetricOptions::direct_only());
 
-        let result = simulate_outage(&world, &[provider_key], false);
+        let result = simulate_outage(&world, &[provider_key], false)
+            .expect("providers are from the world catalog");
         let simulated: std::collections::HashSet<_> = result.affected.iter().copied().collect();
 
         // Every predicted-critical site must actually break.
@@ -158,7 +170,8 @@ mod tests {
         use webdeps_worldgen::profiles::CaProfile;
         let world = World::generate(WorldConfig::small(71));
         // DigiCert's entity also runs its OCSP responders.
-        let result = simulate_outage(&world, &["DigiCert"], true);
+        let result = simulate_outage(&world, &["DigiCert"], true)
+            .expect("providers are from the world catalog");
         let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
         let mut stapled_children = 0;
         for truth in &world.truth.sites {
@@ -199,7 +212,8 @@ mod tests {
             n_sites: 2_000,
             year: webdeps_worldgen::SnapshotYear::Y2016,
         });
-        let result = simulate_outage(&world, &["Dyn"], false);
+        let result =
+            simulate_outage(&world, &["Dyn"], false).expect("providers are from the world catalog");
         let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
         let mut fastly_only = 0;
         for truth in &world.truth.sites {

@@ -8,7 +8,7 @@
 use crate::clock::{SimTime, Ttl};
 use crate::record::RecordType;
 use crate::resolver::{Resolution, ResolveError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use webdeps_model::DomainName;
 
 #[derive(Debug, Clone)]
@@ -21,7 +21,7 @@ struct Entry {
 /// Answer cache keyed by `(name, qtype)`.
 #[derive(Debug, Clone, Default)]
 pub struct DnsCache {
-    entries: HashMap<(DomainName, RecordType), Entry>,
+    entries: BTreeMap<(DomainName, RecordType), Entry>,
 }
 
 impl DnsCache {
@@ -102,6 +102,7 @@ impl DnsCache {
             ResolveError::NxDomain { soa, .. } | ResolveError::NoData { soa, .. } => {
                 Ttl(soa.minimum)
             }
+            // lint:allow(panic) — programmer error, not runtime input: put_negative is only called with negative answers
             other => panic!("only negative answers are cacheable, got {other}"),
         };
         self.entries.insert(

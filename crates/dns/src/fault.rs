@@ -10,14 +10,14 @@
 //! notion of redundancy.
 
 use crate::server::ServerId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use webdeps_model::EntityId;
 
 /// Declarative description of what is down.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    down_entities: HashSet<EntityId>,
-    down_servers: HashSet<ServerId>,
+    down_entities: BTreeSet<EntityId>,
+    down_servers: BTreeSet<ServerId>,
 }
 
 impl FaultPlan {

@@ -284,6 +284,7 @@ impl<'n> Resolver<'n> {
                     });
                 }
             }
+            // lint:allow(panic) — infallible: emptiness is checked immediately above
             let deepest = tiers.last().expect("non-empty checked above");
             match deepest.zone.lookup(&current, qtype) {
                 ZoneAnswer::Answer(answers) => {

@@ -133,6 +133,7 @@ impl Resolver<'_> {
                     }
                 }
             }
+            // lint:allow(panic) — infallible: emptiness is checked immediately above
             let deepest = tiers.last().expect("non-empty");
             match deepest.zone.lookup(&current, qtype) {
                 ZoneAnswer::Answer(records) => {

@@ -229,6 +229,7 @@ impl Zone {
                     .iter()
                     .find(|rr| rr.data.record_type() == RecordType::Cname)
                 {
+                    // lint:allow(panic) — infallible: the match arm above guarantees a CNAME record
                     let target = cname.data.as_cname().expect("checked above").clone();
                     return ZoneAnswer::CnameRedirect {
                         record: cname.clone(),

@@ -1,0 +1,40 @@
+//! Fixture: every source-side rule violated at least once. This file
+//! is never compiled — it exists to be scanned by `webdeps-lint` in
+//! the CLI integration tests.
+
+use std::collections::HashMap;
+
+pub fn panics(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn ambient() -> Option<String> {
+    std::env::var("HOME").ok()
+}
+
+pub fn leak_order(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(k.clone());
+    }
+    out
+}
+
+pub fn layered() {
+    let _ = webdeps_reports::exists;
+}
+
+pub fn debugging(x: u32) -> u32 {
+    dbg!(x)
+}
+
+// TODO make this a real module someday
+pub fn todo_marker() {}
+
+pub fn bad_allow(v: Option<u32>) -> u32 {
+    v.expect("set") // lint:allow(panic)
+}

@@ -1,0 +1,28 @@
+//! Fixture: clean library code plus exactly one justified suppression.
+
+use std::collections::BTreeMap;
+
+/// Sums the values of an ordered map.
+pub fn total(m: &BTreeMap<String, u32>) -> u32 {
+    m.values().sum()
+}
+
+/// Returns the first element of a slice the fixture guarantees is
+/// non-empty.
+pub fn first(xs: &[u32]) -> u32 {
+    // lint:allow(panic) — fixture invariant: callers always pass non-empty slices
+    *xs.first().expect("non-empty by fixture invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1);
+        m.insert("b".to_string(), 2);
+        assert_eq!(total(&m), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Rule catalog and the declared crate DAG.
+
+use std::collections::BTreeSet;
+
+/// One rule's name and human description, as shown by `--list-rules`
+/// and in diagnostics.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "panic",
+        "no unwrap()/expect()/panic! in non-test library code; propagate typed errors instead",
+    ),
+    (
+        "wall-clock",
+        "no Instant::now/SystemTime outside crates/bench and the simulated clock (dns::clock)",
+    ),
+    (
+        "env-rand",
+        "no std::env reads or ambient randomness (thread_rng/RandomState) in library code",
+    ),
+    (
+        "hash-iter",
+        "no HashMap/HashSet iteration feeding ordered output without an adjacent sort/BTree collect",
+    ),
+    (
+        "layering",
+        "crate dependencies must follow the declared DAG (model -> dns/tls/web -> worldgen -> measure -> core -> reports)",
+    ),
+    (
+        "extern-dep",
+        "no external (non-workspace) dependencies in any Cargo.toml; the build is hermetic",
+    ),
+    (
+        "dbg",
+        "no dbg!/todo!/unimplemented! anywhere, including tests",
+    ),
+    (
+        "todo",
+        "no TODO/FIXME comment without an issue reference like TODO(#12)",
+    ),
+    (
+        "allow-syntax",
+        "lint:allow directives must name known rules and carry a reason",
+    ),
+];
+
+/// All rule names.
+pub fn rule_names() -> Vec<&'static str> {
+    RULES.iter().map(|(n, _)| *n).collect()
+}
+
+/// The declared layering contract: each workspace crate and the crates
+/// it may depend on. `testkit` is leaf-only (usable from dev-deps and
+/// test code everywhere, but never a `[dependencies]` edge), `bench`
+/// and `lint` are sinks nothing may depend on.
+pub const CRATE_DAG: &[(&str, &[&str])] = &[
+    ("model", &[]),
+    ("dns", &["model"]),
+    ("tls", &["model", "dns"]),
+    ("web", &["model", "dns", "tls"]),
+    ("worldgen", &["model", "dns", "tls", "web"]),
+    ("measure", &["model", "dns", "tls", "web", "worldgen"]),
+    (
+        "core",
+        &["model", "dns", "tls", "web", "worldgen", "measure"],
+    ),
+    (
+        "reports",
+        &["model", "dns", "tls", "web", "worldgen", "measure", "core"],
+    ),
+    ("testkit", &["model"]),
+    (
+        "bench",
+        &[
+            "model", "dns", "tls", "web", "worldgen", "measure", "core", "reports",
+        ],
+    ),
+    ("lint", &[]),
+];
+
+/// Crates that may never appear in another crate's `[dependencies]`.
+pub const DEV_ONLY_CRATES: &[&str] = &["testkit", "lint"];
+
+/// Allowed `[dependencies]` targets for `crate_name`, or `None` when
+/// the crate is not part of the declared DAG (e.g. the root facade,
+/// which may depend on everything).
+pub fn allowed_deps(crate_name: &str) -> Option<BTreeSet<&'static str>> {
+    CRATE_DAG
+        .iter()
+        .find(|(n, _)| *n == crate_name)
+        .map(|(_, deps)| deps.iter().copied().collect())
+}
+
+/// File paths (repo-relative, forward slashes) exempt from the
+/// wall-clock rule: the simulated clock itself and the bench harness.
+pub fn wall_clock_exempt(rel_path: &str, crate_name: Option<&str>) -> bool {
+    crate_name == Some("bench") || rel_path == "crates/dns/src/clock.rs"
+}
+
+/// Runtime configuration assembled from CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Rules disabled globally via `--allow <rule>`.
+    pub disabled: BTreeSet<String>,
+}
+
+impl Config {
+    /// Whether `rule` is enabled.
+    pub fn enabled(&self, rule: &str) -> bool {
+        !self.disabled.contains(rule)
+    }
+}

@@ -1,0 +1,208 @@
+//! Diagnostics: violations, suppression records, and the report with
+//! human and JSON renderings. JSON is hand-rolled — the linter has no
+//! dependencies by design.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule name from the catalog.
+    pub rule: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// Trimmed source line.
+    pub snippet: String,
+}
+
+/// A violation that was silenced by a `lint:allow` directive.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The silenced violation.
+    pub violation: Violation,
+    /// The directive's justification text.
+    pub reason: String,
+    /// Line of the directive that silenced it.
+    pub allow_line: u32,
+}
+
+/// Full result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations; the run fails if any exist.
+    pub violations: Vec<Violation>,
+    /// Suppressed violations, each attributed to its directive.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Directives that silenced nothing.
+    pub unused_allows: Vec<(String, u32)>,
+}
+
+impl Report {
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Per-rule counts of unsuppressed violations.
+    pub fn rule_counts(&self) -> BTreeMap<&str, usize> {
+        let mut m = BTreeMap::new();
+        for v in &self.violations {
+            *m.entry(v.rule.as_str()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Per-rule counts of suppressed violations.
+    pub fn suppressed_counts(&self) -> BTreeMap<&str, usize> {
+        let mut m = BTreeMap::new();
+        for s in &self.suppressed {
+            *m.entry(s.violation.rule.as_str()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Deterministically orders the report contents (by file, line,
+    /// rule). Called once after all files are scanned.
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.suppressed.sort_by(|a, b| {
+            (&a.violation.file, a.violation.line, &a.violation.rule).cmp(&(
+                &b.violation.file,
+                b.violation.line,
+                &b.violation.rule,
+            ))
+        });
+        self.unused_allows.sort();
+    }
+
+    /// Human-readable rendering.
+    pub fn render_human(&self, verbose_suppressions: bool) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+            if !v.snippet.is_empty() {
+                let _ = writeln!(out, "    {}", v.snippet);
+            }
+        }
+        if verbose_suppressions {
+            for s in &self.suppressed {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: [{}] suppressed — {}",
+                    s.violation.file, s.violation.line, s.violation.rule, s.reason
+                );
+            }
+        }
+        for (file, line) in &self.unused_allows {
+            let _ = writeln!(out, "{file}:{line}: note: lint:allow matched no violation");
+        }
+        let _ = writeln!(
+            out,
+            "webdeps-lint: {} file(s), {} violation(s), {} suppressed",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed.len()
+        );
+        let counts = self.rule_counts();
+        if !counts.is_empty() {
+            let by_rule: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+            let _ = writeln!(out, "  by rule: {}", by_rule.join(", "));
+        }
+        let sup = self.suppressed_counts();
+        if !sup.is_empty() {
+            let by_rule: Vec<String> = sup.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+            let _ = writeln!(out, "  suppressed by rule: {}", by_rule.join(", "));
+        }
+        out
+    }
+
+    /// Machine-readable rendering (`--json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"webdeps-lint/1\",\n");
+        let _ = write!(
+            out,
+            "  \"summary\": {{\"files\": {}, \"violations\": {}, \"suppressed\": {}, \"unused_allows\": {}, \"by_rule\": {{",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed.len(),
+            self.unused_allows.len()
+        );
+        let counts = self.rule_counts();
+        let parts: Vec<String> = counts
+            .iter()
+            .map(|(r, n)| format!("{}: {}", json_str(r), n))
+            .collect();
+        out.push_str(&parts.join(", "));
+        out.push_str("}, \"suppressed_by_rule\": {");
+        let sup = self.suppressed_counts();
+        let parts: Vec<String> = sup
+            .iter()
+            .map(|(r, n)| format!("{}: {}", json_str(r), n))
+            .collect();
+        out.push_str(&parts.join(", "));
+        out.push_str("}},\n  \"violations\": [\n");
+        let items: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                    json_str(&v.rule),
+                    json_str(&v.file),
+                    v.line,
+                    json_str(&v.message),
+                    json_str(&v.snippet)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n  ],\n  \"suppressed\": [\n");
+        let items: Vec<String> = self
+            .suppressed
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"allow_line\": {}, \"reason\": {}}}",
+                    json_str(&s.violation.rule),
+                    json_str(&s.violation.file),
+                    s.violation.line,
+                    s.allow_line,
+                    json_str(&s.reason)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,358 @@
+//! A minimal, panic-free Rust lexer.
+//!
+//! The linter does not need a full parser — every rule it enforces can
+//! be phrased over a token stream with line numbers, provided comments
+//! and string literals are tokenized correctly (so that `unwrap` inside
+//! a string is never mistaken for a call, and `lint:allow` inside a
+//! comment is always found). The lexer therefore handles the full
+//! literal surface of Rust — nested block comments, raw strings, byte
+//! strings, char-vs-lifetime disambiguation — but deliberately lumps
+//! all punctuation into single-character tokens.
+//!
+//! Invariant (checked by a property test): `lex` never panics on any
+//! input, and token line numbers are nondecreasing.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment (nesting-aware).
+    BlockComment,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is an identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this token is a doc comment (`///`, `//!`, `/**`,
+    /// `/*!`). Doc comments are documentation prose: they are not
+    /// scanned for suppression directives or TODO markers.
+    pub fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokKind::LineComment => self.text.starts_with("///") || self.text.starts_with("//!"),
+            TokKind::BlockComment => self.text.starts_with("/**") || self.text.starts_with("/*!"),
+            _ => false,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn slice(&self, from: usize) -> String {
+        self.chars[from..self.i.min(self.chars.len())]
+            .iter()
+            .collect()
+    }
+}
+
+/// Lexes `src` into a token stream. Never panics; malformed input
+/// degrades into approximate tokens rather than errors.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let start = cur.i;
+        let line = cur.line;
+        if c == '\n' || c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::LineComment,
+                text: cur.slice(start),
+                line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::BlockComment,
+                text: cur.slice(start),
+                line,
+            });
+            continue;
+        }
+        if is_ident_start(c) {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let word = cur.slice(start);
+            // Literal prefixes: r"…", r#"…"#, b"…", b'…', br#"…"#, and
+            // raw identifiers r#ident.
+            let next = cur.peek(0);
+            if matches!(word.as_str(), "r" | "br" | "rb") && matches!(next, Some('"') | Some('#')) {
+                if word == "r" && next == Some('#') && cur.peek(1).is_some_and(is_ident_start) {
+                    cur.bump(); // '#'
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.push(Tok {
+                        kind: TokKind::Ident,
+                        text: cur.slice(start),
+                        line,
+                    });
+                    continue;
+                }
+                if lex_raw_string(&mut cur) {
+                    out.push(Tok {
+                        kind: TokKind::Str,
+                        text: cur.slice(start),
+                        line,
+                    });
+                    continue;
+                }
+                // `r#` not followed by a string: fall through, the '#'
+                // will lex as punctuation.
+            }
+            if word == "b" && next == Some('"') {
+                lex_quoted(&mut cur, '"');
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: cur.slice(start),
+                    line,
+                });
+                continue;
+            }
+            if word == "b" && next == Some('\'') {
+                lex_char_literal(&mut cur);
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: cur.slice(start),
+                    line,
+                });
+                continue;
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text: word,
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            lex_quoted(&mut cur, '"');
+            out.push(Tok {
+                kind: TokKind::Str,
+                text: cur.slice(start),
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime vs char literal.
+            let c1 = cur.peek(1);
+            let c2 = cur.peek(2);
+            if c1.is_some_and(is_ident_start) && c2 != Some('\'') {
+                cur.bump(); // '\''
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: cur.slice(start),
+                    line,
+                });
+                continue;
+            }
+            lex_char_literal(&mut cur);
+            out.push(Tok {
+                kind: TokKind::Char,
+                text: cur.slice(start),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            // Fractional part — but not a range (`0..n`) or a method
+            // call on a literal (`1.max(2)`).
+            if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                cur.bump();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::Num,
+                text: cur.slice(start),
+                line,
+            });
+            continue;
+        }
+        cur.bump();
+        out.push(Tok {
+            kind: TokKind::Punct,
+            text: cur.slice(start),
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes a quoted literal starting at the opening quote (possibly
+/// preceded by an already-consumed prefix). Handles `\` escapes and
+/// runs to end-of-input when unterminated.
+fn lex_quoted(cur: &mut Cursor, quote: char) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        cur.bump();
+        if c == quote {
+            break;
+        }
+    }
+}
+
+/// Consumes `r"…"` / `r#"…"#` / `br##"…"##` with the cursor positioned
+/// after the `r`/`br` prefix. Returns false (consuming nothing) when
+/// what follows is not actually a raw string opener.
+fn lex_raw_string(cur: &mut Cursor) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(hashes) != Some('"') {
+        return false;
+    }
+    for _ in 0..=hashes {
+        cur.bump(); // the '#'s and the opening quote
+    }
+    'scan: while let Some(c) = cur.peek(0) {
+        cur.bump();
+        if c == '"' {
+            for k in 0..hashes {
+                if cur.peek(k) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+    true
+}
+
+/// Consumes a char/byte-char literal starting at the opening `'`.
+fn lex_char_literal(cur: &mut Cursor) {
+    cur.bump(); // opening '\''
+    let mut budget = 16usize; // longest legal form: '\u{10FFFF}'
+    while let Some(c) = cur.peek(0) {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        if c == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        cur.bump();
+        if c == '\'' {
+            break;
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # webdeps-lint
+//!
+//! A dependency-free static-analysis pass over the workspace. The
+//! reproduction's published tables and figures are only trustworthy
+//! because the pipeline is deterministic; this crate is the
+//! machine-checked version of that promise. It lexes every workspace
+//! source with its own lightweight Rust lexer and enforces four
+//! invariant families as named rules:
+//!
+//! * **determinism** — `hash-iter` (no `HashMap`/`HashSet` iteration
+//!   order reaching output), `wall-clock` (no `Instant::now` /
+//!   `SystemTime` outside `crates/bench` and `dns::clock`), `env-rand`
+//!   (no process-environment reads or ambient randomness in library
+//!   code);
+//! * **panic-safety** — `panic` (no `unwrap()`/`expect()`/`panic!` in
+//!   non-test library code);
+//! * **layering** — `layering` (crate edges must follow the declared
+//!   DAG `model → {dns,tls,web} → worldgen → measure → core →
+//!   reports`, with `testkit`/`bench`/`lint` leaf-only);
+//! * **hygiene** — `extern-dep` (hermetic build, zero external
+//!   crates), `dbg`, `todo`, and `allow-syntax`.
+//!
+//! Violations can be suppressed inline, one per site:
+//!
+//! ```text
+//! map.remove(&k).expect("inserted above"); // lint:allow(panic) — key inserted two lines up
+//! ```
+//!
+//! or for a whole file with `// lint:allow-file(rule) — reason`. Every
+//! suppression must carry a reason and is counted in the report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod layering;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+pub use config::Config;
+pub use diag::{Report, Violation};
+pub use workspace::{lint_source, lint_workspace};

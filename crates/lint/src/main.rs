@@ -1,0 +1,121 @@
+//! CLI entry point for `webdeps-lint`.
+//!
+//! Exit codes: 0 = clean, 1 = unsuppressed violations, 2 = usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use webdeps_lint::{config, Config};
+
+const USAGE: &str = "\
+webdeps-lint — hermetic workspace static-analysis pass
+
+USAGE:
+    webdeps-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        Workspace root to scan (default: current dir,
+                        falling back to the nearest ancestor with a
+                        Cargo.toml)
+    --json              Print the machine-readable report to stdout
+    --json-out <FILE>   Additionally write the JSON report to FILE
+    --allow <RULE>      Disable a rule globally (repeatable)
+    --suppressions      List every suppressed violation with its reason
+    --list-rules        Print the rule catalog and exit
+    -h, --help          Show this help
+";
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    json_out: Option<PathBuf>,
+    show_suppressions: bool,
+    cfg: Config,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        json_out: None,
+        show_suppressions: false,
+        cfg: Config::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--json" => args.json = true,
+            "--json-out" => {
+                args.json_out = Some(PathBuf::from(it.next().ok_or("--json-out needs a value")?));
+            }
+            "--allow" => {
+                let rule = it.next().ok_or("--allow needs a rule name")?;
+                if !config::rule_names().contains(&rule.as_str()) {
+                    return Err(format!("unknown rule {rule:?}; see --list-rules"));
+                }
+                args.cfg.disabled.insert(rule);
+            }
+            "--suppressions" => args.show_suppressions = true,
+            "--list-rules" => {
+                for (name, desc) in config::RULES {
+                    println!("{name:<12} {desc}");
+                }
+                return Ok(None);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    // Walk up to a directory that looks like the workspace root.
+    if !args.root.join("Cargo.toml").is_file() {
+        let mut cur = args.root.canonicalize().map_err(|e| e.to_string())?;
+        while !cur.join("Cargo.toml").is_file() {
+            let Some(parent) = cur.parent() else {
+                return Err(format!("no Cargo.toml at or above {}", args.root.display()));
+            };
+            cur = parent.to_path_buf();
+        }
+        args.root = cur;
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("webdeps-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match webdeps_lint::lint_workspace(&args.root, &args.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("webdeps-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("webdeps-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human(args.show_suppressions));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

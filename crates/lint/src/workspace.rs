@@ -1,0 +1,157 @@
+//! Workspace walking and rule orchestration.
+//!
+//! Discovery is deterministic: directory entries are sorted before
+//! visiting (the linter holds itself to the invariants it enforces).
+
+use crate::config::Config;
+use crate::diag::{Report, Suppressed};
+use crate::layering;
+use crate::rules;
+use crate::scan::FileCtx;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints the workspace rooted at `root`: the root package (if any),
+/// root `tests/` and `examples/`, and every crate under `crates/`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut report = Report::default();
+    for manifest in discover_manifests(root)? {
+        let src = fs::read_to_string(&manifest)?;
+        let rel = rel_path(root, &manifest);
+        let crate_name = crate_of(&rel);
+        report.violations.extend(layering::lint_manifest(
+            &rel,
+            &src,
+            crate_name.as_deref(),
+            cfg,
+        ));
+        report.files_scanned += 1;
+    }
+    for file in discover_sources(root)? {
+        let src = fs::read_to_string(&file)?;
+        let rel = rel_path(root, &file);
+        lint_file(&rel, &src, cfg, &mut report);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Lints a single source string, applying suppressions, and folds the
+/// result into `report`. Exposed for fixture-based tests.
+pub fn lint_file(rel_path: &str, src: &str, cfg: &Config, report: &mut Report) {
+    let ctx = FileCtx::new(rel_path, src);
+    let raw = rules::run_all(&ctx, cfg);
+    let mut used = vec![false; ctx.suppressions.len()];
+    for v in raw {
+        let matched = ctx.suppressions.iter().enumerate().find(|(_, s)| {
+            s.rules.iter().any(|r| r == &v.rule) && s.covers.0 <= v.line && v.line <= s.covers.1
+        });
+        match matched {
+            Some((idx, s)) => {
+                used[idx] = true;
+                report.suppressed.push(Suppressed {
+                    violation: v,
+                    reason: s.reason.clone(),
+                    allow_line: s.line,
+                });
+            }
+            None => report.violations.push(v),
+        }
+    }
+    for (idx, s) in ctx.suppressions.iter().enumerate() {
+        if !used[idx] {
+            report.unused_allows.push((ctx.rel_path.clone(), s.line));
+        }
+    }
+}
+
+/// Convenience for tests: lints one source string and returns the
+/// finished (sorted) report.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Report {
+    let mut report = Report::default();
+    lint_file(rel_path, src, cfg, &mut report);
+    report.files_scanned = 1;
+    report.sort();
+    report
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn crate_of(rel: &str) -> Option<String> {
+    rel.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .map(|s| s.to_string())
+}
+
+/// All `Cargo.toml` files: the root manifest plus one per crate.
+fn discover_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        out.push(root_manifest);
+    }
+    for dir in sorted_subdirs(&root.join("crates"))? {
+        let m = dir.join("Cargo.toml");
+        if m.is_file() {
+            out.push(m);
+        }
+    }
+    Ok(out)
+}
+
+/// All Rust sources: root `src`/`tests`/`examples`, and each crate's
+/// `src`/`tests`/`benches`/`examples`.
+fn discover_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for sub in ["src", "tests", "examples"] {
+        collect_rs(&root.join(sub), &mut out)?;
+    }
+    for dir in sorted_subdirs(&root.join("crates"))? {
+        for sub in ["src", "tests", "benches", "examples"] {
+            collect_rs(&dir.join(sub), &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+fn sorted_subdirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

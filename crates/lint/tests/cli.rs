@@ -1,0 +1,130 @@
+//! End-to-end CLI tests: run the compiled `webdeps-lint` binary
+//! against the committed fixture workspaces and assert on exit codes
+//! and report contents.
+
+use std::process::{Command, Output};
+
+const BAD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/bad");
+const CLEAN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/clean");
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_webdeps-lint"))
+        .args(args)
+        .output()
+        .expect("spawn webdeps-lint")
+}
+
+#[test]
+fn bad_fixture_fails_and_names_every_rule() {
+    let out = run(&["--root", BAD, "--json"]);
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    for rule in [
+        "panic",
+        "wall-clock",
+        "env-rand",
+        "hash-iter",
+        "layering",
+        "extern-dep",
+        "dbg",
+        "todo",
+        "allow-syntax",
+    ] {
+        assert!(
+            json.contains(&format!("\"rule\": \"{rule}\"")),
+            "fixture must trip rule {rule}; report:\n{json}"
+        );
+    }
+    // The reasonless allow still suppresses (and is reported), but its
+    // missing reason is an allow-syntax violation.
+    assert!(json.contains("\"suppressed\": 1"), "report:\n{json}");
+}
+
+#[test]
+fn clean_fixture_passes_and_counts_its_suppression() {
+    let out = run(&["--root", CLEAN, "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.contains("\"violations\": 0"), "report:\n{json}");
+    assert!(json.contains("\"suppressed\": 1"), "report:\n{json}");
+    assert!(
+        json.contains("fixture invariant: callers always pass non-empty slices"),
+        "suppression reason must be attributed; report:\n{json}"
+    );
+}
+
+#[test]
+fn suppressions_flag_lists_reasons_in_human_output() {
+    let out = run(&["--root", CLEAN, "--suppressions"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        text.contains("fixture invariant"),
+        "human output must show the reason:\n{text}"
+    );
+}
+
+#[test]
+fn allow_flags_can_silence_the_bad_fixture() {
+    let all_rules = [
+        "panic",
+        "wall-clock",
+        "env-rand",
+        "hash-iter",
+        "layering",
+        "extern-dep",
+        "dbg",
+        "todo",
+        "allow-syntax",
+    ];
+    let mut args = vec!["--root", BAD];
+    for r in &all_rules {
+        args.push("--allow");
+        args.push(r);
+    }
+    let out = run(&args);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "disabling every rule must make the bad fixture pass; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn json_out_writes_the_report_to_disk() {
+    let path = std::env::temp_dir().join(format!("webdeps-lint-cli-{}.json", std::process::id()));
+    let out = run(&[
+        "--root",
+        CLEAN,
+        "--json-out",
+        path.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let written = std::fs::read_to_string(&path).expect("json-out file");
+    assert!(written.contains("\"schema\": \"webdeps-lint/1\""));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_rule_and_unknown_flag_are_usage_errors() {
+    let out = run(&["--allow", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_prints_the_catalog() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    for rule in ["panic", "hash-iter", "layering", "extern-dep"] {
+        assert!(text.contains(rule), "catalog must list {rule}:\n{text}");
+    }
+}

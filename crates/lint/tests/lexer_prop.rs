@@ -1,0 +1,122 @@
+//! Property tests for the linter's lexer: on *any* input — including
+//! unterminated literals, stray quotes, and half-open comments — `lex`
+//! must never panic, and token line numbers must be nondecreasing and
+//! bounded by the input's line count.
+
+use webdeps_lint::lexer::lex;
+use webdeps_testkit::{check, gen};
+
+/// Fragments chosen to hit every tricky lexer path: raw strings, byte
+/// literals, lifetime-vs-char ambiguity, nested comments, and plain
+/// soup. Random concatenations of these produce both valid Rust and
+/// aggressively malformed input.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "let",
+    "unwrap",
+    "HashMap",
+    " ",
+    "\n",
+    "\t",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "::",
+    "->",
+    "=",
+    "\"",
+    "\\",
+    "\\\"",
+    "'",
+    "'a",
+    "'a'",
+    "'\\n'",
+    "b'",
+    "b\"",
+    "r\"",
+    "r#\"",
+    "\"#",
+    "r##\"",
+    "\"##",
+    "/*",
+    "*/",
+    "/**",
+    "/*!",
+    "//",
+    "///",
+    "//!",
+    "/* /* */",
+    "0x1f",
+    "1_000",
+    "3.14",
+    "r#type",
+    "_x",
+    "é",
+    "λ",
+    "—",
+    "lint:allow(panic)",
+    "lint:allow-file(",
+    "TODO",
+    "#[cfg(test)]",
+    "#[test]",
+    "std::env::var",
+    "Instant::now()",
+];
+
+fn soup() -> gen::Gen<String> {
+    gen::vec_of(gen::usize_range(0, FRAGMENTS.len() - 1), 0, 64)
+        .map(|idxs| idxs.into_iter().map(|i| FRAGMENTS[i]).collect::<String>())
+}
+
+#[test]
+fn lexer_never_panics_on_fragment_soup() {
+    check("lexer_never_panics", &soup(), |src| {
+        let src = src.clone();
+        let toks =
+            std::panic::catch_unwind(move || lex(&src)).map_err(|_| "lex panicked".to_string())?;
+        let mut prev = 0u32;
+        for t in &toks {
+            if t.line < prev {
+                return Err(format!("line numbers decreased: {} after {prev}", t.line));
+            }
+            prev = t.line;
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn lexer_line_numbers_stay_within_input() {
+    check("lexer_lines_bounded", &soup(), |src| {
+        let nlines = src.split('\n').count() as u32;
+        let src2 = src.clone();
+        let toks =
+            std::panic::catch_unwind(move || lex(&src2)).map_err(|_| "lex panicked".to_string())?;
+        for t in &toks {
+            if t.line == 0 || t.line > nlines {
+                return Err(format!("token line {} outside 1..={nlines}", t.line));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn full_lint_pass_never_panics_on_fragment_soup() {
+    let cfg = webdeps_lint::Config::default();
+    check("lint_source_never_panics", &soup(), move |src| {
+        let src = src.clone();
+        let cfg = cfg.clone();
+        std::panic::catch_unwind(move || {
+            webdeps_lint::lint_source("crates/model/src/fuzz.rs", &src, &cfg)
+        })
+        .map_err(|_| "lint_source panicked".to_string())?;
+        Ok(())
+    });
+}

@@ -189,10 +189,16 @@ pub fn measure_providers(
     let mut cas: Vec<_> = ca_reps.iter().collect();
     cas.sort_by(|a, b| a.0.cmp(b.0));
     for (key, (responders, count)) in cas {
-        let rep = responders
+        // A CA with no observed responder is probed at its key domain;
+        // a key that is not a domain names infrastructure we cannot
+        // probe at all, so it is skipped rather than guessed at.
+        let Some(rep) = responders
             .first()
             .cloned()
-            .unwrap_or_else(|| DomainName::parse(key.as_str()).expect("key is a domain"));
+            .or_else(|| DomainName::parse(key.as_str()).ok())
+        else {
+            continue;
+        };
         let zone = zone_ns_of(resolver, &rep).map(|(apex, _)| apex);
         let ca_domain =
             zone.unwrap_or_else(|| psl.registrable_domain(&rep).unwrap_or_else(|| rep.clone()));

@@ -96,6 +96,7 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
                     .collect();
                 handles
                     .into_iter()
+                    // lint:allow(panic) — a panicked crawl worker already failed; re-raising it here surfaces the original panic
                     .map(|h| h.join().expect("crawl worker"))
                     .collect()
             });

@@ -173,8 +173,8 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
                 for kind in ClassifierKind::ALL {
                     let verdict = classify(kind, &ev, &world.psl);
                     dns_tallies
-                        .get_mut(&kind)
-                        .expect("init")
+                        .entry(kind)
+                        .or_insert_with(Tally::new)
                         .record(verdict, truth);
                 }
             }
@@ -199,8 +199,8 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
                     for kind in ClassifierKind::ALL {
                         let verdict = classify(kind, &ev, &world.psl);
                         ca_tallies
-                            .get_mut(&kind)
-                            .expect("init")
+                            .entry(kind)
+                            .or_insert_with(Tally::new)
                             .record(verdict, truth);
                     }
                 }
@@ -237,8 +237,8 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
             for kind in ClassifierKind::ALL {
                 let verdict = classify(kind, &ev, &world.psl);
                 cdn_tallies
-                    .get_mut(&kind)
-                    .expect("init")
+                    .entry(kind)
+                    .or_insert_with(Tally::new)
                     .record(verdict, truth);
             }
         }
@@ -247,7 +247,7 @@ pub fn validate_world(world: &World, sample_size: usize, seed: u64) -> Validatio
     let collect = |mut tallies: HashMap<ClassifierKind, Tally>| {
         ClassifierKind::ALL
             .iter()
-            .map(|&k| tallies.remove(&k).expect("init").into_row(k))
+            .map(|&k| tallies.remove(&k).unwrap_or_else(Tally::new).into_row(k))
             .collect::<Vec<_>>()
     };
     ValidationReport {

@@ -14,6 +14,12 @@ pub enum ModelError {
     },
     /// A rank of zero was supplied; ranks are 1-based like the Alexa list.
     ZeroRank,
+    /// A provider reference (catalog name or wire identity) matched
+    /// nothing in the world being analyzed.
+    UnknownProvider {
+        /// The reference as given by the caller.
+        name: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -23,6 +29,12 @@ impl fmt::Display for ModelError {
                 write!(f, "invalid domain name {input:?}: {reason}")
             }
             ModelError::ZeroRank => write!(f, "ranks are 1-based; 0 is not a valid rank"),
+            ModelError::UnknownProvider { name } => {
+                write!(
+                    f,
+                    "unknown provider {name:?}: not a catalog name or wire identity"
+                )
+            }
         }
     }
 }

@@ -198,6 +198,7 @@ impl AsRef<str> for DomainName {
 /// Convenience constructor used pervasively in tests and generators.
 /// Panics on invalid input, so only use with trusted literals.
 pub fn dn(s: &str) -> DomainName {
+    // lint:allow(panic) — literal-constructor helper: a bad hardcoded domain is a programmer error
     DomainName::parse(s).unwrap_or_else(|e| panic!("bad domain literal {s:?}: {e}"))
 }
 

@@ -9,7 +9,7 @@
 //! everything the synthetic world generates.
 
 use crate::name::DomainName;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Rule set with public-suffix semantics.
 ///
@@ -22,11 +22,11 @@ use std::collections::HashSet;
 #[derive(Debug, Clone)]
 pub struct PublicSuffixList {
     /// Exact suffix rules, e.g. `com`, `co.uk`.
-    rules: HashSet<String>,
+    rules: BTreeSet<String>,
     /// Wildcard rules stored by their base, e.g. `ck` for `*.ck`.
-    wildcards: HashSet<String>,
+    wildcards: BTreeSet<String>,
     /// Exception rules, e.g. `www.ck` for `!www.ck`.
-    exceptions: HashSet<String>,
+    exceptions: BTreeSet<String>,
 }
 
 /// The built-in suffix snapshot. A subset of the Mozilla list: all

@@ -89,6 +89,7 @@ fn main() -> ExitCode {
         "building workspace: 2×{} sites (2016+2020) + 200 hospitals, seed {} …",
         args.scale, args.seed
     );
+    // lint:allow(wall-clock) — operator-facing progress timing in a CLI binary; never feeds into results
     let start = std::time::Instant::now();
     let ws = Workspace::new(args.seed, args.scale);
     eprintln!("workspace ready in {:.1?}\n", start.elapsed());

@@ -5,7 +5,6 @@
 //! datasets can leave the Rust world (pandas, gnuplot, spreadsheets)
 //! without any extra dependencies.
 
-use std::fmt::Write as _;
 use webdeps_measure::{Classification, MeasurementDataset};
 
 /// Escapes one CSV field (RFC 4180: quote when the value contains a
@@ -65,24 +64,20 @@ pub fn sites_csv(ds: &MeasurementDataset) -> String {
             Some((key, class)) => (key.as_str().to_string(), class_label(*class).to_string()),
             None => (String::new(), String::new()),
         };
-        writeln!(
-            out,
-            "{}",
-            row(&[
-                &s.rank.get().to_string(),
-                s.domain.as_str(),
-                if s.reachable { "true" } else { "false" },
-                &dns_state,
-                &dns_providers,
-                &cdn_state,
-                &cdns,
-                if s.ca.https { "true" } else { "false" },
-                &ca,
-                &ca_class,
-                if s.ca.stapled { "true" } else { "false" },
-            ])
-        )
-        .expect("write to string");
+        out.push_str(&row(&[
+            &s.rank.get().to_string(),
+            s.domain.as_str(),
+            if s.reachable { "true" } else { "false" },
+            &dns_state,
+            &dns_providers,
+            &cdn_state,
+            &cdns,
+            if s.ca.https { "true" } else { "false" },
+            &ca,
+            &ca_class,
+            if s.ca.stapled { "true" } else { "false" },
+        ]));
+        out.push('\n');
     }
     out
 }
@@ -108,22 +103,18 @@ pub fn providers_csv(ds: &MeasurementDataset) -> String {
         };
         let (dns_third, dns_crit, dns_providers) = dep_cells(&p.dns_dep);
         let (cdn_third, cdn_crit, cdn_providers) = dep_cells(&p.cdn_dep);
-        writeln!(
-            out,
-            "{}",
-            row(&[
-                p.key.as_str(),
-                &p.kind.to_string(),
-                &p.direct_sites.to_string(),
-                &dns_third,
-                &dns_crit,
-                &dns_providers,
-                &cdn_third,
-                &cdn_crit,
-                &cdn_providers,
-            ])
-        )
-        .expect("write to string");
+        out.push_str(&row(&[
+            p.key.as_str(),
+            &p.kind.to_string(),
+            &p.direct_sites.to_string(),
+            &dns_third,
+            &dns_crit,
+            &dns_providers,
+            &cdn_third,
+            &cdn_crit,
+            &cdn_providers,
+        ]));
+        out.push('\n');
     }
     out
 }

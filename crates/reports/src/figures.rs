@@ -229,10 +229,11 @@ fn indirect_figure(
         ],
     );
     for score in ranking.iter().take(5) {
-        let node = ws
-            .graph20
-            .provider(score.key.as_str(), target)
-            .expect("ranked provider");
+        // Ranked providers come from this very graph; a miss means the
+        // row has nothing to show, not that the report should die.
+        let Some(node) = ws.graph20.provider(score.key.as_str(), target) else {
+            continue;
+        };
         let c_direct = metrics.concentration(node, &direct);
         let i_direct = metrics.impact(node, &direct);
         t.row(vec![
@@ -247,18 +248,16 @@ fn indirect_figure(
     let mut top3: std::collections::HashSet<webdeps_model::SiteId> = Default::default();
     let mut top3_direct: std::collections::HashSet<webdeps_model::SiteId> = Default::default();
     for score in ranking.iter().take(3) {
-        let node = ws
-            .graph20
-            .provider(score.key.as_str(), target)
-            .expect("ranked");
+        let Some(node) = ws.graph20.provider(score.key.as_str(), target) else {
+            continue;
+        };
         top3.extend(metrics.dependent_sites(node, true, &with));
     }
     let direct_ranking = metrics.ranking(target, &direct);
     for score in direct_ranking.iter().take(3) {
-        let node = ws
-            .graph20
-            .provider(score.key.as_str(), target)
-            .expect("ranked");
+        let Some(node) = ws.graph20.provider(score.key.as_str(), target) else {
+            continue;
+        };
         top3_direct.extend(metrics.dependent_sites(node, true, &direct));
     }
     let mut report = Report::new(id, title).table(t).note(format!(

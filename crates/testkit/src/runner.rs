@@ -32,12 +32,14 @@ impl Default for Config {
 }
 
 fn env_u64(key: &str) -> Option<u64> {
+    // lint:allow(env-rand) — TESTKIT_SEED is the documented reproduction knob for property-test failures
     let raw = std::env::var(key).ok()?;
     let parsed = if let Some(hex) = raw.strip_prefix("0x") {
         u64::from_str_radix(hex, 16)
     } else {
         raw.parse()
     };
+    // lint:allow(panic) — test-harness code: a malformed TESTKIT_SEED must abort the run loudly
     Some(parsed.unwrap_or_else(|_| panic!("{key} must be an integer, got {raw:?}")))
 }
 
@@ -71,6 +73,7 @@ pub fn check_with<T: Clone + Debug + 'static>(
                 error.clone(),
                 cfg.max_shrink_steps,
             );
+            // lint:allow(panic) — test-harness failure reporting: panicking is how a property failure fails the test
             panic!(
                 "property '{name}' failed on case {case}/{total}\n\
                  \x20 reproduce with: TESTKIT_SEED={seed:#x} (base seed {seed})\n\

@@ -8,7 +8,7 @@ use crate::ca::CertificateAuthority;
 use crate::cert::Certificate;
 use crate::crl::Crl;
 use crate::ocsp::{CertStatus, OcspFault, OcspResponse};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use webdeps_dns::SimTime;
 use webdeps_model::{CaId, DomainName, EntityId};
 
@@ -23,11 +23,11 @@ pub const OCSP_VALIDITY_SECS: u64 = 7 * 86_400;
 pub struct Pki {
     cas: Vec<CertificateAuthority>,
     /// (issuer, serial) → status.
-    status: HashMap<(CaId, u64), CertStatus>,
+    status: BTreeMap<(CaId, u64), CertStatus>,
     /// Responder/CRL host → operating CA.
-    responder_hosts: HashMap<DomainName, CaId>,
+    responder_hosts: BTreeMap<DomainName, CaId>,
     /// Per-CA injected fault.
-    faults: HashMap<CaId, OcspFault>,
+    faults: BTreeMap<CaId, OcspFault>,
     next_serial: u64,
 }
 

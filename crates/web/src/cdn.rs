@@ -1,6 +1,6 @@
 //! Content delivery networks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use webdeps_model::{CdnId, DomainName, EntityId};
 
 /// One CDN: an entity operating edge infrastructure that customers point
@@ -36,7 +36,7 @@ impl Cdn {
 #[derive(Debug, Clone, Default)]
 pub struct CdnDirectory {
     cdns: Vec<Cdn>,
-    by_name: HashMap<String, CdnId>,
+    by_name: BTreeMap<String, CdnId>,
 }
 
 impl CdnDirectory {

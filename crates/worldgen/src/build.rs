@@ -8,12 +8,16 @@
 //! can discover everything the paper's scripts discovered, purely over
 //! the wire.
 
+// lint:allow-file(panic) — world construction runs on static catalogs and
+// seeded RNG only; every expect here encodes a generator invariant, and a
+// violation means the generator itself is wrong, which must abort loudly.
+
 use crate::config::WorldConfig;
 use crate::profiles::{CaProfile, CdnProfile, DepState};
 use crate::providers::{self, CaProviderSpec, ConglomerateSpec, DnsProvider, ProviderDep};
 use crate::snapshots::{plan_snapshot, SnapshotPlan};
 use crate::truth::{GroundTruth, SiteListing, SiteTruth};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use webdeps_dns::record::{RecordData, Soa};
 use webdeps_dns::zone::Zone;
@@ -62,7 +66,7 @@ pub struct World {
     /// Per-site ground truth (validation only).
     pub truth: GroundTruth,
     /// Provider display name → owning entity.
-    provider_entities: HashMap<String, EntityId>,
+    provider_entities: BTreeMap<String, EntityId>,
 }
 
 impl World {
@@ -121,14 +125,14 @@ pub struct Builder {
     next_web_ip: u32,
     next_dns_ip: u32,
     /// DNS provider name → its nameserver ServerIds.
-    dns_servers: HashMap<String, Vec<ServerId>>,
+    dns_servers: BTreeMap<String, Vec<ServerId>>,
     /// DNS provider name → catalog entry.
-    dns_catalog: HashMap<String, DnsProvider>,
+    dns_catalog: BTreeMap<String, DnsProvider>,
     /// CDN name → (cname domain, edge ip).
-    cdn_info: HashMap<String, (DomainName, Ipv4Addr)>,
+    cdn_info: BTreeMap<String, (DomainName, Ipv4Addr)>,
     /// CA name → id.
-    ca_ids: HashMap<String, CaId>,
-    provider_entities: HashMap<String, EntityId>,
+    ca_ids: BTreeMap<String, CaId>,
+    provider_entities: BTreeMap<String, EntityId>,
     serial: u32,
 }
 
@@ -145,11 +149,11 @@ impl Builder {
             rng: DetRng::new(seed ^ 0xB11D),
             next_web_ip: 0x0A00_0001, // 10.0.0.1
             next_dns_ip: 0x0C00_0001, // 12.0.0.1
-            dns_servers: HashMap::new(),
-            dns_catalog: HashMap::new(),
-            cdn_info: HashMap::new(),
-            ca_ids: HashMap::new(),
-            provider_entities: HashMap::new(),
+            dns_servers: BTreeMap::new(),
+            dns_catalog: BTreeMap::new(),
+            cdn_info: BTreeMap::new(),
+            ca_ids: BTreeMap::new(),
+            provider_entities: BTreeMap::new(),
             serial: 1,
         }
     }
@@ -1016,6 +1020,7 @@ pub type WorldBuilder = Builder;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
     use webdeps_dns::RecordType;
 
     fn small_world() -> World {

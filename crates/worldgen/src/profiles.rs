@@ -172,6 +172,7 @@ impl DnsMarginals {
 pub fn sample_dns_2016(band: usize, rng: &mut DetRng) -> DepState {
     let d = DNS_2016.densities();
     let weights = [d[0][band], d[1][band], d[2][band], d[3][band]];
+    // lint:allow(panic) — weights are static non-zero tables defined in this module
     match rng.weighted_index(&weights).expect("non-zero weights") {
         0 => DepState::Private,
         1 => DepState::SingleThird,
@@ -343,6 +344,7 @@ impl CdnMarginals {
 pub fn sample_cdn_2016(band: usize, rng: &mut DetRng) -> CdnProfile {
     let d = CDN_2016.densities();
     let weights = [d[0][band], d[1][band], d[2][band], d[3][band]];
+    // lint:allow(panic) — weights are static non-zero tables defined in this module
     match rng.weighted_index(&weights).expect("non-zero weights") {
         0 => CdnProfile::None,
         1 => CdnProfile::Private,
@@ -524,6 +526,7 @@ impl CaMarginals {
 pub fn sample_ca_2016(band: usize, rng: &mut DetRng) -> CaProfile {
     let d = CA_2016.densities();
     let weights = [d[0][band], d[1][band], d[2][band], d[3][band]];
+    // lint:allow(panic) — weights are static non-zero tables defined in this module
     match rng.weighted_index(&weights).expect("non-zero weights") {
         0 => CaProfile::NoHttps,
         1 => CaProfile::PrivateCa,

@@ -7,6 +7,9 @@
 //! and every per-site dependency state evolves through the Table 3/4/5
 //! transition machinery in [`crate::profiles`].
 
+// lint:allow-file(panic) — snapshot tables are hardcoded historical data;
+// a parse failure is a typo in this file, which must abort loudly.
+
 use crate::config::{SnapshotYear, WorldConfig};
 use crate::profiles::{self, band_of_rank, CaProfile, CdnProfile, DepState};
 use crate::providers::{self, CaProviderSpec, CdnProviderSpec, DnsProvider};

@@ -78,9 +78,11 @@ impl SiteTruth {
         match self.cdn.state {
             CdnProfile::None => vec![self.domain.clone()],
             CdnProfile::Private | CdnProfile::SingleThird => {
+                // lint:allow(panic) — "www" is a valid DNS label by construction
                 vec![self.domain.child("www").expect("valid label")]
             }
             CdnProfile::Multi => vec![
+                // lint:allow(panic) — "www" and "www2" are valid DNS labels by construction
                 self.domain.child("www").expect("valid label"),
                 self.domain.child("www2").expect("valid label"),
             ],

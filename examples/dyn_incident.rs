@@ -15,7 +15,7 @@ use webdeps::core::simulate_outage;
 use webdeps::worldgen::{SnapshotYear, WorldConfig, WorldPair};
 
 fn blast_radius(world: &webdeps::worldgen::World, label: &str) {
-    let result = simulate_outage(world, &["Dyn"], false);
+    let result = simulate_outage(world, &["Dyn"], false).expect("Dyn exists in both snapshots");
     println!("\n== Dyn outage, {label} ==");
     println!(
         "  affected sites: {} of {} ({:.2}%)",

@@ -82,7 +82,8 @@ fn main() {
     );
 
     println!("simulating an outage of {top} …");
-    let outage = simulate_outage(&world, &[top], false);
+    let outage =
+        simulate_outage(&world, &[top], false).expect("top provider came from the measurement");
     println!(
         "  {} of {} hospitals unreachable ({:.0}%) — every critical customer, no redundant one",
         outage.affected.len(),

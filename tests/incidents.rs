@@ -19,7 +19,8 @@ fn pair() -> &'static WorldPair {
 #[test]
 fn mirai_dyn_2016() {
     let world = &pair().y2016;
-    let result = simulate_outage(world, &["Dyn"], false);
+    let result =
+        simulate_outage(world, &["Dyn"], false).expect("providers are from the world catalog");
     assert!(!result.affected.is_empty(), "the attack must hurt");
 
     let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
@@ -59,8 +60,10 @@ fn mirai_dyn_2016() {
 #[test]
 fn dyn_2020_counterfactual() {
     let p = pair();
-    let r16 = simulate_outage(&p.y2016, &["Dyn"], false);
-    let r20 = simulate_outage(&p.y2020, &["Dyn"], false);
+    let r16 =
+        simulate_outage(&p.y2016, &["Dyn"], false).expect("providers are from the world catalog");
+    let r20 =
+        simulate_outage(&p.y2020, &["Dyn"], false).expect("providers are from the world catalog");
     assert!(
         (r20.affected.len() as f64) < (r16.affected.len() as f64) * 0.6,
         "2020 blast radius must shrink substantially: {} → {}",
@@ -156,7 +159,8 @@ fn globalsign_2016() {
 #[test]
 fn route53_2019_style_cascade() {
     let world = &pair().y2020;
-    let result = simulate_outage(world, &["AWS Route 53"], false);
+    let result = simulate_outage(world, &["AWS Route 53"], false)
+        .expect("providers are from the world catalog");
     let affected: std::collections::HashSet<_> = result.affected.iter().copied().collect();
 
     let mut via_cdn = 0;

@@ -1,0 +1,47 @@
+//! The linter's own acceptance gate: the live workspace must be clean.
+//!
+//! Any new `HashMap` iteration into output, stray `unwrap()` in a
+//! library path, layering violation, or external dependency fails this
+//! test — the static-analysis pass is part of the tier-1 suite, not an
+//! optional extra.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = webdeps_lint::lint_workspace(root, &webdeps_lint::Config::default())
+        .expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "scan must cover the whole tree, saw only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render_human(false)
+    );
+    // Every committed suppression must actually silence something;
+    // stale allows rot into misleading documentation.
+    assert!(
+        report.unused_allows.is_empty(),
+        "unused lint:allow directives: {:?}",
+        report.unused_allows
+    );
+}
+
+#[test]
+fn suppressions_all_carry_reasons() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = webdeps_lint::lint_workspace(root, &webdeps_lint::Config::default())
+        .expect("workspace scan");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.is_empty(),
+            "suppression at {}:{} has no reason",
+            s.violation.file,
+            s.allow_line
+        );
+    }
+}

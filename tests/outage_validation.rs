@@ -36,7 +36,8 @@ fn check_dns_provider(key: &str) {
     // Upper bound: the full indirect closure — a site can fall because
     // its CDN's DNS rides the failed provider (the Fastly-Dyn pattern).
     let full_predicted = metrics.dependent_sites(node, true, &MetricOptions::full());
-    let result = simulate_outage(world, &[key], false);
+    let result =
+        simulate_outage(world, &[key], false).expect("providers are from the world catalog");
     let simulated: HashSet<SiteId> = result.affected.iter().copied().collect();
 
     // Lower bound: every directly-critical site breaks.
@@ -85,7 +86,8 @@ fn route53_outage_matches_prediction() {
 #[test]
 fn cdn_outage_respects_redundancy() {
     let (world, ds, _) = world();
-    let result = simulate_outage(world, &["Akamai"], false);
+    let result =
+        simulate_outage(world, &["Akamai"], false).expect("providers are from the world catalog");
     let affected: HashSet<SiteId> = result.affected.iter().copied().collect();
     let mut crit = 0;
     let mut redundant = 0;
@@ -140,7 +142,8 @@ fn dnsmadeeasy_outage_amplified_through_digicert() {
     let direct = metrics.impact(node, &MetricOptions::direct_only());
     let full = metrics.impact(node, &MetricOptions::full());
 
-    let result = simulate_outage(world, &["DNSMadeEasy"], true);
+    let result = simulate_outage(world, &["DNSMadeEasy"], true)
+        .expect("providers are from the world catalog");
     assert!(
         result.affected.len() > 3 * direct.max(1),
         "behavioral blast radius {} should dwarf direct impact {direct}",
