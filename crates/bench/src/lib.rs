@@ -12,7 +12,9 @@
 //!   combined), metric-engine ablation (reverse BFS vs the paper's
 //!   literal recursion), coverage CDFs;
 //! * `pipeline` — world generation and the end-to-end measurement
-//!   pipeline at several scales.
+//!   pipeline at several scales;
+//! * `chaos` — the incident-replay engine's per-tick availability sweep
+//!   at 10k-site scale and randomized schedule generation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

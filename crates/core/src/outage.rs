@@ -6,10 +6,10 @@
 //! fetch through the full Figure-1 request path — so the two can be
 //! cross-validated (the Mirai-Dyn what-if, end to end).
 
-use webdeps_dns::FaultPlan;
+use webdeps_dns::{FaultPlan, FaultSchedule, SimTime};
 use webdeps_model::{DomainName, EntityId, ModelError, SiteId};
 use webdeps_tls::RevocationPolicy;
-use webdeps_web::{Scheme, Url};
+use webdeps_web::{Scheme, Url, WebClient};
 use webdeps_worldgen::World;
 
 /// Result of one simulated outage.
@@ -79,17 +79,7 @@ pub fn simulate_outage(
     let listings = world.listings();
     let mut affected = Vec::new();
     for l in &listings {
-        let scheme = if l.https { Scheme::Https } else { Scheme::Http };
-        let up = l.document_hosts.iter().any(|h| {
-            client
-                .fetch(&Url {
-                    scheme,
-                    host: h.clone(),
-                    path: "/".into(),
-                })
-                .is_ok()
-        });
-        if !up {
+        if !probe_site(&mut client, &l.document_hosts, l.https) {
             affected.push(l.id);
         }
     }
@@ -97,6 +87,61 @@ pub fn simulate_outage(
         failed_entities: entities,
         affected,
         total: listings.len(),
+    })
+}
+
+/// Probes every site under `schedule`, evaluated at the instant `at` —
+/// the schedule-aware sibling of [`simulate_outage`]. Probing is
+/// cache-free (each site sees the instant's conditions, not history);
+/// the incident-replay engine in `webdeps-chaos` layers cache carry-over
+/// on top of this. Infallible: the schedule already names entities, so
+/// there is no provider lookup to fail.
+///
+/// `max_sites` caps the probed population (`0` probes everything) so
+/// invariant sweeps over many schedules stay fast.
+pub fn simulate_outage_at(
+    world: &World,
+    schedule: &FaultSchedule,
+    at: SimTime,
+    hard_fail: bool,
+    max_sites: usize,
+) -> OutageResult {
+    let mut client = world.client();
+    if hard_fail {
+        client = client.with_policy(RevocationPolicy::HardFail);
+    }
+    client.set_schedule(schedule.clone());
+    client.resolver_mut().disable_cache();
+    client.resolver_mut().advance_time(at.seconds());
+
+    let mut listings = world.listings();
+    if max_sites > 0 {
+        listings.truncate(max_sites);
+    }
+    let mut affected = Vec::new();
+    for l in &listings {
+        if !probe_site(&mut client, &l.document_hosts, l.https) {
+            affected.push(l.id);
+        }
+    }
+    OutageResult {
+        failed_entities: schedule.entities_active_at(at),
+        affected,
+        total: listings.len(),
+    }
+}
+
+/// Whether any of a site's document hosts answers through `client`.
+pub fn probe_site(client: &mut WebClient<'_>, hosts: &[DomainName], https: bool) -> bool {
+    let scheme = if https { Scheme::Https } else { Scheme::Http };
+    hosts.iter().any(|h| {
+        client
+            .fetch(&Url {
+                scheme,
+                host: h.clone(),
+                path: "/".into(),
+            })
+            .is_ok()
     })
 }
 
@@ -115,6 +160,40 @@ mod tests {
         let result = simulate_outage(&world, &[], false).expect("no providers to resolve");
         assert!(result.affected.is_empty(), "nothing failed, nothing breaks");
         assert_eq!(result.total, world.truth.len());
+    }
+
+    #[test]
+    fn scheduled_outage_matches_plan_outage_inside_its_window() {
+        use webdeps_dns::fault::Degradation;
+        let world = World::generate(WorldConfig::small(71));
+        let dyn_entity = world.provider_entity("Dyn").expect("Dyn exists");
+        let schedule = FaultSchedule::seeded(9).fail_entity_during(
+            dyn_entity,
+            SimTime(3_600),
+            SimTime(7_200),
+            Degradation::Down,
+        );
+        let before = simulate_outage_at(&world, &schedule, SimTime(0), false, 0);
+        assert!(before.affected.is_empty(), "no fault active yet");
+        assert!(before.failed_entities.is_empty());
+
+        let during = simulate_outage_at(&world, &schedule, SimTime(5_000), false, 0);
+        assert_eq!(during.failed_entities, vec![dyn_entity]);
+        let plan_view = simulate_outage(&world, &["Dyn"], false).expect("catalog name");
+        assert_eq!(
+            during.affected, plan_view.affected,
+            "inside the window the schedule is exactly the binary outage"
+        );
+
+        let after = simulate_outage_at(&world, &schedule, SimTime(7_200), false, 0);
+        assert!(after.affected.is_empty(), "window is half-open");
+    }
+
+    #[test]
+    fn max_sites_caps_the_probe() {
+        let world = World::generate(WorldConfig::small(71));
+        let r = simulate_outage_at(&world, &FaultSchedule::empty(), SimTime(0), false, 25);
+        assert_eq!(r.total, 25);
     }
 
     #[test]

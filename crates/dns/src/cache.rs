@@ -18,6 +18,22 @@ struct Entry {
     value: Result<Resolution, ResolveError>,
 }
 
+/// Outcome of a [`DnsCache::lookup`] against a serve-stale window.
+#[derive(Debug, Clone)]
+pub enum CacheHit {
+    /// The entry is within its TTL: usable unconditionally.
+    Fresh(Result<Resolution, ResolveError>),
+    /// The entry's TTL lapsed but it is still within the serve-stale
+    /// window (RFC 8767): usable only when refreshing from authority
+    /// fails. Only positive answers are ever served stale.
+    Stale {
+        /// The expired answer.
+        value: Resolution,
+        /// Seconds past TTL expiry at lookup time.
+        stale_for: u64,
+    },
+}
+
 /// Answer cache keyed by `(name, qtype)`.
 #[derive(Debug, Clone, Default)]
 pub struct DnsCache {
@@ -45,22 +61,51 @@ impl DnsCache {
         self.entries.clear();
     }
 
-    /// Fetches a fresh entry, evicting it when stale.
+    /// Fetches a fresh entry, evicting it when stale. Equivalent to
+    /// [`Self::lookup`] with a zero serve-stale window.
     pub fn get(
         &mut self,
         name: &DomainName,
         qtype: RecordType,
         now: SimTime,
     ) -> Option<Result<Resolution, ResolveError>> {
-        let key = (name.clone(), qtype);
-        match self.entries.get(&key) {
-            Some(entry) if now.within_ttl(entry.stored, entry.ttl) => Some(entry.value.clone()),
-            Some(_) => {
-                self.entries.remove(&key);
-                None
-            }
-            None => None,
+        match self.lookup(name, qtype, now, 0) {
+            Some(CacheHit::Fresh(value)) => Some(value),
+            _ => None,
         }
+    }
+
+    /// Fetches an entry against a serve-stale window of `max_stale`
+    /// seconds past TTL expiry (RFC 8767).
+    ///
+    /// Entries within their TTL are [`CacheHit::Fresh`]. Expired
+    /// *positive* entries within the window are [`CacheHit::Stale`] and
+    /// are kept (a later outage may still need them); expired negative
+    /// entries and anything beyond the window are evicted.
+    pub fn lookup(
+        &mut self,
+        name: &DomainName,
+        qtype: RecordType,
+        now: SimTime,
+        max_stale: u64,
+    ) -> Option<CacheHit> {
+        let key = (name.clone(), qtype);
+        let entry = self.entries.get(&key)?;
+        if now.within_ttl(entry.stored, entry.ttl) {
+            return Some(CacheHit::Fresh(entry.value.clone()));
+        }
+        let expired_at = entry.stored.plus(u64::from(entry.ttl.seconds()));
+        let stale_for = now.seconds().saturating_sub(expired_at.seconds());
+        if stale_for < max_stale {
+            if let Ok(resolution) = &entry.value {
+                return Some(CacheHit::Stale {
+                    value: resolution.clone(),
+                    stale_for,
+                });
+            }
+        }
+        self.entries.remove(&key);
+        None
     }
 
     /// Stores a positive answer. The effective TTL is the minimum TTL
@@ -198,6 +243,53 @@ mod tests {
             zone: dn("example.com"),
         };
         c.put_negative(dn("example.com"), RecordType::A, err, SimTime(0));
+    }
+
+    #[test]
+    fn stale_window_serves_expired_positive_entries() {
+        let mut c = DnsCache::new();
+        c.put_positive(
+            dn("example.com"),
+            RecordType::A,
+            resolution(Ttl(60)),
+            SimTime(0),
+        );
+        // Within TTL: fresh.
+        assert!(matches!(
+            c.lookup(&dn("example.com"), RecordType::A, SimTime(59), 600),
+            Some(CacheHit::Fresh(Ok(_)))
+        ));
+        // Past TTL, within window: stale, and the entry is kept.
+        match c.lookup(&dn("example.com"), RecordType::A, SimTime(100), 600) {
+            Some(CacheHit::Stale { stale_for, .. }) => assert_eq!(stale_for, 40),
+            other => panic!("expected stale hit, got {other:?}"),
+        }
+        assert_eq!(c.len(), 1, "stale entries are retained");
+        // Past the window: gone.
+        assert!(c
+            .lookup(&dn("example.com"), RecordType::A, SimTime(661), 600)
+            .is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn negative_entries_are_never_served_stale() {
+        let mut c = DnsCache::new();
+        let mut soa = Soa::standard(dn("ns1.example.com"), dn("hostmaster.example.com"), 1);
+        soa.minimum = 60;
+        c.put_negative(
+            dn("nope.example.com"),
+            RecordType::A,
+            ResolveError::NxDomain {
+                name: dn("nope.example.com"),
+                soa,
+            },
+            SimTime(0),
+        );
+        assert!(c
+            .lookup(&dn("nope.example.com"), RecordType::A, SimTime(100), 600)
+            .is_none());
+        assert!(c.is_empty(), "expired negative entries are evicted");
     }
 
     #[test]

@@ -33,13 +33,13 @@ pub mod trace;
 pub mod zone;
 pub mod zonefile;
 
-pub use cache::DnsCache;
+pub use cache::{CacheHit, DnsCache};
 pub use clock::{SimClock, SimTime, Ttl};
 pub use dig::Dig;
-pub use fault::FaultPlan;
+pub use fault::{Degradation, FaultPhase, FaultPlan, FaultSchedule, FaultTarget, ServerCondition};
 pub use network::{DnsNetwork, NetworkBuilder};
 pub use record::{RecordData, RecordType, ResourceRecord, Soa};
-pub use resolver::{Resolution, ResolveError, Resolver};
+pub use resolver::{Resolution, ResolveError, Resolver, ResolverStats, RetryPolicy, StalePolicy};
 pub use server::{AuthoritativeServer, ServerId};
 pub use trace::{Trace, TraceEvent};
 pub use zone::{Zone, ZoneAnswer};

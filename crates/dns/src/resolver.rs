@@ -4,18 +4,31 @@
 //! the web crawler use for every lookup. It walks the authority chain of
 //! a query name (registry tier → … → deepest deployed zone), requires
 //! every tier to have at least one reachable server under the active
-//! [`FaultPlan`], chases CNAME chains across zones, and caches both
-//! positive and negative answers with TTL semantics.
+//! [`FaultPlan`] and [`FaultSchedule`], chases CNAME chains across
+//! zones, and caches both positive and negative answers with TTL
+//! semantics.
+//!
+//! Client-side resilience is modelled explicitly, because it decides
+//! incident outcomes as much as server-side redundancy does:
+//!
+//! * a [`RetryPolicy`] retries each zone tier across the NS preference
+//!   order with a per-attempt timeout — under *partial* packet loss
+//!   (the Mirai wave shape) retries convert most would-be failures into
+//!   slow successes, and exhausting them yields the distinct
+//!   [`ResolveError::Timeout`] rather than a SERVFAIL-shaped
+//!   [`ResolveError::AllServersDown`];
+//! * an opt-in [`StalePolicy`] serves expired cached answers while
+//!   authority is unreachable (RFC 8767 serve-stale).
 
-use crate::cache::DnsCache;
+use crate::cache::{CacheHit, DnsCache};
 use crate::clock::SimClock;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, FaultSchedule};
 use crate::network::{DnsNetwork, ZoneDeployment};
 use crate::record::{RecordType, ResourceRecord, Soa};
 use crate::zone::ZoneAnswer;
 use std::fmt;
 use std::net::Ipv4Addr;
-use webdeps_model::DomainName;
+use webdeps_model::{DomainName, EntityId};
 
 /// Maximum CNAME chain length before the resolver gives up (mirrors the
 /// chase limits of production resolvers).
@@ -104,6 +117,17 @@ pub enum ResolveError {
         /// The name whose chain exceeded the limit.
         name: DomainName,
     },
+    /// A zone tier had live servers, but every retry attempt against
+    /// them was lost or answered too late — the signature of a
+    /// *degraded* (not dead) nameserver set. Distinct from
+    /// [`ResolveError::AllServersDown`] so clients can tell "the
+    /// provider is gone" from "the provider is drowning".
+    Timeout {
+        /// The name being resolved when retries ran out.
+        name: DomainName,
+        /// Origin of the degraded zone.
+        zone: DomainName,
+    },
 }
 
 impl ResolveError {
@@ -119,7 +143,10 @@ impl ResolveError {
     /// Whether this failure is caused by unavailability (outage-shaped),
     /// i.e. the resolution *would* succeed on healthy infrastructure.
     pub fn is_outage(&self) -> bool {
-        matches!(self, ResolveError::AllServersDown { .. })
+        matches!(
+            self,
+            ResolveError::AllServersDown { .. } | ResolveError::Timeout { .. }
+        )
     }
 }
 
@@ -134,11 +161,84 @@ impl fmt::Display for ResolveError {
             ResolveError::NxDomain { name, .. } => write!(f, "NXDOMAIN for {name}"),
             ResolveError::NoData { name, .. } => write!(f, "NODATA for {name}"),
             ResolveError::ChainTooLong { name } => write!(f, "CNAME chain too long at {name}"),
+            ResolveError::Timeout { name, zone } => {
+                write!(f, "retries exhausted against zone {zone} resolving {name}")
+            }
         }
     }
 }
 
 impl std::error::Error for ResolveError {}
+
+/// Per-query retry behavior across a zone tier's NS preference order.
+///
+/// The defaults mirror stub-resolver practice (three attempts, 1 s
+/// per-attempt timeout, 500 ms backoff between rounds) and are exactly
+/// equivalent to the pre-retry resolver on a healthy or hard-down
+/// network: retries only change outcomes under partial degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Rounds through the NS preference order before giving up (≥ 1).
+    pub attempts: u32,
+    /// Per-attempt timeout, milliseconds: a response delayed past this
+    /// counts as lost.
+    pub timeout_ms: u32,
+    /// Pause between retry rounds, milliseconds (bookkeeping only — the
+    /// simulated clock does not advance during a query).
+    pub backoff_ms: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            timeout_ms: 1_000,
+            backoff_ms: 500,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retries (the pre-RFC-resilience client).
+    pub fn single_shot() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// RFC 8767 serve-stale policy: whether (and how far past TTL expiry)
+/// the resolver may answer from expired cache entries when authority is
+/// unreachable. Off by default — stale answers are a deliberate
+/// resilience trade-off, not baseline behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalePolicy {
+    /// Whether serve-stale is active.
+    pub enabled: bool,
+    /// Maximum staleness served, seconds past TTL expiry (RFC 8767
+    /// suggests 1–3 days; default one day).
+    pub max_stale_secs: u64,
+}
+
+impl Default for StalePolicy {
+    fn default() -> Self {
+        StalePolicy {
+            enabled: false,
+            max_stale_secs: 86_400,
+        }
+    }
+}
+
+impl StalePolicy {
+    /// Serve-stale on, with the default one-day window.
+    pub fn serve_stale() -> Self {
+        StalePolicy {
+            enabled: true,
+            ..StalePolicy::default()
+        }
+    }
+}
 
 /// Counters exposed for benchmarking and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -151,6 +251,12 @@ pub struct ResolverStats {
     pub successes: u64,
     /// Failed resolutions (including negative answers).
     pub failures: u64,
+    /// Retry rounds run beyond the first attempt.
+    pub retries: u64,
+    /// Tier contacts that exhausted every retry against live servers.
+    pub timeouts: u64,
+    /// Lookups answered from expired cache entries (RFC 8767).
+    pub stale_served: u64,
 }
 
 /// Iterative, caching resolver bound to a [`DnsNetwork`].
@@ -160,6 +266,9 @@ pub struct Resolver<'n> {
     clock: SimClock,
     cache: DnsCache,
     faults: FaultPlan,
+    schedule: FaultSchedule,
+    retry: RetryPolicy,
+    stale: StalePolicy,
     stats: ResolverStats,
     caching_enabled: bool,
 }
@@ -172,6 +281,9 @@ impl<'n> Resolver<'n> {
             clock: SimClock::new(),
             cache: DnsCache::new(),
             faults: FaultPlan::healthy(),
+            schedule: FaultSchedule::empty(),
+            retry: RetryPolicy::default(),
+            stale: StalePolicy::default(),
             stats: ResolverStats::default(),
             caching_enabled: true,
         }
@@ -187,6 +299,44 @@ impl<'n> Resolver<'n> {
     /// The active fault plan.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Replaces the active time-varying fault schedule (incident
+    /// replays). As with [`Self::set_faults`], the cache is kept.
+    pub fn set_schedule(&mut self, schedule: FaultSchedule) {
+        self.schedule = schedule;
+    }
+
+    /// The active fault schedule.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Sets the per-query retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets the RFC 8767 serve-stale policy.
+    pub fn set_stale_policy(&mut self, stale: StalePolicy) {
+        self.stale = stale;
+    }
+
+    /// The active serve-stale policy.
+    pub fn stale_policy(&self) -> StalePolicy {
+        self.stale
+    }
+
+    /// Whether an entity's non-DNS infrastructure (webservers, OCSP
+    /// responders) is up right now, folding the binary plan with the
+    /// schedule evaluated at the current simulated time.
+    pub fn entity_effectively_up(&self, entity: EntityId) -> bool {
+        self.faults.entity_up(entity) && !self.schedule.entity_down_at(entity, self.clock.now())
     }
 
     /// Disables the answer cache (every lookup hits authority).
@@ -228,26 +378,121 @@ impl<'n> Resolver<'n> {
         })
     }
 
+    /// Contacts one zone tier: walks the NS preference order up to
+    /// `retry.attempts` times, skipping hard-down servers and drawing
+    /// per-attempt loss/latency outcomes from the schedule. Returns
+    /// `Ok(())` when any attempt lands, [`ResolveError::AllServersDown`]
+    /// when no server was even a candidate, and
+    /// [`ResolveError::Timeout`] when live-but-degraded servers ate
+    /// every retry.
+    fn contact_tier(
+        &mut self,
+        dep: &ZoneDeployment,
+        qname: &DomainName,
+    ) -> Result<(), ResolveError> {
+        self.stats.queries_sent += 1;
+        // Fast path: no schedule means the plan alone decides, with no
+        // per-attempt randomness — the original binary semantics.
+        if self.schedule.is_empty() {
+            if self.deployment_reachable(dep) {
+                return Ok(());
+            }
+            return Err(ResolveError::AllServersDown {
+                name: qname.clone(),
+                zone: dep.zone.origin().clone(),
+            });
+        }
+        let now = self.clock.now();
+        let qhash = FaultSchedule::qname_hash(qname.as_str());
+        let mut had_candidate = false;
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 && had_candidate {
+                self.stats.retries += 1;
+            }
+            let mut tried_this_round = false;
+            for &sid in &dep.servers {
+                let server = self.network.server(sid);
+                if !self.faults.server_up(sid, server.operator) {
+                    continue;
+                }
+                let cond = self.schedule.server_condition_at(sid, server.operator, now);
+                if cond.down {
+                    continue;
+                }
+                had_candidate = true;
+                tried_this_round = true;
+                // An answer delayed past the per-attempt timeout is
+                // indistinguishable from a lost packet.
+                if cond.added_ms > self.retry.timeout_ms {
+                    continue;
+                }
+                if cond.loss > 0.0
+                    && self
+                        .schedule
+                        .attempt_dropped(cond.loss, sid, qhash, now, attempt)
+                {
+                    continue;
+                }
+                return Ok(());
+            }
+            if !tried_this_round {
+                break;
+            }
+        }
+        if had_candidate {
+            self.stats.timeouts += 1;
+            Err(ResolveError::Timeout {
+                name: qname.clone(),
+                zone: dep.zone.origin().clone(),
+            })
+        } else {
+            Err(ResolveError::AllServersDown {
+                name: qname.clone(),
+                zone: dep.zone.origin().clone(),
+            })
+        }
+    }
+
     /// Full iterative resolution of `(qname, qtype)`.
     pub fn resolve(
         &mut self,
         qname: &DomainName,
         qtype: RecordType,
     ) -> Result<Resolution, ResolveError> {
+        let mut stale_fallback: Option<Resolution> = None;
         if self.caching_enabled {
-            if let Some(cached) = self.cache.get(qname, qtype, self.clock.now()) {
-                self.stats.cache_hits += 1;
-                return cached;
+            let window = if self.stale.enabled {
+                self.stale.max_stale_secs
+            } else {
+                0
+            };
+            match self.cache.lookup(qname, qtype, self.clock.now(), window) {
+                Some(CacheHit::Fresh(cached)) => {
+                    self.stats.cache_hits += 1;
+                    return cached;
+                }
+                Some(CacheHit::Stale { value, .. }) => stale_fallback = Some(value),
+                None => {}
             }
         }
         let result = self.resolve_uncached(qname, qtype);
-        match &result {
+        match result {
             Ok(res) => {
                 self.stats.successes += 1;
                 if self.caching_enabled {
                     self.cache
                         .put_positive(qname.clone(), qtype, res.clone(), self.clock.now());
                 }
+                Ok(res)
+            }
+            Err(err) if err.is_outage() && stale_fallback.is_some() => {
+                // RFC 8767: authority unreachable, an expired answer is
+                // better than none. The entry is deliberately not
+                // re-cached — it keeps aging toward the stale horizon.
+                self.stats.stale_served += 1;
+                self.stats.successes += 1;
+                // lint:allow(panic) — infallible: guarded by is_some in the match arm
+                Ok(stale_fallback.expect("checked is_some"))
             }
             Err(err) => {
                 self.stats.failures += 1;
@@ -255,9 +500,9 @@ impl<'n> Resolver<'n> {
                     self.cache
                         .put_negative(qname.clone(), qtype, err.clone(), self.clock.now());
                 }
+                Err(err)
             }
         }
-        result
     }
 
     fn resolve_uncached(
@@ -276,13 +521,7 @@ impl<'n> Resolver<'n> {
             // Every tier on the authority path must be reachable: a dead
             // parent zone denies the referral to its children.
             for dep in &tiers {
-                self.stats.queries_sent += 1;
-                if !self.deployment_reachable(dep) {
-                    return Err(ResolveError::AllServersDown {
-                        name: current,
-                        zone: dep.zone.origin().clone(),
-                    });
-                }
+                self.contact_tier(dep, &current)?;
             }
             // lint:allow(panic) — infallible: emptiness is checked immediately above
             let deepest = tiers.last().expect("non-empty checked above");
@@ -522,6 +761,183 @@ mod tests {
         assert_eq!(s.successes, 1);
         assert_eq!(s.failures, 1);
         assert!(s.queries_sent >= 2);
+    }
+
+    #[test]
+    fn schedule_outage_window_opens_and_closes() {
+        use crate::clock::SimTime;
+        use crate::fault::{Degradation, FaultSchedule};
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        r.disable_cache();
+        r.set_schedule(
+            FaultSchedule::seeded(1)
+                .fail_entity_during(EntityId(0), SimTime(100), SimTime(200), Degradation::Down)
+                .fail_entity_during(EntityId(1), SimTime(100), SimTime(200), Degradation::Down),
+        );
+        assert!(r.is_resolvable(&dn("example.com")), "before the window");
+        r.advance_time(150);
+        let err = r.resolve(&dn("example.com"), RecordType::A).unwrap_err();
+        assert!(
+            matches!(err, ResolveError::AllServersDown { .. }),
+            "hard-down window yields SERVFAIL shape, got {err}"
+        );
+        r.advance_time(100);
+        assert!(r.is_resolvable(&dn("example.com")), "after the window");
+    }
+
+    #[test]
+    fn latency_past_timeout_is_a_timeout_not_servfail() {
+        use crate::clock::SimTime;
+        use crate::fault::{Degradation, FaultSchedule};
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        r.disable_cache();
+        r.set_schedule(
+            FaultSchedule::seeded(1)
+                .fail_entity_during(
+                    EntityId(0),
+                    SimTime(0),
+                    SimTime(1_000),
+                    Degradation::Latency { added_ms: 5_000 },
+                )
+                .fail_entity_during(
+                    EntityId(1),
+                    SimTime(0),
+                    SimTime(1_000),
+                    Degradation::Latency { added_ms: 5_000 },
+                ),
+        );
+        let err = r.resolve(&dn("example.com"), RecordType::A).unwrap_err();
+        assert!(
+            matches!(err, ResolveError::Timeout { .. }),
+            "live-but-slow servers must time out, got {err}"
+        );
+        assert!(err.is_outage());
+        assert_eq!(r.stats().timeouts, 1);
+        // A generous timeout absorbs the latency entirely.
+        r.set_retry_policy(RetryPolicy {
+            timeout_ms: 10_000,
+            ..RetryPolicy::default()
+        });
+        assert!(r.is_resolvable(&dn("example.com")));
+    }
+
+    #[test]
+    fn retries_ride_out_partial_loss() {
+        use crate::clock::SimTime;
+        use crate::fault::{Degradation, FaultSchedule};
+        let net = build_network();
+        let loss = FaultSchedule::seeded(7)
+            .fail_entity_during(
+                EntityId(0),
+                SimTime(0),
+                SimTime(1_000_000),
+                Degradation::Loss { probability: 0.7 },
+            )
+            .fail_entity_during(
+                EntityId(1),
+                SimTime(0),
+                SimTime(1_000_000),
+                Degradation::Loss { probability: 0.7 },
+            );
+
+        let survival = |attempts: u32| {
+            let mut r = Resolver::new(&net);
+            r.disable_cache();
+            r.set_schedule(loss.clone());
+            r.set_retry_policy(RetryPolicy {
+                attempts,
+                ..RetryPolicy::default()
+            });
+            let mut ok = 0;
+            for _ in 0..200 {
+                if r.is_resolvable(&dn("example.com")) {
+                    ok += 1;
+                }
+                r.advance_time(1); // fresh loss draws each probe
+            }
+            ok
+        };
+        let one = survival(1);
+        let three = survival(3);
+        assert!(
+            three > one,
+            "retries must convert losses into successes: {one} vs {three}"
+        );
+        // 3 attempts × 2 servers at p=0.7 ⇒ P(all six lost) ≈ 0.12.
+        assert!(three >= 140, "expected high survival, got {three}/200");
+    }
+
+    #[test]
+    fn serve_stale_bridges_an_outage_within_its_window() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        r.set_stale_policy(StalePolicy::serve_stale());
+        assert!(r.is_resolvable(&dn("example.com")));
+        r.set_faults(
+            FaultPlan::healthy()
+                .fail_entity(EntityId(0))
+                .fail_entity(EntityId(1)),
+        );
+        // Past the TTL (3600 s) but within the stale window (1 day):
+        // the expired answer bridges the outage.
+        r.advance_time(7_200);
+        assert!(
+            r.is_resolvable(&dn("example.com")),
+            "stale answer must be served during the outage"
+        );
+        assert_eq!(r.stats().stale_served, 1);
+        // Healthy authority is always preferred over a stale answer.
+        r.set_faults(FaultPlan::healthy());
+        assert!(r.is_resolvable(&dn("example.com")));
+        assert_eq!(r.stats().stale_served, 1, "no stale hit when live works");
+        // Beyond the window the answer is gone for good.
+        r.set_faults(
+            FaultPlan::healthy()
+                .fail_entity(EntityId(0))
+                .fail_entity(EntityId(1)),
+        );
+        r.advance_time(3_600 + 86_400 + 1);
+        assert!(
+            !r.is_resolvable(&dn("example.com")),
+            "stale horizon must be honoured"
+        );
+    }
+
+    #[test]
+    fn stale_disabled_by_default() {
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        assert!(r.is_resolvable(&dn("example.com")));
+        r.set_faults(
+            FaultPlan::healthy()
+                .fail_entity(EntityId(0))
+                .fail_entity(EntityId(1)),
+        );
+        r.advance_time(3_601);
+        assert!(!r.is_resolvable(&dn("example.com")));
+        assert_eq!(r.stats().stale_served, 0);
+    }
+
+    #[test]
+    fn entity_effectively_up_folds_plan_and_schedule() {
+        use crate::clock::SimTime;
+        use crate::fault::{Degradation, FaultSchedule};
+        let net = build_network();
+        let mut r = Resolver::new(&net);
+        assert!(r.entity_effectively_up(EntityId(5)));
+        r.set_schedule(FaultSchedule::seeded(1).fail_entity_during(
+            EntityId(5),
+            SimTime(0),
+            SimTime(100),
+            Degradation::Down,
+        ));
+        assert!(!r.entity_effectively_up(EntityId(5)));
+        r.advance_time(100);
+        assert!(r.entity_effectively_up(EntityId(5)), "window closed");
+        r.set_faults(FaultPlan::healthy().fail_entity(EntityId(5)));
+        assert!(!r.entity_effectively_up(EntityId(5)), "plan still binds");
     }
 
     #[test]

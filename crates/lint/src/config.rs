@@ -23,7 +23,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "layering",
-        "crate dependencies must follow the declared DAG (model -> dns/tls/web -> worldgen -> measure -> core -> reports)",
+        "crate dependencies must follow the declared DAG (model -> dns/tls/web -> worldgen -> measure -> core -> chaos -> reports)",
     ),
     (
         "extern-dep",
@@ -64,14 +64,20 @@ pub const CRATE_DAG: &[(&str, &[&str])] = &[
         &["model", "dns", "tls", "web", "worldgen", "measure"],
     ),
     (
-        "reports",
+        "chaos",
         &["model", "dns", "tls", "web", "worldgen", "measure", "core"],
+    ),
+    (
+        "reports",
+        &[
+            "model", "dns", "tls", "web", "worldgen", "measure", "core", "chaos",
+        ],
     ),
     ("testkit", &["model"]),
     (
         "bench",
         &[
-            "model", "dns", "tls", "web", "worldgen", "measure", "core", "reports",
+            "model", "dns", "tls", "web", "worldgen", "measure", "core", "chaos", "reports",
         ],
     ),
     ("lint", &[]),

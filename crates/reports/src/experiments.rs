@@ -2,7 +2,7 @@
 
 use crate::table::TextTable;
 use crate::workspace::Workspace;
-use crate::{figures, tables};
+use crate::{figures, incidents, tables};
 
 /// The rendered output of one experiment.
 #[derive(Debug, Clone)]
@@ -79,6 +79,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "table11",
         "validation",
         "amplification",
+        "incidents",
     ]
 }
 
@@ -106,6 +107,7 @@ pub fn run_experiment(ws: &Workspace, id: &str) -> Option<Report> {
         "figure8" => figures::figure8(ws),
         "figure9" => figures::figure9(ws),
         "amplification" => figures::amplification(ws),
+        "incidents" => incidents::incidents(ws),
         _ => return None,
     })
 }

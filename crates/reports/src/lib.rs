@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod export;
 pub mod figures;
+pub mod incidents;
 pub mod names;
 pub mod table;
 pub mod tables;

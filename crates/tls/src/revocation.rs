@@ -64,6 +64,12 @@ pub enum RevocationPolicy {
     SoftFail,
     /// Abort the connection without a definitive status.
     HardFail,
+    /// Require a fresh stapled response outright — the client never
+    /// contacts responders, so it carries *no* dependency on the CA's
+    /// OCSP infrastructure. This is the paper's recommended endpoint:
+    /// universal stapling removes the CA from the availability-critical
+    /// path entirely.
+    StapleRequired,
 }
 
 /// Where a successful status came from.
@@ -98,6 +104,10 @@ pub enum RevocationError {
     StatusUnavailable,
     /// The certificate requires stapling but none was presented.
     MustStapleViolated,
+    /// The *client's* policy requires stapling but the server presented
+    /// no fresh staple (distinct from [`Self::MustStapleViolated`],
+    /// where the certificate itself carries the requirement).
+    StapleRequiredByPolicy,
 }
 
 impl fmt::Display for RevocationError {
@@ -108,6 +118,12 @@ impl fmt::Display for RevocationError {
             RevocationError::MustStapleViolated => {
                 write!(f, "must-staple certificate without staple")
             }
+            RevocationError::StapleRequiredByPolicy => {
+                write!(
+                    f,
+                    "client policy requires stapling; no fresh staple presented"
+                )
+            }
         }
     }
 }
@@ -115,11 +131,18 @@ impl fmt::Display for RevocationError {
 impl std::error::Error for RevocationError {}
 
 /// Stateful revocation checker (one per simulated client).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RevocationChecker {
     policy: RevocationPolicy,
+    responder_retries: u32,
     cache: HashMap<(CaId, u64), OcspResponse>,
     crl_cache: HashMap<CaId, Crl>,
+}
+
+impl Default for RevocationChecker {
+    fn default() -> Self {
+        RevocationChecker::new(RevocationPolicy::default())
+    }
 }
 
 impl RevocationChecker {
@@ -127,9 +150,24 @@ impl RevocationChecker {
     pub fn new(policy: RevocationPolicy) -> Self {
         RevocationChecker {
             policy,
+            responder_retries: 1,
             cache: HashMap::new(),
             crl_cache: HashMap::new(),
         }
+    }
+
+    /// Sets how many rounds the checker makes through the OCSP endpoint
+    /// list before falling back to CRLs (≥ 1; default 1). Retries matter
+    /// against *intermittently* failing responders — stateful transports
+    /// can succeed on a later round.
+    pub fn with_responder_retries(mut self, attempts: u32) -> Self {
+        self.responder_retries = attempts.max(1);
+        self
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RevocationPolicy {
+        self.policy
     }
 
     /// Number of cached OCSP responses.
@@ -159,7 +197,9 @@ impl RevocationChecker {
             // `Unknown` gives no definitive status; policy decides.
             CertStatus::Unknown => match self.policy {
                 RevocationPolicy::SoftFail => Ok(RevocationOutcome::AcceptedUnchecked),
-                RevocationPolicy::HardFail => Err(RevocationError::StatusUnavailable),
+                RevocationPolicy::HardFail | RevocationPolicy::StapleRequired => {
+                    Err(RevocationError::StatusUnavailable)
+                }
             },
         }
     }
@@ -184,6 +224,11 @@ impl RevocationChecker {
             // an attacker could otherwise strip the OCSP check.
             return Err(RevocationError::MustStapleViolated);
         }
+        if self.policy == RevocationPolicy::StapleRequired {
+            // The client refuses to take on the responder dependency at
+            // all: no fresh staple, no connection.
+            return Err(RevocationError::StapleRequiredByPolicy);
+        }
 
         // 2. Client cache.
         if let Some(cached) = self.cache.get(&(cert.issuer, cert.serial)) {
@@ -196,16 +241,22 @@ impl RevocationChecker {
         if !cert.has_revocation_endpoints() {
             return match self.policy {
                 RevocationPolicy::SoftFail => Ok(RevocationOutcome::AcceptedUnchecked),
-                RevocationPolicy::HardFail => Err(RevocationError::StatusUnavailable),
+                RevocationPolicy::HardFail | RevocationPolicy::StapleRequired => {
+                    Err(RevocationError::StatusUnavailable)
+                }
             };
         }
 
-        // 4. Try each OCSP endpoint.
-        for endpoint in &cert.ocsp_urls {
-            if let Ok(response) = transport.fetch_ocsp(endpoint, cert.issuer, cert.serial) {
-                self.cache
-                    .insert((cert.issuer, cert.serial), response.clone());
-                return self.settle(response.status, StatusSource::Responder);
+        // 4. Try each OCSP endpoint, making `responder_retries` rounds
+        // through the list (an intermittently-failing responder can
+        // answer a later round).
+        for _round in 0..self.responder_retries {
+            for endpoint in &cert.ocsp_urls {
+                if let Ok(response) = transport.fetch_ocsp(endpoint, cert.issuer, cert.serial) {
+                    self.cache
+                        .insert((cert.issuer, cert.serial), response.clone());
+                    return self.settle(response.status, StatusSource::Responder);
+                }
             }
         }
 
@@ -227,7 +278,9 @@ impl RevocationChecker {
         // 6. Nothing reachable.
         match self.policy {
             RevocationPolicy::SoftFail => Ok(RevocationOutcome::AcceptedUnchecked),
-            RevocationPolicy::HardFail => Err(RevocationError::StatusUnavailable),
+            RevocationPolicy::HardFail | RevocationPolicy::StapleRequired => {
+                Err(RevocationError::StatusUnavailable)
+            }
         }
     }
 }
@@ -342,6 +395,69 @@ mod tests {
             .check(&cert, None, &mut oracle(&pki, SimTime(0)), SimTime(0))
             .unwrap_err();
         assert_eq!(err, RevocationError::MustStapleViolated);
+    }
+
+    #[test]
+    fn staple_required_policy_severs_the_responder_dependency() {
+        let (pki, cert) = pki_with_cert(false);
+        let mut checker = RevocationChecker::new(RevocationPolicy::StapleRequired);
+        // With a fresh staple the check passes without touching any
+        // transport at all.
+        let staple = pki
+            .ocsp_answer(cert.issuer, cert.serial, SimTime(0))
+            .unwrap();
+        let mut untouchable = |_: &Endpoint, _: CaId, _: u64| panic!("no fetch expected");
+        let out = checker
+            .check(&cert, Some(&staple), &mut untouchable, SimTime(0))
+            .unwrap();
+        assert_eq!(out, RevocationOutcome::Good(StatusSource::Stapled));
+        // Without one the connection aborts — even though the responder
+        // is perfectly healthy.
+        let err = checker
+            .check(&cert, None, &mut oracle(&pki, SimTime(0)), SimTime(0))
+            .unwrap_err();
+        assert_eq!(err, RevocationError::StapleRequiredByPolicy);
+        // A stale staple is no staple.
+        let later = SimTime(OCSP_VALIDITY_SECS + 1);
+        let err = checker
+            .check(&cert, Some(&staple), &mut oracle(&pki, later), later)
+            .unwrap_err();
+        assert_eq!(err, RevocationError::StapleRequiredByPolicy);
+    }
+
+    #[test]
+    fn responder_retries_recover_from_intermittent_failures() {
+        let (pki, cert) = pki_with_cert(false);
+        // Transport that fails its first two calls, then answers — the
+        // shape of a responder drowning in Mirai-scale load.
+        let mut calls = 0u32;
+        let mut flaky = |_: &Endpoint, ca: CaId, serial: u64| {
+            calls += 1;
+            if calls <= 2 {
+                Err(())
+            } else {
+                pki.ocsp_answer(ca, serial, SimTime(0)).ok_or(())
+            }
+        };
+        let mut single = RevocationChecker::new(RevocationPolicy::HardFail);
+        let err = single
+            .check(&cert, None, &mut flaky, SimTime(0))
+            .unwrap_err();
+        assert_eq!(err, RevocationError::StatusUnavailable);
+
+        let mut calls = 0u32;
+        let mut flaky = |_: &Endpoint, ca: CaId, serial: u64| {
+            calls += 1;
+            if calls <= 2 {
+                Err(())
+            } else {
+                pki.ocsp_answer(ca, serial, SimTime(0)).ok_or(())
+            }
+        };
+        let mut retrying =
+            RevocationChecker::new(RevocationPolicy::HardFail).with_responder_retries(3);
+        let out = retrying.check(&cert, None, &mut flaky, SimTime(0)).unwrap();
+        assert_eq!(out, RevocationOutcome::Good(StatusSource::Responder));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::server::{WebNetwork, WebServerId};
 use crate::url::Url;
 use std::fmt;
 use std::net::Ipv4Addr;
-use webdeps_dns::{FaultPlan, ResolveError, Resolver};
+use webdeps_dns::{FaultPlan, FaultSchedule, ResolveError, Resolver};
 use webdeps_model::{DomainName, EntityId};
 use webdeps_tls::revocation::{OcspTransport, StatusSource};
 use webdeps_tls::{
@@ -26,6 +26,11 @@ use webdeps_tls::{
 pub enum FetchError {
     /// Name resolution failed.
     Dns(ResolveError),
+    /// Name resolution *timed out*: the nameserver set was alive but
+    /// degraded (loss/latency ate every retry). Distinct from
+    /// [`Self::Dns`] with [`ResolveError::AllServersDown`] — a drowning
+    /// provider and a dead provider call for different mitigations.
+    DnsTimeout(ResolveError),
     /// The name resolved but produced no address.
     NoAddress(DomainName),
     /// No webserver exists at the resolved address (world wiring bug).
@@ -52,6 +57,7 @@ impl FetchError {
     pub fn is_outage(&self) -> bool {
         match self {
             FetchError::Dns(e) => e.is_outage(),
+            FetchError::DnsTimeout(_) => true,
             FetchError::ServerDown { .. } => true,
             FetchError::Revocation(_) => true,
             _ => false,
@@ -63,6 +69,7 @@ impl fmt::Display for FetchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FetchError::Dns(e) => write!(f, "DNS failure: {e}"),
+            FetchError::DnsTimeout(e) => write!(f, "DNS degraded (timed out): {e}"),
             FetchError::NoAddress(h) => write!(f, "no address for {h}"),
             FetchError::NoServer(ip) => write!(f, "no webserver at {ip}"),
             FetchError::ServerDown { operator } => {
@@ -141,10 +148,13 @@ impl NetTransport<'_, '_> {
             .map_err(|_| ())?;
         let &ip = addrs.first().ok_or(())?;
         let server = self.web.server_at(ip).ok_or(())?;
-        if !self.resolver.faults().entity_up(server.operator) {
+        if !self.resolver.entity_effectively_up(server.operator) {
             return Err(());
         }
-        if !self.resolver.faults().entity_up(self.pki.ca_entity(issuer)) {
+        if !self
+            .resolver
+            .entity_effectively_up(self.pki.ca_entity(issuer))
+        {
             return Err(());
         }
         Ok(())
@@ -205,6 +215,20 @@ impl<'n> WebClient<'n> {
         self.resolver.set_faults(faults);
     }
 
+    /// Applies a time-varying fault schedule to every layer this client
+    /// touches; conditions are evaluated at the resolver's clock.
+    pub fn set_schedule(&mut self, schedule: FaultSchedule) {
+        self.resolver.set_schedule(schedule);
+    }
+
+    /// Swaps the PKI view while keeping the client's state — resolver
+    /// clock, DNS cache, and revocation cache all survive. Incident
+    /// replays use this at phase boundaries ("the CA fixed its
+    /// responder") so that cache carry-over effects stay visible.
+    pub fn set_pki(&mut self, pki: &'n Pki) {
+        self.pki = pki;
+    }
+
     /// Read access to the underlying resolver.
     pub fn resolver(&self) -> &Resolver<'n> {
         &self.resolver
@@ -240,7 +264,10 @@ impl<'n> WebClient<'n> {
         let resolution = self
             .resolver
             .resolve(&url.host, webdeps_dns::RecordType::A)
-            .map_err(FetchError::Dns)?;
+            .map_err(|e| match e {
+                ResolveError::Timeout { .. } => FetchError::DnsTimeout(e),
+                _ => FetchError::Dns(e),
+            })?;
         let cname_chain = resolution.cname_targets();
         let &ip = resolution
             .addresses()
@@ -249,7 +276,7 @@ impl<'n> WebClient<'n> {
 
         // 2. Routing + server availability.
         let server = self.web.server_at(ip).ok_or(FetchError::NoServer(ip))?;
-        if !self.resolver.faults().entity_up(server.operator) {
+        if !self.resolver.entity_effectively_up(server.operator) {
             return Err(FetchError::ServerDown {
                 operator: server.operator,
             });
@@ -571,6 +598,86 @@ mod tests {
             short.fetch(&Url::https(dn("example.com"))),
             Err(FetchError::CertificateInvalid(_))
         ));
+    }
+
+    #[test]
+    fn degraded_dns_maps_to_distinct_timeout_error() {
+        use webdeps_dns::fault::Degradation;
+        use webdeps_dns::SimTime;
+        let w = world(false, false);
+        let mut client = WebClient::new(Resolver::new(&w.dns), &w.web, &w.pki);
+        client.resolver_mut().disable_cache();
+        // The site's nameserver answers 5 s late: alive, but slower than
+        // any per-attempt timeout — every retry times out.
+        client.set_schedule(FaultSchedule::seeded(1).fail_entity_during(
+            SITE_ENTITY,
+            SimTime(0),
+            SimTime(10_000),
+            Degradation::Latency { added_ms: 5_000 },
+        ));
+        let err = client.fetch(&Url::https(dn("example.com"))).unwrap_err();
+        assert!(
+            matches!(err, FetchError::DnsTimeout(_)),
+            "degraded-but-alive must be distinguishable, got {err:?}"
+        );
+        assert!(err.is_outage());
+        // A hard-down plan for the same entity fails as SERVFAIL-shaped.
+        client.set_schedule(FaultSchedule::empty());
+        client.set_faults(FaultPlan::healthy().fail_entity(SITE_ENTITY));
+        let err = client.fetch(&Url::https(dn("example.com"))).unwrap_err();
+        assert!(matches!(err, FetchError::Dns(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn schedule_takes_webserver_operator_down_in_window() {
+        use webdeps_dns::fault::Degradation;
+        use webdeps_dns::SimTime;
+        let w = world(false, false);
+        // DNS answer cached while healthy; later the *webserver* entity
+        // goes hard-down on schedule.
+        let mut client = WebClient::new(Resolver::new(&w.dns), &w.web, &w.pki);
+        client.fetch(&Url::http(dn("example.com"))).unwrap();
+        client.set_schedule(FaultSchedule::seeded(1).fail_entity_during(
+            SITE_ENTITY,
+            SimTime(100),
+            SimTime(200),
+            Degradation::Down,
+        ));
+        client.resolver_mut().advance_time(150);
+        let err = client.fetch(&Url::http(dn("example.com"))).unwrap_err();
+        assert!(
+            matches!(err, FetchError::ServerDown { .. }),
+            "cached DNS answer routes to a scheduled-down server, got {err:?}"
+        );
+        client.resolver_mut().advance_time(100);
+        assert!(client.fetch(&Url::http(dn("example.com"))).is_ok());
+    }
+
+    #[test]
+    fn set_pki_swaps_view_but_keeps_caches() {
+        let w = world(false, false);
+        let mut bad_pki = w.pki.clone();
+        let ca = bad_pki.ca_by_name("CA Corp").unwrap().id;
+        bad_pki.inject_fault(ca, OcspFault::MarksEverythingRevoked);
+        let mut client = WebClient::new(Resolver::new(&w.dns), &w.web, &bad_pki)
+            .with_policy(RevocationPolicy::HardFail);
+        // Poisoned response cached under the bad view…
+        assert!(matches!(
+            client.fetch(&Url::https(dn("example.com"))),
+            Err(FetchError::Revocation(RevocationError::Revoked(_)))
+        ));
+        // …and the fix (same client, healthy PKI view) does not help
+        // until the cached response expires.
+        client.set_pki(&w.pki);
+        assert!(matches!(
+            client.fetch(&Url::https(dn("example.com"))),
+            Err(FetchError::Revocation(RevocationError::Revoked(
+                StatusSource::Cache
+            )))
+        ));
+        client.resolver_mut().advance_time(OCSP_VALIDITY_SECS + 1);
+        client.resolver_mut().flush_cache();
+        assert!(client.fetch(&Url::https(dn("example.com"))).is_ok());
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Incident fixture worlds.
+//!
+//! Canned [`World`] configurations for the paper's §2 incident replays,
+//! so the chaos engine, the report generator, and the test suite all
+//! replay against the *same* snapshot shapes: the Mirai-Dyn attack hit
+//! the December 2016 web (Fastly's DNS still rode Dyn exclusively), the
+//! GlobalSign OCSP error is replayed against the HTTPS-heavy 2020 web.
+
+use crate::build::World;
+use crate::config::{SnapshotYear, WorldConfig};
+
+/// The world the Mirai-Dyn attack hit: a 2016 snapshot, where Dyn is a
+/// major provider and Fastly's DNS depends on it exclusively.
+pub fn dyn_incident_world(seed: u64, n_sites: usize) -> World {
+    World::generate(WorldConfig {
+        seed,
+        n_sites,
+        year: SnapshotYear::Y2016,
+    })
+}
+
+/// The world the GlobalSign OCSP misconfiguration hit, approximated by
+/// the 2020 snapshot (higher HTTPS adoption makes the CA dependency
+/// bite harder; the incident mechanics are year-independent).
+pub fn globalsign_incident_world(seed: u64, n_sites: usize) -> World {
+    World::generate(WorldConfig {
+        seed,
+        n_sites,
+        year: SnapshotYear::Y2020,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_the_incident_preconditions() {
+        let dyn_world = dyn_incident_world(71, 500);
+        assert_eq!(dyn_world.config.year, SnapshotYear::Y2016);
+        assert!(
+            dyn_world.provider_entity("Dyn").is_some(),
+            "the Dyn replay needs Dyn in the catalog"
+        );
+
+        let gs_world = globalsign_incident_world(71, 500);
+        assert_eq!(gs_world.config.year, SnapshotYear::Y2020);
+        assert!(
+            gs_world.pki.ca_by_name("GlobalSign").is_some(),
+            "the GlobalSign replay needs the CA"
+        );
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod build;
 pub mod config;
+pub mod incidents;
 pub mod profiles;
 pub mod providers;
 pub mod sampler;

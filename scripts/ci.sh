@@ -12,6 +12,9 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== webdeps-chaos --smoke (incident replays + invariant campaign) =="
+cargo run -q --release --offline -p webdeps-chaos -- --smoke
+
 echo "== webdeps-lint (static-analysis pass) =="
 cargo run -q --release --offline -p webdeps-lint -- --root . --json-out LINT_REPORT.json
 ls -l LINT_REPORT.json

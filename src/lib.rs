@@ -19,6 +19,8 @@
 //! * [`measure`] — the paper's §3 measurement methodology;
 //! * [`core`] — the analysis layer (dependency graph, concentration &
 //!   impact, evolution, outage simulation, per-site audits);
+//! * [`chaos`] — deterministic incident replay (Mirai-Dyn, GlobalSign)
+//!   and seeded chaos campaigns with availability invariants;
 //! * [`reports`] — regenerators for every table and figure.
 //!
 //! ## Quickstart
@@ -46,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use webdeps_chaos as chaos;
 pub use webdeps_core as core;
 pub use webdeps_dns as dns;
 pub use webdeps_measure as measure;

@@ -189,3 +189,76 @@ fn route53_2019_style_cascade() {
         result.affected_fraction()
     );
 }
+
+/// A *degraded* (not down) Dyn: added latency past the client timeout
+/// exhausts the retry budget and must surface as the dedicated
+/// [`FetchError::DnsTimeout`] variant — distinct from the hard
+/// `FetchError::Dns` a full outage produces, because operators triage
+/// the two differently.
+#[test]
+fn degraded_dyn_times_out_instead_of_hard_failing() {
+    use webdeps::dns::fault::Degradation;
+    use webdeps::dns::{FaultPlan, FaultSchedule, SimTime};
+    use webdeps::web::FetchError;
+
+    let world = &pair().y2016;
+    let dyn_entity = world.provider_entity("Dyn").expect("2016 world has Dyn");
+    let victim = world
+        .truth
+        .sites
+        .iter()
+        .find(|t| t.dns.providers == vec!["Dyn".to_string()] && t.dns.state.is_critical())
+        .expect("2016 world has Dyn-critical sites");
+    let url = Url {
+        scheme: Scheme::Http,
+        host: victim.domain.clone(),
+        path: "/".into(),
+    };
+
+    // Degraded: latency beyond the per-query timeout on every attempt.
+    let mut client = world.client();
+    client.resolver_mut().disable_cache();
+    client.set_schedule(FaultSchedule::seeded(1).fail_entity_during(
+        dyn_entity,
+        SimTime(0),
+        SimTime(u64::MAX),
+        Degradation::Latency { added_ms: 60_000 },
+    ));
+    let degraded = client.fetch(&url).expect_err("all retries must time out");
+    assert!(
+        matches!(degraded, FetchError::DnsTimeout(_)),
+        "latency past timeout is a timeout, got {degraded:?}"
+    );
+    assert!(degraded.is_outage(), "timeouts count as outage-shaped");
+
+    // Hard down: the same site fails with the plain DNS error.
+    let mut client = world.client();
+    client.resolver_mut().disable_cache();
+    client.set_faults(FaultPlan::healthy().fail_entity(dyn_entity));
+    let hard = client.fetch(&url).expect_err("hard outage must fail");
+    assert!(
+        matches!(hard, FetchError::Dns(_)),
+        "hard-down is not a timeout, got {hard:?}"
+    );
+}
+
+/// The chaos engine's Dyn replay, driven through the facade against the
+/// shared incident world: the curve must dip in both scripted waves and
+/// recover after the attack ends.
+#[test]
+fn dyn_two_wave_replay_through_facade() {
+    use webdeps::chaos::{dyn_two_wave, replay};
+    use webdeps::dns::SimTime;
+
+    let world = &pair().y2016;
+    let mut incident = dyn_two_wave(world, 42).expect("2016 world has Dyn");
+    incident.options.max_sites = 200;
+    let result = replay(world, &incident);
+
+    let at = |t: u64| result.at(SimTime(t)).expect("sampled").availability();
+    assert!(at(0) > 0.95, "healthy baseline");
+    assert!(at(12_600) < at(0), "wave 1 dips");
+    assert!(at(30_600) < at(12_600), "the hard wave dips deeper");
+    assert!(at(39_600) > at(30_600), "recovery after the attack");
+    assert!(result.min_availability() < at(0));
+}
