@@ -50,6 +50,7 @@ pub fn provider_entity(world: &World, provider: &str) -> Option<EntityId> {
 ///
 /// Fails with [`ModelError::UnknownProvider`] when a provider
 /// reference matches neither a catalog name nor a wire identity.
+#[must_use]
 pub fn simulate_outage(
     world: &World,
     providers: &[&str],

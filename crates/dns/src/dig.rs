@@ -27,6 +27,7 @@ impl<'a, 'n> Dig<'a, 'n> {
 
     /// `dig NS <name>`: the advertised nameserver set of `name`'s zone.
     /// Returns an empty vector when the name exists without NS records.
+    #[must_use]
     pub fn ns(&mut self, name: &DomainName) -> Result<Vec<DomainName>, ResolveError> {
         match self.resolver.resolve(name, RecordType::Ns) {
             Ok(res) => Ok(res
@@ -43,6 +44,7 @@ impl<'a, 'n> Dig<'a, 'n> {
     /// a zone apex (NODATA) or does not exist (NXDOMAIN), the SOA of the
     /// enclosing zone arrives in the authority section — which is what
     /// the paper's heuristics compare.
+    #[must_use]
     pub fn soa_of(&mut self, name: &DomainName) -> Result<Soa, ResolveError> {
         match self.resolver.resolve(name, RecordType::Soa) {
             Ok(res) => res
@@ -63,6 +65,7 @@ impl<'a, 'n> Dig<'a, 'n> {
     /// Repeated `dig CNAME`: the full alias chain starting at `host`
     /// (empty when the host is not an alias). Chains longer than the
     /// chase limit error out like a looping resolver would.
+    #[must_use]
     pub fn cname_chain(&mut self, host: &DomainName) -> Result<Vec<DomainName>, ResolveError> {
         let mut chain = Vec::new();
         let mut current = host.clone();

@@ -414,6 +414,9 @@ impl FaultSchedule {
             ^ (server.index() as u64).rotate_left(47)
             ^ t.seconds().rotate_left(11)
             ^ u64::from(attempt);
+        // lint:allow(seed-flow) — stateless keyed draw: the outcome must
+        // be a pure function of (schedule seed, query, server, time) so
+        // retries and replays agree, so a throwaway stream is keyed here.
         DetRng::new(mix).chance(p)
     }
 

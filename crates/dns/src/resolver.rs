@@ -454,6 +454,7 @@ impl<'n> Resolver<'n> {
     }
 
     /// Full iterative resolution of `(qname, qtype)`.
+    #[must_use]
     pub fn resolve(
         &mut self,
         qname: &DomainName,
@@ -566,6 +567,7 @@ impl<'n> Resolver<'n> {
     }
 
     /// Resolves a hostname to addresses, chasing CNAMEs.
+    #[must_use]
     pub fn resolve_addresses(&mut self, host: &DomainName) -> Result<Vec<Ipv4Addr>, ResolveError> {
         self.resolve(host, RecordType::A).map(|r| r.addresses())
     }

@@ -83,6 +83,7 @@ fn strip_comment(line: &str) -> &str {
 /// assert_eq!(zone.origin().as_str(), "example.com");
 /// assert_eq!(zone.to_zonefile().lines().count(), 5);
 /// ```
+#[must_use]
 pub fn parse_zone(text: &str, default_origin: Option<&DomainName>) -> Result<Zone, ZonefileError> {
     let mut origin: Option<DomainName> = default_origin.cloned();
     let mut default_ttl = Ttl::DEFAULT;
@@ -286,6 +287,7 @@ pub fn format_zone(zone: &Zone) -> String {
 
 impl Zone {
     /// Parses a zone from master-file text (see [`parse_zone`]).
+    #[must_use]
     pub fn from_zonefile(text: &str) -> Result<Zone, ZonefileError> {
         parse_zone(text, None)
     }

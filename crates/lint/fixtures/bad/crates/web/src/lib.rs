@@ -38,3 +38,35 @@ pub fn todo_marker() {}
 pub fn bad_allow(v: Option<u32>) -> u32 {
     v.expect("set") // lint:allow(panic)
 }
+
+pub fn might_fail(x: u32) -> Result<u32, String> {
+    if x == 0 {
+        return Err("zero".to_string());
+    }
+    Ok(x)
+}
+
+pub fn discards() {
+    might_fail(3);
+}
+
+pub fn fresh_stream() -> u64 {
+    let mut rng = DetRng::new(7);
+    rng.next_u64()
+}
+
+pub fn rank_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn racy_merge(xs: &[u32]) -> Vec<u32> {
+    let mut acc = Vec::new();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for x in xs {
+                acc.push(*x);
+            }
+        });
+    });
+    acc
+}

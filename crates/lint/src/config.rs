@@ -1,51 +1,96 @@
-//! Rule catalog and the declared crate DAG.
+//! Rule catalog (with default severities), the declared crate DAG, and
+//! runtime configuration.
 
-use std::collections::BTreeSet;
+use crate::diag::Severity;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// One rule's name and human description, as shown by `--list-rules`
-/// and in diagnostics.
-pub const RULES: &[(&str, &str)] = &[
+/// One rule: name, default severity, and human description, as shown
+/// by `--list-rules` and in diagnostics.
+pub const RULES: &[(&str, Severity, &str)] = &[
     (
         "panic",
+        Severity::Deny,
         "no unwrap()/expect()/panic! in non-test library code; propagate typed errors instead",
     ),
     (
         "wall-clock",
+        Severity::Deny,
         "no Instant::now/SystemTime outside crates/bench and the simulated clock (dns::clock)",
     ),
     (
         "env-rand",
+        Severity::Deny,
         "no std::env reads or ambient randomness (thread_rng/RandomState) in library code",
     ),
     (
         "hash-iter",
+        Severity::Deny,
         "no HashMap/HashSet iteration feeding ordered output without an adjacent sort/BTree collect",
     ),
     (
         "layering",
+        Severity::Deny,
         "crate dependencies must follow the declared DAG (model -> dns/tls/web -> worldgen -> measure -> core -> chaos -> reports)",
     ),
     (
         "extern-dep",
+        Severity::Deny,
         "no external (non-workspace) dependencies in any Cargo.toml; the build is hermetic",
     ),
     (
         "dbg",
+        Severity::Deny,
         "no dbg!/todo!/unimplemented! anywhere, including tests",
     ),
     (
         "todo",
+        Severity::Deny,
         "no TODO/FIXME comment without an issue reference like TODO(#12)",
     ),
     (
         "allow-syntax",
+        Severity::Deny,
         "lint:allow directives must name known rules and carry a reason",
+    ),
+    (
+        "result-dropped",
+        Severity::Deny,
+        "no discarding (statement position or `let _ =`) of workspace calls returning Result/Report",
+    ),
+    (
+        "seed-flow",
+        Severity::Deny,
+        "randomness flows through &mut DetRng; constructing an RNG outside worldgen/testkit/bench is a violation",
+    ),
+    (
+        "float-ord",
+        Severity::Deny,
+        "no f32/f64 as a sort comparator (partial_cmp) or ordered-map key; use total_cmp or integer keys",
+    ),
+    (
+        "must-use-api",
+        Severity::Warn,
+        "pub fns returning Result/Report must be #[must_use] (gradually enforced; see LINT_BASELINE.json)",
+    ),
+    (
+        "thread-capture",
+        Severity::Deny,
+        "spawn closures must not mutate captured accumulators; workers return results merged after join",
     ),
 ];
 
 /// All rule names.
 pub fn rule_names() -> Vec<&'static str> {
-    RULES.iter().map(|(n, _)| *n).collect()
+    RULES.iter().map(|(n, _, _)| *n).collect()
+}
+
+/// The default severity of `rule` (deny when unknown).
+pub fn default_severity(rule: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|(n, _, _)| *n == rule)
+        .map(|(_, s, _)| *s)
+        .unwrap_or(Severity::Deny)
 }
 
 /// The declared layering contract: each workspace crate and the crates
@@ -102,16 +147,63 @@ pub fn wall_clock_exempt(rel_path: &str, crate_name: Option<&str>) -> bool {
     crate_name == Some("bench") || rel_path == "crates/dns/src/clock.rs"
 }
 
+/// Crates exempt from the seed-flow rule: `worldgen` mints the world's
+/// root streams, `testkit` mints per-case streams, `bench` is timing
+/// scaffolding, and `model` *defines* the generator.
+pub fn seed_flow_exempt(_rel_path: &str, crate_name: Option<&str>) -> bool {
+    matches!(
+        crate_name,
+        Some("worldgen") | Some("testkit") | Some("bench") | Some("model")
+    )
+}
+
 /// Runtime configuration assembled from CLI flags.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
     /// Rules disabled globally via `--allow <rule>`.
     pub disabled: BTreeSet<String>,
+    /// Per-rule severity overrides (`--severity rule=warn`).
+    pub severity_overrides: BTreeMap<String, Severity>,
 }
 
 impl Config {
     /// Whether `rule` is enabled.
     pub fn enabled(&self, rule: &str) -> bool {
         !self.disabled.contains(rule)
+    }
+
+    /// The effective severity of `rule`.
+    pub fn severity(&self, rule: &str) -> Severity {
+        self.severity_overrides
+            .get(rule)
+            .copied()
+            .unwrap_or_else(|| default_severity(rule))
+    }
+
+    /// The full rule→severity map under this configuration (enabled
+    /// rules only).
+    pub fn severity_map(&self) -> BTreeMap<String, Severity> {
+        rule_names()
+            .into_iter()
+            .filter(|r| self.enabled(r))
+            .map(|r| (r.to_string(), self.severity(r)))
+            .collect()
+    }
+
+    /// A stable fingerprint of everything that changes rule *output*:
+    /// disabled rules and severity overrides. Part of the cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut s = String::new();
+        for d in &self.disabled {
+            s.push_str(d);
+            s.push('\u{1}');
+        }
+        for (r, sev) in &self.severity_overrides {
+            s.push_str(r);
+            s.push('=');
+            s.push_str(sev.label());
+            s.push('\u{1}');
+        }
+        crate::driver::hash_bytes(s.as_bytes())
     }
 }

@@ -1,15 +1,47 @@
 //! Diagnostics: violations, suppression records, and the report with
-//! human and JSON renderings. JSON is hand-rolled — the linter has no
-//! dependencies by design.
+//! human and JSON renderings (schema `webdeps-lint/2`). JSON is
+//! hand-rolled — the linter has no dependencies by design.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// How a rule's violations gate the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Severity {
+    /// Violations fail the run (exit 1).
+    #[default]
+    Deny,
+    /// Violations are reported but do not fail the run (unless
+    /// `--deny-warnings`); gradually-enforced rules start here.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label used in reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+
+    /// Parses a CLI/report label.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "deny" => Some(Severity::Deny),
+            "warn" => Some(Severity::Warn),
+            _ => None,
+        }
+    }
+}
 
 /// One rule violation.
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Rule name from the catalog.
     pub rule: String,
+    /// The rule's severity at the time of the run.
+    pub severity: Severity,
     /// Repo-relative file path.
     pub file: String,
     /// 1-based line.
@@ -31,23 +63,58 @@ pub struct Suppressed {
     pub allow_line: u32,
 }
 
+/// A baseline entry that matched fewer violations than its count —
+/// the underlying finding was fixed and the baseline should shrink.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StaleBaseline {
+    /// Rule name of the stale entry.
+    pub rule: String,
+    /// File the entry pointed at.
+    pub file: String,
+    /// Snippet the entry keyed on.
+    pub snippet: String,
+}
+
 /// Full result of a lint run.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Unsuppressed violations; the run fails if any exist.
+    /// Unsuppressed, non-baselined violations.
     pub violations: Vec<Violation>,
     /// Suppressed violations, each attributed to its directive.
     pub suppressed: Vec<Suppressed>,
+    /// Violations absorbed by the committed baseline (gradually-
+    /// enforced rules); they never fail the run.
+    pub baselined: Vec<Violation>,
+    /// Baseline entries that no longer match anything.
+    pub stale_baseline: Vec<StaleBaseline>,
     /// Number of files scanned.
     pub files_scanned: usize,
     /// Directives that silenced nothing.
     pub unused_allows: Vec<(String, u32)>,
+    /// The per-rule severity map the run used.
+    pub severities: BTreeMap<String, Severity>,
 }
 
 impl Report {
-    /// Whether the run is clean.
+    /// Whether the run is clean: no `deny`-severity violations.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.deny_count() == 0
+    }
+
+    /// Count of `deny`-severity violations.
+    pub fn deny_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Count of `warn`-severity violations.
+    pub fn warn_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warn)
+            .count()
     }
 
     /// Per-rule counts of unsuppressed violations.
@@ -73,6 +140,8 @@ impl Report {
     pub fn sort(&mut self) {
         self.violations
             .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.baselined
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
         self.suppressed.sort_by(|a, b| {
             (&a.violation.file, a.violation.line, &a.violation.rule).cmp(&(
                 &b.violation.file,
@@ -80,6 +149,7 @@ impl Report {
                 &b.violation.rule,
             ))
         });
+        self.stale_baseline.sort();
         self.unused_allows.sort();
     }
 
@@ -87,7 +157,15 @@ impl Report {
     pub fn render_human(&self, verbose_suppressions: bool) -> String {
         let mut out = String::new();
         for v in &self.violations {
-            let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+            let _ = writeln!(
+                out,
+                "{}:{}: [{} {}] {}",
+                v.file,
+                v.line,
+                v.severity.label(),
+                v.rule,
+                v.message
+            );
             if !v.snippet.is_empty() {
                 let _ = writeln!(out, "    {}", v.snippet);
             }
@@ -100,16 +178,33 @@ impl Report {
                     s.violation.file, s.violation.line, s.violation.rule, s.reason
                 );
             }
+            for v in &self.baselined {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: [{}] baselined — accepted by the committed baseline",
+                    v.file, v.line, v.rule
+                );
+            }
         }
         for (file, line) in &self.unused_allows {
             let _ = writeln!(out, "{file}:{line}: note: lint:allow matched no violation");
         }
+        for s in &self.stale_baseline {
+            let _ = writeln!(
+                out,
+                "{}: note: stale baseline entry [{}] no longer matches ({})",
+                s.file, s.rule, s.snippet
+            );
+        }
         let _ = writeln!(
             out,
-            "webdeps-lint: {} file(s), {} violation(s), {} suppressed",
+            "webdeps-lint: {} file(s), {} violation(s) ({} deny, {} warn), {} suppressed, {} baselined",
             self.files_scanned,
             self.violations.len(),
-            self.suppressed.len()
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed.len(),
+            self.baselined.len()
         );
         let counts = self.rule_counts();
         if !counts.is_empty() {
@@ -124,16 +219,20 @@ impl Report {
         out
     }
 
-    /// Machine-readable rendering (`--json`).
+    /// Machine-readable rendering (`--json`), schema `webdeps-lint/2`.
     pub fn render_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"webdeps-lint/1\",\n");
+        out.push_str("{\n  \"schema\": \"webdeps-lint/2\",\n");
         let _ = write!(
             out,
-            "  \"summary\": {{\"files\": {}, \"violations\": {}, \"suppressed\": {}, \"unused_allows\": {}, \"by_rule\": {{",
+            "  \"summary\": {{\"files\": {}, \"violations\": {}, \"deny\": {}, \"warn\": {}, \"suppressed\": {}, \"baselined\": {}, \"stale_baseline\": {}, \"unused_allows\": {}, \"by_rule\": {{",
             self.files_scanned,
             self.violations.len(),
+            self.deny_count(),
+            self.warn_count(),
             self.suppressed.len(),
+            self.baselined.len(),
+            self.stale_baseline.len(),
             self.unused_allows.len()
         );
         let counts = self.rule_counts();
@@ -149,18 +248,27 @@ impl Report {
             .map(|(r, n)| format!("{}: {}", json_str(r), n))
             .collect();
         out.push_str(&parts.join(", "));
-        out.push_str("}},\n  \"violations\": [\n");
-        let items: Vec<String> = self
-            .violations
+        out.push_str("}},\n  \"severities\": {");
+        let parts: Vec<String> = self
+            .severities
             .iter()
-            .map(|v| {
+            .map(|(r, s)| format!("{}: {}", json_str(r), json_str(s.label())))
+            .collect();
+        out.push_str(&parts.join(", "));
+        out.push_str("},\n  \"violations\": [\n");
+        out.push_str(&render_violations(&self.violations));
+        out.push_str("\n  ],\n  \"baselined\": [\n");
+        out.push_str(&render_violations(&self.baselined));
+        out.push_str("\n  ],\n  \"stale_baseline\": [\n");
+        let items: Vec<String> = self
+            .stale_baseline
+            .iter()
+            .map(|s| {
                 format!(
-                    "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
-                    json_str(&v.rule),
-                    json_str(&v.file),
-                    v.line,
-                    json_str(&v.message),
-                    json_str(&v.snippet)
+                    "    {{\"rule\": {}, \"file\": {}, \"snippet\": {}}}",
+                    json_str(&s.rule),
+                    json_str(&s.file),
+                    json_str(&s.snippet)
                 )
             })
             .collect();
@@ -186,8 +294,26 @@ impl Report {
     }
 }
 
+fn render_violations(violations: &[Violation]) -> String {
+    let items: Vec<String> = violations
+        .iter()
+        .map(|v| {
+            format!(
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(&v.rule),
+                json_str(v.severity.label()),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                json_str(&v.snippet)
+            )
+        })
+        .collect();
+    items.join(",\n")
+}
+
 /// JSON string literal with escaping.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,548 @@
+//! The parallel incremental lint driver.
+//!
+//! Analysis runs in two phases so the cross-file `result-dropped` rule
+//! stays sound under incremental re-runs:
+//!
+//! 1. **facts** — every file is read, hashed, and (for sources) parsed
+//!    to extract its signature facts (which fns return
+//!    `Result`/`Report`). Facts are cached keyed by *content hash
+//!    alone*: a file's facts cannot depend on anything outside it.
+//! 2. **rules** — the per-file fact lists merge into a [`SigTable`],
+//!    and the rule passes run per file. Diagnostics are cached keyed by
+//!    content hash *plus* a meta hash covering the tool version, the
+//!    configuration fingerprint, and the sig-table fingerprint — so
+//!    editing one file re-lints exactly the touched file unless its
+//!    edit changed a workspace-visible signature.
+//!
+//! Both phases fan out over `std::thread::scope` workers that each own
+//! a contiguous chunk of the (sorted) file list and *return* their
+//! results; merging happens after join, in chunk order, so the report
+//! is byte-identical however many workers ran — including one. Cache
+//! bookkeeping (analyzed/cached counts) is deliberately kept out of
+//! the [`Report`] so warm and cold runs render identical JSON.
+
+use crate::config::Config;
+use crate::dataflow::SigTable;
+use crate::diag;
+use crate::diag::{Report, Severity, StaleBaseline, Suppressed, Violation};
+use crate::json::{self, Json};
+use crate::layering;
+use crate::workspace::{self, FileOutcome};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Tool identity folded into the diagnostic cache key; bump on any
+/// release that changes rule behavior.
+pub const TOOL_VERSION: &str = "webdeps-lint/2";
+
+/// Cache file schema tag.
+const CACHE_SCHEMA: &str = "webdeps-lint-cache/1";
+
+/// Baseline file schema tag.
+const BASELINE_SCHEMA: &str = "webdeps-lint-baseline/1";
+
+/// FNV-1a 64-bit. Used for every content/config fingerprint in the
+/// linter; stable across platforms and releases by construction.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Driver configuration assembled from CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct DriveOptions {
+    /// Worker count; `0` means auto (available parallelism), `1` is
+    /// fully serial.
+    pub jobs: usize,
+    /// On-disk diagnostic cache; `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+    /// Committed baseline of accepted findings; `None` applies none.
+    pub baseline_path: Option<PathBuf>,
+}
+
+/// What a drive produced: the report plus cache effectiveness counters
+/// (stderr-only — never part of the report, to keep warm and cold runs
+/// byte-identical).
+#[derive(Debug)]
+pub struct DriveOutcome {
+    /// The finished, sorted report.
+    pub report: Report,
+    /// Files whose rule pass ran this time.
+    pub analyzed: usize,
+    /// Files whose diagnostics were replayed from the cache.
+    pub cached: usize,
+}
+
+/// What kind of file an entry is; manifests run the layering/hermetic
+/// manifest checks, sources run the token + dataflow rule passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileKind {
+    Manifest,
+    Source,
+}
+
+/// Phase-1 product: one file, read and fact-extracted.
+struct Prepared {
+    rel: String,
+    kind: FileKind,
+    src: String,
+    hash: u64,
+    facts: Vec<String>,
+}
+
+/// One replayable cache record.
+struct CacheEntry {
+    hash: u64,
+    meta: u64,
+    facts: Vec<String>,
+    outcome: FileOutcome,
+}
+
+/// Lints the workspace rooted at `root` with the full two-phase
+/// parallel driver.
+#[must_use]
+pub fn drive(root: &Path, cfg: &Config, opts: &DriveOptions) -> io::Result<DriveOutcome> {
+    let mut files: Vec<(PathBuf, FileKind)> = Vec::new();
+    for m in workspace::discover_manifests(root)? {
+        files.push((m, FileKind::Manifest));
+    }
+    for s in workspace::discover_sources(root)? {
+        files.push((s, FileKind::Source));
+    }
+    let cache = match &opts.cache_path {
+        Some(p) => load_cache(p),
+        None => BTreeMap::new(),
+    };
+
+    // Phase 1: read + hash + facts (cached facts keyed by content hash).
+    let cache_ref = &cache;
+    let prepared: Vec<Prepared> = fan_out(&files, opts.jobs, |(path, kind)| {
+        let src = fs::read_to_string(path)?;
+        let rel = workspace::rel_path(root, path);
+        let hash = hash_bytes(src.as_bytes());
+        let facts = match cache_ref.get(&rel) {
+            Some(e) if e.hash == hash => e.facts.clone(),
+            _ if *kind == FileKind::Source => workspace::collect_file_facts(&src),
+            _ => Vec::new(),
+        };
+        Ok(Prepared {
+            rel,
+            kind: *kind,
+            src,
+            hash,
+            facts,
+        })
+    })?;
+
+    let sigs = SigTable::from_facts(
+        prepared
+            .iter()
+            .flat_map(|p| p.facts.iter().map(|f| f.as_str())),
+    );
+    let meta = meta_hash(cfg, &sigs);
+
+    // Phase 2: rule passes, replaying cache hits.
+    let sigs_ref = &sigs;
+    let outcomes: Vec<(FileOutcome, bool)> = fan_out(&prepared, opts.jobs, |p| {
+        if let Some(e) = cache_ref.get(&p.rel) {
+            if e.hash == p.hash && e.meta == meta {
+                return Ok((e.outcome.clone(), true));
+            }
+        }
+        let outcome = match p.kind {
+            FileKind::Manifest => FileOutcome {
+                violations: layering::lint_manifest(
+                    &p.rel,
+                    &p.src,
+                    workspace::crate_of(&p.rel).as_deref(),
+                    cfg,
+                ),
+                suppressed: Vec::new(),
+                unused_allows: Vec::new(),
+            },
+            FileKind::Source => workspace::analyze_source(&p.rel, &p.src, cfg, sigs_ref),
+        };
+        Ok((outcome, false))
+    })?;
+
+    let analyzed = outcomes.iter().filter(|(_, hit)| !hit).count();
+    let cached = outcomes.len() - analyzed;
+
+    if let Some(path) = &opts.cache_path {
+        store_cache(path, &prepared, &outcomes, meta)?;
+    }
+
+    let mut report = Report {
+        files_scanned: prepared.len(),
+        severities: cfg.severity_map(),
+        ..Report::default()
+    };
+    for (p, (outcome, _)) in prepared.iter().zip(&outcomes) {
+        report.violations.extend(outcome.violations.iter().cloned());
+        report.suppressed.extend(outcome.suppressed.iter().cloned());
+        for line in &outcome.unused_allows {
+            report.unused_allows.push((p.rel.clone(), *line));
+        }
+    }
+    if let Some(path) = &opts.baseline_path {
+        apply_baseline(&mut report, &load_baseline(path));
+    }
+    report.sort();
+    Ok(DriveOutcome {
+        report,
+        analyzed,
+        cached,
+    })
+}
+
+/// The diagnostic half of the cache key: everything *besides* file
+/// content that can change a file's diagnostics.
+fn meta_hash(cfg: &Config, sigs: &SigTable) -> u64 {
+    let s = format!(
+        "{TOOL_VERSION}\u{1}{:016x}\u{1}{:016x}",
+        cfg.fingerprint(),
+        sigs.fingerprint()
+    );
+    hash_bytes(s.as_bytes())
+}
+
+/// Runs `f` over `items` on `jobs` scoped-thread workers (0 = auto).
+/// Each worker owns one contiguous chunk and returns its results;
+/// chunks merge after join, in order, so the output is identical to a
+/// serial map regardless of worker count or scheduling.
+fn fan_out<T, R, F>(items: &[T], jobs: usize, f: F) -> io::Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> io::Result<R> + Sync,
+{
+    let jobs = effective_jobs(jobs, items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(jobs);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                let fr = &f;
+                s.spawn(move || part.iter().map(fr).collect::<Vec<io::Result<R>>>())
+            })
+            .collect();
+        let mut merged = Vec::with_capacity(items.len());
+        for h in handles {
+            let part = h
+                .join()
+                .map_err(|_| io::Error::new(io::ErrorKind::Other, "lint worker panicked"))?;
+            for r in part {
+                merged.push(r?);
+            }
+        }
+        Ok(merged)
+    })
+}
+
+/// Resolves the worker count: explicit > auto-detected > 1, never more
+/// than one worker per item.
+fn effective_jobs(jobs: usize, nitems: usize) -> usize {
+    let n = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    n.clamp(1, nitems.max(1))
+}
+
+// ---- cache ----
+
+/// Loads the diagnostic cache; any read or shape problem yields an
+/// empty cache (a cold run), never an error.
+fn load_cache(path: &Path) -> BTreeMap<String, CacheEntry> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(path) else {
+        return out;
+    };
+    let Some(doc) = json::parse(&text) else {
+        return out;
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some(CACHE_SCHEMA) {
+        return out;
+    }
+    let Some(files) = doc.get("files").and_then(Json::as_arr) else {
+        return out;
+    };
+    for entry in files {
+        let Some(rel) = entry.get("path").and_then(Json::as_str) else {
+            continue;
+        };
+        let (Some(hash), Some(meta)) = (read_hex(entry, "hash"), read_hex(entry, "meta")) else {
+            continue;
+        };
+        let facts = read_str_arr(entry, "facts");
+        let violations = entry
+            .get("violations")
+            .and_then(Json::as_arr)
+            .map(|vs| vs.iter().filter_map(read_violation).collect())
+            .unwrap_or_default();
+        let suppressed = entry
+            .get("suppressed")
+            .and_then(Json::as_arr)
+            .map(|ss| ss.iter().filter_map(read_suppressed).collect())
+            .unwrap_or_default();
+        let unused_allows = entry
+            .get("unused_allows")
+            .and_then(Json::as_arr)
+            .map(|ls| {
+                ls.iter()
+                    .filter_map(|l| l.as_u64().map(|n| n as u32))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.insert(
+            rel.to_string(),
+            CacheEntry {
+                hash,
+                meta,
+                facts,
+                outcome: FileOutcome {
+                    violations,
+                    suppressed,
+                    unused_allows,
+                },
+            },
+        );
+    }
+    out
+}
+
+fn read_hex(obj: &Json, key: &str) -> Option<u64> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+}
+
+fn read_str_arr(obj: &Json, key: &str) -> Vec<String> {
+    obj.get(key)
+        .and_then(Json::as_arr)
+        .map(|xs| {
+            xs.iter()
+                .filter_map(|x| x.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn read_violation(v: &Json) -> Option<Violation> {
+    Some(Violation {
+        rule: v.get("rule")?.as_str()?.to_string(),
+        severity: Severity::parse(v.get("severity")?.as_str()?)?,
+        file: v.get("file")?.as_str()?.to_string(),
+        line: v.get("line")?.as_u64()? as u32,
+        message: v.get("message")?.as_str()?.to_string(),
+        snippet: v.get("snippet")?.as_str()?.to_string(),
+    })
+}
+
+fn read_suppressed(s: &Json) -> Option<Suppressed> {
+    Some(Suppressed {
+        violation: read_violation(s.get("violation")?)?,
+        reason: s.get("reason")?.as_str()?.to_string(),
+        allow_line: s.get("allow_line")?.as_u64()? as u32,
+    })
+}
+
+/// Writes the cache for the run just completed: every file's facts and
+/// diagnostics under the current meta hash.
+fn store_cache(
+    path: &Path,
+    prepared: &[Prepared],
+    outcomes: &[(FileOutcome, bool)],
+    meta: u64,
+) -> io::Result<()> {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": {},\n  \"files\": [\n",
+        diag::json_str(CACHE_SCHEMA)
+    );
+    let entries: Vec<String> = prepared
+        .iter()
+        .zip(outcomes)
+        .map(|(p, (o, _))| {
+            let facts: Vec<String> = p.facts.iter().map(|f| diag::json_str(f)).collect();
+            let violations: Vec<String> = o.violations.iter().map(write_violation).collect();
+            let suppressed: Vec<String> = o
+                .suppressed
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"violation\": {}, \"reason\": {}, \"allow_line\": {}}}",
+                        write_violation(&s.violation),
+                        diag::json_str(&s.reason),
+                        s.allow_line
+                    )
+                })
+                .collect();
+            let unused: Vec<String> = o.unused_allows.iter().map(u32::to_string).collect();
+            format!(
+                "    {{\"path\": {}, \"hash\": {}, \"meta\": {}, \"facts\": [{}], \"violations\": [{}], \"suppressed\": [{}], \"unused_allows\": [{}]}}",
+                diag::json_str(&p.rel),
+                diag::json_str(&format!("{:016x}", p.hash)),
+                diag::json_str(&format!("{meta:016x}")),
+                facts.join(", "),
+                violations.join(", "),
+                suppressed.join(", "),
+                unused.join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    fs::write(path, out)
+}
+
+fn write_violation(v: &Violation) -> String {
+    format!(
+        "{{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+        diag::json_str(&v.rule),
+        diag::json_str(v.severity.label()),
+        diag::json_str(&v.file),
+        v.line,
+        diag::json_str(&v.message),
+        diag::json_str(&v.snippet)
+    )
+}
+
+// ---- baseline ----
+
+/// One accepted pre-existing finding: up to `count` violations matching
+/// (rule, file, snippet) are absorbed instead of failing the run.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Rule name the entry absorbs.
+    pub rule: String,
+    /// Repo-relative file the finding lives in.
+    pub file: String,
+    /// Trimmed source snippet the finding anchors to (line-number-free
+    /// so unrelated edits above it don't invalidate the entry).
+    pub snippet: String,
+    /// How many matching violations the entry absorbs.
+    pub count: u64,
+}
+
+/// Loads the committed baseline; a missing or malformed file is an
+/// empty baseline (absorbed findings then fail loudly as violations).
+pub fn load_baseline(path: &Path) -> Vec<BaselineEntry> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(doc) = json::parse(&text) else {
+        return Vec::new();
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some(BASELINE_SCHEMA) {
+        return Vec::new();
+    }
+    let Some(entries) = doc.get("entries").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|e| {
+            Some(BaselineEntry {
+                rule: e.get("rule")?.as_str()?.to_string(),
+                file: e.get("file")?.as_str()?.to_string(),
+                snippet: e.get("snippet")?.as_str()?.to_string(),
+                count: e.get("count").and_then(Json::as_u64).unwrap_or(1),
+            })
+        })
+        .collect()
+}
+
+/// Moves baseline-matched violations into `report.baselined` and
+/// records entries with leftover capacity as stale (the finding was
+/// fixed; the baseline should shrink).
+pub fn apply_baseline(report: &mut Report, entries: &[BaselineEntry]) {
+    if entries.is_empty() {
+        return;
+    }
+    let mut left: Vec<u64> = entries.iter().map(|e| e.count).collect();
+    let mut kept = Vec::new();
+    for v in std::mem::take(&mut report.violations) {
+        let hit = entries.iter().enumerate().position(|(i, e)| {
+            left.get(i).copied().unwrap_or(0) > 0
+                && e.rule == v.rule
+                && e.file == v.file
+                && e.snippet == v.snippet
+        });
+        match hit {
+            Some(i) => {
+                if let Some(slot) = left.get_mut(i) {
+                    *slot -= 1;
+                }
+                report.baselined.push(v);
+            }
+            None => kept.push(v),
+        }
+    }
+    report.violations = kept;
+    for (e, leftover) in entries.iter().zip(&left) {
+        if *leftover > 0 {
+            report.stale_baseline.push(StaleBaseline {
+                rule: e.rule.clone(),
+                file: e.file.clone(),
+                snippet: e.snippet.clone(),
+            });
+        }
+    }
+}
+
+/// Renders a baseline file that would absorb exactly the given
+/// violations (used by `--write-baseline`).
+pub fn render_baseline(violations: &[Violation]) -> String {
+    let mut counts: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+    for v in violations {
+        *counts
+            .entry((v.rule.clone(), v.file.clone(), v.snippet.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": {},\n  \"entries\": [\n",
+        diag::json_str(BASELINE_SCHEMA)
+    );
+    let entries: Vec<String> = counts
+        .iter()
+        .map(|((rule, file, snippet), count)| {
+            format!(
+                "    {{\"rule\": {}, \"file\": {}, \"snippet\": {}, \"count\": {}}}",
+                diag::json_str(rule),
+                diag::json_str(file),
+                diag::json_str(snippet),
+                count
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+// Rules self-check: the fan-out above is this linter's own reference
+// implementation of the `thread-capture` contract — workers return
+// chunk results and the merge happens after join, on the scope's
+// thread, never through a captured accumulator.

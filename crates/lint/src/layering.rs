@@ -3,7 +3,7 @@
 //! hermetic-build rule that no external dependency may appear.
 
 use crate::config::{self, Config};
-use crate::diag::Violation;
+use crate::diag::{Severity, Violation};
 
 /// One dependency entry parsed out of a manifest.
 #[derive(Debug, Clone)]
@@ -102,6 +102,7 @@ pub fn lint_manifest(
             if cfg.enabled("extern-dep") {
                 out.push(Violation {
                     rule: "extern-dep".to_string(),
+                    severity: Severity::Deny,
                     file: rel_path.to_string(),
                     line: dep.line,
                     message: format!(
@@ -120,6 +121,7 @@ pub fn lint_manifest(
             if config::DEV_ONLY_CRATES.contains(&short) {
                 out.push(Violation {
                     rule: "layering".to_string(),
+                    severity: Severity::Deny,
                     file: rel_path.to_string(),
                     line: dep.line,
                     message: format!(
@@ -134,6 +136,7 @@ pub fn lint_manifest(
                     if !allowed.contains(short) && short != name {
                         out.push(Violation {
                             rule: "layering".to_string(),
+                            severity: Severity::Deny,
                             file: rel_path.to_string(),
                             line: dep.line,
                             message: format!(
@@ -146,6 +149,9 @@ pub fn lint_manifest(
                 }
             }
         }
+    }
+    for v in &mut out {
+        v.severity = cfg.severity(&v.rule);
     }
     out
 }

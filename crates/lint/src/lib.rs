@@ -4,21 +4,38 @@
 //! reproduction's published tables and figures are only trustworthy
 //! because the pipeline is deterministic; this crate is the
 //! machine-checked version of that promise. It lexes every workspace
-//! source with its own lightweight Rust lexer and enforces four
+//! source with its own lightweight Rust lexer, parses the token stream
+//! into an item/statement tree ([`parser`]), and enforces five
 //! invariant families as named rules:
 //!
 //! * **determinism** — `hash-iter` (no `HashMap`/`HashSet` iteration
 //!   order reaching output), `wall-clock` (no `Instant::now` /
 //!   `SystemTime` outside `crates/bench` and `dns::clock`), `env-rand`
 //!   (no process-environment reads or ambient randomness in library
-//!   code);
+//!   code), `seed-flow` (randomness flows through `&mut DetRng`; no
+//!   minting fresh streams outside worldgen/testkit/bench), and
+//!   `float-ord` (no partially-ordered float comparators or keys);
 //! * **panic-safety** — `panic` (no `unwrap()`/`expect()`/`panic!` in
 //!   non-test library code);
-//! * **layering** — `layering` (crate edges must follow the declared
-//!   DAG `model → {dns,tls,web} → worldgen → measure → core →
-//!   reports`, with `testkit`/`bench`/`lint` leaf-only);
-//! * **hygiene** — `extern-dep` (hermetic build, zero external
-//!   crates), `dbg`, `todo`, and `allow-syntax`.
+//! * **error discipline** — `result-dropped` (no discarding calls to
+//!   workspace fns returning `Result`/`Report`) and `must-use-api`
+//!   (pub `Result`/`Report` fns carry `#[must_use]`);
+//! * **concurrency-safety** — `thread-capture` (spawned closures
+//!   return shard results merged after join instead of mutating a
+//!   captured accumulator);
+//! * **layering & hygiene** — `layering` (crate edges follow the
+//!   declared DAG `model → {dns,tls,web} → worldgen → measure → core →
+//!   chaos → reports`, with `testkit`/`bench`/`lint` leaf-only),
+//!   `extern-dep` (hermetic build, zero external crates), `dbg`,
+//!   `todo`, and `allow-syntax`.
+//!
+//! Rules carry a severity (`deny` fails the run, `warn` reports only);
+//! gradually-enforced rules start at `warn` and pre-existing findings
+//! can be absorbed by a committed `LINT_BASELINE.json`. The [`driver`]
+//! fans files out over scoped threads and replays unchanged files from
+//! an on-disk cache, merging diagnostics in path order so warm, cold,
+//! serial, and parallel runs all render byte-identical reports
+//! (schema `webdeps-lint/2`).
 //!
 //! Violations can be suppressed inline, one per site:
 //!
@@ -26,20 +43,26 @@
 //! map.remove(&k).expect("inserted above"); // lint:allow(panic) — key inserted two lines up
 //! ```
 //!
-//! or for a whole file with `// lint:allow-file(rule) — reason`. Every
+//! or for a whole file with `// lint:allow-file(rule) — reason`; a
+//! reason may wrap onto following comment-only lines. Every
 //! suppression must carry a reason and is counted in the report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dataflow;
 pub mod diag;
+pub mod driver;
+pub mod json;
 pub mod layering;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
 
 pub use config::Config;
-pub use diag::{Report, Violation};
-pub use workspace::{lint_source, lint_workspace};
+pub use diag::{Report, Severity, Violation};
+pub use driver::{drive, DriveOptions, DriveOutcome};
+pub use workspace::{analyze_source, lint_source, lint_workspace};

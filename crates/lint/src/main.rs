@@ -1,11 +1,13 @@
 //! CLI entry point for `webdeps-lint`.
 //!
-//! Exit codes: 0 = clean, 1 = unsuppressed violations, 2 = usage or
-//! I/O error.
+//! Exit codes: 0 = clean, 1 = deny violations (or, under
+//! `--deny-warnings`, warn violations / stale baseline entries),
+//! 2 = usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use webdeps_lint::{config, Config};
+use webdeps_lint::driver::{self, DriveOptions};
+use webdeps_lint::{config, Config, Severity};
 
 const USAGE: &str = "\
 webdeps-lint — hermetic workspace static-analysis pass
@@ -20,6 +22,19 @@ OPTIONS:
     --json              Print the machine-readable report to stdout
     --json-out <FILE>   Additionally write the JSON report to FILE
     --allow <RULE>      Disable a rule globally (repeatable)
+    --severity <R=S>    Override a rule's severity (S: deny|warn)
+    --deny-warnings     Exit 1 on warn violations and stale baseline
+                        entries too
+    --jobs <N>          Worker threads (default: auto; 1 = serial)
+    --no-cache          Disable the incremental cache
+    --cache-file <F>    Cache location (default: target/lint-cache.json
+                        under the root)
+    --baseline <FILE>   Baseline of accepted findings (default:
+                        LINT_BASELINE.json under the root, if present)
+    --no-baseline       Ignore any baseline file
+    --write-baseline <FILE>
+                        Write a baseline absorbing this run's
+                        violations, then exit 0
     --suppressions      List every suppressed violation with its reason
     --list-rules        Print the rule catalog and exit
     -h, --help          Show this help
@@ -30,6 +45,13 @@ struct Args {
     json: bool,
     json_out: Option<PathBuf>,
     show_suppressions: bool,
+    deny_warnings: bool,
+    jobs: usize,
+    no_cache: bool,
+    cache_file: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: Option<PathBuf>,
     cfg: Config,
 }
 
@@ -39,6 +61,13 @@ fn parse_args() -> Result<Option<Args>, String> {
         json: false,
         json_out: None,
         show_suppressions: false,
+        deny_warnings: false,
+        jobs: 0,
+        no_cache: false,
+        cache_file: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: None,
         cfg: Config::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -58,10 +87,43 @@ fn parse_args() -> Result<Option<Args>, String> {
                 }
                 args.cfg.disabled.insert(rule);
             }
+            "--severity" => {
+                let spec = it.next().ok_or("--severity needs rule=deny|warn")?;
+                let (rule, sev) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--severity wants rule=deny|warn, got {spec:?}"))?;
+                if !config::rule_names().contains(&rule) {
+                    return Err(format!("unknown rule {rule:?}; see --list-rules"));
+                }
+                let sev = Severity::parse(sev)
+                    .ok_or_else(|| format!("severity must be deny or warn, got {sev:?}"))?;
+                args.cfg.severity_overrides.insert(rule.to_string(), sev);
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a number")?;
+                args.jobs = n
+                    .parse()
+                    .map_err(|_| format!("--jobs wants a number, got {n:?}"))?;
+            }
+            "--no-cache" => args.no_cache = true,
+            "--cache-file" => {
+                args.cache_file =
+                    Some(PathBuf::from(it.next().ok_or("--cache-file needs a path")?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--no-baseline" => args.no_baseline = true,
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(
+                    it.next().ok_or("--write-baseline needs a path")?,
+                ));
+            }
             "--suppressions" => args.show_suppressions = true,
             "--list-rules" => {
-                for (name, desc) in config::RULES {
-                    println!("{name:<12} {desc}");
+                for (name, sev, desc) in config::RULES {
+                    println!("{name:<16} [{:<4}] {desc}", sev.label());
                 }
                 return Ok(None);
             }
@@ -95,13 +157,58 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match webdeps_lint::lint_workspace(&args.root, &args.cfg) {
-        Ok(r) => r,
+    let cache_path = if args.no_cache {
+        None
+    } else {
+        Some(
+            args.cache_file
+                .clone()
+                .unwrap_or_else(|| args.root.join("target/lint-cache.json")),
+        )
+    };
+    // Baseline application is skipped entirely when *writing* one, so
+    // the written file absorbs every current violation.
+    let baseline_path = if args.no_baseline || args.write_baseline.is_some() {
+        None
+    } else {
+        match &args.baseline {
+            Some(p) => Some(p.clone()),
+            None => {
+                let p = args.root.join("LINT_BASELINE.json");
+                p.is_file().then_some(p)
+            }
+        }
+    };
+    let opts = DriveOptions {
+        jobs: args.jobs,
+        cache_path,
+        baseline_path,
+    };
+    let outcome = match driver::drive(&args.root, &args.cfg, &opts) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("webdeps-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let report = outcome.report;
+    eprintln!(
+        "webdeps-lint: analyzed {} file(s), replayed {} from cache",
+        outcome.analyzed, outcome.cached
+    );
+    if let Some(path) = &args.write_baseline {
+        let body = driver::render_baseline(&report.violations);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("webdeps-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "webdeps-lint: wrote baseline {} absorbing {} violation(s)",
+            path.display(),
+            report.violations.len()
+        );
+        return ExitCode::SUCCESS;
+    }
     if let Some(path) = &args.json_out {
         if let Err(e) = std::fs::write(path, report.render_json()) {
             eprintln!("webdeps-lint: writing {}: {e}", path.display());
@@ -113,7 +220,9 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.render_human(args.show_suppressions));
     }
-    if report.is_clean() {
+    let warn_gate =
+        args.deny_warnings && (report.warn_count() > 0 || !report.stale_baseline.is_empty());
+    if report.is_clean() && !warn_gate {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -34,12 +34,18 @@ pub fn run_all(ctx: &FileCtx, cfg: &Config) -> Vec<Violation> {
     if cfg.enabled("allow-syntax") {
         out.extend(rule_allow_syntax(ctx));
     }
+    // The rule bodies predate severities; stamp each violation with the
+    // run's effective severity in one place.
+    for v in &mut out {
+        v.severity = cfg.severity(&v.rule);
+    }
     out
 }
 
 fn violation(ctx: &FileCtx, rule: &str, line: u32, message: String) -> Violation {
     Violation {
         rule: rule.to_string(),
+        severity: crate::diag::Severity::Deny,
         file: ctx.rel_path.clone(),
         line,
         message,

@@ -117,13 +117,37 @@ impl FileCtx {
 
     fn collect_suppressions(&mut self) {
         let mut parsed = Vec::new();
-        for c in &self.comments {
+        for (i, c) in self.comments.iter().enumerate() {
             if c.is_doc_comment() {
                 continue;
             }
-            if let Some(p) = parse_allow(&c.text, c.line) {
-                parsed.push(p);
+            let Some((mut sup, problems)) = parse_allow(&c.text, c.line) else {
+                continue;
+            };
+            // A reason may wrap onto following comment-only lines; a
+            // directive on its own line re-attaches those continuation
+            // lines to its reason.
+            if !sup.reason.is_empty() && !self.line_has_code(c.line) {
+                let mut prev_line = c.line;
+                for cont in &self.comments[i + 1..] {
+                    if cont.kind != TokKind::LineComment
+                        || cont.line != prev_line + 1
+                        || cont.is_doc_comment()
+                        || cont.text.contains("lint:allow")
+                        || self.line_has_code(cont.line)
+                    {
+                        break;
+                    }
+                    let text = cont.text.trim_start_matches('/').trim();
+                    if text.is_empty() {
+                        break;
+                    }
+                    sup.reason.push(' ');
+                    sup.reason.push_str(text);
+                    prev_line = cont.line;
+                }
             }
+            parsed.push((sup, problems));
         }
         let nlines = self.lines.len() as u32;
         for (mut sup, problems) in parsed {

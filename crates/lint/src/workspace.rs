@@ -1,48 +1,67 @@
-//! Workspace walking and rule orchestration.
+//! Workspace walking and per-file rule orchestration.
 //!
 //! Discovery is deterministic: directory entries are sorted before
 //! visiting (the linter holds itself to the invariants it enforces).
+//! The parallel/incremental machinery lives in [`crate::driver`]; this
+//! module owns what happens to *one* file.
 
 use crate::config::Config;
+use crate::dataflow::{self, SigTable};
 use crate::diag::{Report, Suppressed};
-use crate::layering;
+use crate::driver::{self, DriveOptions};
+use crate::parser;
 use crate::rules;
 use crate::scan::FileCtx;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lints the workspace rooted at `root`: the root package (if any),
-/// root `tests/` and `examples/`, and every crate under `crates/`.
-pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
-    let mut report = Report::default();
-    for manifest in discover_manifests(root)? {
-        let src = fs::read_to_string(&manifest)?;
-        let rel = rel_path(root, &manifest);
-        let crate_name = crate_of(&rel);
-        report.violations.extend(layering::lint_manifest(
-            &rel,
-            &src,
-            crate_name.as_deref(),
-            cfg,
-        ));
-        report.files_scanned += 1;
-    }
-    for file in discover_sources(root)? {
-        let src = fs::read_to_string(&file)?;
-        let rel = rel_path(root, &file);
-        lint_file(&rel, &src, cfg, &mut report);
-        report.files_scanned += 1;
-    }
-    report.sort();
-    Ok(report)
+/// Everything one file's analysis produced, before workspace-level
+/// merging. This is the unit the incremental cache stores and replays.
+#[derive(Debug, Clone, Default)]
+pub struct FileOutcome {
+    /// Unsuppressed violations.
+    pub violations: Vec<crate::diag::Violation>,
+    /// Suppressed violations with their directives.
+    pub suppressed: Vec<Suppressed>,
+    /// Lines of `lint:allow` directives that silenced nothing.
+    pub unused_allows: Vec<u32>,
 }
 
-/// Lints a single source string, applying suppressions, and folds the
-/// result into `report`. Exposed for fixture-based tests.
-pub fn lint_file(rel_path: &str, src: &str, cfg: &Config, report: &mut Report) {
+/// Lints the workspace rooted at `root`: the root package (if any),
+/// root `tests/` and `examples/`, and every crate under `crates/`.
+///
+/// Uses the parallel driver with no cache; a `LINT_BASELINE.json` at
+/// the root is applied automatically when present. The CLI exposes the
+/// cache and explicit baseline control.
+#[must_use]
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let baseline = root.join("LINT_BASELINE.json");
+    let opts = DriveOptions {
+        jobs: 0,
+        cache_path: None,
+        baseline_path: baseline.is_file().then_some(baseline),
+    };
+    driver::drive(root, cfg, &opts).map(|o| o.report)
+}
+
+/// This file's contribution to the workspace [`SigTable`]: names of
+/// fns returning `Result`/`Report`. Phase 1 of the driver.
+pub fn collect_file_facts(src: &str) -> Vec<String> {
+    let ctx = FileCtx::new("", src);
+    let parsed = parser::parse(&ctx.code);
+    dataflow::collect_facts(&parsed)
+}
+
+/// Runs every rule pass (token + dataflow) over one source file and
+/// applies its suppressions. Phase 2 of the driver.
+pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config, sigs: &SigTable) -> FileOutcome {
     let ctx = FileCtx::new(rel_path, src);
-    let raw = rules::run_all(&ctx, cfg);
+    let parsed = parser::parse(&ctx.code);
+    let mut raw = rules::run_all(&ctx, cfg);
+    raw.extend(dataflow::run_all(&ctx, &parsed, sigs, cfg));
+    raw.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    let mut outcome = FileOutcome::default();
     let mut used = vec![false; ctx.suppressions.len()];
     for v in raw {
         let matched = ctx.suppressions.iter().enumerate().find(|(_, s)| {
@@ -51,47 +70,61 @@ pub fn lint_file(rel_path: &str, src: &str, cfg: &Config, report: &mut Report) {
         match matched {
             Some((idx, s)) => {
                 used[idx] = true;
-                report.suppressed.push(Suppressed {
+                outcome.suppressed.push(Suppressed {
                     violation: v,
                     reason: s.reason.clone(),
                     allow_line: s.line,
                 });
             }
-            None => report.violations.push(v),
+            None => outcome.violations.push(v),
         }
     }
     for (idx, s) in ctx.suppressions.iter().enumerate() {
         if !used[idx] {
-            report.unused_allows.push((ctx.rel_path.clone(), s.line));
+            outcome.unused_allows.push(s.line);
         }
     }
+    outcome
 }
 
-/// Convenience for tests: lints one source string and returns the
-/// finished (sorted) report.
+/// Convenience for tests: lints one source string in isolation and
+/// returns the finished (sorted) report. The signature table is built
+/// from this file alone, so cross-file `result-dropped` facts are
+/// limited to fns the snippet itself defines.
+#[must_use]
 pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Report {
-    let mut report = Report::default();
-    lint_file(rel_path, src, cfg, &mut report);
-    report.files_scanned = 1;
+    let sigs = SigTable::from_facts(collect_file_facts(src).iter().map(|s| s.as_str()));
+    let outcome = analyze_source(rel_path, src, cfg, &sigs);
+    let mut report = Report {
+        files_scanned: 1,
+        severities: cfg.severity_map(),
+        ..Report::default()
+    };
+    report.violations = outcome.violations;
+    report.suppressed = outcome.suppressed;
+    for line in outcome.unused_allows {
+        report.unused_allows.push((rel_path.to_string(), line));
+    }
     report.sort();
     report
 }
 
-fn rel_path(root: &Path, file: &Path) -> String {
+pub(crate) fn rel_path(root: &Path, file: &Path) -> String {
     file.strip_prefix(root)
         .unwrap_or(file)
         .to_string_lossy()
         .replace('\\', "/")
 }
 
-fn crate_of(rel: &str) -> Option<String> {
+pub(crate) fn crate_of(rel: &str) -> Option<String> {
     rel.strip_prefix("crates/")
         .and_then(|rest| rest.split('/').next())
         .map(|s| s.to_string())
 }
 
 /// All `Cargo.toml` files: the root manifest plus one per crate.
-fn discover_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
+#[must_use]
+pub(crate) fn discover_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let root_manifest = root.join("Cargo.toml");
     if root_manifest.is_file() {
@@ -108,7 +141,8 @@ fn discover_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
 
 /// All Rust sources: root `src`/`tests`/`examples`, and each crate's
 /// `src`/`tests`/`benches`/`examples`.
-fn discover_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+#[must_use]
+pub(crate) fn discover_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     for sub in ["src", "tests", "examples"] {
         collect_rs(&root.join(sub), &mut out)?;

@@ -7,8 +7,30 @@ use std::process::{Command, Output};
 const BAD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/bad");
 const CLEAN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/clean");
 
+/// Every rule the bad fixture trips: the token/manifest rules plus the
+/// five dataflow rules.
+const ALL_RULES: &[&str] = &[
+    "panic",
+    "wall-clock",
+    "env-rand",
+    "hash-iter",
+    "layering",
+    "extern-dep",
+    "dbg",
+    "todo",
+    "allow-syntax",
+    "result-dropped",
+    "seed-flow",
+    "float-ord",
+    "must-use-api",
+    "thread-capture",
+];
+
+/// Runs the binary cache-free (tests must not write caches into the
+/// committed fixture trees, nor race each other on a shared cache).
 fn run(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_webdeps-lint"))
+        .arg("--no-cache")
         .args(args)
         .output()
         .expect("spawn webdeps-lint")
@@ -19,17 +41,7 @@ fn bad_fixture_fails_and_names_every_rule() {
     let out = run(&["--root", BAD, "--json"]);
     assert_eq!(out.status.code(), Some(1), "violations must exit 1");
     let json = String::from_utf8(out.stdout).expect("utf8");
-    for rule in [
-        "panic",
-        "wall-clock",
-        "env-rand",
-        "hash-iter",
-        "layering",
-        "extern-dep",
-        "dbg",
-        "todo",
-        "allow-syntax",
-    ] {
+    for rule in ALL_RULES {
         assert!(
             json.contains(&format!("\"rule\": \"{rule}\"")),
             "fixture must trip rule {rule}; report:\n{json}"
@@ -59,6 +71,19 @@ fn clean_fixture_passes_and_counts_its_suppression() {
 }
 
 #[test]
+fn multi_line_allow_reason_is_captured_in_full() {
+    // Regression: a reason wrapping onto following comment-only lines
+    // used to be truncated at the first line.
+    let out = run(&["--root", CLEAN, "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        json.contains("non-empty slices, so taking the head cannot fail"),
+        "continuation lines must join the reason; report:\n{json}"
+    );
+}
+
+#[test]
 fn suppressions_flag_lists_reasons_in_human_output() {
     let out = run(&["--root", CLEAN, "--suppressions"]);
     assert_eq!(out.status.code(), Some(0));
@@ -71,19 +96,8 @@ fn suppressions_flag_lists_reasons_in_human_output() {
 
 #[test]
 fn allow_flags_can_silence_the_bad_fixture() {
-    let all_rules = [
-        "panic",
-        "wall-clock",
-        "env-rand",
-        "hash-iter",
-        "layering",
-        "extern-dep",
-        "dbg",
-        "todo",
-        "allow-syntax",
-    ];
     let mut args = vec!["--root", BAD];
-    for r in &all_rules {
+    for r in ALL_RULES {
         args.push("--allow");
         args.push(r);
     }
@@ -93,6 +107,67 @@ fn allow_flags_can_silence_the_bad_fixture() {
         Some(0),
         "disabling every rule must make the bad fixture pass; stderr: {}",
         String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn warn_rules_gate_only_under_deny_warnings() {
+    // Disable everything except must-use-api (warn by default): the
+    // remaining violations are warnings, so the plain run passes …
+    let mut args = vec!["--root", BAD];
+    for r in ALL_RULES.iter().filter(|r| **r != "must-use-api") {
+        args.push("--allow");
+        args.push(r);
+    }
+    let out = run(&args);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "warn-severity findings alone must not fail; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // … and --deny-warnings turns the same findings into failures.
+    args.push("--deny-warnings");
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn parallel_report_is_byte_identical_to_serial() {
+    let serial = run(&["--root", BAD, "--json", "--jobs", "1"]);
+    let parallel = run(&["--root", BAD, "--json", "--jobs", "8"]);
+    assert_eq!(serial.status.code(), parallel.status.code());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "jobs count must not change the report"
+    );
+}
+
+#[test]
+fn warm_cache_replays_and_report_is_unchanged() {
+    let cache =
+        std::env::temp_dir().join(format!("webdeps-lint-cache-{}.json", std::process::id()));
+    let cache_s = cache.to_str().expect("utf8 path");
+    let runner = |args: &[&str]| {
+        // Bypass the cache-free `run` helper: this test owns its cache.
+        Command::new(env!("CARGO_BIN_EXE_webdeps-lint"))
+            .args(args)
+            .output()
+            .expect("spawn webdeps-lint")
+    };
+    let cold = runner(&["--root", CLEAN, "--json", "--cache-file", cache_s]);
+    let warm = runner(&["--root", CLEAN, "--json", "--cache-file", cache_s]);
+    std::fs::remove_file(&cache).ok();
+    assert_eq!(cold.status.code(), Some(0));
+    assert_eq!(warm.status.code(), Some(0));
+    let warm_err = String::from_utf8_lossy(&warm.stderr).to_string();
+    assert!(
+        warm_err.contains("analyzed 0 file(s)"),
+        "warm run must replay every file from cache: {warm_err}"
+    );
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "cache replay must not change the report"
     );
 }
 
@@ -107,7 +182,7 @@ fn json_out_writes_the_report_to_disk() {
     ]);
     assert_eq!(out.status.code(), Some(0));
     let written = std::fs::read_to_string(&path).expect("json-out file");
-    assert!(written.contains("\"schema\": \"webdeps-lint/1\""));
+    assert!(written.contains("\"schema\": \"webdeps-lint/2\""));
     std::fs::remove_file(&path).ok();
 }
 
@@ -124,7 +199,7 @@ fn list_rules_prints_the_catalog() {
     let out = run(&["--list-rules"]);
     assert_eq!(out.status.code(), Some(0));
     let text = String::from_utf8(out.stdout).expect("utf8");
-    for rule in ["panic", "hash-iter", "layering", "extern-dep"] {
+    for rule in ALL_RULES {
         assert!(text.contains(rule), "catalog must list {rule}:\n{text}");
     }
 }

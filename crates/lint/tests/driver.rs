@@ -1,0 +1,172 @@
+//! Integration tests for the parallel incremental driver: cache
+//! replay, content-hash invalidation, signature-table invalidation,
+//! and jobs-count determinism — all against a throwaway workspace
+//! built in a temp directory.
+
+use std::fs;
+use std::path::PathBuf;
+use webdeps_lint::{drive, Config, DriveOptions};
+
+const ROOT_MANIFEST: &str = "[workspace]\nmembers = [\"crates/a\", \"crates/b\"]\n";
+
+const LIB_A: &str = "\
+//! Fixture crate a.
+
+/// Doubles a value.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+";
+
+const LIB_B: &str = "\
+//! Fixture crate b.
+
+/// Triples a value.
+pub fn triple(x: u32) -> u32 {
+    x * 3
+}
+";
+
+/// Body-only edit: same signatures, different content hash.
+const LIB_B_EDITED: &str = "\
+//! Fixture crate b.
+
+/// Quadruples a value.
+pub fn triple(x: u32) -> u32 {
+    x * 4
+}
+";
+
+/// Signature edit: adds a `Result`-returning fn, changing the
+/// workspace signature table every other file's rules depend on.
+const LIB_B_WITH_RESULT: &str = "\
+//! Fixture crate b.
+
+/// Triples a value.
+pub fn triple(x: u32) -> u32 {
+    x * 3
+}
+
+/// Fallible conversion.
+#[must_use]
+pub fn parse_positive(x: i64) -> Result<u32, String> {
+    u32::try_from(x).map_err(|_| \"negative\".to_string())
+}
+";
+
+/// Crate a discarding crate b's `Result` — the cross-file case only
+/// the workspace signature table can catch.
+const LIB_A_DROPS: &str = "\
+//! Fixture crate a.
+
+/// Doubles a value.
+pub fn double(x: u32) -> u32 {
+    let _ = parse_positive(9);
+    x * 2
+}
+";
+
+fn crate_manifest(name: &str) -> String {
+    format!("[package]\nname = \"{name}\"\nversion = \"0.1.0\"\nedition = \"2021\"\n")
+}
+
+fn mk_workspace(tag: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("webdeps-lint-driver-{}-{tag}", std::process::id()));
+    fs::remove_dir_all(&root).ok();
+    for c in ["a", "b"] {
+        fs::create_dir_all(root.join(format!("crates/{c}/src"))).expect("mkdir");
+        fs::write(
+            root.join(format!("crates/{c}/Cargo.toml")),
+            crate_manifest(c),
+        )
+        .expect("write manifest");
+    }
+    fs::write(root.join("Cargo.toml"), ROOT_MANIFEST).expect("write root manifest");
+    fs::write(root.join("crates/a/src/lib.rs"), LIB_A).expect("write a");
+    fs::write(root.join("crates/b/src/lib.rs"), LIB_B).expect("write b");
+    root
+}
+
+#[test]
+fn incremental_cache_replays_and_invalidates() {
+    let root = mk_workspace("incremental");
+    let cfg = Config::default();
+    let opts = DriveOptions {
+        jobs: 1,
+        cache_path: Some(root.join("cache.json")),
+        baseline_path: None,
+    };
+
+    // Cold: everything analyzed.
+    let cold = drive(&root, &cfg, &opts).expect("cold drive");
+    assert_eq!((cold.analyzed, cold.cached), (5, 0)); // 3 manifests + 2 sources
+    assert!(cold.report.is_clean(), "{}", cold.report.render_json());
+
+    // Warm: everything replayed, report byte-identical.
+    let warm = drive(&root, &cfg, &opts).expect("warm drive");
+    assert_eq!((warm.analyzed, warm.cached), (0, 5));
+    assert_eq!(cold.report.render_json(), warm.report.render_json());
+
+    // Body-only edit: only the touched file re-analyzes.
+    fs::write(root.join("crates/b/src/lib.rs"), LIB_B_EDITED).expect("edit b");
+    let touched = drive(&root, &cfg, &opts).expect("touched drive");
+    assert_eq!((touched.analyzed, touched.cached), (1, 4));
+
+    // Signature edit: the sig table changes, so *every* file's rule
+    // outcome is stale even where content hashes still match.
+    fs::write(root.join("crates/b/src/lib.rs"), LIB_B_WITH_RESULT).expect("sig edit b");
+    let sig = drive(&root, &cfg, &opts).expect("sig drive");
+    assert_eq!((sig.analyzed, sig.cached), (5, 0));
+
+    // And the new steady state replays fully again.
+    let warm2 = drive(&root, &cfg, &opts).expect("warm2 drive");
+    assert_eq!((warm2.analyzed, warm2.cached), (0, 5));
+
+    // Cross-file dataflow through the cache: a discards b's Result.
+    fs::write(root.join("crates/a/src/lib.rs"), LIB_A_DROPS).expect("edit a");
+    let dropped = drive(&root, &cfg, &opts).expect("dropped drive");
+    assert_eq!((dropped.analyzed, dropped.cached), (1, 4));
+    assert!(
+        dropped
+            .report
+            .violations
+            .iter()
+            .any(|v| v.rule == "result-dropped" && v.file == "crates/a/src/lib.rs"),
+        "{}",
+        dropped.report.render_json()
+    );
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn jobs_count_never_changes_the_report() {
+    let root = mk_workspace("jobs");
+    let cfg = Config::default();
+    let mk = |jobs| DriveOptions {
+        jobs,
+        cache_path: None,
+        baseline_path: None,
+    };
+    let serial = drive(&root, &cfg, &mk(1)).expect("serial drive");
+    let wide = drive(&root, &cfg, &mk(4)).expect("parallel drive");
+    let auto = drive(&root, &cfg, &mk(0)).expect("auto drive");
+    assert_eq!(serial.report.render_json(), wide.report.render_json());
+    assert_eq!(serial.report.render_json(), auto.report.render_json());
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn real_workspace_lints_without_error() {
+    // The repo's own sources are the largest parser corpus available:
+    // the full pass must succeed (no panics, no I/O errors) and scan
+    // a non-trivial number of files.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = webdeps_lint::lint_workspace(&root, &Config::default()).expect("workspace lint");
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+}

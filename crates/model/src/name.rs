@@ -43,6 +43,7 @@ impl DomainName {
     ///
     /// Accepts an optional trailing dot (absolute-form names) and
     /// uppercase input; both are normalized away.
+    #[must_use]
     pub fn parse(input: &str) -> Result<Self, ModelError> {
         let trimmed = input.strip_suffix('.').unwrap_or(input);
         if trimmed.is_empty() {
@@ -134,6 +135,7 @@ impl DomainName {
 
     /// Prepends a label: `"www"` joined onto `example.com` gives
     /// `www.example.com`.
+    #[must_use]
     pub fn child(&self, label: &str) -> Result<DomainName, ModelError> {
         DomainName::parse(&format!("{label}.{}", self.name))
     }

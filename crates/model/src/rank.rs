@@ -15,6 +15,7 @@ pub struct Rank(pub u32);
 
 impl Rank {
     /// Constructs a rank, rejecting 0.
+    #[must_use]
     pub fn new(rank: u32) -> Result<Self, ModelError> {
         if rank == 0 {
             Err(ModelError::ZeroRank)

@@ -143,7 +143,7 @@ fn main() -> ExitCode {
             high,
             100.0 * high as f64 / audits.len() as f64
         );
-        audits.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("scores are finite"));
+        audits.sort_by(|a, b| a.score.total_cmp(&b.score));
         println!("the {} lowest-scoring sites:", args.worst);
         for audit in audits.iter().take(args.worst) {
             print_audit(&ds, audit);

@@ -19,6 +19,7 @@ pub struct Report {
 
 impl Report {
     /// Starts a report.
+    #[must_use]
     pub fn new(id: &str, title: &str) -> Report {
         Report {
             id: id.to_string(),
@@ -29,12 +30,14 @@ impl Report {
     }
 
     /// Adds a table.
+    #[must_use]
     pub fn table(mut self, t: TextTable) -> Report {
         self.tables.push(t);
         self
     }
 
     /// Adds a note line.
+    #[must_use]
     pub fn note(mut self, n: impl Into<String>) -> Report {
         self.notes.push(n.into());
         self

@@ -120,6 +120,7 @@ pub fn providers_csv(ds: &MeasurementDataset) -> String {
 }
 
 /// Writes both CSVs into a directory (`sites.csv`, `providers.csv`).
+#[must_use]
 pub fn write_csv_dir(ds: &MeasurementDataset, dir: &std::path::Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join("sites.csv"), sites_csv(ds))?;

@@ -13,6 +13,7 @@ use webdeps_measure::MeasurementDataset;
 use webdeps_model::ServiceKind;
 
 /// Figure 2: website → DNS series per rank bucket.
+#[must_use]
 pub fn figure2(ws: &Workspace) -> Report {
     let fig = dns_figure(&ws.ds20);
     let mut t = TextTable::new(
@@ -46,6 +47,7 @@ pub fn figure2(ws: &Workspace) -> Report {
 }
 
 /// Figure 3: website → CDN series per rank bucket.
+#[must_use]
 pub fn figure3(ws: &Workspace) -> Report {
     let fig = cdn_figure(&ws.ds20);
     let mut t = TextTable::new(
@@ -75,6 +77,7 @@ pub fn figure3(ws: &Workspace) -> Report {
 }
 
 /// Figure 4: website → CA series per rank bucket.
+#[must_use]
 pub fn figure4(ws: &Workspace) -> Report {
     let fig = ca_figure(&ws.ds20);
     let mut t = TextTable::new(
@@ -130,6 +133,7 @@ fn top5_table(
 }
 
 /// Figure 5: top providers by direct concentration and impact.
+#[must_use]
 pub fn figure5(ws: &Workspace) -> Report {
     let opts = MetricOptions::direct_only();
     Report::new(
@@ -193,6 +197,7 @@ fn figure6_service(
 }
 
 /// Figure 6: provider coverage CDFs, 2016 vs 2020.
+#[must_use]
 pub fn figure6(ws: &Workspace) -> Report {
     Report::new(
         "figure6",
@@ -272,6 +277,7 @@ fn indirect_figure(
 }
 
 /// Figure 7: DNS providers with the CA→DNS hop.
+#[must_use]
 pub fn figure7(ws: &Workspace) -> Report {
     indirect_figure(
         ws,
@@ -287,6 +293,7 @@ pub fn figure7(ws: &Workspace) -> Report {
 }
 
 /// Figure 8: CDNs with the CA→CDN hop.
+#[must_use]
 pub fn figure8(ws: &Workspace) -> Report {
     indirect_figure(
         ws,
@@ -302,6 +309,7 @@ pub fn figure8(ws: &Workspace) -> Report {
 }
 
 /// Figure 9: DNS providers with the CDN→DNS hop.
+#[must_use]
 pub fn figure9(ws: &Workspace) -> Report {
     indirect_figure(
         ws,
@@ -317,6 +325,7 @@ pub fn figure9(ws: &Workspace) -> Report {
 }
 
 /// §8.1 amplification headlines.
+#[must_use]
 pub fn amplification(ws: &Workspace) -> Report {
     let metrics = Metrics::new(&ws.graph20);
     let n = ws.ds20.sites.len() as f64;

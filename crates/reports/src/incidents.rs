@@ -33,6 +33,7 @@ fn curve_table(result: &ReplayResult) -> TextTable {
 
 /// The `incidents` experiment: both canonical replays, rendered as
 /// per-tick availability tables.
+#[must_use]
 pub fn incidents(ws: &Workspace) -> Report {
     let mut report = Report::new(
         "incidents",

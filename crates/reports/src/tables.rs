@@ -50,6 +50,7 @@ fn trend_report(
 }
 
 /// Table 1: 2020 dataset summary.
+#[must_use]
 pub fn table1(ws: &Workspace) -> Report {
     let ds = &ws.ds20;
     let s = webdeps_measure::summarize(ds);
@@ -110,6 +111,7 @@ pub fn table1(ws: &Workspace) -> Report {
 }
 
 /// Table 2: 2016-vs-2020 comparison dataset summary.
+#[must_use]
 pub fn table2(ws: &Workspace) -> Report {
     let c = webdeps_measure::summarize_pair(&ws.ds16, &ws.ds20);
     let n16 = ws.ds16.sites.len();
@@ -143,6 +145,7 @@ pub fn table2(ws: &Workspace) -> Report {
 }
 
 /// Table 3: website → DNS transitions.
+#[must_use]
 pub fn table3(ws: &Workspace) -> Report {
     trend_report(
         "table3",
@@ -159,6 +162,7 @@ pub fn table3(ws: &Workspace) -> Report {
 }
 
 /// Table 4: website → CDN transitions.
+#[must_use]
 pub fn table4(ws: &Workspace) -> Report {
     trend_report(
         "table4",
@@ -176,6 +180,7 @@ pub fn table4(ws: &Workspace) -> Report {
 }
 
 /// Table 5: website → CA stapling transitions.
+#[must_use]
 pub fn table5(ws: &Workspace) -> Report {
     trend_report(
         "table5",
@@ -216,6 +221,7 @@ fn interservice_row(
 }
 
 /// Table 6: inter-service dependency counts.
+#[must_use]
 pub fn table6(ws: &Workspace) -> Report {
     let (cdn_total, cdn_third, cdn_crit) = interservice_row(&ws.ds20, ServiceKind::Cdn, false);
     let (ca_total, ca_third, ca_crit) = interservice_row(&ws.ds20, ServiceKind::Ca, false);
@@ -301,6 +307,7 @@ fn provider_trend_report(
 }
 
 /// Table 7: CA → DNS transitions.
+#[must_use]
 pub fn table7(ws: &Workspace) -> Report {
     provider_trend_report(
         "table7",
@@ -319,6 +326,7 @@ pub fn table7(ws: &Workspace) -> Report {
 }
 
 /// Table 8: CA → CDN transitions.
+#[must_use]
 pub fn table8(ws: &Workspace) -> Report {
     provider_trend_report(
         "table8",
@@ -337,6 +345,7 @@ pub fn table8(ws: &Workspace) -> Report {
 }
 
 /// Table 9: CDN → DNS transitions.
+#[must_use]
 pub fn table9(ws: &Workspace) -> Report {
     provider_trend_report(
         "table9",
@@ -355,6 +364,7 @@ pub fn table9(ws: &Workspace) -> Report {
 }
 
 /// Table 10: the hospital vertical.
+#[must_use]
 pub fn table10(ws: &Workspace) -> Report {
     let ds = &ws.ds_hospitals;
     let n = ds.sites.len();
@@ -444,6 +454,7 @@ pub fn table10(ws: &Workspace) -> Report {
 }
 
 /// Table 11: the smart-home vertical.
+#[must_use]
 pub fn table11(_ws: &Workspace) -> Report {
     let roster = smart_home_roster();
     let n = roster.len();
@@ -511,6 +522,7 @@ pub fn table11(_ws: &Workspace) -> Report {
 }
 
 /// §3 validation: strategy accuracy comparison.
+#[must_use]
 pub fn validation(ws: &Workspace) -> Report {
     let sample = 100.min(ws.ds20.sites.len());
     let report = validate_world(&ws.world20, sample, ws.seed);

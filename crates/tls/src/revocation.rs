@@ -206,6 +206,7 @@ impl RevocationChecker {
 
     /// Runs the full check for `cert`, optionally presented with a
     /// stapled response, using `transport` for live fetches.
+    #[must_use]
     pub fn check(
         &mut self,
         cert: &Certificate,

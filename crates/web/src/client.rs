@@ -259,6 +259,7 @@ impl<'n> WebClient<'n> {
     }
 
     /// Executes the full request life cycle for `url`.
+    #[must_use]
     pub fn fetch(&mut self, url: &Url) -> Result<FetchOutcome, FetchError> {
         // 1. DNS.
         let resolution = self

@@ -66,6 +66,7 @@ impl Url {
     }
 
     /// Parses `scheme://host/path`.
+    #[must_use]
     pub fn parse(input: &str) -> Result<Self, ModelError> {
         let (scheme, rest) = if let Some(rest) = input.strip_prefix("https://") {
             (Scheme::Https, rest)

@@ -15,9 +15,14 @@ cargo test -q --offline
 echo "== webdeps-chaos --smoke (incident replays + invariant campaign) =="
 cargo run -q --release --offline -p webdeps-chaos -- --smoke
 
-echo "== webdeps-lint (static-analysis pass) =="
-cargo run -q --release --offline -p webdeps-lint -- --root . --json-out LINT_REPORT.json
+echo "== webdeps-lint v2 (static-analysis pass, warnings denied) =="
+cargo run -q --release --offline -p webdeps-lint -- --root . --deny-warnings --json-out LINT_REPORT.json
 ls -l LINT_REPORT.json
+if ! git diff --exit-code -- LINT_REPORT.json LINT_BASELINE.json; then
+    echo "error: LINT_REPORT.json or LINT_BASELINE.json drifted from the committed copy;" >&2
+    echo "       commit the regenerated report (or re-justify the baseline) with your change" >&2
+    exit 1
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -70,7 +70,8 @@ fn adding_faults_never_increases_availability() {
         &gen::u64_any(),
         |&seed| {
             let base = random_schedule(world, seed);
-            let (checks, violations) = check_monotonicity(world, &base, seed, 2, 40);
+            let mut rng = DetRng::new(seed).fork("chaos-extend");
+            let (checks, violations) = check_monotonicity(world, &base, &mut rng, 2, 40);
             tk_assert!(checks > 0, "the check must compare at least one instant");
             if let Some(v) = violations.first() {
                 return Err(format!("monotonicity violated: {}", v.detail));
