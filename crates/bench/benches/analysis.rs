@@ -143,6 +143,13 @@ fn metric_engine_ablation(h: &mut Harness) {
     group.bench_function("full_ranking_dns", |b| {
         b.iter(|| black_box(metrics.ranking(ServiceKind::Dns, &opts)));
     });
+    group.bench_function("full_ranking_all_kinds", |b| {
+        b.iter(|| {
+            for kind in [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca] {
+                black_box(metrics.ranking(kind, &opts));
+            }
+        });
+    });
     group.finish();
 
     let mut group = h.benchmark_group("analysis/aggregate");

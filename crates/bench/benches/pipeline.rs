@@ -35,6 +35,20 @@ fn pipeline(h: &mut Harness) {
             b.iter(|| black_box(measure_world(&world)));
         });
     }
+    // The scaling target: one order of magnitude above the 1K band,
+    // where crawl sharding dominates. Fewer samples keep the wall time
+    // sane on single-core runners.
+    {
+        let world = World::generate(WorldConfig {
+            seed: 7,
+            n_sites: 10_000,
+            year: SnapshotYear::Y2020,
+        });
+        group.sample_size(5);
+        group.bench_function("measure_world/10000", |b| {
+            b.iter(|| black_box(measure_world(&world)));
+        });
+    }
     group.finish();
 
     let mut group = h.benchmark_group("pipeline/outage");

@@ -18,11 +18,11 @@
 //! Everything is derived from one seed, so a reported violation comes
 //! with the exact schedule seed that reproduces it.
 
-use webdeps_core::outage::{probe_site, simulate_outage_at};
+use webdeps_core::outage::{probe_site, simulate_outage_at_with_jobs};
 use webdeps_dns::fault::Degradation;
 use webdeps_dns::{FaultPhase, FaultPlan, FaultSchedule, FaultTarget, SimTime};
 use webdeps_model::rng::DetRng;
-use webdeps_model::EntityId;
+use webdeps_model::{fan_out_chunked, EntityId};
 use webdeps_worldgen::World;
 
 /// How much ground a campaign covers.
@@ -37,6 +37,11 @@ pub struct CampaignConfig {
     pub probe_sites: usize,
     /// Instants sampled per schedule pair.
     pub samples_per_schedule: usize,
+    /// Worker count for availability sweeps and the redundancy pass,
+    /// resolved through the workspace-wide knob
+    /// ([`webdeps_model::par::resolve_jobs`]): `0` = auto. Campaign
+    /// reports are byte-identical at any worker count.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -46,6 +51,7 @@ impl Default for CampaignConfig {
             schedules: 12,
             probe_sites: 80,
             samples_per_schedule: 3,
+            jobs: 0,
         }
     }
 }
@@ -58,6 +64,7 @@ impl CampaignConfig {
             schedules: 4,
             probe_sites: 40,
             samples_per_schedule: 2,
+            jobs: 0,
         }
     }
 }
@@ -194,6 +201,21 @@ pub fn check_monotonicity(
     samples: usize,
     probe_sites: usize,
 ) -> (usize, Vec<Violation>) {
+    check_monotonicity_with_jobs(world, base, rng, samples, probe_sites, 0)
+}
+
+/// [`check_monotonicity`] with an explicit worker count for the
+/// per-instant availability sweeps (`0` = auto). The sampled instants
+/// are drawn from `rng` *before* any probing, so the stream — and
+/// therefore the check — is untouched by the worker count.
+pub fn check_monotonicity_with_jobs(
+    world: &World,
+    base: &FaultSchedule,
+    rng: &mut DetRng,
+    samples: usize,
+    probe_sites: usize,
+    jobs: usize,
+) -> (usize, Vec<Violation>) {
     let entities = dns_provider_entities(world);
     if entities.is_empty() {
         return (0, Vec::new());
@@ -207,8 +229,8 @@ pub fn check_monotonicity(
         // Sample instants spread over the horizon, jittered so phase
         // boundaries get hit across the campaign.
         let t = SimTime(rng.below(HORIZON_SECS as usize + 3_600) as u64 + (i as u64));
-        let base_up = up_count(world, base, t, probe_sites);
-        let ext_up = up_count(world, &extended, t, probe_sites);
+        let base_up = up_count(world, base, t, probe_sites, jobs);
+        let ext_up = up_count(world, &extended, t, probe_sites, jobs);
         checks += 1;
         if ext_up > base_up {
             violations.push(Violation {
@@ -224,8 +246,14 @@ pub fn check_monotonicity(
     (checks, violations)
 }
 
-fn up_count(world: &World, schedule: &FaultSchedule, at: SimTime, probe_sites: usize) -> usize {
-    let r = simulate_outage_at(world, schedule, at, false, probe_sites);
+fn up_count(
+    world: &World,
+    schedule: &FaultSchedule,
+    at: SimTime,
+    probe_sites: usize,
+    jobs: usize,
+) -> usize {
+    let r = simulate_outage_at_with_jobs(world, schedule, at, false, probe_sites, jobs);
     r.total - r.affected.len()
 }
 
@@ -235,9 +263,24 @@ fn up_count(world: &World, schedule: &FaultSchedule, at: SimTime, probe_sites: u
 /// Survival is probed on the site apex over HTTP, cache-free, so the
 /// check isolates the DNS layer from CDN and CA chains.
 pub fn check_redundancy(world: &World, seed: u64, max_sites: usize) -> (usize, Vec<Violation>) {
-    let mut violations = Vec::new();
-    let mut checks = 0;
-    let mut probed = 0;
+    check_redundancy_with_jobs(world, seed, max_sites, 0)
+}
+
+/// [`check_redundancy`] with an explicit worker count (`0` = auto).
+/// Candidate sites are collected serially (so `max_sites` caps the
+/// same population at any worker count), then the per-candidate
+/// single-entity outage probes fan across workers and merge in
+/// candidate order.
+pub fn check_redundancy_with_jobs(
+    world: &World,
+    seed: u64,
+    max_sites: usize,
+    jobs: usize,
+) -> (usize, Vec<Violation>) {
+    // Serial candidate collection: redundant-DNS sites with their
+    // deduplicated provider entities, capped exactly as a serial sweep
+    // would cap them.
+    let mut candidates: Vec<(&webdeps_worldgen::SiteTruth, Vec<EntityId>)> = Vec::new();
     for truth in &world.truth.sites {
         if !truth.dns.state.is_redundant() {
             continue;
@@ -257,27 +300,45 @@ pub fn check_redundancy(world: &World, seed: u64, max_sites: usize) -> (usize, V
         if !private_leg && provider_entities.len() < 2 {
             continue;
         }
-        if max_sites > 0 && probed >= max_sites {
+        if max_sites > 0 && candidates.len() >= max_sites {
             break;
         }
-        probed += 1;
-        for &entity in &provider_entities {
-            let mut client = world.client();
-            client.set_faults(FaultPlan::healthy().fail_entity(entity));
-            client.resolver_mut().disable_cache();
-            checks += 1;
-            let apex = std::slice::from_ref(&truth.domain);
-            if !probe_site(&mut client, apex, false) {
-                violations.push(Violation {
-                    invariant: "redundancy",
-                    seed,
-                    detail: format!(
-                        "{} has redundant DNS but failed when entity {:?} went down",
-                        truth.domain, entity
-                    ),
-                });
-            }
-        }
+        candidates.push((truth, provider_entities));
+    }
+
+    // Parallel survival probes, merged in candidate order.
+    let per_candidate = fan_out_chunked(&candidates, jobs, |shard| {
+        shard
+            .iter()
+            .map(|(truth, provider_entities)| {
+                let mut checks = 0;
+                let mut violations = Vec::new();
+                for &entity in provider_entities {
+                    let mut client = world.client();
+                    client.set_faults(FaultPlan::healthy().fail_entity(entity));
+                    client.resolver_mut().disable_cache();
+                    checks += 1;
+                    let apex = std::slice::from_ref(&truth.domain);
+                    if !probe_site(&mut client, apex, false) {
+                        violations.push(Violation {
+                            invariant: "redundancy",
+                            seed,
+                            detail: format!(
+                                "{} has redundant DNS but failed when entity {:?} went down",
+                                truth.domain, entity
+                            ),
+                        });
+                    }
+                }
+                (checks, violations)
+            })
+            .collect()
+    });
+    let mut checks = 0;
+    let mut violations = Vec::new();
+    for (c, v) in per_candidate {
+        checks += c;
+        violations.extend(v);
     }
     (checks, violations)
 }
@@ -299,18 +360,20 @@ pub fn run_campaign(world: &World, config: &CampaignConfig) -> CampaignReport {
         let mut fork = master.fork_indexed("schedule", i);
         let schedule_seed = fork.next_u64();
         let base = random_schedule(world, schedule_seed);
-        let (checks, violations) = check_monotonicity(
+        let (checks, violations) = check_monotonicity_with_jobs(
             world,
             &base,
             &mut fork,
             config.samples_per_schedule,
             config.probe_sites,
+            config.jobs,
         );
         report.schedules_checked += 1;
         report.monotonicity_checks += checks;
         report.violations.extend(violations);
     }
-    let (checks, violations) = check_redundancy(world, config.seed, config.probe_sites);
+    let (checks, violations) =
+        check_redundancy_with_jobs(world, config.seed, config.probe_sites, config.jobs);
     report.redundancy_checks += checks;
     report.violations.extend(violations);
     report

@@ -6,8 +6,8 @@
 //! use the service at all.
 
 use std::collections::HashSet;
-use webdeps_measure::{MeasurementDataset, ProviderKey};
-use webdeps_model::{ServiceKind, SiteId};
+use webdeps_measure::{MeasurementDataset, ProviderKey, SiteMeasurement};
+use webdeps_model::{fan_out_chunked, ServiceKind, SiteId};
 
 /// One point of the coverage curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,34 +20,48 @@ pub struct CoveragePoint {
     pub key: ProviderKey,
 }
 
-/// Per-provider direct consumer sets for one service kind.
+/// Per-site third-party providers of one service kind.
+fn site_providers(site: &SiteMeasurement, kind: ServiceKind) -> Vec<&ProviderKey> {
+    match kind {
+        ServiceKind::Dns => site.dns.third_parties().collect(),
+        ServiceKind::Cdn => site.cdn.third_parties().collect(),
+        ServiceKind::Ca => match &site.ca.ca {
+            Some((key, webdeps_measure::Classification::ThirdParty)) => vec![key],
+            _ => Vec::new(),
+        },
+        ServiceKind::Cloud => Vec::new(),
+    }
+}
+
+/// Per-provider direct consumer sets for one service kind. Extraction
+/// fans site shards across workers (each building a partial map); the
+/// partials are unioned — set union is order-independent — and the
+/// final ordering is a total sort, so the result is identical at any
+/// worker count.
 fn consumer_sets(
     ds: &MeasurementDataset,
     kind: ServiceKind,
 ) -> Vec<(ProviderKey, HashSet<SiteId>)> {
     use std::collections::HashMap;
-    let mut map: HashMap<ProviderKey, HashSet<SiteId>> = HashMap::new();
-    for site in &ds.sites {
-        match kind {
-            ServiceKind::Dns => {
-                for key in site.dns.third_parties() {
-                    map.entry(key.clone()).or_default().insert(site.id);
-                }
+    let sites = &ds.sites;
+    let idxs: Vec<usize> = (0..sites.len()).collect();
+    let partials = fan_out_chunked(&idxs, 0, |shard| {
+        let mut map: HashMap<&ProviderKey, HashSet<SiteId>> = HashMap::new();
+        for &i in shard {
+            let site = &sites[i];
+            for key in site_providers(site, kind) {
+                map.entry(key).or_default().insert(site.id);
             }
-            ServiceKind::Cdn => {
-                for key in site.cdn.third_parties() {
-                    map.entry(key.clone()).or_default().insert(site.id);
-                }
-            }
-            ServiceKind::Ca => {
-                if let Some((key, webdeps_measure::Classification::ThirdParty)) = &site.ca.ca {
-                    map.entry(key.clone()).or_default().insert(site.id);
-                }
-            }
-            ServiceKind::Cloud => {}
+        }
+        vec![map]
+    });
+    let mut map: HashMap<&ProviderKey, HashSet<SiteId>> = HashMap::new();
+    for partial in partials {
+        for (key, set) in partial {
+            map.entry(key).or_default().extend(set);
         }
     }
-    let mut sets: Vec<_> = map.into_iter().collect();
+    let mut sets: Vec<_> = map.into_iter().map(|(k, s)| (k.clone(), s)).collect();
     sets.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
     sets
 }

@@ -8,8 +8,8 @@
 //! *site → DigiCert → DNSMadeEasy*.
 
 use std::collections::BTreeMap;
-use webdeps_measure::{MeasurementDataset, ProviderKey};
-use webdeps_model::{ServiceKind, SiteId};
+use webdeps_measure::{MeasurementDataset, ProviderKey, SiteMeasurement};
+use webdeps_model::{fan_out_chunked, Interner, NameId, ServiceKind, SiteId};
 use webdeps_worldgen::profiles::{CaProfile, CdnProfile, DepState};
 
 /// Dense node identifier.
@@ -50,11 +50,54 @@ struct Edge {
     kind: EdgeKind,
 }
 
+/// One site's extracted dependency edges: `(provider key, service,
+/// critical)`, borrowed from the dataset. Extraction is pure per-site
+/// work, which is what lets [`DepGraph::from_dataset_with_jobs`] shard
+/// it across workers while the (id-assigning, order-sensitive)
+/// assembly stays serial.
+type SiteEdges<'a> = (SiteId, Vec<(&'a ProviderKey, ServiceKind, bool)>);
+
+fn site_edges(site: &SiteMeasurement) -> SiteEdges<'_> {
+    let mut edges: Vec<(&ProviderKey, ServiceKind, bool)> = Vec::new();
+    // site → DNS providers.
+    if let Some(state) = site.dns.state {
+        let critical = state == DepState::SingleThird;
+        for key in site.dns.third_parties() {
+            edges.push((key, ServiceKind::Dns, critical));
+        }
+    }
+    // site → CDNs.
+    if let Some(state) = site.cdn.state {
+        let critical = state == CdnProfile::SingleThird;
+        for key in site.cdn.third_parties() {
+            edges.push((key, ServiceKind::Cdn, critical));
+        }
+    }
+    // site → CA.
+    if let Some(state) = site.ca.state {
+        if let Some((key, class)) = &site.ca.ca {
+            if *class == webdeps_measure::Classification::ThirdParty {
+                let critical = state == CaProfile::ThirdNoStaple;
+                edges.push((key, ServiceKind::Ca, critical));
+            }
+        }
+    }
+    (site.id, edges)
+}
+
 /// The assembled graph.
+///
+/// Node lookup is fully interned: provider keys live once in a string
+/// [`Interner`] so the provider index compares `(u32, kind)` pairs
+/// instead of hashing/comparing registrable-domain strings, and sites
+/// index a dense array by [`SiteId`]. Ids are assigned in insertion
+/// order, so the same build sequence always yields the same graph.
 #[derive(Debug, Clone, Default)]
 pub struct DepGraph {
     nodes: Vec<NodeRef>,
-    index: BTreeMap<NodeRef, NodeId>,
+    names: Interner,
+    provider_index: BTreeMap<(NameId, ServiceKind), NodeId>,
+    site_index: Vec<Option<NodeId>>,
     edges: Vec<Edge>,
     outgoing: Vec<Vec<usize>>,
     incoming: Vec<Vec<usize>>,
@@ -63,58 +106,38 @@ pub struct DepGraph {
 impl DepGraph {
     /// Builds the graph from a measurement dataset: site edges from the
     /// per-site states, provider edges from the §3.4 measurements.
+    /// Worker count is auto-resolved (see
+    /// [`webdeps_model::par::resolve_jobs`]); the result is identical at
+    /// any worker count.
     pub fn from_dataset(ds: &MeasurementDataset) -> DepGraph {
+        DepGraph::from_dataset_with_jobs(ds, 0)
+    }
+
+    /// [`DepGraph::from_dataset`] with an explicit worker count for the
+    /// sharded per-site edge extraction (`0` = auto). Assembly — id
+    /// assignment and edge insertion — is serial and consumes the
+    /// extracted shards in site order, so the graph is byte-identical
+    /// at any `jobs`.
+    pub fn from_dataset_with_jobs(ds: &MeasurementDataset, jobs: usize) -> DepGraph {
         let mut g = DepGraph::default();
+        g.site_index = vec![None; ds.sites.len()];
 
-        for site in &ds.sites {
-            let site_node = g.intern(NodeRef::Site(site.id));
+        // Sharded extraction: pure reads of the dataset, in parallel.
+        // Fanning over indexes (not the sites slice itself) lets each
+        // extracted edge borrow its `ProviderKey` from the dataset, so
+        // no strings are cloned until assembly interns them.
+        let sites = &ds.sites;
+        let idxs: Vec<usize> = (0..sites.len()).collect();
+        let extracted = fan_out_chunked(&idxs, jobs, |shard| {
+            shard.iter().map(|&i| site_edges(&sites[i])).collect()
+        });
 
-            // site → DNS providers.
-            if let Some(state) = site.dns.state {
-                let critical = state == DepState::SingleThird;
-                for key in site.dns.third_parties() {
-                    let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Dns));
-                    g.add_edge(
-                        site_node,
-                        p,
-                        EdgeKind {
-                            service: ServiceKind::Dns,
-                            critical,
-                        },
-                    );
-                }
-            }
-            // site → CDNs.
-            if let Some(state) = site.cdn.state {
-                let critical = state == CdnProfile::SingleThird;
-                for key in site.cdn.third_parties() {
-                    let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Cdn));
-                    g.add_edge(
-                        site_node,
-                        p,
-                        EdgeKind {
-                            service: ServiceKind::Cdn,
-                            critical,
-                        },
-                    );
-                }
-            }
-            // site → CA.
-            if let Some(state) = site.ca.state {
-                if let Some((key, class)) = &site.ca.ca {
-                    if *class == webdeps_measure::Classification::ThirdParty {
-                        let critical = state == CaProfile::ThirdNoStaple;
-                        let p = g.intern(NodeRef::Provider(key.clone(), ServiceKind::Ca));
-                        g.add_edge(
-                            site_node,
-                            p,
-                            EdgeKind {
-                                service: ServiceKind::Ca,
-                                critical,
-                            },
-                        );
-                    }
-                }
+        // Serial assembly in site order.
+        for (site, edges) in extracted {
+            let site_node = g.intern(NodeRef::Site(site));
+            for (key, service, critical) in edges {
+                let p = g.intern(NodeRef::Provider(key.clone(), service));
+                g.add_edge(site_node, p, EdgeKind { service, critical });
             }
         }
 
@@ -153,15 +176,43 @@ impl DepGraph {
 
     /// Interns a node, returning its id.
     pub fn intern(&mut self, node: NodeRef) -> NodeId {
-        if let Some(&id) = self.index.get(&node) {
-            return id;
+        match &node {
+            NodeRef::Site(site) => {
+                let idx = site.index();
+                if idx >= self.site_index.len() {
+                    self.site_index.resize(idx + 1, None);
+                }
+                if let Some(id) = self.site_index[idx] {
+                    return id;
+                }
+                let id = self.push_node(node.clone());
+                self.site_index[idx] = Some(id);
+                id
+            }
+            NodeRef::Provider(key, kind) => {
+                let name = self.names.intern(key.as_str());
+                if let Some(&id) = self.provider_index.get(&(name, *kind)) {
+                    return id;
+                }
+                let id = self.push_node(node.clone());
+                self.provider_index.insert((name, *kind), id);
+                id
+            }
         }
+    }
+
+    fn push_node(&mut self, node: NodeRef) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.index.insert(node.clone(), id);
         self.nodes.push(node);
         self.outgoing.push(Vec::new());
         self.incoming.push(Vec::new());
         id
+    }
+
+    /// Exclusive upper bound on raw [`SiteId`] indexes present in the
+    /// graph — the capacity dense per-site tables need.
+    pub fn site_id_bound(&self) -> usize {
+        self.site_index.len()
     }
 
     /// Adds an edge.
@@ -179,7 +230,13 @@ impl DepGraph {
 
     /// Looks up a node id.
     pub fn find(&self, node: &NodeRef) -> Option<NodeId> {
-        self.index.get(node).copied()
+        match node {
+            NodeRef::Site(site) => self.site_index.get(site.index()).copied().flatten(),
+            NodeRef::Provider(key, kind) => {
+                let name = self.names.get(key.as_str())?;
+                self.provider_index.get(&(name, *kind)).copied()
+            }
+        }
     }
 
     /// Looks up a provider node.

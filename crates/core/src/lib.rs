@@ -28,6 +28,7 @@ pub mod evolution;
 pub mod graph;
 pub mod metrics;
 pub mod outage;
+pub mod reach;
 pub mod resilience;
 pub mod stats;
 
@@ -36,7 +37,11 @@ pub use dot::{to_dot, DotOptions};
 pub use evolution::{ca_trends, cdn_trends, dns_trends, provider_trends, TrendTable};
 pub use graph::{DepGraph, EdgeKind, NodeId, NodeRef};
 pub use metrics::{MetricOptions, Metrics, ProviderScore};
-pub use outage::{probe_site, simulate_outage, simulate_outage_at, OutageResult};
+pub use outage::{
+    probe_site, simulate_outage, simulate_outage_at, simulate_outage_at_with_jobs,
+    simulate_outage_with_jobs, OutageResult,
+};
+pub use reach::{ReachIndex, SiteSet};
 pub use resilience::{audit_site, robustness_score, RiskLevel, SiteAudit};
 pub use stats::{
     ca_figure, cdn_figure, dns_figure, top_providers_in_bucket, CaFigure, CdnFigure, DnsFigure,

@@ -19,9 +19,10 @@
 //! CA→CDN, CDN→DNS on top of the direct site edges.
 
 use crate::graph::{DepGraph, NodeId, NodeRef};
+use crate::reach::ReachIndex;
 use std::collections::HashSet;
 use webdeps_measure::ProviderKey;
-use webdeps_model::{ServiceKind, SiteId};
+use webdeps_model::{fan_out, fan_out_chunked, ServiceKind, SiteId};
 
 /// Which inter-service (provider → provider) hops are considered.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,7 +58,7 @@ impl MetricOptions {
         }
     }
 
-    fn allows(&self, consumer_kind: ServiceKind, service: ServiceKind) -> bool {
+    pub(crate) fn allows(&self, consumer_kind: ServiceKind, service: ServiceKind) -> bool {
         self.interservice.contains(&(consumer_kind, service))
     }
 }
@@ -193,23 +194,48 @@ impl<'g> Metrics<'g> {
     }
 
     /// All providers of `kind`, scored and ordered by impact
-    /// (descending), then concentration.
+    /// (descending), then concentration. Memoized and parallel with an
+    /// auto worker count — see [`Metrics::ranking_with_jobs`].
     pub fn ranking(&self, kind: ServiceKind, opts: &MetricOptions) -> Vec<ProviderScore> {
-        let mut out: Vec<ProviderScore> = self
-            .graph
-            .providers_of(kind)
-            .map(|id| {
-                let key = match self.graph.node(id) {
-                    NodeRef::Provider(k, _) => k.clone(),
-                    _ => unreachable!("providers_of returns providers"),
-                };
-                ProviderScore {
-                    key,
-                    concentration: self.concentration(id, opts),
-                    impact: self.impact(id, opts),
-                }
-            })
-            .collect();
+        self.ranking_with_jobs(kind, opts, 0)
+    }
+
+    /// [`Metrics::ranking`] with an explicit worker count (`0` = auto).
+    ///
+    /// Instead of one full reverse BFS per provider, both metric
+    /// configurations are indexed once ([`ReachIndex`], shared SCC
+    /// condensation) and the per-provider pass is an O(1) table lookup
+    /// fanned across workers in `providers_of` order. The ordered merge
+    /// plus stable sort keep the ranking — including tie order —
+    /// byte-identical to the serial per-provider BFS at any `jobs`.
+    pub fn ranking_with_jobs(
+        &self,
+        kind: ServiceKind,
+        opts: &MetricOptions,
+        jobs: usize,
+    ) -> Vec<ProviderScore> {
+        let providers: Vec<NodeId> = self.graph.providers_of(kind).collect();
+        // The two index builds are independent; overlap them (the
+        // worker clamp caps this fan-out at two).
+        let configs = [false, true];
+        let mut indexes = fan_out(&configs, jobs, |&c| ReachIndex::build(self.graph, c, opts));
+        let impact_index = indexes
+            .pop()
+            .unwrap_or_else(|| ReachIndex::build(self.graph, true, opts));
+        let conc_index = indexes
+            .pop()
+            .unwrap_or_else(|| ReachIndex::build(self.graph, false, opts));
+        let mut out = fan_out(&providers, jobs, |&id| {
+            let key = match self.graph.node(id) {
+                NodeRef::Provider(k, _) => k.clone(),
+                _ => unreachable!("providers_of returns providers"),
+            };
+            ProviderScore {
+                key,
+                concentration: conc_index.dependent_count(id),
+                impact: impact_index.dependent_count(id),
+            }
+        });
         out.sort_by(|a, b| {
             b.impact
                 .cmp(&a.impact)
@@ -225,11 +251,42 @@ impl<'g> Metrics<'g> {
         &self,
         opts: &MetricOptions,
     ) -> std::collections::HashMap<SiteId, usize> {
+        self.critical_deps_per_site_with_jobs(opts, 0)
+    }
+
+    /// [`Metrics::critical_deps_per_site`] with an explicit worker
+    /// count (`0` = auto): one shared impact [`ReachIndex`] replaces
+    /// the per-provider BFS, and providers are fanned across workers,
+    /// each chunk accumulating a dense per-site count vector; the
+    /// merged result is an elementwise sum, so it is identical at any
+    /// `jobs`.
+    pub fn critical_deps_per_site_with_jobs(
+        &self,
+        opts: &MetricOptions,
+        jobs: usize,
+    ) -> std::collections::HashMap<SiteId, usize> {
+        let index = ReachIndex::build(self.graph, true, opts);
+        let bound = self.graph.site_id_bound();
+        let providers: Vec<NodeId> = [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca]
+            .into_iter()
+            .flat_map(|kind| self.graph.providers_of(kind).collect::<Vec<_>>())
+            .collect();
+        let partials = fan_out_chunked(&providers, jobs, |chunk| {
+            let mut dense = vec![0usize; bound];
+            for &p in chunk {
+                if let Some(set) = index.dependent_set(p) {
+                    for site in set.iter() {
+                        dense[site.index()] += 1;
+                    }
+                }
+            }
+            vec![dense]
+        });
         let mut counts: std::collections::HashMap<SiteId, usize> = std::collections::HashMap::new();
-        for kind in [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca] {
-            for provider in self.graph.providers_of(kind) {
-                for site in self.score_bfs(provider, true, opts) {
-                    *counts.entry(site).or_default() += 1;
+        for dense in partials {
+            for (idx, n) in dense.into_iter().enumerate() {
+                if n > 0 {
+                    *counts.entry(SiteId::from_index(idx)).or_default() += n;
                 }
             }
         }

@@ -7,10 +7,10 @@
 //! cross-validated (the Mirai-Dyn what-if, end to end).
 
 use webdeps_dns::{FaultPlan, FaultSchedule, SimTime};
-use webdeps_model::{DomainName, EntityId, ModelError, SiteId};
+use webdeps_model::{fan_out_chunked, DomainName, EntityId, ModelError, SiteId};
 use webdeps_tls::RevocationPolicy;
 use webdeps_web::{Scheme, Url, WebClient};
-use webdeps_worldgen::World;
+use webdeps_worldgen::{SiteListing, World};
 
 /// Result of one simulated outage.
 #[derive(Debug, Clone)]
@@ -56,6 +56,24 @@ pub fn simulate_outage(
     providers: &[&str],
     hard_fail: bool,
 ) -> Result<OutageResult, ModelError> {
+    simulate_outage_with_jobs(world, providers, hard_fail, 0)
+}
+
+/// [`simulate_outage`] with an explicit worker count (`0` = auto).
+///
+/// The probe sweep shards the site list across workers, each with its
+/// own client. Per-site probes are independent here — the resolver
+/// cache is disabled and the fault plan is time-invariant — so shard
+/// boundaries cannot change outcomes and the affected list (merged in
+/// site order) is identical at any `jobs`;
+/// `tests/parallel_determinism.rs` holds this to account.
+#[must_use]
+pub fn simulate_outage_with_jobs(
+    world: &World,
+    providers: &[&str],
+    hard_fail: bool,
+    jobs: usize,
+) -> Result<OutageResult, ModelError> {
     let entities: Vec<EntityId> = providers
         .iter()
         .map(|p| {
@@ -70,24 +88,39 @@ pub fn simulate_outage(
         plan = plan.fail_entity(e);
     }
 
-    let mut client = world.client();
-    if hard_fail {
-        client = client.with_policy(RevocationPolicy::HardFail);
-    }
-    client.set_faults(plan);
-    client.resolver_mut().disable_cache();
-
     let listings = world.listings();
-    let mut affected = Vec::new();
-    for l in &listings {
-        if !probe_site(&mut client, &l.document_hosts, l.https) {
-            affected.push(l.id);
+    let affected = probe_sweep(&listings, jobs, || {
+        let mut client = world.client();
+        if hard_fail {
+            client = client.with_policy(RevocationPolicy::HardFail);
         }
-    }
+        client.set_faults(plan.clone());
+        client.resolver_mut().disable_cache();
+        client
+    });
     Ok(OutageResult {
         failed_entities: entities,
         affected,
         total: listings.len(),
+    })
+}
+
+/// Shards `listings` across workers, probes each site through a
+/// per-shard client built by `make_client`, and returns the affected
+/// sites in listing order.
+fn probe_sweep<'w, F>(listings: &[SiteListing], jobs: usize, make_client: F) -> Vec<SiteId>
+where
+    F: Fn() -> WebClient<'w> + Sync,
+{
+    fan_out_chunked(listings, jobs, |shard| {
+        let mut client = make_client();
+        let mut affected = Vec::new();
+        for l in shard {
+            if !probe_site(&mut client, &l.document_hosts, l.https) {
+                affected.push(l.id);
+            }
+        }
+        affected
     })
 }
 
@@ -107,24 +140,40 @@ pub fn simulate_outage_at(
     hard_fail: bool,
     max_sites: usize,
 ) -> OutageResult {
-    let mut client = world.client();
-    if hard_fail {
-        client = client.with_policy(RevocationPolicy::HardFail);
-    }
-    client.set_schedule(schedule.clone());
-    client.resolver_mut().disable_cache();
-    client.resolver_mut().advance_time(at.seconds());
+    simulate_outage_at_with_jobs(world, schedule, at, hard_fail, max_sites, 0)
+}
 
+/// [`simulate_outage_at`] with an explicit worker count (`0` = auto).
+///
+/// Safe to shard for the same reason probing is cache-free: every
+/// worker's client is pinned to the instant `at` with its resolver
+/// cache disabled, so a site's probe outcome is a function of the
+/// schedule and the instant alone, never of which sites shared its
+/// worker. The chaos replay engine deliberately does *not* use this —
+/// its persistent client carries caches across sites and ticks, which
+/// is the semantics being studied there.
+pub fn simulate_outage_at_with_jobs(
+    world: &World,
+    schedule: &FaultSchedule,
+    at: SimTime,
+    hard_fail: bool,
+    max_sites: usize,
+    jobs: usize,
+) -> OutageResult {
     let mut listings = world.listings();
     if max_sites > 0 {
         listings.truncate(max_sites);
     }
-    let mut affected = Vec::new();
-    for l in &listings {
-        if !probe_site(&mut client, &l.document_hosts, l.https) {
-            affected.push(l.id);
+    let affected = probe_sweep(&listings, jobs, || {
+        let mut client = world.client();
+        if hard_fail {
+            client = client.with_policy(RevocationPolicy::HardFail);
         }
-    }
+        client.set_schedule(schedule.clone());
+        client.resolver_mut().disable_cache();
+        client.resolver_mut().advance_time(at.seconds());
+        client
+    });
     OutageResult {
         failed_entities: schedule.entities_active_at(at),
         affected,

@@ -1,0 +1,368 @@
+//! Memoized reverse reachability.
+//!
+//! [`crate::metrics::Metrics::score_bfs`] answers "which sites depend
+//! on provider `p`?" with one reverse BFS per provider — ranking every
+//! provider of a kind repeats the same frontier expansions over and
+//! over, so a full ranking scales as (providers × full BFS). A
+//! [`ReachIndex`] shares that work: it condenses the provider-consumer
+//! subgraph into strongly connected components once, then computes each
+//! component's dependent-site set in a single pass over the
+//! condensation, so every provider's answer is a table lookup.
+//!
+//! Correctness under cycles is the point of the SCC step: naive
+//! per-provider memoization is wrong when providers depend on each
+//! other mutually (the set "reachable from `p`" is not a function of
+//! `p`'s direct consumers alone), but every member of an SCC reaches
+//! exactly the same sites, and Tarjan's algorithm emits components in
+//! reverse topological order — all consumer components of `C` are
+//! finished before `C` itself — so one union pass suffices. The result
+//! equals `score_bfs` for every provider, which the metrics tests and
+//! `tests/parallel_determinism.rs` assert.
+//!
+//! Invalidation: an index borrows its graph immutably for its entire
+//! lifetime, so it can never observe a stale graph — rebuilding after a
+//! mutation is enforced at compile time. The index also deliberately
+//! has no hooks into the *behavioral* layer: schedule-aware sweeps
+//! (`simulate_outage_at`) probe the simulator afresh at every instant
+//! precisely because availability at time `t` is not a graph property,
+//! so nothing cached here can go stale across ticks.
+
+use crate::graph::{DepGraph, NodeId, NodeRef};
+use crate::metrics::MetricOptions;
+use std::collections::HashSet;
+use webdeps_model::SiteId;
+
+/// A dense bitset over [`SiteId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteSet {
+    words: Vec<u64>,
+}
+
+impl SiteSet {
+    /// An empty set with room for raw site indexes `< bound`.
+    pub fn with_bound(bound: usize) -> Self {
+        SiteSet {
+            words: vec![0; bound.div_ceil(64)],
+        }
+    }
+
+    /// Inserts a site.
+    pub fn insert(&mut self, site: SiteId) {
+        let idx = site.index();
+        let word = idx / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (idx % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, site: SiteId) -> bool {
+        let idx = site.index();
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+
+    /// Unions `other` into `self`.
+    pub fn union_with(&mut self, other: &SiteSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Number of sites in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Sites in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64).filter_map(move |bit| {
+                if word & (1u64 << bit) != 0 {
+                    Some(SiteId::from_index(wi * 64 + bit))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Shared reverse-reachability over one `(critical_only, opts)`
+/// configuration of a graph.
+pub struct ReachIndex<'g> {
+    graph: &'g DepGraph,
+    /// Node → condensation component (`u32::MAX` for non-providers).
+    comp_of: Vec<u32>,
+    /// Per-component dependent-site sets, in Tarjan emission order.
+    sets: Vec<SiteSet>,
+    /// Per-component popcounts, precomputed so scoring is O(1).
+    counts: Vec<usize>,
+}
+
+impl<'g> ReachIndex<'g> {
+    /// Builds the index: SCC condensation of the allowed
+    /// provider-consumer subgraph, then one dependent-site set per
+    /// component. `critical_only = true` indexes impact, `false`
+    /// concentration — the same switch as
+    /// [`crate::metrics::Metrics::score_bfs`].
+    pub fn build(graph: &'g DepGraph, critical_only: bool, opts: &MetricOptions) -> Self {
+        let n = graph.node_count();
+        let bound = graph.site_id_bound();
+
+        // Allowed provider→provider-consumer adjacency, mirroring the
+        // BFS traversal filter exactly.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let NodeRef::Provider(_, node_kind) = graph.node(NodeId(v as u32)) else {
+                continue;
+            };
+            for (consumer, kind) in graph.consumers_of(NodeId(v as u32)) {
+                if critical_only && !kind.critical {
+                    continue;
+                }
+                if let NodeRef::Provider(_, consumer_kind) = graph.node(consumer) {
+                    if opts.allows(*consumer_kind, *node_kind) {
+                        adj[v].push(consumer.0);
+                    }
+                }
+            }
+        }
+
+        // Iterative Tarjan over provider nodes. `index_of` doubles as
+        // the visited marker (0 = unvisited, else DFS index + 1).
+        let mut index_of = vec![0u32; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp_of = vec![u32::MAX; n];
+        let mut sets: Vec<SiteSet> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let mut next_index = 1u32;
+
+        for start in 0..n {
+            if index_of[start] != 0 {
+                continue;
+            }
+            if !matches!(graph.node(NodeId(start as u32)), NodeRef::Provider(..)) {
+                continue;
+            }
+            index_of[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start as u32);
+            on_stack[start] = true;
+            let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(frame) = dfs.last_mut() {
+                let v = frame.0;
+                if frame.1 < adj[v].len() {
+                    let w = adj[v][frame.1] as usize;
+                    frame.1 += 1;
+                    if index_of[w] == 0 {
+                        index_of[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        dfs.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index_of[w]);
+                    }
+                } else {
+                    dfs.pop();
+                    if let Some(parent) = dfs.last() {
+                        low[parent.0] = low[parent.0].min(low[v]);
+                    }
+                    if low[v] == index_of[v] {
+                        // Emit the component rooted at v. Tarjan's
+                        // reverse-topological emission order guarantees
+                        // every cross-component successor already has
+                        // its set computed.
+                        let comp = sets.len() as u32;
+                        let mut members: Vec<u32> = Vec::new();
+                        loop {
+                            let w = match stack.pop() {
+                                Some(w) => w,
+                                None => break,
+                            };
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = comp;
+                            members.push(w);
+                            if w as usize == v {
+                                break;
+                            }
+                        }
+                        let mut set = SiteSet::with_bound(bound);
+                        for &m in &members {
+                            for (consumer, kind) in graph.consumers_of(NodeId(m)) {
+                                if critical_only && !kind.critical {
+                                    continue;
+                                }
+                                if let NodeRef::Site(site) = graph.node(consumer) {
+                                    set.insert(*site);
+                                }
+                            }
+                            for &w in &adj[m as usize] {
+                                let c = comp_of[w as usize];
+                                if c != comp {
+                                    set.union_with(&sets[c as usize]);
+                                }
+                            }
+                        }
+                        counts.push(set.count());
+                        sets.push(set);
+                    }
+                }
+            }
+        }
+
+        ReachIndex {
+            graph,
+            comp_of,
+            sets,
+            counts,
+        }
+    }
+
+    /// Number of sites depending on `provider` — equals
+    /// `score_bfs(provider, …).len()` for the index's configuration.
+    /// Non-provider nodes score 0, like the BFS.
+    pub fn dependent_count(&self, provider: NodeId) -> usize {
+        match self.comp_of.get(provider.index()) {
+            Some(&c) if c != u32::MAX => self.counts[c as usize],
+            _ => 0,
+        }
+    }
+
+    /// The dependent-site bitset of `provider`, or `None` for
+    /// non-provider nodes.
+    pub fn dependent_set(&self, provider: NodeId) -> Option<&SiteSet> {
+        match self.comp_of.get(provider.index()) {
+            Some(&c) if c != u32::MAX => Some(&self.sets[c as usize]),
+            _ => None,
+        }
+    }
+
+    /// The dependent sites of `provider` as a hash set — drop-in for
+    /// [`crate::metrics::Metrics::dependent_sites`].
+    pub fn dependent_sites(&self, provider: NodeId) -> HashSet<SiteId> {
+        self.dependent_set(provider)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// The graph this index was built over.
+    pub fn graph(&self) -> &'g DepGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::metrics::Metrics;
+    use webdeps_measure::{measure_world, ProviderKey};
+    use webdeps_model::ServiceKind;
+    use webdeps_worldgen::{World, WorldConfig};
+
+    #[test]
+    fn site_set_basics() {
+        let mut s = SiteSet::with_bound(10);
+        assert_eq!(s.count(), 0);
+        s.insert(SiteId(3));
+        s.insert(SiteId(70)); // beyond the initial bound
+        s.insert(SiteId(3));
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(SiteId(3)));
+        assert!(s.contains(SiteId(70)));
+        assert!(!s.contains(SiteId(4)));
+        assert!(!s.contains(SiteId(1_000)));
+        let ids: Vec<SiteId> = s.iter().collect();
+        assert_eq!(ids, vec![SiteId(3), SiteId(70)]);
+
+        let mut t = SiteSet::with_bound(128);
+        t.insert(SiteId(100));
+        t.union_with(&s);
+        assert_eq!(t.count(), 3);
+    }
+
+    #[test]
+    fn index_matches_bfs_on_measured_world() {
+        let world = World::generate(WorldConfig::small(123));
+        let ds = measure_world(&world);
+        let g = crate::graph::DepGraph::from_dataset(&ds);
+        let m = Metrics::new(&g);
+        for critical in [false, true] {
+            for opts in [
+                MetricOptions::direct_only(),
+                MetricOptions::full(),
+                MetricOptions::only(ServiceKind::Ca, ServiceKind::Dns),
+            ] {
+                let index = ReachIndex::build(&g, critical, &opts);
+                for kind in [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca] {
+                    for p in g.providers_of(kind) {
+                        let bfs = m.score_bfs(p, critical, &opts);
+                        assert_eq!(
+                            index.dependent_count(p),
+                            bfs.len(),
+                            "count mismatch at {:?} critical={critical}",
+                            g.node(p)
+                        );
+                        assert_eq!(
+                            index.dependent_sites(p),
+                            bfs,
+                            "set mismatch at {:?} critical={critical}",
+                            g.node(p)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_share_one_component_set() {
+        // A ↔ B provider cycle (via allowed hops) with one site each.
+        let mut g = crate::graph::DepGraph::default();
+        let s0 = g.intern(NodeRef::Site(SiteId(0)));
+        let s1 = g.intern(NodeRef::Site(SiteId(1)));
+        let a = g.intern(NodeRef::Provider(
+            ProviderKey::new("a.com"),
+            ServiceKind::Dns,
+        ));
+        let b = g.intern(NodeRef::Provider(
+            ProviderKey::new("b.com"),
+            ServiceKind::Cdn,
+        ));
+        let crit = |service| EdgeKind {
+            service,
+            critical: true,
+        };
+        g.add_edge(s0, a, crit(ServiceKind::Dns));
+        g.add_edge(s1, b, crit(ServiceKind::Cdn));
+        g.add_edge(a, b, crit(ServiceKind::Cdn));
+        g.add_edge(b, a, crit(ServiceKind::Dns));
+        // Both hop kinds allowed → a true 2-cycle.
+        let opts = MetricOptions {
+            interservice: vec![
+                (ServiceKind::Cdn, ServiceKind::Dns),
+                (ServiceKind::Dns, ServiceKind::Cdn),
+            ],
+        };
+        let index = ReachIndex::build(&g, true, &opts);
+        assert_eq!(index.dependent_count(a), 2);
+        assert_eq!(index.dependent_count(b), 2);
+        let m = Metrics::new(&g);
+        assert_eq!(index.dependent_sites(a), m.score_bfs(a, true, &opts));
+        assert_eq!(index.dependent_sites(b), m.score_bfs(b, true, &opts));
+        // Site nodes score zero, like the BFS.
+        assert_eq!(index.dependent_count(s0), 0);
+        assert!(index.dependent_set(s0).is_none());
+    }
+}

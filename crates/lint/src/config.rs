@@ -125,7 +125,7 @@ pub const CRATE_DAG: &[(&str, &[&str])] = &[
             "model", "dns", "tls", "web", "worldgen", "measure", "core", "chaos", "reports",
         ],
     ),
-    ("lint", &[]),
+    ("lint", &["model"]),
 ];
 
 /// Crates that may never appear in another crate's `[dependencies]`.

@@ -14,12 +14,13 @@
 //!    editing one file re-lints exactly the touched file unless its
 //!    edit changed a workspace-visible signature.
 //!
-//! Both phases fan out over `std::thread::scope` workers that each own
-//! a contiguous chunk of the (sorted) file list and *return* their
-//! results; merging happens after join, in chunk order, so the report
-//! is byte-identical however many workers ran — including one. Cache
-//! bookkeeping (analyzed/cached counts) is deliberately kept out of
-//! the [`Report`] so warm and cold runs render identical JSON.
+//! Both phases fan out over the workspace-shared deterministic helper
+//! ([`webdeps_model::par::fan_out`]): workers each own a contiguous
+//! chunk of the (sorted) file list and *return* their results; merging
+//! happens after join, in chunk order, so the report is byte-identical
+//! however many workers ran — including one. Cache bookkeeping
+//! (analyzed/cached counts) is deliberately kept out of the [`Report`]
+//! so warm and cold runs render identical JSON.
 
 use crate::config::Config;
 use crate::dataflow::SigTable;
@@ -58,8 +59,10 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
 /// Driver configuration assembled from CLI flags.
 #[derive(Debug, Clone, Default)]
 pub struct DriveOptions {
-    /// Worker count; `0` means auto (available parallelism), `1` is
-    /// fully serial.
+    /// Worker count, resolved through the workspace-wide knob
+    /// ([`webdeps_model::par::resolve_jobs`]): `0` means auto
+    /// (`WEBDEPS_JOBS` env override, else available parallelism,
+    /// capped), `1` is fully serial.
     pub jobs: usize,
     /// On-disk diagnostic cache; `None` disables caching.
     pub cache_path: Option<PathBuf>,
@@ -123,7 +126,7 @@ pub fn drive(root: &Path, cfg: &Config, opts: &DriveOptions) -> io::Result<Drive
 
     // Phase 1: read + hash + facts (cached facts keyed by content hash).
     let cache_ref = &cache;
-    let prepared: Vec<Prepared> = fan_out(&files, opts.jobs, |(path, kind)| {
+    let prepared: Vec<Prepared> = fan_out_results(&files, opts.jobs, |(path, kind)| {
         let src = fs::read_to_string(path)?;
         let rel = workspace::rel_path(root, path);
         let hash = hash_bytes(src.as_bytes());
@@ -150,7 +153,7 @@ pub fn drive(root: &Path, cfg: &Config, opts: &DriveOptions) -> io::Result<Drive
 
     // Phase 2: rule passes, replaying cache hits.
     let sigs_ref = &sigs;
-    let outcomes: Vec<(FileOutcome, bool)> = fan_out(&prepared, opts.jobs, |p| {
+    let outcomes: Vec<(FileOutcome, bool)> = fan_out_results(&prepared, opts.jobs, |p| {
         if let Some(e) = cache_ref.get(&p.rel) {
             if e.hash == p.hash && e.meta == meta {
                 return Ok((e.outcome.clone(), true));
@@ -213,53 +216,19 @@ fn meta_hash(cfg: &Config, sigs: &SigTable) -> u64 {
     hash_bytes(s.as_bytes())
 }
 
-/// Runs `f` over `items` on `jobs` scoped-thread workers (0 = auto).
-/// Each worker owns one contiguous chunk and returns its results;
-/// chunks merge after join, in order, so the output is identical to a
-/// serial map regardless of worker count or scheduling.
-fn fan_out<T, R, F>(items: &[T], jobs: usize, f: F) -> io::Result<Vec<R>>
+/// Runs a fallible `f` over `items` through the shared deterministic
+/// fan-out ([`webdeps_model::par::fan_out`]) and surfaces the first
+/// error in item order — exactly what a serial `.map(f).collect()`
+/// would have returned.
+fn fan_out_results<T, R, F>(items: &[T], jobs: usize, f: F) -> io::Result<Vec<R>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> io::Result<R> + Sync,
 {
-    let jobs = effective_jobs(jobs, items.len());
-    if jobs <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(jobs);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| {
-                let fr = &f;
-                s.spawn(move || part.iter().map(fr).collect::<Vec<io::Result<R>>>())
-            })
-            .collect();
-        let mut merged = Vec::with_capacity(items.len());
-        for h in handles {
-            let part = h
-                .join()
-                .map_err(|_| io::Error::new(io::ErrorKind::Other, "lint worker panicked"))?;
-            for r in part {
-                merged.push(r?);
-            }
-        }
-        Ok(merged)
-    })
-}
-
-/// Resolves the worker count: explicit > auto-detected > 1, never more
-/// than one worker per item.
-fn effective_jobs(jobs: usize, nitems: usize) -> usize {
-    let n = if jobs == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        jobs
-    };
-    n.clamp(1, nitems.max(1))
+    webdeps_model::par::fan_out(items, jobs, f)
+        .into_iter()
+        .collect()
 }
 
 // ---- cache ----
@@ -542,7 +511,8 @@ pub fn render_baseline(violations: &[Violation]) -> String {
     out
 }
 
-// Rules self-check: the fan-out above is this linter's own reference
-// implementation of the `thread-capture` contract — workers return
-// chunk results and the merge happens after join, on the scope's
-// thread, never through a captured accumulator.
+// Rules self-check: the shared `webdeps_model::par` fan-out this driver
+// rides is the workspace's reference implementation of the
+// `thread-capture` contract — workers return chunk results and the
+// merge happens after join, on the scope's thread, never through a
+// captured accumulator.

@@ -9,7 +9,7 @@
 use crate::dataset::{MeasurementDataset, ProviderKey, SiteMeasurement};
 use crate::{ca, cdn, dns, interservice};
 use std::collections::HashMap;
-use webdeps_model::DomainName;
+use webdeps_model::{fan_out_chunked, DomainName};
 use webdeps_web::{CrawlReport, Crawler};
 use webdeps_worldgen::World;
 
@@ -21,23 +21,23 @@ pub struct MeasureConfig {
     pub threshold: usize,
     /// Optional cap on the number of sites measured (test runs).
     pub max_sites: Option<usize>,
-    /// Worker threads for the crawl/observation stage. Each worker runs
-    /// its own client (own DNS + OCSP caches), so results are identical
-    /// at any thread count; `1` keeps everything on the calling thread.
+    /// Worker threads for the crawl/observation stage, resolved through
+    /// the workspace-wide knob ([`webdeps_model::par::resolve_jobs`]):
+    /// `0` = auto (`WEBDEPS_JOBS` env override, else detected
+    /// parallelism capped at [`webdeps_model::par::MAX_AUTO_JOBS`]).
+    /// Each worker runs its own client (own DNS + OCSP caches), so
+    /// results are identical at any thread count.
     pub threads: usize,
 }
 
 impl MeasureConfig {
     /// The configuration matching a world's scale: threshold scaled to
-    /// the population, crawl parallelism matching the machine.
+    /// the population, crawl parallelism left on the shared auto knob.
     pub fn for_world(world: &World) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         MeasureConfig {
             threshold: world.config.concentration_threshold(),
             max_sites: None,
-            threads,
+            threads: 0,
         }
     }
 }
@@ -57,56 +57,27 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
 
     // Stages 1 + 2a: crawl every site and take its DNS observation
     // (dig NS + SOAs). Sites are independent, so the work shards across
-    // threads; each worker owns a client whose caches warm up on the
-    // shared provider infrastructure.
-    let threads = config.threads.max(1).min(listings.len().max(1));
-    let mut per_site: Vec<(CrawlReport, Option<dns::DnsObservation>)> =
-        Vec::with_capacity(listings.len());
-    if threads <= 1 {
-        let mut client = world.client();
-        for l in &listings {
-            let report = Crawler::crawl(&mut client, &l.domain, &l.document_hosts, l.https);
-            let obs = dns::observe_site(client.resolver_mut(), &l.domain);
-            per_site.push((report, obs));
-        }
-    } else {
-        let chunk = listings.len().div_ceil(threads);
-        let results: Vec<Vec<(CrawlReport, Option<dns::DnsObservation>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = listings
-                    .chunks(chunk)
-                    .map(|shard| {
-                        scope.spawn(move || {
-                            let mut client = world.client();
-                            shard
-                                .iter()
-                                .map(|l| {
-                                    let report = Crawler::crawl(
-                                        &mut client,
-                                        &l.domain,
-                                        &l.document_hosts,
-                                        l.https,
-                                    );
-                                    let obs = dns::observe_site(client.resolver_mut(), &l.domain);
-                                    (report, obs)
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    // lint:allow(panic) — a panicked crawl worker already failed; re-raising it here surfaces the original panic
-                    .map(|h| h.join().expect("crawl worker"))
-                    .collect()
-            });
-        for shard in results {
-            per_site.extend(shard);
-        }
+    // the shared deterministic fan-out; each worker owns a client whose
+    // caches warm up on the shared provider infrastructure, and shards
+    // merge back in site order.
+    let per_site: Vec<(CrawlReport, Option<dns::DnsObservation>)> =
+        fan_out_chunked(&listings, config.threads, |shard| {
+            let mut client = world.client();
+            shard
+                .iter()
+                .map(|l| {
+                    let report = Crawler::crawl(&mut client, &l.domain, &l.document_hosts, l.https);
+                    let obs = dns::observe_site(client.resolver_mut(), &l.domain);
+                    (report, obs)
+                })
+                .collect()
+        });
+    let mut reports: Vec<CrawlReport> = Vec::with_capacity(per_site.len());
+    let mut observations: Vec<Option<dns::DnsObservation>> = Vec::with_capacity(per_site.len());
+    for (report, obs) in per_site {
+        reports.push(report);
+        observations.push(obs);
     }
-    let reports: Vec<CrawlReport> = per_site.iter().map(|(r, _)| r.clone()).collect();
-    let observations: Vec<Option<dns::DnsObservation>> =
-        per_site.into_iter().map(|(_, o)| o).collect();
     let mut client = world.client();
 
     // Stage 2b: dataset-wide nameserver concentration.

@@ -17,7 +17,9 @@
 pub mod entity;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod name;
+pub mod par;
 pub mod prng;
 pub mod psl;
 pub mod rank;
@@ -27,7 +29,9 @@ pub mod service;
 pub use entity::{Entity, EntityKind, EntityRegistry};
 pub use error::ModelError;
 pub use ids::{CaId, CdnId, EntityId, ProviderId, SiteId};
+pub use intern::{Interner, NameId};
 pub use name::DomainName;
+pub use par::{effective_jobs, fan_out, fan_out_chunked, resolve_jobs, MAX_AUTO_JOBS};
 pub use psl::PublicSuffixList;
 pub use rank::{Rank, RankBucket};
 pub use rng::DetRng;

@@ -1,0 +1,192 @@
+//! Deterministic parallel fan-out.
+//!
+//! Every parallel path in the workspace — the measurement crawl, the
+//! analysis-layer rankings and sweeps, the chaos campaign's
+//! availability probes, the lint driver — shares this one helper and
+//! therefore one contract: **output is byte-identical at any worker
+//! count**, including one. The recipe is the only scheme that makes
+//! that trivially auditable:
+//!
+//! * the item list is split into at most `jobs` *contiguous, statically
+//!   sized* chunks (`len.div_ceil(jobs)` items each, in input order);
+//! * each `std::thread::scope` worker owns one chunk and **returns**
+//!   its results — workers never write through shared state, so there
+//!   is no accumulator whose fill order could leak scheduling;
+//! * the parent merges the returned chunks **after join, in chunk
+//!   order**, which is exactly the order a serial loop would have
+//!   produced.
+//!
+//! Worker-count policy is likewise centralized: [`resolve_jobs`] is the
+//! single knob (explicit value > `WEBDEPS_JOBS` env > detected
+//! parallelism, capped at [`MAX_AUTO_JOBS`]) shared by measure, core,
+//! chaos, and lint, replacing the per-crate policies that used to
+//! disagree. Because every caller is deterministic at any worker
+//! count, the knob tunes *speed only* — it can never change results.
+
+use std::thread;
+
+/// Cap on the auto-detected worker count. Explicit requests (a nonzero
+/// argument or `WEBDEPS_JOBS`) are honored beyond it; the cap only
+/// stops `available_parallelism` from spawning hundreds of workers on
+/// large machines where memory bandwidth saturates far earlier.
+pub const MAX_AUTO_JOBS: usize = 32;
+
+/// Resolves a requested worker count to an effective one.
+///
+/// * `requested > 0` — honored as-is (the caller made a choice);
+/// * `requested == 0` — auto: the `WEBDEPS_JOBS` environment variable
+///   when set to a positive integer (`0` or garbage falls through),
+///   otherwise [`std::thread::available_parallelism`] capped at
+///   [`MAX_AUTO_JOBS`].
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    // lint:allow(env-rand) — WEBDEPS_JOBS is the documented operator
+    // knob for worker count; every fan_out caller is byte-identical at
+    // any job count, so the environment can tune speed but never results.
+    let env = std::env::var("WEBDEPS_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    match env {
+        Some(n) if n > 0 => n,
+        _ => thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_AUTO_JOBS),
+    }
+}
+
+/// [`resolve_jobs`] clamped to the work available: never more than one
+/// worker per item, never less than one.
+pub fn effective_jobs(requested: usize, nitems: usize) -> usize {
+    resolve_jobs(requested).clamp(1, nitems.max(1))
+}
+
+/// Runs `f` once per contiguous chunk of `items` across at most `jobs`
+/// scoped-thread workers (`0` = auto, see [`resolve_jobs`]) and
+/// concatenates the returned vectors in chunk order.
+///
+/// `f` sees each chunk exactly once and may return any number of
+/// results per chunk; per-item mappings should return one result per
+/// item (or use [`fan_out`]), per-chunk aggregations a single element.
+/// With one effective worker `f` runs on the calling thread over the
+/// whole slice — the serial path is literally the parallel path with
+/// one chunk, so the two cannot diverge.
+///
+/// A panicking worker is re-raised on the calling thread via
+/// [`std::panic::resume_unwind`] after all workers joined.
+pub fn fan_out_chunked<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let jobs = effective_jobs(jobs, items.len());
+    if jobs <= 1 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(jobs);
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                let fr = &f;
+                s.spawn(move || fr(part))
+            })
+            .collect();
+        let mut merged = Vec::with_capacity(items.len());
+        let mut panicked = None;
+        for h in handles {
+            match h.join() {
+                Ok(part) => merged.extend(part),
+                Err(payload) => panicked = Some(payload),
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+        merged
+    })
+}
+
+/// Runs `f` over every item of `items` across at most `jobs`
+/// scoped-thread workers (`0` = auto) and returns the results in input
+/// order — a parallel, order-preserving `map`.
+pub fn fan_out<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    fan_out_chunked(items, jobs, |part| part.iter().map(&f).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_matches_serial_map_at_any_job_count() {
+        let items: Vec<u64> = (0..1_003).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 7, 16, 64] {
+            assert_eq!(fan_out(&items, jobs, |x| x * 3 + 1), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fan_out_chunked_concatenates_in_chunk_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 3, 8] {
+            let got = fan_out_chunked(&items, jobs, |part| part.to_vec());
+            assert_eq!(got, items, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        assert!(fan_out(&items, 8, |x| *x).is_empty());
+        assert!(fan_out_chunked(&items, 8, |p| p.to_vec()).is_empty());
+    }
+
+    #[test]
+    fn per_chunk_aggregation_sums_correctly() {
+        let items: Vec<u64> = (1..=100).collect();
+        for jobs in [1, 2, 4, 9] {
+            let partials =
+                fan_out_chunked(&items, jobs, |part| vec![part.iter().copied().sum::<u64>()]);
+            assert!(partials.len() <= jobs.max(1));
+            assert_eq!(partials.iter().sum::<u64>(), 5_050, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn effective_jobs_never_exceeds_items() {
+        assert_eq!(effective_jobs(8, 3), 3);
+        assert_eq!(effective_jobs(2, 100), 2);
+        assert_eq!(effective_jobs(5, 0), 1);
+        assert!(effective_jobs(0, 1_000) >= 1);
+    }
+
+    #[test]
+    fn explicit_request_is_honored() {
+        assert_eq!(resolve_jobs(7), 7);
+        assert_eq!(resolve_jobs(1), 1);
+        assert!(resolve_jobs(0) >= 1);
+        assert!(resolve_jobs(0) <= MAX_AUTO_JOBS || resolve_jobs(0) > 0);
+    }
+
+    #[test]
+    fn worker_panic_is_propagated() {
+        let items: Vec<u32> = (0..40).collect();
+        let result = std::panic::catch_unwind(|| {
+            fan_out(&items, 4, |x| {
+                assert!(*x != 33, "boom");
+                *x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

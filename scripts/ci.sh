@@ -12,6 +12,9 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== parallel determinism (byte-identical results at any worker count) =="
+cargo test -q --offline --test parallel_determinism
+
 echo "== webdeps-chaos --smoke (incident replays + invariant campaign) =="
 cargo run -q --release --offline -p webdeps-chaos -- --smoke
 
@@ -26,6 +29,12 @@ fi
 
 echo "== cargo fmt --check =="
 cargo fmt --check
+
+echo "== bench smoke (2 samples, scratch output; compiles + runs every target) =="
+WEBDEPS_BENCH_OUT=target WEBDEPS_BENCH_SAMPLES=2 WEBDEPS_BENCH_SAMPLE_MS=5 \
+    WEBDEPS_BENCH_WARMUP_MS=5 cargo bench -q --offline -p webdeps-bench \
+    --bench analysis --bench pipeline >/dev/null
+ls -l target/BENCH_analysis.json target/BENCH_pipeline.json
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== cargo bench (std harness, JSON trajectory) =="
