@@ -31,7 +31,9 @@ echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== bench smoke (2 samples, scratch output; compiles + runs every target) =="
-WEBDEPS_BENCH_OUT=target WEBDEPS_BENCH_SAMPLES=2 WEBDEPS_BENCH_SAMPLE_MS=5 \
+# WEBDEPS_BENCH_OUT is resolved from the bench package's cwd, so it
+# must be absolute to land in the repo-root target/ scratch dir.
+WEBDEPS_BENCH_OUT="$PWD/target" WEBDEPS_BENCH_SAMPLES=2 WEBDEPS_BENCH_SAMPLE_MS=5 \
     WEBDEPS_BENCH_WARMUP_MS=5 cargo bench -q --offline -p webdeps-bench \
     --bench analysis --bench pipeline >/dev/null
 ls -l target/BENCH_analysis.json target/BENCH_pipeline.json
