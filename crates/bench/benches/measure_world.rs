@@ -1,0 +1,96 @@
+//! Million-site columnar-core benchmarks.
+//!
+//! `measure_world/100k` runs in the CI bench smoke; `measure_world/1M`
+//! is opt-in behind `WEBDEPS_BENCH_1M=1` (it needs minutes of wall
+//! time and ~10 GB of RSS for the generated world).
+//!
+//! Besides timing, this target *asserts* the columnar memory budget
+//! documented in README.md: the analysis arenas (columnar dataset +
+//! CSR graph) must stay within [`ARENA_BYTES_PER_SITE`] and the whole
+//! core working set (arenas + both reachability indexes) within
+//! [`CORE_BYTES_PER_SITE`], at every benched scale.
+
+use std::hint::black_box;
+use webdeps_bench::harness::Harness;
+use webdeps_core::{DepGraph, MetricOptions, Metrics, ReachIndex};
+use webdeps_measure::measure_world_columnar;
+use webdeps_model::ServiceKind;
+use webdeps_worldgen::{SnapshotYear, World, WorldConfig};
+
+/// Budget for the columnar dataset plus the CSR dependency graph.
+/// Measured: 92 B/site at 100k sites, 82 B/site at 1M sites.
+const ARENA_BYTES_PER_SITE: usize = 128;
+
+/// Budget for the full core working set: arenas plus the two
+/// reachability indexes. The reach indexes are per-provider site
+/// bitsets, so they grow with the provider tail: measured 203 B/site
+/// at 100k and 745 B/site at 1M.
+const CORE_BYTES_PER_SITE: usize = 1024;
+
+fn bench_scale(h: &mut Harness, label: &str, n: usize) {
+    let mut group = h.benchmark_group(&format!("measure_world/{label}"));
+    group.sample_size(2);
+
+    let config = WorldConfig {
+        seed: 7,
+        n_sites: n,
+        year: SnapshotYear::Y2020,
+    };
+    group.bench_function("generate", |b| {
+        b.iter(|| black_box(World::generate(config)));
+    });
+    let world = World::generate(config);
+
+    group.bench_function("measure_columnar", |b| {
+        b.iter(|| black_box(measure_world_columnar(&world)));
+    });
+    let cds = measure_world_columnar(&world);
+
+    group.bench_function("graph_from_columnar", |b| {
+        b.iter(|| black_box(DepGraph::from_columnar(&cds)));
+    });
+    let graph = DepGraph::from_columnar(&cds);
+
+    let opts = MetricOptions::full();
+    group.bench_function("reach_build", |b| {
+        b.iter(|| black_box(ReachIndex::build(&graph, false, &opts)));
+    });
+    group.bench_function("rank_dns", |b| {
+        let metrics = Metrics::new(&graph);
+        b.iter(|| black_box(metrics.ranking(ServiceKind::Dns, &opts)));
+    });
+    group.finish();
+
+    // Memory budget (untimed): the documented ceilings from README.md.
+    let full = ReachIndex::build(&graph, false, &opts);
+    let crit = ReachIndex::build(&graph, true, &opts);
+    let arena = cds.heap_bytes() + graph.heap_bytes();
+    let core = arena + full.heap_bytes() + crit.heap_bytes();
+    eprintln!(
+        "  measure_world/{label}: arenas {:.1} B/site (budget {ARENA_BYTES_PER_SITE}), \
+         core {:.1} B/site (budget {CORE_BYTES_PER_SITE})",
+        arena as f64 / n as f64,
+        core as f64 / n as f64,
+    );
+    assert!(
+        arena <= ARENA_BYTES_PER_SITE * n,
+        "columnar arenas blew the budget: {arena} B for {n} sites \
+         (> {ARENA_BYTES_PER_SITE} B/site)"
+    );
+    assert!(
+        core <= CORE_BYTES_PER_SITE * n,
+        "core working set blew the budget: {core} B for {n} sites \
+         (> {CORE_BYTES_PER_SITE} B/site)"
+    );
+}
+
+fn main() {
+    let mut h = Harness::new("measure_world");
+    bench_scale(&mut h, "100k", 100_000);
+    if std::env::var("WEBDEPS_BENCH_1M").is_ok_and(|v| v == "1") {
+        bench_scale(&mut h, "1M", 1_000_000);
+    } else {
+        eprintln!("measure_world/1M skipped (set WEBDEPS_BENCH_1M=1 to run)");
+    }
+    h.finish();
+}

@@ -156,8 +156,9 @@ impl Harness {
             );
         }
         let dir = std::env::var("WEBDEPS_BENCH_OUT")
-            .unwrap_or_else(|_| format!("{}/../..", env!("CARGO_MANIFEST_DIR")));
-        let path = format!("{dir}/BENCH_{}.json", self.target);
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| workspace_root());
+        let path = dir.join(format!("BENCH_{}.json", self.target));
         let body = format!(
             "{{\n  \"target\": {},\n  \"results\": [\n    {}\n  ]\n}}\n",
             json_string(&self.target),
@@ -168,10 +169,32 @@ impl Harness {
                 .join(",\n    "),
         );
         match std::fs::write(&path, body) {
-            Ok(()) => eprintln!("wrote {path}"),
-            Err(e) => eprintln!("WARNING: could not write {path}: {e}"),
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("WARNING: could not write {}: {e}", path.display()),
         }
     }
+}
+
+/// Resolves the workspace root *at run time*. The old implementation
+/// baked the compile-time `CARGO_MANIFEST_DIR` into the binary, so a
+/// bench binary copied to (or re-run on) another machine wrote its
+/// report into a path that only existed on the build host. Instead,
+/// walk upward from the runtime manifest dir if set, else from the
+/// current directory, to the first ancestor holding a `Cargo.lock`;
+/// fall back to the current directory.
+fn workspace_root() -> std::path::PathBuf {
+    let starts = [
+        std::env::var_os("CARGO_MANIFEST_DIR").map(std::path::PathBuf::from),
+        std::env::current_dir().ok(),
+    ];
+    for start in starts.into_iter().flatten() {
+        for dir in start.ancestors() {
+            if dir.join("Cargo.lock").is_file() {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    std::path::PathBuf::from(".")
 }
 
 /// A group of related benchmarks sharing a sample-count setting.

@@ -5,9 +5,10 @@
 //! the *union* of their consumer sets over the population of sites that
 //! use the service at all.
 
+use crate::reach::SiteSet;
 use std::collections::HashSet;
-use webdeps_measure::{MeasurementDataset, ProviderKey, SiteMeasurement};
-use webdeps_model::{fan_out_chunked, ServiceKind, SiteId};
+use webdeps_measure::{ColumnarDataset, MeasurementDataset, ProviderKey, SiteMeasurement};
+use webdeps_model::{fan_out_chunked, NameId, ServiceKind, SiteId};
 
 /// One point of the coverage curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +99,91 @@ pub fn providers_for_coverage(ds: &MeasurementDataset, kind: ServiceKind, fracti
         .unwrap_or(0)
 }
 
+/// Per-provider direct consumer sets over a columnar dataset: dense
+/// `NameId`-indexed [`SiteSet`] bitsets built per shard and merged by
+/// bitwise union. Union and popcount are order-independent, and the
+/// final ordering is the same total sort the row path uses (consumer
+/// count descending, then provider key ascending), so the curve is
+/// identical to [`coverage_curve`] at any worker count.
+fn consumer_sets_columnar(cds: &ColumnarDataset, kind: ServiceKind) -> Vec<(NameId, SiteSet)> {
+    let bound = cds.site_id_bound();
+    let idxs: Vec<usize> = (0..cds.len()).collect();
+    let partials = fan_out_chunked(&idxs, 0, |shard| {
+        let mut sets: Vec<Option<SiteSet>> = vec![None; cds.names_len()];
+        for &i in shard {
+            let id = cds.site_id(i);
+            for &name in cds.site_providers(i, kind) {
+                sets[name.index()]
+                    .get_or_insert_with(|| SiteSet::with_bound(bound))
+                    .insert(id);
+            }
+        }
+        vec![sets]
+    });
+    let mut merged: Vec<Option<SiteSet>> = vec![None; cds.names_len()];
+    for partial in partials {
+        for (slot, set) in merged.iter_mut().zip(partial) {
+            if let Some(set) = set {
+                match slot {
+                    Some(acc) => acc.union_with(&set),
+                    None => *slot = Some(set),
+                }
+            }
+        }
+    }
+    let mut sets: Vec<(NameId, SiteSet)> = merged
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, s)| Some((NameId::from_index(i), s?)))
+        .collect();
+    sets.sort_by(|a, b| {
+        b.1.count()
+            .cmp(&a.1.count())
+            .then_with(|| cds.name(a.0).cmp(cds.name(b.0)))
+    });
+    sets
+}
+
+/// [`coverage_curve`] streamed over columnar arenas: the per-provider
+/// consumer sets are bitsets and coverage is a running popcount of
+/// their union. Produces byte-identical points to the row path.
+pub fn coverage_curve_columnar(cds: &ColumnarDataset, kind: ServiceKind) -> Vec<CoveragePoint> {
+    let sets = consumer_sets_columnar(cds, kind);
+    let bound = cds.site_id_bound();
+    let mut total = SiteSet::with_bound(bound);
+    for (_, s) in &sets {
+        total.union_with(s);
+    }
+    let total = total.count();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut covered = SiteSet::with_bound(bound);
+    let mut out = Vec::with_capacity(sets.len());
+    for (i, (name, consumers)) in sets.into_iter().enumerate() {
+        covered.union_with(&consumers);
+        out.push(CoveragePoint {
+            providers: i + 1,
+            coverage: covered.count() as f64 / total as f64,
+            key: ProviderKey::new(cds.name(name)),
+        });
+    }
+    out
+}
+
+/// [`providers_for_coverage`] over columnar arenas.
+pub fn providers_for_coverage_columnar(
+    cds: &ColumnarDataset,
+    kind: ServiceKind,
+    fraction: f64,
+) -> usize {
+    coverage_curve_columnar(cds, kind)
+        .iter()
+        .position(|p| p.coverage >= fraction)
+        .map(|i| i + 1)
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +232,28 @@ mod tests {
         let ds = measure_world(&world);
         assert!(coverage_curve(&ds, ServiceKind::Cloud).is_empty());
         assert_eq!(providers_for_coverage(&ds, ServiceKind::Cloud, 0.8), 0);
+    }
+
+    #[test]
+    fn columnar_curve_matches_row_curve() {
+        let world = World::generate(WorldConfig::small(37));
+        let ds = measure_world(&world);
+        let cds = ColumnarDataset::from_rows(&ds);
+        for kind in [
+            ServiceKind::Dns,
+            ServiceKind::Cdn,
+            ServiceKind::Ca,
+            ServiceKind::Cloud,
+        ] {
+            assert_eq!(
+                coverage_curve_columnar(&cds, kind),
+                coverage_curve(&ds, kind),
+                "{kind}: columnar curve diverges from rows"
+            );
+            assert_eq!(
+                providers_for_coverage_columnar(&cds, kind, 0.8),
+                providers_for_coverage(&ds, kind, 0.8)
+            );
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! nodes sized by direct consumer count, a bounded sample of site nodes,
 //! and all provider → provider (inter-service) edges.
 
-use crate::graph::{DepGraph, NodeId, NodeRef};
+use crate::graph::{DepGraph, NodeId, NodeKind};
 use std::collections::HashMap;
 use webdeps_model::ServiceKind;
 
@@ -67,7 +67,7 @@ pub fn to_dot(graph: &DepGraph, opts: &DotOptions) -> String {
         .unwrap_or(1)
         .max(1);
     for &p in &shown_providers {
-        let NodeRef::Provider(key, kind) = graph.node(p) else {
+        let NodeKind::Provider(key, kind) = graph.node(p) else {
             continue;
         };
         let count = consumer_counts[&p];
@@ -76,9 +76,9 @@ pub fn to_dot(graph: &DepGraph, opts: &DotOptions) -> String {
             "  \"p{}\" [label=\"{}\\n{} sites\", shape=circle, style=filled, \
              fillcolor=\"{}\", fontcolor=white, width={:.2}, fixedsize=true];\n",
             p.0,
-            key.as_str(),
+            graph.name(key),
             count,
-            color_of(*kind),
+            color_of(kind),
             size
         ));
     }
@@ -88,7 +88,7 @@ pub fn to_dot(graph: &DepGraph, opts: &DotOptions) -> String {
     let mut sites_drawn = 0usize;
     'outer: for &p in &shown_providers {
         for (consumer, kind) in graph.consumers_of(p) {
-            if let NodeRef::Site(site) = graph.node(consumer) {
+            if let NodeKind::Site(site) = graph.node(consumer) {
                 if sites_drawn >= opts.max_sites {
                     break 'outer;
                 }

@@ -32,10 +32,13 @@ pub mod reach;
 pub mod resilience;
 pub mod stats;
 
-pub use concentration::{coverage_curve, providers_for_coverage, CoveragePoint};
+pub use concentration::{
+    coverage_curve, coverage_curve_columnar, providers_for_coverage,
+    providers_for_coverage_columnar, CoveragePoint,
+};
 pub use dot::{to_dot, DotOptions};
 pub use evolution::{ca_trends, cdn_trends, dns_trends, provider_trends, TrendTable};
-pub use graph::{DepGraph, EdgeKind, NodeId, NodeRef};
+pub use graph::{DepGraph, EdgeKind, GraphBuilder, NodeId, NodeKind, NodeRef};
 pub use metrics::{MetricOptions, Metrics, ProviderScore};
 pub use outage::{
     probe_site, simulate_outage, simulate_outage_at, simulate_outage_at_with_jobs,

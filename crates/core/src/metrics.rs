@@ -18,7 +18,7 @@
 //! traversed — Figures 7, 8, 9 each consider exactly one of CA→DNS,
 //! CA→CDN, CDN→DNS on top of the direct site edges.
 
-use crate::graph::{DepGraph, NodeId, NodeRef};
+use crate::graph::{DepGraph, NodeId, NodeKind};
 use crate::reach::ReachIndex;
 use std::collections::HashSet;
 use webdeps_measure::ProviderKey;
@@ -110,7 +110,7 @@ impl<'g> Metrics<'g> {
         while let Some(node) = frontier.pop() {
             // Which service does `node` provide? Consumers reach it via
             // edges of that service kind.
-            let NodeRef::Provider(_, node_kind) = self.graph.node(node) else {
+            let NodeKind::Provider(_, node_kind) = self.graph.node(node) else {
                 continue;
             };
             for (consumer, kind) in self.graph.consumers_of(node) {
@@ -118,11 +118,11 @@ impl<'g> Metrics<'g> {
                     continue;
                 }
                 match self.graph.node(consumer) {
-                    NodeRef::Site(site) => {
-                        sites.insert(*site);
+                    NodeKind::Site(site) => {
+                        sites.insert(site);
                     }
-                    NodeRef::Provider(_, consumer_kind) => {
-                        if opts.allows(*consumer_kind, *node_kind) && visited.insert(consumer) {
+                    NodeKind::Provider(_, consumer_kind) => {
+                        if opts.allows(consumer_kind, node_kind) && visited.insert(consumer) {
                             frontier.push(consumer);
                         }
                     }
@@ -151,7 +151,7 @@ impl<'g> Metrics<'g> {
         excluded: &mut HashSet<NodeId>,
     ) -> HashSet<SiteId> {
         excluded.insert(provider);
-        let NodeRef::Provider(_, node_kind) = self.graph.node(provider) else {
+        let NodeKind::Provider(_, node_kind) = self.graph.node(provider) else {
             return HashSet::new();
         };
         // D_w^p (direct site consumers) …
@@ -162,11 +162,11 @@ impl<'g> Metrics<'g> {
                 continue;
             }
             match self.graph.node(consumer) {
-                NodeRef::Site(site) => {
-                    result.insert(*site);
+                NodeKind::Site(site) => {
+                    result.insert(site);
                 }
-                NodeRef::Provider(_, consumer_kind) => {
-                    if opts.allows(*consumer_kind, *node_kind) && !excluded.contains(&consumer) {
+                NodeKind::Provider(_, consumer_kind) => {
+                    if opts.allows(consumer_kind, node_kind) && !excluded.contains(&consumer) {
                         provider_consumers.push(consumer);
                     }
                 }
@@ -227,8 +227,8 @@ impl<'g> Metrics<'g> {
             .unwrap_or_else(|| ReachIndex::build(self.graph, false, opts));
         let mut out = fan_out(&providers, jobs, |&id| {
             let key = match self.graph.node(id) {
-                NodeRef::Provider(k, _) => k.clone(),
-                _ => unreachable!("providers_of returns providers"),
+                NodeKind::Provider(name, _) => ProviderKey::new(self.graph.name(name)),
+                NodeKind::Site(_) => unreachable!("providers_of returns providers"),
             };
             ProviderScore {
                 key,
@@ -297,14 +297,14 @@ impl<'g> Metrics<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::EdgeKind;
+    use crate::graph::{EdgeKind, GraphBuilder, NodeRef};
     use webdeps_measure::ProviderKey;
 
     /// site0 → CA (critical) → DNSME (critical)
     /// site1 → DNSME (critical, direct)
     /// site2 → CA (non-critical)
     fn toy_graph() -> (DepGraph, NodeId, NodeId) {
-        let mut g = DepGraph::default();
+        let mut g = GraphBuilder::new();
         let s0 = g.intern(NodeRef::Site(SiteId(0)));
         let s1 = g.intern(NodeRef::Site(SiteId(1)));
         let s2 = g.intern(NodeRef::Site(SiteId(2)));
@@ -348,7 +348,7 @@ mod tests {
                 critical: true,
             },
         );
-        (g, ca, dnsme)
+        (g.build(), ca, dnsme)
     }
 
     #[test]
@@ -400,7 +400,7 @@ mod tests {
     #[test]
     fn cycles_terminate() {
         // A ↔ B provider cycle plus one site each.
-        let mut g = DepGraph::default();
+        let mut g = GraphBuilder::new();
         let s0 = g.intern(NodeRef::Site(SiteId(0)));
         let s1 = g.intern(NodeRef::Site(SiteId(1)));
         let a = g.intern(NodeRef::Provider(
@@ -443,6 +443,7 @@ mod tests {
                 critical: true,
             },
         );
+        let g = g.build();
         let m = Metrics::new(&g);
         let opts = MetricOptions::full();
         // Both sites depend on both providers through the cycle.

@@ -19,18 +19,25 @@
 //! equals `score_bfs` for every provider, which the metrics tests and
 //! `tests/parallel_determinism.rs` assert.
 //!
+//! Storage is columnar end to end: the DFS walks the graph's CSR
+//! in-edge rows directly (no adjacency materialization), and the only
+//! per-provider state is a [`SiteSet`] bitset per component — at 1M
+//! sites that is the difference between an index that fits in cache
+//! lines and one that chases a `Vec<Vec<_>>` per node.
+//!
 //! Invalidation: an index borrows its graph immutably for its entire
 //! lifetime, so it can never observe a stale graph — rebuilding after a
-//! mutation is enforced at compile time. The index also deliberately
-//! has no hooks into the *behavioral* layer: schedule-aware sweeps
-//! (`simulate_outage_at`) probe the simulator afresh at every instant
-//! precisely because availability at time `t` is not a graph property,
-//! so nothing cached here can go stale across ticks.
+//! mutation is enforced at compile time (the columnar [`DepGraph`] is
+//! immutable once built). The index also deliberately has no hooks into
+//! the *behavioral* layer: schedule-aware sweeps (`simulate_outage_at`)
+//! probe the simulator afresh at every instant precisely because
+//! availability at time `t` is not a graph property, so nothing cached
+//! here can go stale across ticks.
 
-use crate::graph::{DepGraph, NodeId, NodeRef};
+use crate::graph::{DepGraph, NodeId, NodeKind};
 use crate::metrics::MetricOptions;
 use std::collections::HashSet;
-use webdeps_model::SiteId;
+use webdeps_model::{ServiceKind, SiteId};
 
 /// A dense bitset over [`SiteId`]s.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -79,17 +86,29 @@ impl SiteSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Sites in ascending id order.
+    /// Sites in ascending id order. Iteration is proportional to the
+    /// *population*, not the bound: each word yields its set bits via
+    /// `trailing_zeros` and clear-lowest-bit, and zero words cost one
+    /// comparison — this is the hot loop under `dependent_sites`, where
+    /// the old 64-probe-per-word scan burned a fixed 64× overhead on
+    /// sparse sets.
     pub fn iter(&self) -> impl Iterator<Item = SiteId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            (0..64).filter_map(move |bit| {
-                if word & (1u64 << bit) != 0 {
-                    Some(SiteId::from_index(wi * 64 + bit))
-                } else {
-                    None
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
                 }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(SiteId::from_index(wi * 64 + bit))
             })
         })
+    }
+
+    /// Bytes of heap owned by the bitset.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
     }
 }
 
@@ -111,28 +130,51 @@ impl<'g> ReachIndex<'g> {
     /// component. `critical_only = true` indexes impact, `false`
     /// concentration — the same switch as
     /// [`crate::metrics::Metrics::score_bfs`].
+    ///
+    /// The DFS streams the CSR in-edge rows directly, applying the
+    /// traversal filter (criticality, option-allowed hop kinds,
+    /// provider-consumer) per edge — the filter is evaluated at most
+    /// twice per edge (tree walk + component emission), which beats
+    /// materializing a filtered adjacency first at every scale.
     pub fn build(graph: &'g DepGraph, critical_only: bool, opts: &MetricOptions) -> Self {
         let n = graph.node_count();
         let bound = graph.site_id_bound();
 
-        // Allowed provider→provider-consumer adjacency, mirroring the
-        // BFS traversal filter exactly.
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for v in 0..n {
-            let NodeRef::Provider(_, node_kind) = graph.node(NodeId(v as u32)) else {
-                continue;
-            };
-            for (consumer, kind) in graph.consumers_of(NodeId(v as u32)) {
-                if critical_only && !kind.critical {
-                    continue;
-                }
-                if let NodeRef::Provider(_, consumer_kind) = graph.node(consumer) {
-                    if opts.allows(*consumer_kind, *node_kind) {
-                        adj[v].push(consumer.0);
-                    }
-                }
+        // Per-node provider kind (service-kind column), u8-packed;
+        // `NONE` marks site nodes.
+        const NONE: u8 = u8::MAX;
+        let kind_of: Vec<u8> = (0..n)
+            .map(|v| match graph.node(NodeId(v as u32)) {
+                NodeKind::Provider(_, k) => k as u8,
+                NodeKind::Site(_) => NONE,
+            })
+            .collect();
+        let kind_back = |b: u8| -> ServiceKind {
+            match b {
+                0 => ServiceKind::Dns,
+                1 => ServiceKind::Cdn,
+                2 => ServiceKind::Ca,
+                _ => ServiceKind::Cloud,
             }
-        }
+        };
+
+        // The allowed provider→provider-consumer step, mirroring the
+        // BFS traversal filter exactly: from edge `e` into node `v`,
+        // yield the consumer node if it passes.
+        let step = |v: usize, e: u32| -> Option<usize> {
+            let (w, ek) = graph.edge_source(e);
+            if critical_only && !ek.critical {
+                return None;
+            }
+            let wk = kind_of[w as usize];
+            if wk == NONE {
+                return None;
+            }
+            if !opts.allows(kind_back(wk), kind_back(kind_of[v])) {
+                return None;
+            }
+            Some(w as usize)
+        };
 
         // Iterative Tarjan over provider nodes. `index_of` doubles as
         // the visited marker (0 = unvisited, else DFS index + 1).
@@ -146,10 +188,7 @@ impl<'g> ReachIndex<'g> {
         let mut next_index = 1u32;
 
         for start in 0..n {
-            if index_of[start] != 0 {
-                continue;
-            }
-            if !matches!(graph.node(NodeId(start as u32)), NodeRef::Provider(..)) {
+            if index_of[start] != 0 || kind_of[start] == NONE {
                 continue;
             }
             index_of[start] = next_index;
@@ -157,12 +196,18 @@ impl<'g> ReachIndex<'g> {
             next_index += 1;
             stack.push(start as u32);
             on_stack[start] = true;
+            // DFS frame: (node, position within its CSR in-edge row).
             let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
             while let Some(frame) = dfs.last_mut() {
                 let v = frame.0;
-                if frame.1 < adj[v].len() {
-                    let w = adj[v][frame.1] as usize;
+                let row = graph.in_edge_ids(v);
+                let mut descended = false;
+                while frame.1 < row.len() {
+                    let e = row[frame.1];
                     frame.1 += 1;
+                    let Some(w) = step(v, e) else {
+                        continue;
+                    };
                     if index_of[w] == 0 {
                         index_of[w] = next_index;
                         low[w] = next_index;
@@ -170,53 +215,62 @@ impl<'g> ReachIndex<'g> {
                         stack.push(w as u32);
                         on_stack[w] = true;
                         dfs.push((w, 0));
+                        descended = true;
+                        break;
                     } else if on_stack[w] {
                         low[v] = low[v].min(index_of[w]);
                     }
-                } else {
-                    dfs.pop();
-                    if let Some(parent) = dfs.last() {
-                        low[parent.0] = low[parent.0].min(low[v]);
+                }
+                if descended {
+                    continue;
+                }
+                dfs.pop();
+                if let Some(parent) = dfs.last() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+                if low[v] == index_of[v] {
+                    // Emit the component rooted at v. Tarjan's
+                    // reverse-topological emission order guarantees
+                    // every cross-component successor already has its
+                    // set computed.
+                    let comp = sets.len() as u32;
+                    let mut members: Vec<u32> = Vec::new();
+                    loop {
+                        let w = match stack.pop() {
+                            Some(w) => w,
+                            None => break,
+                        };
+                        on_stack[w as usize] = false;
+                        comp_of[w as usize] = comp;
+                        members.push(w);
+                        if w as usize == v {
+                            break;
+                        }
                     }
-                    if low[v] == index_of[v] {
-                        // Emit the component rooted at v. Tarjan's
-                        // reverse-topological emission order guarantees
-                        // every cross-component successor already has
-                        // its set computed.
-                        let comp = sets.len() as u32;
-                        let mut members: Vec<u32> = Vec::new();
-                        loop {
-                            let w = match stack.pop() {
-                                Some(w) => w,
-                                None => break,
+                    let mut set = SiteSet::with_bound(bound);
+                    for &m in &members {
+                        for &e in graph.in_edge_ids(m as usize) {
+                            let (src, ek) = graph.edge_source(e);
+                            if critical_only && !ek.critical {
+                                continue;
+                            }
+                            if let NodeKind::Site(site) = graph.node(NodeId(src)) {
+                                set.insert(site);
+                            }
+                        }
+                        for &e in graph.in_edge_ids(m as usize) {
+                            let Some(w) = step(m as usize, e) else {
+                                continue;
                             };
-                            on_stack[w as usize] = false;
-                            comp_of[w as usize] = comp;
-                            members.push(w);
-                            if w as usize == v {
-                                break;
+                            let c = comp_of[w];
+                            if c != comp {
+                                debug_assert_ne!(c, u32::MAX, "successor emitted first");
+                                set.union_with(&sets[c as usize]);
                             }
                         }
-                        let mut set = SiteSet::with_bound(bound);
-                        for &m in &members {
-                            for (consumer, kind) in graph.consumers_of(NodeId(m)) {
-                                if critical_only && !kind.critical {
-                                    continue;
-                                }
-                                if let NodeRef::Site(site) = graph.node(consumer) {
-                                    set.insert(*site);
-                                }
-                            }
-                            for &w in &adj[m as usize] {
-                                let c = comp_of[w as usize];
-                                if c != comp {
-                                    set.union_with(&sets[c as usize]);
-                                }
-                            }
-                        }
-                        counts.push(set.count());
-                        sets.push(set);
                     }
+                    counts.push(set.count());
+                    sets.push(set);
                 }
             }
         }
@@ -260,15 +314,25 @@ impl<'g> ReachIndex<'g> {
     pub fn graph(&self) -> &'g DepGraph {
         self.graph
     }
+
+    /// Bytes of heap owned by the index (component map, popcounts, and
+    /// every component bitset).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.comp_of.capacity() * size_of::<u32>()
+            + self.counts.capacity() * size_of::<usize>()
+            + self.sets.capacity() * size_of::<SiteSet>()
+            + self.sets.iter().map(|s| s.heap_bytes()).sum::<usize>()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::EdgeKind;
-    use crate::metrics::Metrics;
+    use crate::graph::{EdgeKind, GraphBuilder, NodeRef};
     use webdeps_measure::{measure_world, ProviderKey};
     use webdeps_model::ServiceKind;
+    use webdeps_testkit::{check_with, gen, tk_assert, Config};
     use webdeps_worldgen::{World, WorldConfig};
 
     #[test]
@@ -293,11 +357,62 @@ mod tests {
     }
 
     #[test]
+    fn site_set_matches_hashset_reference() {
+        // Property: insert/contains/count/iter agree with a HashSet
+        // reference under random workloads, including word-boundary
+        // indexes (the bit-twiddled iterator must not skip or invent
+        // members).
+        check_with(
+            &Config {
+                cases: 64,
+                ..Config::default()
+            },
+            "site_set_matches_hashset_reference",
+            &gen::u64_any(),
+            |&seed| {
+                let mut state = seed | 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let bound = (next() % 400) as usize;
+                let mut set = SiteSet::with_bound(bound);
+                let mut reference: HashSet<u32> = HashSet::new();
+                for _ in 0..(next() % 200) {
+                    // Bias toward word boundaries: raw % 65 lands on
+                    // 0, 63, 64 often.
+                    let raw = if next() % 4 == 0 {
+                        (next() % 65) as u32
+                    } else {
+                        (next() % 1_000) as u32
+                    };
+                    set.insert(SiteId(raw));
+                    reference.insert(raw);
+                }
+                tk_assert!(set.count() == reference.len(), "count != |reference|");
+                let iterated: Vec<u32> = set.iter().map(|s| s.0).collect();
+                let mut expected: Vec<u32> = reference.iter().copied().collect();
+                expected.sort_unstable();
+                tk_assert!(iterated == expected, "iter() diverged from reference");
+                for probe in 0..1_000u32 {
+                    tk_assert!(
+                        set.contains(SiteId(probe)) == reference.contains(&probe),
+                        "contains({probe}) diverged"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
     fn index_matches_bfs_on_measured_world() {
         let world = World::generate(WorldConfig::small(123));
         let ds = measure_world(&world);
         let g = crate::graph::DepGraph::from_dataset(&ds);
-        let m = Metrics::new(&g);
+        let m = crate::metrics::Metrics::new(&g);
         for critical in [false, true] {
             for opts in [
                 MetricOptions::direct_only(),
@@ -312,13 +427,13 @@ mod tests {
                             index.dependent_count(p),
                             bfs.len(),
                             "count mismatch at {:?} critical={critical}",
-                            g.node(p)
+                            g.node_ref(p)
                         );
                         assert_eq!(
                             index.dependent_sites(p),
                             bfs,
                             "set mismatch at {:?} critical={critical}",
-                            g.node(p)
+                            g.node_ref(p)
                         );
                     }
                 }
@@ -329,14 +444,14 @@ mod tests {
     #[test]
     fn cycles_share_one_component_set() {
         // A ↔ B provider cycle (via allowed hops) with one site each.
-        let mut g = crate::graph::DepGraph::default();
-        let s0 = g.intern(NodeRef::Site(SiteId(0)));
-        let s1 = g.intern(NodeRef::Site(SiteId(1)));
-        let a = g.intern(NodeRef::Provider(
+        let mut b = GraphBuilder::new();
+        let s0 = b.intern(NodeRef::Site(SiteId(0)));
+        let s1 = b.intern(NodeRef::Site(SiteId(1)));
+        let a = b.intern(NodeRef::Provider(
             ProviderKey::new("a.com"),
             ServiceKind::Dns,
         ));
-        let b = g.intern(NodeRef::Provider(
+        let bp = b.intern(NodeRef::Provider(
             ProviderKey::new("b.com"),
             ServiceKind::Cdn,
         ));
@@ -344,10 +459,11 @@ mod tests {
             service,
             critical: true,
         };
-        g.add_edge(s0, a, crit(ServiceKind::Dns));
-        g.add_edge(s1, b, crit(ServiceKind::Cdn));
-        g.add_edge(a, b, crit(ServiceKind::Cdn));
-        g.add_edge(b, a, crit(ServiceKind::Dns));
+        b.add_edge(s0, a, crit(ServiceKind::Dns));
+        b.add_edge(s1, bp, crit(ServiceKind::Cdn));
+        b.add_edge(a, bp, crit(ServiceKind::Cdn));
+        b.add_edge(bp, a, crit(ServiceKind::Dns));
+        let g = b.build();
         // Both hop kinds allowed → a true 2-cycle.
         let opts = MetricOptions {
             interservice: vec![
@@ -357,10 +473,10 @@ mod tests {
         };
         let index = ReachIndex::build(&g, true, &opts);
         assert_eq!(index.dependent_count(a), 2);
-        assert_eq!(index.dependent_count(b), 2);
-        let m = Metrics::new(&g);
+        assert_eq!(index.dependent_count(bp), 2);
+        let m = crate::metrics::Metrics::new(&g);
         assert_eq!(index.dependent_sites(a), m.score_bfs(a, true, &opts));
-        assert_eq!(index.dependent_sites(b), m.score_bfs(b, true, &opts));
+        assert_eq!(index.dependent_sites(bp), m.score_bfs(bp, true, &opts));
         // Site nodes score zero, like the BFS.
         assert_eq!(index.dependent_count(s0), 0);
         assert!(index.dependent_set(s0).is_none());

@@ -6,7 +6,7 @@
 //! dependencies (the academia.edu → MaxCDN → AWS DNS chains), and
 //! actionable recommendations.
 
-use crate::graph::{DepGraph, NodeId, NodeRef};
+use crate::graph::{DepGraph, NodeId, NodeKind, NodeRef};
 use webdeps_measure::{MeasurementDataset, ProviderKey};
 use webdeps_model::{ServiceKind, SiteId};
 
@@ -169,15 +169,16 @@ fn walk(
         return;
     }
     for (target, kind) in graph.deps_of(node) {
-        let NodeRef::Provider(key, provider_kind) = graph.node(target) else {
+        let NodeKind::Provider(name, provider_kind) = graph.node(target) else {
             continue;
         };
+        let key = ProviderKey::new(graph.name(name));
         // Avoid revisiting a provider already on the path (cycles).
-        if path.iter().any(|(k, _)| k == key) {
+        if path.iter().any(|(k, _)| *k == key) {
             continue;
         }
         let mut hops = path.clone();
-        hops.push((key.clone(), *provider_kind));
+        hops.push((key, provider_kind));
         let critical = critical_so_far && kind.critical;
         out.push(DependencyChain {
             hops: hops.clone(),

@@ -29,6 +29,7 @@
 pub mod ca;
 pub mod cdn;
 pub mod classify;
+pub mod columnar;
 pub mod dataset;
 pub mod dns;
 pub mod interservice;
@@ -37,12 +38,13 @@ pub mod summary;
 pub mod validation;
 
 pub use classify::{Classification, ClassifierKind, Evidence};
+pub use columnar::{ColumnarDataset, ColumnarDep, ColumnarProvider};
 pub use dataset::{
     MeasurementDataset, ProviderKey, SiteCaMeasurement, SiteCdnMeasurement, SiteDnsMeasurement,
     SiteMeasurement,
 };
 pub use dns::GroupingStrategy;
 pub use interservice::{InterServiceDep, ProviderMeasurement};
-pub use pipeline::{measure_world, MeasureConfig};
+pub use pipeline::{measure_world, measure_world_columnar, MeasureConfig};
 pub use summary::{summarize, summarize_pair, ComparisonSummary, DatasetSummary};
 pub use validation::{validate_world, StrategyAccuracy, ValidationReport};

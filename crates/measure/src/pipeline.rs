@@ -6,12 +6,14 @@
 //! web plane, PKI, CNAME-to-CDN map, public-suffix list, site list);
 //! ground truth never flows in.
 
+use crate::columnar::ColumnarDataset;
 use crate::dataset::{MeasurementDataset, ProviderKey, SiteMeasurement};
 use crate::{ca, cdn, dns, interservice};
 use std::collections::HashMap;
-use webdeps_model::{fan_out_chunked, DomainName};
+use webdeps_model::{fan_out_chunked, DomainName, Interner, NameId, SiteId};
 use webdeps_web::{CrawlReport, Crawler};
-use webdeps_worldgen::World;
+use webdeps_worldgen::profiles::{CaProfile, CdnProfile, DepState};
+use webdeps_worldgen::{SiteListing, World};
 
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -160,6 +162,262 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
         providers,
         threshold: config.threshold,
     }
+}
+
+/// One shard's streamed output: columnar rows keyed by a shard-local
+/// interner, plus the provider witness/count maps the §3.4 stage needs.
+/// Shards merge in site order, so the assembled dataset is identical at
+/// any worker count.
+struct ShardColumns {
+    names: Interner,
+    site_ids: Vec<SiteId>,
+    dns_state: Vec<Option<DepState>>,
+    cdn_state: Vec<Option<CdnProfile>>,
+    ca_state: Vec<Option<CaProfile>>,
+    dns_lists: Vec<Vec<NameId>>,
+    cdn_lists: Vec<Vec<NameId>>,
+    ca_slot: Vec<Option<NameId>>,
+    cdn_reps: Vec<(ProviderKey, (DomainName, usize))>,
+    ca_reps: Vec<(ProviderKey, (Vec<DomainName>, usize))>,
+    dns_direct: Vec<(ProviderKey, usize)>,
+}
+
+/// Crawls, observes, and classifies one shard of listings, emitting
+/// columnar rows directly — no [`SiteMeasurement`] is ever built. The
+/// classification calls are byte-for-byte the ones `measure_world_with`
+/// makes, and the per-provider witness maps use the same
+/// first-witness-wins, counts-sum semantics (kept deterministic by
+/// recording entries in site order and merging shards in shard order).
+fn columnar_shard(
+    world: &World,
+    shard: &[SiteListing],
+    concentration: &HashMap<DomainName, usize>,
+    threshold: usize,
+) -> ShardColumns {
+    let psl = &world.psl;
+    let mut client = world.client();
+    let mut out = ShardColumns {
+        names: Interner::with_capacity(64),
+        site_ids: Vec::with_capacity(shard.len()),
+        dns_state: Vec::with_capacity(shard.len()),
+        cdn_state: Vec::with_capacity(shard.len()),
+        ca_state: Vec::with_capacity(shard.len()),
+        dns_lists: Vec::with_capacity(shard.len()),
+        cdn_lists: Vec::with_capacity(shard.len()),
+        ca_slot: Vec::with_capacity(shard.len()),
+        cdn_reps: Vec::new(),
+        ca_reps: Vec::new(),
+        dns_direct: Vec::new(),
+    };
+    let mut cdn_rep_idx: HashMap<ProviderKey, usize> = HashMap::new();
+    let mut ca_rep_idx: HashMap<ProviderKey, usize> = HashMap::new();
+    let mut dns_direct_idx: HashMap<ProviderKey, usize> = HashMap::new();
+    for listing in shard {
+        let report = Crawler::crawl(
+            &mut client,
+            &listing.domain,
+            &listing.document_hosts,
+            listing.https,
+        );
+        let obs = dns::observe_site(client.resolver_mut(), &listing.domain);
+        let san = report.certificate.as_ref().map(|c| c.san.clone());
+        let dns_m = match &obs {
+            Some(obs) => dns::classify_site(obs, san.as_deref(), concentration, threshold, psl),
+            None => crate::dataset::SiteDnsMeasurement {
+                pairs: Vec::new(),
+                groups: Vec::new(),
+                state: None,
+            },
+        };
+        let resolver = client.resolver_mut();
+        let ca_m = ca::classify_site(&report, resolver, psl);
+        let cdn_m = cdn::classify_site(&report, &world.cname_map, resolver, psl);
+
+        for key in dns_m.third_parties() {
+            match dns_direct_idx.get(key) {
+                Some(&i) => out.dns_direct[i].1 += 1,
+                None => {
+                    dns_direct_idx.insert(key.clone(), out.dns_direct.len());
+                    out.dns_direct.push((key.clone(), 1));
+                }
+            }
+        }
+        for (key, _) in &cdn_m.cdns {
+            let witness = report
+                .hostnames()
+                .iter()
+                .filter_map(|h| report.chain_of(h))
+                .flat_map(|chain| chain.iter())
+                .find(|c| {
+                    psl.registrable_domain(c)
+                        .is_some_and(|r| r.as_str() == key.as_str())
+                })
+                .cloned();
+            if let Some(w) = witness {
+                match cdn_rep_idx.get(key) {
+                    Some(&i) => out.cdn_reps[i].1 .1 += 1,
+                    None => {
+                        cdn_rep_idx.insert(key.clone(), out.cdn_reps.len());
+                        out.cdn_reps.push((key.clone(), (w, 1)));
+                    }
+                }
+            }
+        }
+        if let Some((key, _)) = &ca_m.ca {
+            match ca_rep_idx.get(key) {
+                Some(&i) => out.ca_reps[i].1 .1 += 1,
+                None => {
+                    ca_rep_idx.insert(key.clone(), out.ca_reps.len());
+                    out.ca_reps
+                        .push((key.clone(), (ca_m.ocsp_hosts.clone(), 1)));
+                }
+            }
+        }
+
+        out.site_ids.push(listing.id);
+        out.dns_state.push(dns_m.state);
+        out.cdn_state.push(cdn_m.state);
+        out.ca_state.push(ca_m.state);
+        out.dns_lists.push(
+            dns_m
+                .third_parties()
+                .map(|k| out.names.intern(k.as_str()))
+                .collect(),
+        );
+        out.cdn_lists.push(
+            cdn_m
+                .third_parties()
+                .map(|k| out.names.intern(k.as_str()))
+                .collect(),
+        );
+        out.ca_slot.push(match &ca_m.ca {
+            Some((key, crate::classify::Classification::ThirdParty)) => {
+                Some(out.names.intern(key.as_str()))
+            }
+            _ => None,
+        });
+    }
+    out
+}
+
+/// Runs the streaming columnar pipeline with the world-default
+/// configuration. See [`measure_world_columnar_with`].
+pub fn measure_world_columnar(world: &World) -> ColumnarDataset {
+    measure_world_columnar_with(world, MeasureConfig::for_world(world))
+}
+
+/// Runs the complete pipeline straight into columnar arenas, never
+/// materializing a row [`MeasurementDataset`] — the 1M-site entry
+/// point.
+///
+/// Two passes over the site list, both sharded on the deterministic
+/// fan-out:
+///
+/// 1. **Concentration pass** — DNS observation only; per-shard
+///    nameserver tallies merge by summation (order-independent).
+/// 2. **Classification pass** — crawl + observe + classify each site
+///    *inside its shard* against the global concentration map, emitting
+///    columnar rows keyed by a shard-local interner.
+///
+/// Serial assembly then remaps shard-local name ids into the global
+/// arena in shard order (= site order) and runs the §3.4 inter-service
+/// stage. The result equals
+/// `ColumnarDataset::from_rows(&measure_world_with(world, config))` —
+/// pinned by `tests/parallel_determinism.rs` — at any worker count.
+pub fn measure_world_columnar_with(world: &World, config: MeasureConfig) -> ColumnarDataset {
+    let psl = &world.psl;
+    let mut listings = world.listings();
+    if let Some(cap) = config.max_sites {
+        listings.truncate(cap);
+    }
+
+    // Pass 1: dataset-wide nameserver concentration from observations
+    // alone (each worker owns a client; tallies sum across shards).
+    let partials = fan_out_chunked(&listings, config.threads, |shard| {
+        let mut client = world.client();
+        let observations: Vec<Option<dns::DnsObservation>> = shard
+            .iter()
+            .map(|l| dns::observe_site(client.resolver_mut(), &l.domain))
+            .collect();
+        vec![dns::ns_concentration(&observations, psl)]
+    });
+    let mut concentration: HashMap<DomainName, usize> = HashMap::new();
+    for partial in partials {
+        for (host, n) in partial {
+            *concentration.entry(host).or_default() += n;
+        }
+    }
+
+    // Pass 2: classify in-shard, stream out columns.
+    let shards = fan_out_chunked(&listings, config.threads, |shard| {
+        vec![columnar_shard(
+            world,
+            shard,
+            &concentration,
+            config.threshold,
+        )]
+    });
+
+    // Serial assembly in shard (= site) order.
+    let mut out = ColumnarDataset::with_capacity(listings.len(), config.threshold);
+    let mut cdn_reps: HashMap<ProviderKey, (DomainName, usize)> = HashMap::new();
+    let mut ca_reps: HashMap<ProviderKey, (Vec<DomainName>, usize)> = HashMap::new();
+    let mut dns_direct: HashMap<ProviderKey, usize> = HashMap::new();
+    for shard in shards {
+        for i in 0..shard.site_ids.len() {
+            let resolve = |ids: &[NameId]| -> Vec<&str> {
+                ids.iter().map(|&n| shard.names.resolve(n)).collect()
+            };
+            let dns_keys = resolve(&shard.dns_lists[i]);
+            let cdn_keys = resolve(&shard.cdn_lists[i]);
+            let ca_key = shard.ca_slot[i].map(|n| shard.names.resolve(n));
+            out.push_site(
+                shard.site_ids[i],
+                shard.dns_state[i],
+                shard.cdn_state[i],
+                shard.ca_state[i],
+                &dns_keys,
+                &cdn_keys,
+                ca_key,
+            );
+        }
+        // First-witness-wins across shards in shard order — the same
+        // entry the serial loop would have recorded first.
+        // lint:allow(hash-iter) — shard.cdn_reps is the shard's
+        // insertion-ordered Vec of rep entries, not the local map.
+        for (key, (witness, n)) in shard.cdn_reps {
+            let entry = cdn_reps.entry(key).or_insert_with(|| (witness, 0));
+            entry.1 += n;
+        }
+        // lint:allow(hash-iter) — shard.ca_reps is the shard's
+        // insertion-ordered Vec, not the local map.
+        for (key, (hosts, n)) in shard.ca_reps {
+            let entry = ca_reps.entry(key).or_insert_with(|| (hosts, 0));
+            entry.1 += n;
+        }
+        // lint:allow(hash-iter) — shard.dns_direct is the shard's
+        // insertion-ordered Vec; counts merge commutatively anyway.
+        for (key, n) in shard.dns_direct {
+            *dns_direct.entry(key).or_default() += n;
+        }
+    }
+
+    // Stage 5: inter-service measurement over the observed providers.
+    let mut client = world.client();
+    let providers = interservice::measure_providers(
+        client.resolver_mut(),
+        &cdn_reps,
+        &ca_reps,
+        &dns_direct,
+        &concentration,
+        config.threshold,
+        &world.cname_map,
+        psl,
+    );
+    for pm in &providers {
+        out.push_provider(pm);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -399,6 +657,24 @@ mod tests {
             assert_eq!(a.ca.stapled, b.ca.stapled);
         }
         assert_eq!(serial.providers.len(), parallel.providers.len());
+    }
+
+    #[test]
+    fn streamed_columnar_equals_rows_at_any_thread_count() {
+        let world = World::generate(WorldConfig::small(79));
+        let config = |threads: usize| MeasureConfig {
+            threshold: 3,
+            max_sites: Some(300),
+            threads,
+        };
+        let rows = ColumnarDataset::from_rows(&measure_world_with(&world, config(1)));
+        for threads in [1usize, 2, 8] {
+            let streamed = measure_world_columnar_with(&world, config(threads));
+            assert_eq!(
+                streamed, rows,
+                "streamed columnar dataset diverged from rows at threads={threads}"
+            );
+        }
     }
 
     #[test]

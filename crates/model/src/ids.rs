@@ -20,9 +20,17 @@ macro_rules! define_id {
                 self.0 as usize
             }
 
-            /// Builds an id from a raw index.
+            /// Builds an id from a raw index. Panics if `index` does
+            /// not fit the 32-bit id space rather than silently
+            /// truncating (a 1M-site world is the first realistic path
+            /// to overflow going unnoticed).
             #[inline]
             pub fn from_index(index: usize) -> Self {
+                assert!(
+                    u32::try_from(index).is_ok(),
+                    concat!(stringify!($name), " overflow: index {} exceeds the u32 id space"),
+                    index
+                );
                 $name(index as u32)
             }
         }

@@ -29,9 +29,14 @@ impl NameId {
         self.0 as usize
     }
 
-    /// Builds an id from a raw index.
+    /// Builds an id from a raw index. Panics if `index` does not fit
+    /// the 32-bit id space rather than silently truncating.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        assert!(
+            u32::try_from(index).is_ok(),
+            "NameId overflow: index {index} exceeds the u32 id space"
+        );
         NameId(index as u32)
     }
 }
@@ -111,6 +116,15 @@ impl Interner {
         loop {
             match self.table[slot] {
                 0 => {
+                    // The probe table stores `id + 1` (0 marks empty),
+                    // so the last representable id is `u32::MAX - 1`;
+                    // a plain `as u32` here would silently wrap and
+                    // alias earlier names.
+                    assert!(
+                        self.names.len() < u32::MAX as usize,
+                        "interner overflow: {} names exhaust the 32-bit NameId space",
+                        self.names.len()
+                    );
                     let id = NameId(self.names.len() as u32);
                     self.names.push(s.into());
                     self.table[slot] = id.0 + 1;
@@ -159,6 +173,16 @@ impl Interner {
         self.names.iter().map(|n| n.as_ref())
     }
 
+    /// Bytes of heap owned by this interner: the string arena (pointers
+    /// plus payloads) and the probe table. Used by the columnar core's
+    /// bytes-per-site budget accounting.
+    pub fn heap_bytes(&self) -> usize {
+        let arena_ptrs = self.names.capacity() * std::mem::size_of::<Box<str>>();
+        let arena_payload: usize = self.names.iter().map(|n| n.len()).sum();
+        let table = self.table.capacity() * std::mem::size_of::<u32>();
+        arena_ptrs + arena_payload + table
+    }
+
     /// Rebuilds the probe table at `capacity` slots (power of two).
     fn grow_table(&mut self, capacity: usize) {
         let capacity = capacity.next_power_of_two().max(16);
@@ -169,10 +193,32 @@ impl Interner {
             while self.table[slot] != 0 {
                 slot = (slot + 1) & mask;
             }
-            self.table[slot] = idx as u32 + 1;
+            // Same `id + 1` encoding as `intern`; the checked add keeps
+            // a rebuild from wrapping an id that `intern` would reject.
+            let encoded = u32::try_from(idx).ok().and_then(|idx| idx.checked_add(1));
+            match encoded {
+                Some(v) => self.table[slot] = v,
+                // lint:allow(panic) — id-space exhaustion is a hard
+                // programmer error; wrapping here would silently alias
+                // interned names.
+                None => {
+                    panic!("interner overflow: arena index {idx} exceeds the u32 slot encoding")
+                }
+            }
         }
     }
 }
+
+/// Two interners are equal when they intern the same names in the same
+/// order — the probe table is an implementation detail (its layout
+/// depends on growth history, not content).
+impl PartialEq for Interner {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for Interner {}
 
 #[cfg(test)]
 mod tests {

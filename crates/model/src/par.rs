@@ -75,7 +75,10 @@ pub fn effective_jobs(requested: usize, nitems: usize) -> usize {
 /// one chunk, so the two cannot diverge.
 ///
 /// A panicking worker is re-raised on the calling thread via
-/// [`std::panic::resume_unwind`] after all workers joined.
+/// [`std::panic::resume_unwind`] after all workers joined. When several
+/// workers panic, the payload of the *first chunk in input order* is the
+/// one re-raised — so the surfaced error is deterministic at any worker
+/// count (the serial path would have hit that item first, too).
 pub fn fan_out_chunked<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -100,7 +103,14 @@ where
         for h in handles {
             match h.join() {
                 Ok(part) => merged.extend(part),
-                Err(payload) => panicked = Some(payload),
+                // Handles are joined in chunk order; keep the first
+                // payload so later panics cannot mask the one a serial
+                // run would have surfaced.
+                Err(payload) => {
+                    if panicked.is_none() {
+                        panicked = Some(payload);
+                    }
+                }
             }
         }
         if let Some(payload) = panicked {
@@ -176,6 +186,34 @@ mod tests {
         assert_eq!(resolve_jobs(1), 1);
         assert!(resolve_jobs(0) >= 1);
         assert!(resolve_jobs(0) <= MAX_AUTO_JOBS || resolve_jobs(0) > 0);
+    }
+
+    #[test]
+    fn first_panic_in_chunk_order_wins() {
+        // 40 items over 4 workers → chunks of 10. Items 5 (chunk 0) and
+        // 35 (chunk 3) both panic; the surfaced payload must be chunk
+        // 0's, exactly as a serial run would have reported, no matter
+        // which worker thread finished (or panicked) first.
+        let items: Vec<u32> = (0..40).collect();
+        for _ in 0..16 {
+            let result = std::panic::catch_unwind(|| {
+                fan_out(&items, 4, |x| {
+                    assert!(*x != 5, "first chunk failed");
+                    assert!(*x != 35, "last chunk failed");
+                    *x
+                })
+            });
+            let payload = result.expect_err("a panicking worker must propagate");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("<non-string payload>");
+            assert!(
+                msg.contains("first chunk failed"),
+                "expected the first chunk's panic, got: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -35,12 +35,12 @@ echo "== bench smoke (2 samples, scratch output; compiles + runs every target) =
 # must be absolute to land in the repo-root target/ scratch dir.
 WEBDEPS_BENCH_OUT="$PWD/target" WEBDEPS_BENCH_SAMPLES=2 WEBDEPS_BENCH_SAMPLE_MS=5 \
     WEBDEPS_BENCH_WARMUP_MS=5 cargo bench -q --offline -p webdeps-bench \
-    --bench analysis --bench pipeline >/dev/null
-ls -l target/BENCH_analysis.json target/BENCH_pipeline.json
+    --bench analysis --bench pipeline --bench measure_world >/dev/null
+ls -l target/BENCH_analysis.json target/BENCH_pipeline.json target/BENCH_measure_world.json
 
 if [[ "${1:-}" == "--bench" ]]; then
-    echo "== cargo bench (std harness, JSON trajectory) =="
-    cargo bench --offline --workspace
+    echo "== cargo bench (std harness, JSON trajectory; 1M columnar scale opt-in) =="
+    WEBDEPS_BENCH_1M=1 cargo bench --offline --workspace
     ls -l BENCH_*.json
 fi
 

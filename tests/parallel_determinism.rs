@@ -23,12 +23,12 @@ use std::sync::OnceLock;
 use webdeps::chaos::campaign::random_schedule;
 use webdeps::chaos::{dyn_two_wave, replay, run_campaign, CampaignConfig};
 use webdeps::core::{
-    simulate_outage_at_with_jobs, simulate_outage_with_jobs, DepGraph, MetricOptions, Metrics,
-    NodeRef,
+    coverage_curve, coverage_curve_columnar, simulate_outage_at_with_jobs,
+    simulate_outage_with_jobs, DepGraph, MetricOptions, Metrics, NodeRef,
 };
 use webdeps::dns::SimTime;
-use webdeps::measure::pipeline::{measure_world_with, MeasureConfig};
-use webdeps::measure::MeasurementDataset;
+use webdeps::measure::pipeline::{measure_world_columnar_with, measure_world_with, MeasureConfig};
+use webdeps::measure::{ColumnarDataset, MeasurementDataset};
 use webdeps::model::{ServiceKind, SiteId};
 use webdeps::worldgen::{SnapshotYear, World, WorldConfig};
 use webdeps_testkit::{check_with, gen, tk_assert, Config};
@@ -113,6 +113,110 @@ fn measurement_dataset_identical_at_any_thread_count() {
             }
             Ok(())
         },
+    );
+}
+
+/// The streamed columnar pipeline never materializes rows, yet must
+/// equal the row pipeline converted columnar — same interner contents,
+/// same packed states, same CSR columns — at every worker count.
+#[test]
+fn columnar_dataset_identical_at_any_thread_count_and_matches_rows() {
+    let world = crawl_world();
+    let config = |threads: usize| MeasureConfig {
+        max_sites: Some(250),
+        threads,
+        ..MeasureConfig::for_world(world)
+    };
+    let reference = ColumnarDataset::from_rows(&measure_world_with(world, config(1)));
+    for threads in [1usize, 2, 8] {
+        let streamed = measure_world_columnar_with(world, config(threads));
+        assert_eq!(
+            streamed, reference,
+            "columnar dataset diverged at threads={threads}"
+        );
+    }
+}
+
+/// The columnar graph build equals the row build at any jobs value,
+/// and every ranking derived from it — every service kind, every
+/// option set, 1 or 8 workers — is byte-identical to the row path.
+#[test]
+fn columnar_graph_and_rankings_match_row_path() {
+    let cds = ColumnarDataset::from_rows(analysis_dataset());
+    let row_graph = analysis_graph();
+    for jobs in [1usize, 8] {
+        let col_graph = DepGraph::from_columnar_with_jobs(&cds, jobs);
+        assert_eq!(
+            &col_graph, row_graph,
+            "columnar graph diverged at jobs={jobs}"
+        );
+    }
+    let col_graph = DepGraph::from_columnar(&cds);
+    let row_metrics = Metrics::new(row_graph);
+    let col_metrics = Metrics::new(&col_graph);
+    for opts in option_pool() {
+        for kind in [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca] {
+            let row = row_metrics.ranking_with_jobs(kind, &opts, 1);
+            for jobs in [1usize, 8] {
+                assert_eq!(
+                    col_metrics.ranking_with_jobs(kind, &opts, jobs),
+                    row,
+                    "columnar ranking for {kind:?} diverged at jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+/// Bitset-based columnar consumer sets produce the exact coverage
+/// curve the row path's hash-set unions produce.
+#[test]
+fn columnar_coverage_matches_rows() {
+    let ds = analysis_dataset();
+    let cds = ColumnarDataset::from_rows(ds);
+    for kind in [
+        ServiceKind::Dns,
+        ServiceKind::Cdn,
+        ServiceKind::Ca,
+        ServiceKind::Cloud,
+    ] {
+        assert_eq!(
+            coverage_curve_columnar(&cds, kind),
+            coverage_curve(ds, kind),
+            "columnar coverage for {kind:?} diverged from rows"
+        );
+    }
+}
+
+/// Impact predicted from the columnar-built graph is confirmed by the
+/// behavioral outage simulation: every site the columnar graph marks
+/// critically dependent actually breaks when the provider fails.
+#[test]
+fn columnar_graph_impact_is_confirmed_by_outage_simulation() {
+    let world = analysis_world();
+    let ds = analysis_dataset();
+    let cds = ColumnarDataset::from_rows(ds);
+    let graph = DepGraph::from_columnar(&cds);
+    let metrics = Metrics::new(&graph);
+    let provider_key = "domaincontrol.com";
+    let node = graph
+        .provider(provider_key, ServiceKind::Dns)
+        .expect("observed provider");
+    let predicted = metrics.dependent_sites(node, true, &MetricOptions::direct_only());
+    let result = simulate_outage_with_jobs(world, &[provider_key], false, 4)
+        .expect("provider is in the world catalog");
+    let simulated: std::collections::HashSet<_> = result.affected.iter().copied().collect();
+    for site in &predicted {
+        assert!(
+            simulated.contains(site),
+            "site {site} predicted critical by the columnar graph but survived"
+        );
+    }
+    assert!(
+        simulated.len() <= predicted.len() + ds.sites.len() / 10,
+        "simulated {} vs predicted {}",
+        simulated.len(),
+        predicted.len()
     );
 }
 

@@ -3,7 +3,7 @@
 //! for `proptest`): every case is a pure function of the base seed, and
 //! failures report a reproducing `TESTKIT_SEED` plus a shrunk input.
 
-use webdeps::core::{DepGraph, EdgeKind, MetricOptions, Metrics, NodeRef};
+use webdeps::core::{EdgeKind, GraphBuilder, MetricOptions, Metrics, NodeRef};
 use webdeps::dns::{SimTime, Ttl};
 use webdeps::measure::ProviderKey;
 use webdeps::model::name::dn;
@@ -150,7 +150,7 @@ fn metrics_bfs_equals_recursion() {
         "metrics_bfs_equals_recursion",
         &inputs,
         |&(seed, n_sites, n_providers, n_edges)| {
-            let mut g = DepGraph::default();
+            let mut g = GraphBuilder::new();
             let sites: Vec<_> = (0..n_sites)
                 .map(|i| g.intern(NodeRef::Site(SiteId(i as u32))))
                 .collect();
@@ -163,13 +163,15 @@ fn metrics_bfs_equals_recursion() {
                     ))
                 })
                 .collect();
+            let kind_of: std::collections::HashMap<_, _> = providers
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, kinds[i % 3]))
+                .collect();
             let mut rng = DetRng::new(seed);
             for _ in 0..n_edges {
                 let to = providers[rng.below(providers.len())];
-                let to_kind = match g.node(to) {
-                    NodeRef::Provider(_, k) => *k,
-                    _ => unreachable!(),
-                };
+                let to_kind = kind_of[&to];
                 let critical = rng.chance(0.5);
                 if rng.chance(0.7) {
                     let from = sites[rng.below(sites.len())];
@@ -195,6 +197,7 @@ fn metrics_bfs_equals_recursion() {
                     }
                 }
             }
+            let g = g.build();
             let metrics = Metrics::new(&g);
             for opts in [MetricOptions::direct_only(), MetricOptions::full()] {
                 for &p in &providers {
