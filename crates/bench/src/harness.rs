@@ -229,7 +229,7 @@ impl Group<'_> {
             .measured
             .unwrap_or_else(|| panic!("bench '{}/{}' never called Bencher::iter", self.name, name));
         let mut sorted = per_iter_ns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = if sorted.len() % 2 == 1 {
             sorted[sorted.len() / 2]
         } else {

@@ -70,3 +70,32 @@ pub fn racy_merge(xs: &[u32]) -> Vec<u32> {
     });
     acc
 }
+
+// The three interprocedural rules: each hazard hides in a private
+// helper, invisible to the per-file rules at the pub API.
+
+fn hidden_panic(v: &[u32]) -> u32 {
+    v.first().copied().expect("non-empty")
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    hidden_panic(v)
+}
+
+fn now_tag() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn stamp() -> u64 {
+    let t = now_tag();
+    size_of_val(&t) as u64
+}
+
+fn mint() -> u64 {
+    let mut rng = DetRng::new(9);
+    rng.next_u64()
+}
+
+pub fn draw() -> u64 {
+    mint()
+}

@@ -286,7 +286,7 @@ fn rule_seed_flow(ctx: &FileCtx, cfg: &Config) -> Vec<Violation> {
 }
 
 /// Whether `code[i]` is followed by `:: method (`.
-fn path_call(code: &[Tok], i: usize, method: &str) -> bool {
+pub(crate) fn path_call(code: &[Tok], i: usize, method: &str) -> bool {
     code.get(i + 1).is_some_and(|t| t.is_punct(':'))
         && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
         && code.get(i + 3).is_some_and(|t| t.is_ident(method))

@@ -5,14 +5,22 @@
 //!
 //! 1. **facts** — every file is read, hashed, and (for sources) parsed
 //!    to extract its signature facts (which fns return
-//!    `Result`/`Report`). Facts are cached keyed by *content hash
-//!    alone*: a file's facts cannot depend on anything outside it.
+//!    `Result`/`Report`) and its per-function interprocedural
+//!    summaries ([`crate::interproc`]). Both are cached keyed by
+//!    *content hash alone*: a file's facts and summaries cannot depend
+//!    on anything outside it.
 //! 2. **rules** — the per-file fact lists merge into a [`SigTable`],
 //!    and the rule passes run per file. Diagnostics are cached keyed by
 //!    content hash *plus* a meta hash covering the tool version, the
 //!    configuration fingerprint, and the sig-table fingerprint — so
 //!    editing one file re-lints exactly the touched file unless its
 //!    edit changed a workspace-visible signature.
+//!
+//! After phase 2, the cached summaries merge into one workspace call
+//! graph and the interprocedural rules evaluate centrally. That graph
+//! propagation is cheap (milliseconds) and intentionally *not* cached:
+//! on a warm run every summary replays from the cache, so the whole
+//! interprocedural layer costs one SCC pass.
 //!
 //! Both phases fan out over the workspace-shared deterministic helper
 //! ([`webdeps_model::par::fan_out`]): workers each own a contiguous
@@ -26,6 +34,7 @@ use crate::config::Config;
 use crate::dataflow::SigTable;
 use crate::diag;
 use crate::diag::{Report, Severity, StaleBaseline, Suppressed, Violation};
+use crate::interproc::{self, CallRef, FileSummaries, FnSummary, InterprocAllow};
 use crate::json::{self, Json};
 use crate::layering;
 use crate::workspace::{self, FileOutcome};
@@ -37,10 +46,10 @@ use std::path::{Path, PathBuf};
 
 /// Tool identity folded into the diagnostic cache key; bump on any
 /// release that changes rule behavior.
-pub const TOOL_VERSION: &str = "webdeps-lint/2";
+pub const TOOL_VERSION: &str = "webdeps-lint/3";
 
 /// Cache file schema tag.
-const CACHE_SCHEMA: &str = "webdeps-lint-cache/1";
+const CACHE_SCHEMA: &str = "webdeps-lint-cache/2";
 
 /// Baseline file schema tag.
 const BASELINE_SCHEMA: &str = "webdeps-lint-baseline/1";
@@ -98,6 +107,7 @@ struct Prepared {
     src: String,
     hash: u64,
     facts: Vec<String>,
+    summaries: FileSummaries,
 }
 
 /// One replayable cache record.
@@ -105,6 +115,7 @@ struct CacheEntry {
     hash: u64,
     meta: u64,
     facts: Vec<String>,
+    summaries: FileSummaries,
     outcome: FileOutcome,
 }
 
@@ -130,10 +141,10 @@ pub fn drive(root: &Path, cfg: &Config, opts: &DriveOptions) -> io::Result<Drive
         let src = fs::read_to_string(path)?;
         let rel = workspace::rel_path(root, path);
         let hash = hash_bytes(src.as_bytes());
-        let facts = match cache_ref.get(&rel) {
-            Some(e) if e.hash == hash => e.facts.clone(),
-            _ if *kind == FileKind::Source => workspace::collect_file_facts(&src),
-            _ => Vec::new(),
+        let (facts, summaries) = match cache_ref.get(&rel) {
+            Some(e) if e.hash == hash => (e.facts.clone(), e.summaries.clone()),
+            _ if *kind == FileKind::Source => workspace::collect_file_analysis(&rel, &src),
+            _ => (Vec::new(), FileSummaries::default()),
         };
         Ok(Prepared {
             rel,
@@ -141,6 +152,7 @@ pub fn drive(root: &Path, cfg: &Config, opts: &DriveOptions) -> io::Result<Drive
             src,
             hash,
             facts,
+            summaries,
         })
     })?;
 
@@ -194,6 +206,31 @@ pub fn drive(root: &Path, cfg: &Config, opts: &DriveOptions) -> io::Result<Drive
             report.unused_allows.push((p.rel.clone(), *line));
         }
     }
+
+    // Central interprocedural pass: merge every file's (possibly
+    // cache-replayed) summaries into one call graph and evaluate the
+    // reachability rules. `prepared` is in sorted-path order, so node
+    // ids — and therefore the propagated sources and witness chains —
+    // are identical at any worker count.
+    let nodes: Vec<FnSummary> = prepared
+        .iter()
+        .flat_map(|p| p.summaries.fns.iter().cloned())
+        .collect();
+    let mut allows: Vec<(String, InterprocAllow)> = prepared
+        .iter()
+        .flat_map(|p| {
+            p.summaries
+                .allows
+                .iter()
+                .map(|a| (p.rel.clone(), a.clone()))
+        })
+        .collect();
+    let graph = interproc::CallGraph::build(nodes);
+    let (iviolations, isuppressed, iunused) = interproc::evaluate(&graph, cfg, &mut allows);
+    report.violations.extend(iviolations);
+    report.suppressed.extend(isuppressed);
+    report.unused_allows.extend(iunused);
+
     if let Some(path) = &opts.baseline_path {
         apply_baseline(&mut report, &load_baseline(path));
     }
@@ -276,12 +313,25 @@ fn load_cache(path: &Path) -> BTreeMap<String, CacheEntry> {
                     .collect()
             })
             .unwrap_or_default();
+        let summaries = FileSummaries {
+            fns: entry
+                .get("fns")
+                .and_then(Json::as_arr)
+                .map(|fs| fs.iter().filter_map(|f| read_summary(rel, f)).collect())
+                .unwrap_or_default(),
+            allows: entry
+                .get("iallows")
+                .and_then(Json::as_arr)
+                .map(|xs| xs.iter().filter_map(read_iallow).collect())
+                .unwrap_or_default(),
+        };
         out.insert(
             rel.to_string(),
             CacheEntry {
                 hash,
                 meta,
                 facts,
+                summaries,
                 outcome: FileOutcome {
                     violations,
                     suppressed,
@@ -291,6 +341,78 @@ fn load_cache(path: &Path) -> BTreeMap<String, CacheEntry> {
         );
     }
     out
+}
+
+/// Decodes one cached function summary. The defining file is the cache
+/// entry's path, not serialized per fn.
+fn read_summary(rel: &str, s: &Json) -> Option<FnSummary> {
+    let u32_of = |key: &str| s.get(key).and_then(Json::as_u64).map(|n| n as u32);
+    Some(FnSummary {
+        name: s.get("name")?.as_str()?.to_string(),
+        impl_type: s
+            .get("impl")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        file: rel.to_string(),
+        line: u32_of("line")?,
+        snippet: s
+            .get("snippet")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        is_pub: u32_of("pub").unwrap_or(0) != 0,
+        has_self: u32_of("self").unwrap_or(0) != 0,
+        ret_nonempty: u32_of("ret").unwrap_or(0) != 0,
+        panic_line: u32_of("panic").unwrap_or(0),
+        wall_line: u32_of("wall").unwrap_or(0),
+        rng_line: u32_of("rng").unwrap_or(0),
+        unordered_line: u32_of("unordered").unwrap_or(0),
+        index_count: u32_of("index").unwrap_or(0),
+        discard_count: u32_of("discard").unwrap_or(0),
+        calls: read_str_arr(s, "calls")
+            .iter()
+            .map(|c| read_call(c))
+            .collect(),
+    })
+}
+
+/// Decodes one call from its compact form: `.name` (method call),
+/// `Qual::name` (path call), or `name` (bare call).
+fn read_call(c: &str) -> CallRef {
+    if let Some(name) = c.strip_prefix('.') {
+        CallRef {
+            qual: String::new(),
+            name: name.to_string(),
+            method: true,
+        }
+    } else if let Some((qual, name)) = c.split_once("::") {
+        CallRef {
+            qual: qual.to_string(),
+            name: name.to_string(),
+            method: false,
+        }
+    } else {
+        CallRef {
+            qual: String::new(),
+            name: c.to_string(),
+            method: false,
+        }
+    }
+}
+
+fn read_iallow(a: &Json) -> Option<InterprocAllow> {
+    Some(InterprocAllow {
+        rules: read_str_arr(a, "rules"),
+        all_interproc: a.get("all").and_then(Json::as_u64).unwrap_or(0) != 0,
+        reason: a.get("reason")?.as_str()?.to_string(),
+        line: a.get("line")?.as_u64()? as u32,
+        covers: (
+            a.get("from")?.as_u64()? as u32,
+            a.get("to")?.as_u64()? as u32,
+        ),
+        used: a.get("used").and_then(Json::as_u64).unwrap_or(0) != 0,
+    })
 }
 
 fn read_hex(obj: &Json, key: &str) -> Option<u64> {
@@ -362,15 +484,19 @@ fn store_cache(
                 })
                 .collect();
             let unused: Vec<String> = o.unused_allows.iter().map(u32::to_string).collect();
+            let fns: Vec<String> = p.summaries.fns.iter().map(write_summary).collect();
+            let iallows: Vec<String> = p.summaries.allows.iter().map(write_iallow).collect();
             format!(
-                "    {{\"path\": {}, \"hash\": {}, \"meta\": {}, \"facts\": [{}], \"violations\": [{}], \"suppressed\": [{}], \"unused_allows\": [{}]}}",
+                "    {{\"path\": {}, \"hash\": {}, \"meta\": {}, \"facts\": [{}], \"violations\": [{}], \"suppressed\": [{}], \"unused_allows\": [{}], \"fns\": [{}], \"iallows\": [{}]}}",
                 diag::json_str(&p.rel),
                 diag::json_str(&format!("{:016x}", p.hash)),
                 diag::json_str(&format!("{meta:016x}")),
                 facts.join(", "),
                 violations.join(", "),
                 suppressed.join(", "),
-                unused.join(", ")
+                unused.join(", "),
+                fns.join(", "),
+                iallows.join(", ")
             )
         })
         .collect();
@@ -382,6 +508,56 @@ fn store_cache(
         }
     }
     fs::write(path, out)
+}
+
+/// Encodes one function summary; boolean flags are stored as 0/1 and
+/// calls in the compact form [`read_call`] decodes.
+fn write_summary(s: &FnSummary) -> String {
+    let calls: Vec<String> = s
+        .calls
+        .iter()
+        .map(|c| {
+            let text = if c.method {
+                format!(".{}", c.name)
+            } else if c.qual.is_empty() {
+                c.name.clone()
+            } else {
+                format!("{}::{}", c.qual, c.name)
+            };
+            diag::json_str(&text)
+        })
+        .collect();
+    format!(
+        "{{\"name\": {}, \"impl\": {}, \"line\": {}, \"snippet\": {}, \"pub\": {}, \"self\": {}, \"ret\": {}, \"panic\": {}, \"wall\": {}, \"rng\": {}, \"unordered\": {}, \"index\": {}, \"discard\": {}, \"calls\": [{}]}}",
+        diag::json_str(&s.name),
+        diag::json_str(&s.impl_type),
+        s.line,
+        diag::json_str(&s.snippet),
+        u32::from(s.is_pub),
+        u32::from(s.has_self),
+        u32::from(s.ret_nonempty),
+        s.panic_line,
+        s.wall_line,
+        s.rng_line,
+        s.unordered_line,
+        s.index_count,
+        s.discard_count,
+        calls.join(", ")
+    )
+}
+
+fn write_iallow(a: &InterprocAllow) -> String {
+    let rules: Vec<String> = a.rules.iter().map(|r| diag::json_str(r)).collect();
+    format!(
+        "{{\"rules\": [{}], \"all\": {}, \"reason\": {}, \"line\": {}, \"from\": {}, \"to\": {}, \"used\": {}}}",
+        rules.join(", "),
+        u32::from(a.all_interproc),
+        diag::json_str(&a.reason),
+        a.line,
+        a.covers.0,
+        a.covers.1,
+        u32::from(a.used)
+    )
 }
 
 fn write_violation(v: &Violation) -> String {

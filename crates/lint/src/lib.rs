@@ -23,6 +23,15 @@
 //! * **concurrency-safety** — `thread-capture` (spawned closures
 //!   return shard results merged after join instead of mutating a
 //!   captured accumulator);
+//! * **reachability** — the interprocedural rules ([`interproc`]):
+//!   `panic-reachable` (no pub API outside bench/testkit from which an
+//!   unjustified panic site is reachable), `taint-escape` (no pub fn
+//!   return value that can carry wall-clock or hash-iteration-order
+//!   taint minted in a callee), and `seed-flow-transitive` (no pub fn
+//!   outside the seeded crates that can reach an RNG-minting site
+//!   through any call chain). Per-function summaries are cached by
+//!   content hash; only the cheap SCC-condensed graph propagation
+//!   re-runs warm;
 //! * **layering & hygiene** — `layering` (crate edges follow the
 //!   declared DAG `model → {dns,tls,web} → worldgen → measure → core →
 //!   chaos → reports`, with `testkit`/`bench`/`lint` leaf-only),
@@ -35,7 +44,7 @@
 //! fans files out over scoped threads and replays unchanged files from
 //! an on-disk cache, merging diagnostics in path order so warm, cold,
 //! serial, and parallel runs all render byte-identical reports
-//! (schema `webdeps-lint/2`).
+//! (schema `webdeps-lint/3`).
 //!
 //! Violations can be suppressed inline, one per site:
 //!
@@ -54,6 +63,7 @@ pub mod config;
 pub mod dataflow;
 pub mod diag;
 pub mod driver;
+pub mod interproc;
 pub mod json;
 pub mod layering;
 pub mod lexer;

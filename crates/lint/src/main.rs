@@ -37,6 +37,8 @@ OPTIONS:
                         violations, then exit 0
     --suppressions      List every suppressed violation with its reason
     --list-rules        Print the rule catalog and exit
+    --explain <RULE>    Print one rule's full catalog entry (severity,
+                        rationale, example, allow syntax) and exit
     -h, --help          Show this help
 ";
 
@@ -122,8 +124,26 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--suppressions" => args.show_suppressions = true,
             "--list-rules" => {
-                for (name, sev, desc) in config::RULES {
-                    println!("{name:<16} [{:<4}] {desc}", sev.label());
+                for r in config::RULES {
+                    println!("{:<20} [{:<4}] {}", r.name, r.severity.label(), r.summary);
+                }
+                return Ok(None);
+            }
+            "--explain" => {
+                let rule = it.next().ok_or("--explain needs a rule name")?;
+                let Some(info) = config::rule_info(&rule) else {
+                    return Err(format!("unknown rule {rule:?}; see --list-rules"));
+                };
+                println!("{} [{}]", info.name, info.severity.label());
+                println!("  {}", info.summary);
+                println!("\nWhy:\n  {}", info.rationale);
+                println!("\nExample (flagged):");
+                for line in info.example.lines() {
+                    println!("  {line}");
+                }
+                println!("\nJustified sites:");
+                for line in info.allow_hint.lines() {
+                    println!("  {line}");
                 }
                 return Ok(None);
             }

@@ -55,6 +55,10 @@ pub enum ItemKind {
     },
     /// An `impl` block; its methods appear as child items.
     Impl {
+        /// Head identifier of the implemented-on type: `Foo` for
+        /// `impl Foo<T>` and for `impl Trait for Foo`. Empty when the
+        /// head is not a plain identifier (e.g. `impl &Foo`).
+        type_name: String,
         /// Child items (methods, associated consts).
         items: Vec<Item>,
     },
@@ -291,16 +295,22 @@ impl<'a> Parser<'a> {
             }
         } else if self.at_ident("impl") {
             self.bump();
-            // Skip generics, the type (and optional `for Type`), and any
-            // where clause, up to the body `{`.
-            self.skip_until_body();
+            self.skip_generics();
+            // Scan the head — the type (and optional `for Type`) plus
+            // any where clause — up to the body `{`, capturing the
+            // implemented-on type's name for call resolution.
+            let type_name = self.impl_head_type();
             if self.at_punct('{') {
                 self.bump();
                 ItemKind::Impl {
+                    type_name,
                     items: self.parse_items(Some('}')),
                 }
             } else {
-                ItemKind::Impl { items: Vec::new() }
+                ItemKind::Impl {
+                    type_name,
+                    items: Vec::new(),
+                }
             }
         } else if self
             .peek(0)
@@ -543,6 +553,45 @@ impl<'a> Parser<'a> {
             self.bump();
         }
         out
+    }
+
+    /// Consumes an `impl` head (after its generics) up to the body `{`
+    /// or a `;`, returning the head identifier of the implemented-on
+    /// type: the last depth-0 path segment before the body, with the
+    /// trait part of `impl Trait for Type` discarded and the `where`
+    /// clause ignored.
+    fn impl_head_type(&mut self) -> String {
+        let mut name = String::new();
+        let mut depth = 0i32;
+        let mut in_where = false;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('-') && self.peek(1).is_some_and(|n| n.is_punct('>')) {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                return name;
+            }
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+            if depth == 0 && t.kind == TokKind::Ident {
+                if t.is_ident("for") {
+                    // `impl Trait for Type`: everything so far named the
+                    // trait; the type follows.
+                    name.clear();
+                } else if t.is_ident("where") {
+                    in_where = true;
+                } else if !in_where {
+                    name = t.text.clone();
+                }
+            }
+            self.bump();
+        }
+        name
     }
 
     /// Skips tokens until a top-level `{` or `;` (neither consumed
@@ -909,7 +958,7 @@ pub fn walk_fns<'a>(items: &'a [Item], f: &mut dyn FnMut(&'a Item, &'a FnItem)) 
                     walk_block_fns(body, f);
                 }
             }
-            ItemKind::Mod { items, .. } | ItemKind::Impl { items } => walk_fns(items, f),
+            ItemKind::Mod { items, .. } | ItemKind::Impl { items, .. } => walk_fns(items, f),
             _ => {}
         }
     }

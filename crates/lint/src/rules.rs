@@ -176,7 +176,7 @@ fn rule_env_rand(ctx: &FileCtx) -> Vec<Violation> {
 }
 
 /// Iterator-producing methods on hash collections.
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -286,7 +286,7 @@ fn rule_hash_iter(ctx: &FileCtx) -> Vec<Violation> {
 /// Names declared with a hash-collection type or constructor anywhere
 /// in the file: `name: HashMap<…>` (fields, params, lets) and
 /// `let name = HashMap::new()` and friends.
-fn collect_hash_names(code: &[Tok]) -> BTreeSet<String> {
+pub(crate) fn collect_hash_names(code: &[Tok]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for i in 0..code.len() {
         let t = &code[i];
@@ -344,7 +344,7 @@ fn collect_hash_names(code: &[Tok]) -> BTreeSet<String> {
 /// For `for … in <expr> {`, returns the receiver identifier when the
 /// loop source is a plain (possibly `self.`-qualified, referenced)
 /// path — calls and indexing disqualify it.
-fn for_loop_receiver(code: &[Tok], for_idx: usize) -> Option<(usize, String)> {
+pub(crate) fn for_loop_receiver(code: &[Tok], for_idx: usize) -> Option<(usize, String)> {
     // Find `in` at depth 0 (patterns may contain parens/tuples).
     let mut depth = 0i32;
     let mut j = for_idx + 1;
@@ -397,7 +397,7 @@ fn for_loop_receiver(code: &[Tok], for_idx: usize) -> Option<(usize, String)> {
 /// leaving the enclosing block. This is what lets
 /// `let mut v: Vec<_> = map.iter().collect(); v.sort();` pass while a
 /// bare iteration into output is flagged.
-fn sanctioned(code: &[Tok], i: usize) -> bool {
+pub(crate) fn sanctioned(code: &[Tok], i: usize) -> bool {
     let mut depth = 0i32;
     let mut semis = 0u32;
     for t in code[i..].iter().take(SANCTION_WINDOW) {

@@ -5,10 +5,11 @@
 //! The parallel/incremental machinery lives in [`crate::driver`]; this
 //! module owns what happens to *one* file.
 
-use crate::config::Config;
+use crate::config::{self, Config};
 use crate::dataflow::{self, SigTable};
 use crate::diag::{Report, Suppressed};
 use crate::driver::{self, DriveOptions};
+use crate::interproc::{self, FileSummaries};
 use crate::parser;
 use crate::rules;
 use crate::scan::FileCtx;
@@ -53,6 +54,19 @@ pub fn collect_file_facts(src: &str) -> Vec<String> {
     dataflow::collect_facts(&parsed)
 }
 
+/// Phase 1 of the driver in one lex+parse: signature facts for the
+/// [`SigTable`] plus this file's function summaries and
+/// interprocedural allows. Everything here depends only on file
+/// content and path, so the driver caches it by content hash and warm
+/// runs skip straight to graph propagation.
+pub fn collect_file_analysis(rel_path: &str, src: &str) -> (Vec<String>, FileSummaries) {
+    let ctx = FileCtx::new(rel_path, src);
+    let parsed = parser::parse(&ctx.code);
+    let facts = dataflow::collect_facts(&parsed);
+    let summaries = interproc::extract(&ctx, &parsed);
+    (facts, summaries)
+}
+
 /// Runs every rule pass (token + dataflow) over one source file and
 /// applies its suppressions. Phase 2 of the driver.
 pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config, sigs: &SigTable) -> FileOutcome {
@@ -80,7 +94,10 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config, sigs: &SigTable) 
         }
     }
     for (idx, s) in ctx.suppressions.iter().enumerate() {
-        if !used[idx] {
+        // Directives naming an interprocedural rule are matched by the
+        // central pass ([`interproc::evaluate`]), which this per-file
+        // view cannot see; it owns their unused-allow reporting.
+        if !used[idx] && !s.rules.iter().any(|r| config::is_interproc_rule(r)) {
             outcome.unused_allows.push(s.line);
         }
     }
@@ -93,7 +110,8 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config, sigs: &SigTable) 
 /// limited to fns the snippet itself defines.
 #[must_use]
 pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Report {
-    let sigs = SigTable::from_facts(collect_file_facts(src).iter().map(|s| s.as_str()));
+    let (facts, summaries) = collect_file_analysis(rel_path, src);
+    let sigs = SigTable::from_facts(facts.iter().map(|s| s.as_str()));
     let outcome = analyze_source(rel_path, src, cfg, &sigs);
     let mut report = Report {
         files_scanned: 1,
@@ -105,6 +123,17 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Report {
     for line in outcome.unused_allows {
         report.unused_allows.push((rel_path.to_string(), line));
     }
+    // The interprocedural pass over this one file's call graph.
+    let graph = interproc::CallGraph::build(summaries.fns);
+    let mut allows: Vec<(String, interproc::InterprocAllow)> = summaries
+        .allows
+        .into_iter()
+        .map(|a| (rel_path.to_string(), a))
+        .collect();
+    let (violations, suppressed, unused) = interproc::evaluate(&graph, cfg, &mut allows);
+    report.violations.extend(violations);
+    report.suppressed.extend(suppressed);
+    report.unused_allows.extend(unused);
     report.sort();
     report
 }

@@ -7,8 +7,8 @@ use std::process::{Command, Output};
 const BAD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/bad");
 const CLEAN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/clean");
 
-/// Every rule the bad fixture trips: the token/manifest rules plus the
-/// five dataflow rules.
+/// Every rule the bad fixture trips: the token/manifest rules, the
+/// five dataflow rules, and the three interprocedural rules.
 const ALL_RULES: &[&str] = &[
     "panic",
     "wall-clock",
@@ -24,6 +24,9 @@ const ALL_RULES: &[&str] = &[
     "float-ord",
     "must-use-api",
     "thread-capture",
+    "panic-reachable",
+    "taint-escape",
+    "seed-flow-transitive",
 ];
 
 /// Runs the binary cache-free (tests must not write caches into the
@@ -135,11 +138,42 @@ fn warn_rules_gate_only_under_deny_warnings() {
 #[test]
 fn parallel_report_is_byte_identical_to_serial() {
     let serial = run(&["--root", BAD, "--json", "--jobs", "1"]);
-    let parallel = run(&["--root", BAD, "--json", "--jobs", "8"]);
-    assert_eq!(serial.status.code(), parallel.status.code());
-    assert_eq!(
-        serial.stdout, parallel.stdout,
-        "jobs count must not change the report"
+    for jobs in ["2", "8"] {
+        let parallel = run(&["--root", BAD, "--json", "--jobs", jobs]);
+        assert_eq!(serial.status.code(), parallel.status.code());
+        assert_eq!(
+            serial.stdout, parallel.stdout,
+            "--jobs {jobs} must not change the report"
+        );
+    }
+}
+
+#[test]
+fn interprocedural_rules_cite_source_and_witness_chain() {
+    let out = run(&["--root", BAD, "--json"]);
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    for witness in [
+        "via head -> hidden_panic",
+        "via stamp -> now_tag",
+        "via draw -> mint",
+    ] {
+        assert!(
+            json.contains(witness),
+            "interproc diagnostics must carry the call chain {witness:?}; report:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn justified_site_does_not_propagate_to_callers() {
+    // The clean fixture's `head` calls `first`, whose panic site
+    // carries a justified allow directive — the justification
+    // discharges the hazard for every caller.
+    let out = run(&["--root", CLEAN, "--json"]);
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        !json.contains("\"rule\": \"panic-reachable\""),
+        "justified panic sites must not taint callers; report:\n{json}"
     );
 }
 
@@ -182,7 +216,7 @@ fn json_out_writes_the_report_to_disk() {
     ]);
     assert_eq!(out.status.code(), Some(0));
     let written = std::fs::read_to_string(&path).expect("json-out file");
-    assert!(written.contains("\"schema\": \"webdeps-lint/2\""));
+    assert!(written.contains("\"schema\": \"webdeps-lint/3\""));
     std::fs::remove_file(&path).ok();
 }
 
@@ -202,4 +236,42 @@ fn list_rules_prints_the_catalog() {
     for rule in ALL_RULES {
         assert!(text.contains(rule), "catalog must list {rule}:\n{text}");
     }
+}
+
+#[test]
+fn explain_covers_the_full_rule_registry() {
+    // Every rule --list-rules names must have a complete --explain
+    // entry: severity tag, a rationale, an example, and allow syntax.
+    let listing = run(&["--list-rules"]);
+    let listed: Vec<String> = String::from_utf8(listing.stdout)
+        .expect("utf8")
+        .lines()
+        .filter_map(|l| l.split_whitespace().next().map(str::to_string))
+        .collect();
+    assert_eq!(
+        listed.len(),
+        ALL_RULES.len(),
+        "registry drifted: {listed:?}"
+    );
+    for rule in &listed {
+        let out = run(&["--explain", rule]);
+        assert_eq!(out.status.code(), Some(0), "--explain {rule} must succeed");
+        let text = String::from_utf8(out.stdout).expect("utf8");
+        for section in ["Why:", "Example (flagged):", "Justified sites:"] {
+            assert!(
+                text.contains(section),
+                "--explain {rule} missing {section:?}:\n{text}"
+            );
+        }
+        assert!(
+            text.contains("[deny]") || text.contains("[warn]"),
+            "--explain {rule} missing severity:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn explain_unknown_rule_is_a_usage_error() {
+    let out = run(&["--explain", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
 }

@@ -1,0 +1,208 @@
+//! Property and unit tests for the interprocedural layer: call-graph
+//! construction and taint propagation must never panic on parser-soup
+//! input, must be deterministic, and must propagate hazards across
+//! call chains and cycles the way the rule catalog promises.
+
+use webdeps_lint::interproc::{self, CallGraph};
+use webdeps_lint::scan::FileCtx;
+use webdeps_lint::{parser, Config};
+use webdeps_testkit::{check, gen};
+
+/// Fragments biased toward what summary extraction and call resolution
+/// inspect: fn decls, impl blocks, method/path/bare calls, hazard
+/// sites, and interprocedural suppressions. Random concatenation
+/// yields plausible-but-broken Rust.
+const FRAGMENTS: &[&str] = &[
+    "fn helper",
+    "pub fn api",
+    "impl Widget",
+    "impl Trait for Widget",
+    "(x: u32)",
+    "(&self)",
+    "-> u64",
+    "{",
+    "}",
+    ";",
+    "\n",
+    "helper(x)",
+    "self.refresh()",
+    "Self::helper(x)",
+    "Widget::new()",
+    "x.unwrap()",
+    "panic!(\"no\")",
+    "std::time::Instant::now()",
+    "SystemTime",
+    "DetRng::new(7)",
+    "Xoshiro256pp::seed_from_u64(",
+    "let m: HashMap<u32, u32> =",
+    "for k in m",
+    "m.keys()",
+    ".sort()",
+    "v[0]",
+    "let _ =",
+    "#[cfg(test)]",
+    "where",
+    "for",
+    "::",
+    "<T>",
+    "// lint:allow(panic-reachable) — soup reason",
+    "// lint:allow(taint-escape, seed-flow-transitive) — soup reason",
+];
+
+fn soup() -> gen::Gen<String> {
+    gen::vec_of(gen::usize_range(0, FRAGMENTS.len() - 1), 0, 96).map(|idxs| {
+        idxs.into_iter()
+            .map(|i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+/// The full interprocedural pipeline over one soup file: extraction,
+/// graph construction, propagation, and rule evaluation.
+fn pipeline(src: &str) -> (Vec<String>, Vec<String>) {
+    let cfg = Config::default();
+    let ctx = FileCtx::new("crates/web/src/soup.rs", src);
+    let parsed = parser::parse(&ctx.code);
+    let summaries = interproc::extract(&ctx, &parsed);
+    let mut allows: Vec<(String, interproc::InterprocAllow)> = summaries
+        .allows
+        .into_iter()
+        .map(|a| ("crates/web/src/soup.rs".to_string(), a))
+        .collect();
+    let graph = CallGraph::build(summaries.fns);
+    let (violations, suppressed, _unused) = interproc::evaluate(&graph, &cfg, &mut allows);
+    (
+        violations.iter().map(|v| format!("{v:?}")).collect(),
+        suppressed.iter().map(|s| format!("{s:?}")).collect(),
+    )
+}
+
+#[test]
+fn graph_and_propagation_never_panic_on_parser_soup() {
+    check("interproc_soup_never_panics", &soup(), |src| {
+        let src = src.clone();
+        std::panic::catch_unwind(move || pipeline(&src))
+            .map_err(|_| "interproc pipeline panicked".to_string())?;
+        Ok(())
+    });
+}
+
+#[test]
+fn graph_and_propagation_are_deterministic_on_parser_soup() {
+    check("interproc_soup_deterministic", &soup(), |src| {
+        if pipeline(src) != pipeline(src) {
+            return Err("two pipelines over identical input disagreed".to_string());
+        }
+        Ok(())
+    });
+}
+
+/// Lints one string as a web-crate library file (every rule in force).
+fn lint(src: &str) -> webdeps_lint::Report {
+    webdeps_lint::lint_source("crates/web/src/lib.rs", src, &Config::default())
+}
+
+fn rules_of(report: &webdeps_lint::Report) -> Vec<&str> {
+    report.violations.iter().map(|v| v.rule.as_str()).collect()
+}
+
+#[test]
+fn panic_propagates_across_a_three_hop_chain() {
+    let report = lint(
+        "fn sink(v: Option<u32>) -> u32 { v.unwrap() }\n\
+         fn middle(v: Option<u32>) -> u32 { sink(v) }\n\
+         pub fn api(v: Option<u32>) -> u32 { middle(v) }\n",
+    );
+    // The site itself (per-file) plus the pub API (interprocedural);
+    // the private `middle` is not an API surface and stays unflagged.
+    assert_eq!(rules_of(&report), ["panic", "panic-reachable"]);
+    let v = &report.violations[1];
+    assert!(v.message.contains("via api -> middle -> sink"), "{v:?}");
+    assert_eq!(v.line, 3);
+}
+
+#[test]
+fn recursion_cycles_converge_and_propagate() {
+    let report = lint(
+        "fn even(n: u32) -> bool { if n == 0 { true } else { odd(n - 1) } }\n\
+         fn odd(n: u32) -> bool { if n == 0 { false } else { even(n - 1) } }\n\
+         fn base() -> u32 { panic!(\"boom\") }\n\
+         pub fn parity(n: u32) -> bool { even(base() + n) }\n",
+    );
+    assert!(rules_of(&report).contains(&"panic-reachable"), "{report:?}");
+}
+
+#[test]
+fn method_and_assoc_calls_resolve_conservatively() {
+    let report = lint(
+        "pub struct W { v: Vec<u32> }\n\
+         impl W {\n\
+             fn raw(&self) -> u32 { self.v[0] + self.v.first().copied().unwrap() }\n\
+             pub fn head(&self) -> u32 { self.raw() }\n\
+         }\n\
+         pub fn make() -> u32 { W::fresh().head() }\n\
+         impl W {\n\
+             fn fresh() -> W { W { v: Vec::new() } }\n\
+         }\n",
+    );
+    let rules = rules_of(&report);
+    // `head` reaches `raw` through a method call; `make` reaches it
+    // through `W::fresh().head()`.
+    assert_eq!(
+        rules.iter().filter(|r| **r == "panic-reachable").count(),
+        2,
+        "{report:?}"
+    );
+}
+
+#[test]
+fn wall_clock_taint_only_flags_value_returning_apis() {
+    let report = lint(
+        "fn tick() -> std::time::Instant { std::time::Instant::now() }\n\
+         pub fn measure() -> u64 { let t = tick(); 0 }\n\
+         pub fn fire_and_forget() { let t = tick(); }\n",
+    );
+    let taints: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "taint-escape")
+        .collect();
+    assert_eq!(taints.len(), 1, "{report:?}");
+    assert_eq!(taints[0].line, 2, "only the value-returning API escapes");
+}
+
+#[test]
+fn interproc_allow_on_the_api_suppresses_and_is_counted() {
+    let report = lint(
+        "fn mint() -> u64 { let mut r = DetRng::new(9); r.next_u64() }\n\
+         // lint:allow(seed-flow-transitive) — test stream, draws never reach reports\n\
+         pub fn draw() -> u64 { mint() }\n",
+    );
+    assert!(
+        !rules_of(&report).contains(&"seed-flow-transitive"),
+        "{report:?}"
+    );
+    assert!(
+        report
+            .suppressed
+            .iter()
+            .any(|s| s.violation.rule == "seed-flow-transitive"),
+        "suppression must be recorded: {report:?}"
+    );
+}
+
+#[test]
+fn unused_interproc_allow_is_reported_centrally() {
+    let report = lint(
+        "// lint:allow(panic-reachable) — nothing here can actually panic\n\
+         pub fn calm() -> u32 { 1 }\n",
+    );
+    assert!(
+        report
+            .unused_allows
+            .iter()
+            .any(|(f, _)| f == "crates/web/src/lib.rs"),
+        "unused interproc allow must be reported: {report:?}"
+    );
+}

@@ -18,9 +18,14 @@ cargo test -q --offline --test parallel_determinism
 echo "== webdeps-chaos --smoke (incident replays + invariant campaign) =="
 cargo run -q --release --offline -p webdeps-chaos -- --smoke
 
-echo "== webdeps-lint v2 (static-analysis pass, warnings denied) =="
+echo "== webdeps-lint v3 (static-analysis pass, warnings denied) =="
 cargo run -q --release --offline -p webdeps-lint -- --root . --deny-warnings --json-out LINT_REPORT.json
 ls -l LINT_REPORT.json
+if ! grep -q '"schema": "webdeps-lint/3"' LINT_REPORT.json; then
+    echo "error: LINT_REPORT.json does not carry schema webdeps-lint/3;" >&2
+    echo "       the interprocedural layer (summaries + call-graph propagation) is missing" >&2
+    exit 1
+fi
 if ! git diff --exit-code -- LINT_REPORT.json LINT_BASELINE.json; then
     echo "error: LINT_REPORT.json or LINT_BASELINE.json drifted from the committed copy;" >&2
     echo "       commit the regenerated report (or re-justify the baseline) with your change" >&2
@@ -35,8 +40,9 @@ echo "== bench smoke (2 samples, scratch output; compiles + runs every target) =
 # must be absolute to land in the repo-root target/ scratch dir.
 WEBDEPS_BENCH_OUT="$PWD/target" WEBDEPS_BENCH_SAMPLES=2 WEBDEPS_BENCH_SAMPLE_MS=5 \
     WEBDEPS_BENCH_WARMUP_MS=5 cargo bench -q --offline -p webdeps-bench \
-    --bench analysis --bench pipeline --bench measure_world >/dev/null
-ls -l target/BENCH_analysis.json target/BENCH_pipeline.json target/BENCH_measure_world.json
+    --bench analysis --bench pipeline --bench measure_world --bench lint >/dev/null
+ls -l target/BENCH_analysis.json target/BENCH_pipeline.json \
+    target/BENCH_measure_world.json target/BENCH_lint.json
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== cargo bench (std harness, JSON trajectory; 1M columnar scale opt-in) =="
