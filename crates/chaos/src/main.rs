@@ -3,18 +3,22 @@
 //! ```text
 //! webdeps-chaos --replay dyn|globalsign [--seed S] [--sites N]
 //! webdeps-chaos --campaign [--seed S] [--schedules N] [--sites N]
+//! webdeps-chaos --replay-schedule --seed S [--sites N]
 //! webdeps-chaos --smoke
 //! ```
 //!
 //! `--replay` prints the incident's per-tick availability curve; the
 //! output is byte-identical for identical arguments. `--campaign` runs
 //! a randomized invariant campaign and exits non-zero on any violation.
+//! `--replay-schedule` replays one campaign schedule by its seed — the
+//! exact command a campaign violation prints as its repro line.
 //! `--smoke` is the CI entry point: a small campaign plus truncated
 //! replays of both canonical incidents.
 
 use std::process::ExitCode;
 use webdeps_chaos::{
-    dyn_two_wave, globalsign_stale_week, replay, run_campaign, CampaignConfig, Incident,
+    check_schedule, dyn_two_wave, globalsign_stale_week, replay, run_campaign, CampaignConfig,
+    Incident,
 };
 use webdeps_worldgen::incidents::{dyn_incident_world, globalsign_incident_world};
 use webdeps_worldgen::World;
@@ -22,6 +26,7 @@ use webdeps_worldgen::World;
 struct Args {
     replay: Option<String>,
     campaign: bool,
+    replay_schedule: bool,
     smoke: bool,
     seed: u64,
     sites: usize,
@@ -32,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         replay: None,
         campaign: false,
+        replay_schedule: false,
         smoke: false,
         seed: 42,
         sites: 1_500,
@@ -42,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--replay" => args.replay = Some(it.next().ok_or("--replay needs dyn|globalsign")?),
             "--campaign" => args.campaign = true,
+            "--replay-schedule" => args.replay_schedule = true,
             "--smoke" => args.smoke = true,
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
@@ -58,15 +65,18 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: webdeps-chaos --replay dyn|globalsign [--seed S] [--sites N] | \
-                     --campaign [--seed S] [--schedules N] [--sites N] | --smoke"
+                     --campaign [--seed S] [--schedules N] [--sites N] | \
+                     --replay-schedule --seed S [--sites N] | --smoke"
                         .into(),
                 )
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
-    if args.replay.is_none() && !args.campaign && !args.smoke {
-        return Err("pick one of --replay, --campaign, --smoke (try --help)".into());
+    if args.replay.is_none() && !args.campaign && !args.replay_schedule && !args.smoke {
+        return Err(
+            "pick one of --replay, --campaign, --replay-schedule, --smoke (try --help)".into(),
+        );
     }
     Ok(args)
 }
@@ -152,6 +162,33 @@ fn run_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// Replays one campaign schedule by seed: the repro path printed by a
+/// failing campaign. Exit code mirrors the campaign: non-zero iff the
+/// replayed schedule still violates monotonicity.
+fn run_replay_schedule(seed: u64, sites: usize) -> Result<(), String> {
+    let world = World::generate(webdeps_worldgen::WorldConfig::small(WORLD_SEED));
+    let probe_sites = sites.min(200);
+    let (checks, violations) = check_schedule(&world, seed, 3, probe_sites, 0);
+    println!(
+        "schedule replay (seed {seed}): {checks} monotonicity checks, {} violation(s)",
+        violations.len()
+    );
+    for v in &violations {
+        println!(
+            "VIOLATION [{}] (seed {}): {}\n  repro: {}",
+            v.invariant,
+            v.seed,
+            v.detail,
+            v.repro_command(probe_sites)
+        );
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} invariant violation(s)", violations.len()))
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -164,6 +201,8 @@ fn main() -> ExitCode {
         run_smoke()
     } else if let Some(which) = &args.replay {
         run_replay(which, args.seed, args.sites)
+    } else if args.replay_schedule {
+        run_replay_schedule(args.seed, args.sites)
     } else {
         run_campaign_cmd(args.seed, args.schedules, args.sites)
     };

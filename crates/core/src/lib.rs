@@ -44,7 +44,7 @@ pub use outage::{
     probe_site, simulate_outage, simulate_outage_at, simulate_outage_at_with_jobs,
     simulate_outage_with_jobs, OutageResult,
 };
-pub use reach::{ReachIndex, SiteSet};
+pub use reach::{ApplyKind, Churn, ChurnError, MutableReach, ProviderRef, ReachIndex, SiteSet};
 pub use resilience::{audit_site, robustness_score, RiskLevel, SiteAudit};
 pub use stats::{
     ca_figure, cdn_figure, dns_figure, top_providers_in_bucket, CaFigure, CdnFigure, DnsFigure,

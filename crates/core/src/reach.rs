@@ -36,7 +36,7 @@
 
 use crate::graph::{DepGraph, NodeId, NodeKind};
 use crate::metrics::MetricOptions;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use webdeps_model::{ServiceKind, SiteId};
 
 /// A dense bitset over [`SiteId`]s.
@@ -326,6 +326,866 @@ impl<'g> ReachIndex<'g> {
     }
 }
 
+/// A provider endpoint in a [`Churn`] delta: wire key plus service
+/// kind. The service of an edge is always the kind of the provider
+/// being consumed, matching how [`DepGraph::from_dataset`] wires edges.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ProviderRef {
+    /// Registrable-domain wire identity, e.g. `"dynect.net"`.
+    pub key: String,
+    /// The service this provider offers.
+    pub kind: ServiceKind,
+}
+
+impl ProviderRef {
+    /// Convenience constructor.
+    pub fn new(key: impl Into<String>, kind: ServiceKind) -> Self {
+        ProviderRef {
+            key: key.into(),
+            kind,
+        }
+    }
+}
+
+/// One churn delta against the provider-consumer graph — the events a
+/// resident service must absorb without a full re-measurement: sites
+/// switching CDN/DNS, providers multi-homing or dropping a dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Churn {
+    /// A site gains a dependency on a provider (e.g. adopts a CDN).
+    AddSiteEdge {
+        /// The consuming site.
+        site: SiteId,
+        /// The provider gained.
+        provider: ProviderRef,
+        /// Whether the new dependency is critical (sole provider).
+        critical: bool,
+    },
+    /// A site drops a dependency on a provider.
+    RemoveSiteEdge {
+        /// The consuming site.
+        site: SiteId,
+        /// The provider dropped.
+        provider: ProviderRef,
+        /// Criticality of the specific edge instance to remove.
+        critical: bool,
+    },
+    /// A provider starts consuming another provider (multi-homes onto
+    /// a DNS operator, fronts itself with a CDN, …).
+    AddProviderEdge {
+        /// The consuming provider.
+        from: ProviderRef,
+        /// The provider consumed.
+        to: ProviderRef,
+        /// Whether the new dependency is critical.
+        critical: bool,
+    },
+    /// A provider drops a dependency on another provider.
+    RemoveProviderEdge {
+        /// The consuming provider.
+        from: ProviderRef,
+        /// The provider no longer consumed.
+        to: ProviderRef,
+        /// Criticality of the specific edge instance to remove.
+        critical: bool,
+    },
+}
+
+/// Why a churn delta could not be applied. The index is untouched when
+/// an error is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnError {
+    /// A removal referenced an edge that does not exist.
+    NoSuchEdge {
+        /// Human-readable description of the missing edge.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::NoSuchEdge { detail } => write!(f, "no such edge: {detail}"),
+        }
+    }
+}
+
+/// How a delta was absorbed: an SCC-local patch or a full Tarjan
+/// rebuild (taken automatically whenever the patch would invalidate a
+/// condensation invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyKind {
+    /// The condensation structure was provably unchanged; only the
+    /// affected components' site sets were touched.
+    Patched,
+    /// The delta could merge or split strongly connected components;
+    /// the whole condensation was rebuilt from scratch.
+    Rebuilt,
+}
+
+/// Sentinel kind byte for site nodes inside [`MutableReach`].
+const SITE_KIND: u8 = u8::MAX;
+
+/// Sentinel for "no value" in dense u32 columns.
+const NONE_U32: u32 = u32::MAX;
+
+fn kind_byte(kind: ServiceKind) -> u8 {
+    kind as u8
+}
+
+fn kind_back(b: u8) -> ServiceKind {
+    match b {
+        0 => ServiceKind::Dns,
+        1 => ServiceKind::Cdn,
+        2 => ServiceKind::Ca,
+        _ => ServiceKind::Cloud,
+    }
+}
+
+/// An **epoch-versioned, incrementally patchable** sibling of
+/// [`ReachIndex`] — the index a resident query service keeps warm
+/// across churn instead of rebuilding per query.
+///
+/// The structure mirrors `ReachIndex` (SCC condensation of the allowed
+/// provider-consumer subgraph, one dependent-site bitset per
+/// component) but owns its graph, so it has no lifetime tie to a
+/// [`DepGraph`] and can absorb [`Churn`] deltas in place:
+///
+/// * **site edge add** — sites are never SCC members, so the
+///   condensation is untouched; the new site bit is ORed into the
+///   provider's component and every component it transitively
+///   consumes.
+/// * **site edge remove / cross-component provider edge remove** — the
+///   condensation is still valid; the affected downstream components'
+///   sets are recomputed from direct site consumers plus consumer
+///   components, in topological order.
+/// * **provider edge add** — if the new edge closes a cycle between
+///   two existing components the condensation would merge SCCs, so the
+///   index **falls back to a full Tarjan rebuild**; otherwise the
+///   condensation gains one DAG edge and the consumer component's set
+///   is ORed downstream.
+/// * **intra-component provider edge remove** — could split an SCC:
+///   always a full rebuild.
+///
+/// Every successful apply bumps the **epoch**. Patch computations are
+/// staged and committed at the end, so a panic mid-patch can never
+/// leave a half-written epoch behind: readers either see the previous
+/// epoch or the complete next one. [`MutableReach::verify_fresh`]
+/// recomputes the condensation from scratch and diffs it against the
+/// patched state — the serve daemon's paranoid mode runs it after
+/// every patch, and the cross-check suite in
+/// `tests/parallel_determinism.rs` holds patched scores byte-identical
+/// to a fresh [`ReachIndex::build`].
+pub struct MutableReach {
+    critical_only: bool,
+    opts: MetricOptions,
+    /// Per node: provider service kind byte, [`SITE_KIND`] for sites.
+    kinds: Vec<u8>,
+    /// Per node: raw site index for site nodes ([`NONE_U32`] otherwise).
+    site_of: Vec<u32>,
+    /// Per node: provider key (empty for sites).
+    keys: Vec<String>,
+    /// `(key, kind byte)` → node.
+    provider_index: BTreeMap<(String, u8), u32>,
+    /// Raw site index → node.
+    site_index: BTreeMap<u32, u32>,
+    /// Per node: consumer edges `(consumer node, critical)`.
+    in_edges: Vec<Vec<(u32, bool)>>,
+    /// Exclusive upper bound on raw site indexes (bitset capacity).
+    site_bound: usize,
+    /// Monotonic version; bumped once per applied delta.
+    epoch: u64,
+    /// Node → condensation component (`NONE_U32` for sites).
+    comp_of: Vec<u32>,
+    /// Per-component member nodes.
+    comp_members: Vec<Vec<u32>>,
+    /// Per-component dependent-site sets.
+    sets: Vec<SiteSet>,
+    /// Per-component popcounts.
+    counts: Vec<usize>,
+    /// Condensation out-edges with multiplicity: `comp_deps[x][y]` =
+    /// number of visible edges from members of consumer component `x`
+    /// into members of component `y` (i.e. `x` consumes `y`).
+    comp_deps: Vec<BTreeMap<u32, u32>>,
+    /// Condensation in-edges with multiplicity (reverse of
+    /// [`MutableReach::comp_deps`]).
+    comp_consumers: Vec<BTreeMap<u32, u32>>,
+    /// Deltas absorbed by SCC-local patching.
+    patches: u64,
+    /// Deltas that forced a full Tarjan rebuild.
+    rebuilds: u64,
+}
+
+impl MutableReach {
+    /// Builds the mutable index from a frozen graph, copying nodes and
+    /// edges into owned columns (node `i` here is node `i` there) and
+    /// running one full condensation pass. Epoch starts at 0.
+    pub fn from_graph(graph: &DepGraph, critical_only: bool, opts: &MetricOptions) -> Self {
+        let n = graph.node_count();
+        let mut mr = MutableReach {
+            critical_only,
+            opts: opts.clone(),
+            kinds: Vec::with_capacity(n),
+            site_of: Vec::with_capacity(n),
+            keys: Vec::with_capacity(n),
+            provider_index: BTreeMap::new(),
+            site_index: BTreeMap::new(),
+            in_edges: vec![Vec::new(); n],
+            site_bound: graph.site_id_bound(),
+            epoch: 0,
+            comp_of: Vec::new(),
+            comp_members: Vec::new(),
+            sets: Vec::new(),
+            counts: Vec::new(),
+            comp_deps: Vec::new(),
+            comp_consumers: Vec::new(),
+            patches: 0,
+            rebuilds: 0,
+        };
+        for v in 0..n {
+            match graph.node(NodeId(v as u32)) {
+                NodeKind::Site(site) => {
+                    mr.kinds.push(SITE_KIND);
+                    mr.site_of.push(site.0);
+                    mr.keys.push(String::new());
+                    mr.site_index.insert(site.0, v as u32);
+                    mr.site_bound = mr.site_bound.max(site.index() + 1);
+                }
+                NodeKind::Provider(name, kind) => {
+                    let key = graph.name(name).to_string();
+                    mr.kinds.push(kind_byte(kind));
+                    mr.site_of.push(NONE_U32);
+                    mr.provider_index
+                        .insert((key.clone(), kind_byte(kind)), v as u32);
+                    mr.keys.push(key);
+                }
+            }
+        }
+        for v in 0..n {
+            for (consumer, ek) in graph.consumers_of(NodeId(v as u32)) {
+                mr.in_edges[v].push((consumer.0, ek.critical));
+            }
+        }
+        mr.rebuild_condensation();
+        mr
+    }
+
+    /// The configuration the index answers for (`true` = impact).
+    pub fn critical_only(&self) -> bool {
+        self.critical_only
+    }
+
+    /// The index's current epoch. Every applied delta bumps it by one,
+    /// so an answer tagged with an epoch names exactly one graph state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Deltas absorbed without touching the condensation structure.
+    pub fn patch_count(&self) -> u64 {
+        self.patches
+    }
+
+    /// Deltas that forced a full Tarjan rebuild.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Number of sites depending on provider `(key, kind)` at the
+    /// current epoch; 0 for unknown providers.
+    pub fn dependent_count(&self, key: &str, kind: ServiceKind) -> usize {
+        self.provider_node(key, kind)
+            .map(|v| self.counts[self.comp_of[v as usize] as usize])
+            .unwrap_or(0)
+    }
+
+    /// The dependent-site bitset of provider `(key, kind)`, or `None`
+    /// for unknown providers.
+    pub fn dependent_set(&self, key: &str, kind: ServiceKind) -> Option<&SiteSet> {
+        self.provider_node(key, kind)
+            .map(|v| &self.sets[self.comp_of[v as usize] as usize])
+    }
+
+    /// All provider keys of `kind`, in key order, with their dependent
+    /// counts at the current epoch.
+    pub fn providers_of(&self, kind: ServiceKind) -> Vec<(&str, usize)> {
+        let kb = kind_byte(kind);
+        self.provider_index
+            .iter()
+            .filter(move |((_, k), _)| *k == kb)
+            .map(|((key, _), &v)| (key.as_str(), self.counts[self.comp_of[v as usize] as usize]))
+            .collect()
+    }
+
+    /// Applies one churn delta. On success the epoch advances by one
+    /// and the returned [`ApplyKind`] says whether the delta was
+    /// SCC-locally patched or forced a rebuild; on error the index is
+    /// unchanged (same epoch, same answers).
+    #[must_use]
+    pub fn apply(&mut self, delta: &Churn) -> Result<ApplyKind, ChurnError> {
+        let kind = match delta {
+            Churn::AddSiteEdge {
+                site,
+                provider,
+                critical,
+            } => self.add_site_edge(*site, provider, *critical),
+            Churn::RemoveSiteEdge {
+                site,
+                provider,
+                critical,
+            } => self.remove_site_edge(*site, provider, *critical)?,
+            Churn::AddProviderEdge { from, to, critical } => {
+                self.add_provider_edge(from, to, *critical)
+            }
+            Churn::RemoveProviderEdge { from, to, critical } => {
+                self.remove_provider_edge(from, to, *critical)?
+            }
+        };
+        self.epoch += 1;
+        match kind {
+            ApplyKind::Patched => self.patches += 1,
+            ApplyKind::Rebuilt => self.rebuilds += 1,
+        }
+        Ok(kind)
+    }
+
+    /// Recomputes the condensation from scratch into a fresh state and
+    /// diffs every component map entry, set, and count against the
+    /// patched state. Returns a description of the first divergence —
+    /// the executable form of "every patched epoch is cross-checked
+    /// against a fresh build".
+    #[must_use]
+    pub fn verify_fresh(&self) -> Result<(), String> {
+        let fresh = self.condense();
+        for (&(ref key, kb), &v) in &self.provider_index {
+            let patched = &self.sets[self.comp_of[v as usize] as usize];
+            let rebuilt = &fresh.sets[fresh.comp_of[v as usize] as usize];
+            if patched != rebuilt {
+                return Err(format!(
+                    "provider {key}/{:?}: patched set (|{}|) != fresh set (|{}|)",
+                    kind_back(kb),
+                    patched.count(),
+                    rebuilt.count()
+                ));
+            }
+            let patched_n = self.counts[self.comp_of[v as usize] as usize];
+            let fresh_n = fresh.counts[fresh.comp_of[v as usize] as usize];
+            if patched_n != fresh_n {
+                return Err(format!(
+                    "provider {key}/{:?}: patched count {patched_n} != fresh count {fresh_n}",
+                    kind_back(kb)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards the cached condensation and rebuilds it from the owned
+    /// edge list. The logical graph state is unchanged, so the epoch
+    /// does not advance — this is the recovery hammer a resident
+    /// service reaches for if [`MutableReach::verify_fresh`] ever
+    /// reports a divergence.
+    pub fn force_rebuild(&mut self) {
+        self.rebuild_condensation();
+        self.rebuilds += 1;
+    }
+
+    /// Bytes of heap owned by the index (graph columns + condensation).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.kinds.capacity()
+            + self.site_of.capacity() * size_of::<u32>()
+            + self.keys.iter().map(|k| k.capacity()).sum::<usize>()
+            + self
+                .in_edges
+                .iter()
+                .map(|row| row.capacity() * size_of::<(u32, bool)>())
+                .sum::<usize>()
+            + self.comp_of.capacity() * size_of::<u32>()
+            + self.sets.iter().map(|s| s.heap_bytes()).sum::<usize>()
+            + self.counts.capacity() * size_of::<usize>()
+    }
+
+    // ---- node plumbing ----
+
+    fn provider_node(&self, key: &str, kind: ServiceKind) -> Option<u32> {
+        // BTreeMap<(String, u8)> lookups need an owned key; provider
+        // churn is rare enough that the allocation is irrelevant.
+        self.provider_index
+            .get(&(key.to_string(), kind_byte(kind)))
+            .copied()
+    }
+
+    fn ensure_site(&mut self, site: SiteId) -> u32 {
+        if let Some(&v) = self.site_index.get(&site.0) {
+            return v;
+        }
+        let v = self.push_node(SITE_KIND, site.0, String::new());
+        self.site_index.insert(site.0, v);
+        self.site_bound = self.site_bound.max(site.index() + 1);
+        self.comp_of.push(NONE_U32);
+        v
+    }
+
+    fn ensure_provider(&mut self, p: &ProviderRef) -> u32 {
+        if let Some(v) = self.provider_node(&p.key, p.kind) {
+            return v;
+        }
+        let v = self.push_node(kind_byte(p.kind), NONE_U32, p.key.clone());
+        self.provider_index
+            .insert((p.key.clone(), kind_byte(p.kind)), v);
+        // A brand-new provider is its own singleton component with an
+        // empty dependent set — no structural invariant can break.
+        let comp = self.sets.len() as u32;
+        self.comp_of.push(comp);
+        self.comp_members.push(vec![v]);
+        self.sets.push(SiteSet::with_bound(self.site_bound));
+        self.counts.push(0);
+        self.comp_deps.push(BTreeMap::new());
+        self.comp_consumers.push(BTreeMap::new());
+        v
+    }
+
+    fn push_node(&mut self, kind: u8, site_raw: u32, key: String) -> u32 {
+        assert!(
+            u32::try_from(self.kinds.len()).is_ok(),
+            "mutable reach overflow: {} nodes exhaust the u32 id space",
+            self.kinds.len()
+        );
+        let v = self.kinds.len() as u32;
+        self.kinds.push(kind);
+        self.site_of.push(site_raw);
+        self.keys.push(key);
+        self.in_edges.push(Vec::new());
+        v
+    }
+
+    /// Whether a site→provider edge participates in this index.
+    fn site_edge_visible(&self, critical: bool) -> bool {
+        !(self.critical_only && !critical)
+    }
+
+    /// Whether a provider→provider edge participates in this index.
+    fn provider_edge_visible(&self, from: u32, to: u32, critical: bool) -> bool {
+        self.site_edge_visible(critical)
+            && self.opts.allows(
+                kind_back(self.kinds[from as usize]),
+                kind_back(self.kinds[to as usize]),
+            )
+    }
+
+    // ---- patch operations ----
+
+    fn add_site_edge(&mut self, site: SiteId, provider: &ProviderRef, critical: bool) -> ApplyKind {
+        let s = self.ensure_site(site);
+        let p = self.ensure_provider(provider);
+        self.in_edges[p as usize].push((s, critical));
+        if self.site_edge_visible(critical) {
+            // The site now reaches p's component and, transitively,
+            // every component p consumes. Sites are never SCC members,
+            // so the condensation itself cannot change: pure bit OR.
+            for comp in self.downstream_of(self.comp_of[p as usize]) {
+                let set = &mut self.sets[comp as usize];
+                if !set.contains(site) {
+                    set.insert(site);
+                    self.counts[comp as usize] += 1;
+                }
+            }
+        }
+        ApplyKind::Patched
+    }
+
+    fn remove_site_edge(
+        &mut self,
+        site: SiteId,
+        provider: &ProviderRef,
+        critical: bool,
+    ) -> Result<ApplyKind, ChurnError> {
+        let missing = |detail: String| ChurnError::NoSuchEdge { detail };
+        let s = self
+            .site_index
+            .get(&site.0)
+            .copied()
+            .ok_or_else(|| missing(format!("site {site} has no node")))?;
+        let p = self
+            .provider_node(&provider.key, provider.kind)
+            .ok_or_else(|| missing(format!("provider {} is unknown", provider.key)))?;
+        let row = &mut self.in_edges[p as usize];
+        let pos = row
+            .iter()
+            .position(|&(w, c)| w == s && c == critical)
+            .ok_or_else(|| missing(format!("{site} -> {} (critical={critical})", provider.key)))?;
+        row.remove(pos);
+        if self.site_edge_visible(critical) {
+            // The site may still reach the affected components via
+            // other edges; recompute their sets from scratch, in
+            // topological order, leaving the condensation untouched
+            // (site edges never define SCCs).
+            self.recompute_downstream(self.comp_of[p as usize]);
+        }
+        Ok(ApplyKind::Patched)
+    }
+
+    fn add_provider_edge(
+        &mut self,
+        from: &ProviderRef,
+        to: &ProviderRef,
+        critical: bool,
+    ) -> ApplyKind {
+        let w = self.ensure_provider(from);
+        let v = self.ensure_provider(to);
+        self.in_edges[v as usize].push((w, critical));
+        if !self.provider_edge_visible(w, v, critical) {
+            // Recorded for future rebuilds, invisible to this
+            // configuration — nothing cached can change.
+            return ApplyKind::Patched;
+        }
+        let (cw, cv) = (self.comp_of[w as usize], self.comp_of[v as usize]);
+        if cw == cv {
+            // An extra edge inside one component changes neither the
+            // condensation nor any set.
+            return ApplyKind::Patched;
+        }
+        if self.reaches(cv, cw) {
+            // to ⇒ … ⇒ from already exists, so from → to closes a
+            // cycle: components must merge. Condensation invariant
+            // invalidated — full rebuild.
+            self.rebuild_condensation();
+            return ApplyKind::Rebuilt;
+        }
+        // The condensation stays a DAG and gains one edge cw → cv.
+        *self.comp_deps[cw as usize].entry(cv).or_insert(0) += 1;
+        *self.comp_consumers[cv as usize].entry(cw).or_insert(0) += 1;
+        // Everything the consumer component reaches flows into cv and
+        // everything cv consumes. Stage the unions, then commit.
+        let source = self.sets[cw as usize].clone();
+        let mut staged: Vec<(u32, SiteSet)> = Vec::new();
+        for comp in self.downstream_of(cv) {
+            let mut merged = self.sets[comp as usize].clone();
+            merged.union_with(&source);
+            staged.push((comp, merged));
+        }
+        for (comp, set) in staged {
+            self.counts[comp as usize] = set.count();
+            self.sets[comp as usize] = set;
+        }
+        ApplyKind::Patched
+    }
+
+    fn remove_provider_edge(
+        &mut self,
+        from: &ProviderRef,
+        to: &ProviderRef,
+        critical: bool,
+    ) -> Result<ApplyKind, ChurnError> {
+        let missing = |detail: String| ChurnError::NoSuchEdge { detail };
+        let w = self
+            .provider_node(&from.key, from.kind)
+            .ok_or_else(|| missing(format!("provider {} is unknown", from.key)))?;
+        let v = self
+            .provider_node(&to.key, to.kind)
+            .ok_or_else(|| missing(format!("provider {} is unknown", to.key)))?;
+        let row = &mut self.in_edges[v as usize];
+        let pos = row
+            .iter()
+            .position(|&(x, c)| x == w && c == critical)
+            .ok_or_else(|| missing(format!("{} -> {} (critical={critical})", from.key, to.key)))?;
+        row.remove(pos);
+        if !self.provider_edge_visible(w, v, critical) {
+            return Ok(ApplyKind::Patched);
+        }
+        let (cw, cv) = (self.comp_of[w as usize], self.comp_of[v as usize]);
+        if cw == cv {
+            // Removing an intra-component edge can split the SCC:
+            // always rebuild.
+            self.rebuild_condensation();
+            return Ok(ApplyKind::Rebuilt);
+        }
+        // Cross-component removal keeps the condensation a DAG; drop
+        // one unit of edge multiplicity and recompute downstream sets.
+        let gone = {
+            let slot = self.comp_deps[cw as usize].entry(cv).or_insert(0);
+            *slot = slot.saturating_sub(1);
+            *slot == 0
+        };
+        if gone {
+            self.comp_deps[cw as usize].remove(&cv);
+            let slot = self.comp_consumers[cv as usize].entry(cw).or_insert(0);
+            *slot = slot.saturating_sub(1);
+            self.comp_consumers[cv as usize].remove(&cw);
+        } else {
+            let slot = self.comp_consumers[cv as usize].entry(cw).or_insert(0);
+            *slot = slot.saturating_sub(1);
+        }
+        self.recompute_downstream(cv);
+        Ok(ApplyKind::Patched)
+    }
+
+    // ---- condensation plumbing ----
+
+    /// Components reachable from `start` (inclusive) along consumption
+    /// edges — exactly the components whose dependent sets include
+    /// every site that reaches `start`.
+    fn downstream_of(&self, start: u32) -> Vec<u32> {
+        let mut seen: Vec<u32> = vec![start];
+        let mut order: Vec<u32> = Vec::new();
+        let mut stack = vec![start];
+        while let Some(c) = stack.pop() {
+            order.push(c);
+            for (&next, _) in &self.comp_deps[c as usize] {
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        order
+    }
+
+    /// Whether component `from` reaches component `to` along
+    /// consumption edges.
+    fn reaches(&self, from: u32, to: u32) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen: Vec<u32> = vec![from];
+        let mut stack = vec![from];
+        while let Some(c) = stack.pop() {
+            for (&next, _) in &self.comp_deps[c as usize] {
+                if next == to {
+                    return true;
+                }
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// Recomputes the dependent sets of every component downstream of
+    /// `start` (inclusive) from first principles — direct site
+    /// consumers of the members, unioned with consumer components'
+    /// sets — processing the affected sub-DAG in topological order so
+    /// each recomputation reads only finished inputs. Staged, then
+    /// committed.
+    fn recompute_downstream(&mut self, start: u32) {
+        let affected = self.downstream_of(start);
+        let in_affected = |c: u32| affected.contains(&c);
+        // Kahn over the affected sub-DAG (consumer → consumed edges).
+        let mut indeg: BTreeMap<u32, usize> = BTreeMap::new();
+        for &c in &affected {
+            let d = self.comp_consumers[c as usize]
+                .keys()
+                .filter(|&&x| in_affected(x))
+                .count();
+            indeg.insert(c, d);
+        }
+        let mut ready: Vec<u32> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&c, _)| c)
+            .collect();
+        let mut staged: BTreeMap<u32, SiteSet> = BTreeMap::new();
+        let mut done: Vec<u32> = Vec::new();
+        while let Some(c) = ready.pop() {
+            let mut set = SiteSet::with_bound(self.site_bound);
+            for &m in &self.comp_members[c as usize] {
+                for &(src, crit) in &self.in_edges[m as usize] {
+                    if self.kinds[src as usize] == SITE_KIND && self.site_edge_visible(crit) {
+                        set.insert(SiteId(self.site_of[src as usize]));
+                    }
+                }
+            }
+            for &x in self.comp_consumers[c as usize].keys() {
+                match staged.get(&x) {
+                    Some(s) => set.union_with(s),
+                    None => set.union_with(&self.sets[x as usize]),
+                }
+            }
+            staged.insert(c, set);
+            done.push(c);
+            for &next in self.comp_deps[c as usize].keys() {
+                if let Some(d) = indeg.get_mut(&next) {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(next);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(done.len(), affected.len(), "condensation must be acyclic");
+        for (comp, set) in staged {
+            self.counts[comp as usize] = set.count();
+            self.sets[comp as usize] = set;
+        }
+    }
+
+    /// The full Tarjan pass over the owned adjacency — the same
+    /// algorithm as [`ReachIndex::build`], plus condensation edge
+    /// multiplicities for the patch paths.
+    fn condense(&self) -> Condensation {
+        let n = self.kinds.len();
+        let step = |v: usize, w: u32, critical: bool| -> Option<usize> {
+            if self.critical_only && !critical {
+                return None;
+            }
+            let wk = self.kinds[w as usize];
+            if wk == SITE_KIND {
+                return None;
+            }
+            if !self.opts.allows(kind_back(wk), kind_back(self.kinds[v])) {
+                return None;
+            }
+            Some(w as usize)
+        };
+
+        let mut index_of = vec![0u32; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp_of = vec![NONE_U32; n];
+        let mut comp_members: Vec<Vec<u32>> = Vec::new();
+        let mut sets: Vec<SiteSet> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let mut next_index = 1u32;
+
+        for start in 0..n {
+            if index_of[start] != 0 || self.kinds[start] == SITE_KIND {
+                continue;
+            }
+            index_of[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start as u32);
+            on_stack[start] = true;
+            let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(frame) = dfs.last_mut() {
+                let v = frame.0;
+                let row = &self.in_edges[v];
+                let mut descended = false;
+                while frame.1 < row.len() {
+                    let (wraw, crit) = row[frame.1];
+                    frame.1 += 1;
+                    let Some(w) = step(v, wraw, crit) else {
+                        continue;
+                    };
+                    if index_of[w] == 0 {
+                        index_of[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        dfs.push((w, 0));
+                        descended = true;
+                        break;
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index_of[w]);
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                dfs.pop();
+                if let Some(parent) = dfs.last() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+                if low[v] == index_of[v] {
+                    let comp = sets.len() as u32;
+                    let mut members: Vec<u32> = Vec::new();
+                    loop {
+                        let w = match stack.pop() {
+                            Some(w) => w,
+                            None => break,
+                        };
+                        on_stack[w as usize] = false;
+                        comp_of[w as usize] = comp;
+                        members.push(w);
+                        if w as usize == v {
+                            break;
+                        }
+                    }
+                    let mut set = SiteSet::with_bound(self.site_bound);
+                    for &m in &members {
+                        for &(src, crit) in &self.in_edges[m as usize] {
+                            if self.kinds[src as usize] == SITE_KIND && self.site_edge_visible(crit)
+                            {
+                                set.insert(SiteId(self.site_of[src as usize]));
+                            }
+                        }
+                        for &(src, crit) in &self.in_edges[m as usize] {
+                            let Some(w) = step(m as usize, src, crit) else {
+                                continue;
+                            };
+                            let c = comp_of[w];
+                            if c != comp {
+                                debug_assert_ne!(c, NONE_U32, "successor emitted first");
+                                set.union_with(&sets[c as usize]);
+                            }
+                        }
+                    }
+                    counts.push(set.count());
+                    sets.push(set);
+                    comp_members.push(members);
+                }
+            }
+        }
+
+        // Condensation edges with multiplicity, derived in one pass
+        // over the visible inter-component edges.
+        let ncomp = sets.len();
+        let mut comp_deps: Vec<BTreeMap<u32, u32>> = vec![BTreeMap::new(); ncomp];
+        let mut comp_consumers: Vec<BTreeMap<u32, u32>> = vec![BTreeMap::new(); ncomp];
+        for v in 0..n {
+            if self.kinds[v] == SITE_KIND {
+                continue;
+            }
+            let cv = comp_of[v];
+            for &(src, crit) in &self.in_edges[v] {
+                if step(v, src, crit).is_none() {
+                    continue;
+                }
+                let cw = comp_of[src as usize];
+                if cw != cv {
+                    *comp_deps[cw as usize].entry(cv).or_insert(0) += 1;
+                    *comp_consumers[cv as usize].entry(cw).or_insert(0) += 1;
+                }
+            }
+        }
+
+        Condensation {
+            comp_of,
+            comp_members,
+            sets,
+            counts,
+            comp_deps,
+            comp_consumers,
+        }
+    }
+
+    fn rebuild_condensation(&mut self) {
+        let fresh = self.condense();
+        self.comp_of = fresh.comp_of;
+        self.comp_members = fresh.comp_members;
+        self.sets = fresh.sets;
+        self.counts = fresh.counts;
+        self.comp_deps = fresh.comp_deps;
+        self.comp_consumers = fresh.comp_consumers;
+    }
+}
+
+/// One fully recomputed condensation (the staging result of
+/// [`MutableReach::condense`]).
+struct Condensation {
+    comp_of: Vec<u32>,
+    comp_members: Vec<Vec<u32>>,
+    sets: Vec<SiteSet>,
+    counts: Vec<usize>,
+    comp_deps: Vec<BTreeMap<u32, u32>>,
+    comp_consumers: Vec<BTreeMap<u32, u32>>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,5 +1340,307 @@ mod tests {
         // Site nodes score zero, like the BFS.
         assert_eq!(index.dependent_count(s0), 0);
         assert!(index.dependent_set(s0).is_none());
+    }
+
+    // ---- MutableReach ----
+
+    /// A churn delta plus the edge universe it ran against, mirrored
+    /// outside the index so a fresh graph can be rebuilt per step.
+    #[derive(Clone, Debug)]
+    enum MirrorEdge {
+        Site(SiteId, ProviderRef, bool),
+        Prov(ProviderRef, ProviderRef, bool),
+    }
+
+    fn fresh_graph(sites: &[SiteId], providers: &[ProviderRef], edges: &[MirrorEdge]) -> DepGraph {
+        let mut b = GraphBuilder::new();
+        for &s in sites {
+            b.intern(NodeRef::Site(s));
+        }
+        for p in providers {
+            b.intern(NodeRef::Provider(ProviderKey::new(&p.key), p.kind));
+        }
+        for e in edges {
+            let (from, to, critical, service) = match e {
+                MirrorEdge::Site(s, p, c) => (
+                    b.intern(NodeRef::Site(*s)),
+                    b.intern(NodeRef::Provider(ProviderKey::new(&p.key), p.kind)),
+                    *c,
+                    p.kind,
+                ),
+                MirrorEdge::Prov(f, t, c) => (
+                    b.intern(NodeRef::Provider(ProviderKey::new(&f.key), f.kind)),
+                    b.intern(NodeRef::Provider(ProviderKey::new(&t.key), t.kind)),
+                    *c,
+                    t.kind,
+                ),
+            };
+            b.add_edge(from, to, EdgeKind { service, critical });
+        }
+        b.build()
+    }
+
+    fn assert_matches_fresh(
+        mr: &MutableReach,
+        g: &DepGraph,
+        critical: bool,
+        opts: &MetricOptions,
+        ctx: &str,
+    ) -> Result<(), String> {
+        let fresh = ReachIndex::build(g, critical, opts);
+        for kind in [
+            ServiceKind::Dns,
+            ServiceKind::Cdn,
+            ServiceKind::Ca,
+            ServiceKind::Cloud,
+        ] {
+            for (key, count) in mr.providers_of(kind) {
+                let node = g
+                    .find(&NodeRef::Provider(ProviderKey::new(key), kind))
+                    .ok_or_else(|| format!("{ctx}: provider {key}/{kind} missing from mirror"))?;
+                tk_assert!(
+                    count == fresh.dependent_count(node),
+                    "{ctx}: {key}/{kind} patched count {count} != fresh {}",
+                    fresh.dependent_count(node)
+                );
+                let patched: HashSet<SiteId> = mr
+                    .dependent_set(key, kind)
+                    .map(|s| s.iter().collect())
+                    .unwrap_or_default();
+                tk_assert!(
+                    patched == fresh.dependent_sites(node),
+                    "{ctx}: {key}/{kind} patched set diverged from fresh build"
+                );
+            }
+        }
+        mr.verify_fresh().map_err(|e| format!("{ctx}: {e}"))
+    }
+
+    /// The tentpole cross-check: random churn streams applied to
+    /// `MutableReach`, with every patched epoch compared exhaustively
+    /// against `ReachIndex::build` over a freshly assembled graph.
+    #[test]
+    fn mutable_reach_matches_fresh_build_under_churn() {
+        let sites: Vec<SiteId> = (0..10).map(SiteId).collect();
+        let providers: Vec<ProviderRef> = vec![
+            ProviderRef::new("d0.com", ServiceKind::Dns),
+            ProviderRef::new("d1.com", ServiceKind::Dns),
+            ProviderRef::new("c0.com", ServiceKind::Cdn),
+            ProviderRef::new("c1.com", ServiceKind::Cdn),
+            ProviderRef::new("a0.com", ServiceKind::Ca),
+        ];
+        check_with(
+            &Config {
+                cases: 48,
+                ..Config::default()
+            },
+            "mutable_reach_matches_fresh_build_under_churn",
+            &gen::u64_any(),
+            |&seed| {
+                let mut state = seed | 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let critical = next() % 2 == 0;
+                let opts = if next() % 2 == 0 {
+                    MetricOptions::full()
+                } else {
+                    MetricOptions::direct_only()
+                };
+                let mut edges: Vec<MirrorEdge> = Vec::new();
+                for _ in 0..(next() % 12) {
+                    let s = sites[(next() % sites.len() as u64) as usize];
+                    let p = providers[(next() % providers.len() as u64) as usize].clone();
+                    edges.push(MirrorEdge::Site(s, p, next() % 2 == 0));
+                }
+                let g0 = fresh_graph(&sites, &providers, &edges);
+                let mut mr = MutableReach::from_graph(&g0, critical, &opts);
+                tk_assert!(mr.epoch() == 0, "fresh index must start at epoch 0");
+
+                for step in 0..24 {
+                    let op = next() % 4;
+                    let delta = match op {
+                        0 => {
+                            let s = sites[(next() % sites.len() as u64) as usize];
+                            let p = providers[(next() % providers.len() as u64) as usize].clone();
+                            let c = next() % 2 == 0;
+                            edges.push(MirrorEdge::Site(s, p.clone(), c));
+                            Churn::AddSiteEdge {
+                                site: s,
+                                provider: p,
+                                critical: c,
+                            }
+                        }
+                        1 => {
+                            let f = providers[(next() % providers.len() as u64) as usize].clone();
+                            let t = providers[(next() % providers.len() as u64) as usize].clone();
+                            if f == t {
+                                continue;
+                            }
+                            let c = next() % 2 == 0;
+                            edges.push(MirrorEdge::Prov(f.clone(), t.clone(), c));
+                            Churn::AddProviderEdge {
+                                from: f,
+                                to: t,
+                                critical: c,
+                            }
+                        }
+                        _ => {
+                            // Remove a random existing edge; with no
+                            // edges left, exercise the error path.
+                            if edges.is_empty() {
+                                let p = providers[0].clone();
+                                let before = mr.epoch();
+                                let r = mr.apply(&Churn::RemoveSiteEdge {
+                                    site: sites[0],
+                                    provider: p,
+                                    critical: true,
+                                });
+                                tk_assert!(r.is_err(), "phantom removal must fail");
+                                tk_assert!(
+                                    mr.epoch() == before,
+                                    "failed apply must not advance the epoch"
+                                );
+                                continue;
+                            }
+                            let at = (next() % edges.len() as u64) as usize;
+                            match edges.remove(at) {
+                                MirrorEdge::Site(s, p, c) => Churn::RemoveSiteEdge {
+                                    site: s,
+                                    provider: p,
+                                    critical: c,
+                                },
+                                MirrorEdge::Prov(f, t, c) => Churn::RemoveProviderEdge {
+                                    from: f,
+                                    to: t,
+                                    critical: c,
+                                },
+                            }
+                        }
+                    };
+                    let before = mr.epoch();
+                    mr.apply(&delta)
+                        .map_err(|e| format!("step {step}: apply failed: {e}"))?;
+                    tk_assert!(
+                        mr.epoch() == before + 1,
+                        "each applied delta must bump the epoch by exactly one"
+                    );
+                    let g = fresh_graph(&sites, &providers, &edges);
+                    assert_matches_fresh(
+                        &mr,
+                        &g,
+                        critical,
+                        &opts,
+                        &format!("step {step} critical={critical}"),
+                    )?;
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn cycle_closing_edge_falls_back_to_rebuild() {
+        // c.com (CDN) consumes d.com (DNS); adding the reverse edge
+        // closes a 2-cycle, which must merge their components via a
+        // full rebuild — and both must then score both sites.
+        let sites = [SiteId(0), SiteId(1)];
+        let d = ProviderRef::new("d.com", ServiceKind::Dns);
+        let c = ProviderRef::new("c.com", ServiceKind::Cdn);
+        let edges = vec![
+            MirrorEdge::Site(sites[0], d.clone(), true),
+            MirrorEdge::Site(sites[1], c.clone(), true),
+            MirrorEdge::Prov(c.clone(), d.clone(), true),
+        ];
+        let providers = [d.clone(), c.clone()];
+        let g = fresh_graph(&sites, &providers, &edges);
+        // Both hop directions allowed → the reverse edge is a cycle.
+        let opts = MetricOptions {
+            interservice: vec![
+                (ServiceKind::Cdn, ServiceKind::Dns),
+                (ServiceKind::Dns, ServiceKind::Cdn),
+            ],
+        };
+        let mut mr = MutableReach::from_graph(&g, true, &opts);
+        assert_eq!(mr.dependent_count("d.com", ServiceKind::Dns), 2);
+        assert_eq!(mr.dependent_count("c.com", ServiceKind::Cdn), 1);
+
+        let kind = mr
+            .apply(&Churn::AddProviderEdge {
+                from: d.clone(),
+                to: c.clone(),
+                critical: true,
+            })
+            .expect("cycle edge applies");
+        assert_eq!(kind, ApplyKind::Rebuilt);
+        assert_eq!(mr.rebuild_count(), 1);
+        assert_eq!(mr.dependent_count("c.com", ServiceKind::Cdn), 2);
+        assert_eq!(mr.dependent_count("d.com", ServiceKind::Dns), 2);
+        mr.verify_fresh().expect("rebuilt epoch cross-checks");
+
+        // Removing an intra-component edge can split the SCC — also a
+        // rebuild. With c → d gone, only d → c remains.
+        let kind = mr
+            .apply(&Churn::RemoveProviderEdge {
+                from: c,
+                to: d,
+                critical: true,
+            })
+            .expect("intra-component removal applies");
+        assert_eq!(kind, ApplyKind::Rebuilt);
+        assert_eq!(mr.dependent_count("c.com", ServiceKind::Cdn), 2);
+        assert_eq!(mr.dependent_count("d.com", ServiceKind::Dns), 1);
+        mr.verify_fresh().expect("post-split epoch cross-checks");
+    }
+
+    #[test]
+    fn site_churn_patches_without_rebuild() {
+        // c.com (CDN) consumes d.com (DNS) — an allowed full() hop —
+        // so site churn on either provider flows into d.com's set.
+        let sites = [SiteId(0), SiteId(1), SiteId(2)];
+        let d = ProviderRef::new("d.com", ServiceKind::Dns);
+        let c = ProviderRef::new("c.com", ServiceKind::Cdn);
+        let providers = [d.clone(), c.clone()];
+        let edges = vec![
+            MirrorEdge::Site(sites[0], c.clone(), true),
+            MirrorEdge::Prov(c.clone(), d.clone(), true),
+        ];
+        let g = fresh_graph(&sites, &providers, &edges);
+        let opts = MetricOptions::full();
+        let mut mr = MutableReach::from_graph(&g, true, &opts);
+        assert_eq!(mr.dependent_count("d.com", ServiceKind::Dns), 1);
+        // Site 1 adopts the DNS provider directly: pure bit OR.
+        mr.apply(&Churn::AddSiteEdge {
+            site: sites[1],
+            provider: d.clone(),
+            critical: true,
+        })
+        .expect("site add applies");
+        // Site 2 adopts the CDN: reaches the DNS operator transitively.
+        mr.apply(&Churn::AddSiteEdge {
+            site: sites[2],
+            provider: c.clone(),
+            critical: true,
+        })
+        .expect("site add applies");
+        assert_eq!(mr.dependent_count("c.com", ServiceKind::Cdn), 2);
+        assert_eq!(mr.dependent_count("d.com", ServiceKind::Dns), 3);
+        // Site 0 drops the CDN: d.com keeps its direct consumer and
+        // the remaining transitive one.
+        mr.apply(&Churn::RemoveSiteEdge {
+            site: sites[0],
+            provider: c,
+            critical: true,
+        })
+        .expect("site removal applies");
+        assert_eq!(mr.dependent_count("c.com", ServiceKind::Cdn), 1);
+        assert_eq!(mr.dependent_count("d.com", ServiceKind::Dns), 2);
+        assert_eq!(mr.rebuild_count(), 0, "site churn never rebuilds");
+        assert_eq!(mr.patch_count(), 3);
+        assert_eq!(mr.epoch(), 3);
+        mr.verify_fresh().expect("patched epochs cross-check");
     }
 }

@@ -618,6 +618,83 @@ mod tests {
     }
 
     #[test]
+    fn phase_windows_are_start_inclusive_end_exclusive() {
+        // Pins the boundary contract relied on by every schedule
+        // consumer: two phases meeting at a boundary instant hand off
+        // with no double-application and no gap. The property walks
+        // randomized adjacent windows `[a, b)` + `[b, c)` over one
+        // entity and checks, at every instant, that exactly one phase
+        // is active inside the union and none outside it.
+        use webdeps_testkit::{check_with, gen, tk_assert, Config};
+        check_with(
+            &Config {
+                cases: 64,
+                ..Config::default()
+            },
+            "phase_windows_are_start_inclusive_end_exclusive",
+            &gen::u64_any(),
+            |&seed| {
+                let mut state = seed | 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let a = next() % 50;
+                let b = a + 1 + next() % 40;
+                let c = b + 1 + next() % 40;
+                let entity = EntityId(3);
+                let sched = FaultSchedule::seeded(seed)
+                    .fail_entity_during(entity, SimTime(a), SimTime(b), Degradation::Down)
+                    .fail_entity_during(entity, SimTime(b), SimTime(c), Degradation::Down);
+                for t in a.saturating_sub(2)..=c + 2 {
+                    let active = sched
+                        .phases()
+                        .iter()
+                        .filter(|p| p.active_at(SimTime(t)))
+                        .count();
+                    let inside = a <= t && t < c;
+                    tk_assert!(
+                        active == usize::from(inside),
+                        "at t={t} (windows [{a},{b}) + [{b},{c})): {active} phase(s) \
+                         active; adjacent phases must hand off with exactly one \
+                         active inside, zero outside"
+                    );
+                    tk_assert!(
+                        sched.entity_down_at(entity, SimTime(t)) == inside,
+                        "entity_down_at must agree with the window union at t={t}"
+                    );
+                }
+                // The boundary instant itself belongs to the second
+                // phase (end-exclusive / start-inclusive).
+                let at_boundary: Vec<_> = sched
+                    .phases()
+                    .iter()
+                    .filter(|p| p.active_at(SimTime(b)))
+                    .collect();
+                tk_assert!(at_boundary.len() == 1, "exactly one phase owns t={b}");
+                tk_assert!(
+                    at_boundary[0].start == SimTime(b),
+                    "the phase starting at {b} owns the boundary instant"
+                );
+                // Degenerate empty windows `[x, x)` are never active.
+                let empty = FaultSchedule::seeded(seed).fail_entity_during(
+                    entity,
+                    SimTime(b),
+                    SimTime(b),
+                    Degradation::Down,
+                );
+                tk_assert!(
+                    !empty.entity_down_at(entity, SimTime(b)),
+                    "an empty window [{b},{b}) must never apply"
+                );
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
     fn entities_active_at_reports_sorted_entities() {
         let sched = FaultSchedule::seeded(1)
             .fail_entity_during(EntityId(9), SimTime(0), SimTime(50), Degradation::Down)

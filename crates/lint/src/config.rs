@@ -217,6 +217,10 @@ pub const CRATE_DAG: &[(&str, &[&str])] = &[
         &["model", "dns", "tls", "web", "worldgen", "measure", "core"],
     ),
     (
+        "serve",
+        &["model", "dns", "tls", "web", "worldgen", "measure", "core"],
+    ),
+    (
         "reports",
         &[
             "model", "dns", "tls", "web", "worldgen", "measure", "core", "chaos",
@@ -226,7 +230,8 @@ pub const CRATE_DAG: &[(&str, &[&str])] = &[
     (
         "bench",
         &[
-            "model", "dns", "tls", "web", "worldgen", "measure", "core", "chaos", "reports",
+            "model", "dns", "tls", "web", "worldgen", "measure", "core", "chaos", "serve",
+            "reports",
         ],
     ),
     ("lint", &["model"]),
@@ -246,9 +251,14 @@ pub fn allowed_deps(crate_name: &str) -> Option<BTreeSet<&'static str>> {
 }
 
 /// File paths (repo-relative, forward slashes) exempt from the
-/// wall-clock rule: the simulated clock itself and the bench harness.
+/// wall-clock rule: the simulated clock itself, the bench harness, and
+/// the resident daemon (`serve`), whose deadline budgets, read
+/// timeouts, and latency histograms are real-time by design — the
+/// analyses it *answers with* stay on the simulated clock.
 pub fn wall_clock_exempt(rel_path: &str, crate_name: Option<&str>) -> bool {
-    crate_name == Some("bench") || rel_path == "crates/dns/src/clock.rs"
+    crate_name == Some("bench")
+        || crate_name == Some("serve")
+        || rel_path == "crates/dns/src/clock.rs"
 }
 
 /// Crates exempt from the seed-flow rule: `worldgen` mints the world's

@@ -31,7 +31,10 @@ pub use error::ModelError;
 pub use ids::{CaId, CdnId, EntityId, ProviderId, SiteId};
 pub use intern::{Interner, NameId};
 pub use name::DomainName;
-pub use par::{effective_jobs, fan_out, fan_out_chunked, resolve_jobs, MAX_AUTO_JOBS};
+pub use par::{
+    effective_jobs, fan_out, fan_out_chunked, resolve_jobs, PoolBusy, PoolProbe, WorkerPool,
+    MAX_AUTO_JOBS,
+};
 pub use psl::PublicSuffixList;
 pub use rank::{Rank, RankBucket};
 pub use rng::DetRng;

@@ -1,0 +1,173 @@
+//! Length-prefixed frame codec.
+//!
+//! Every protocol message travels as one frame: a 4-byte big-endian
+//! length followed by that many payload bytes. The codec is the
+//! daemon's first line of defense against misbehaving clients, so its
+//! failure modes are explicit and total:
+//!
+//! * a length above the configured cap is rejected **before** any
+//!   payload allocation ([`FrameError::Oversize`]) — a hostile header
+//!   cannot make the server reserve gigabytes;
+//! * a read that stalls past the socket's read timeout surfaces as
+//!   [`FrameError::Timeout`] (the slow-loris guard: the connection is
+//!   shed, the worker moves on);
+//! * a clean close *between* frames is [`FrameError::Closed`], while a
+//!   close *mid-frame* is an I/O error — the server treats the former
+//!   as a normal goodbye and the latter as an aborted request.
+//!
+//! Like `webdeps-lint`'s JSON reader, the parser never panics: every
+//! byte of input is attacker-controlled by assumption.
+
+use std::io::{self, Read, Write};
+
+/// Bytes in the length prefix.
+pub const LEN_BYTES: usize = 4;
+
+/// Default cap on payload length (64 KiB) — far above any legitimate
+/// query, far below anything that could pressure memory.
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The read stalled past the socket's read timeout.
+    Timeout,
+    /// The declared payload length exceeds the cap.
+    Oversize {
+        /// Length the header declared.
+        declared: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// Any other I/O failure, including a close mid-frame.
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Timeout => f.write_str("read timed out"),
+            FrameError::Oversize { declared, cap } => {
+                write!(f, "oversize frame: {declared} bytes (cap {cap})")
+            }
+            FrameError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+/// Reads one frame, enforcing `cap` on the declared payload length.
+#[must_use]
+pub fn read_frame(stream: &mut impl Read, cap: usize) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; LEN_BYTES];
+    read_full(stream, &mut header, true)?;
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > cap {
+        return Err(FrameError::Oversize { declared, cap });
+    }
+    let mut payload = vec![0u8; declared];
+    read_full(stream, &mut payload, false)?;
+    Ok(payload)
+}
+
+/// Writes one frame. Fails (without writing) when the payload exceeds
+/// the `u32` length space. Header and payload go out in a single
+/// `write_all` — two small writes per frame would trip the classic
+/// Nagle/delayed-ACK interaction and cost ~40ms per roundtrip.
+#[must_use]
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 length"))?;
+    let mut framed = Vec::with_capacity(payload.len() + LEN_BYTES);
+    framed.extend_from_slice(&len.to_be_bytes());
+    framed.extend_from_slice(payload);
+    stream.write_all(&framed)?;
+    stream.flush()
+}
+
+/// Fills `buf` completely. `at_boundary` selects whether a clean EOF
+/// before the first byte is a normal close or a truncated frame.
+fn read_full(stream: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && at_boundary {
+                    FrameError::Closed
+                } else {
+                    FrameError::Io(io::ErrorKind::UnexpectedEof)
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(FrameError::Timeout);
+            }
+            Err(e) => return Err(FrameError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"RANK dns 5").expect("write");
+        let mut cursor = io::Cursor::new(wire);
+        let got = read_frame(&mut cursor, 1024).expect("read");
+        assert_eq!(got, b"RANK dns 5");
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"").expect("write");
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor, 16).expect("read"), b"");
+    }
+
+    #[test]
+    fn oversize_header_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = io::Cursor::new(wire);
+        match read_frame(&mut cursor, 64) {
+            Err(FrameError::Oversize { declared, cap }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(cap, 64);
+            }
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_close_at_boundary_vs_mid_frame() {
+        let mut cursor = io::Cursor::new(Vec::new());
+        assert_eq!(read_frame(&mut cursor, 64), Err(FrameError::Closed));
+
+        // Header promises 10 bytes, stream delivers 3.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_be_bytes());
+        wire.extend_from_slice(b"abc");
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(
+            read_frame(&mut cursor, 64),
+            Err(FrameError::Io(io::ErrorKind::UnexpectedEof))
+        );
+
+        // Partial header then close is also mid-frame.
+        let mut cursor = io::Cursor::new(vec![0u8, 0]);
+        assert_eq!(
+            read_frame(&mut cursor, 64),
+            Err(FrameError::Io(io::ErrorKind::UnexpectedEof))
+        );
+    }
+}

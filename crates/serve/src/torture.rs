@@ -1,0 +1,506 @@
+//! Deterministic chaos client for the daemon.
+//!
+//! The torture harness hammers a running server from several client
+//! threads with a seeded mix of valid queries and hostile traffic:
+//! garbage frames, oversize declarations, mid-frame disconnects,
+//! slow-loris stalls, churn storms, and (optionally) `POISON` queries
+//! that panic inside the engine. It then asserts the daemon's
+//! robustness contract:
+//!
+//! * **zero process panics** — the server keeps answering `PING` after
+//!   every round, and poison panics show up only as contained-panic
+//!   counters;
+//! * **zero wrong-epoch answers** — per client thread, reply epochs
+//!   are monotonically non-decreasing (a reader can never observe a
+//!   torn or rolled-back index);
+//! * **bounded shed-vs-hang** — every request is answered with
+//!   `OK`/`BUSY`/`DEADLINE`/`ERR` or an orderly close within the
+//!   client timeout; a silent hang is an invariant violation.
+//!
+//! All randomness flows from one `DetRng` seed, so any failure is
+//! replayable with `webdeps-serve --torture --seed N`.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use webdeps_model::DetRng;
+
+use crate::frame::{read_frame, FrameError};
+use crate::proto::{classify_reply, ReplyKind};
+use crate::server::{connect, roundtrip};
+
+/// Knobs for one torture run.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Master seed; every thread forks from it deterministically.
+    pub seed: u64,
+    /// Total connections across all client threads.
+    pub connections: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Provider keys usable in `SITES`/`OUTAGE`/`CHURN` requests.
+    pub churn_keys: Vec<String>,
+    /// Site-id bound for generated churn (ids are `0..site_count`).
+    pub site_count: u32,
+    /// Frame cap the server was configured with.
+    pub max_frame: usize,
+    /// Client-side I/O timeout; replies slower than this count as hangs.
+    pub client_timeout_ms: u64,
+    /// How long a slow-loris connection stalls mid-frame.
+    pub loris_stall_ms: u64,
+    /// Send occasional `POISON` queries (server must contain them).
+    pub send_poison: bool,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            seed: 1,
+            connections: 256,
+            clients: 4,
+            churn_keys: Vec::new(),
+            site_count: 0,
+            max_frame: crate::frame::DEFAULT_MAX_FRAME,
+            client_timeout_ms: 5_000,
+            loris_stall_ms: 400,
+            send_poison: true,
+        }
+    }
+}
+
+/// Tallies from one torture run (merged across client threads).
+#[derive(Debug, Clone, Default)]
+pub struct TortureReport {
+    /// Well-formed requests sent.
+    pub queries: u64,
+    /// `OK` replies observed.
+    pub ok: u64,
+    /// `BUSY` shed replies observed.
+    pub busy: u64,
+    /// `DEADLINE` cuts observed.
+    pub deadline: u64,
+    /// `ERR` replies observed (parse errors, contained panics, ...).
+    pub err: u64,
+    /// Hostile frames sent (garbage, oversize, mid-frame, loris).
+    pub hostile: u64,
+    /// `CHURN` operations sent.
+    pub churn_ops: u64,
+    /// `POISON` queries sent.
+    pub poisons: u64,
+    /// Connections refused at connect time (acceptable under churn).
+    pub connect_failures: u64,
+    /// Invariant violations; empty means the run passed.
+    pub violations: Vec<String>,
+}
+
+impl TortureReport {
+    /// Folds another thread's tallies into this one.
+    pub fn merge(&mut self, other: &TortureReport) {
+        self.queries += other.queries;
+        self.ok += other.ok;
+        self.busy += other.busy;
+        self.deadline += other.deadline;
+        self.err += other.err;
+        self.hostile += other.hostile;
+        self.churn_ops += other.churn_ops;
+        self.poisons += other.poisons;
+        self.connect_failures += other.connect_failures;
+        self.violations.extend(other.violations.iter().cloned());
+    }
+
+    /// True when no invariant was violated.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for logs and CI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "queries={} ok={} busy={} deadline={} err={} hostile={} churn={} poisons={} \
+             connect_failures={} violations={}",
+            self.queries,
+            self.ok,
+            self.busy,
+            self.deadline,
+            self.err,
+            self.hostile,
+            self.churn_ops,
+            self.poisons,
+            self.connect_failures,
+            self.violations.len(),
+        )
+    }
+}
+
+/// What one connection does to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Attack {
+    ValidQueries,
+    Garbage,
+    Oversize,
+    MidFrameDisconnect,
+    SlowLoris,
+    ChurnStorm,
+    Poison,
+}
+
+fn pick_attack(rng: &mut DetRng, cfg: &TortureConfig) -> Attack {
+    let weights = [
+        46.0, // ValidQueries
+        12.0, // Garbage
+        8.0,  // Oversize
+        10.0, // MidFrameDisconnect
+        6.0,  // SlowLoris
+        12.0, // ChurnStorm
+        if cfg.send_poison { 6.0 } else { 0.0 },
+    ];
+    match rng.weighted_index(&weights) {
+        Some(1) => Attack::Garbage,
+        Some(2) => Attack::Oversize,
+        Some(3) => Attack::MidFrameDisconnect,
+        Some(4) => Attack::SlowLoris,
+        Some(5) => Attack::ChurnStorm,
+        Some(6) => Attack::Poison,
+        _ => Attack::ValidQueries,
+    }
+}
+
+/// Runs the full torture campaign against `addr` and merges results.
+#[must_use]
+pub fn run_torture(addr: SocketAddr, cfg: &TortureConfig) -> TortureReport {
+    let clients = cfg.clients.max(1);
+    let per_client = cfg.connections.div_ceil(clients);
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let thread_cfg = cfg.clone();
+        handles.push(thread::spawn(move || {
+            client_thread(addr, &thread_cfg, c, per_client)
+        }));
+    }
+    let mut merged = TortureReport::default();
+    for handle in handles {
+        match handle.join() {
+            Ok(report) => merged.merge(&report),
+            Err(_) => merged
+                .violations
+                .push("torture client thread panicked".to_string()),
+        }
+    }
+    // Final liveness probe: the server must still answer after the
+    // whole campaign (zero process panics).
+    match probe_alive(addr, cfg) {
+        Ok(()) => {}
+        Err(e) => merged.violations.push(format!("post-run liveness: {e}")),
+    }
+    merged
+}
+
+fn probe_alive(addr: SocketAddr, cfg: &TortureConfig) -> Result<(), String> {
+    let mut stream = connect(addr, cfg.client_timeout_ms)
+        .map_err(|e| format!("connect failed after torture: {e}"))?;
+    let reply = roundtrip(&mut stream, "PING", cfg.max_frame)
+        .map_err(|e| format!("no PING reply after torture: {e}"))?;
+    match classify_reply(&reply) {
+        Some((ReplyKind::Ok, _)) | Some((ReplyKind::Busy, _)) => Ok(()),
+        _ => Err(format!(
+            "unexpected PING reply after torture: {}",
+            String::from_utf8_lossy(&reply)
+        )),
+    }
+}
+
+fn client_thread(
+    addr: SocketAddr,
+    cfg: &TortureConfig,
+    client: usize,
+    connections: usize,
+) -> TortureReport {
+    // lint:allow(seed-flow) — torture forks its own chaos stream from
+    // the campaign seed; determinism is asserted by replayability.
+    let mut rng = DetRng::new(cfg.seed).fork_indexed("torture-client", client);
+    let mut report = TortureReport::default();
+    // Epoch monotonicity: within one thread replies are sequenced, so
+    // an observed epoch may never decrease.
+    let mut last_epoch: u64 = 0;
+    for _ in 0..connections {
+        let attack = pick_attack(&mut rng, cfg);
+        let mut stream = match connect(addr, cfg.client_timeout_ms) {
+            Ok(s) => s,
+            Err(_) => {
+                report.connect_failures += 1;
+                continue;
+            }
+        };
+        match attack {
+            Attack::ValidQueries => {
+                let n = 1 + rng.below(4);
+                for _ in 0..n {
+                    let q = valid_query(&mut rng, cfg);
+                    if !send_and_check(&mut stream, &q, cfg, &mut report, &mut last_epoch) {
+                        break;
+                    }
+                }
+            }
+            Attack::Garbage => {
+                report.hostile += 1;
+                let payload = garbage_payload(&mut rng);
+                send_hostile_and_drain(&mut stream, &payload, cfg, &mut report, &mut last_epoch);
+            }
+            Attack::Oversize => {
+                report.hostile += 1;
+                send_oversize(&mut stream, cfg, &mut report);
+            }
+            Attack::MidFrameDisconnect => {
+                report.hostile += 1;
+                send_midframe_disconnect(&mut stream, &mut rng);
+            }
+            Attack::SlowLoris => {
+                report.hostile += 1;
+                send_slow_loris(&mut stream, cfg);
+            }
+            Attack::ChurnStorm => {
+                let n = 2 + rng.below(6);
+                for _ in 0..n {
+                    let q = churn_query(&mut rng, cfg);
+                    report.churn_ops += 1;
+                    if !send_and_check(&mut stream, &q, cfg, &mut report, &mut last_epoch) {
+                        break;
+                    }
+                }
+            }
+            Attack::Poison => {
+                report.poisons += 1;
+                // The reply must be a contained ERR, never a hang.
+                if send_and_check(&mut stream, "POISON", cfg, &mut report, &mut last_epoch) {
+                    // Prove the connection loop survived the panic.
+                    let _alive =
+                        send_and_check(&mut stream, "PING", cfg, &mut report, &mut last_epoch);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Sends one well-formed request and classifies the reply. Returns
+/// `false` when the connection is no longer usable.
+fn send_and_check(
+    stream: &mut TcpStream,
+    request: &str,
+    cfg: &TortureConfig,
+    report: &mut TortureReport,
+    last_epoch: &mut u64,
+) -> bool {
+    report.queries += 1;
+    let reply = match roundtrip(stream, request, cfg.max_frame) {
+        Ok(r) => r,
+        Err(FrameError::Closed) => return false,
+        Err(FrameError::Timeout) => {
+            report
+                .violations
+                .push(format!("hang: no reply to {request:?} within timeout"));
+            return false;
+        }
+        Err(_) => return false,
+    };
+    match classify_reply(&reply) {
+        Some((kind, epoch)) => {
+            match kind {
+                ReplyKind::Ok => report.ok += 1,
+                ReplyKind::Busy => report.busy += 1,
+                ReplyKind::Deadline => report.deadline += 1,
+                ReplyKind::Err => report.err += 1,
+            }
+            if let Some(e) = epoch {
+                if e < *last_epoch {
+                    report.violations.push(format!(
+                        "wrong-epoch answer: saw epoch {e} after epoch {} (request {request:?})",
+                        *last_epoch
+                    ));
+                }
+                *last_epoch = (*last_epoch).max(e);
+            }
+            !matches!(kind, ReplyKind::Busy)
+        }
+        None => {
+            report.violations.push(format!(
+                "unclassifiable reply to {request:?}: {}",
+                String::from_utf8_lossy(&reply)
+            ));
+            false
+        }
+    }
+}
+
+fn valid_query(rng: &mut DetRng, cfg: &TortureConfig) -> String {
+    let kinds = ["dns", "cdn", "ca"];
+    let weights = [20.0, 10.0, 8.0, 30.0, 22.0, 10.0];
+    match rng.weighted_index(&weights) {
+        Some(0) => "PING".to_string(),
+        Some(1) => "HEALTH".to_string(),
+        Some(2) => "STATS".to_string(),
+        Some(3) => {
+            let kind = rng.pick(&kinds);
+            let top = 1 + rng.below(20);
+            format!("RANK {kind} {top}")
+        }
+        Some(4) => match pick_key(rng, cfg) {
+            Some(key) => {
+                let kind = rng.pick(&kinds);
+                format!("SITES {kind} {key}")
+            }
+            None => "PING".to_string(),
+        },
+        _ => match pick_key(rng, cfg) {
+            Some(key) => format!("OUTAGE {key}"),
+            None => "HEALTH".to_string(),
+        },
+    }
+}
+
+fn pick_key(rng: &mut DetRng, cfg: &TortureConfig) -> Option<String> {
+    if cfg.churn_keys.is_empty() {
+        return None;
+    }
+    Some(rng.pick(&cfg.churn_keys).clone())
+}
+
+fn churn_query(rng: &mut DetRng, cfg: &TortureConfig) -> String {
+    let key = match pick_key(rng, cfg) {
+        Some(k) => k,
+        None => return "PING".to_string(),
+    };
+    let site = if cfg.site_count == 0 {
+        0
+    } else {
+        rng.below(cfg.site_count as usize)
+    };
+    let crit = if rng.chance(0.5) {
+        "critical"
+    } else {
+        "shared"
+    };
+    let kind = *rng.pick(&["dns", "cdn", "ca"]);
+    if rng.chance(0.65) {
+        format!("CHURN ADD-SITE {site} {kind} {key} {crit}")
+    } else {
+        format!("CHURN RM-SITE {site} {kind} {key} {crit}")
+    }
+}
+
+fn garbage_payload(rng: &mut DetRng) -> Vec<u8> {
+    let len = 1 + rng.below(200);
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push((rng.next_u64() & 0xff) as u8);
+    }
+    bytes
+}
+
+/// Sends a hostile (but well-framed) payload and checks the server
+/// still answers a valid request on the same connection — parse errors
+/// must not poison the connection handler.
+fn send_hostile_and_drain(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    cfg: &TortureConfig,
+    report: &mut TortureReport,
+    last_epoch: &mut u64,
+) {
+    let framed = match frame_bytes(payload) {
+        Some(f) => f,
+        None => return,
+    };
+    if stream.write_all(&framed).is_err() {
+        return;
+    }
+    // The garbage frame earns an ERR; then the connection must still
+    // serve a valid query.
+    match read_frame(stream, cfg.max_frame) {
+        Ok(reply) => {
+            if classify_reply(&reply).is_none() {
+                report.violations.push(format!(
+                    "unclassifiable reply to garbage frame: {}",
+                    String::from_utf8_lossy(&reply)
+                ));
+                return;
+            }
+        }
+        Err(FrameError::Timeout) => {
+            report
+                .violations
+                .push("hang: no reply to garbage frame".to_string());
+            return;
+        }
+        Err(_) => return,
+    }
+    let _alive = send_and_check(stream, "PING", cfg, report, last_epoch);
+}
+
+fn frame_bytes(payload: &[u8]) -> Option<Vec<u8>> {
+    let len = u32::try_from(payload.len()).ok()?;
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+    Some(out)
+}
+
+/// Declares a payload larger than the server's cap; the reply must be
+/// an explicit ERR (classifiable), never a hang or a panic.
+fn send_oversize(stream: &mut TcpStream, cfg: &TortureConfig, report: &mut TortureReport) {
+    let declared = (cfg.max_frame as u32).saturating_add(1);
+    if stream.write_all(&declared.to_be_bytes()).is_err() {
+        return;
+    }
+    match read_frame(stream, cfg.max_frame) {
+        Ok(reply) => {
+            if classify_reply(&reply).is_none() {
+                report.violations.push(format!(
+                    "unclassifiable reply to oversize frame: {}",
+                    String::from_utf8_lossy(&reply)
+                ));
+            }
+        }
+        Err(FrameError::Timeout) => {
+            report
+                .violations
+                .push("hang: no reply to oversize frame".to_string());
+        }
+        Err(_) => {}
+    }
+}
+
+/// Declares a frame, writes a fragment, and disconnects. The server
+/// must treat the torn frame as a closed connection, not an error
+/// worth a worker's time.
+fn send_midframe_disconnect(stream: &mut TcpStream, rng: &mut DetRng) {
+    let declared: u32 = 64 + (rng.below(512) as u32);
+    if stream.write_all(&declared.to_be_bytes()).is_err() {
+        return;
+    }
+    let fragment = vec![b'x'; rng.below(32)];
+    if stream.write_all(&fragment).is_err() {
+        return;
+    }
+    if stream.shutdown(Shutdown::Both).is_err() {
+        // Already gone; the point was the disconnect.
+    }
+}
+
+/// Starts a frame and stalls past the server's read timeout. The
+/// server must shed the connection rather than park a worker forever.
+fn send_slow_loris(stream: &mut TcpStream, cfg: &TortureConfig) {
+    let declared: u32 = 16;
+    let header = declared.to_be_bytes();
+    if stream.write_all(&header[..2]).is_err() {
+        return;
+    }
+    thread::sleep(Duration::from_millis(cfg.loris_stall_ms));
+    // Try to finish the frame; the server has usually shed us by now,
+    // so a write error here is the expected outcome.
+    if stream.write_all(&header[2..]).is_err() {
+        // Shed mid-header: exactly the bounded behavior we want.
+    }
+}

@@ -18,6 +18,9 @@ cargo test -q --offline --test parallel_determinism
 echo "== webdeps-chaos --smoke (incident replays + invariant campaign) =="
 cargo run -q --release --offline -p webdeps-chaos -- --smoke
 
+echo "== webdeps-serve --smoke (daemon torture: shed/deadline/poison invariants) =="
+cargo run -q --release --offline -p webdeps-serve -- --smoke
+
 echo "== webdeps-lint v3 (static-analysis pass, warnings denied) =="
 cargo run -q --release --offline -p webdeps-lint -- --root . --deny-warnings --json-out LINT_REPORT.json
 ls -l LINT_REPORT.json
@@ -40,9 +43,10 @@ echo "== bench smoke (2 samples, scratch output; compiles + runs every target) =
 # must be absolute to land in the repo-root target/ scratch dir.
 WEBDEPS_BENCH_OUT="$PWD/target" WEBDEPS_BENCH_SAMPLES=2 WEBDEPS_BENCH_SAMPLE_MS=5 \
     WEBDEPS_BENCH_WARMUP_MS=5 cargo bench -q --offline -p webdeps-bench \
-    --bench analysis --bench pipeline --bench measure_world --bench lint >/dev/null
+    --bench analysis --bench pipeline --bench measure_world --bench lint \
+    --bench serve >/dev/null
 ls -l target/BENCH_analysis.json target/BENCH_pipeline.json \
-    target/BENCH_measure_world.json target/BENCH_lint.json
+    target/BENCH_measure_world.json target/BENCH_lint.json target/BENCH_serve.json
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== cargo bench (std harness, JSON trajectory; 1M columnar scale opt-in) =="

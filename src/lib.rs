@@ -21,6 +21,8 @@
 //!   impact, evolution, outage simulation, per-site audits);
 //! * [`chaos`] — deterministic incident replay (Mirai-Dyn, GlobalSign)
 //!   and seeded chaos campaigns with availability invariants;
+//! * [`serve`] — a fault-tolerant resident query daemon with an
+//!   incremental reachability index and a torture-test harness;
 //! * [`reports`] — regenerators for every table and figure.
 //!
 //! ## Quickstart
@@ -54,6 +56,7 @@ pub use webdeps_dns as dns;
 pub use webdeps_measure as measure;
 pub use webdeps_model as model;
 pub use webdeps_reports as reports;
+pub use webdeps_serve as serve;
 pub use webdeps_tls as tls;
 pub use webdeps_web as web;
 pub use webdeps_worldgen as worldgen;

@@ -378,3 +378,205 @@ fn replay_render_is_reproducible() {
     let second = replay(world, &incident).render();
     assert_eq!(first, second, "replay rendering is not reproducible");
 }
+
+/// Incremental recompute must not be a results knob either: after a
+/// seeded stream of churn deltas, the patched [`MutableReach`] pair
+/// (impact + concentration) scores every provider byte-identically to
+/// rankings computed from a freshly rebuilt graph — and those fresh
+/// rankings are themselves byte-identical at 1, 2, and 8 workers. Runs
+/// 64 independent delta streams.
+#[test]
+fn churned_mutable_reach_matches_fresh_rankings_at_any_jobs() {
+    use webdeps::core::{Churn, EdgeKind, GraphBuilder, MutableReach, ProviderRef};
+
+    const KINDS: [ServiceKind; 3] = [ServiceKind::Dns, ServiceKind::Cdn, ServiceKind::Ca];
+
+    // Mirror state: providers are (key, kind); edges are index triples.
+    struct Mirror {
+        sites: u32,
+        providers: Vec<(String, ServiceKind)>,
+        site_edges: Vec<(u32, usize, bool)>,
+        prov_edges: Vec<(usize, usize, bool)>,
+    }
+
+    impl Mirror {
+        fn build(&self) -> DepGraph {
+            let mut b = GraphBuilder::new();
+            for s in 0..self.sites {
+                b.intern_site(SiteId(s));
+            }
+            for (key, kind) in &self.providers {
+                b.intern_provider(key, *kind);
+            }
+            let mut g = b;
+            for &(site, p, critical) in &self.site_edges {
+                let from = g.intern_site(SiteId(site));
+                let (key, kind) = &self.providers[p];
+                let to = g.intern_provider(key, *kind);
+                g.add_edge(
+                    from,
+                    to,
+                    EdgeKind {
+                        service: *kind,
+                        critical,
+                    },
+                );
+            }
+            for &(f, t, critical) in &self.prov_edges {
+                let (fk, fkind) = &self.providers[f];
+                let (tk, tkind) = &self.providers[t];
+                let from = g.intern_provider(fk, *fkind);
+                let to = g.intern_provider(tk, *tkind);
+                g.add_edge(
+                    from,
+                    to,
+                    EdgeKind {
+                        service: *tkind,
+                        critical,
+                    },
+                );
+            }
+            g.build()
+        }
+    }
+
+    check_with(
+        &Config {
+            cases: 64,
+            ..Config::default()
+        },
+        "churned_mutable_reach_matches_fresh_rankings_at_any_jobs",
+        &gen::u64_any(),
+        |&seed| {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let opts = MetricOptions::full();
+            let mut mirror = Mirror {
+                sites: 20 + (next() % 20) as u32,
+                providers: Vec::new(),
+                site_edges: Vec::new(),
+                prov_edges: Vec::new(),
+            };
+            for kind in KINDS {
+                for i in 0..(2 + next() % 2) {
+                    mirror
+                        .providers
+                        .push((format!("{kind:?}{i}.example").to_lowercase(), kind));
+                }
+            }
+            let n_prov = mirror.providers.len();
+            for _ in 0..(10 + next() % 24) {
+                mirror.site_edges.push((
+                    (next() % mirror.sites as u64) as u32,
+                    (next() % n_prov as u64) as usize,
+                    next() % 2 == 0,
+                ));
+            }
+            for _ in 0..(next() % 6) {
+                let f = (next() % n_prov as u64) as usize;
+                let t = (next() % n_prov as u64) as usize;
+                if f != t {
+                    mirror.prov_edges.push((f, t, next() % 2 == 0));
+                }
+            }
+
+            let initial = mirror.build();
+            let mut impact = MutableReach::from_graph(&initial, true, &opts);
+            let mut conc = MutableReach::from_graph(&initial, false, &opts);
+
+            let pref = |mirror: &Mirror, p: usize| {
+                let (key, kind) = &mirror.providers[p];
+                ProviderRef::new(key.clone(), *kind)
+            };
+            for _ in 0..12 {
+                let delta = match next() % 4 {
+                    0 => {
+                        let site = (next() % mirror.sites as u64) as u32;
+                        let p = (next() % n_prov as u64) as usize;
+                        let critical = next() % 2 == 0;
+                        mirror.site_edges.push((site, p, critical));
+                        Churn::AddSiteEdge {
+                            site: SiteId(site),
+                            provider: pref(&mirror, p),
+                            critical,
+                        }
+                    }
+                    1 if !mirror.site_edges.is_empty() => {
+                        let i = (next() % mirror.site_edges.len() as u64) as usize;
+                        let (site, p, critical) = mirror.site_edges.swap_remove(i);
+                        Churn::RemoveSiteEdge {
+                            site: SiteId(site),
+                            provider: pref(&mirror, p),
+                            critical,
+                        }
+                    }
+                    2 => {
+                        let f = (next() % n_prov as u64) as usize;
+                        let t = (next() % n_prov as u64) as usize;
+                        if f == t {
+                            continue;
+                        }
+                        let critical = next() % 2 == 0;
+                        mirror.prov_edges.push((f, t, critical));
+                        Churn::AddProviderEdge {
+                            from: pref(&mirror, f),
+                            to: pref(&mirror, t),
+                            critical,
+                        }
+                    }
+                    _ if !mirror.prov_edges.is_empty() => {
+                        let i = (next() % mirror.prov_edges.len() as u64) as usize;
+                        let (f, t, critical) = mirror.prov_edges.swap_remove(i);
+                        Churn::RemoveProviderEdge {
+                            from: pref(&mirror, f),
+                            to: pref(&mirror, t),
+                            critical,
+                        }
+                    }
+                    _ => continue,
+                };
+                if let Err(e) = impact.apply(&delta) {
+                    return Err(format!("impact rejected a mirrored delta: {e}"));
+                }
+                if let Err(e) = conc.apply(&delta) {
+                    return Err(format!("concentration rejected a mirrored delta: {e}"));
+                }
+            }
+
+            let churned = mirror.build();
+            let metrics = Metrics::new(&churned);
+            for kind in KINDS {
+                let baseline = metrics.ranking_with_jobs(kind, &opts, 1);
+                for jobs in [2usize, 8] {
+                    let fanned = metrics.ranking_with_jobs(kind, &opts, jobs);
+                    tk_assert!(
+                        fanned == baseline,
+                        "fresh ranking for {kind:?} diverged at jobs={jobs}"
+                    );
+                }
+                for score in &baseline {
+                    let patched_impact = impact.dependent_count(score.key.as_str(), kind);
+                    let patched_conc = conc.dependent_count(score.key.as_str(), kind);
+                    tk_assert!(
+                        patched_impact == score.impact,
+                        "impact mismatch for {} ({kind:?}): patched {patched_impact} vs fresh {}",
+                        score.key.as_str(),
+                        score.impact
+                    );
+                    tk_assert!(
+                        patched_conc == score.concentration,
+                        "concentration mismatch for {} ({kind:?}): patched {patched_conc} vs fresh {}",
+                        score.key.as_str(),
+                        score.concentration
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
