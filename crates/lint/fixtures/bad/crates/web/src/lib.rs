@@ -99,3 +99,77 @@ fn mint() -> u64 {
 pub fn draw() -> u64 {
     mint()
 }
+
+// The concurrency rules: a two-function lock-order cycle (each side
+// takes one lock directly and the other through a private helper), a
+// guard held across a direct sleep, a guard held across a helper that
+// sleeps, a guard held across a fan-out, a poisoned-lock unwrap, and
+// one atomic field accessed with mixed orderings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    fn grab_a(&self) -> u64 {
+        *self.a.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn grab_b(&self) -> u64 {
+        *self.b.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        *ga + self.grab_b()
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());
+        *gb + self.grab_a()
+    }
+}
+
+pub fn blocky(m: &Mutex<u64>) -> u64 {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    *g
+}
+
+fn naps() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn blocky2(m: &Mutex<u64>) -> u64 {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    naps();
+    *g
+}
+
+pub fn fan_out(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}
+
+pub fn fanned(m: &Mutex<u64>, xs: &[u32]) -> u64 {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    let parts = fan_out(xs);
+    *g + parts.len() as u64
+}
+
+pub fn poison_prone(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+pub fn tick() {
+    TICKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn ticks() -> u64 {
+    TICKS.load(Ordering::SeqCst)
+}

@@ -22,6 +22,39 @@ pub fn head(xs: &[u32]) -> u32 {
     first(xs)
 }
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a counter, recovering from poisoning: the data under a
+/// poisoned lock is intact, so the guard is handed back instead of
+/// cascading the panic (the idiom `lock-poison-unwrap` asks for).
+pub fn counter_guard(m: &Mutex<u64>) -> MutexGuard<'_, u64> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Bumps the counter in a tight scope, then waits with no guard live —
+/// the shape `blocking-while-locked` wants.
+pub fn bump_then_wait(m: &Mutex<u64>) {
+    {
+        let mut g = counter_guard(m);
+        *g += 1;
+    }
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+/// One atomic field, one ordering discipline (`Relaxed` everywhere).
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one event.
+pub fn record_event() {
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads the event counter.
+pub fn events() -> u64 {
+    EVENTS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

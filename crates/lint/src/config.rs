@@ -161,6 +161,46 @@ pub const RULES: &[RuleInfo] = &[
         example: "fn shuffle(xs: &mut [u32]) { let mut r = DetRng::new(7); … } // via pub fn order()",
         allow_hint: "pub fn api(…) // lint:allow(seed-flow-transitive) — <why the stream is controlled>",
     },
+    RuleInfo {
+        name: "lock-order-cycle",
+        severity: Severity::Deny,
+        summary: "no cycle in the interprocedural lock-order graph (lock A held while acquiring B, and B — possibly through calls — while acquiring A)",
+        rationale: "Two threads taking the same locks in opposite orders deadlock the resident daemon exactly like the paper's correlated provider failure: one stuck worker wedges every request behind it. The concurrency pass records which lock each guard region holds, propagates acquired-lock sets callee→caller over the SCC-condensed call graph, and reports every cycle of the resulting lock-order graph with a witness chain naming the functions and call edges involved.",
+        example: "fn ab(p: &Pair) { let a = p.a.lock()…; let b = p.b.lock()…; } // elsewhere: b before a",
+        allow_hint: "let g = …; // lint:allow(lock-order-cycle) — <why the orders cannot interleave>",
+    },
+    RuleInfo {
+        name: "blocking-while-locked",
+        severity: Severity::Deny,
+        summary: "no blocking operation (socket read/write/accept, channel recv, join, sleep) reachable while a lock guard is live",
+        rationale: "A guard held across a blocking call stretches the critical section to the blocking op's worst case: one slow peer or stuck worker starves every thread waiting on the lock — the single-point-of-failure coupling the paper measures, reproduced in-process. Blocking sites propagate callee→caller, so a helper that sleeps is caught even when the guard lives in its caller. Condvar::wait is exempt: parking releases the lock.",
+        example: "let g = m.lock()…; thread::sleep(tick); // guard still live",
+        allow_hint: "// lint:allow(blocking-while-locked) — <why the block is bounded and safe>",
+    },
+    RuleInfo {
+        name: "guard-across-fanout",
+        severity: Severity::Deny,
+        summary: "no lock guard live across a par::fan_out/fan_out_chunked call",
+        rationale: "fan_out blocks until every worker joins; a guard held across it serializes the whole pool behind one lock, and a worker that needs the same lock deadlocks outright. Fan-out entry propagates callee→caller, so wrapping the call in a helper does not hide it. Split the work: read what you need, drop the guard, then fan out.",
+        example: "let g = state.lock()…; let parts = fan_out(&items, jobs, work);",
+        allow_hint: "// lint:allow(guard-across-fanout) — <why workers cannot touch this lock>",
+    },
+    RuleInfo {
+        name: "lock-poison-unwrap",
+        severity: Severity::Warn,
+        summary: "no .lock()/.read()/.write() followed by .unwrap()/.expect(); recover from poisoning with into_inner",
+        rationale: "Unwrapping a poisoned lock turns one panicked thread into a process-wide cascade: every later acquirer dies on the poison flag even though the data is intact. The workspace idiom is .unwrap_or_else(|poisoned| poisoned.into_inner()), which accepts the data and keeps serving — degraded, not down, exactly the resilience posture the paper argues for.",
+        example: "let g = m.lock().unwrap();",
+        allow_hint: "let g = m.lock().unwrap(); // lint:allow(lock-poison-unwrap) — <why poisoning must abort>",
+    },
+    RuleInfo {
+        name: "atomic-ordering-mixed",
+        severity: Severity::Warn,
+        summary: "one atomic field, one ordering discipline: do not mix Relaxed with Acquire/Release or SeqCst accesses on the same field",
+        rationale: "Mixed orderings on one field usually mean one site is wrong: either the Relaxed access silently lacks the synchronization the stronger site was written for, or the stronger site pays for ordering nothing needs. Counters are Relaxed everywhere; handshake flags are Acquire/Release (or SeqCst) everywhere. Field identity is by name, which errs toward reporting.",
+        example: "TICKS.fetch_add(1, Ordering::Relaxed); … TICKS.load(Ordering::SeqCst);",
+        allow_hint: "// lint:allow(atomic-ordering-mixed) — <why this site needs a different ordering>",
+    },
 ];
 
 /// All rule names.
@@ -188,6 +228,23 @@ pub const INTERPROC_RULES: &[&str] = &["panic-reachable", "seed-flow-transitive"
 /// Whether `rule` is one of the interprocedural rules.
 pub fn is_interproc_rule(rule: &str) -> bool {
     INTERPROC_RULES.contains(&rule)
+}
+
+/// The concurrency rules evaluated centrally ([`crate::concurrency`])
+/// over the propagated call graph. `lock-poison-unwrap` is *not* here:
+/// it is a per-file token rule ([`crate::rules`]).
+pub const CONCURRENCY_CENTRAL_RULES: &[&str] = &[
+    "lock-order-cycle",
+    "blocking-while-locked",
+    "guard-across-fanout",
+    "atomic-ordering-mixed",
+];
+
+/// Whether `rule` is matched centrally (by the interprocedural hazard
+/// pass or the concurrency pass) rather than per file. The per-file
+/// pass must not declare suppressions of these rules unused.
+pub fn is_central_rule(rule: &str) -> bool {
+    is_interproc_rule(rule) || CONCURRENCY_CENTRAL_RULES.contains(&rule)
 }
 
 /// Crates whose public APIs are declared panic-justified, exempting

@@ -1,5 +1,5 @@
 //! Diagnostics: violations, suppression records, and the report with
-//! human and JSON renderings (schema `webdeps-lint/3`). JSON is
+//! human and JSON renderings (schema `webdeps-lint/4`). JSON is
 //! hand-rolled — the linter has no dependencies by design.
 
 use std::collections::BTreeMap;
@@ -219,10 +219,10 @@ impl Report {
         out
     }
 
-    /// Machine-readable rendering (`--json`), schema `webdeps-lint/3`.
+    /// Machine-readable rendering (`--json`), schema `webdeps-lint/4`.
     pub fn render_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"webdeps-lint/3\",\n");
+        out.push_str("{\n  \"schema\": \"webdeps-lint/4\",\n");
         let _ = write!(
             out,
             "  \"summary\": {{\"files\": {}, \"violations\": {}, \"deny\": {}, \"warn\": {}, \"suppressed\": {}, \"baselined\": {}, \"stale_baseline\": {}, \"unused_allows\": {}, \"by_rule\": {{",

@@ -30,6 +30,7 @@
 //! (analyzed/cached counts) is deliberately kept out of the [`Report`]
 //! so warm and cold runs render identical JSON.
 
+use crate::concurrency::{ConcFacet, GuardRegion};
 use crate::config::Config;
 use crate::dataflow::SigTable;
 use crate::diag;
@@ -46,10 +47,10 @@ use std::path::{Path, PathBuf};
 
 /// Tool identity folded into the diagnostic cache key; bump on any
 /// release that changes rule behavior.
-pub const TOOL_VERSION: &str = "webdeps-lint/3";
+pub const TOOL_VERSION: &str = "webdeps-lint/4";
 
 /// Cache file schema tag.
-const CACHE_SCHEMA: &str = "webdeps-lint-cache/2";
+const CACHE_SCHEMA: &str = "webdeps-lint-cache/3";
 
 /// Baseline file schema tag.
 const BASELINE_SCHEMA: &str = "webdeps-lint-baseline/1";
@@ -207,10 +208,11 @@ pub fn drive(root: &Path, cfg: &Config, opts: &DriveOptions) -> io::Result<Drive
         }
     }
 
-    // Central interprocedural pass: merge every file's (possibly
-    // cache-replayed) summaries into one call graph and evaluate the
-    // reachability rules. `prepared` is in sorted-path order, so node
-    // ids — and therefore the propagated sources and witness chains —
+    // Central passes: merge every file's (possibly cache-replayed)
+    // summaries into one call graph and evaluate the reachability
+    // rules, then the concurrency rules over the same graph.
+    // `prepared` is in sorted-path order, so node ids — and therefore
+    // the propagated sources, witness chains, and lock-order edges —
     // are identical at any worker count.
     let nodes: Vec<FnSummary> = prepared
         .iter()
@@ -226,10 +228,15 @@ pub fn drive(root: &Path, cfg: &Config, opts: &DriveOptions) -> io::Result<Drive
         })
         .collect();
     let graph = interproc::CallGraph::build(nodes);
-    let (iviolations, isuppressed, iunused) = interproc::evaluate(&graph, cfg, &mut allows);
+    let (iviolations, isuppressed) = interproc::evaluate(&graph, cfg, &mut allows);
     report.violations.extend(iviolations);
     report.suppressed.extend(isuppressed);
-    report.unused_allows.extend(iunused);
+    let (cviolations, csuppressed) = crate::concurrency::evaluate(&graph, cfg, &mut allows);
+    report.violations.extend(cviolations);
+    report.suppressed.extend(csuppressed);
+    report
+        .unused_allows
+        .extend(interproc::unused_allows(&allows));
 
     if let Some(path) = &opts.baseline_path {
         apply_baseline(&mut report, &load_baseline(path));
@@ -374,6 +381,93 @@ fn read_summary(rel: &str, s: &Json) -> Option<FnSummary> {
             .iter()
             .map(|c| read_call(c))
             .collect(),
+        conc: read_conc(s),
+    })
+}
+
+/// Decodes a summary's concurrency facet (absent key = empty facet).
+fn read_conc(s: &Json) -> ConcFacet {
+    let mut out = ConcFacet::default();
+    let Some(c) = s.get("conc") else {
+        return out;
+    };
+    out.acquires = read_str_arr(c, "acq")
+        .iter()
+        .filter_map(|x| read_acq(x))
+        .collect();
+    out.returns_guard = c.get("ret").and_then(Json::as_str).and_then(|x| {
+        let (lock, op) = x.rsplit_once('|')?;
+        Some((lock.to_string(), op.parse::<u8>().ok()?))
+    });
+    out.blocking = read_str_arr(c, "blk")
+        .iter()
+        .filter_map(|x| read_blk(x))
+        .collect();
+    out.atomics = read_str_arr(c, "atom")
+        .iter()
+        .filter_map(|x| {
+            let mut it = x.rsplitn(3, '|');
+            let line = it.next()?.parse::<u32>().ok()?;
+            let ord = it.next()?.to_string();
+            let field = it.next()?.to_string();
+            Some((field, ord, line))
+        })
+        .collect();
+    if let Some(regions) = c.get("regions").and_then(Json::as_arr) {
+        out.regions = regions.iter().filter_map(read_region).collect();
+    }
+    out
+}
+
+/// Decodes one `lock|line|op` acquisition entry.
+fn read_acq(x: &str) -> Option<(String, u32, u8)> {
+    let mut it = x.rsplitn(3, '|');
+    let op = it.next()?.parse::<u8>().ok()?;
+    let line = it.next()?.parse::<u32>().ok()?;
+    Some((it.next()?.to_string(), line, op))
+}
+
+/// Decodes one `line|desc` blocking entry.
+fn read_blk(x: &str) -> Option<(u32, String)> {
+    let (line, desc) = x.split_once('|')?;
+    Some((line.parse::<u32>().ok()?, desc.to_string()))
+}
+
+/// Decodes one cached guard region.
+fn read_region(r: &Json) -> Option<GuardRegion> {
+    Some(GuardRegion {
+        lock: r
+            .get("lock")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        helper: r.get("helper").and_then(Json::as_str).map(read_call),
+        op: r.get("op").and_then(Json::as_u64).unwrap_or(0) as u8,
+        line: r.get("line")?.as_u64()? as u32,
+        acquires: read_str_arr(r, "acq")
+            .iter()
+            .filter_map(|x| read_acq(x))
+            .collect(),
+        blocking: read_str_arr(r, "blk")
+            .iter()
+            .filter_map(|x| read_blk(x))
+            .collect(),
+        fanout: r
+            .get("fan")
+            .and_then(Json::as_arr)
+            .map(|xs| {
+                xs.iter()
+                    .filter_map(|x| x.as_u64().map(|n| n as u32))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        calls: read_str_arr(r, "calls")
+            .iter()
+            .filter_map(|x| {
+                let (text, line) = x.rsplit_once('@')?;
+                Some((read_call(text), line.parse::<u32>().ok()?))
+            })
+            .collect(),
     })
 }
 
@@ -510,25 +604,34 @@ fn store_cache(
     fs::write(path, out)
 }
 
+/// The compact call form [`read_call`] decodes: `.name` (method),
+/// `Qual::name` (path), or `name` (bare).
+fn call_text(c: &CallRef) -> String {
+    if c.method {
+        format!(".{}", c.name)
+    } else if c.qual.is_empty() {
+        c.name.clone()
+    } else {
+        format!("{}::{}", c.qual, c.name)
+    }
+}
+
 /// Encodes one function summary; boolean flags are stored as 0/1 and
-/// calls in the compact form [`read_call`] decodes.
+/// calls in the compact form [`read_call`] decodes. The concurrency
+/// facet is appended only when non-empty.
 fn write_summary(s: &FnSummary) -> String {
     let calls: Vec<String> = s
         .calls
         .iter()
-        .map(|c| {
-            let text = if c.method {
-                format!(".{}", c.name)
-            } else if c.qual.is_empty() {
-                c.name.clone()
-            } else {
-                format!("{}::{}", c.qual, c.name)
-            };
-            diag::json_str(&text)
-        })
+        .map(|c| diag::json_str(&call_text(c)))
         .collect();
+    let conc = if s.conc.is_empty() {
+        String::new()
+    } else {
+        format!(", \"conc\": {}", write_conc(&s.conc))
+    };
     format!(
-        "{{\"name\": {}, \"impl\": {}, \"line\": {}, \"snippet\": {}, \"pub\": {}, \"self\": {}, \"ret\": {}, \"panic\": {}, \"wall\": {}, \"rng\": {}, \"unordered\": {}, \"index\": {}, \"discard\": {}, \"calls\": [{}]}}",
+        "{{\"name\": {}, \"impl\": {}, \"line\": {}, \"snippet\": {}, \"pub\": {}, \"self\": {}, \"ret\": {}, \"panic\": {}, \"wall\": {}, \"rng\": {}, \"unordered\": {}, \"index\": {}, \"discard\": {}, \"calls\": [{}]{conc}}}",
         diag::json_str(&s.name),
         diag::json_str(&s.impl_type),
         s.line,
@@ -542,6 +645,76 @@ fn write_summary(s: &FnSummary) -> String {
         s.unordered_line,
         s.index_count,
         s.discard_count,
+        calls.join(", ")
+    )
+}
+
+/// Encodes a non-empty concurrency facet. Entry formats mirror the
+/// `read_*` decoders: acquisitions `lock|line|op`, blocking
+/// `line|desc`, atomics `field|ord|line`, region calls `text@line` —
+/// lock identities and descriptions contain no `|`/`@` by construction.
+fn write_conc(c: &ConcFacet) -> String {
+    let acq: Vec<String> = c
+        .acquires
+        .iter()
+        .map(|(lock, line, op)| diag::json_str(&format!("{lock}|{line}|{op}")))
+        .collect();
+    let ret = c
+        .returns_guard
+        .as_ref()
+        .map(|(lock, op)| format!(", \"ret\": {}", diag::json_str(&format!("{lock}|{op}"))))
+        .unwrap_or_default();
+    let blk: Vec<String> = c
+        .blocking
+        .iter()
+        .map(|(line, desc)| diag::json_str(&format!("{line}|{desc}")))
+        .collect();
+    let atom: Vec<String> = c
+        .atomics
+        .iter()
+        .map(|(field, ord, line)| diag::json_str(&format!("{field}|{ord}|{line}")))
+        .collect();
+    let regions: Vec<String> = c.regions.iter().map(write_region).collect();
+    format!(
+        "{{\"acq\": [{}]{ret}, \"blk\": [{}], \"atom\": [{}], \"regions\": [{}]}}",
+        acq.join(", "),
+        blk.join(", "),
+        atom.join(", "),
+        regions.join(", ")
+    )
+}
+
+/// Encodes one guard region.
+fn write_region(r: &GuardRegion) -> String {
+    let helper = r
+        .helper
+        .as_ref()
+        .map(|h| format!(", \"helper\": {}", diag::json_str(&call_text(h))))
+        .unwrap_or_default();
+    let acq: Vec<String> = r
+        .acquires
+        .iter()
+        .map(|(lock, line, op)| diag::json_str(&format!("{lock}|{line}|{op}")))
+        .collect();
+    let blk: Vec<String> = r
+        .blocking
+        .iter()
+        .map(|(line, desc)| diag::json_str(&format!("{line}|{desc}")))
+        .collect();
+    let fan: Vec<String> = r.fanout.iter().map(u32::to_string).collect();
+    let calls: Vec<String> = r
+        .calls
+        .iter()
+        .map(|(c, line)| diag::json_str(&format!("{}@{line}", call_text(c))))
+        .collect();
+    format!(
+        "{{\"lock\": {}, \"op\": {}, \"line\": {}{helper}, \"acq\": [{}], \"blk\": [{}], \"fan\": [{}], \"calls\": [{}]}}",
+        diag::json_str(&r.lock),
+        r.op,
+        r.line,
+        acq.join(", "),
+        blk.join(", "),
+        fan.join(", "),
         calls.join(", ")
     )
 }

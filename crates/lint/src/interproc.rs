@@ -119,6 +119,9 @@ pub struct FnSummary {
     pub discard_count: u32,
     /// Deduplicated calls the body makes.
     pub calls: Vec<CallRef>,
+    /// Concurrency facet: guard regions, lock acquisitions, blocking
+    /// operations, and atomic accesses (see [`crate::concurrency`]).
+    pub conc: crate::concurrency::ConcFacet,
 }
 
 impl FnSummary {
@@ -149,10 +152,11 @@ impl FnSummary {
 /// and cached alongside the file's summaries.
 #[derive(Debug, Clone)]
 pub struct InterprocAllow {
-    /// The interprocedural rules the directive names.
+    /// The centrally-matched rules the directive names (interprocedural
+    /// hazard rules and concurrency rules alike).
     pub rules: Vec<String>,
-    /// Whether *every* rule the directive names is interprocedural.
-    /// Only then does the central pass own its unused-allow reporting.
+    /// Whether *every* rule the directive names is centrally matched.
+    /// Only then do the central passes own its unused-allow reporting.
     pub all_interproc: bool,
     /// Justification text.
     pub reason: String,
@@ -211,26 +215,27 @@ pub fn extract(ctx: &FileCtx, parsed: &ParsedFile) -> FileSummaries {
             ..FnSummary::default()
         };
         scan_body(ctx, body, &hash_names, &mut out.allows, &mut s);
+        crate::concurrency::scan_fn(ctx, func, body, &mut out.allows, &mut s);
         s.discard_count = count_discards(body);
         out.fns.push(s);
     }
     out
 }
 
-/// Retains the suppressions that name at least one interprocedural
-/// rule, in directive order.
+/// Retains the suppressions that name at least one centrally-matched
+/// rule (interprocedural or concurrency), in directive order.
 fn collect_allows(ctx: &FileCtx) -> Vec<InterprocAllow> {
     ctx.suppressions
         .iter()
-        .filter(|s| s.rules.iter().any(|r| config::is_interproc_rule(r)))
+        .filter(|s| s.rules.iter().any(|r| config::is_central_rule(r)))
         .map(|s| InterprocAllow {
             rules: s
                 .rules
                 .iter()
-                .filter(|r| config::is_interproc_rule(r))
+                .filter(|r| config::is_central_rule(r))
                 .cloned()
                 .collect(),
-            all_interproc: s.rules.iter().all(|r| config::is_interproc_rule(r)),
+            all_interproc: s.rules.iter().all(|r| config::is_central_rule(r)),
             reason: s.reason.clone(),
             line: s.line,
             covers: s.covers,
@@ -270,7 +275,7 @@ fn site_justified(
 /// keywords and the std prelude's tuple constructors. Filtering them
 /// keeps cached summaries small; anything else unresolvable simply
 /// produces no edge.
-const NON_CALLEES: &[&str] = &[
+pub(crate) const NON_CALLEES: &[&str] = &[
     "if", "while", "match", "for", "loop", "return", "in", "as", "let", "else", "move", "fn",
     "unsafe", "await", "Some", "None", "Ok", "Err",
 ];
@@ -453,14 +458,19 @@ pub struct CallGraph {
     sources: Vec<[u32; NHAZ]>,
 }
 
-impl CallGraph {
-    /// Builds the graph from all files' summaries (already in sorted
-    /// file order) and propagates hazards over its SCC condensation.
-    pub fn build(nodes: Vec<FnSummary>) -> CallGraph {
-        let n = nodes.len();
-        // Resolution maps: free fns and methods by name, associated
-        // fns by (type, name). Duplicates keep every candidate — the
-        // resolution is deliberately conservative.
+/// Conservative call-target resolution over a node set: free fns and
+/// methods by name, associated fns by (type, name). Duplicates keep
+/// every candidate. Shared by [`CallGraph::build`] and the concurrency
+/// pass's helper-guard resolution.
+pub(crate) struct Resolver<'a> {
+    free: BTreeMap<&'a str, Vec<u32>>,
+    methods: BTreeMap<&'a str, Vec<u32>>,
+    assoc: BTreeMap<(&'a str, &'a str), Vec<u32>>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Indexes the node set. Candidate lists are in node-id order.
+    pub(crate) fn new(nodes: &'a [FnSummary]) -> Resolver<'a> {
         let mut free: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
         let mut methods: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
         let mut assoc: BTreeMap<(&str, &str), Vec<u32>> = BTreeMap::new();
@@ -476,31 +486,51 @@ impl CallGraph {
                 methods.entry(&s.name).or_default().push(id);
             }
         }
+        Resolver {
+            free,
+            methods,
+            assoc,
+        }
+    }
+
+    /// Candidate callee ids for one call site from `caller`, in node-id
+    /// order (empty when nothing resolves).
+    pub(crate) fn targets<'s>(&'s self, caller: &'s FnSummary, c: &'s CallRef) -> &'s [u32] {
+        let targets: Option<&Vec<u32>> = if c.method {
+            self.methods.get(c.name.as_str())
+        } else if !c.qual.is_empty() {
+            let ty: &str = if c.qual == "Self" {
+                &caller.impl_type
+            } else {
+                &c.qual
+            };
+            // A miss means the qualifier was a module path, not a
+            // type; fall back to free-fn resolution.
+            self.assoc
+                .get(&(ty, c.name.as_str()))
+                .or_else(|| self.free.get(c.name.as_str()))
+        } else {
+            self.free.get(c.name.as_str())
+        };
+        targets.map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+impl CallGraph {
+    /// Builds the graph from all files' summaries (already in sorted
+    /// file order) and propagates hazards over its SCC condensation.
+    pub fn build(nodes: Vec<FnSummary>) -> CallGraph {
+        let n = nodes.len();
         let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (id, s) in nodes.iter().enumerate() {
-            let mut out: BTreeSet<u32> = BTreeSet::new();
-            for c in &s.calls {
-                let targets: Option<&Vec<u32>> = if c.method {
-                    methods.get(c.name.as_str())
-                } else if !c.qual.is_empty() {
-                    let ty: &str = if c.qual == "Self" {
-                        &s.impl_type
-                    } else {
-                        &c.qual
-                    };
-                    // A miss means the qualifier was a module path, not
-                    // a type; fall back to free-fn resolution.
-                    assoc
-                        .get(&(ty, c.name.as_str()))
-                        .or_else(|| free.get(c.name.as_str()))
-                } else {
-                    free.get(c.name.as_str())
-                };
-                if let Some(ts) = targets {
-                    out.extend(ts.iter().copied());
+        {
+            let resolver = Resolver::new(&nodes);
+            for (id, s) in nodes.iter().enumerate() {
+                let mut out: BTreeSet<u32> = BTreeSet::new();
+                for c in &s.calls {
+                    out.extend(resolver.targets(s, c).iter().copied());
                 }
+                edges[id] = out.into_iter().collect();
             }
-            edges[id] = out.into_iter().collect();
         }
         let sources = propagate(&nodes, &edges);
         CallGraph {
@@ -508,6 +538,11 @@ impl CallGraph {
             edges,
             sources,
         }
+    }
+
+    /// The resolved adjacency lists (callee ids per node, sorted).
+    pub(crate) fn edge_lists(&self) -> &[Vec<u32>] {
+        &self.edges
     }
 
     /// The propagated hazard sources of node `id`.
@@ -644,16 +679,15 @@ fn propagate(nodes: &[FnSummary], edges: &[Vec<u32>]) -> Vec<[u32; NHAZ]> {
     (0..n).map(|v| comp_sources[comp_of[v] as usize]).collect()
 }
 
-/// The three interprocedural rules, evaluated over the propagated
-/// graph. Returns `(violations, suppressed, unused allow sites)`;
-/// unused-allow sites are `(file, line)` pairs for directives that
-/// name *only* interprocedural rules and silenced nothing (mixed
-/// directives stay owned by the per-file pass).
+/// The three interprocedural hazard rules, evaluated over the
+/// propagated graph. Unused-allow reporting is split out into
+/// [`unused_allows`] so it can run after *both* central passes (this
+/// one and [`crate::concurrency::evaluate`] share the allow list).
 pub fn evaluate(
     graph: &CallGraph,
     cfg: &Config,
     allows: &mut [(String, InterprocAllow)],
-) -> (Vec<Violation>, Vec<Suppressed>, Vec<(String, u32)>) {
+) -> (Vec<Violation>, Vec<Suppressed>) {
     let mut violations = Vec::new();
     let mut suppressed = Vec::new();
     for (id, node) in graph.nodes.iter().enumerate() {
@@ -762,12 +796,19 @@ pub fn evaluate(
             );
         }
     }
-    let unused: Vec<(String, u32)> = allows
+    (violations, suppressed)
+}
+
+/// Unused-allow sites: `(file, line)` pairs for directives that name
+/// *only* centrally-matched rules and silenced nothing (mixed
+/// directives stay owned by the per-file pass). Must run after every
+/// central pass has had its chance to mark directives used.
+pub fn unused_allows(allows: &[(String, InterprocAllow)]) -> Vec<(String, u32)> {
+    allows
         .iter()
         .filter(|(_, a)| !a.used && a.all_interproc)
         .map(|(file, a)| (file.clone(), a.line))
-        .collect();
-    (violations, suppressed, unused)
+        .collect()
 }
 
 fn crate_of(rel: &str) -> Option<String> {

@@ -22,7 +22,15 @@
 //!   (pub `Result`/`Report` fns carry `#[must_use]`);
 //! * **concurrency-safety** — `thread-capture` (spawned closures
 //!   return shard results merged after join instead of mutating a
-//!   captured accumulator);
+//!   captured accumulator), `lock-poison-unwrap` (recover from lock
+//!   poisoning with `into_inner` instead of unwrapping), and the
+//!   interprocedural concurrency pass ([`concurrency`]):
+//!   `lock-order-cycle` (no cycle in the propagated lock-order graph,
+//!   reported with a witness chain), `blocking-while-locked` (no
+//!   blocking op reachable while a guard is live),
+//!   `guard-across-fanout` (no guard live across `par::fan_out`), and
+//!   `atomic-ordering-mixed` (one ordering discipline per atomic
+//!   field);
 //! * **reachability** — the interprocedural rules ([`interproc`]):
 //!   `panic-reachable` (no pub API outside bench/testkit from which an
 //!   unjustified panic site is reachable), `taint-escape` (no pub fn
@@ -44,7 +52,7 @@
 //! fans files out over scoped threads and replays unchanged files from
 //! an on-disk cache, merging diagnostics in path order so warm, cold,
 //! serial, and parallel runs all render byte-identical reports
-//! (schema `webdeps-lint/3`).
+//! (schema `webdeps-lint/4`).
 //!
 //! Violations can be suppressed inline, one per site:
 //!
@@ -59,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod config;
 pub mod dataflow;
 pub mod diag;

@@ -34,6 +34,9 @@ pub fn run_all(ctx: &FileCtx, cfg: &Config) -> Vec<Violation> {
     if cfg.enabled("allow-syntax") {
         out.extend(rule_allow_syntax(ctx));
     }
+    if cfg.enabled("lock-poison-unwrap") {
+        out.extend(rule_lock_poison(ctx));
+    }
     // The rule bodies predate severities; stamp each violation with the
     // run's effective severity in one place.
     for v in &mut out {
@@ -51,6 +54,54 @@ fn violation(ctx: &FileCtx, rule: &str, line: u32, message: String) -> Violation
         message,
         snippet: ctx.snippet(line),
     }
+}
+
+/// `lock-poison-unwrap`: `.lock()`, `.read()`, or `.write()` (empty
+/// argument lists — the guard-minting forms) immediately followed by
+/// `.unwrap()`/`.expect(…)`. The workspace recovery idiom is
+/// `.unwrap_or_else(|poisoned| poisoned.into_inner())`: the data under
+/// a poisoned lock is intact, and unwrapping turns one panicked thread
+/// into a process-wide cascade. Same exemptions as the panic rule.
+fn rule_lock_poison(ctx: &FileCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if ctx.in_test_tree || ctx.is_bin || ctx.crate_name.as_deref() == Some("bench") {
+        return out;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        if !(t.is_ident("lock") || t.is_ident("read") || t.is_ident("write")) {
+            continue;
+        }
+        let guard_call = i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        if !guard_call {
+            continue;
+        }
+        let Some(u) = code.get(i + 4) else {
+            continue;
+        };
+        let unwrapping = code.get(i + 3).is_some_and(|n| n.is_punct('.'))
+            && (u.is_ident("unwrap") || u.is_ident("expect"))
+            && code.get(i + 5).is_some_and(|n| n.is_punct('('));
+        if unwrapping {
+            out.push(violation(
+                ctx,
+                "lock-poison-unwrap",
+                t.line,
+                format!(
+                    ".{}().{}() panics on a poisoned lock; recover with .unwrap_or_else(|poisoned| poisoned.into_inner()) or justify with lint:allow(lock-poison-unwrap)",
+                    t.text, u.text
+                ),
+            ));
+        }
+    }
+    out
 }
 
 /// `panic`: `.unwrap()`, `.expect(…)`, and `panic!` in non-test

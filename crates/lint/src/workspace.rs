@@ -94,10 +94,10 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config, sigs: &SigTable) 
         }
     }
     for (idx, s) in ctx.suppressions.iter().enumerate() {
-        // Directives naming an interprocedural rule are matched by the
-        // central pass ([`interproc::evaluate`]), which this per-file
-        // view cannot see; it owns their unused-allow reporting.
-        if !used[idx] && !s.rules.iter().any(|r| config::is_interproc_rule(r)) {
+        // Directives naming a centrally-matched rule (interprocedural
+        // or concurrency) are matched by the central passes, which this
+        // per-file view cannot see; they own the unused-allow reporting.
+        if !used[idx] && !s.rules.iter().any(|r| config::is_central_rule(r)) {
             outcome.unused_allows.push(s.line);
         }
     }
@@ -123,17 +123,22 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Report {
     for line in outcome.unused_allows {
         report.unused_allows.push((rel_path.to_string(), line));
     }
-    // The interprocedural pass over this one file's call graph.
+    // The central passes over this one file's call graph.
     let graph = interproc::CallGraph::build(summaries.fns);
     let mut allows: Vec<(String, interproc::InterprocAllow)> = summaries
         .allows
         .into_iter()
         .map(|a| (rel_path.to_string(), a))
         .collect();
-    let (violations, suppressed, unused) = interproc::evaluate(&graph, cfg, &mut allows);
+    let (violations, suppressed) = interproc::evaluate(&graph, cfg, &mut allows);
     report.violations.extend(violations);
     report.suppressed.extend(suppressed);
-    report.unused_allows.extend(unused);
+    let (cviolations, csuppressed) = crate::concurrency::evaluate(&graph, cfg, &mut allows);
+    report.violations.extend(cviolations);
+    report.suppressed.extend(csuppressed);
+    report
+        .unused_allows
+        .extend(interproc::unused_allows(&allows));
     report.sort();
     report
 }

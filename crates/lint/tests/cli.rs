@@ -8,7 +8,8 @@ const BAD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/bad");
 const CLEAN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/clean");
 
 /// Every rule the bad fixture trips: the token/manifest rules, the
-/// five dataflow rules, and the three interprocedural rules.
+/// five dataflow rules, the three interprocedural reachability rules,
+/// and the five concurrency rules.
 const ALL_RULES: &[&str] = &[
     "panic",
     "wall-clock",
@@ -27,6 +28,11 @@ const ALL_RULES: &[&str] = &[
     "panic-reachable",
     "taint-escape",
     "seed-flow-transitive",
+    "lock-order-cycle",
+    "blocking-while-locked",
+    "guard-across-fanout",
+    "lock-poison-unwrap",
+    "atomic-ordering-mixed",
 ];
 
 /// Runs the binary cache-free (tests must not write caches into the
@@ -165,6 +171,51 @@ fn interprocedural_rules_cite_source_and_witness_chain() {
 }
 
 #[test]
+fn lock_order_cycle_reports_a_deterministic_witness_chain() {
+    // The bad fixture's `Pair::forward`/`Pair::backward` take `a` and
+    // `b` in opposite orders through private helpers; the diagnostic
+    // must spell out the full cycle with per-hop provenance, byte for
+    // byte, on every run.
+    let out = run(&["--root", BAD, "--json"]);
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    let witness = "potential deadlock: lock-order cycle `Pair.a` -> `Pair.b` -> `Pair.a`: \
+                   `Pair.a` held in `Pair::forward` (crates/web/src/lib.rs:128) -> \
+                   calls `Pair::grab_b` -> acquires `Pair.b`; \
+                   `Pair.b` held in `Pair::backward` (crates/web/src/lib.rs:133) -> \
+                   calls `Pair::grab_a` -> acquires `Pair.a`; \
+                   acquire locks in one global order or justify with lint:allow(lock-order-cycle)";
+    assert!(
+        json.contains(witness),
+        "lock-order-cycle must carry the exact witness chain; report:\n{json}"
+    );
+}
+
+#[test]
+fn concurrency_rules_cite_guards_and_blocking_sites() {
+    let out = run(&["--root", BAD, "--json"]);
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    for needle in [
+        // Direct blocking under a live guard.
+        "`thread::sleep` blocks while the guard on `Mutex<u64>` (taken at line 138) is live",
+        // Call-mediated blocking: the sleep hides in a helper.
+        "call to `naps` can reach `thread::sleep` in `naps` (crates/web/src/lib.rs:144) \
+         while the guard on `Mutex<u64>` (taken at line 148) is live",
+        // A guard held across the parallel fan-out entry point.
+        "is live across the parallel fan-out call at line 159",
+        // Poisoned-lock unwrap names the recovery idiom.
+        ".lock().unwrap() panics on a poisoned lock",
+        // Mixed atomic orderings cite both sites.
+        "atomic field `TICKS` is accessed with mixed orderings: \
+         `Relaxed` (crates/web/src/lib.rs:170) vs `SeqCst` here",
+    ] {
+        assert!(
+            json.contains(needle),
+            "concurrency diagnostics must contain {needle:?}; report:\n{json}"
+        );
+    }
+}
+
+#[test]
 fn justified_site_does_not_propagate_to_callers() {
     // The clean fixture's `head` calls `first`, whose panic site
     // carries a justified allow directive — the justification
@@ -216,7 +267,7 @@ fn json_out_writes_the_report_to_disk() {
     ]);
     assert_eq!(out.status.code(), Some(0));
     let written = std::fs::read_to_string(&path).expect("json-out file");
-    assert!(written.contains("\"schema\": \"webdeps-lint/3\""));
+    assert!(written.contains("\"schema\": \"webdeps-lint/4\""));
     std::fs::remove_file(&path).ok();
 }
 

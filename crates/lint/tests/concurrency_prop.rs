@@ -1,0 +1,360 @@
+//! Property and unit tests for the concurrency layer: guard-region
+//! extraction, lock-order propagation, and the five concurrency rules
+//! must never panic on parser-soup input, must be deterministic, and
+//! must catch (only) the hazard shapes the rule catalog promises.
+
+use webdeps_lint::concurrency;
+use webdeps_lint::interproc::{self, CallGraph};
+use webdeps_lint::scan::FileCtx;
+use webdeps_lint::{parser, Config};
+use webdeps_testkit::{check, gen};
+
+/// Fragments biased toward what the concurrency scanner inspects:
+/// guard bindings, poison adapters, helper calls, drops, blocking ops,
+/// fan-out entry points, and atomic accesses. Random concatenation
+/// yields plausible-but-broken Rust.
+const FRAGMENTS: &[&str] = &[
+    "fn helper",
+    "pub fn api",
+    "impl Widget",
+    "(&self)",
+    "(m: &Mutex<u64>)",
+    "-> u64",
+    "{",
+    "}",
+    ";",
+    "\n",
+    "let g =",
+    "let mut g =",
+    "m.lock()",
+    "self.index.read()",
+    "self.index.write()",
+    ".unwrap()",
+    ".unwrap_or_else(|p| p.into_inner())",
+    ".expect(\"poisoned\")",
+    "drop(g)",
+    "*g",
+    "guard(m)",
+    "self.read_indexes()",
+    "std::thread::sleep(d)",
+    "rx.recv()",
+    "handle.join()",
+    "stream.read_exact(&mut buf)",
+    "fan_out(&xs, |x| x)",
+    "fan_out_chunked(",
+    "COUNTER.fetch_add(1, Ordering::Relaxed)",
+    "COUNTER.load(Ordering::SeqCst)",
+    "Ordering::AcqRel",
+    "static LOCK: Mutex<u64>",
+    "RwLock<IndexPair>",
+    "&mut",
+    "::",
+    "// lint:allow(blocking-while-locked) — soup reason",
+    "// lint:allow(lock-order-cycle) — soup reason",
+];
+
+fn soup() -> gen::Gen<String> {
+    gen::vec_of(gen::usize_range(0, FRAGMENTS.len() - 1), 0, 96).map(|idxs| {
+        idxs.into_iter()
+            .map(|i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+/// The full concurrency pipeline over one soup file: facet extraction,
+/// graph construction, lock propagation, and rule evaluation.
+fn pipeline(src: &str) -> (Vec<String>, Vec<String>) {
+    let cfg = Config::default();
+    let ctx = FileCtx::new("crates/web/src/soup.rs", src);
+    let parsed = parser::parse(&ctx.code);
+    let summaries = interproc::extract(&ctx, &parsed);
+    let mut allows: Vec<(String, interproc::InterprocAllow)> = summaries
+        .allows
+        .into_iter()
+        .map(|a| ("crates/web/src/soup.rs".to_string(), a))
+        .collect();
+    let graph = CallGraph::build(summaries.fns);
+    let (violations, suppressed) = concurrency::evaluate(&graph, &cfg, &mut allows);
+    (
+        violations.iter().map(|v| format!("{v:?}")).collect(),
+        suppressed.iter().map(|s| format!("{s:?}")).collect(),
+    )
+}
+
+#[test]
+fn concurrency_pass_never_panics_on_parser_soup() {
+    check("concurrency_soup_never_panics", &soup(), |src| {
+        let src = src.clone();
+        std::panic::catch_unwind(move || pipeline(&src))
+            .map_err(|_| "concurrency pipeline panicked".to_string())?;
+        Ok(())
+    });
+}
+
+#[test]
+fn concurrency_pass_is_deterministic_on_parser_soup() {
+    check("concurrency_soup_deterministic", &soup(), |src| {
+        if pipeline(src) != pipeline(src) {
+            return Err("two pipelines over identical input disagreed".to_string());
+        }
+        Ok(())
+    });
+}
+
+/// Lints one string as a web-crate library file (every rule in force).
+fn lint(src: &str) -> webdeps_lint::Report {
+    webdeps_lint::lint_source("crates/web/src/lib.rs", src, &Config::default())
+}
+
+fn rules_of(report: &webdeps_lint::Report) -> Vec<&str> {
+    report.violations.iter().map(|v| v.rule.as_str()).collect()
+}
+
+#[test]
+fn opposing_lock_orders_form_a_cycle_with_a_witness() {
+    let report = lint(
+        "pub struct Pair { a: Mutex<u64>, b: Mutex<u64> }\n\
+         impl Pair {\n\
+             pub fn fwd(&self) -> u64 {\n\
+                 let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 *ga + *gb\n\
+             }\n\
+             pub fn back(&self) -> u64 {\n\
+                 let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 *ga + *gb\n\
+             }\n\
+         }\n",
+    );
+    assert_eq!(rules_of(&report), ["lock-order-cycle"], "{report:?}");
+    let v = &report.violations[0];
+    assert!(
+        v.message
+            .contains("lock-order cycle `Pair.a` -> `Pair.b` -> `Pair.a`"),
+        "{v:?}"
+    );
+    assert!(v.message.contains("held in `Pair::fwd`"), "{v:?}");
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let report = lint(
+        "pub struct Pair { a: Mutex<u64>, b: Mutex<u64> }\n\
+         impl Pair {\n\
+             pub fn one(&self) -> u64 {\n\
+                 let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 *ga + *gb\n\
+             }\n\
+             pub fn two(&self) -> u64 {\n\
+                 let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 *ga - *gb\n\
+             }\n\
+         }\n",
+    );
+    assert_eq!(rules_of(&report), Vec::<&str>::new(), "{report:?}");
+}
+
+#[test]
+fn blocking_under_a_live_guard_is_flagged_directly_and_across_calls() {
+    let report = lint(
+        "pub fn direct(m: &Mutex<u64>) -> u64 {\n\
+             let g = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+             std::thread::sleep(d);\n\
+             *g\n\
+         }\n\
+         fn naps() { std::thread::sleep(d); }\n\
+         pub fn mediated(m: &Mutex<u64>) -> u64 {\n\
+             let g = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+             naps();\n\
+             *g\n\
+         }\n",
+    );
+    let blocked: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "blocking-while-locked")
+        .collect();
+    assert_eq!(blocked.len(), 2, "{report:?}");
+    assert!(blocked[0].message.contains("`thread::sleep` blocks while"));
+    assert!(blocked[1].message.contains("call to `naps` can reach"));
+}
+
+#[test]
+fn dropping_or_scoping_the_guard_before_blocking_is_clean() {
+    let report = lint(
+        "pub fn scoped(m: &Mutex<u64>) {\n\
+             {\n\
+                 let mut g = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+                 *g += 1;\n\
+             }\n\
+             std::thread::sleep(d);\n\
+         }\n\
+         pub fn dropped(m: &Mutex<u64>) {\n\
+             let g = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+             drop(g);\n\
+             std::thread::sleep(d);\n\
+         }\n",
+    );
+    assert_eq!(rules_of(&report), Vec::<&str>::new(), "{report:?}");
+}
+
+#[test]
+fn a_guard_returned_by_a_helper_still_opens_a_region() {
+    // `counter_guard` returns the guard; the caller's binding is a
+    // region even though no lock method appears at the call site.
+    let report = lint(
+        "fn counter_guard(m: &Mutex<u64>) -> MutexGuard<'_, u64> {\n\
+             m.lock().unwrap_or_else(|p| p.into_inner())\n\
+         }\n\
+         pub fn lazy(m: &Mutex<u64>) -> u64 {\n\
+             let g = counter_guard(m);\n\
+             std::thread::sleep(d);\n\
+             *g\n\
+         }\n",
+    );
+    let blocked: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "blocking-while-locked")
+        .collect();
+    assert_eq!(blocked.len(), 1, "{report:?}");
+    assert_eq!(blocked[0].line, 6, "{report:?}");
+}
+
+#[test]
+fn a_guard_live_across_fan_out_is_flagged() {
+    let report = lint(
+        "pub fn fan_out(xs: &[u32]) -> Vec<u32> { xs.to_vec() }\n\
+         pub fn fanned(m: &Mutex<u64>, xs: &[u32]) -> u64 {\n\
+             let g = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+             let parts = fan_out(xs);\n\
+             *g + parts.len() as u64\n\
+         }\n",
+    );
+    let fanned: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "guard-across-fanout")
+        .collect();
+    assert_eq!(fanned.len(), 1, "{report:?}");
+    assert!(
+        fanned[0]
+            .message
+            .contains("live across the parallel fan-out call"),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn poisoned_lock_unwrap_warns_and_the_recovery_idiom_is_clean() {
+    let report = lint("pub fn risky(m: &Mutex<u64>) -> u64 { *m.lock().unwrap() }\n");
+    assert!(
+        rules_of(&report).contains(&"lock-poison-unwrap"),
+        "{report:?}"
+    );
+    let report = lint(
+        "pub fn safe(m: &Mutex<u64>) -> u64 {\n\
+             *m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())\n\
+         }\n",
+    );
+    assert!(
+        !rules_of(&report).contains(&"lock-poison-unwrap"),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn mixed_atomic_orderings_warn_once_per_field() {
+    let report = lint(
+        "static TICKS: AtomicU64 = AtomicU64::new(0);\n\
+         static CALM: AtomicU64 = AtomicU64::new(0);\n\
+         pub fn tick() { TICKS.fetch_add(1, Ordering::Relaxed); }\n\
+         pub fn ticks() -> u64 { TICKS.load(Ordering::SeqCst) }\n\
+         pub fn calm() { CALM.fetch_add(1, Ordering::Relaxed); }\n\
+         pub fn calms() -> u64 { CALM.load(Ordering::Relaxed) }\n",
+    );
+    let mixed: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "atomic-ordering-mixed")
+        .collect();
+    assert_eq!(mixed.len(), 1, "one report per divergent field: {report:?}");
+    assert!(mixed[0].message.contains("`TICKS`"), "{report:?}");
+    assert_eq!(mixed[0].line, 4, "anchored at the first divergent site");
+}
+
+#[test]
+fn acquire_release_pairs_are_one_discipline() {
+    // Acquire on the load side and Release on the store side is the
+    // classic pairing — one class, not "mixed".
+    let report = lint(
+        "static FLAG: AtomicU64 = AtomicU64::new(0);\n\
+         pub fn publish() { FLAG.store(1, Ordering::Release); }\n\
+         pub fn observe() -> u64 { FLAG.load(Ordering::Acquire) }\n",
+    );
+    assert!(
+        !rules_of(&report).contains(&"atomic-ordering-mixed"),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn an_allow_on_the_blocking_site_discharges_it_for_the_region() {
+    // The directive covers the whole fn, sleep site included; the
+    // hazard is discharged at extraction time (like a justified panic
+    // site in the interprocedural layer), so nothing is reported and
+    // the allow does not read as unused.
+    let report = lint(
+        "// lint:allow(blocking-while-locked) — drain loop must hold the guard by design\n\
+         pub fn held(m: &Mutex<u64>) -> u64 {\n\
+             let g = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+             std::thread::sleep(d);\n\
+             *g\n\
+         }\n",
+    );
+    assert!(
+        !rules_of(&report).contains(&"blocking-while-locked"),
+        "{report:?}"
+    );
+    assert!(report.unused_allows.is_empty(), "{report:?}");
+}
+
+#[test]
+fn an_allow_on_the_region_suppresses_callee_blocking_and_is_counted() {
+    // The sleep hides in a helper the directive does not cover, so the
+    // hazard propagates; the central emit then matches the allow at the
+    // violation anchor and records a counted suppression.
+    let report = lint(
+        "fn naps() { std::thread::sleep(d); }\n\
+         // lint:allow(blocking-while-locked) — helper sleeps by design while held\n\
+         pub fn held(m: &Mutex<u64>) -> u64 {\n\
+             let g = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+             naps();\n\
+             *g\n\
+         }\n",
+    );
+    assert!(
+        !rules_of(&report).contains(&"blocking-while-locked"),
+        "{report:?}"
+    );
+    assert!(
+        report
+            .suppressed
+            .iter()
+            .any(|s| s.violation.rule == "blocking-while-locked"),
+        "suppression must be recorded: {report:?}"
+    );
+}
+
+#[test]
+fn unused_concurrency_allow_is_reported_centrally() {
+    let report = lint(
+        "// lint:allow(lock-order-cycle) — nothing here takes two locks\n\
+         pub fn calm() -> u32 { 1 }\n",
+    );
+    assert_eq!(report.unused_allows.len(), 1, "{report:?}");
+}

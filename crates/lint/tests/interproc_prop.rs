@@ -71,7 +71,7 @@ fn pipeline(src: &str) -> (Vec<String>, Vec<String>) {
         .map(|a| ("crates/web/src/soup.rs".to_string(), a))
         .collect();
     let graph = CallGraph::build(summaries.fns);
-    let (violations, suppressed, _unused) = interproc::evaluate(&graph, &cfg, &mut allows);
+    let (violations, suppressed) = interproc::evaluate(&graph, &cfg, &mut allows);
     (
         violations.iter().map(|v| format!("{v:?}")).collect(),
         suppressed.iter().map(|s| format!("{s:?}")).collect(),

@@ -337,7 +337,7 @@ fn json_report_is_well_formed_enough_to_round_trip_counts() {
     let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
     let r = report("crates/model/src/x.rs", src);
     let json = r.render_json();
-    assert!(json.contains("\"schema\": \"webdeps-lint/3\""));
+    assert!(json.contains("\"schema\": \"webdeps-lint/4\""));
     assert!(json.contains("\"rule\": \"panic\""));
     assert!(json.contains("crates/model/src/x.rs"));
 }

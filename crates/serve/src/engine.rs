@@ -96,8 +96,11 @@ impl Engine {
         }
     }
 
-    /// The epoch queries currently answer from.
-    pub fn epoch(&self) -> u64 {
+    /// The epoch queries currently answer from. Named distinctly from
+    /// `MutableReach::epoch` so the lint call graph's conservative
+    /// method resolution does not alias the two — a call to this fn
+    /// reaches the engine's RwLock; a call on an index does not.
+    pub fn current_epoch(&self) -> u64 {
         read_indexes(&self.indexes).impact.epoch()
     }
 
@@ -194,7 +197,7 @@ impl Engine {
     /// not the simulator), so the reply's epoch only situates the
     /// answer in time.
     fn outage(&self, key: &str, deadline: Instant) -> Outcome {
-        let epoch = self.epoch();
+        let epoch = self.current_epoch();
         let Some(entity) = provider_entity(&self.world, key) else {
             return Outcome::Error(format!("unknown provider '{key}'"));
         };
@@ -321,7 +324,7 @@ mod tests {
             Outcome::Ok(reply) => assert!(reply.starts_with("OK 1 CHURN "), "got: {reply}"),
             other => panic!("churn failed: {other:?}"),
         }
-        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.current_epoch(), 1);
         assert_eq!(ServerStats::read(&stats.churn_patched), 1);
     }
 

@@ -234,7 +234,7 @@ fn run_serve_cmd(args: &Args) -> Result<(), String> {
         "webdeps-serve listening on {} (sites={}, epoch={})",
         handle.addr(),
         engine.site_count(),
-        engine.epoch()
+        engine.current_epoch()
     );
     while !handle.shutdown_requested() {
         thread::sleep(Duration::from_millis(50));

@@ -346,12 +346,12 @@ fn answer(
     match req {
         Request::Ping => {
             ServerStats::bump(&stats.ok_replies);
-            format!("OK {} PONG", engine.epoch())
+            format!("OK {} PONG", engine.current_epoch())
         }
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             ServerStats::bump(&stats.ok_replies);
-            format!("OK {} SHUTDOWN draining", engine.epoch())
+            format!("OK {} SHUTDOWN draining", engine.current_epoch())
         }
         Request::Health => {
             ServerStats::bump(&stats.ok_replies);
@@ -359,7 +359,7 @@ fn answer(
             let status = if panics == 0 { "up" } else { "degraded" };
             format!(
                 "OK {} HEALTH {status} contained_panics={panics} sheds={}",
-                engine.epoch(),
+                engine.current_epoch(),
                 ServerStats::read(&stats.sheds),
             )
         }
@@ -376,7 +376,7 @@ fn answer(
                 "OK {} STATS ok={} sheds={} deadlines={} contained_panics={} parse_errors={} \
                  churn_patched={patched} churn_rebuilt={rebuilt} queues=[{depths}] \
                  p50us={} p99us={}",
-                engine.epoch(),
+                engine.current_epoch(),
                 ServerStats::read(&stats.ok_replies),
                 ServerStats::read(&stats.sheds),
                 ServerStats::read(&stats.deadlines),

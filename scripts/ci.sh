@@ -21,12 +21,12 @@ cargo run -q --release --offline -p webdeps-chaos -- --smoke
 echo "== webdeps-serve --smoke (daemon torture: shed/deadline/poison invariants) =="
 cargo run -q --release --offline -p webdeps-serve -- --smoke
 
-echo "== webdeps-lint v3 (static-analysis pass, warnings denied) =="
+echo "== webdeps-lint v4 (static-analysis pass, warnings denied) =="
 cargo run -q --release --offline -p webdeps-lint -- --root . --deny-warnings --json-out LINT_REPORT.json
 ls -l LINT_REPORT.json
-if ! grep -q '"schema": "webdeps-lint/3"' LINT_REPORT.json; then
-    echo "error: LINT_REPORT.json does not carry schema webdeps-lint/3;" >&2
-    echo "       the interprocedural layer (summaries + call-graph propagation) is missing" >&2
+if ! grep -q '"schema": "webdeps-lint/4"' LINT_REPORT.json; then
+    echo "error: LINT_REPORT.json does not carry schema webdeps-lint/4;" >&2
+    echo "       the concurrency layer (lock-order graph + guard regions) is missing" >&2
     exit 1
 fi
 if ! git diff --exit-code -- LINT_REPORT.json LINT_BASELINE.json; then
