@@ -9,13 +9,26 @@
 //! CSR graph) must stay within [`ARENA_BYTES_PER_SITE`] and the whole
 //! core working set (arenas + both reachability indexes) within
 //! [`CORE_BYTES_PER_SITE`], at every benched scale.
+//!
+//! After the timed benches, one extra generate+measure run executes
+//! with `webdeps_model::timing` enabled; the drained per-phase wall
+//! times land as `metrics` entries (`…/phase/gen/sites` etc.) so the
+//! JSON trajectory shows *where* the time goes, not just the total.
+//! With `WEBDEPS_BENCH_ALLOC=1` the counting global allocator also
+//! reports allocation calls and requested bytes for the same run.
 
 use std::hint::black_box;
 use webdeps_bench::harness::Harness;
 use webdeps_core::{DepGraph, MetricOptions, Metrics, ReachIndex};
 use webdeps_measure::measure_world_columnar;
-use webdeps_model::ServiceKind;
+use webdeps_model::{timing, ServiceKind};
 use webdeps_worldgen::{SnapshotYear, World, WorldConfig};
+
+#[path = "support/alloc_probe.rs"]
+mod alloc_probe;
+
+#[global_allocator]
+static ALLOC: alloc_probe::CountingAlloc = alloc_probe::CountingAlloc;
 
 /// Budget for the columnar dataset plus the CSR dependency graph.
 /// Measured: 92 B/site at 100k sites, 82 B/site at 1M sites.
@@ -25,7 +38,7 @@ const ARENA_BYTES_PER_SITE: usize = 128;
 /// reachability indexes. The reach indexes are per-provider site
 /// bitsets, so they grow with the provider tail: measured 203 B/site
 /// at 100k and 745 B/site at 1M.
-const CORE_BYTES_PER_SITE: usize = 1024;
+const CORE_BYTES_PER_SITE: usize = 832;
 
 fn bench_scale(h: &mut Harness, label: &str, n: usize) {
     let mut group = h.benchmark_group(&format!("measure_world/{label}"));
@@ -82,6 +95,46 @@ fn bench_scale(h: &mut Harness, label: &str, n: usize) {
         "core working set blew the budget: {core} B for {n} sites \
          (> {CORE_BYTES_PER_SITE} B/site)"
     );
+
+    // Release the benchmark's working set before the instrumented run
+    // below regenerates the world (at 1M the two worlds would not fit
+    // side by side in RSS).
+    drop(full);
+    drop(crit);
+    drop(graph);
+    drop(cds);
+    drop(world);
+
+    // Per-phase observability: one instrumented generate+measure run.
+    // Timing scopes are off during the timed samples above (the guard
+    // is a relaxed load when disabled), so the medians stay clean.
+    let metric_group = format!("measure_world/{label}/phase");
+    let _ = timing::drain();
+    timing::enable();
+    alloc_probe::start();
+    let world = World::generate(config);
+    let cds = measure_world_columnar(&world);
+    let traffic = alloc_probe::stop();
+    timing::disable();
+    drop((cds, world));
+    for sample in timing::drain() {
+        h.record_metric(
+            &metric_group,
+            sample.label,
+            sample.elapsed.as_secs_f64() * 1_000.0,
+            "ms",
+        );
+    }
+    match traffic {
+        Some((allocs, bytes)) => {
+            h.record_metric(&metric_group, "alloc/calls", allocs as f64, "count");
+            h.record_metric(&metric_group, "alloc/bytes", bytes as f64, "B");
+        }
+        None => eprintln!(
+            "  measure_world/{label}: alloc metrics skipped \
+             (set WEBDEPS_BENCH_ALLOC=1 to record)"
+        ),
+    }
 }
 
 fn main() {

@@ -1,0 +1,97 @@
+//! Opt-in counting global allocator for bench binaries.
+//!
+//! Install it with
+//!
+//! ```ignore
+//! #[path = "support/alloc_probe.rs"]
+//! mod alloc_probe;
+//!
+//! #[global_allocator]
+//! static ALLOC: alloc_probe::CountingAlloc = alloc_probe::CountingAlloc;
+//! ```
+//!
+//! and bracket the region of interest with [`start`]/[`stop`]. Counting
+//! is armed only when `WEBDEPS_BENCH_ALLOC=1` is set, so the default
+//! bench run pays one relaxed atomic load per allocation and records
+//! nothing; with the knob on, [`stop`] reports cumulative allocation
+//! calls and requested bytes (reallocs count the full new size — the
+//! probe measures allocator traffic, not live heap).
+//!
+//! Lives outside the `webdeps_bench` library because the library
+//! forbids `unsafe`, and a `GlobalAlloc` impl is irreducibly unsafe;
+//! bench binaries opt in file-by-file instead.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that tallies calls/bytes while armed.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn tally(size: usize) {
+        // Relaxed is enough: the counters are read only after `stop`
+        // disarms counting, and exact cross-thread interleaving of the
+        // tallies themselves does not matter for a traffic total.
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(size as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::tally(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::tally(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::tally(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Whether the probe is enabled for this process
+/// (`WEBDEPS_BENCH_ALLOC=1`).
+pub fn enabled() -> bool {
+    // Read the environment out here, never inside the allocator hooks:
+    // `std::env::var` allocates, and an env read from `alloc` would
+    // re-enter the allocator.
+    std::env::var("WEBDEPS_BENCH_ALLOC").is_ok_and(|v| v == "1")
+}
+
+/// Resets the counters and arms counting (no-op unless [`enabled`]).
+pub fn start() {
+    if enabled() {
+        ALLOCS.store(0, Ordering::Relaxed);
+        BYTES.store(0, Ordering::Relaxed);
+        COUNTING.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Disarms counting and returns `(allocation_calls, bytes_requested)`
+/// since [`start`], or `None` when the probe is off.
+pub fn stop() -> Option<(u64, u64)> {
+    if !enabled() {
+        return None;
+    }
+    COUNTING.store(false, Ordering::Relaxed);
+    Some((
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    ))
+}

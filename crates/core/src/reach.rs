@@ -1358,19 +1358,19 @@ mod tests {
             b.intern(NodeRef::Site(s));
         }
         for p in providers {
-            b.intern(NodeRef::Provider(ProviderKey::new(&p.key), p.kind));
+            b.intern(NodeRef::Provider(ProviderKey::new(p.key.as_str()), p.kind));
         }
         for e in edges {
             let (from, to, critical, service) = match e {
                 MirrorEdge::Site(s, p, c) => (
                     b.intern(NodeRef::Site(*s)),
-                    b.intern(NodeRef::Provider(ProviderKey::new(&p.key), p.kind)),
+                    b.intern(NodeRef::Provider(ProviderKey::new(p.key.as_str()), p.kind)),
                     *c,
                     p.kind,
                 ),
                 MirrorEdge::Prov(f, t, c) => (
-                    b.intern(NodeRef::Provider(ProviderKey::new(&f.key), f.kind)),
-                    b.intern(NodeRef::Provider(ProviderKey::new(&t.key), t.kind)),
+                    b.intern(NodeRef::Provider(ProviderKey::new(f.key.as_str()), f.kind)),
+                    b.intern(NodeRef::Provider(ProviderKey::new(t.key.as_str()), t.kind)),
                     *c,
                     t.kind,
                 ),

@@ -8,7 +8,7 @@
 use crate::clock::{SimTime, Ttl};
 use crate::record::RecordType;
 use crate::resolver::{Resolution, ResolveError};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use webdeps_model::DomainName;
 
 #[derive(Debug, Clone)]
@@ -35,9 +35,20 @@ pub enum CacheHit {
 }
 
 /// Answer cache keyed by `(name, qtype)`.
+///
+/// Entries are grouped per name so lookups can probe with a borrowed
+/// `&str` (no key clone on the hot path); the handful of record types
+/// queried per name live in a short inline vector.
+///
+/// Optionally bounded ([`Self::set_bound`]): storing a new name once
+/// `bound` distinct names are cached clears the whole cache first —
+/// epoch semantics, like a resolver restart, rather than per-entry LRU
+/// bookkeeping on every probe.
 #[derive(Debug, Clone, Default)]
 pub struct DnsCache {
-    entries: BTreeMap<(DomainName, RecordType), Entry>,
+    entries: HashMap<DomainName, Vec<(RecordType, Entry)>>,
+    /// Distinct-name cap; 0 means unbounded (the default).
+    bound: usize,
 }
 
 impl DnsCache {
@@ -46,14 +57,23 @@ impl DnsCache {
         Self::default()
     }
 
+    /// Caps the cache at `max_names` distinct names (0 = unbounded).
+    /// When a store would exceed the cap, the cache is cleared in one
+    /// epoch drop and re-warms from scratch. Callers crawling a static
+    /// world under a frozen clock lose no correctness — a re-resolution
+    /// reproduces the evicted answer exactly — only hit rate.
+    pub fn set_bound(&mut self, max_names: usize) {
+        self.bound = max_names;
+    }
+
     /// Number of live entries (including not-yet-evicted stale ones).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().map(Vec::len).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.values().all(Vec::is_empty)
     }
 
     /// Drops everything.
@@ -75,6 +95,21 @@ impl DnsCache {
         }
     }
 
+    /// Borrowing probe for a *fresh* entry: no eviction, no clone. The
+    /// hot path ([`crate::Resolver::resolve_with`]) reads answers in
+    /// place; expired entries are left for [`Self::lookup`] to evict.
+    pub fn peek_fresh(
+        &self,
+        name: &DomainName,
+        qtype: RecordType,
+        now: SimTime,
+    ) -> Option<&Result<Resolution, ResolveError>> {
+        let by_type = self.entries.get(name.as_str())?;
+        let (_, entry) = by_type.iter().find(|(t, _)| *t == qtype)?;
+        now.within_ttl(entry.stored, entry.ttl)
+            .then_some(&entry.value)
+    }
+
     /// Fetches an entry against a serve-stale window of `max_stale`
     /// seconds past TTL expiry (RFC 8767).
     ///
@@ -89,8 +124,9 @@ impl DnsCache {
         now: SimTime,
         max_stale: u64,
     ) -> Option<CacheHit> {
-        let key = (name.clone(), qtype);
-        let entry = self.entries.get(&key)?;
+        let by_type = self.entries.get_mut(name.as_str())?;
+        let idx = by_type.iter().position(|(t, _)| *t == qtype)?;
+        let entry = &by_type[idx].1;
         if now.within_ttl(entry.stored, entry.ttl) {
             return Some(CacheHit::Fresh(entry.value.clone()));
         }
@@ -104,7 +140,7 @@ impl DnsCache {
                 });
             }
         }
-        self.entries.remove(&key);
+        by_type.swap_remove(idx);
         None
     }
 
@@ -124,8 +160,9 @@ impl DnsCache {
             .map(|rr| rr.ttl)
             .min()
             .unwrap_or(Ttl::DEFAULT);
-        self.entries.insert(
-            (name, qtype),
+        self.store(
+            name,
+            qtype,
             Entry {
                 stored: now,
                 ttl: min_ttl,
@@ -150,14 +187,31 @@ impl DnsCache {
             // lint:allow(panic) — programmer error, not runtime input: put_negative is only called with negative answers
             other => panic!("only negative answers are cacheable, got {other}"),
         };
-        self.entries.insert(
-            (name, qtype),
+        self.store(
+            name,
+            qtype,
             Entry {
                 stored: now,
                 ttl,
                 value: Err(error),
             },
         );
+    }
+
+    fn store(&mut self, name: DomainName, qtype: RecordType, entry: Entry) {
+        if self.bound != 0
+            && self.entries.len() >= self.bound
+            && !self.entries.contains_key(name.as_str())
+        {
+            // Epoch clear: drop every entry but keep the table's
+            // allocation, so the map never grows past the bound.
+            self.entries.clear();
+        }
+        let by_type = self.entries.entry(name).or_default();
+        match by_type.iter_mut().find(|(t, _)| *t == qtype) {
+            Some(slot) => slot.1 = entry,
+            None => by_type.push((qtype, entry)),
+        }
     }
 }
 
@@ -198,6 +252,25 @@ mod tests {
             .get(&dn("example.com"), RecordType::A, SimTime(60))
             .is_none());
         assert!(c.is_empty(), "stale entry must be evicted on access");
+    }
+
+    #[test]
+    fn bounded_cache_clears_at_cap_and_keeps_serving() {
+        let mut c = DnsCache::new();
+        c.set_bound(2);
+        c.put_positive(dn("a.com"), RecordType::A, resolution(Ttl(60)), SimTime(0));
+        c.put_positive(dn("b.com"), RecordType::A, resolution(Ttl(60)), SimTime(0));
+        // Same name, second qtype: no new name, no clear.
+        c.put_positive(dn("b.com"), RecordType::Ns, resolution(Ttl(60)), SimTime(0));
+        assert_eq!(c.len(), 3);
+        // Third distinct name trips the epoch clear; only it survives.
+        c.put_positive(dn("c.com"), RecordType::A, resolution(Ttl(60)), SimTime(0));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&dn("a.com"), RecordType::A, SimTime(0)).is_none());
+        assert!(c.get(&dn("c.com"), RecordType::A, SimTime(0)).is_some());
+        // Evicted names re-store cleanly after the clear.
+        c.put_positive(dn("a.com"), RecordType::A, resolution(Ttl(60)), SimTime(0));
+        assert!(c.get(&dn("a.com"), RecordType::A, SimTime(0)).is_some());
     }
 
     #[test]

@@ -29,12 +29,13 @@ impl<'a, 'n> Dig<'a, 'n> {
     /// Returns an empty vector when the name exists without NS records.
     #[must_use]
     pub fn ns(&mut self, name: &DomainName) -> Result<Vec<DomainName>, ResolveError> {
-        match self.resolver.resolve(name, RecordType::Ns) {
-            Ok(res) => Ok(res
-                .answers
+        match self.resolver.resolve_with(name, RecordType::Ns, |res| {
+            res.answers
                 .iter()
                 .filter_map(|rr| rr.data.as_ns().cloned())
-                .collect()),
+                .collect()
+        }) {
+            Ok(hosts) => Ok(hosts),
             Err(ResolveError::NoData { .. }) => Ok(Vec::new()),
             Err(e) => Err(e),
         }
@@ -46,15 +47,14 @@ impl<'a, 'n> Dig<'a, 'n> {
     /// the paper's heuristics compare.
     #[must_use]
     pub fn soa_of(&mut self, name: &DomainName) -> Result<Soa, ResolveError> {
-        match self.resolver.resolve(name, RecordType::Soa) {
-            Ok(res) => res
-                .answers
-                .iter()
-                .find_map(|rr| rr.data.as_soa().cloned())
-                .ok_or(ResolveError::NoData {
-                    name: name.clone(),
-                    soa: Soa::standard(name.clone(), name.clone(), 0),
-                }),
+        match self.resolver.resolve_with(name, RecordType::Soa, |res| {
+            res.answers.iter().find_map(|rr| rr.data.as_soa().cloned())
+        }) {
+            Ok(Some(soa)) => Ok(soa),
+            Ok(None) => Err(ResolveError::NoData {
+                name: name.clone(),
+                soa: Soa::standard(name.clone(), name.clone(), 0),
+            }),
             Err(ResolveError::NoData { soa, .. }) | Err(ResolveError::NxDomain { soa, .. }) => {
                 Ok(soa)
             }
@@ -70,13 +70,15 @@ impl<'a, 'n> Dig<'a, 'n> {
         let mut chain = Vec::new();
         let mut current = host.clone();
         for _ in 0..MAX_CHAIN {
-            match self.resolver.resolve(&current, RecordType::Cname) {
-                Ok(res) => {
-                    let Some(target) = res
-                        .answers
+            match self
+                .resolver
+                .resolve_with(&current, RecordType::Cname, |res| {
+                    res.answers
                         .iter()
                         .find_map(|rr| rr.data.as_cname().cloned())
-                    else {
+                }) {
+                Ok(target) => {
+                    let Some(target) = target else {
                         return Ok(chain);
                     };
                     if chain.contains(&target) || target == *host {

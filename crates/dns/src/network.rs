@@ -76,17 +76,24 @@ impl DnsNetwork {
     /// ancestor zone's servers are all down, the referral to the child
     /// can never be obtained.
     pub fn authority_chain(&self, name: &DomainName) -> Vec<&ZoneDeployment> {
+        // Walk the label suffixes shallowest → deepest with borrowed
+        // probes: this runs once per uncached resolution hop, so it must
+        // not clone the qname or its ancestors.
         let mut chain = Vec::new();
-        let mut ancestors = Vec::new();
-        let mut cur = Some(name.clone());
-        while let Some(n) = cur {
-            ancestors.push(n.clone());
-            cur = n.parent();
-        }
-        for n in ancestors.into_iter().rev() {
-            if let Some(&i) = self.by_origin.get(&n) {
+        let s = name.as_str();
+        let mut end = s.len();
+        loop {
+            let start = match s[..end].rfind('.') {
+                Some(dot) => dot + 1,
+                None => 0,
+            };
+            if let Some(&i) = self.by_origin.get(&s[start..]) {
                 chain.push(&self.deployments[i]);
             }
+            if start == 0 {
+                break;
+            }
+            end = start - 1;
         }
         chain
     }
@@ -149,6 +156,12 @@ impl NetworkBuilder {
         self.network
             .deployments
             .push(ZoneDeployment { zone, servers });
+    }
+
+    /// Number of registered servers — the next [`ServerId`] index.
+    /// Sharded world generation predicts server ids from this base.
+    pub fn server_count(&self) -> usize {
+        self.network.servers.len()
     }
 
     /// Whether a zone with this origin is already deployed.

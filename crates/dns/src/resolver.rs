@@ -350,6 +350,14 @@ impl<'n> Resolver<'n> {
         self.cache.clear();
     }
 
+    /// Caps the answer cache at `max_names` distinct names (0 =
+    /// unbounded, the default). See [`crate::cache::DnsCache::set_bound`];
+    /// crawl pipelines use this so a million one-shot site names cannot
+    /// bloat the cache into a multi-gigabyte table.
+    pub fn bound_cache(&mut self, max_names: usize) {
+        self.cache.set_bound(max_names);
+    }
+
     /// The simulated clock (read-only).
     pub fn now(&self) -> crate::clock::SimTime {
         self.clock.now()
@@ -460,17 +468,43 @@ impl<'n> Resolver<'n> {
         qname: &DomainName,
         qtype: RecordType,
     ) -> Result<Resolution, ResolveError> {
+        self.resolve_with(qname, qtype, Resolution::clone)
+    }
+
+    /// Resolves `(qname, qtype)` and hands the resolution to `f` *in
+    /// place* — the allocation-lean engine behind [`Self::resolve`]. A
+    /// fresh cache hit is read borrowed instead of deep-cloning the
+    /// answer set, and on a miss the new resolution moves into the cache
+    /// after `f` has seen it — the dominant resolver costs at crawl
+    /// scale were exactly those two clones.
+    #[must_use]
+    pub fn resolve_with<R>(
+        &mut self,
+        qname: &DomainName,
+        qtype: RecordType,
+        f: impl FnOnce(&Resolution) -> R,
+    ) -> Result<R, ResolveError> {
         let mut stale_fallback: Option<Resolution> = None;
         if self.caching_enabled {
+            let now = self.clock.now();
+            if let Some(cached) = self.cache.peek_fresh(qname, qtype, now) {
+                self.stats.cache_hits += 1;
+                return match cached {
+                    Ok(res) => Ok(f(res)),
+                    Err(err) => Err(err.clone()),
+                };
+            }
             let window = if self.stale.enabled {
                 self.stale.max_stale_secs
             } else {
                 0
             };
-            match self.cache.lookup(qname, qtype, self.clock.now(), window) {
+            match self.cache.lookup(qname, qtype, now, window) {
+                // Unreachable in practice (peek_fresh tests the same TTL
+                // condition), kept total for robustness.
                 Some(CacheHit::Fresh(cached)) => {
                     self.stats.cache_hits += 1;
-                    return cached;
+                    return cached.map(|res| f(&res));
                 }
                 Some(CacheHit::Stale { value, .. }) => stale_fallback = Some(value),
                 None => {}
@@ -480,22 +514,24 @@ impl<'n> Resolver<'n> {
         match result {
             Ok(res) => {
                 self.stats.successes += 1;
+                let out = f(&res);
                 if self.caching_enabled {
                     self.cache
-                        .put_positive(qname.clone(), qtype, res.clone(), self.clock.now());
+                        .put_positive(qname.clone(), qtype, res, self.clock.now());
                 }
-                Ok(res)
-            }
-            Err(err) if err.is_outage() && stale_fallback.is_some() => {
-                // RFC 8767: authority unreachable, an expired answer is
-                // better than none. The entry is deliberately not
-                // re-cached — it keeps aging toward the stale horizon.
-                self.stats.stale_served += 1;
-                self.stats.successes += 1;
-                // lint:allow(panic) — infallible: guarded by is_some in the match arm
-                Ok(stale_fallback.expect("checked is_some"))
+                Ok(out)
             }
             Err(err) => {
+                if err.is_outage() {
+                    // RFC 8767: authority unreachable, an expired answer
+                    // is better than none. The entry is deliberately not
+                    // re-cached — it keeps aging toward the stale horizon.
+                    if let Some(res) = stale_fallback {
+                        self.stats.stale_served += 1;
+                        self.stats.successes += 1;
+                        return Ok(f(&res));
+                    }
+                }
                 self.stats.failures += 1;
                 if self.caching_enabled && err.is_negative_answer() {
                     self.cache
@@ -569,7 +605,7 @@ impl<'n> Resolver<'n> {
     /// Resolves a hostname to addresses, chasing CNAMEs.
     #[must_use]
     pub fn resolve_addresses(&mut self, host: &DomainName) -> Result<Vec<Ipv4Addr>, ResolveError> {
-        self.resolve(host, RecordType::A).map(|r| r.addresses())
+        self.resolve_with(host, RecordType::A, |r| r.addresses())
     }
 
     /// Whether the host currently resolves to at least one address.

@@ -112,16 +112,19 @@ impl Zone {
     }
 
     /// Registers a name and all its ancestors up to the apex as existing.
+    ///
+    /// Callers guarantee `name` is at or below the apex, so the suffix
+    /// chain passes exactly through the origin — ancestors are probed
+    /// borrowed and only materialized when newly inserted.
     fn mark_names(&mut self, name: &DomainName) {
-        let mut cur = Some(name.clone());
-        while let Some(n) = cur {
-            if !n.is_equal_or_subdomain_of(&self.origin) {
-                break;
-            }
-            if !self.names.insert(n.clone()) {
+        let origin_labels = self.origin.label_count();
+        let mut k = name.label_count();
+        while k >= origin_labels {
+            if self.names.contains(name.suffix_str(k)) {
                 break; // ancestors already marked
             }
-            cur = n.parent();
+            self.names.insert(name.suffix(k));
+            k -= 1;
         }
     }
 
@@ -145,7 +148,7 @@ impl Zone {
                 );
             }
         }
-        self.mark_names(&rr.name.clone());
+        self.mark_names(&rr.name);
         self.records.entry(rr.name.clone()).or_default().push(rr);
     }
 
@@ -166,25 +169,24 @@ impl Zone {
             !ns_hosts.is_empty(),
             "delegation {child} needs at least one NS host"
         );
-        self.mark_names(&child.clone());
+        self.mark_names(&child);
         self.delegations.insert(child, ns_hosts);
     }
 
     /// The deepest zone cut at or above `name` (strictly below the
     /// apex), if any.
     fn covering_delegation(&self, name: &DomainName) -> Option<&DomainName> {
-        // Walk from `name` upward; the first delegation hit is the
-        // deepest cut because cuts cannot nest within a single zone's
-        // authoritative data in our builder.
-        let mut cur = Some(name.clone());
-        while let Some(n) = cur {
-            if n == self.origin {
-                break;
-            }
-            if let Some((cut, _)) = self.delegations.get_key_value(&n) {
+        // Walk from `name` upward with borrowed suffix probes; the first
+        // delegation hit is the deepest cut because cuts cannot nest
+        // within a single zone's authoritative data in our builder.
+        // Cuts are strictly below the apex, so the apex itself is skipped.
+        let origin_labels = self.origin.label_count();
+        let mut k = name.label_count();
+        while k > origin_labels {
+            if let Some((cut, _)) = self.delegations.get_key_value(name.suffix_str(k)) {
                 return Some(cut);
             }
-            cur = n.parent();
+            k -= 1;
         }
         None
     }

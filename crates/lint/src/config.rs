@@ -308,14 +308,18 @@ pub fn allowed_deps(crate_name: &str) -> Option<BTreeSet<&'static str>> {
 }
 
 /// File paths (repo-relative, forward slashes) exempt from the
-/// wall-clock rule: the simulated clock itself, the bench harness, and
-/// the resident daemon (`serve`), whose deadline budgets, read
-/// timeouts, and latency histograms are real-time by design — the
-/// analyses it *answers with* stay on the simulated clock.
+/// wall-clock rule: the simulated clock itself, the bench harness, the
+/// resident daemon (`serve`), whose deadline budgets, read timeouts,
+/// and latency histograms are real-time by design — the analyses it
+/// *answers with* stay on the simulated clock — and the observe-only
+/// phase-timing sink (`model/timing.rs`), which measures pipeline
+/// phases for the bench trajectory and never feeds results back into
+/// generation or measurement.
 pub fn wall_clock_exempt(rel_path: &str, crate_name: Option<&str>) -> bool {
     crate_name == Some("bench")
         || crate_name == Some("serve")
         || rel_path == "crates/dns/src/clock.rs"
+        || rel_path == "crates/model/src/timing.rs"
 }
 
 /// Crates exempt from the seed-flow rule: `worldgen` mints the world's

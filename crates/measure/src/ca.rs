@@ -6,8 +6,8 @@
 //! support — the paper's criterion for *not* being critically dependent
 //! on the CA.
 
-use crate::classify::{classify, Classification, ClassifierKind, Evidence};
-use crate::dataset::{ProviderKey, SiteCaMeasurement};
+use crate::classify::{Classification, ClassifierKind, ClassifyCache, Evidence};
+use crate::dataset::SiteCaMeasurement;
 use webdeps_dns::{Dig, Resolver};
 use webdeps_model::{DomainName, PublicSuffixList};
 use webdeps_web::CrawlReport;
@@ -18,6 +18,17 @@ pub fn classify_site(
     report: &CrawlReport,
     resolver: &mut Resolver<'_>,
     psl: &PublicSuffixList,
+) -> SiteCaMeasurement {
+    classify_site_cached(report, resolver, psl, &mut ClassifyCache::new())
+}
+
+/// [`classify_site`] with a caller-owned registrable-domain memo (the
+/// per-shard hot path); results are independent of cache state.
+pub fn classify_site_cached(
+    report: &CrawlReport,
+    resolver: &mut Resolver<'_>,
+    psl: &PublicSuffixList,
+    cache: &mut ClassifyCache,
 ) -> SiteCaMeasurement {
     let Some(cert) = &report.certificate else {
         return SiteCaMeasurement {
@@ -57,11 +68,8 @@ pub fn classify_site(
         concentration: None,
         threshold: usize::MAX,
     };
-    let class = classify(ClassifierKind::Combined, &ev, psl);
-    let key = psl
-        .registrable_domain(ca_host)
-        .map(|d| ProviderKey::new(d.as_str().to_string()))
-        .unwrap_or_else(|| ProviderKey::new(ca_host.as_str().to_string()));
+    let class = cache.classify(ClassifierKind::Combined, &ev, psl);
+    let key = cache.provider_key(ca_host, psl);
 
     let state = match class {
         Classification::Private => Some(CaProfile::PrivateCa),

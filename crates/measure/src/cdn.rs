@@ -7,7 +7,7 @@
 //! External resources (fonts, ads, widgets) are deliberately ignored no
 //! matter how CDN-flavoured their chains look.
 
-use crate::classify::{classify, san_covers, Classification, ClassifierKind, Evidence};
+use crate::classify::{san_covers, Classification, ClassifierKind, ClassifyCache, Evidence};
 use crate::dataset::{ProviderKey, SiteCdnMeasurement};
 use std::collections::HashMap;
 use webdeps_dns::{Dig, Resolver};
@@ -41,6 +41,18 @@ pub fn classify_site(
     resolver: &mut Resolver<'_>,
     psl: &PublicSuffixList,
 ) -> SiteCdnMeasurement {
+    classify_site_cached(report, cname_map, resolver, psl, &mut ClassifyCache::new())
+}
+
+/// [`classify_site`] with a caller-owned registrable-domain memo (the
+/// per-shard hot path); results are independent of cache state.
+pub fn classify_site_cached(
+    report: &CrawlReport,
+    cname_map: &CnameToCdnMap,
+    resolver: &mut Resolver<'_>,
+    psl: &PublicSuffixList,
+    cache: &mut ClassifyCache,
+) -> SiteCdnMeasurement {
     let san = report.certificate.as_ref().map(|c| c.san.as_slice());
     let site_soa = Dig::new(resolver).soa_of(&report.site).ok();
 
@@ -49,7 +61,9 @@ pub fn classify_site(
     let mut order: Vec<ProviderKey> = Vec::new();
 
     for host in report.hostnames() {
-        if !is_internal(&report.site, &host, san, psl) {
+        let internal = cache.same_registrable_domain(&report.site, &host, psl)
+            || san.is_some_and(|san| cache.san_covers(san, &host, psl));
+        if !internal {
             continue;
         }
         let Some(chain) = report.chain_of(&host) else {
@@ -58,10 +72,7 @@ pub fn classify_site(
         let Some((suffix, _, witness)) = cname_map.classify_chain_detailed(chain.iter()) else {
             continue;
         };
-        let key = psl
-            .registrable_domain(suffix)
-            .map(|d| ProviderKey::new(d.as_str().to_string()))
-            .unwrap_or_else(|| ProviderKey::new(suffix.as_str().to_string()));
+        let key = cache.provider_key(suffix, psl);
 
         let witness_soa = Dig::new(resolver).soa_of(witness).ok();
         let ev = Evidence {
@@ -73,7 +84,7 @@ pub fn classify_site(
             concentration: None,
             threshold: usize::MAX,
         };
-        let class = classify(ClassifierKind::Combined, &ev, psl);
+        let class = cache.classify(ClassifierKind::Combined, &ev, psl);
         match detected.entry(key.clone()) {
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(class);

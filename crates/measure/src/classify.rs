@@ -12,7 +12,7 @@
 //!   `Unknown` and excluded from analysis.
 
 use webdeps_dns::Soa;
-use webdeps_model::{DomainName, PublicSuffixList};
+use webdeps_model::{DomainName, Interner, PublicSuffixList};
 
 /// Outcome of classifying one (site, candidate-host) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,6 +94,186 @@ pub fn san_covers(san: &[DomainName], candidate: &DomainName, psl: &PublicSuffix
         psl.registrable_domain(entry)
             .is_some_and(|reg| reg == cand_reg)
     })
+}
+
+/// A `NameId`-keyed memo of public-suffix decisions.
+///
+/// Every heuristic rule bottoms out in "what is this hostname's
+/// registrable domain?", and the same provider hostnames (nameservers,
+/// SOA MNAMEs/RNAMEs, OCSP hosts, CDN on-ramps) recur across millions of
+/// sites. The cache interns each hostname once and remembers the label
+/// count of its registrable domain, so repeat lookups skip the PSL's
+/// rule-set walk entirely. Results are pinned byte-identical to the
+/// uncached paths by `cached_classify_matches_uncached`.
+#[derive(Debug, Default)]
+pub struct ClassifyCache {
+    names: Interner,
+    /// Per interned name: label count of the registrable domain
+    /// (suffix + 1), or 0 when the name is itself a public suffix.
+    reg_labels: Vec<u8>,
+    /// Per interned name: its provider key, built on first request.
+    /// Lazily grown, so names that never become keys cost nothing.
+    keys: Vec<Option<crate::dataset::ProviderKey>>,
+}
+
+impl ClassifyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ClassifyCache {
+            names: Interner::with_capacity(256),
+            reg_labels: Vec::with_capacity(256),
+            keys: Vec::new(),
+        }
+    }
+
+    /// Label count of `name`'s registrable domain, memoized (0 = none).
+    fn reg_label_count(&mut self, name: &DomainName, psl: &PublicSuffixList) -> u8 {
+        let id = self.names.intern(name.as_str());
+        let idx = id.index();
+        if idx == self.reg_labels.len() {
+            let labels = match psl.registrable_str(name) {
+                Some(reg) => (reg.bytes().filter(|&b| b == b'.').count() + 1) as u8,
+                None => 0,
+            };
+            self.reg_labels.push(labels);
+        }
+        self.reg_labels[idx]
+    }
+
+    /// Memoized [`PublicSuffixList::registrable_str`]: the registrable
+    /// domain as a borrowed suffix of `name`.
+    pub fn registrable_str<'a>(
+        &mut self,
+        name: &'a DomainName,
+        psl: &PublicSuffixList,
+    ) -> Option<&'a str> {
+        match self.reg_label_count(name, psl) {
+            0 => None,
+            k => Some(name.suffix_str(k as usize)),
+        }
+    }
+
+    /// Memoized [`PublicSuffixList::registrable_domain`].
+    pub fn registrable_domain(
+        &mut self,
+        name: &DomainName,
+        psl: &PublicSuffixList,
+    ) -> Option<DomainName> {
+        match self.reg_label_count(name, psl) {
+            0 => None,
+            k => Some(name.suffix(k as usize)),
+        }
+    }
+
+    /// Memoized [`PublicSuffixList::same_registrable_domain`].
+    pub fn same_registrable_domain(
+        &mut self,
+        a: &DomainName,
+        b: &DomainName,
+        psl: &PublicSuffixList,
+    ) -> bool {
+        match (self.registrable_str(a, psl), self.registrable_str(b, psl)) {
+            (Some(ra), Some(rb)) => ra == rb,
+            _ => false,
+        }
+    }
+
+    /// Memoized provider key for `name`: its registrable domain, or the
+    /// name itself when it has none (the convention every measurement
+    /// uses for wire-inferred identities). The key is built once per
+    /// distinct hostname; repeats hand back a shared clone, so a
+    /// provider serving a million sites costs one allocation, not a
+    /// million.
+    pub fn provider_key(
+        &mut self,
+        name: &DomainName,
+        psl: &PublicSuffixList,
+    ) -> crate::dataset::ProviderKey {
+        let labels = self.reg_label_count(name, psl);
+        let idx = self.names.intern(name.as_str()).index();
+        if self.keys.len() <= idx {
+            self.keys.resize(idx + 1, None);
+        }
+        if let Some(key) = &self.keys[idx] {
+            return key.clone();
+        }
+        let key = crate::dataset::ProviderKey::new(match labels {
+            0 => name.as_str(),
+            k => name.suffix_str(k as usize),
+        });
+        self.keys[idx] = Some(key.clone());
+        key
+    }
+
+    /// Memoized [`soa_same_authority`].
+    pub fn soa_same_authority(&mut self, a: &Soa, b: &Soa, psl: &PublicSuffixList) -> bool {
+        self.same_registrable_domain(&a.mname, &b.mname, psl)
+            || self.same_registrable_domain(&a.rname, &b.rname, psl)
+    }
+
+    /// Memoized [`san_covers`].
+    pub fn san_covers(
+        &mut self,
+        san: &[DomainName],
+        candidate: &DomainName,
+        psl: &PublicSuffixList,
+    ) -> bool {
+        let Some(cand_reg) = self.registrable_str(candidate, psl) else {
+            return false;
+        };
+        san.iter()
+            .any(|entry| self.registrable_str(entry, psl) == Some(cand_reg))
+    }
+
+    /// Memoized [`classify`]: identical rule order and outcomes, with
+    /// every registrable-domain question answered from the memo.
+    pub fn classify(
+        &mut self,
+        kind: ClassifierKind,
+        ev: &Evidence<'_>,
+        psl: &PublicSuffixList,
+    ) -> Classification {
+        match kind {
+            ClassifierKind::TldOnly => {
+                if self.same_registrable_domain(ev.site, ev.candidate, psl) {
+                    Classification::Private
+                } else {
+                    Classification::ThirdParty
+                }
+            }
+            ClassifierKind::SoaOnly => match (ev.site_soa, ev.candidate_soa) {
+                (Some(a), Some(b)) => {
+                    if self.soa_same_authority(a, b, psl) {
+                        Classification::Private
+                    } else {
+                        Classification::ThirdParty
+                    }
+                }
+                _ => Classification::Unknown,
+            },
+            ClassifierKind::Combined => {
+                if self.same_registrable_domain(ev.site, ev.candidate, psl) {
+                    return Classification::Private;
+                }
+                if let Some(san) = ev.san {
+                    if self.san_covers(san, ev.candidate, psl) {
+                        return Classification::Private;
+                    }
+                }
+                if let (Some(a), Some(b)) = (ev.site_soa, ev.candidate_soa) {
+                    if !self.soa_same_authority(a, b, psl) {
+                        return Classification::ThirdParty;
+                    }
+                }
+                if let Some(c) = ev.concentration {
+                    if c >= ev.threshold {
+                        return Classification::ThirdParty;
+                    }
+                }
+                Classification::Unknown
+            }
+        }
+    }
 }
 
 /// Runs a strategy over evidence.
@@ -307,6 +487,117 @@ mod tests {
     fn strategy_labels() {
         for k in ClassifierKind::ALL {
             assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn cached_classify_matches_uncached() {
+        let psl = PublicSuffixList::builtin();
+        let mut cache = ClassifyCache::new();
+        // Name zoo covering every PSL rule shape: gTLD, multi-label
+        // suffix, bare suffixes, wildcard rule, exception rule, unknown
+        // TLD fallback, wildcard SAN entries.
+        let names: Vec<DomainName> = [
+            "www.example.com",
+            "example.com",
+            "a.b.example.co.uk",
+            "co.uk",
+            "com",
+            "shop.foo.ck",
+            "www.ck",
+            "a.www.ck",
+            "example.zz",
+            "ns1.dynect.net",
+            "*.cdn-brand.net",
+            "edge7.cdn-brand.net",
+        ]
+        .iter()
+        .map(|s| dn(s))
+        .collect();
+        let sans = vec![dn("example.com"), dn("*.cdn-brand.net"), dn("www.ck")];
+        let soas = [
+            soa("example.com", "hostmaster.example.com"),
+            soa("ns1.dynect.net", "hostmaster.dynect.net"),
+            soa("ns1.alibabadns.com", "hostmaster.alicdn-dns.com"),
+        ];
+        // Two passes: the first populates the memo, the second must
+        // answer every question from it — both identical to uncached.
+        for _pass in 0..2 {
+            for a in &names {
+                assert_eq!(
+                    cache.registrable_str(a, &psl),
+                    psl.registrable_str(a),
+                    "registrable_str({a})"
+                );
+                assert_eq!(
+                    cache.registrable_domain(a, &psl),
+                    psl.registrable_domain(a),
+                    "registrable_domain({a})"
+                );
+                assert_eq!(
+                    cache.san_covers(&sans, a, &psl),
+                    san_covers(&sans, a, &psl),
+                    "san_covers({a})"
+                );
+                assert_eq!(
+                    cache.provider_key(a, &psl).as_str(),
+                    psl.registrable_str(a).unwrap_or_else(|| a.as_str()),
+                    "provider_key({a})"
+                );
+                for b in &names {
+                    assert_eq!(
+                        cache.same_registrable_domain(a, b, &psl),
+                        psl.same_registrable_domain(a, b),
+                        "same_registrable_domain({a}, {b})"
+                    );
+                }
+            }
+            for a in &soas {
+                for b in &soas {
+                    assert_eq!(
+                        cache.soa_same_authority(a, b, &psl),
+                        soa_same_authority(a, b, &psl),
+                        "soa_same_authority"
+                    );
+                }
+            }
+            for site in &names {
+                for candidate in &names {
+                    for (i, site_soa) in soas.iter().enumerate() {
+                        let ev = Evidence {
+                            site,
+                            candidate,
+                            san: Some(&sans),
+                            site_soa: Some(site_soa),
+                            candidate_soa: Some(&soas[(i + 1) % soas.len()]),
+                            concentration: Some(if i == 0 { 120 } else { 3 }),
+                            threshold: 50,
+                        };
+                        for kind in ClassifierKind::ALL {
+                            assert_eq!(
+                                cache.classify(kind, &ev, &psl),
+                                classify(kind, &ev, &psl),
+                                "classify({kind:?}, {site}, {candidate})"
+                            );
+                        }
+                        // And with the sparse-evidence variant.
+                        let bare = Evidence {
+                            san: None,
+                            site_soa: None,
+                            candidate_soa: None,
+                            concentration: None,
+                            ..ev
+                        };
+                        for kind in ClassifierKind::ALL {
+                            assert_eq!(
+                                cache.classify(kind, &bare, &psl),
+                                classify(kind, &bare, &psl),
+                                "classify bare ({kind:?}, {site}, {candidate})"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }

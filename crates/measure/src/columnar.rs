@@ -243,6 +243,49 @@ impl ColumnarDataset {
             .push(ca_key.map_or(NameId(NO_NAME), |k| self.names.intern(k)));
     }
 
+    /// Appends one site whose provider identities are *already* interned
+    /// into this dataset's arena — the streaming pipeline's assembly
+    /// path, which remaps each shard's local interner once per shard
+    /// instead of re-hashing every per-site key string.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_site_interned(
+        &mut self,
+        id: SiteId,
+        dns: Option<DepState>,
+        cdn: Option<CdnProfile>,
+        ca: Option<CaProfile>,
+        dns_ids: impl IntoIterator<Item = NameId>,
+        cdn_ids: impl IntoIterator<Item = NameId>,
+        ca_id: Option<NameId>,
+    ) {
+        self.site_ids.push(id);
+        self.dns_state.push(enc_dns(dns));
+        self.cdn_state.push(enc_cdn(cdn));
+        self.ca_state.push(enc_ca(ca));
+        self.dns_providers.extend(dns_ids);
+        self.dns_start
+            .push(checked_offset(self.dns_providers.len()));
+        self.cdn_providers.extend(cdn_ids);
+        self.cdn_start
+            .push(checked_offset(self.cdn_providers.len()));
+        self.ca_provider.push(ca_id.unwrap_or(NameId(NO_NAME)));
+    }
+
+    /// Interns one provider identity into the shared name arena,
+    /// returning its global id (assembly-side shard remapping).
+    pub(crate) fn intern_name(&mut self, s: &str) -> NameId {
+        self.names.intern(s)
+    }
+
+    /// Pre-sizes the flat provider columns to their exact final lengths
+    /// (known up front from the shard outputs). `heap_bytes` charges
+    /// *capacity*, so exact reservation keeps doubling slack out of the
+    /// per-site budget.
+    pub(crate) fn reserve_flat(&mut self, dns_total: usize, cdn_total: usize) {
+        self.dns_providers.reserve_exact(dns_total);
+        self.cdn_providers.reserve_exact(cdn_total);
+    }
+
     /// Appends one provider measurement (interning its keys).
     pub(crate) fn push_provider(&mut self, pm: &ProviderMeasurement) {
         let key = self.names.intern(pm.key.as_str());
@@ -420,7 +463,7 @@ impl ColumnarDataset {
 
 /// Checked CSR offset: a flat provider column longer than `u32::MAX`
 /// would silently wrap the ranges.
-fn checked_offset(len: usize) -> u32 {
+pub(crate) fn checked_offset(len: usize) -> u32 {
     assert!(
         u32::try_from(len).is_ok(),
         "columnar overflow: {len} flattened providers exceed the u32 offset space"

@@ -11,12 +11,18 @@ use webdeps_worldgen::profiles::{CaProfile, CdnProfile, DepState};
 
 /// Wire-inferred provider identity: the registrable domain of the
 /// provider's observed infrastructure.
+///
+/// Backed by a shared string, so cloning a key (the per-site hot path
+/// tallies keys into several maps) bumps a refcount instead of copying
+/// the domain. The derived comparisons and hash all delegate to the
+/// string content, so equal keys behave identically whether or not they
+/// share an allocation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ProviderKey(pub String);
+pub struct ProviderKey(std::sync::Arc<str>);
 
 impl ProviderKey {
     /// Builds a key from a registrable domain.
-    pub fn new(domain: impl Into<String>) -> Self {
+    pub fn new(domain: impl Into<std::sync::Arc<str>>) -> Self {
         ProviderKey(domain.into())
     }
 

@@ -8,7 +8,7 @@
 //! registrable domain ∨ same SOA MNAME ∨ same SOA RNAME) to measure
 //! redundancy.
 
-use crate::classify::{classify, soa_same_authority, Classification, ClassifierKind, Evidence};
+use crate::classify::{Classification, ClassifierKind, ClassifyCache, Evidence};
 use crate::dataset::{NsGroup, NsPair, ProviderKey, SiteDnsMeasurement};
 use std::collections::HashMap;
 use webdeps_dns::{Dig, Resolver, Soa};
@@ -51,18 +51,39 @@ pub fn ns_concentration(
     observations: &[Option<DnsObservation>],
     psl: &PublicSuffixList,
 ) -> HashMap<DomainName, usize> {
+    ns_concentration_cached(observations, psl, &mut ClassifyCache::new())
+}
+
+/// [`ns_concentration`] with a caller-owned memo — the hot-path entry
+/// point: provider registrable domains recur across the whole shard, so
+/// counting only allocates a key the first time a domain is seen.
+pub fn ns_concentration_cached(
+    observations: &[Option<DnsObservation>],
+    psl: &PublicSuffixList,
+    cache: &mut ClassifyCache,
+) -> HashMap<DomainName, usize> {
     let mut counts: HashMap<DomainName, usize> = HashMap::new();
+    let mut seen: Vec<(&str, &DomainName)> = Vec::new();
     for obs in observations.iter().flatten() {
-        let mut seen: Vec<DomainName> = Vec::new();
+        seen.clear();
         for host in &obs.ns_hosts {
-            if let Some(reg) = psl.registrable_domain(host) {
-                if !seen.contains(&reg) {
-                    seen.push(reg);
+            if let Some(reg) = cache.registrable_str(host, psl) {
+                if !seen.iter().any(|&(r, _)| r == reg) {
+                    seen.push((reg, host));
                 }
             }
         }
-        for reg in seen {
-            *counts.entry(reg).or_default() += 1;
+        for &(reg, host) in &seen {
+            // Borrowed probe (`DomainName: Borrow<str>`); the owned key
+            // is only built on first sight of a registrable domain, as
+            // the matching label suffix of the host it came from.
+            match counts.get_mut(reg) {
+                Some(n) => *n += 1,
+                None => {
+                    let labels = reg.bytes().filter(|&b| b == b'.').count() + 1;
+                    counts.insert(host.suffix(labels), 1);
+                }
+            }
         }
     }
     counts
@@ -101,6 +122,27 @@ pub fn classify_site(
     )
 }
 
+/// [`classify_site`] with a caller-owned registrable-domain memo (the
+/// per-shard hot path).
+pub fn classify_site_cached(
+    obs: &DnsObservation,
+    san: Option<&[DomainName]>,
+    concentration: &HashMap<DomainName, usize>,
+    threshold: usize,
+    psl: &PublicSuffixList,
+    cache: &mut ClassifyCache,
+) -> SiteDnsMeasurement {
+    classify_site_with_grouping_cached(
+        obs,
+        san,
+        concentration,
+        threshold,
+        psl,
+        GroupingStrategy::TldAndSoa,
+        cache,
+    )
+}
+
 /// [`classify_site`] with a selectable grouping strategy (ablations).
 pub fn classify_site_with_grouping(
     obs: &DnsObservation,
@@ -110,15 +152,37 @@ pub fn classify_site_with_grouping(
     psl: &PublicSuffixList,
     grouping: GroupingStrategy,
 ) -> SiteDnsMeasurement {
+    classify_site_with_grouping_cached(
+        obs,
+        san,
+        concentration,
+        threshold,
+        psl,
+        grouping,
+        &mut ClassifyCache::new(),
+    )
+}
+
+/// [`classify_site_with_grouping`] against a caller-owned memo; results
+/// are independent of cache state (pinned by the classify-cache test).
+pub fn classify_site_with_grouping_cached(
+    obs: &DnsObservation,
+    san: Option<&[DomainName]>,
+    concentration: &HashMap<DomainName, usize>,
+    threshold: usize,
+    psl: &PublicSuffixList,
+    grouping: GroupingStrategy,
+    cache: &mut ClassifyCache,
+) -> SiteDnsMeasurement {
     // Classify each (site, ns) pair with the combined heuristic.
     let classes: Vec<Classification> = obs
         .ns_hosts
         .iter()
         .zip(&obs.ns_soas)
         .map(|(host, ns_soa)| {
-            let conc = psl
-                .registrable_domain(host)
-                .and_then(|reg| concentration.get(&reg).copied())
+            let conc = cache
+                .registrable_str(host, psl)
+                .and_then(|reg| concentration.get(reg).copied())
                 .unwrap_or(0);
             let ev = Evidence {
                 site: &obs.site,
@@ -129,7 +193,7 @@ pub fn classify_site_with_grouping(
                 concentration: Some(conc),
                 threshold,
             };
-            classify(ClassifierKind::Combined, &ev, psl)
+            cache.classify(ClassifierKind::Combined, &ev, psl)
         })
         .collect();
 
@@ -145,10 +209,10 @@ pub fn classify_site_with_grouping(
     }
     for i in 0..n {
         for j in (i + 1)..n {
-            let same_reg = psl.same_registrable_domain(&obs.ns_hosts[i], &obs.ns_hosts[j]);
+            let same_reg = cache.same_registrable_domain(&obs.ns_hosts[i], &obs.ns_hosts[j], psl);
             let same_soa = grouping == GroupingStrategy::TldAndSoa
                 && match (&obs.ns_soas[i], &obs.ns_soas[j]) {
-                    (Some(a), Some(b)) => soa_same_authority(a, b, psl),
+                    (Some(a), Some(b)) => cache.soa_same_authority(a, b, psl),
                     _ => false,
                 };
             if same_reg || same_soa {
@@ -173,13 +237,11 @@ pub fn classify_site_with_grouping(
             });
             groups.len() - 1
         });
-        // Group key: lexicographically smallest registrable domain.
-        let reg = psl
-            .registrable_domain(&obs.ns_hosts[i])
-            .map(|d| d.as_str().to_string())
-            .unwrap_or_else(|| obs.ns_hosts[i].as_str().to_string());
-        if groups[gi].key.as_str().is_empty() || reg < groups[gi].key.0 {
-            groups[gi].key = ProviderKey::new(reg);
+        // Group key: lexicographically smallest registrable domain
+        // (memoized keys, so repeat nameservers share one allocation).
+        let key = cache.provider_key(&obs.ns_hosts[i], psl);
+        if groups[gi].key.as_str().is_empty() || key.as_str() < groups[gi].key.as_str() {
+            groups[gi].key = key;
         }
         // Merged class: Private dominates (any in-group private evidence
         // identifies the operator), then ThirdParty, then Unknown.

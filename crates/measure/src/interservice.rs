@@ -134,10 +134,10 @@ pub fn measure_cdn_dep(
             concentration: None,
             threshold: usize::MAX,
         };
-        let key = psl
-            .registrable_domain(suffix)
-            .map(|d| ProviderKey::new(d.as_str().to_string()))
-            .unwrap_or_else(|| ProviderKey::new(suffix.as_str().to_string()));
+        let key = match psl.registrable_str(suffix) {
+            Some(reg) => ProviderKey::new(reg),
+            None => ProviderKey::new(suffix.as_str()),
+        };
         match classify(ClassifierKind::Combined, &ev, psl) {
             Classification::ThirdParty => {
                 if !third.contains(&key) {

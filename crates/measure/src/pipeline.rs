@@ -6,14 +6,30 @@
 //! web plane, PKI, CNAME-to-CDN map, public-suffix list, site list);
 //! ground truth never flows in.
 
+use crate::classify::ClassifyCache;
 use crate::columnar::ColumnarDataset;
 use crate::dataset::{MeasurementDataset, ProviderKey, SiteMeasurement};
 use crate::{ca, cdn, dns, interservice};
 use std::collections::HashMap;
-use webdeps_model::{fan_out_chunked, DomainName, Interner, NameId, SiteId};
+use webdeps_model::{fan_out_chunked, timing, DomainName, Interner, NameId, SiteId};
 use webdeps_web::{CrawlReport, Crawler};
 use webdeps_worldgen::profiles::{CaProfile, CdnProfile, DepState};
 use webdeps_worldgen::{SiteListing, World};
+
+/// Distinct-name bound on every crawl-path resolver cache.
+///
+/// Site-specific names (the site apex, its `www`/asset hosts, its
+/// nameservers) are each queried while that one site is measured and
+/// never again, so an unbounded cache grows by a handful of names per
+/// site — at a million sites, gigabytes of dead entries whose probes
+/// all miss DRAM and whose table rehashes copy the lot. Clearing at
+/// the bound keeps the table cache-sized; the shared provider names
+/// that actually repeat re-warm within a few sites of each epoch.
+/// Results are unchanged: the world, fault plan, and clock are static
+/// for the duration of a measurement pass, so re-resolving an evicted
+/// name reproduces the evicted answer exactly (pinned by the
+/// determinism checksums and the row-vs-columnar equality test).
+const RESOLVER_CACHE_BOUND: usize = 1 << 16;
 
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +81,7 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
     let per_site: Vec<(CrawlReport, Option<dns::DnsObservation>)> =
         fan_out_chunked(&listings, config.threads, |shard| {
             let mut client = world.client();
+            client.resolver_mut().bound_cache(RESOLVER_CACHE_BOUND);
             shard
                 .iter()
                 .map(|l| {
@@ -81,9 +98,11 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
         observations.push(obs);
     }
     let mut client = world.client();
+    client.resolver_mut().bound_cache(RESOLVER_CACHE_BOUND);
 
     // Stage 2b: dataset-wide nameserver concentration.
-    let concentration = dns::ns_concentration(&observations, psl);
+    let mut cache = ClassifyCache::new();
+    let concentration = dns::ns_concentration_cached(&observations, psl, &mut cache);
 
     // Stages 2c–4: per-site classification.
     let mut sites = Vec::with_capacity(listings.len());
@@ -91,11 +110,16 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
     let mut ca_reps: HashMap<ProviderKey, (Vec<DomainName>, usize)> = HashMap::new();
     let mut dns_direct: HashMap<ProviderKey, usize> = HashMap::new();
     for ((listing, report), obs) in listings.iter().zip(&reports).zip(&observations) {
-        let san = report.certificate.as_ref().map(|c| c.san.clone());
+        let san = report.certificate.as_ref().map(|c| c.san.as_slice());
         let dns_m = match obs {
-            Some(obs) => {
-                dns::classify_site(obs, san.as_deref(), &concentration, config.threshold, psl)
-            }
+            Some(obs) => dns::classify_site_cached(
+                obs,
+                san,
+                &concentration,
+                config.threshold,
+                psl,
+                &mut cache,
+            ),
             None => crate::dataset::SiteDnsMeasurement {
                 pairs: Vec::new(),
                 groups: Vec::new(),
@@ -103,23 +127,25 @@ pub fn measure_world_with(world: &World, config: MeasureConfig) -> MeasurementDa
             },
         };
         let resolver = client.resolver_mut();
-        let ca_m = ca::classify_site(report, resolver, psl);
-        let cdn_m = cdn::classify_site(report, &world.cname_map, resolver, psl);
+        let ca_m = ca::classify_site_cached(report, resolver, psl, &mut cache);
+        let cdn_m = cdn::classify_site_cached(report, &world.cname_map, resolver, psl, &mut cache);
 
         for key in dns_m.third_parties() {
             *dns_direct.entry(key.clone()).or_default() += 1;
         }
+        // Witness host: the first chain host under each detected CDN
+        // (the hostname list is built once per site, not once per CDN).
+        let hosts = if cdn_m.cdns.is_empty() {
+            Vec::new()
+        } else {
+            report.hostnames()
+        };
         for (key, _) in &cdn_m.cdns {
-            // Witness host: the first chain host under the detected CDN.
-            let witness = report
-                .hostnames()
+            let witness = hosts
                 .iter()
                 .filter_map(|h| report.chain_of(h))
                 .flat_map(|chain| chain.iter())
-                .find(|c| {
-                    psl.registrable_domain(c)
-                        .is_some_and(|r| r.as_str() == key.as_str())
-                })
+                .find(|c| cache.registrable_str(c, psl) == Some(key.as_str()))
                 .cloned();
             if let Some(w) = witness {
                 let entry = cdn_reps.entry(key.clone()).or_insert_with(|| (w, 0));
@@ -174,36 +200,65 @@ struct ShardColumns {
     dns_state: Vec<Option<DepState>>,
     cdn_state: Vec<Option<CdnProfile>>,
     ca_state: Vec<Option<CaProfile>>,
-    dns_lists: Vec<Vec<NameId>>,
-    cdn_lists: Vec<Vec<NameId>>,
+    /// CSR offsets into `dns_providers` (`len + 1` entries) — flat from
+    /// the start so the shard never allocates a per-site list.
+    dns_start: Vec<u32>,
+    dns_providers: Vec<NameId>,
+    /// CSR offsets into `cdn_providers` (`len + 1` entries).
+    cdn_start: Vec<u32>,
+    cdn_providers: Vec<NameId>,
     ca_slot: Vec<Option<NameId>>,
     cdn_reps: Vec<(ProviderKey, (DomainName, usize))>,
     ca_reps: Vec<(ProviderKey, (Vec<DomainName>, usize))>,
     dns_direct: Vec<(ProviderKey, usize)>,
 }
 
-/// Crawls, observes, and classifies one shard of listings, emitting
-/// columnar rows directly — no [`SiteMeasurement`] is ever built. The
-/// classification calls are byte-for-byte the ones `measure_world_with`
-/// makes, and the per-provider witness maps use the same
+impl ShardColumns {
+    fn dns_ids_of(&self, i: usize) -> &[NameId] {
+        &self.dns_providers[self.dns_start[i] as usize..self.dns_start[i + 1] as usize]
+    }
+
+    fn cdn_ids_of(&self, i: usize) -> &[NameId] {
+        &self.cdn_providers[self.cdn_start[i] as usize..self.cdn_start[i + 1] as usize]
+    }
+}
+
+/// Crawls and classifies one shard of listings against the pass-1
+/// observations, emitting columnar rows directly — no
+/// [`SiteMeasurement`] is ever built. The classification calls are
+/// byte-for-byte the ones `measure_world_with` makes (observations are
+/// deterministic, so reusing pass 1's instead of re-digging changes
+/// nothing), and the per-provider witness maps use the same
 /// first-witness-wins, counts-sum semantics (kept deterministic by
 /// recording entries in site order and merging shards in shard order).
 fn columnar_shard(
     world: &World,
-    shard: &[SiteListing],
+    shard: &[(SiteListing, Option<dns::DnsObservation>)],
     concentration: &HashMap<DomainName, usize>,
     threshold: usize,
 ) -> ShardColumns {
     let psl = &world.psl;
     let mut client = world.client();
+    client.resolver_mut().bound_cache(RESOLVER_CACHE_BOUND);
+    let mut cache = ClassifyCache::new();
     let mut out = ShardColumns {
         names: Interner::with_capacity(64),
         site_ids: Vec::with_capacity(shard.len()),
         dns_state: Vec::with_capacity(shard.len()),
         cdn_state: Vec::with_capacity(shard.len()),
         ca_state: Vec::with_capacity(shard.len()),
-        dns_lists: Vec::with_capacity(shard.len()),
-        cdn_lists: Vec::with_capacity(shard.len()),
+        dns_start: {
+            let mut v = Vec::with_capacity(shard.len() + 1);
+            v.push(0);
+            v
+        },
+        dns_providers: Vec::new(),
+        cdn_start: {
+            let mut v = Vec::with_capacity(shard.len() + 1);
+            v.push(0);
+            v
+        },
+        cdn_providers: Vec::new(),
         ca_slot: Vec::with_capacity(shard.len()),
         cdn_reps: Vec::new(),
         ca_reps: Vec::new(),
@@ -212,17 +267,18 @@ fn columnar_shard(
     let mut cdn_rep_idx: HashMap<ProviderKey, usize> = HashMap::new();
     let mut ca_rep_idx: HashMap<ProviderKey, usize> = HashMap::new();
     let mut dns_direct_idx: HashMap<ProviderKey, usize> = HashMap::new();
-    for listing in shard {
+    for (listing, obs) in shard {
         let report = Crawler::crawl(
             &mut client,
             &listing.domain,
             &listing.document_hosts,
             listing.https,
         );
-        let obs = dns::observe_site(client.resolver_mut(), &listing.domain);
-        let san = report.certificate.as_ref().map(|c| c.san.clone());
-        let dns_m = match &obs {
-            Some(obs) => dns::classify_site(obs, san.as_deref(), concentration, threshold, psl),
+        let san = report.certificate.as_ref().map(|c| c.san.as_slice());
+        let dns_m = match obs {
+            Some(obs) => {
+                dns::classify_site_cached(obs, san, concentration, threshold, psl, &mut cache)
+            }
             None => crate::dataset::SiteDnsMeasurement {
                 pairs: Vec::new(),
                 groups: Vec::new(),
@@ -230,8 +286,8 @@ fn columnar_shard(
             },
         };
         let resolver = client.resolver_mut();
-        let ca_m = ca::classify_site(&report, resolver, psl);
-        let cdn_m = cdn::classify_site(&report, &world.cname_map, resolver, psl);
+        let ca_m = ca::classify_site_cached(&report, resolver, psl, &mut cache);
+        let cdn_m = cdn::classify_site_cached(&report, &world.cname_map, resolver, psl, &mut cache);
 
         for key in dns_m.third_parties() {
             match dns_direct_idx.get(key) {
@@ -242,16 +298,18 @@ fn columnar_shard(
                 }
             }
         }
+        // Hostname list built once per site (not once per detected CDN).
+        let hosts = if cdn_m.cdns.is_empty() {
+            Vec::new()
+        } else {
+            report.hostnames()
+        };
         for (key, _) in &cdn_m.cdns {
-            let witness = report
-                .hostnames()
+            let witness = hosts
                 .iter()
                 .filter_map(|h| report.chain_of(h))
                 .flat_map(|chain| chain.iter())
-                .find(|c| {
-                    psl.registrable_domain(c)
-                        .is_some_and(|r| r.as_str() == key.as_str())
-                })
+                .find(|c| cache.registrable_str(c, psl) == Some(key.as_str()))
                 .cloned();
             if let Some(w) = witness {
                 match cdn_rep_idx.get(key) {
@@ -278,18 +336,14 @@ fn columnar_shard(
         out.dns_state.push(dns_m.state);
         out.cdn_state.push(cdn_m.state);
         out.ca_state.push(ca_m.state);
-        out.dns_lists.push(
-            dns_m
-                .third_parties()
-                .map(|k| out.names.intern(k.as_str()))
-                .collect(),
-        );
-        out.cdn_lists.push(
-            cdn_m
-                .third_parties()
-                .map(|k| out.names.intern(k.as_str()))
-                .collect(),
-        );
+        out.dns_providers
+            .extend(dns_m.third_parties().map(|k| out.names.intern(k.as_str())));
+        out.dns_start
+            .push(crate::columnar::checked_offset(out.dns_providers.len()));
+        out.cdn_providers
+            .extend(cdn_m.third_parties().map(|k| out.names.intern(k.as_str())));
+        out.cdn_start
+            .push(crate::columnar::checked_offset(out.cdn_providers.len()));
         out.ca_slot.push(match &ca_m.ca {
             Some((key, crate::classify::Classification::ThirdParty)) => {
                 Some(out.names.intern(key.as_str()))
@@ -331,25 +385,40 @@ pub fn measure_world_columnar_with(world: &World, config: MeasureConfig) -> Colu
         listings.truncate(cap);
     }
 
-    // Pass 1: dataset-wide nameserver concentration from observations
-    // alone (each worker owns a client; tallies sum across shards).
+    // Pass 1: observe every site and tally dataset-wide nameserver
+    // concentration (each worker owns a client; tallies sum across
+    // shards). Observations are kept — pass 2 classifies against them
+    // instead of re-digging every site.
+    let observe_scope = timing::scope("measure/observe");
+    let n_sites = listings.len();
     let partials = fan_out_chunked(&listings, config.threads, |shard| {
         let mut client = world.client();
+        client.resolver_mut().bound_cache(RESOLVER_CACHE_BOUND);
+        let mut cache = ClassifyCache::new();
         let observations: Vec<Option<dns::DnsObservation>> = shard
             .iter()
             .map(|l| dns::observe_site(client.resolver_mut(), &l.domain))
             .collect();
-        vec![dns::ns_concentration(&observations, psl)]
+        let counts = dns::ns_concentration_cached(&observations, psl, &mut cache);
+        vec![(observations, counts)]
     });
     let mut concentration: HashMap<DomainName, usize> = HashMap::new();
-    for partial in partials {
+    let mut observations: Vec<Option<dns::DnsObservation>> = Vec::with_capacity(n_sites);
+    for (obs, partial) in partials {
+        observations.extend(obs);
         for (host, n) in partial {
             *concentration.entry(host).or_default() += n;
         }
     }
+    drop(observe_scope);
 
-    // Pass 2: classify in-shard, stream out columns.
-    let shards = fan_out_chunked(&listings, config.threads, |shard| {
+    // Pass 2: classify in-shard, stream out columns. Listings and their
+    // pass-1 observations shard together, so chunk boundaries stay
+    // aligned with pass 1 at any worker count.
+    let classify_scope = timing::scope("measure/classify");
+    let items: Vec<(SiteListing, Option<dns::DnsObservation>)> =
+        listings.into_iter().zip(observations).collect();
+    let shards = fan_out_chunked(&items, config.threads, |shard| {
         vec![columnar_shard(
             world,
             shard,
@@ -357,28 +426,39 @@ pub fn measure_world_columnar_with(world: &World, config: MeasureConfig) -> Colu
             config.threshold,
         )]
     });
+    drop(classify_scope);
+    drop(items);
 
-    // Serial assembly in shard (= site) order.
-    let mut out = ColumnarDataset::with_capacity(listings.len(), config.threshold);
+    // Serial assembly in shard (= site) order. Each shard's local
+    // interner assigned ids in first-seen site order, so remapping the
+    // shard name table *in id order* into the global arena reproduces
+    // exactly the interning order a serial site walk would — one hash
+    // probe per distinct shard name instead of one per site key, and no
+    // per-site scratch `Vec`s at all.
+    let assemble_scope = timing::scope("measure/assemble");
+    let mut out = ColumnarDataset::with_capacity(n_sites, config.threshold);
+    out.reserve_flat(
+        shards.iter().map(|s| s.dns_providers.len()).sum(),
+        shards.iter().map(|s| s.cdn_providers.len()).sum(),
+    );
     let mut cdn_reps: HashMap<ProviderKey, (DomainName, usize)> = HashMap::new();
     let mut ca_reps: HashMap<ProviderKey, (Vec<DomainName>, usize)> = HashMap::new();
     let mut dns_direct: HashMap<ProviderKey, usize> = HashMap::new();
+    let mut remap: Vec<NameId> = Vec::new();
     for shard in shards {
+        remap.clear();
+        for name in shard.names.names() {
+            remap.push(out.intern_name(name));
+        }
         for i in 0..shard.site_ids.len() {
-            let resolve = |ids: &[NameId]| -> Vec<&str> {
-                ids.iter().map(|&n| shard.names.resolve(n)).collect()
-            };
-            let dns_keys = resolve(&shard.dns_lists[i]);
-            let cdn_keys = resolve(&shard.cdn_lists[i]);
-            let ca_key = shard.ca_slot[i].map(|n| shard.names.resolve(n));
-            out.push_site(
+            out.push_site_interned(
                 shard.site_ids[i],
                 shard.dns_state[i],
                 shard.cdn_state[i],
                 shard.ca_state[i],
-                &dns_keys,
-                &cdn_keys,
-                ca_key,
+                shard.dns_ids_of(i).iter().map(|n| remap[n.index()]),
+                shard.cdn_ids_of(i).iter().map(|n| remap[n.index()]),
+                shard.ca_slot[i].map(|n| remap[n.index()]),
             );
         }
         // First-witness-wins across shards in shard order — the same
@@ -401,9 +481,12 @@ pub fn measure_world_columnar_with(world: &World, config: MeasureConfig) -> Colu
             *dns_direct.entry(key).or_default() += n;
         }
     }
+    drop(assemble_scope);
 
     // Stage 5: inter-service measurement over the observed providers.
+    let _interservice_scope = timing::scope("measure/interservice");
     let mut client = world.client();
+    client.resolver_mut().bound_cache(RESOLVER_CACHE_BOUND);
     let providers = interservice::measure_providers(
         client.resolver_mut(),
         &cdn_reps,

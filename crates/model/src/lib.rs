@@ -25,6 +25,7 @@ pub mod psl;
 pub mod rank;
 pub mod rng;
 pub mod service;
+pub mod timing;
 
 pub use entity::{Entity, EntityKind, EntityRegistry};
 pub use error::ModelError;

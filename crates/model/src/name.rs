@@ -10,6 +10,7 @@
 use crate::ModelError;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Maximum total length of a domain name in its textual form.
 const MAX_NAME_LEN: usize = 253;
@@ -32,10 +33,18 @@ const MAX_LABEL_LEN: usize = 63;
 /// assert_eq!(name.label_count(), 3);
 /// assert!(name.is_subdomain_of(&"example.com".parse().unwrap()));
 /// ```
+/// Internally the text lives in an `Arc<str>`: a million-site world
+/// holds tens of millions of `DomainName` copies (zone keys, record
+/// data, server hostnames, certificate SANs, crawl chains), and with
+/// shared storage a clone is a refcount bump instead of a heap
+/// allocation — both generation and the teardown of a multi-gigabyte
+/// world get dramatically cheaper. The derived `Hash`/`Eq`/`Ord` all
+/// delegate through `Arc` to the string *content*, so map semantics
+/// (and the `Borrow<str>` contract below) are unchanged.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DomainName {
     /// Normalized textual form, e.g. `"www.example.com"`.
-    name: String,
+    name: Arc<str>,
 }
 
 impl DomainName {
@@ -91,7 +100,7 @@ impl DomainName {
                 });
             }
         }
-        Ok(DomainName { name: lower })
+        Ok(DomainName { name: lower.into() })
     }
 
     /// Returns the normalized textual form (lowercase, no trailing dot).
@@ -112,24 +121,43 @@ impl DomainName {
 
     /// Whether the leftmost label is the `*` wildcard.
     pub fn is_wildcard(&self) -> bool {
-        self.name.starts_with("*.") || self.name == "*"
+        self.name.starts_with("*.") || &*self.name == "*"
     }
 
     /// The name with its leftmost label removed, or `None` for a
     /// single-label name. `www.example.com` → `example.com`.
     pub fn parent(&self) -> Option<DomainName> {
-        self.name.split_once('.').map(|(_, rest)| DomainName {
-            name: rest.to_string(),
-        })
+        self.name
+            .split_once('.')
+            .map(|(_, rest)| DomainName { name: rest.into() })
+    }
+
+    /// The last `n` labels as borrowed text, or the whole name if it
+    /// has fewer. Labels are dot-separated in the normalized form, so a
+    /// suffix is always a contiguous byte slice — no per-label
+    /// collection needed.
+    pub fn suffix_str(&self, n: usize) -> &str {
+        let total = self.label_count();
+        if n >= total {
+            return &self.name;
+        }
+        let mut dots_to_skip = total - n;
+        for (i, b) in self.name.bytes().enumerate() {
+            if b == b'.' {
+                dots_to_skip -= 1;
+                if dots_to_skip == 0 {
+                    return &self.name[i + 1..];
+                }
+            }
+        }
+        &self.name
     }
 
     /// The last `n` labels as a name, or the whole name if it has fewer.
     /// `suffix(2)` of `a.b.example.com` is `example.com`.
     pub fn suffix(&self, n: usize) -> DomainName {
-        let labels: Vec<&str> = self.labels().collect();
-        let start = labels.len().saturating_sub(n);
         DomainName {
-            name: labels[start..].join("."),
+            name: self.suffix_str(n).into(),
         }
     }
 
@@ -137,6 +165,24 @@ impl DomainName {
     /// `www.example.com`.
     #[must_use]
     pub fn child(&self, label: &str) -> Result<DomainName, ModelError> {
+        // Fast path for already-normalized labels (the overwhelmingly
+        // common case in world construction): validate the label bytes
+        // directly and splice, skipping the format! + full re-parse of
+        // the parent name, which is valid by construction.
+        let fast = !label.is_empty()
+            && label.len() <= MAX_LABEL_LEN
+            && label.len() + 1 + self.name.len() <= MAX_NAME_LEN
+            && !self.is_wildcard()
+            && label
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_');
+        if fast {
+            let mut name = String::with_capacity(label.len() + 1 + self.name.len());
+            name.push_str(label);
+            name.push('.');
+            name.push_str(&self.name);
+            return Ok(DomainName { name: name.into() });
+        }
         DomainName::parse(&format!("{label}.{}", self.name))
     }
 
@@ -145,7 +191,7 @@ impl DomainName {
     /// a subdomain of itself).
     pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
         self.name.len() > other.name.len()
-            && self.name.ends_with(other.name.as_str())
+            && self.name.ends_with(&*other.name)
             && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
     }
 
@@ -193,6 +239,17 @@ impl FromStr for DomainName {
 
 impl AsRef<str> for DomainName {
     fn as_ref(&self) -> &str {
+        &self.name
+    }
+}
+
+/// `Borrow` contract: a `DomainName` hashes and compares exactly like
+/// its normalized text (the derived impls forward to the single `String`
+/// field), so hash maps keyed by `DomainName` can be probed with a
+/// borrowed `&str` — the measurement hot path looks up nameserver
+/// concentration by registrable-domain *slices* without allocating.
+impl std::borrow::Borrow<str> for DomainName {
+    fn borrow(&self) -> &str {
         &self.name
     }
 }
@@ -281,5 +338,26 @@ mod tests {
             dn("ns1.example.com")
         );
         assert!(dn("example.com").child("bad label").is_err());
+        // Slow path: uppercase labels normalize, wildcards stay leftmost-only.
+        assert_eq!(
+            dn("example.com").child("WWW").unwrap(),
+            dn("www.example.com")
+        );
+        assert_eq!(dn("example.com").child("*").unwrap(), dn("*.example.com"));
+        assert!(dn("*.example.com").child("www").is_err());
+        let long = "a".repeat(250);
+        assert!(dn(&long[..63]).child(&long[..64]).is_err());
+    }
+
+    #[test]
+    fn suffix_str_is_a_borrowed_suffix() {
+        let n = dn("a.b.example.com");
+        assert_eq!(n.suffix_str(2), "example.com");
+        assert_eq!(n.suffix_str(1), "com");
+        assert_eq!(n.suffix_str(4), "a.b.example.com");
+        assert_eq!(n.suffix_str(9), "a.b.example.com");
+        for k in 1..=4 {
+            assert_eq!(n.suffix(k).as_str(), n.suffix_str(k));
+        }
     }
 }

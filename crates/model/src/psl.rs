@@ -81,27 +81,35 @@ impl PublicSuffixList {
     /// Length in labels of the public suffix of `name`, or 0 when no rule
     /// matches (per the PSL algorithm the prevailing rule is then `*`,
     /// i.e. the last label is treated as the suffix).
+    ///
+    /// Allocation-free: the name is stored dot-joined and lowercase, so
+    /// every candidate suffix is a contiguous byte slice looked up
+    /// directly in the rule sets (this runs once per hostname per
+    /// classification — a first-order cost at the million-site scale).
     fn suffix_label_count(&self, name: &DomainName) -> usize {
-        let labels: Vec<&str> = name.labels().collect();
+        let s = name.as_str();
+        let total = s.bytes().filter(|&b| b == b'.').count() + 1;
         let mut best = 0usize;
-        for start in 0..labels.len() {
-            let candidate = labels[start..].join(".");
-            let len = labels.len() - start;
-            if self.exceptions.contains(&candidate) {
+        let mut start = 0usize;
+        for idx in 0..total {
+            let candidate = &s[start..];
+            let len = total - idx;
+            if self.exceptions.contains(candidate) {
                 // Exception rule: the matched name itself is registrable,
                 // so its suffix is one label shorter.
                 return len - 1;
             }
-            if self.rules.contains(&candidate) && len > best {
+            if len > best && self.rules.contains(candidate) {
                 best = len;
             }
             // Wildcard `*.base` matches names with exactly one label more
             // than the base.
-            if start + 1 < labels.len() {
-                let base = labels[start + 1..].join(".");
-                if self.wildcards.contains(&base) && len > best {
-                    best = len;
-                }
+            let Some(dot) = candidate.find('.') else {
+                break;
+            };
+            start += dot + 1;
+            if len > best && self.wildcards.contains(&s[start..]) {
+                best = len;
             }
         }
         if best == 0 {
@@ -131,10 +139,22 @@ impl PublicSuffixList {
         }
     }
 
+    /// Borrowed variant of [`Self::registrable_domain`] for hot paths
+    /// that only compare or hash the result: the registrable domain is
+    /// always a suffix slice of the (normalized) input name.
+    pub fn registrable_str<'a>(&self, name: &'a DomainName) -> Option<&'a str> {
+        let suffix_len = self.suffix_label_count(name);
+        if name.label_count() <= suffix_len {
+            None
+        } else {
+            Some(name.suffix_str(suffix_len + 1))
+        }
+    }
+
     /// Whether two hostnames share a registrable domain. Names that are
     /// themselves bare public suffixes never match anything.
     pub fn same_registrable_domain(&self, a: &DomainName, b: &DomainName) -> bool {
-        match (self.registrable_domain(a), self.registrable_domain(b)) {
+        match (self.registrable_str(a), self.registrable_str(b)) {
             (Some(ra), Some(rb)) => ra == rb,
             _ => false,
         }
@@ -212,6 +232,31 @@ mod tests {
         assert!(psl.same_registrable_domain(&dn("a.example.com"), &dn("b.c.example.com")));
         assert!(!psl.same_registrable_domain(&dn("a.example.com"), &dn("a.example.net")));
         assert!(!psl.same_registrable_domain(&dn("com"), &dn("com")));
+    }
+
+    #[test]
+    fn registrable_str_matches_owned_variant() {
+        let psl = PublicSuffixList::builtin();
+        for name in [
+            "www.example.com",
+            "a.b.example.co.uk",
+            "co.uk",
+            "com",
+            "shop.foo.ck",
+            "www.ck",
+            "a.www.ck",
+            "example.zz",
+        ] {
+            let n = dn(name);
+            assert_eq!(
+                psl.registrable_str(&n),
+                psl.registrable_domain(&n)
+                    .as_ref()
+                    .map(|d| d.as_str().to_string())
+                    .as_deref(),
+                "mismatch for {name}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Opt-in coarse phase timing.
+//!
+//! The million-site pipeline is tuned by measurement, not guesswork:
+//! every coarse phase (plan, site build, concentration pass, classify
+//! pass, assembly) wraps itself in a [`scope`] guard, and the bench
+//! harness drains the samples into `BENCH_measure_world.json` through
+//! its `record_metric` channel. Recording is disabled by default and
+//! costs one relaxed atomic load per phase when off, so the
+//! instrumentation can stay in the production code path.
+//!
+//! Determinism: timing never feeds back into generation or measurement
+//! — the sink is observe-only, and labels aggregate in first-seen
+//! order so drained reports are stable run to run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Vec<(&'static str, Duration)>> = Mutex::new(Vec::new());
+
+/// One aggregated phase measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSample {
+    /// Phase label, e.g. `"gen/build_sites"`.
+    pub label: &'static str,
+    /// Total wall time across every scope with this label.
+    pub elapsed: Duration,
+    /// Number of scopes that reported under this label.
+    pub count: u64,
+}
+
+/// Turns phase recording on. Cheap to call repeatedly.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns phase recording off (samples already taken are kept until
+/// [`drain`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether phase recording is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts a scoped phase timer. The elapsed time is recorded when the
+/// guard drops; when recording is off this is a no-op (no clock read).
+#[must_use = "the timer records on drop; binding to _ ends the phase immediately"]
+pub fn scope(label: &'static str) -> PhaseScope {
+    PhaseScope {
+        label,
+        start: is_enabled().then(Instant::now),
+    }
+}
+
+/// Times a closure under `label` and returns its result.
+pub fn time<T>(label: &'static str, f: impl FnOnce() -> T) -> T {
+    let _scope = scope(label);
+    f()
+}
+
+/// Drains all samples recorded so far, aggregated by label in
+/// first-seen order, and resets the sink.
+pub fn drain() -> Vec<PhaseSample> {
+    let raw = match SINK.lock() {
+        Ok(mut sink) => std::mem::take(&mut *sink),
+        Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+    };
+    let mut out: Vec<PhaseSample> = Vec::new();
+    for (label, elapsed) in raw {
+        match out.iter_mut().find(|s| s.label == label) {
+            Some(s) => {
+                s.elapsed += elapsed;
+                s.count += 1;
+            }
+            None => out.push(PhaseSample {
+                label,
+                elapsed,
+                count: 1,
+            }),
+        }
+    }
+    out
+}
+
+/// Guard returned by [`scope`]; records the elapsed phase time when
+/// dropped.
+#[derive(Debug)]
+pub struct PhaseScope {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseScope {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            let mut sink = match SINK.lock() {
+                Ok(sink) => sink,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            sink.push((self.label, elapsed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink is process-global, so the tests share one sequence and
+    // run under a lock to keep `cargo test`'s parallel runner out.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _l = locked();
+        disable();
+        let _ = drain();
+        {
+            let _s = scope("idle");
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn enabled_scopes_aggregate_by_label_in_first_seen_order() {
+        let _l = locked();
+        enable();
+        let _ = drain();
+        time("a", || ());
+        time("b", || ());
+        time("a", || ());
+        disable();
+        let samples = drain();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].label, "a");
+        assert_eq!(samples[0].count, 2);
+        assert_eq!(samples[1].label, "b");
+        assert_eq!(samples[1].count, 1);
+        assert!(drain().is_empty(), "drain resets the sink");
+    }
+}

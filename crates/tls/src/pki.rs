@@ -59,6 +59,28 @@ impl Pki {
         self.responder_hosts.get(host).copied()
     }
 
+    /// The serial the next [`Self::issue`] call will assign. Sharded
+    /// world generation predicts serials from this base (plus per-shard
+    /// prefix sums), builds certificates off-thread via
+    /// [`CertificateAuthority::make_certificate`], and registers them in
+    /// shard order through [`Self::register_issued`].
+    pub fn next_serial(&self) -> u64 {
+        self.next_serial
+    }
+
+    /// Registers an externally prepared certificate (see
+    /// [`Self::next_serial`]) as issued and `Good`. The serial must be
+    /// exactly the next one in sequence — a mismatch means the caller's
+    /// serial prediction diverged from actual issuance order.
+    pub fn register_issued(&mut self, ca: CaId, serial: u64) {
+        assert_eq!(
+            serial, self.next_serial,
+            "prepared certificate serial out of sequence"
+        );
+        self.next_serial += 1;
+        self.status.insert((ca, serial), CertStatus::Good);
+    }
+
     /// Issues a certificate from `ca` and registers it as `Good`.
     pub fn issue(
         &mut self,

@@ -88,8 +88,8 @@ impl std::error::Error for FetchError {}
 /// The TLS-layer result of a successful HTTPS fetch.
 #[derive(Debug, Clone)]
 pub struct TlsSession {
-    /// Certificate the server presented.
-    pub certificate: Certificate,
+    /// Certificate the server presented (shared with the vhost config).
+    pub certificate: std::sync::Arc<Certificate>,
     /// The stapled OCSP response, when the server staples.
     pub stapled: Option<OcspResponse>,
     /// Outcome of the client's revocation check.
@@ -109,8 +109,9 @@ pub struct FetchOutcome {
     pub cname_chain: Vec<DomainName>,
     /// TLS session details (HTTPS only).
     pub tls: Option<TlsSession>,
-    /// The landing page, when the vhost serves a document.
-    pub page: Option<crate::resource::Page>,
+    /// The landing page, when the vhost serves a document (shared with
+    /// the vhost config — no per-fetch deep copy).
+    pub page: Option<std::sync::Arc<crate::resource::Page>>,
     /// Redirect target, when the vhost answers with a redirect. The
     /// TLS handshake (if any) has already completed — redirects are an
     /// HTTP-layer response.
@@ -261,19 +262,18 @@ impl<'n> WebClient<'n> {
     /// Executes the full request life cycle for `url`.
     #[must_use]
     pub fn fetch(&mut self, url: &Url) -> Result<FetchOutcome, FetchError> {
-        // 1. DNS.
-        let resolution = self
+        // 1. DNS — read the (usually cached) resolution in place.
+        let (cname_chain, ip) = self
             .resolver
-            .resolve(&url.host, webdeps_dns::RecordType::A)
+            .resolve_with(&url.host, webdeps_dns::RecordType::A, |res| {
+                let first_ip = res.answers.iter().find_map(|rr| rr.data.as_a());
+                (res.cname_targets(), first_ip)
+            })
             .map_err(|e| match e {
                 ResolveError::Timeout { .. } => FetchError::DnsTimeout(e),
                 _ => FetchError::Dns(e),
             })?;
-        let cname_chain = resolution.cname_targets();
-        let &ip = resolution
-            .addresses()
-            .first()
-            .ok_or_else(|| FetchError::NoAddress(url.host.clone()))?;
+        let ip = ip.ok_or_else(|| FetchError::NoAddress(url.host.clone()))?;
 
         // 2. Routing + server availability.
         let server = self.web.server_at(ip).ok_or(FetchError::NoServer(ip))?;
@@ -441,10 +441,10 @@ mod tests {
             dn("example.com"),
             VirtualHost {
                 tls: Some(TlsConfig {
-                    certificate: cert,
+                    certificate: std::sync::Arc::new(cert),
                     staple,
                 }),
-                page: Some(Page::new()),
+                page: Some(std::sync::Arc::new(Page::new())),
                 redirect: None,
             },
         );
@@ -585,7 +585,7 @@ mod tests {
             dn("example.com"),
             VirtualHost {
                 tls: Some(TlsConfig {
-                    certificate: cert,
+                    certificate: std::sync::Arc::new(cert),
                     staple: false,
                 }),
                 page: None,

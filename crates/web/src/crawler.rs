@@ -38,8 +38,9 @@ pub struct CrawlReport {
     pub document_chain: Vec<DomainName>,
     /// Whether the document was fetched over HTTPS.
     pub https: bool,
-    /// Certificate presented for the document, when HTTPS.
-    pub certificate: Option<Certificate>,
+    /// Certificate presented for the document, when HTTPS (shared with
+    /// the serving vhost's configuration).
+    pub certificate: Option<std::sync::Arc<Certificate>>,
     /// Stapled OCSP response presented with the certificate.
     pub stapled: Option<OcspResponse>,
     /// Every object referenced by the landing page.
@@ -121,25 +122,28 @@ impl Crawler {
                 let url = Url {
                     scheme,
                     host: current.clone(),
-                    path: "/".into(),
+                    path: crate::url::root_path(),
                 };
                 match client.fetch(&url) {
                     Ok(outcome) => {
-                        if let Some(target) = &outcome.redirect {
-                            current = target.clone();
+                        // The outcome is owned: move its pieces into the
+                        // report instead of cloning them (pages and
+                        // certificates are the crawl's largest values).
+                        if let Some(target) = outcome.redirect {
+                            current = target;
                             continue;
                         }
-                        report.document_host = Some(current.clone());
-                        report.document_chain = outcome.cname_chain.clone();
-                        if let Some(tls) = &outcome.tls {
-                            report.certificate = Some(tls.certificate.clone());
-                            report.stapled = tls.stapled.clone();
+                        report.document_chain = outcome.cname_chain;
+                        if let Some(tls) = outcome.tls {
+                            report.certificate = Some(tls.certificate);
+                            report.stapled = tls.stapled;
                         }
-                        page = outcome.page.clone();
+                        page = outcome.page;
+                        report.document_host = Some(current);
                         break 'hosts;
                     }
                     Err(e) => {
-                        report.document_errors.push((current.clone(), e));
+                        report.document_errors.push((current, e));
                         continue 'hosts;
                     }
                 }
@@ -148,10 +152,11 @@ impl Crawler {
 
         // 2. Render: fetch every referenced object.
         if let Some(page) = page {
+            report.resources.reserve_exact(page.resources.len());
             for res in &page.resources {
                 let outcome = client.fetch(&res.url);
-                let (chain, ok) = match &outcome {
-                    Ok(o) => (o.cname_chain.clone(), true),
+                let (chain, ok) = match outcome {
+                    Ok(o) => (o.cname_chain, true),
                     Err(_) => (Vec::new(), false),
                 };
                 report.resources.push(LoadedResource {
@@ -229,7 +234,7 @@ mod tests {
             dn("shop.com"),
             VirtualHost {
                 tls: None,
-                page: Some(page),
+                page: Some(std::sync::Arc::new(page)),
                 redirect: None,
             },
         );

@@ -11,6 +11,7 @@
 use crate::resource::Page;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use webdeps_model::{DomainName, EntityId};
 use webdeps_tls::Certificate;
 
@@ -38,10 +39,14 @@ pub struct WebServer {
 }
 
 /// TLS configuration of a virtual host.
+///
+/// The certificate is shared (`Arc`): every TLS fetch hands a copy to
+/// the session, and deep-cloning SAN lists per handshake dominated the
+/// crawl profile at the million-site scale.
 #[derive(Debug, Clone)]
 pub struct TlsConfig {
     /// Certificate presented for this hostname.
-    pub certificate: Certificate,
+    pub certificate: Arc<Certificate>,
     /// Whether the server staples OCSP responses.
     pub staple: bool,
 }
@@ -51,8 +56,9 @@ pub struct TlsConfig {
 pub struct VirtualHost {
     /// TLS configuration; `None` means HTTP only.
     pub tls: Option<TlsConfig>,
-    /// The landing page, when this hostname serves a document.
-    pub page: Option<Page>,
+    /// The landing page, when this hostname serves a document (shared:
+    /// fetches hand out references, not deep copies).
+    pub page: Option<Arc<Page>>,
     /// HTTP redirect target: requests for this host are answered with a
     /// redirect to the same path on `redirect` (the ubiquitous
     /// `example.com` → `www.example.com` hop).
@@ -174,7 +180,7 @@ mod tests {
     #[test]
     fn vhost_configuration() {
         let mut b = WebNetwork::builder();
-        b.vhost_mut(&dn("example.com")).page = Some(Page::new());
+        b.vhost_mut(&dn("example.com")).page = Some(Arc::new(Page::new()));
         let net = b.build();
         assert!(net.vhost(&dn("example.com")).unwrap().page.is_some());
         assert!(net.vhost(&dn("example.com")).unwrap().tls.is_none());

@@ -1,7 +1,15 @@
 //! Minimal URLs.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 use webdeps_model::{DomainName, ModelError};
+
+/// The shared `/` path. Every root-path URL (one per document fetch
+/// attempt in a crawl) clones this single allocation.
+pub(crate) fn root_path() -> Arc<str> {
+    static ROOT: OnceLock<Arc<str>> = OnceLock::new();
+    ROOT.get_or_init(|| Arc::from("/")).clone()
+}
 
 /// URL scheme; the study only cares about plain versus TLS-protected
 /// HTTP (HTTPS adoption is one of the Figure 4 series).
@@ -25,6 +33,9 @@ impl Scheme {
 
 /// A scheme + host + path URL. Ports, queries, and fragments play no
 /// role in dependency measurement and are not modeled.
+///
+/// Both `host` and `path` are refcounted, so cloning a URL (every fetch
+/// records the URL it served) never copies string data.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Url {
     /// Scheme.
@@ -32,7 +43,7 @@ pub struct Url {
     /// Hostname.
     pub host: DomainName,
     /// Absolute path (always begins with `/`).
-    pub path: String,
+    pub path: Arc<str>,
 }
 
 impl Url {
@@ -41,7 +52,7 @@ impl Url {
         Url {
             scheme: Scheme::Http,
             host,
-            path: "/".into(),
+            path: root_path(),
         }
     }
 
@@ -50,7 +61,7 @@ impl Url {
         Url {
             scheme: Scheme::Https,
             host,
-            path: "/".into(),
+            path: root_path(),
         }
     }
 
@@ -58,9 +69,9 @@ impl Url {
     pub fn with_path(mut self, path: impl Into<String>) -> Self {
         let p = path.into();
         self.path = if p.starts_with('/') {
-            p
+            p.into()
         } else {
-            format!("/{p}")
+            format!("/{p}").into()
         };
         self
     }
@@ -79,8 +90,8 @@ impl Url {
             });
         };
         let (host, path) = match rest.split_once('/') {
-            Some((h, p)) => (h, format!("/{p}")),
-            None => (rest, "/".to_string()),
+            Some((h, p)) => (h, format!("/{p}").into()),
+            None => (rest, root_path()),
         };
         Ok(Url {
             scheme,
@@ -119,7 +130,7 @@ mod tests {
         for s in ["http://example.com/", "https://a.b.example.co.uk/x/y"] {
             assert_eq!(Url::parse(s).unwrap().to_string(), s);
         }
-        assert_eq!(Url::parse("https://example.com").unwrap().path, "/");
+        assert_eq!(&*Url::parse("https://example.com").unwrap().path, "/");
         assert!(Url::parse("ftp://example.com").is_err());
         assert!(Url::parse("https://bad host/").is_err());
     }

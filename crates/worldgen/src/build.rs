@@ -24,7 +24,8 @@ use webdeps_dns::zone::Zone;
 use webdeps_dns::{DnsNetwork, Resolver, ServerId};
 use webdeps_model::name::dn;
 use webdeps_model::{
-    CaId, DetRng, DomainName, EntityId, EntityKind, EntityRegistry, PublicSuffixList, SiteId,
+    timing, CaId, DetRng, DomainName, EntityId, EntityKind, EntityRegistry, PublicSuffixList,
+    SiteId,
 };
 use webdeps_tls::{Pki, PkiBuilder};
 use webdeps_web::server::{TlsConfig, VirtualHost};
@@ -70,14 +71,27 @@ pub struct World {
 }
 
 impl World {
-    /// Generates a world from scratch.
+    /// Generates a world from scratch. Site synthesis is sharded across
+    /// `WEBDEPS_JOBS` workers (auto-detected when unset); output is
+    /// byte-identical at any worker count.
     pub fn generate(config: WorldConfig) -> World {
-        World::from_plan(plan_snapshot(&config))
+        World::generate_with_jobs(config, 0)
+    }
+
+    /// [`Self::generate`] with an explicit worker count (`0` = auto).
+    /// The job count is a speed knob only — results are identical.
+    pub fn generate_with_jobs(config: WorldConfig, jobs: usize) -> World {
+        World::from_plan_with_jobs(plan_snapshot(&config), jobs)
     }
 
     /// Materializes a prepared plan.
     pub fn from_plan(plan: SnapshotPlan) -> World {
-        Builder::new(plan).build()
+        World::from_plan_with_jobs(plan, 0)
+    }
+
+    /// [`Self::from_plan`] with an explicit worker count (`0` = auto).
+    pub fn from_plan_with_jobs(plan: SnapshotPlan, jobs: usize) -> World {
+        Builder::new(plan, jobs).build()
     }
 
     /// A fresh resolver bound to this world.
@@ -134,12 +148,14 @@ pub struct Builder {
     ca_ids: BTreeMap<String, CaId>,
     provider_entities: BTreeMap<String, EntityId>,
     serial: u32,
+    jobs: usize,
 }
 
 impl Builder {
-    fn new(plan: SnapshotPlan) -> Builder {
+    fn new(plan: SnapshotPlan, jobs: usize) -> Builder {
         let seed = plan.config.seed;
         Builder {
+            jobs,
             plan,
             entities: EntityRegistry::new(),
             dns_b: DnsNetwork::builder(),
@@ -633,16 +649,310 @@ impl Builder {
     }
 
     /// Phase 6: the ranked site population.
+    ///
+    /// Site synthesis is sharded across [`par::fan_out`] workers: each
+    /// shard *plans* its contiguous run of sites — zones, certificates,
+    /// pages, vhosts — against predicted ids/IPs/serials derived from
+    /// per-site counter prefix sums ([`SiteCursor::advance`]), and the
+    /// planned mutations ([`ShardOps`]) are applied serially in shard
+    /// order, asserting every prediction. The serial path is the
+    /// one-shard path, so output is byte-identical at any
+    /// `WEBDEPS_JOBS` value (see `tests/parallel_determinism.rs`).
     fn build_sites(&mut self, pki: &mut Pki) {
         let content_hosts = Self::content_hosts();
         let sites = std::mem::take(&mut self.plan.truth.sites);
-        for site in &sites {
-            self.build_one_site(site, pki, &content_hosts);
+
+        let start = SiteCursor {
+            web_ip: self.next_web_ip,
+            dns_ip: self.next_dns_ip,
+            serial: self.serial,
+            server: self.dns_b.server_count(),
+            entity: self.entities.len(),
+            cert_serial: pki.next_serial(),
+        };
+        let jobs = webdeps_model::par::effective_jobs(self.jobs, sites.len());
+        let chunk = sites.len().div_ceil(jobs).max(1);
+        let mut cursor = start;
+        let mut shards: Vec<(SiteCursor, &[SiteTruth])> = Vec::with_capacity(jobs);
+        for part in sites.chunks(chunk) {
+            shards.push((cursor, part));
+            for site in part {
+                cursor.advance(site);
+            }
         }
+        let final_cursor = cursor;
+        let boundary: Vec<SiteCursor> = shards
+            .iter()
+            .skip(1)
+            .map(|&(c, _)| c)
+            .chain(std::iter::once(final_cursor))
+            .collect();
+
+        let shard_ops: Vec<ShardOps> = {
+            let planner = SitePlanner {
+                rng: &self.rng,
+                dns_catalog: &self.dns_catalog,
+                dns_servers: &self.dns_servers,
+                cdn_info: &self.cdn_info,
+                ca_ids: &self.ca_ids,
+                provider_entities: &self.provider_entities,
+                content_hosts: &content_hosts,
+                pki,
+            };
+            webdeps_model::par::fan_out(&shards, shards.len(), |&(shard_start, part)| {
+                planner.plan_shard(shard_start, part)
+            })
+        };
+
+        for (ops, expected_end) in shard_ops.into_iter().zip(boundary) {
+            assert_eq!(
+                ops.end, expected_end,
+                "shard counter prediction diverged from planned consumption"
+            );
+            self.apply_shard(ops, pki);
+        }
+        self.next_web_ip = final_cursor.web_ip;
+        self.next_dns_ip = final_cursor.dns_ip;
+        self.serial = final_cursor.serial;
         self.plan.truth.sites = sites;
     }
 
-    fn build_one_site(&mut self, site: &SiteTruth, pki: &mut Pki, content_hosts: &[DomainName]) {
+    /// Applies one shard's planned mutations to the shared builders, in
+    /// the order the serial generator would have produced them.
+    fn apply_shard(&mut self, ops: ShardOps, pki: &mut Pki) {
+        for op in ops.entities {
+            match op {
+                EntityOp::Register {
+                    name,
+                    domains,
+                    predicted,
+                } => {
+                    let got = self
+                        .entities
+                        .register(name, EntityKind::WebsiteOperator, domains);
+                    assert_eq!(got, predicted, "entity id prediction diverged");
+                }
+                EntityOp::AddDomain { id, domain } => self.entities.add_domain(id, domain),
+            }
+        }
+        for (ip, operator) in ops.web_servers {
+            self.web_b.add_server(ip, operator);
+        }
+        for (host, ip, operator, predicted) in ops.dns_servers {
+            let got = self.dns_b.add_server(host, ip, operator);
+            assert_eq!(got, predicted, "dns server id prediction diverged");
+        }
+        for (zone, servers) in ops.zones {
+            self.dns_b.add_zone(zone, servers);
+        }
+        for (origin, host, ip) in ops.cdn_records {
+            let zone = self.dns_b.zone_mut(&origin).expect("CDN zone deployed");
+            zone.add(host, RecordData::A(ip));
+        }
+        for (host, vhost) in ops.vhosts {
+            self.web_b.set_vhost(host, vhost);
+        }
+        for (origin, img, ip) in ops.guarded_img {
+            // First writer wins: sites are applied in order, so the
+            // earliest conglomerate member publishes the sibling-brand
+            // A record — exactly as the serial generator did.
+            if let Some(zone) = self.dns_b.zone_mut(&origin) {
+                if matches!(
+                    zone.lookup(&img, webdeps_dns::RecordType::A),
+                    webdeps_dns::zone::ZoneAnswer::NxDomain { .. }
+                ) {
+                    zone.add(img, RecordData::A(ip));
+                }
+            }
+        }
+        for (ca, serial) in ops.certs {
+            pki.register_issued(ca, serial);
+        }
+    }
+
+    fn build(mut self) -> World {
+        timing::time("gen/providers", || {
+            self.build_dns_providers();
+            self.build_cdns();
+            self.build_cas();
+            self.build_conglomerates();
+            self.build_content_providers();
+        });
+        let mut pki = self.pki_b.take().expect("pki open").build();
+        timing::time("gen/sites", || self.build_sites(&mut pki));
+        let _finalize = timing::scope("gen/finalize");
+        let cname_map = CnameToCdnMap::from_directory(&self.cdn_dir);
+        World {
+            config: self.plan.config,
+            entities: self.entities,
+            psl: PublicSuffixList::builtin(),
+            dns: self.dns_b.build(),
+            web: self.web_b.build(),
+            pki,
+            cdn_dir: self.cdn_dir,
+            cname_map,
+            truth: self.plan.truth,
+            provider_entities: self.provider_entities,
+        }
+    }
+}
+
+/// Counter snapshot for sharded site construction. Site synthesis
+/// consumes six monotone counters (origin IPs, nameserver IPs, zone
+/// serials, DNS server ids, entity ids, certificate serials); each
+/// site's consumption is a pure function of its [`SiteTruth`], so shard
+/// starting points are computed by prefix sums and every worker assigns
+/// exactly the values the serial generator would have.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SiteCursor {
+    web_ip: u32,
+    dns_ip: u32,
+    serial: u32,
+    server: usize,
+    entity: usize,
+    cert_serial: u64,
+}
+
+impl SiteCursor {
+    /// Advances past one site's consumption — must stay in lockstep
+    /// with [`SitePlanner::plan_site`] (the merge asserts it does).
+    fn advance(&mut self, site: &SiteTruth) {
+        self.web_ip += 1;
+        if site.conglomerate.is_none() {
+            self.entity += 1;
+        }
+        match site.dns.state {
+            DepState::Private => {
+                self.server += 2;
+                self.dns_ip += 4;
+                self.serial += if site.dns.alias_ns { 2 } else { 1 };
+            }
+            DepState::PrivatePlusThird => {
+                self.server += 2;
+                self.dns_ip += 3;
+                self.serial += 1;
+            }
+            DepState::SingleThird | DepState::MultiThird => {
+                self.serial += 1;
+            }
+        }
+        if site.https() {
+            self.cert_serial += 1;
+        }
+    }
+
+    fn take_web_ip(&mut self) -> Ipv4Addr {
+        let ip = Ipv4Addr::from(self.web_ip);
+        self.web_ip += 1;
+        ip
+    }
+
+    fn take_dns_ip(&mut self) -> Ipv4Addr {
+        let ip = Ipv4Addr::from(self.dns_ip);
+        self.dns_ip += 1;
+        ip
+    }
+
+    fn take_serial(&mut self) -> u32 {
+        self.serial += 1;
+        self.serial
+    }
+}
+
+/// An entity-registry mutation planned by a shard worker.
+enum EntityOp {
+    Register {
+        name: String,
+        domains: Vec<DomainName>,
+        predicted: EntityId,
+    },
+    AddDomain {
+        id: EntityId,
+        domain: DomainName,
+    },
+}
+
+/// One shard's planned mutations of the shared builders, recorded in
+/// the order the serial generator would perform them. Everything
+/// allocation-heavy (names, zones, certificates, pages) is built on the
+/// worker; applying ops is pure map/vec insertion.
+#[derive(Default)]
+struct ShardOps {
+    entities: Vec<EntityOp>,
+    web_servers: Vec<(Ipv4Addr, EntityId)>,
+    dns_servers: Vec<(DomainName, Ipv4Addr, EntityId, ServerId)>,
+    /// Zone deployments in serial deployment order (a site's alias-NS
+    /// zone precedes its own zone).
+    zones: Vec<(Zone, Vec<ServerId>)>,
+    /// `cust-…` A records destined for already-deployed CDN zones:
+    /// (zone origin, host, edge IP).
+    cdn_records: Vec<(DomainName, DomainName, Ipv4Addr)>,
+    vhosts: Vec<(DomainName, VirtualHost)>,
+    /// Sibling-brand `img` records guarded by first-writer-wins:
+    /// (zone origin, host, origin IP).
+    guarded_img: Vec<(DomainName, DomainName, Ipv4Addr)>,
+    /// Certificates prepared off-thread, to register in serial order.
+    certs: Vec<(CaId, u64)>,
+    /// Counter state after the shard's last site (continuity check).
+    end: SiteCursor,
+}
+
+/// Read-only context a shard worker plans sites against.
+struct SitePlanner<'a> {
+    rng: &'a DetRng,
+    dns_catalog: &'a BTreeMap<String, DnsProvider>,
+    dns_servers: &'a BTreeMap<String, Vec<ServerId>>,
+    cdn_info: &'a BTreeMap<String, (DomainName, Ipv4Addr)>,
+    ca_ids: &'a BTreeMap<String, CaId>,
+    provider_entities: &'a BTreeMap<String, EntityId>,
+    content_hosts: &'a [DomainName],
+    pki: &'a Pki,
+}
+
+impl SitePlanner<'_> {
+    fn plan_shard(&self, start: SiteCursor, sites: &[SiteTruth]) -> ShardOps {
+        let mut ops = ShardOps::default();
+        let mut cur = start;
+        for site in sites {
+            self.plan_site(site, &mut cur, &mut ops);
+        }
+        ops.end = cur;
+        ops
+    }
+
+    /// Plans two nameserver hosts under `ns_domain` with predicted ids.
+    fn plan_ns_servers(
+        &self,
+        ns_domain: &DomainName,
+        operator: EntityId,
+        cur: &mut SiteCursor,
+        ops: &mut ShardOps,
+    ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(2);
+        for label in ["ns1", "ns2"] {
+            let host = ns_domain.child(label).expect("valid label");
+            let ip = cur.take_dns_ip();
+            let sid = ServerId::from_index(cur.server);
+            cur.server += 1;
+            ops.dns_servers.push((host, ip, operator, sid));
+            out.push(sid);
+        }
+        out
+    }
+
+    /// Plans a CDN customer host (`cust-…`) pointing at the edge.
+    fn plan_cdn_customer(&self, cdn_name: &str, label: &str, ops: &mut ShardOps) -> DomainName {
+        let (domain, edge_ip) = self
+            .cdn_info
+            .get(cdn_name)
+            .unwrap_or_else(|| panic!("unknown CDN {cdn_name}"));
+        let host = domain.child(label).expect("valid label");
+        ops.cdn_records
+            .push((domain.clone(), host.clone(), *edge_ip));
+        host
+    }
+
+    fn plan_site(&self, site: &SiteTruth, cur: &mut SiteCursor, ops: &mut ShardOps) {
         let rng = self.rng.fork_indexed("site-build", site.universe);
         let domain = site.domain.clone();
 
@@ -650,7 +960,10 @@ impl Builder {
         let entity = match site.conglomerate {
             Some(ci) => {
                 let e = self.provider_entities[providers::CONGLOMERATES[ci].name];
-                self.entities.add_domain(e, domain.clone());
+                ops.entities.push(EntityOp::AddDomain {
+                    id: e,
+                    domain: domain.clone(),
+                });
                 e
             }
             None => {
@@ -658,17 +971,20 @@ impl Builder {
                 if site.dns.alias_ns {
                     domains.push(dn(&format!("site-{}-dns.net", site.universe)));
                 }
-                self.entities.register(
-                    format!("Operator of {domain}"),
-                    EntityKind::WebsiteOperator,
+                let id = EntityId::from_index(cur.entity);
+                cur.entity += 1;
+                ops.entities.push(EntityOp::Register {
+                    name: format!("Operator of {domain}"),
                     domains,
-                )
+                    predicted: id,
+                });
+                id
             }
         };
 
         // Origin webserver.
-        let origin_ip = self.web_ip();
-        self.web_b.add_server(origin_ip, entity);
+        let origin_ip = cur.take_web_ip();
+        ops.web_servers.push((origin_ip, entity));
 
         // --- DNS ---------------------------------------------------
         let mut ns_hosts: Vec<DomainName> = Vec::new();
@@ -681,7 +997,7 @@ impl Builder {
                 } else {
                     domain.clone()
                 };
-                let own = self.make_ns_servers(&ns_base, entity);
+                let own = self.plan_ns_servers(&ns_base, entity, cur, ops);
                 ns_hosts.push(ns_base.child("ns1").expect("valid"));
                 ns_hosts.push(ns_base.child("ns2").expect("valid"));
                 servers.extend(own.iter().copied());
@@ -709,7 +1025,7 @@ impl Builder {
                 }
             }
             DepState::PrivatePlusThird => {
-                let own = self.make_ns_servers(&domain, entity);
+                let own = self.plan_ns_servers(&domain, entity, cur, ops);
                 ns_hosts.push(domain.child("ns1").expect("valid"));
                 servers.extend(own);
                 let p = &self.dns_catalog[&site.dns.providers[0]];
@@ -719,8 +1035,8 @@ impl Builder {
         }
 
         let soa = if site.dns.provider_soa {
-            let ns_domain = self.dns_catalog[&site.dns.providers[0]].ns_domain.clone();
-            let serial = self.serial();
+            let ns_domain = &self.dns_catalog[&site.dns.providers[0]].ns_domain;
+            let serial = cur.take_serial();
             Soa::standard(
                 ns_domain.child("ns1").expect("valid"),
                 ns_domain.child("hostmaster").expect("valid"),
@@ -730,7 +1046,7 @@ impl Builder {
             // Self-managed SOA: MNAME points at a hidden master under
             // the site's own domain (a common production setup), so the
             // SOA strawman correctly detects third-party nameservers.
-            let serial = self.serial();
+            let serial = cur.take_serial();
             Soa::standard(
                 domain.child("ns0").expect("valid"),
                 domain.child("hostmaster").expect("valid"),
@@ -745,28 +1061,29 @@ impl Builder {
         zone.add(domain.clone(), RecordData::A(origin_ip));
         for h in &ns_hosts {
             if h.is_subdomain_of(&domain) {
-                zone.add(h.clone(), RecordData::A(self.dns_ip()));
+                zone.add(h.clone(), RecordData::A(cur.take_dns_ip()));
             }
         }
         if let Some((alias_domain, alias_servers)) = extra_zone {
             // Alias-NS zone: same administrator as the site zone.
-            let serial = self.serial();
+            let serial = cur.take_serial();
             let soa = Soa::standard(
                 alias_domain.child("ns1").expect("valid"),
                 domain.child("hostmaster").expect("valid"),
                 serial,
             );
-            let mut a = Vec::new();
-            for label in ["ns1", "ns2"] {
-                a.push((alias_domain.child(label).expect("valid"), self.dns_ip()));
-            }
-            self.deploy_infra_zone(
+            let mut alias_zone = Zone::new(alias_domain.clone(), soa);
+            alias_zone.add(
                 alias_domain.clone(),
-                soa,
-                vec![alias_domain.child("ns1").expect("valid")],
-                alias_servers,
-                a,
+                RecordData::Ns(alias_domain.child("ns1").expect("valid")),
             );
+            for label in ["ns1", "ns2"] {
+                alias_zone.add(
+                    alias_domain.child(label).expect("valid"),
+                    RecordData::A(cur.take_dns_ip()),
+                );
+            }
+            ops.zones.push((alias_zone, alias_servers));
         }
 
         // --- CDN on-ramps + hosts ------------------------------------
@@ -780,8 +1097,8 @@ impl Builder {
             }
             CdnProfile::Private | CdnProfile::SingleThird => {
                 let cdn = &site.cdn.cdns[0];
-                let cust_www = self.add_cdn_customer(cdn, &format!("cust-{sid}-www"));
-                let cust_static = self.add_cdn_customer(cdn, &format!("cust-{sid}-st"));
+                let cust_www = self.plan_cdn_customer(cdn, &format!("cust-{sid}-www"), ops);
+                let cust_static = self.plan_cdn_customer(cdn, &format!("cust-{sid}-st"), ops);
                 zone.add(www.clone(), RecordData::Cname(cust_www));
                 zone.add(static_host.clone(), RecordData::Cname(cust_static));
             }
@@ -791,13 +1108,13 @@ impl Builder {
                 // split object classes), and the document itself fails
                 // over www → www2.
                 let cust_a =
-                    self.add_cdn_customer(&site.cdn.cdns[0].clone(), &format!("cust-{sid}-www"));
+                    self.plan_cdn_customer(&site.cdn.cdns[0], &format!("cust-{sid}-www"), ops);
                 let cust_b =
-                    self.add_cdn_customer(&site.cdn.cdns[1].clone(), &format!("cust-{sid}-www2"));
+                    self.plan_cdn_customer(&site.cdn.cdns[1], &format!("cust-{sid}-www2"), ops);
                 let cust_static =
-                    self.add_cdn_customer(&site.cdn.cdns[0].clone(), &format!("cust-{sid}-st"));
+                    self.plan_cdn_customer(&site.cdn.cdns[0], &format!("cust-{sid}-st"), ops);
                 let cust_img =
-                    self.add_cdn_customer(&site.cdn.cdns[1].clone(), &format!("cust-{sid}-img"));
+                    self.plan_cdn_customer(&site.cdn.cdns[1], &format!("cust-{sid}-img"), ops);
                 zone.add(www.clone(), RecordData::Cname(cust_a));
                 zone.add(www2.clone(), RecordData::Cname(cust_b));
                 zone.add(static_host.clone(), RecordData::Cname(cust_static));
@@ -807,7 +1124,7 @@ impl Builder {
                 );
             }
         }
-        self.dns_b.add_zone(zone, servers);
+        ops.zones.push((zone, servers));
 
         // --- Certificate ------------------------------------------
         let tls = if site.https() {
@@ -829,16 +1146,19 @@ impl Builder {
                 san.push(dn(&format!("site-{}-dns.net", site.universe)));
             }
             let must_staple = rng.fork("must-staple").chance(0.002);
-            let cert = pki.issue(
-                ca_id,
+            let serial = cur.cert_serial;
+            cur.cert_serial += 1;
+            let cert = self.pki.ca(ca_id).make_certificate(
+                serial,
                 domain.clone(),
                 san,
                 webdeps_dns::SimTime::ZERO,
                 must_staple,
             );
+            ops.certs.push((ca_id, serial));
             let staple = site.ca.state == CaProfile::ThirdStapled || must_staple;
             Some(TlsConfig {
-                certificate: cert,
+                certificate: std::sync::Arc::new(cert),
                 staple,
             })
         } else {
@@ -898,7 +1218,8 @@ impl Builder {
         let mut crng = rng.fork("content");
         let n_ext = 1 + crng.below(3);
         for k in 0..n_ext {
-            let host = &content_hosts[(crng.below(content_hosts.len()) + k) % content_hosts.len()];
+            let host = &self.content_hosts
+                [(crng.below(self.content_hosts.len()) + k) % self.content_hosts.len()];
             // External objects load over HTTP in this model so content
             // hosts need no certificates; the paper's pipeline only
             // needs their hostnames and CNAME chains.
@@ -906,99 +1227,70 @@ impl Builder {
                 Url {
                     scheme: Scheme::Http,
                     host: host.clone(),
-                    path: format!("/w{k}.js"),
+                    path: format!("/w{k}.js").into(),
                 },
                 ResourceKind::Script,
             ));
         }
 
+        let page = std::sync::Arc::new(page);
         for host in &doc_hosts {
-            self.web_b.set_vhost(
+            ops.vhosts.push((
                 host.clone(),
                 VirtualHost {
                     tls: tls.clone(),
                     page: Some(page.clone()),
                     redirect: None,
                 },
-            );
+            ));
         }
         if site.cdn.state.uses_cdn() {
             // The apex answers from the origin with a redirect onto the
             // CDN-fronted www host, like real CDN onboarding does.
-            self.web_b.set_vhost(
+            ops.vhosts.push((
                 domain.clone(),
                 VirtualHost {
                     tls: tls.clone(),
                     page: None,
                     redirect: Some(www.clone()),
                 },
-            );
+            ));
         }
-        self.web_b.set_vhost(
+        ops.vhosts.push((
             static_host,
             VirtualHost {
                 tls: tls.clone(),
                 page: None,
                 redirect: None,
             },
-        );
+        ));
         if site.cdn.state == CdnProfile::Multi {
-            self.web_b.set_vhost(
+            ops.vhosts.push((
                 domain.child("img").expect("valid"),
                 VirtualHost {
                     tls: tls.clone(),
                     page: None,
                     redirect: None,
                 },
-            );
+            ));
         }
-        if site.conglomerate.is_some() {
-            if let Some(ci) = site.conglomerate {
-                let spec = &providers::CONGLOMERATES[ci];
-                if let Some(alias) = spec.alias_domains.first() {
-                    let img = dn(alias).child("img").expect("valid");
-                    self.web_b.set_vhost(
-                        img.clone(),
-                        VirtualHost {
-                            tls: tls.clone(),
-                            page: None,
-                            redirect: None,
-                        },
-                    );
-                    // Resolvable target for the sibling-brand host.
-                    if let Some(zone) = self.dns_b.zone_mut(&dn(alias)) {
-                        if matches!(
-                            zone.lookup(&img, webdeps_dns::RecordType::A),
-                            webdeps_dns::zone::ZoneAnswer::NxDomain { .. }
-                        ) {
-                            zone.add(img, RecordData::A(origin_ip));
-                        }
-                    }
-                }
+        if let Some(ci) = site.conglomerate {
+            let spec = &providers::CONGLOMERATES[ci];
+            if let Some(alias) = spec.alias_domains.first() {
+                let img = dn(alias).child("img").expect("valid");
+                ops.vhosts.push((
+                    img.clone(),
+                    VirtualHost {
+                        tls: tls.clone(),
+                        page: None,
+                        redirect: None,
+                    },
+                ));
+                // Resolvable target for the sibling-brand host — the
+                // merge adds it first-writer-wins, like the serial
+                // generator's NXDOMAIN-guarded insert did.
+                ops.guarded_img.push((dn(alias), img, origin_ip));
             }
-        }
-    }
-
-    fn build(mut self) -> World {
-        self.build_dns_providers();
-        self.build_cdns();
-        self.build_cas();
-        self.build_conglomerates();
-        self.build_content_providers();
-        let mut pki = self.pki_b.take().expect("pki open").build();
-        self.build_sites(&mut pki);
-        let cname_map = CnameToCdnMap::from_directory(&self.cdn_dir);
-        World {
-            config: self.plan.config,
-            entities: self.entities,
-            psl: PublicSuffixList::builtin(),
-            dns: self.dns_b.build(),
-            web: self.web_b.build(),
-            pki,
-            cdn_dir: self.cdn_dir,
-            cname_map,
-            truth: self.plan.truth,
-            provider_entities: self.provider_entities,
         }
     }
 }

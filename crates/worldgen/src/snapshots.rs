@@ -169,6 +169,7 @@ struct PlannedStates {
 
 /// Generates the plans for both snapshots over one universe.
 pub fn plan_pair(seed: u64, n_sites: usize) -> (SnapshotPlan, SnapshotPlan) {
+    let _plan_scope = webdeps_model::timing::scope("gen/plan");
     let cfg16 = WorldConfig {
         seed,
         n_sites,

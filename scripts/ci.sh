@@ -48,6 +48,18 @@ WEBDEPS_BENCH_OUT="$PWD/target" WEBDEPS_BENCH_SAMPLES=2 WEBDEPS_BENCH_SAMPLE_MS=
 ls -l target/BENCH_analysis.json target/BENCH_pipeline.json \
     target/BENCH_measure_world.json target/BENCH_lint.json target/BENCH_serve.json
 
+echo "== per-phase metrics present in BENCH_measure_world.json =="
+# The measure_world target must report where generate+measure time goes
+# (timing::scope instrumentation drained through record_metric); a
+# missing phase means the observability layer regressed. The B/site
+# arena + core budget asserts run inside the bench binary itself.
+for phase in gen/plan gen/sites measure/observe measure/classify measure/assemble; do
+    if ! grep -q "\"name\":\"$phase\"" target/BENCH_measure_world.json; then
+        echo "error: per-phase metric '$phase' missing from BENCH_measure_world.json" >&2
+        exit 1
+    fi
+done
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== cargo bench (std harness, JSON trajectory; 1M columnar scale opt-in) =="
     WEBDEPS_BENCH_1M=1 cargo bench --offline --workspace

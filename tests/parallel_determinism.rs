@@ -82,6 +82,58 @@ fn option_pool() -> Vec<MetricOptions> {
     ]
 }
 
+/// Sharded world generation: site synthesis fans out across shards
+/// with predicted ids/IPs/serials, so a generated world must be
+/// byte-identical at 1, 2, and 8 shards — same registries and zone
+/// counts, and (the strong check) an identical measured dataset, since
+/// measurement reads every wire-visible artifact the shards built:
+/// zones, SOAs, CNAME chains, certificates, pages.
+#[test]
+fn worldgen_identical_at_any_job_count() {
+    let make = |jobs: usize| {
+        World::generate_with_jobs(
+            WorldConfig {
+                seed: 77,
+                n_sites: 500,
+                year: SnapshotYear::Y2020,
+            },
+            jobs,
+        )
+    };
+    let measure = |world: &World| {
+        let config = MeasureConfig {
+            threads: 1,
+            ..MeasureConfig::for_world(world)
+        };
+        format!("{:?}", measure_world_with(world, config))
+    };
+    let serial = make(1);
+    let serial_ds = measure(&serial);
+    for jobs in [2usize, 8] {
+        let sharded = make(jobs);
+        assert_eq!(
+            serial.entities.len(),
+            sharded.entities.len(),
+            "entity count diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial.dns.zone_count(),
+            sharded.dns.zone_count(),
+            "zone count diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial.web.vhost_count(),
+            sharded.web.vhost_count(),
+            "vhost count diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial_ds,
+            measure(&sharded),
+            "measured dataset diverged at jobs={jobs}"
+        );
+    }
+}
+
 /// Crawl + observation: the sharded pipeline must produce a dataset
 /// whose *debug rendering* — every site, provider, and classification,
 /// in order — is identical at 1, 2, and 8 workers, across varying
